@@ -1,0 +1,25 @@
+"""Bench: the design-choice ablations (beyond the paper's figures)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import ablations
+
+
+def test_ablations(benchmark, smoke_profile):
+    report = run_once(benchmark, ablations.run, smoke_profile)
+    # The extra-detectors section contributes raw pipeline rows without an
+    # "ablation" tag; ignore those here.
+    kinds = {row.get("ablation") for row in report.rows} - {None}
+    assert kinds >= {
+        "lof_k",
+        "iforest_trees",
+        "refout_pool_dim",
+        "hics_test",
+        "score_cache",
+    }
+    cache_rows = {
+        row["setting"]: row["seconds"]
+        for row in report.rows
+        if row.get("ablation") == "score_cache"
+    }
+    # The shared cache must not be slower than cold runs.
+    assert cache_rows["shared"] <= cache_rows["cold"]

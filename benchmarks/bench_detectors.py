@@ -1,0 +1,57 @@
+"""Detector micro-benchmarks.
+
+Reproduces the paper's Section 4.3 observation about per-subspace detector
+cost ("to score a single subspace LOF needed 0.05, iForest 0.2 and
+Fast ABOD 2 seconds approximately" on ~1000 points): each bench scores one
+1000x5 projection. The *ordering* LOF < iForest is expected to hold; our
+vectorised Fast ABOD is much faster than the PyOD implementation the paper
+measured (see EXPERIMENTS.md).
+"""
+
+import pytest
+
+from repro.detectors import (
+    FastABOD,
+    IsolationForest,
+    KNNDetector,
+    LOF,
+    MahalanobisDetector,
+)
+
+
+def bench(benchmark, detector, X):
+    result = benchmark(detector.score, X)
+    assert result.shape == (X.shape[0],)
+
+
+def test_lof_k15(benchmark, detector_matrix):
+    bench(benchmark, LOF(k=15), detector_matrix)
+
+
+def test_fast_abod_k10(benchmark, detector_matrix):
+    bench(benchmark, FastABOD(k=10), detector_matrix)
+
+
+def test_iforest_single_repeat(benchmark, detector_matrix):
+    bench(
+        benchmark,
+        IsolationForest(n_trees=100, subsample_size=256, n_repeats=1, seed=0),
+        detector_matrix,
+    )
+
+
+def test_iforest_paper_ten_repeats(benchmark, detector_matrix):
+    # The paper's full setting: 10 averaged repetitions.
+    bench(
+        benchmark,
+        IsolationForest(n_trees=100, subsample_size=256, n_repeats=10, seed=0),
+        detector_matrix,
+    )
+
+
+def test_knn_detector(benchmark, detector_matrix):
+    bench(benchmark, KNNDetector(k=10), detector_matrix)
+
+
+def test_mahalanobis(benchmark, detector_matrix):
+    bench(benchmark, MahalanobisDetector(), detector_matrix)

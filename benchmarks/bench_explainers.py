@@ -1,0 +1,55 @@
+"""Explainer micro-benchmarks: one explanation/summary on the 14d dataset.
+
+These isolate the per-algorithm cost that the Figure 11 pipelines
+aggregate: Beam and RefOut explain a single point; LookOut and HiCS
+summarise the 2d-explained outliers. All share a warm LOF scorer, so the
+times reflect subspace-enumeration strategy (the paper's claim) rather
+than detector cost.
+"""
+
+import pytest
+
+from repro.detectors import LOF
+from repro.explainers import Beam, HiCS, LookOut, RefOut
+from repro.subspaces import SubspaceScorer
+
+
+@pytest.fixture(scope="module")
+def scorer(bench_dataset):
+    return SubspaceScorer(bench_dataset.X, LOF(k=15))
+
+
+@pytest.fixture(scope="module")
+def point(bench_dataset):
+    return bench_dataset.ground_truth.points_at(2)[0]
+
+
+@pytest.fixture(scope="module")
+def points(bench_dataset):
+    return bench_dataset.ground_truth.points_at(2)
+
+
+def test_beam_explain_one_point(benchmark, scorer, point):
+    explainer = Beam(beam_width=15, result_size=15)
+    result = benchmark(explainer.explain, scorer, point, 2)
+    assert len(result) > 0
+
+
+def test_refout_explain_one_point(benchmark, scorer, point):
+    explainer = RefOut(pool_size=30, beam_width=15, result_size=15, seed=0)
+    result = benchmark(explainer.explain, scorer, point, 2)
+    assert len(result) > 0
+
+
+def test_lookout_summarize(benchmark, scorer, points):
+    explainer = LookOut(budget=15)
+    result = benchmark(explainer.summarize, scorer, points, 2)
+    assert len(result) > 0
+
+
+def test_hics_summarize(benchmark, scorer, points):
+    explainer = HiCS(
+        mc_iterations=20, candidate_cutoff=12, result_size=15, seed=0
+    )
+    result = benchmark(explainer.summarize, scorer, points, 2)
+    assert len(result) > 0

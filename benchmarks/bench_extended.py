@@ -1,0 +1,27 @@
+"""Bench: the extended sweep (+SurrogateExplainer, +LODA).
+
+Asserts the extension's headline finding: the predictive surrogate matches
+the descriptive searchers on full-space outliers but collapses on subspace
+outliers, because it learns the full-space decision boundary where
+subspace outliers are masked.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import extended
+
+
+def _map_of(rows, dataset, pipeline):
+    for row in rows:
+        if row["dataset"] == dataset and row["pipeline"] == pipeline:
+            return row["map"]
+    raise AssertionError(f"missing cell {dataset}/{pipeline}")
+
+
+def test_extended(benchmark, smoke_profile):
+    report = run_once(benchmark, extended.run, smoke_profile)
+    assert _map_of(report.rows, "breast", "surrogate+lof") >= 0.8
+    assert _map_of(report.rows, "hics_14", "surrogate+lof") <= 0.2
+    assert _map_of(report.rows, "hics_14", "beam+lof") == 1.0
+    # Ten pipelines per dataset (5 explainers x 2 detectors).
+    datasets = {row["dataset"] for row in report.rows}
+    assert len(report.rows) == 10 * len(datasets)

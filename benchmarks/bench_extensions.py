@@ -1,0 +1,53 @@
+"""Benches for the future-work extensions: group explanation + streaming.
+
+Not paper artefacts — these time the extension subsystems end-to-end and
+pin their headline qualitative results (group purity on planted blocks;
+streaming recall with on-arrival explanations).
+"""
+
+from collections import Counter
+
+from benchmarks.conftest import run_once
+from repro.detectors import LOF
+from repro.explainers import Beam, GroupExplainer
+from repro.stream import StreamingDetector, StreamingExplainer, drifting_stream
+from repro.subspaces import SubspaceScorer
+
+
+def test_group_explanation(benchmark, bench_dataset):
+    scorer = SubspaceScorer(bench_dataset.X, LOF(k=15))
+
+    def run():
+        return GroupExplainer(max_groups=8, beam_width=20, seed=0).explain_groups(
+            scorer, bench_dataset.outliers, dimensionality=2
+        )
+
+    groups = run_once(benchmark, run)
+    gt = bench_dataset.ground_truth
+    pure = sum(
+        Counter(
+            tuple(gt.relevant_for(p)[0]) for p in g.points
+        ).most_common(1)[0][1]
+        for g in groups
+    )
+    assert pure / len(bench_dataset.outliers) >= 0.8
+
+
+def test_streaming_monitor(benchmark):
+    X, truth = drifting_stream(length=400, n_features=4, anomaly_every=50, seed=0)
+
+    def run():
+        detector = StreamingDetector(LOF(k=8), window_size=150, n_features=4)
+        monitor = StreamingExplainer(
+            detector,
+            Beam(beam_width=6, result_size=3),
+            threshold=2.5,
+            dimensionality=2,
+        )
+        monitor.consume(X)
+        return monitor.events
+
+    events = run_once(benchmark, run)
+    scored_truth = {a.index for a in truth if a.index >= 150}
+    detected = {e.index for e in events}
+    assert len(scored_truth & detected) / len(scored_truth) >= 0.5

@@ -1,0 +1,33 @@
+"""Bench: regenerate Figure 10 (MAP of HiCS & LookOut x detectors).
+
+Asserts the paper's headline shape at the narrowed smoke profile:
+
+* synthetic: HiCS+LOF and LookOut+LOF near-optimal at 2d;
+* real surrogate: HiCS poor (no correlation structure to exploit) while
+  LookOut+LOF stays strong.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import figure10
+
+
+def _map_of(rows, dataset, pipeline, dim):
+    for row in rows:
+        if (
+            row["dataset"] == dataset
+            and row["pipeline"] == pipeline
+            and row["dimensionality"] == dim
+        ):
+            return row["map"]
+    raise AssertionError(f"missing cell {dataset}/{pipeline}/{dim}")
+
+
+def test_figure10(benchmark, sweep_profile):
+    report = run_once(benchmark, figure10.run, sweep_profile)
+    assert _map_of(report.rows, "hics_14", "hics+lof", 2) == 1.0
+    assert _map_of(report.rows, "hics_14", "lookout+lof", 2) == 1.0
+    assert _map_of(report.rows, "breast", "lookout+lof", 2) >= 0.8
+    hics_real = _map_of(report.rows, "breast", "hics+lof", 2)
+    lookout_real = _map_of(report.rows, "breast", "lookout+lof", 2)
+    assert hics_real < lookout_real  # the paper's real-data ordering
+    assert len(report.rows) == 12

@@ -1,0 +1,32 @@
+"""Bench: regenerate Figure 8 (relevant-subspace dims + contamination).
+
+Runs at the paper profile for the synthetic datasets — Figure 8 is a
+structural property of the generators and cheap even at full scale — and
+asserts the paper's exact series: 4/7/12/22/31 relevant subspaces and
+2 -> 14.3 % contamination.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments import figure8, get_profile
+
+
+def test_figure8_paper_scale(benchmark):
+    report = run_once(benchmark, figure8.run, get_profile("paper"))
+    by_name = {row["dataset"]: row for row in report.rows}
+    totals = {
+        name: sum(v for k, v in row.items() if k.startswith("subspaces_"))
+        for name, row in by_name.items()
+    }
+    assert totals == {
+        "hics_14": 4,
+        "hics_23": 7,
+        "hics_39": 12,
+        "hics_70": 22,
+        "hics_100": 31,
+    }
+    contaminations = [
+        by_name[f"hics_{w}"]["contamination_pct"] for w in (14, 23, 39, 70, 100)
+    ]
+    assert contaminations == pytest.approx([2.0, 3.4, 5.9, 10.0, 14.3])

@@ -1,0 +1,32 @@
+"""Bench: regenerate Figure 9 (MAP of Beam & RefOut x detectors).
+
+Runs the point-explanation MAP sweep at the narrowed smoke profile and
+asserts the paper's headline shape for the covered panels:
+
+* synthetic (subspace outliers): the LOF pipelines achieve high MAP at 2d;
+* real surrogate (full-space outliers): Beam+LOF is optimal (its first
+  stage *is* the ground truth's exhaustive search).
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import figure9
+
+
+def _map_of(rows, dataset, pipeline, dim):
+    for row in rows:
+        if (
+            row["dataset"] == dataset
+            and row["pipeline"] == pipeline
+            and row["dimensionality"] == dim
+        ):
+            return row["map"]
+    raise AssertionError(f"missing cell {dataset}/{pipeline}/{dim}")
+
+
+def test_figure9(benchmark, sweep_profile):
+    report = run_once(benchmark, figure9.run, sweep_profile)
+    assert _map_of(report.rows, "hics_14", "beam+lof", 2) == 1.0
+    assert _map_of(report.rows, "breast", "beam+lof", 2) == 1.0
+    assert _map_of(report.rows, "hics_14", "refout+lof", 2) >= 0.5
+    # All twelve cells of the two panels ran.
+    assert len(report.rows) == 12

@@ -1,0 +1,20 @@
+"""Bench: regenerate Table 1 (dataset characteristics).
+
+At the smoke profile this times the dataset ``describe`` path; the
+assertions pin the characteristics the paper's Table 1 reports for the
+corresponding datasets.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import table1
+
+
+def test_table1(benchmark, smoke_profile):
+    report = run_once(benchmark, table1.run, smoke_profile)
+    by_name = {row["name"]: row for row in report.rows}
+    synthetic = by_name["hics_14"]
+    assert synthetic["n_relevant_subspaces"] == 4
+    assert synthetic["outliers_per_relevant_subspace"] == 5.0
+    real = by_name["breast"]
+    assert real["relevant_feature_ratio_pct"] == 100.0
+    assert 9.0 <= real["contamination_pct"] <= 11.0

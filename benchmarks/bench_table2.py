@@ -1,0 +1,24 @@
+"""Bench: regenerate Table 2 (effectiveness/efficiency tradeoffs).
+
+Runs the Figure 9/10/11 sweeps and the Pareto distillation in one timed
+unit, then asserts the structural properties the paper's Table 2 exhibits
+at the covered cells: a point-explanation pick and a summarisation pick
+exist for the easy (2d) cells, and LOF dominates the chosen pairs.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import table2
+
+
+def test_table2(benchmark, sweep_profile):
+    report = run_once(benchmark, table2.run, sweep_profile)
+    cells = {
+        (row["dimensionality"], row["ratio"]): row for row in report.rows
+    }
+    assert cells, "table 2 produced no cells"
+    cell_2d_full = cells[(2, "100%")]
+    assert cell_2d_full["point_pipeline"].endswith("+lof")
+    assert cell_2d_full["summary_pipeline"].endswith("+lof")
+    cell_2d_syn = cells[(2, "36%")]
+    assert cell_2d_syn["point_pipeline"]
+    assert cell_2d_syn["summary_pipeline"]

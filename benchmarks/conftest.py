@@ -1,0 +1,62 @@
+"""Shared fixtures for the benchmark suite.
+
+Benchmarks run the experiment reproductions at the ``smoke`` profile (with
+further narrowing where a sweep would dominate the suite's wall-clock) and
+time them once — these are end-to-end regeneration benches, not
+statistical micro-benchmarks. The detector/explainer micro-benches use
+pytest-benchmark's normal calibration.
+
+Datasets are materialised once per session so the benches time the
+*algorithms*, not dataset generation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_dataset
+from repro.experiments import get_profile
+
+
+@pytest.fixture(scope="session")
+def smoke_profile():
+    profile = get_profile("smoke")
+    # Materialise (and cache) the datasets outside the timed sections.
+    profile.all_datasets()
+    return profile
+
+
+@pytest.fixture(scope="session")
+def sweep_profile(smoke_profile):
+    """Smoke profile narrowed to a single explanation dimensionality.
+
+    The MAP/runtime sweeps multiply their cost by the number of
+    dimensionalities; one dimensionality preserves every code path while
+    keeping each figure bench tens of seconds.
+    """
+    return smoke_profile.scaled(explanation_dims=(2,))
+
+
+@pytest.fixture(scope="session")
+def bench_dataset():
+    """The 14d synthetic dataset at benchmark scale."""
+    return load_dataset("hics_14", n_samples=300)
+
+
+@pytest.fixture(scope="session")
+def detector_matrix():
+    """A 1000x5 matrix comparable to one paper subspace projection."""
+    rng = np.random.default_rng(0)
+    return np.vstack(
+        [
+            rng.normal(0.0, 0.3, size=(500, 5)),
+            rng.normal(5.0, 0.3, size=(495, 5)),
+            rng.uniform(-3.0, 8.0, size=(5, 5)),
+        ]
+    )
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Time ``func`` exactly once (end-to-end experiment benches)."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,64 @@
+"""The paper's central question: can any explainer ride any detector?
+
+Runs the full 12-pipeline grid (3 detectors x 4 explainers) on one
+synthetic and one real-surrogate dataset and prints the MAP matrix —
+a miniature of the paper's Figures 9 and 10 that makes the answer
+visible: pipelines are NOT interchangeable, and the best pairing depends
+on the outlier type.
+
+Run:  python examples/detector_explainer_matrix.py
+"""
+
+from repro.datasets import load_dataset
+from repro.detectors import FastABOD, IsolationForest, LOF
+from repro.explainers import Beam, HiCS, LookOut, RefOut
+from repro.pipeline import GridRunner
+
+
+def main() -> None:
+    datasets = [
+        load_dataset("hics_14", n_samples=400),
+        load_dataset("breast", n_features=10, gt_dimensionalities=(2,)),
+    ]
+    detectors = [
+        LOF(k=15),
+        FastABOD(k=10),
+        IsolationForest(n_trees=30, n_repeats=1, seed=0),
+    ]
+    factories = [
+        lambda: Beam(beam_width=20, result_size=20),
+        lambda: RefOut(pool_size=40, beam_width=20, result_size=20, seed=0),
+        lambda: LookOut(budget=20),
+        lambda: HiCS(mc_iterations=25, candidate_cutoff=15,
+                     result_size=20, seed=0),
+    ]
+
+    runner = GridRunner(
+        detectors,
+        factories,
+        points_selector=lambda ds, dim: ds.ground_truth.points_at(dim)[:8],
+    )
+    results = runner.run(datasets, [2])
+
+    for dataset in datasets:
+        subset = results.filter(dataset=dataset.name)
+        print(
+            subset.to_ascii(
+                rows="explainer",
+                cols="detector",
+                value="map",
+                title=(
+                    f"{dataset.name} ({dataset.kind} outliers) — "
+                    "MAP of 2d explanations"
+                ),
+            )
+        )
+        print()
+
+    print("Reading: on subspace outliers (hics_14) the LOF pairings win;")
+    print("on full-space outliers (breast surrogate) HiCS collapses while")
+    print("Beam/LookOut with LOF stay optimal — the paper's Table 2 story.")
+
+
+if __name__ == "__main__":
+    main()

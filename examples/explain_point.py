@@ -1,0 +1,62 @@
+"""Point explanation on a paper testbed dataset: Beam vs RefOut.
+
+Loads the 23-feature HiCS synthetic dataset (subspace outliers hidden in
+disjoint correlated feature blocks), picks outliers explained at 2d and
+3d according to the ground truth, and compares the two point-explanation
+algorithms across two detectors — the core of the paper's Figure 9.
+
+Run:  python examples/explain_point.py
+"""
+
+from repro.datasets import load_dataset
+from repro.detectors import FastABOD, LOF
+from repro.explainers import Beam, RefOut
+from repro.metrics import evaluate_point_explanations
+from repro.subspaces import SubspaceScorer
+
+
+def main() -> None:
+    dataset = load_dataset("hics_23", n_samples=600)
+    gt = dataset.ground_truth
+    print(f"{dataset.name}: {dataset.n_samples} points, "
+          f"{dataset.n_features} features, {len(dataset.outliers)} outliers")
+    print(f"relevant subspaces: {[tuple(s) for s in gt.subspaces()]}\n")
+
+    explainers = [
+        Beam(beam_width=40, result_size=20),
+        RefOut(pool_size=60, beam_width=40, result_size=20, seed=0),
+    ]
+    # One scorer per detector: its cache is shared by both explainers and
+    # both dimensionality sweeps, exactly as the testbed amortises cost.
+    scorers = [
+        SubspaceScorer(dataset.X, LOF(k=15)),
+        SubspaceScorer(dataset.X, FastABOD(k=10)),
+    ]
+
+    for dimensionality in (2, 3):
+        points = gt.points_at(dimensionality)[:5]
+        print(f"--- {dimensionality}d explanations "
+              f"({len(points)} points) ---")
+        for scorer in scorers:
+            detector = scorer.detector
+            for explainer in explainers:
+                explanations = explainer.explain_points(
+                    scorer, points, dimensionality
+                )
+                result = evaluate_point_explanations(
+                    dict(explanations), gt, dimensionality, points=points
+                )
+                sample_point = points[0]
+                top = explanations[sample_point].subspaces[0]
+                truth = gt.relevant_at(sample_point, dimensionality)[0]
+                print(
+                    f"  {explainer.name:7s} + {detector.name:9s} "
+                    f"MAP={result.map:.2f}  recall={result.mean_recall:.2f}  "
+                    f"(point {sample_point}: found {tuple(top)}, "
+                    f"truth {tuple(truth)})"
+                )
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""Group-based explanation: who deviates together, and why.
+
+Twenty outliers hide in the four disjoint relevant subspaces of the 14d
+synthetic dataset. Instead of twenty per-point reports (Beam/RefOut) or a
+single global summary (LookOut/HiCS), the GroupExplainer clusters the
+outliers by their explanation signatures and gives each group its own
+subspace ranking — the paper's Section-6 extension made runnable.
+
+Run:  python examples/group_explanations.py
+"""
+
+from collections import Counter
+
+from repro.datasets import load_dataset
+from repro.detectors import LOF
+from repro.explainers import GroupExplainer
+from repro.subspaces import SubspaceScorer
+
+
+def main() -> None:
+    dataset = load_dataset("hics_14", n_samples=300)
+    gt = dataset.ground_truth
+    scorer = SubspaceScorer(dataset.X, LOF(k=15))
+
+    print(f"{dataset.name}: {len(dataset.outliers)} outliers planted in "
+          f"{len(gt.subspaces())} disjoint subspaces:")
+    for subspace in gt.subspaces():
+        print(f"  {tuple(subspace)} explains outliers "
+              f"{gt.outliers_of(subspace)}")
+
+    explainer = GroupExplainer(max_groups=8, beam_width=30, seed=0)
+    groups = explainer.explain_groups(scorer, dataset.outliers, dimensionality=2)
+
+    print(f"\nGroupExplainer found {len(groups)} groups:")
+    for i, group in enumerate(groups, start=1):
+        top_subspace, top_score = group.explanation[0]
+        truths = [tuple(gt.relevant_for(p)[0]) for p in group.points]
+        majority, majority_count = Counter(truths).most_common(1)[0]
+        aligned = set(top_subspace) <= set(majority)
+        print(f"  group {i}: points {group.points}")
+        print(f"           explained by {tuple(top_subspace)} "
+              f"(group score {top_score:.1f}) — "
+              f"{'consistent with' if aligned else 'differs from'} the "
+              f"planted block {majority} "
+              f"({majority_count}/{len(group.points)} members)")
+
+    pure = sum(
+        Counter(tuple(gt.relevant_for(p)[0]) for p in g.points).most_common(1)[0][1]
+        for g in groups
+    )
+    print(f"\ngroup purity: {pure}/{len(dataset.outliers)} outliers sit in a "
+          f"group dominated by their own block")
+
+
+if __name__ == "__main__":
+    main()

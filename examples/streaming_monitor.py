@@ -1,0 +1,72 @@
+"""Streaming detection + explanation with concept drift.
+
+The paper's future-work direction made concrete: a windowed LOF scores
+each arriving point against recent history; when a point crosses the
+z-threshold, Beam explains it on the spot and the event names the feature
+pair whose joint structure the point broke. Halfway through, the stream's
+underlying concept drifts — the monitor flags the change and then adapts
+as the window refills.
+
+Note the window-mixing effect around the drift: while old- and new-concept
+points share the window, the score distribution is inflated and genuine
+injections near the transition are partially masked — the streaming
+analogue of the paper's "outliers masked by inliers" discussion.
+
+Run:  python examples/streaming_monitor.py
+"""
+
+import numpy as np
+
+from repro.detectors import LOF
+from repro.explainers import Beam
+from repro.stream import StreamingDetector, StreamingExplainer, drifting_stream
+
+
+def main() -> None:
+    X, injected = drifting_stream(
+        length=700,
+        n_features=4,
+        anomaly_every=60,
+        drift_at=350,
+        seed=0,
+    )
+    truth = {a.index: a.subspace for a in injected}
+    print(f"stream: {X.shape[0]} arrivals, {X.shape[1]} features, "
+          f"{len(truth)} injected anomalies, concept drift at t=350\n")
+
+    detector = StreamingDetector(LOF(k=6), window_size=150, n_features=4)
+    monitor = StreamingExplainer(
+        detector,
+        Beam(beam_width=8, result_size=3),
+        threshold=2.2,
+        dimensionality=2,
+    )
+
+    for t, point in enumerate(X):
+        event = monitor.update(point)
+        if event is None:
+            continue
+        subspace = tuple(event.explanation.subspaces[0])
+        if t in truth:
+            verdict = (
+                "matches injection"
+                if event.explanation.subspaces[0] == truth[t]
+                else f"injection was {tuple(truth[t])}"
+            )
+        elif abs(t - 350) <= 20:
+            verdict = "concept drift!"
+        else:
+            verdict = "false alarm"
+        print(f"  t={t:3d}  z={event.score:5.2f}  "
+              f"blames {subspace}  [{verdict}]")
+
+    detected = {e.index for e in monitor.events}
+    scored_truth = {i for i in truth if i >= 150}  # post-warmup injections
+    hits = scored_truth & detected
+    print(f"\ndetected {len(hits)}/{len(scored_truth)} scored injections, "
+          f"{len(detected - set(truth))} other alarms "
+          f"(drift transients included)")
+
+
+if __name__ == "__main__":
+    main()

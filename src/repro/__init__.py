@@ -1,0 +1,74 @@
+"""repro — anomaly explanation algorithms and their comparative evaluation.
+
+Reproduction of Myrtakis, Christophides & Simon, *A Comparative Evaluation
+of Anomaly Explanation Algorithms*, EDBT 2021.
+
+Public API (stable):
+
+* Detectors: :class:`~repro.detectors.LOF`,
+  :class:`~repro.detectors.FastABOD`,
+  :class:`~repro.detectors.IsolationForest` (plus
+  :class:`~repro.detectors.KNNDetector`,
+  :class:`~repro.detectors.MahalanobisDetector` extensions).
+* Explainers: :class:`~repro.explainers.Beam`,
+  :class:`~repro.explainers.RefOut` (point explanation);
+  :class:`~repro.explainers.LookOut`, :class:`~repro.explainers.HiCS`
+  (explanation summarisation).
+* Datasets: :func:`~repro.datasets.make_hics_dataset`,
+  :func:`~repro.datasets.make_realistic_dataset`,
+  :func:`~repro.datasets.load_dataset`.
+* Evaluation: :func:`~repro.metrics.mean_average_precision`,
+  :func:`~repro.metrics.mean_recall`,
+  :class:`~repro.pipeline.ExplanationPipeline`.
+"""
+
+from repro.exceptions import (
+    ExperimentError,
+    GroundTruthError,
+    NotFittedError,
+    ReproError,
+    SubspaceError,
+    ValidationError,
+)
+from repro.version import __version__
+
+__all__ = [
+    "ExperimentError",
+    "GroundTruthError",
+    "NotFittedError",
+    "ReproError",
+    "SubspaceError",
+    "ValidationError",
+    "__version__",
+]
+
+
+def _lazy_public_api() -> dict[str, object]:
+    """Import the heavier public symbols on first attribute access.
+
+    Uses ``importlib`` directly: a ``from repro import ...`` here would
+    re-enter this module's ``__getattr__`` through importlib's fromlist
+    handling and recurse.
+    """
+    import importlib
+
+    symbols: dict[str, object] = {}
+    for module_name in (
+        "repro.detectors",
+        "repro.explainers",
+        "repro.datasets",
+        "repro.metrics",
+        "repro.pipeline",
+        "repro.subspaces",
+    ):
+        module = importlib.import_module(module_name)
+        for name in module.__all__:
+            symbols[name] = getattr(module, name)
+    return symbols
+
+
+def __getattr__(name: str) -> object:
+    symbols = _lazy_public_api()
+    if name in symbols:
+        return symbols[name]
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

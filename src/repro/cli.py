@@ -1,0 +1,86 @@
+"""Command-line interface: reproduce any paper artefact from the shell.
+
+Examples
+--------
+::
+
+    python -m repro table1 --profile paper
+    python -m repro figure9 --profile quick --csv figure9.csv
+    python -m repro all --profile smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.experiments import EXPERIMENTS, PROFILES, table2
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description=(
+            "Reproduce the tables and figures of 'A Comparative Evaluation "
+            "of Anomaly Explanation Algorithms' (EDBT 2021)."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="which paper artefact to regenerate",
+    )
+    parser.add_argument(
+        "--profile",
+        default="quick",
+        choices=sorted(PROFILES),
+        help="scale of the run (default: quick; 'paper' is slow)",
+    )
+    parser.add_argument(
+        "--csv",
+        default=None,
+        metavar="PATH",
+        help="also write the artefact rows as CSV to PATH",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+
+    reports = []
+    shared: dict[str, object] = {}
+    for name in names:
+        if name == "table2" and {"figure9", "figure10", "figure11"} <= shared.keys():
+            # Reuse sweeps already run in this invocation.
+            report = table2.run(
+                args.profile,
+                figure9_report=shared["figure9"],  # type: ignore[arg-type]
+                figure10_report=shared["figure10"],  # type: ignore[arg-type]
+                figure11_report=shared["figure11"],  # type: ignore[arg-type]
+            )
+        else:
+            report = EXPERIMENTS[name](args.profile)
+        shared[name] = report
+        reports.append(report)
+        print(report.render())
+        print()
+
+    if args.csv is not None:
+        if len(reports) == 1:
+            reports[0].write_csv(args.csv)
+        else:
+            for report in reports:
+                path = f"{args.csv.removesuffix('.csv')}_{report.experiment}.csv"
+                report.write_csv(path)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,12 @@
+"""Clustering substrate for group-based explanation.
+
+The paper's Section 6 lists group-based explanation summarisation (Macha &
+Akoglu's characterising-subspace rules) as a planned testbed extension;
+:mod:`repro.explainers.groups` implements a variant of it, and this
+package supplies the clustering it needs: seeded k-means with k-means++
+initialisation and silhouette-based model selection — all from scratch.
+"""
+
+from repro.cluster.kmeans import KMeans, select_n_clusters, silhouette_score
+
+__all__ = ["KMeans", "select_n_clusters", "silhouette_score"]

@@ -1,0 +1,166 @@
+"""Seeded k-means (Lloyd's algorithm, k-means++ init) and silhouettes.
+
+Small and deterministic by construction: initialisation uses k-means++
+with a caller-supplied seed, iteration stops on assignment fixpoint, and
+empty clusters are re-seeded with the point farthest from its centroid —
+so the group explainer built on top is reproducible run-to-run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import NotFittedError, ValidationError
+from repro.neighbors.distance import euclidean_cdist, euclidean_pdist_matrix
+from repro.utils.rng import as_rng
+from repro.utils.validation import check_matrix, check_positive_int
+
+__all__ = ["KMeans", "select_n_clusters", "silhouette_score"]
+
+_MAX_ITER = 100
+
+
+class KMeans:
+    """Lloyd's k-means with k-means++ initialisation.
+
+    Parameters
+    ----------
+    n_clusters:
+        Number of clusters.
+    seed:
+        Seed for the k-means++ draws.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> X = np.array([[0.0], [0.1], [5.0], [5.1]])
+    >>> labels = KMeans(n_clusters=2, seed=0).fit_predict(X)
+    >>> bool(labels[0] == labels[1] and labels[2] == labels[3])
+    True
+    >>> bool(labels[0] != labels[2])
+    True
+    """
+
+    def __init__(self, n_clusters: int, seed: int = 0) -> None:
+        self.n_clusters = check_positive_int(n_clusters, name="n_clusters")
+        self.seed = int(seed)
+        self.centroids: np.ndarray | None = None
+        self.inertia: float | None = None
+
+    def fit_predict(self, X: np.ndarray) -> np.ndarray:
+        """Cluster the rows of ``X``; return one label per row."""
+        X = check_matrix(X, name="X", min_rows=1)
+        if self.n_clusters > X.shape[0]:
+            raise ValidationError(
+                f"n_clusters={self.n_clusters} exceeds {X.shape[0]} points"
+            )
+        rng = as_rng(np.random.SeedSequence([0x6B3A, self.seed]))
+        centroids = _kmeanspp(X, self.n_clusters, rng)
+        labels = np.zeros(X.shape[0], dtype=np.int64) - 1
+        for _ in range(_MAX_ITER):
+            distances = euclidean_cdist(X, centroids)
+            new_labels = distances.argmin(axis=1)
+            if (new_labels == labels).all():
+                break
+            labels = new_labels
+            for cluster in range(self.n_clusters):
+                members = X[labels == cluster]
+                if members.shape[0] == 0:
+                    # Re-seed an empty cluster with the worst-fitted point.
+                    worst = int(
+                        np.argmax(distances[np.arange(X.shape[0]), labels])
+                    )
+                    centroids[cluster] = X[worst]
+                else:
+                    centroids[cluster] = members.mean(axis=0)
+        self.centroids = centroids
+        final = euclidean_cdist(X, centroids)
+        self.inertia = float(
+            (final[np.arange(X.shape[0]), labels] ** 2).sum()
+        )
+        return labels
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Assign new rows to the fitted centroids."""
+        if self.centroids is None:
+            raise NotFittedError("KMeans.fit_predict has not been called")
+        X = check_matrix(X, name="X")
+        return euclidean_cdist(X, self.centroids).argmin(axis=1)
+
+
+def silhouette_score(X: np.ndarray, labels: np.ndarray) -> float:
+    """Mean silhouette coefficient of a labelling (needs >= 2 clusters).
+
+    ``s(i) = (b(i) - a(i)) / max(a(i), b(i))`` with ``a`` the mean
+    intra-cluster distance and ``b`` the mean distance to the nearest
+    other cluster. Singleton clusters contribute 0, per convention.
+    """
+    X = check_matrix(X, name="X", min_rows=2)
+    labels = np.asarray(labels)
+    clusters = np.unique(labels)
+    if clusters.shape[0] < 2:
+        raise ValidationError("silhouette requires at least 2 clusters")
+    D = euclidean_pdist_matrix(X)
+    scores = np.zeros(X.shape[0])
+    for i in range(X.shape[0]):
+        own = labels == labels[i]
+        n_own = int(own.sum())
+        if n_own <= 1:
+            continue  # singleton: silhouette 0
+        a = D[i, own].sum() / (n_own - 1)
+        b = min(
+            D[i, labels == other].mean()
+            for other in clusters
+            if other != labels[i]
+        )
+        denom = max(a, b)
+        if denom > 0:
+            scores[i] = (b - a) / denom
+    return float(scores.mean())
+
+
+def select_n_clusters(
+    X: np.ndarray,
+    max_clusters: int,
+    seed: int = 0,
+) -> tuple[int, np.ndarray]:
+    """Choose k in [1, max_clusters] by silhouette; return (k, labels).
+
+    ``k = 1`` is chosen when no multi-cluster solution achieves a positive
+    silhouette (the data shows no group structure).
+    """
+    X = check_matrix(X, name="X", min_rows=1)
+    max_clusters = check_positive_int(max_clusters, name="max_clusters")
+    max_clusters = min(max_clusters, X.shape[0])
+    best_k = 1
+    best_labels = np.zeros(X.shape[0], dtype=np.int64)
+    best_score = 0.0
+    for k in range(2, max_clusters + 1):
+        labels = KMeans(n_clusters=k, seed=seed).fit_predict(X)
+        if np.unique(labels).shape[0] < 2:
+            continue
+        score = silhouette_score(X, labels)
+        if score > best_score + 1e-12:
+            best_k, best_labels, best_score = k, labels, score
+    return best_k, best_labels
+
+
+def _kmeanspp(
+    X: np.ndarray, k: int, rng: np.random.Generator
+) -> np.ndarray:
+    """k-means++ seeding: spread initial centroids by squared distance."""
+    n = X.shape[0]
+    centroids = np.empty((k, X.shape[1]))
+    centroids[0] = X[int(rng.integers(n))]
+    closest_sq = euclidean_cdist(X, centroids[:1]).ravel() ** 2
+    for i in range(1, k):
+        total = closest_sq.sum()
+        if total <= 0:
+            centroids[i:] = X[int(rng.integers(n))]
+            break
+        probabilities = closest_sq / total
+        choice = int(rng.choice(n, p=probabilities))
+        centroids[i] = X[choice]
+        new_sq = euclidean_cdist(X, centroids[i : i + 1]).ravel() ** 2
+        closest_sq = np.minimum(closest_sq, new_sq)
+    return centroids

@@ -1,0 +1,39 @@
+"""Testbed datasets: HiCS-style synthetics, real-data surrogates, ground truth."""
+
+from repro.datasets.base import Dataset, GroundTruth
+from repro.datasets.ground_truth import (
+    exhaustive_ground_truth,
+    top_outliers_per_subspace,
+    verify_separability,
+)
+from repro.datasets.realistic import REALISTIC_SHAPES, make_realistic_dataset
+from repro.datasets.registry import (
+    DATASET_NAMES,
+    clear_cache,
+    dataset_names,
+    load_dataset,
+)
+from repro.datasets.synthetic import (
+    HICS_DIMENSIONS,
+    HICS_SEGMENTS,
+    hics_block_layout,
+    make_hics_dataset,
+)
+
+__all__ = [
+    "DATASET_NAMES",
+    "Dataset",
+    "GroundTruth",
+    "HICS_DIMENSIONS",
+    "HICS_SEGMENTS",
+    "REALISTIC_SHAPES",
+    "clear_cache",
+    "dataset_names",
+    "exhaustive_ground_truth",
+    "hics_block_layout",
+    "load_dataset",
+    "make_hics_dataset",
+    "make_realistic_dataset",
+    "top_outliers_per_subspace",
+    "verify_separability",
+]

@@ -1,0 +1,220 @@
+"""Dataset and ground-truth value types.
+
+A testbed dataset couples a data matrix with the *points of interest*
+(outliers to explain) and a :class:`GroundTruth`: for every outlier, the
+set of subspaces that genuinely explain its outlyingness. The evaluation
+metrics (paper Section 3.3) compare explainer output against this ground
+truth, filtered by explanation dimensionality — a point only participates
+in the MAP at dimensionality ``m`` if its ground truth contains an ``m``-d
+subspace.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import GroundTruthError
+from repro.subspaces.subspace import Subspace, as_subspace
+from repro.utils.validation import check_matrix
+
+__all__ = ["Dataset", "GroundTruth"]
+
+
+class GroundTruth:
+    """Relevant subspaces per outlier point (REL_p in the paper).
+
+    Parameters
+    ----------
+    relevant:
+        Mapping from point index to the subspaces explaining it. Values
+        may be any iterables of feature indices; they are normalised to
+        :class:`~repro.subspaces.Subspace` and deduplicated.
+    """
+
+    def __init__(self, relevant: Mapping[int, Iterable[object]]) -> None:
+        normalised: dict[int, tuple[Subspace, ...]] = {}
+        for point, subspaces in relevant.items():
+            subs = tuple(sorted({as_subspace(s) for s in subspaces}))
+            if not subs:
+                raise GroundTruthError(f"point {point} has no relevant subspaces")
+            normalised[int(point)] = subs
+        if not normalised:
+            raise GroundTruthError("ground truth must cover at least one point")
+        self._relevant = normalised
+
+    @property
+    def points(self) -> tuple[int, ...]:
+        """All points covered by the ground truth, ascending."""
+        return tuple(sorted(self._relevant))
+
+    def relevant_for(self, point: int) -> tuple[Subspace, ...]:
+        """All relevant subspaces of ``point`` (any dimensionality)."""
+        try:
+            return self._relevant[int(point)]
+        except KeyError:
+            raise GroundTruthError(f"point {point} has no ground truth") from None
+
+    def relevant_at(self, point: int, dimensionality: int) -> tuple[Subspace, ...]:
+        """Relevant subspaces of ``point`` with exactly ``dimensionality`` features."""
+        return tuple(
+            s for s in self.relevant_for(point) if len(s) == int(dimensionality)
+        )
+
+    def points_at(self, dimensionality: int) -> tuple[int, ...]:
+        """Points explained at ``dimensionality`` according to the ground truth.
+
+        These are the points over which MAP/recall are averaged at that
+        explanation dimensionality (paper Section 3.3).
+        """
+        return tuple(
+            p for p in self.points if self.relevant_at(p, dimensionality)
+        )
+
+    def dimensionalities(self) -> tuple[int, ...]:
+        """Sorted distinct dimensionalities appearing in the ground truth."""
+        return tuple(
+            sorted({len(s) for subs in self._relevant.values() for s in subs})
+        )
+
+    def subspaces(self) -> tuple[Subspace, ...]:
+        """Sorted distinct relevant subspaces across all points."""
+        return tuple(
+            sorted({s for subs in self._relevant.values() for s in subs})
+        )
+
+    def outliers_of(self, subspace: Iterable[int]) -> tuple[int, ...]:
+        """Points for which ``subspace`` is relevant."""
+        target = as_subspace(subspace)
+        return tuple(
+            p for p, subs in sorted(self._relevant.items()) if target in subs
+        )
+
+    def __len__(self) -> int:
+        return len(self._relevant)
+
+    def __contains__(self, point: int) -> bool:
+        return int(point) in self._relevant
+
+    def __repr__(self) -> str:
+        return (
+            f"GroundTruth({len(self)} points, "
+            f"{len(self.subspaces())} subspaces, dims={self.dimensionalities()})"
+        )
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """A testbed dataset: data, points of interest, ground truth.
+
+    Attributes
+    ----------
+    name:
+        Registry name, e.g. ``"hics_23"`` or ``"breast"``.
+    X:
+        Data matrix ``(n_samples, n_features)``.
+    outliers:
+        Indices of the points of interest (to be explained).
+    ground_truth:
+        Relevant subspaces per outlier.
+    kind:
+        ``"subspace"`` for HiCS-style subspace outliers, ``"full_space"``
+        for outliers visible in the full feature space.
+    metadata:
+        Free-form generator provenance (seeds, block layout, ...).
+    """
+
+    name: str
+    X: np.ndarray
+    outliers: tuple[int, ...]
+    ground_truth: GroundTruth
+    kind: str = "subspace"
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        X = check_matrix(self.X, name="X", min_rows=2)
+        object.__setattr__(self, "X", X)
+        object.__setattr__(
+            self, "outliers", tuple(sorted(int(o) for o in self.outliers))
+        )
+        if self.kind not in ("subspace", "full_space"):
+            raise GroundTruthError(
+                f"kind must be 'subspace' or 'full_space', got {self.kind!r}"
+            )
+        n = X.shape[0]
+        bad = [o for o in self.outliers if not 0 <= o < n]
+        if bad:
+            raise GroundTruthError(f"outlier indices {bad} out of range for {n} samples")
+        if len(set(self.outliers)) != len(self.outliers):
+            raise GroundTruthError("outlier indices contain duplicates")
+        missing = [o for o in self.outliers if o not in self.ground_truth]
+        if missing:
+            raise GroundTruthError(
+                f"outliers {missing} lack ground-truth subspaces"
+            )
+        for point in self.ground_truth.points:
+            for subspace in self.ground_truth.relevant_for(point):
+                subspace.validate_against(X.shape[1])
+
+    @property
+    def n_samples(self) -> int:
+        """Number of points."""
+        return self.X.shape[0]
+
+    @property
+    def n_features(self) -> int:
+        """Number of features."""
+        return self.X.shape[1]
+
+    @property
+    def contamination(self) -> float:
+        """Fraction of points of interest."""
+        return len(self.outliers) / self.n_samples
+
+    @property
+    def relevant_feature_ratio(self) -> float:
+        """The paper's "% relevant feature ratio" (Table 1 / Table 2 axis).
+
+        Full-space outliers deviate in *every* feature, so the ratio is
+        100 % for ``full_space`` datasets; for subspace outliers it is the
+        maximum ground-truth dimensionality over the dataset width (e.g.
+        5d explanations in a 14d dataset → ~35 %).
+        """
+        if self.kind == "full_space":
+            return 1.0
+        dims = self.ground_truth.dimensionalities()
+        return max(dims) / self.n_features
+
+    def describe(self) -> dict[str, object]:
+        """Table-1-style characteristics of this dataset."""
+        gt = self.ground_truth
+        subspaces = gt.subspaces()
+        per_point = [len(gt.relevant_for(p)) for p in gt.points]
+        outliers_per_subspace = [len(gt.outliers_of(s)) for s in subspaces]
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "n_samples": self.n_samples,
+            "n_features": self.n_features,
+            "n_outliers": len(self.outliers),
+            "contamination_pct": round(100.0 * self.contamination, 1),
+            "n_relevant_subspaces": len(subspaces),
+            "explanation_dimensionalities": gt.dimensionalities(),
+            "relevant_subspaces_per_outlier": round(
+                sum(per_point) / len(per_point), 2
+            ),
+            "outliers_per_relevant_subspace": round(
+                sum(outliers_per_subspace) / len(outliers_per_subspace), 2
+            ),
+            "relevant_feature_ratio_pct": round(
+                100.0 * self.relevant_feature_ratio, 1
+            ),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Dataset(name={self.name!r}, shape={self.X.shape}, "
+            f"outliers={len(self.outliers)}, kind={self.kind!r})"
+        )

@@ -1,0 +1,100 @@
+"""Named dataset registry with in-process caching.
+
+The experiment harness refers to the testbed's eight datasets by the names
+the paper uses. Construction (especially the exhaustive ground-truth
+search of the realistic surrogates) is expensive, so built datasets are
+memoised per exact parameterisation.
+
+>>> from repro.datasets import load_dataset
+>>> load_dataset("hics_14").describe()["n_outliers"]
+20
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.datasets.base import Dataset
+from repro.datasets.realistic import REALISTIC_SHAPES, make_realistic_dataset
+from repro.datasets.synthetic import HICS_DIMENSIONS, make_hics_dataset
+from repro.exceptions import ValidationError
+
+__all__ = ["DATASET_NAMES", "dataset_names", "load_dataset"]
+
+#: All registry names: five synthetic + three realistic surrogates.
+DATASET_NAMES: tuple[str, ...] = tuple(
+    [f"hics_{d}" for d in HICS_DIMENSIONS] + sorted(REALISTIC_SHAPES)
+)
+
+_CACHE: dict[tuple, Dataset] = {}
+
+
+def dataset_names(kind: str | None = None) -> tuple[str, ...]:
+    """Registry names, optionally filtered by kind.
+
+    Parameters
+    ----------
+    kind:
+        ``"subspace"`` for the HiCS synthetics, ``"full_space"`` for the
+        realistic surrogates, ``None`` for all.
+    """
+    if kind is None:
+        return DATASET_NAMES
+    if kind == "subspace":
+        return tuple(n for n in DATASET_NAMES if n.startswith("hics_"))
+    if kind == "full_space":
+        return tuple(n for n in DATASET_NAMES if not n.startswith("hics_"))
+    raise ValidationError(
+        f"kind must be 'subspace', 'full_space' or None, got {kind!r}"
+    )
+
+
+def load_dataset(name: str, *, seed: int = 0, **overrides: object) -> Dataset:
+    """Build (or fetch from cache) a registry dataset by name.
+
+    Parameters
+    ----------
+    name:
+        One of :data:`DATASET_NAMES`.
+    seed:
+        Generator seed.
+    overrides:
+        Forwarded to the underlying generator — e.g.
+        ``load_dataset("breast", n_features=12, gt_dimensionalities=(2, 3))``
+        for a smoke-scale surrogate, or
+        ``load_dataset("hics_14", n_samples=500)``.
+    """
+    key = (name, seed, tuple(sorted(overrides.items())))
+    if key in _CACHE:
+        return _CACHE[key]
+    builder = _builder_for(name)
+    dataset = builder(seed, overrides)
+    _CACHE[key] = dataset
+    return dataset
+
+
+def clear_cache() -> None:
+    """Drop all memoised datasets (mainly for tests)."""
+    _CACHE.clear()
+
+
+__all__.append("clear_cache")
+
+
+def _builder_for(name: str) -> Callable[[int, dict], Dataset]:
+    if name.startswith("hics_"):
+        try:
+            width = int(name.removeprefix("hics_"))
+        except ValueError:
+            raise ValidationError(f"unknown dataset name {name!r}") from None
+        if width not in HICS_DIMENSIONS:
+            raise ValidationError(
+                f"unknown dataset name {name!r}; synthetic widths are "
+                f"{HICS_DIMENSIONS}"
+            )
+        return lambda seed, kw: make_hics_dataset(width, seed=seed, **kw)
+    if name in REALISTIC_SHAPES:
+        return lambda seed, kw: make_realistic_dataset(name, seed=seed, **kw)
+    raise ValidationError(
+        f"unknown dataset name {name!r}; expected one of {DATASET_NAMES}"
+    )

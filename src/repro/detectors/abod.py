@@ -1,0 +1,91 @@
+"""Fast Angle-Based Outlier Detection (Kriegel et al., KDD 2008).
+
+A point surrounded by neighbours in many directions sees a high variance of
+angles to pairs of other points; a point at the border of the distribution
+sees its neighbours in similar directions, hence a *small* angle variance.
+Fast ABOD restricts the pairs to the k nearest neighbours, reducing the
+cubic cost of exact ABOD to :math:`O(k^2 N + N^2)`.
+
+The angle-based outlier factor for point :math:`o` over neighbour pairs
+:math:`x_1, x_2` is (paper Section 2.1):
+
+.. math::
+
+    \\mathrm{ABOF}(o) = \\operatorname{Var}_{x_1, x_2}
+        \\frac{\\langle \\vec{o x_1}, \\vec{o x_2} \\rangle}
+             {\\lVert \\vec{o x_1} \\rVert^2 \\cdot \\lVert \\vec{o x_2} \\rVert^2}
+
+Since *small* ABOF means *more* outlying, :meth:`FastABOD.score` returns
+``-log(ABOF)`` to satisfy the library's higher-is-more-outlying convention.
+The logarithm is a strictly monotone transform — ABOD's *ranking* of points
+is exactly preserved — but it matters for the testbed: raw ABOF values span
+many orders of magnitude (angle ratios scale with inverse squared
+distances), so the z-score standardisation the explainers apply
+(Section 2.2) would otherwise collapse the outliers' standardised scores
+into the noise. This mirrors how the original ABOD paper plots ABOF on a
+log scale.
+
+The paper's testbed uses ``k = 10``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.detectors.base import Detector
+from repro.neighbors.knn import KNNIndex
+from repro.utils.validation import check_positive_int
+
+__all__ = ["FastABOD"]
+
+# Guards divisions when a neighbour coincides with the evaluated point.
+_EPS = 1e-12
+
+
+class FastABOD(Detector):
+    """Fast Angle-Based Outlier Detector.
+
+    Parameters
+    ----------
+    k:
+        Number of nearest neighbours whose pairs form the angle sample
+        (default 10, the paper's setting). Needs ``k >= 2`` for at least
+        one pair.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> rng = np.random.default_rng(3)
+    >>> X = np.vstack([rng.normal(0, 0.3, size=(80, 2)), [[5.0, 5.0]]])
+    >>> scores = FastABOD(k=10).score(X)
+    >>> int(np.argmax(scores))
+    80
+    """
+
+    name = "fast_abod"
+
+    def __init__(self, k: int = 10) -> None:
+        self.k = check_positive_int(k, name="k", minimum=2)
+
+    def _params(self) -> dict[str, object]:
+        return {"k": self.k}
+
+    def _score_validated(self, X: np.ndarray) -> np.ndarray:
+        n = X.shape[0]
+        k = min(self.k, n - 1)
+        if k < 2:
+            # Two points only: no angle pairs exist; nobody stands out.
+            return np.zeros(n)
+        neigh_idx, _ = KNNIndex(X).kneighbors(k)
+        pair_i, pair_j = np.triu_indices(k, k=1)
+        abof = np.empty(n)
+        for p in range(n):
+            vectors = X[neigh_idx[p]] - X[p]
+            sq_norms = np.einsum("ij,ij->i", vectors, vectors)
+            dots = vectors @ vectors.T
+            weights = sq_norms[pair_i] * sq_norms[pair_j]
+            ratios = dots[pair_i, pair_j] / np.maximum(weights, _EPS)
+            abof[p] = np.var(ratios)
+        # Low angle variance = outlier; the monotone -log keeps ABOD's
+        # ranking while taming the heavy tail for z-standardisation.
+        return -np.log(abof + _EPS)

@@ -1,0 +1,85 @@
+"""Detector protocol shared by all unsupervised outlier detectors.
+
+Design notes
+------------
+The explanation algorithms repeatedly re-score *projections* of the same
+dataset onto thousands of candidate subspaces, so the detector interface is
+a single stateless call :meth:`Detector.score` that fits on ``X`` and
+returns one outlyingness score per row — there is no separate
+``fit``/``predict`` split to keep in sync across projections.
+
+Two conventions every implementation must honour:
+
+* **Higher score = more outlying.** Detectors whose native criterion is
+  inverted (Fast ABOD: low angle variance = outlier) negate internally.
+* **Determinism per input.** Stochastic detectors derive their randomness
+  from ``(seed, fingerprint(X))`` so that scoring the same projection twice
+  yields identical scores — a requirement of the subspace score cache.
+"""
+
+from __future__ import annotations
+
+import zlib
+from abc import ABC, abstractmethod
+from typing import ClassVar
+
+import numpy as np
+
+from repro.utils.validation import check_matrix
+
+__all__ = ["Detector", "data_fingerprint"]
+
+
+def data_fingerprint(X: np.ndarray) -> int:
+    """Deterministic 32-bit fingerprint of an array's contents and shape."""
+    header = np.asarray(X.shape, dtype=np.int64).tobytes()
+    return zlib.crc32(header + np.ascontiguousarray(X).tobytes())
+
+
+class Detector(ABC):
+    """Abstract unsupervised outlier detector.
+
+    Subclasses set the class attribute :attr:`name` (used in reports and
+    cache keys) and implement :meth:`_score_validated`, receiving an already
+    validated float64 matrix.
+    """
+
+    name: ClassVar[str] = "detector"
+
+    def score(self, X: np.ndarray) -> np.ndarray:
+        """Outlyingness score for every row of ``X`` (higher = more outlying).
+
+        Parameters
+        ----------
+        X:
+            Data matrix of shape ``(n_samples, n_features)``.
+
+        Returns
+        -------
+        numpy.ndarray
+            Float vector of length ``n_samples``.
+        """
+        X = check_matrix(X, name="X", min_rows=2)
+        scores = self._score_validated(X)
+        return np.asarray(scores, dtype=np.float64)
+
+    @abstractmethod
+    def _score_validated(self, X: np.ndarray) -> np.ndarray:
+        """Score a validated matrix; implemented by subclasses."""
+
+    def cache_key(self) -> tuple[object, ...]:
+        """Hashable identity of this detector's scoring behaviour.
+
+        Two detector instances with equal cache keys must produce identical
+        scores for identical inputs; the subspace scorer uses this to share
+        cached score vectors.
+        """
+        return (self.name,) + tuple(sorted(self._params().items()))
+
+    def _params(self) -> dict[str, object]:
+        """Parameter mapping included in ``repr`` and :meth:`cache_key`."""
+        return {}
+
+    def __repr__(self) -> str:
+        params = ", ".join(f"{k}={v!r}" for k, v in sorted(self._params().items()))
+        return f"{type(self).__name__}({params})"

@@ -1,0 +1,224 @@
+"""Isolation Forest (Liu, Ting & Zhou, ICDM 2008).
+
+Isolation-based detector: outliers are isolated by fewer random
+axis-parallel splits than inliers. The anomaly score of point :math:`x` is
+
+.. math:: s(x, \\psi) = 2^{-E[h(x)] / c(\\psi)}
+
+where :math:`h(x)` is the path length of :math:`x` in a random isolation
+tree grown on a subsample of size :math:`\\psi`, and :math:`c(\\psi)` is the
+average path length of an unsuccessful BST search, normalising scores into
+``(0, 1)`` with outliers close to 1.
+
+The paper's testbed uses ``t = 100`` trees, ``psi = 256`` and averages the
+score over 10 independent repetitions to reduce variance (Section 3.1);
+:class:`IsolationForest` exposes that as ``n_repeats``.
+
+Implementation notes
+--------------------
+Trees are stored as flat NumPy arrays (one row per node) and *all* points
+are routed through a tree level-synchronously, so scoring is a handful of
+vectorised gather operations per tree instead of a Python walk per point —
+essential because the explainers score thousands of subspace projections.
+Randomness is derived from ``(seed, fingerprint(X))`` so that re-scoring
+the same projection is deterministic (see :mod:`repro.detectors.base`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.detectors.base import Detector, data_fingerprint
+from repro.utils.validation import check_positive_int
+
+__all__ = ["IsolationForest", "average_path_length"]
+
+
+def average_path_length(n: float) -> float:
+    """Average path length ``c(n)`` of an unsuccessful BST search on ``n`` points.
+
+    ``c(n) = 2 H(n-1) - 2 (n-1)/n`` with ``H(i) ≈ ln(i) + γ``; by convention
+    ``c(1) = 0`` and ``c(2) = 1`` (Liu et al., Section 2).
+    """
+    if n <= 1:
+        return 0.0
+    if n == 2:
+        return 1.0
+    harmonic = math.log(n - 1.0) + np.euler_gamma
+    return 2.0 * harmonic - 2.0 * (n - 1.0) / n
+
+
+@dataclass
+class _Tree:
+    """Flat array representation of one isolation tree.
+
+    ``feature[i] < 0`` marks node ``i`` as a leaf; ``adjust`` holds the leaf
+    depth plus the :func:`average_path_length` correction for the leaf size.
+    """
+
+    feature: np.ndarray  # (n_nodes,) int32, -1 for leaves
+    threshold: np.ndarray  # (n_nodes,) float64
+    left: np.ndarray  # (n_nodes,) int32 child index
+    right: np.ndarray  # (n_nodes,) int32 child index
+    adjust: np.ndarray  # (n_nodes,) float64, depth + c(leaf_size) at leaves
+    depth: int  # maximum node depth
+
+    def path_lengths(self, X: np.ndarray) -> np.ndarray:
+        """Adjusted path length of every row of ``X`` in this tree."""
+        node = np.zeros(X.shape[0], dtype=np.int32)
+        for _ in range(self.depth + 1):
+            feat = self.feature[node]
+            active = feat >= 0
+            if not active.any():
+                break
+            rows = np.flatnonzero(active)
+            cur = node[rows]
+            go_left = X[rows, self.feature[cur]] < self.threshold[cur]
+            node[rows] = np.where(go_left, self.left[cur], self.right[cur])
+        return self.adjust[node]
+
+
+class IsolationForest(Detector):
+    """Isolation Forest with repetition averaging.
+
+    Parameters
+    ----------
+    n_trees:
+        Trees per forest (paper: 100).
+    subsample_size:
+        Points drawn (without replacement) to grow each tree (paper: 256).
+        Capped at the dataset size.
+    n_repeats:
+        Independent forests whose scores are averaged (paper: 10).
+    seed:
+        Base seed; combined with a fingerprint of the scored data so every
+        projection gets distinct but reproducible randomness.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> rng = np.random.default_rng(11)
+    >>> X = np.vstack([rng.normal(0, 0.5, size=(128, 2)), [[9.0, -9.0]]])
+    >>> det = IsolationForest(n_trees=50, n_repeats=1, seed=0)
+    >>> int(np.argmax(det.score(X)))
+    128
+    """
+
+    name = "iforest"
+
+    def __init__(
+        self,
+        n_trees: int = 100,
+        subsample_size: int = 256,
+        n_repeats: int = 10,
+        seed: int = 0,
+    ) -> None:
+        self.n_trees = check_positive_int(n_trees, name="n_trees")
+        self.subsample_size = check_positive_int(subsample_size, name="subsample_size", minimum=2)
+        self.n_repeats = check_positive_int(n_repeats, name="n_repeats")
+        self.seed = int(seed)
+
+    def _params(self) -> dict[str, object]:
+        return {
+            "n_trees": self.n_trees,
+            "subsample_size": self.subsample_size,
+            "n_repeats": self.n_repeats,
+            "seed": self.seed,
+        }
+
+    def _score_validated(self, X: np.ndarray) -> np.ndarray:
+        rng = np.random.default_rng([self.seed & 0x7FFFFFFF, data_fingerprint(X)])
+        total = np.zeros(X.shape[0])
+        for _ in range(self.n_repeats):
+            total += self._score_once(X, rng)
+        return total / self.n_repeats
+
+    def _score_once(self, X: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        n = X.shape[0]
+        psi = min(self.subsample_size, n)
+        height_limit = max(1, math.ceil(math.log2(psi)))
+        expected = np.zeros(n)
+        for _ in range(self.n_trees):
+            sample = rng.choice(n, size=psi, replace=False)
+            tree = _grow_tree(X[sample], height_limit, rng)
+            expected += tree.path_lengths(X)
+        expected /= self.n_trees
+        return np.exp2(-expected / average_path_length(psi))
+
+
+def _grow_tree(S: np.ndarray, height_limit: int, rng: np.random.Generator) -> _Tree:
+    """Grow one isolation tree on sample ``S`` up to ``height_limit``."""
+    feature: list[int] = []
+    threshold: list[float] = []
+    left: list[int] = []
+    right: list[int] = []
+    adjust: list[float] = []
+    max_depth = 0
+
+    # Depth-first construction with an explicit stack of (row mask, depth,
+    # parent slot). Each stack entry allocates its node index on pop.
+    stack: list[tuple[np.ndarray, int, int, bool]] = [
+        (np.arange(S.shape[0]), 0, -1, False)
+    ]
+    while stack:
+        rows, depth, parent, is_right = stack.pop()
+        node_id = len(feature)
+        if parent >= 0:
+            if is_right:
+                right[parent] = node_id
+            else:
+                left[parent] = node_id
+        max_depth = max(max_depth, depth)
+        split = _choose_split(S, rows, rng) if (
+            depth < height_limit and rows.shape[0] > 1
+        ) else None
+        if split is None:
+            feature.append(-1)
+            threshold.append(0.0)
+            left.append(-1)
+            right.append(-1)
+            adjust.append(depth + average_path_length(rows.shape[0]))
+            continue
+        feat, thr = split
+        feature.append(feat)
+        threshold.append(thr)
+        left.append(-1)
+        right.append(-1)
+        adjust.append(0.0)
+        values = S[rows, feat]
+        go_left = values < thr
+        stack.append((rows[~go_left], depth + 1, node_id, True))
+        stack.append((rows[go_left], depth + 1, node_id, False))
+
+    return _Tree(
+        feature=np.asarray(feature, dtype=np.int32),
+        threshold=np.asarray(threshold, dtype=np.float64),
+        left=np.asarray(left, dtype=np.int32),
+        right=np.asarray(right, dtype=np.int32),
+        adjust=np.asarray(adjust, dtype=np.float64),
+        depth=max_depth,
+    )
+
+
+def _choose_split(
+    S: np.ndarray, rows: np.ndarray, rng: np.random.Generator
+) -> tuple[int, float] | None:
+    """Pick a uniformly random (feature, threshold) that splits ``rows``.
+
+    Features whose values are constant within the node cannot split it;
+    one is drawn uniformly among the non-constant features, mirroring the
+    reference implementation. Returns ``None`` when all features are
+    constant (duplicated points), making the node a leaf.
+    """
+    values = S[rows]
+    lo = values.min(axis=0)
+    hi = values.max(axis=0)
+    splittable = np.flatnonzero(hi > lo)
+    if splittable.shape[0] == 0:
+        return None
+    feat = int(rng.choice(splittable))
+    thr = float(rng.uniform(lo[feat], hi[feat]))
+    return feat, thr

@@ -1,0 +1,36 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by this library derive from :class:`ReproError` so that
+callers can catch library failures without masking unrelated bugs::
+
+    try:
+        explainer.explain(dataset, point)
+    except repro.ReproError as exc:
+        log.warning("explanation failed: %s", exc)
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An input array, parameter, or configuration value is invalid."""
+
+
+class NotFittedError(ReproError, RuntimeError):
+    """A model method requiring a fitted state was called before ``fit``."""
+
+
+class SubspaceError(ReproError, ValueError):
+    """A subspace is malformed (empty, duplicated, or out of range)."""
+
+
+class GroundTruthError(ReproError, ValueError):
+    """A dataset's ground truth is missing or inconsistent with the data."""
+
+
+class ExperimentError(ReproError, RuntimeError):
+    """An experiment configuration or execution failed."""

@@ -1,0 +1,42 @@
+"""Experiment reproductions: one module per paper table/figure + ablations."""
+
+from repro.experiments import (
+    ablations,
+    extended,
+    figure8,
+    figure9,
+    figure10,
+    figure11,
+    table1,
+    table2,
+)
+from repro.experiments.config import PROFILES, ExperimentProfile, get_profile
+from repro.experiments.report import ExperimentReport
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentProfile",
+    "ExperimentReport",
+    "PROFILES",
+    "ablations",
+    "extended",
+    "figure8",
+    "figure9",
+    "figure10",
+    "figure11",
+    "get_profile",
+    "table1",
+    "table2",
+]
+
+#: Experiment name → runner, as exposed by the CLI.
+EXPERIMENTS = {
+    "table1": table1.run,
+    "figure8": figure8.run,
+    "figure9": figure9.run,
+    "figure10": figure10.run,
+    "figure11": figure11.run,
+    "table2": table2.run,
+    "ablations": ablations.run,
+    "extended": extended.run,
+}

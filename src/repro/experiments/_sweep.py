@@ -1,0 +1,88 @@
+"""Shared machinery for the MAP sweeps of Figures 9 and 10.
+
+Both figures run a family of explainers against the three detectors across
+all datasets and explanation dimensionalities, then display one
+MAP-vs-dimensionality panel per dataset. Only the explainer family
+differs, so the sweep lives here.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+from repro.experiments.config import ExperimentProfile
+from repro.experiments.report import ExperimentReport
+from repro.pipeline.runner import GridRunner
+
+__all__ = ["run_map_sweep"]
+
+
+def run_map_sweep(
+    *,
+    experiment: str,
+    title: str,
+    profile: ExperimentProfile,
+    explainer_factories: Sequence[Callable[[], object]],
+) -> ExperimentReport:
+    """Run explainers × detectors × datasets × dims; report MAP panels.
+
+    One ASCII panel per dataset mirrors one subplot of the paper's figure:
+    rows = explanation dimensionality, columns = ``explainer+detector``
+    pipeline, cells = MAP. With ``profile.n_jobs > 1`` the
+    (dataset × detector) groups fan out over a process pool.
+    """
+    datasets = profile.all_datasets()
+    if profile.n_jobs > 1:
+        from repro.pipeline.parallel import run_grid_parallel
+
+        results, skipped = run_grid_parallel(
+            datasets,
+            profile.detectors(),
+            list(explainer_factories),
+            profile.explanation_dims,
+            n_jobs=profile.n_jobs,
+            points_selector=profile.select_points,
+        )
+    else:
+        runner = GridRunner(
+            profile.detectors(),
+            list(explainer_factories),
+            skip_errors=True,
+            points_selector=profile.select_points,
+        )
+        results = runner.run(datasets, profile.explanation_dims)
+        skipped = runner.skipped
+
+    sections: list[str] = []
+    rows: list[dict[str, object]] = []
+    for dataset in datasets:
+        subset = results.filter(dataset=dataset.name)
+        if not len(subset):
+            continue
+        sections.append(
+            subset.to_ascii(
+                rows="dimensionality",
+                cols="pipeline",
+                value="map",
+                title=(
+                    f"{dataset.name} ({dataset.n_samples} samples, "
+                    f"{dataset.n_features} features, "
+                    f"{len(dataset.outliers)} outliers) — MAP"
+                ),
+            )
+        )
+        rows.extend(subset.rows())
+    if skipped:
+        skipped_lines = [
+            f"  {ds} / {det} / {expl} @ {dim}d: {reason}"
+            for ds, det, expl, dim, reason in skipped
+        ]
+        sections.append("skipped cells:\n" + "\n".join(skipped_lines))
+    return ExperimentReport(
+        experiment=experiment,
+        title=title,
+        profile=profile.name,
+        sections=sections,
+        rows=rows,
+        results=results,
+    )

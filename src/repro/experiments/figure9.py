@@ -1,0 +1,33 @@
+"""Figure 9 — MAP of the point explainers (Beam, RefOut) × detectors.
+
+One panel per dataset: MAP (cells) of each ``explainer+detector`` pipeline
+(columns) for explanations of increasing dimensionality (rows). The
+paper's headline shapes to look for:
+
+* synthetic panels — RefOut+LOF near-optimal at low dataset
+  dimensionality; every pipeline decaying as dataset and explanation
+  dimensionality grow; Beam pairing better with FastABOD/iForest than
+  with LOF on subspace outliers;
+* real panels — Beam+LOF at MAP ≈ 1 regardless of dimensionality;
+  RefOut near zero on full-space outliers.
+"""
+
+from __future__ import annotations
+
+from repro.experiments._sweep import run_map_sweep
+from repro.experiments.config import ExperimentProfile, get_profile
+from repro.experiments.report import ExperimentReport
+
+__all__ = ["run"]
+
+
+def run(profile: ExperimentProfile | str = "quick") -> ExperimentReport:
+    """Reproduce Figure 9 at the given profile."""
+    if isinstance(profile, str):
+        profile = get_profile(profile)
+    return run_map_sweep(
+        experiment="figure9",
+        title="MAP of Beam and RefOut across detectors and datasets",
+        profile=profile,
+        explainer_factories=profile.point_explainer_factories(),
+    )

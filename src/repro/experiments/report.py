@@ -1,0 +1,73 @@
+"""Experiment report type: what every experiment module returns.
+
+An :class:`ExperimentReport` carries the reproduced artefact (rows/series
+matching the paper's table or figure), rendered ASCII sections for the
+terminal, and the raw :class:`~repro.pipeline.ResultTable` when pipelines
+were involved — so callers can post-process (Table 2 is derived from the
+Figure 9–11 reports this way).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.pipeline.results import ResultTable
+
+__all__ = ["ExperimentReport"]
+
+
+@dataclass
+class ExperimentReport:
+    """Outcome of one experiment reproduction.
+
+    Attributes
+    ----------
+    experiment:
+        Identifier matching the paper artefact, e.g. ``"figure9"``.
+    title:
+        Human-readable headline.
+    profile:
+        Name of the :class:`~repro.experiments.config.ExperimentProfile`
+        used.
+    sections:
+        Rendered ASCII blocks (tables / series) in display order.
+    rows:
+        Flat records of the reproduced artefact (CSV-ready).
+    results:
+        Raw pipeline results, when the experiment ran pipelines.
+    """
+
+    experiment: str
+    title: str
+    profile: str
+    sections: list[str] = field(default_factory=list)
+    rows: list[dict[str, object]] = field(default_factory=list)
+    results: ResultTable | None = None
+
+    def render(self) -> str:
+        """The full report as printable text."""
+        header = f"== {self.experiment}: {self.title} [profile={self.profile}] =="
+        return "\n\n".join([header] + self.sections)
+
+    def to_csv(self) -> str:
+        """The artefact rows as CSV text."""
+        import csv
+        import io
+
+        if not self.rows:
+            return ""
+        fieldnames: list[str] = []
+        for row in self.rows:
+            for key in row:
+                if key not in fieldnames:
+                    fieldnames.append(key)
+        buffer = io.StringIO()
+        writer = csv.DictWriter(buffer, fieldnames=fieldnames)
+        writer.writeheader()
+        writer.writerows(self.rows)
+        return buffer.getvalue()
+
+    def write_csv(self, path: str) -> None:
+        """Write :meth:`to_csv` output to ``path``."""
+        with open(path, "w", newline="") as handle:
+            handle.write(self.to_csv())

@@ -1,0 +1,181 @@
+"""Table 2 — best effectiveness/efficiency tradeoff per testbed cell.
+
+The paper distils Figures 9–11 into a table: for every explanation
+dimensionality (rows) and relevant-feature ratio (columns — 100 % for the
+full-space real datasets, then decreasing ratios for the synthetic ones),
+the point-explanation pipeline and the summarisation pipeline with the
+best *Pareto* tradeoff between effectiveness (MAP, Figures 9/10) and
+efficiency (runtime, Figure 11).
+
+Selection rule (Section 4.3):
+
+1. Rank a family's pipelines by MAP; keep those within ``MAP_EPSILON`` of
+   the best (effectiveness ties).
+2. Among the tied, pick the fastest.
+3. Generic algorithms are preferred on near-ties: when LookOut is within
+   the MAP tolerance of HiCS and not dramatically slower, LookOut wins
+   (the paper prioritises algorithms that do not depend on special data
+   properties).
+4. A family whose best MAP is (near) zero reports no pair for that cell.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.experiments import figure9, figure10, figure11
+from repro.experiments.config import ExperimentProfile, get_profile
+from repro.experiments.report import ExperimentReport
+from repro.utils.tables import format_table
+
+__all__ = ["run", "select_tradeoff"]
+
+#: MAP difference treated as an effectiveness tie.
+MAP_EPSILON = 0.05
+
+#: A generic algorithm is preferred unless it is this much slower.
+GENERIC_SLOWDOWN_TOLERANCE = 2.0
+
+#: MAP below this reports "no working pipeline" for the family.
+MIN_USEFUL_MAP = 0.05
+
+#: Algorithms considered generic (not relying on special data properties).
+GENERIC_EXPLAINERS = frozenset({"lookout", "beam", "refout"})
+
+
+def run(
+    profile: ExperimentProfile | str = "quick",
+    *,
+    figure9_report: ExperimentReport | None = None,
+    figure10_report: ExperimentReport | None = None,
+    figure11_report: ExperimentReport | None = None,
+) -> ExperimentReport:
+    """Reproduce Table 2, reusing figure reports when supplied."""
+    if isinstance(profile, str):
+        profile = get_profile(profile)
+    fig9 = figure9_report or figure9.run(profile)
+    fig10 = figure10_report or figure10.run(profile)
+    fig11 = figure11_report or figure11.run(profile)
+
+    runtime = _runtime_index(fig11.rows)
+    ratio_of, ratio_labels = _ratio_columns(profile)
+
+    point_rows = [r for r in fig9.rows if r["dataset"] in ratio_of]
+    summary_rows = [r for r in fig10.rows if r["dataset"] in ratio_of]
+
+    body: list[list[object]] = []
+    records: list[dict[str, object]] = []
+    for dim in profile.explanation_dims:
+        line: list[object] = [f"{dim}d"]
+        for ratio in ratio_labels:
+            datasets = [d for d, r in ratio_of.items() if r == ratio]
+            point_pick = select_tradeoff(
+                point_rows, datasets, dim, runtime
+            )
+            summary_pick = select_tradeoff(
+                summary_rows, datasets, dim, runtime
+            )
+            cell = " / ".join(p or "-" for p in (point_pick, summary_pick))
+            line.append(cell)
+            records.append(
+                {
+                    "dimensionality": dim,
+                    "ratio": ratio,
+                    "point_pipeline": point_pick or "",
+                    "summary_pipeline": summary_pick or "",
+                }
+            )
+        body.append(line)
+
+    table = format_table(
+        ["expl. dim"] + [f"ratio {r}" for r in ratio_labels],
+        body,
+        title="Table 2: best point-explanation / summarisation tradeoff",
+    )
+    return ExperimentReport(
+        experiment="table2",
+        title="Tradeoffs of outlier detection and explanation algorithms",
+        profile=profile.name,
+        sections=[table],
+        rows=records,
+    )
+
+
+def select_tradeoff(
+    rows: list[dict[str, object]],
+    datasets: list[str],
+    dimensionality: int,
+    runtime: Mapping[tuple[str, str, int], float],
+) -> str | None:
+    """Pick the family's best pipeline for one Table-2 cell.
+
+    ``rows`` are MAP records of one explainer family (Figure 9 or 10);
+    ``runtime`` maps ``(dataset, pipeline, dimensionality)`` to Figure-11
+    seconds (falling back to the MAP run's own seconds when a dataset was
+    not part of the runtime experiment).
+    """
+    cell = [
+        r
+        for r in rows
+        if r["dataset"] in datasets and r["dimensionality"] == dimensionality
+    ]
+    if not cell:
+        return None
+    aggregated: dict[str, dict[str, float]] = {}
+    for record in cell:
+        pipeline = str(record["pipeline"])
+        seconds = runtime.get(
+            (str(record["dataset"]), pipeline, dimensionality),
+            float(record["seconds"]),  # type: ignore[arg-type]
+        )
+        stats = aggregated.setdefault(pipeline, {"map": 0.0, "sec": 0.0, "n": 0.0})
+        stats["map"] += float(record["map"])  # type: ignore[arg-type]
+        stats["sec"] += seconds
+        stats["n"] += 1.0
+    candidates = [
+        (name, stats["map"] / stats["n"], stats["sec"] / stats["n"])
+        for name, stats in aggregated.items()
+    ]
+    best_map = max(m for _, m, _ in candidates)
+    if best_map < MIN_USEFUL_MAP:
+        return None
+    tied = [c for c in candidates if c[1] >= best_map - MAP_EPSILON]
+    tied.sort(key=lambda c: c[2])  # fastest among the effectiveness ties
+    chosen = tied[0]
+    if chosen[0].split("+")[0] not in GENERIC_EXPLAINERS:
+        # Prefer a generic algorithm if one is tied and not much slower.
+        for name, _, seconds in tied[1:]:
+            if (
+                name.split("+")[0] in GENERIC_EXPLAINERS
+                and seconds <= chosen[2] * GENERIC_SLOWDOWN_TOLERANCE
+            ):
+                return name
+    return chosen[0]
+
+
+def _runtime_index(
+    figure11_rows: list[dict[str, object]],
+) -> dict[tuple[str, str, int], float]:
+    return {
+        (
+            str(r["dataset"]),
+            str(r["pipeline"]),
+            int(r["dimensionality"]),  # type: ignore[arg-type]
+        ): float(r["seconds"])  # type: ignore[arg-type]
+        for r in figure11_rows
+    }
+
+
+def _ratio_columns(
+    profile: ExperimentProfile,
+) -> tuple[dict[str, str], list[str]]:
+    """Map dataset name → ratio label, plus label order (descending ratio)."""
+    ratio_of: dict[str, str] = {}
+    numeric: dict[str, float] = {}
+    for dataset in profile.all_datasets():
+        ratio = dataset.relevant_feature_ratio
+        label = f"{round(100 * ratio)}%"
+        ratio_of[dataset.name] = label
+        numeric[label] = ratio
+    labels = sorted(set(ratio_of.values()), key=lambda l: -numeric[l])
+    return ratio_of, labels

@@ -1,0 +1,62 @@
+"""Outlier explanation algorithms (paper Sections 2.2–2.3).
+
+Point explanation (per-outlier subspace rankings):
+
+* :class:`Beam` — stage-wise greedy beam search (Beam_FX by default).
+* :class:`RefOut` — random-projection pool + Welch-test refinement.
+
+Explanation summarisation (one ranking for a set of outliers):
+
+* :class:`LookOut` — exhaustive enumeration + greedy submodular coverage.
+* :class:`HiCS` — Monte-Carlo high-contrast subspace search (HiCS_FX by
+  default), detector used only for the final ranking.
+
+Extensions (the paper's future-work list):
+
+* :class:`SurrogateExplainer` — predictive explanations from a CART
+  surrogate of the detector's scores.
+* :class:`GroupExplainer` — group-based explanation: cluster outliers by
+  explanation signature, explain each group with its own subspaces.
+"""
+
+from repro.explainers.base import (
+    PointExplainer,
+    PointExplanations,
+    RankedSubspaces,
+    SummaryExplainer,
+)
+from repro.explainers.beam import Beam
+from repro.explainers.groups import GroupExplainer, GroupExplanation
+from repro.explainers.hics import HiCS
+from repro.explainers.lookout import LookOut
+from repro.explainers.refout import RefOut
+from repro.explainers.surrogate import SurrogateExplainer
+
+__all__ = [
+    "Beam",
+    "GroupExplainer",
+    "GroupExplanation",
+    "HiCS",
+    "LookOut",
+    "PointExplainer",
+    "PointExplanations",
+    "RankedSubspaces",
+    "RefOut",
+    "SummaryExplainer",
+    "SurrogateExplainer",
+]
+
+#: Factories with the paper's Section 3.1 hyper-parameters.
+PAPER_EXPLAINERS = {
+    "beam": lambda: Beam(beam_width=100, result_size=100),
+    "refout": lambda: RefOut(
+        pool_size=100, beam_width=100, result_size=100, pool_dim_fraction=0.7
+    ),
+    "lookout": lambda: LookOut(budget=100),
+    "hics": lambda: HiCS(
+        alpha=0.1, mc_iterations=100, candidate_cutoff=400, test="welch",
+        result_size=100,
+    ),
+}
+
+__all__ += ["PAPER_EXPLAINERS"]

@@ -1,0 +1,205 @@
+"""Explainer interfaces and result types (paper Sections 2.2–2.3).
+
+Two algorithm families share one result shape:
+
+* A :class:`PointExplainer` (Beam, RefOut) returns, for each individual
+  outlier, a ranked list of subspaces that best explain *that point's*
+  outlyingness.
+* A :class:`SummaryExplainer` (LookOut, HiCS) returns a single ranked list
+  of subspaces that jointly explain a whole *set* of outliers.
+
+Both produce a :class:`RankedSubspaces` — an immutable ranking of
+subspaces with their scores — which is what the MAP/recall metrics in
+:mod:`repro.metrics` consume. The evaluation of a summariser simply uses
+the same shared ranking as the explanation of every point (paper
+Section 3.3).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Iterable, Iterator, Mapping, Sequence
+from dataclasses import dataclass
+from typing import ClassVar
+
+from repro.exceptions import ValidationError
+from repro.subspaces.scorer import SubspaceScorer
+from repro.subspaces.subspace import Subspace
+
+__all__ = [
+    "PointExplainer",
+    "PointExplanations",
+    "RankedSubspaces",
+    "SummaryExplainer",
+]
+
+
+@dataclass(frozen=True)
+class RankedSubspaces:
+    """An ordered explanation: subspaces ranked best-first with their scores.
+
+    Attributes
+    ----------
+    subspaces:
+        Ranked subspaces, best explanation first.
+    scores:
+        Score of each subspace under the producing algorithm's criterion
+        (z-scored outlyingness, marginal gain, contrast, ...). Scores are
+        comparable *within* one ranking, not across algorithms.
+    """
+
+    subspaces: tuple[Subspace, ...]
+    scores: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.subspaces) != len(self.scores):
+            raise ValidationError(
+                f"{len(self.subspaces)} subspaces but {len(self.scores)} scores"
+            )
+
+    @staticmethod
+    def from_pairs(pairs: Sequence[tuple[Subspace, float]]) -> "RankedSubspaces":
+        """Build from ``(subspace, score)`` pairs already in rank order."""
+        return RankedSubspaces(
+            subspaces=tuple(s for s, _ in pairs),
+            scores=tuple(float(v) for _, v in pairs),
+        )
+
+    def __len__(self) -> int:
+        return len(self.subspaces)
+
+    def __iter__(self) -> Iterator[tuple[Subspace, float]]:
+        return iter(zip(self.subspaces, self.scores))
+
+    def __getitem__(self, rank: int) -> tuple[Subspace, float]:
+        return self.subspaces[rank], self.scores[rank]
+
+    def top(self, k: int) -> "RankedSubspaces":
+        """The best ``k`` entries as a new ranking."""
+        if k < 0:
+            raise ValidationError(f"k must be >= 0, got {k}")
+        return RankedSubspaces(self.subspaces[:k], self.scores[:k])
+
+    def rank_of(self, subspace: Iterable[int]) -> int | None:
+        """Zero-based rank of ``subspace`` in this explanation, or ``None``."""
+        target = Subspace(subspace)
+        for rank, candidate in enumerate(self.subspaces):
+            if candidate == target:
+                return rank
+        return None
+
+    def __repr__(self) -> str:
+        preview = ", ".join(
+            f"{tuple(s)}:{v:.3f}" for s, v in list(self)[:3]
+        )
+        suffix = ", ..." if len(self) > 3 else ""
+        return f"RankedSubspaces({len(self)} entries: {preview}{suffix})"
+
+
+class PointExplanations(Mapping[int, RankedSubspaces]):
+    """Explanations for several points, keyed by point index.
+
+    A thin immutable mapping with a constructor that validates the keys;
+    returned by :meth:`PointExplainer.explain_points` and accepted by the
+    evaluation metrics.
+    """
+
+    def __init__(self, explanations: Mapping[int, RankedSubspaces]) -> None:
+        for point, explanation in explanations.items():
+            if not isinstance(explanation, RankedSubspaces):
+                raise ValidationError(
+                    f"explanation for point {point} is {type(explanation).__name__},"
+                    " expected RankedSubspaces"
+                )
+        self._data = {int(p): e for p, e in explanations.items()}
+
+    def __getitem__(self, point: int) -> RankedSubspaces:
+        return self._data[point]
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._data)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __repr__(self) -> str:
+        return f"PointExplanations({len(self._data)} points)"
+
+
+class _ExplainerBase(ABC):
+    """Name and repr shared by both explainer families."""
+
+    name: ClassVar[str] = "explainer"
+
+    def _params(self) -> dict[str, object]:
+        return {}
+
+    def __repr__(self) -> str:
+        params = ", ".join(f"{k}={v!r}" for k, v in sorted(self._params().items()))
+        return f"{type(self).__name__}({params})"
+
+
+class PointExplainer(_ExplainerBase):
+    """Ranks subspaces explaining the outlyingness of one point at a time."""
+
+    @abstractmethod
+    def explain(
+        self, scorer: SubspaceScorer, point: int, dimensionality: int
+    ) -> RankedSubspaces:
+        """Explain a single point.
+
+        Parameters
+        ----------
+        scorer:
+            Cached subspace scorer binding the dataset and the detector.
+        point:
+            Row index of the point to explain.
+        dimensionality:
+            Target explanation dimensionality (number of features in the
+            returned subspaces).
+        """
+
+    def explain_points(
+        self,
+        scorer: SubspaceScorer,
+        points: Iterable[int],
+        dimensionality: int,
+    ) -> PointExplanations:
+        """Explain several points independently (paper: RefOut/Beam loop).
+
+        The default implementation calls :meth:`explain` per point; the
+        shared scorer cache makes revisited subspaces free.
+        """
+        return PointExplanations(
+            {
+                int(p): self.explain(scorer, int(p), dimensionality)
+                for p in points
+            }
+        )
+
+
+class SummaryExplainer(_ExplainerBase):
+    """Ranks subspaces that jointly separate a set of outliers from inliers."""
+
+    @abstractmethod
+    def summarize(
+        self,
+        scorer: SubspaceScorer,
+        points: Iterable[int],
+        dimensionality: int,
+    ) -> RankedSubspaces:
+        """Summarise the outlyingness of ``points`` with one subspace ranking.
+
+        Parameters
+        ----------
+        scorer:
+            Cached subspace scorer binding the dataset and the detector.
+            (HiCS only uses the detector to *rank* its retrieved subspaces;
+            the contrast-driven search reads the raw data via
+            ``scorer.X``.)
+        points:
+            Row indices of the outliers to be summarised.
+        dimensionality:
+            Target dimensionality of the returned subspaces (the _FX
+            variants of the paper).
+        """

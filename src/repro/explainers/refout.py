@@ -1,0 +1,183 @@
+"""RefOut — refinement of random subspace projections (Keller et al., CIKM 2013).
+
+RefOut explains one point via a pool of random subspace projections (paper
+Section 2.2, Figure 3):
+
+1. Draw ``pool_size`` random subspaces of dimensionality
+   ``pool_dim_fraction * d`` and record the point's standardised
+   outlyingness score in each.
+2. **Stage 1** assesses every single feature: partition the pool into
+   projections that contain the feature and those that do not, and measure
+   the *discrepancy* of the two score populations with Welch's two-sample
+   t-test (the samples have unequal sizes and variances). Keep the
+   ``beam_width`` features with the highest |t|.
+3. **Stage s** refines: candidates are the cartesian product of the
+   previous stage's best subspaces with the retained single features; each
+   candidate is assessed by partitioning the pool on *containment of the
+   whole candidate*.
+4. At the requested dimensionality the surviving candidates are re-scored
+   *directly* (the point's z-score in the candidate subspace itself) and
+   returned best-first.
+
+RefOut works when outliers visible in low-dimensional subspaces remain
+visible in their high-dimensional supersets (the random projections);
+full-space outliers defeat the partition test because every projection
+scores them highly (paper Section 4.1).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.explainers.base import PointExplainer, RankedSubspaces
+from repro.stats.welch import welch_statistic
+from repro.subspaces.enumeration import grow_with_features, random_subspaces, top_k
+from repro.subspaces.scorer import SubspaceScorer
+from repro.subspaces.subspace import Subspace
+from repro.utils.rng import as_rng
+from repro.utils.validation import check_in_range, check_positive_int
+
+__all__ = ["RefOut"]
+
+
+class RefOut(PointExplainer):
+    """Random-projection-pool point explainer.
+
+    Parameters
+    ----------
+    pool_size:
+        Number of random subspace projections (paper: 100).
+    beam_width:
+        Candidates kept per refinement stage (paper: 100).
+    result_size:
+        Maximum length of the returned ranking (paper: top-100).
+    pool_dim_fraction:
+        Dimensionality of pool projections as a fraction of the dataset
+        dimensionality (paper: 0.7). Clamped so a projection is at least
+        the explanation dimensionality and at most ``d``.
+    seed:
+        Seed for the random pool; per-point pools are derived from it so
+        explaining the same point twice is deterministic.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.detectors import LOF
+    >>> from repro.subspaces import SubspaceScorer
+    >>> rng = np.random.default_rng(2)
+    >>> X = rng.normal(size=(100, 6))
+    >>> X[0, [2, 4]] = [8.0, -8.0]
+    >>> scorer = SubspaceScorer(X, LOF(k=10))
+    >>> explainer = RefOut(pool_size=60, beam_width=10, seed=0)
+    >>> explainer.explain(scorer, 0, 2).subspaces[0]
+    Subspace(2, 4)
+    """
+
+    name = "refout"
+
+    #: Minimum number of pool projections on each side of a partition for
+    #: the Welch test to be defined (two observations per sample).
+    _MIN_PARTITION = 2
+
+    def __init__(
+        self,
+        pool_size: int = 100,
+        beam_width: int = 100,
+        result_size: int = 100,
+        pool_dim_fraction: float = 0.7,
+        seed: int | None = 0,
+    ) -> None:
+        self.pool_size = check_positive_int(pool_size, name="pool_size", minimum=4)
+        self.beam_width = check_positive_int(beam_width, name="beam_width")
+        self.result_size = check_positive_int(result_size, name="result_size")
+        self.pool_dim_fraction = check_in_range(
+            pool_dim_fraction, name="pool_dim_fraction", low=0.0, high=1.0
+        )
+        if self.pool_dim_fraction == 0.0:
+            raise ValidationError("pool_dim_fraction must be > 0")
+        self.seed = seed
+
+    def _params(self) -> dict[str, object]:
+        return {
+            "pool_size": self.pool_size,
+            "beam_width": self.beam_width,
+            "result_size": self.result_size,
+            "pool_dim_fraction": self.pool_dim_fraction,
+            "seed": self.seed,
+        }
+
+    def explain(
+        self, scorer: SubspaceScorer, point: int, dimensionality: int
+    ) -> RankedSubspaces:
+        dimensionality = check_positive_int(dimensionality, name="dimensionality")
+        d = scorer.n_features
+        if dimensionality > d:
+            raise ValidationError(
+                f"cannot explain with {dimensionality}-d subspaces in a {d}-d dataset"
+            )
+        pool_dim = int(round(self.pool_dim_fraction * d))
+        pool_dim = min(max(pool_dim, dimensionality, 1), d)
+        # Derive the pool deterministically from (seed, point) so per-point
+        # explanations are independent yet reproducible.
+        if self.seed is None:
+            rng = as_rng(None)
+        else:
+            rng = as_rng(np.random.SeedSequence([int(self.seed) & 0x7FFFFFFF, point]))
+        pool = random_subspaces(d, pool_dim, self.pool_size, seed=rng)
+        pool_sets = [frozenset(s) for s in pool]
+        pool_scores = np.array(
+            [scorer.point_zscore(s, point) for s in pool], dtype=np.float64
+        )
+
+        # Stage 1: score every feature appearing in the pool by partition
+        # discrepancy; these features also serve as the growth alphabet.
+        features = sorted({f for s in pool for f in s})
+        feature_scores = [
+            (Subspace((f,)), self._discrepancy(frozenset((f,)), pool_sets, pool_scores))
+            for f in features
+        ]
+        stage = top_k(feature_scores, self.beam_width)
+        top_features = [next(iter(s)) for s, _ in stage]
+
+        current_dim = 1
+        while current_dim < dimensionality:
+            candidates = grow_with_features([s for s, _ in stage], top_features)
+            scored = [
+                (c, self._discrepancy(frozenset(c), pool_sets, pool_scores))
+                for c in candidates
+            ]
+            stage = top_k(scored, self.beam_width)
+            current_dim += 1
+
+        # Refinement: rank surviving candidates by the point's actual
+        # standardised score in the candidate subspace itself.
+        refined = [
+            (s, scorer.point_zscore(s, point))
+            for s, _ in stage
+            if s.dimensionality == dimensionality
+        ]
+        return RankedSubspaces.from_pairs(top_k(refined, self.result_size))
+
+    def _discrepancy(
+        self,
+        candidate: frozenset[int],
+        pool_sets: list[frozenset[int]],
+        pool_scores: np.ndarray,
+    ) -> float:
+        """Welch |t| between pool scores of projections ⊇ candidate vs rest.
+
+        Zero when either partition is too small for the test — such a
+        candidate carries no evidence either way.
+        """
+        mask = np.fromiter(
+            (candidate <= s for s in pool_sets), dtype=bool, count=len(pool_sets)
+        )
+        n_in = int(mask.sum())
+        n_out = mask.shape[0] - n_in
+        if n_in < self._MIN_PARTITION or n_out < self._MIN_PARTITION:
+            return 0.0
+        statistic, _ = welch_statistic(pool_scores[mask], pool_scores[~mask])
+        return 0.0 if math.isnan(statistic) else abs(statistic)

@@ -1,0 +1,124 @@
+"""Persistence: save and load testbed datasets and experiment reports.
+
+Datasets travel as a single ``.npz`` file — arrays stored natively, the
+ground truth and metadata as an embedded JSON document — so a generated
+testbed can be pinned to disk once and reloaded bit-identically across
+sessions (the paper's repeatability requirement). No pickle is involved:
+the format is readable by any NumPy, and the JSON side is human-auditable.
+
+Reports are written as a directory: ``report.txt`` (the rendered ASCII
+artefact) plus ``rows.csv`` (the machine-readable rows).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+
+from repro.datasets.base import Dataset, GroundTruth
+from repro.exceptions import ValidationError
+from repro.experiments.report import ExperimentReport
+
+__all__ = ["load_dataset_file", "save_dataset", "save_report"]
+
+_FORMAT_VERSION = 1
+
+
+def save_dataset(dataset: Dataset, path: str) -> None:
+    """Write ``dataset`` to ``path`` as a self-contained ``.npz`` file."""
+    if not isinstance(dataset, Dataset):
+        raise ValidationError(
+            f"expected a Dataset, got {type(dataset).__name__}"
+        )
+    ground_truth = {
+        str(point): [list(s) for s in dataset.ground_truth.relevant_for(point)]
+        for point in dataset.ground_truth.points
+    }
+    header = {
+        "format_version": _FORMAT_VERSION,
+        "name": dataset.name,
+        "kind": dataset.kind,
+        "ground_truth": ground_truth,
+        "metadata": _jsonable(dataset.metadata),
+    }
+    np.savez_compressed(
+        path,
+        X=dataset.X,
+        outliers=np.asarray(dataset.outliers, dtype=np.int64),
+        header=np.frombuffer(
+            json.dumps(header).encode("utf-8"), dtype=np.uint8
+        ),
+    )
+
+
+def load_dataset_file(path: str) -> Dataset:
+    """Load a dataset previously written by :func:`save_dataset`."""
+    if not os.path.exists(path):
+        raise ValidationError(f"no dataset file at {path!r}")
+    with np.load(path) as archive:
+        try:
+            header = json.loads(bytes(archive["header"]).decode("utf-8"))
+            X = archive["X"]
+            outliers = archive["outliers"]
+        except KeyError as exc:
+            raise ValidationError(
+                f"{path!r} is not a repro dataset file (missing {exc})"
+            ) from exc
+    version = header.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValidationError(
+            f"unsupported dataset format version {version!r} in {path!r}"
+        )
+    ground_truth = GroundTruth(
+        {
+            int(point): [tuple(s) for s in subspaces]
+            for point, subspaces in header["ground_truth"].items()
+        }
+    )
+    return Dataset(
+        name=header["name"],
+        X=X,
+        outliers=tuple(int(o) for o in outliers),
+        ground_truth=ground_truth,
+        kind=header["kind"],
+        metadata=header.get("metadata", {}),
+    )
+
+
+def save_report(report: ExperimentReport, directory: str) -> dict[str, str]:
+    """Write a report's rendered text and rows under ``directory``.
+
+    Returns the mapping of artefact kind to written path.
+    """
+    if not isinstance(report, ExperimentReport):
+        raise ValidationError(
+            f"expected an ExperimentReport, got {type(report).__name__}"
+        )
+    os.makedirs(directory, exist_ok=True)
+    paths: dict[str, str] = {}
+    text_path = os.path.join(directory, f"{report.experiment}.txt")
+    with open(text_path, "w") as handle:
+        handle.write(report.render() + "\n")
+    paths["text"] = text_path
+    if report.rows:
+        csv_path = os.path.join(directory, f"{report.experiment}.csv")
+        report.write_csv(csv_path)
+        paths["csv"] = csv_path
+    return paths
+
+
+def _jsonable(value: object) -> object:
+    """Best-effort conversion of metadata values into JSON-safe objects."""
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)

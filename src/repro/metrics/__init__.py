@@ -1,0 +1,37 @@
+"""Effectiveness metrics: explanation MAP/recall + detector ROC-AUC/AP."""
+
+from repro.metrics.detection import (
+    detection_average_precision,
+    precision_at_n,
+    roc_auc,
+)
+from repro.metrics.evaluation import (
+    EvaluationResult,
+    evaluate_point_explanations,
+    evaluate_summary,
+    mean_average_precision,
+    mean_recall,
+)
+from repro.metrics.quality import dimension_adjusted_quality
+from repro.metrics.ranking import (
+    average_precision,
+    precision,
+    precision_at_k,
+    recall,
+)
+
+__all__ = [
+    "EvaluationResult",
+    "average_precision",
+    "detection_average_precision",
+    "dimension_adjusted_quality",
+    "evaluate_point_explanations",
+    "evaluate_summary",
+    "mean_average_precision",
+    "mean_recall",
+    "precision",
+    "precision_at_k",
+    "precision_at_n",
+    "recall",
+    "roc_auc",
+]

@@ -1,0 +1,150 @@
+"""Evaluation of explainer output against dataset ground truth.
+
+Binds the ranking metrics of :mod:`repro.metrics.ranking` to the testbed's
+conventions (paper Section 3.3):
+
+* Only points *explained at the requested dimensionality* according to the
+  ground truth participate (``GroundTruth.points_at``), and each point's
+  relevant set is restricted to that dimensionality.
+* A summariser's single ranking serves as the explanation of every point.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+from repro.datasets.base import GroundTruth
+from repro.exceptions import ValidationError
+from repro.explainers.base import RankedSubspaces
+from repro.metrics.ranking import average_precision, recall
+
+__all__ = [
+    "EvaluationResult",
+    "evaluate_point_explanations",
+    "evaluate_summary",
+    "mean_average_precision",
+    "mean_recall",
+]
+
+
+@dataclass(frozen=True)
+class EvaluationResult:
+    """MAP and mean recall over the points explained at one dimensionality.
+
+    Attributes
+    ----------
+    map:
+        Mean average precision (Eq. 3).
+    mean_recall:
+        Mean per-point recall.
+    per_point_ap:
+        Average precision per evaluated point.
+    per_point_recall:
+        Recall per evaluated point.
+    dimensionality:
+        The explanation dimensionality evaluated.
+    """
+
+    map: float
+    mean_recall: float
+    per_point_ap: Mapping[int, float]
+    per_point_recall: Mapping[int, float]
+    dimensionality: int
+
+    @property
+    def n_points(self) -> int:
+        """Number of points that participated in the evaluation."""
+        return len(self.per_point_ap)
+
+
+def evaluate_point_explanations(
+    explanations: Mapping[int, RankedSubspaces],
+    ground_truth: GroundTruth,
+    dimensionality: int,
+    *,
+    points: tuple[int, ...] | None = None,
+) -> EvaluationResult:
+    """Evaluate per-point explanations (Beam / RefOut output).
+
+    Points present in the ground truth at ``dimensionality`` but missing
+    from ``explanations`` count as unexplained (AP = recall = 0), so a
+    partial run cannot inflate its score. When ``points`` is given, only
+    those points (intersected with the ground truth at ``dimensionality``)
+    participate — used by profile-capped experiment runs.
+    """
+    eligible = ground_truth.points_at(dimensionality)
+    if points is not None:
+        wanted = {int(p) for p in points}
+        eligible = tuple(p for p in eligible if p in wanted)
+    points = eligible
+    if not points:
+        raise ValidationError(
+            f"no ground-truth point is explained at dimensionality {dimensionality}"
+        )
+    empty = RankedSubspaces(subspaces=(), scores=())
+    per_ap: dict[int, float] = {}
+    per_recall: dict[int, float] = {}
+    for point in points:
+        relevant = ground_truth.relevant_at(point, dimensionality)
+        retrieved = explanations.get(point, empty).subspaces
+        per_ap[point] = average_precision(retrieved, relevant)
+        per_recall[point] = recall(retrieved, relevant)
+    return EvaluationResult(
+        map=sum(per_ap.values()) / len(per_ap),
+        mean_recall=sum(per_recall.values()) / len(per_recall),
+        per_point_ap=per_ap,
+        per_point_recall=per_recall,
+        dimensionality=int(dimensionality),
+    )
+
+
+def evaluate_summary(
+    summary: RankedSubspaces,
+    ground_truth: GroundTruth,
+    dimensionality: int,
+    *,
+    points: tuple[int, ...] | None = None,
+) -> EvaluationResult:
+    """Evaluate a summarisation (LookOut / HiCS output).
+
+    The shared ranking is treated as the explanation of every point
+    explained at ``dimensionality`` (paper Section 3.3). ``points``
+    optionally restricts the evaluated set, as in
+    :func:`evaluate_point_explanations`.
+    """
+    eligible = ground_truth.points_at(dimensionality)
+    if not eligible:
+        raise ValidationError(
+            f"no ground-truth point is explained at dimensionality {dimensionality}"
+        )
+    return evaluate_point_explanations(
+        {point: summary for point in eligible},
+        ground_truth,
+        dimensionality,
+        points=points,
+    )
+
+
+def mean_average_precision(
+    explanations: Mapping[int, RankedSubspaces],
+    ground_truth: GroundTruth,
+    dimensionality: int,
+) -> float:
+    """MAP of per-point explanations (Eq. 3); see
+    :func:`evaluate_point_explanations`."""
+    return evaluate_point_explanations(
+        explanations, ground_truth, dimensionality
+    ).map
+
+
+def mean_recall(
+    explanations: Mapping[int, RankedSubspaces],
+    ground_truth: GroundTruth,
+    dimensionality: int,
+) -> float:
+    """Mean recall of per-point explanations; see
+    :func:`evaluate_point_explanations`."""
+    return evaluate_point_explanations(
+        explanations, ground_truth, dimensionality
+    ).mean_recall

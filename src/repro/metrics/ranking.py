@@ -1,0 +1,93 @@
+"""Ranking metrics over subspace explanations (paper Section 3.3).
+
+A subspace returned by an explainer counts as relevant for a point only if
+it is *identical* to a ground-truth subspace of that point — no partial
+credit for overlapping feature sets. The metrics:
+
+* ``Precision_a(p) = |REL_p ∩ EXP_a(p)| / |EXP_a(p)|``            (Eq. 1)
+* ``AveP_a(p) = Σ_k P@k(p) · rel(k) / |REL_p|``                   (Eq. 2)
+* ``MAP_a(P) = (1/|P|) Σ_p AveP_a(p)``                            (Eq. 3)
+* ``Recall_a(p) = |REL_p ∩ EXP_a(p)| / |REL_p|`` and its mean.
+
+MAP is rank-sensitive: an explainer that finds the relevant subspace but
+buries it at position 80 of its top-100 scores far below one that ranks it
+first — the paper's motivation for preferring MAP over flat recall.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.exceptions import ValidationError
+from repro.subspaces.subspace import Subspace, as_subspace
+
+__all__ = [
+    "average_precision",
+    "precision",
+    "precision_at_k",
+    "recall",
+]
+
+
+def _normalise(
+    retrieved: Iterable[object], relevant: Iterable[object]
+) -> tuple[list[Subspace], set[Subspace]]:
+    retrieved_list = [as_subspace(s) for s in retrieved]
+    relevant_set = {as_subspace(s) for s in relevant}
+    if not relevant_set:
+        raise ValidationError("relevant set must not be empty")
+    return retrieved_list, relevant_set
+
+
+def precision(retrieved: Iterable[object], relevant: Iterable[object]) -> float:
+    """Fraction of retrieved subspaces that are relevant (Eq. 1).
+
+    Zero when nothing was retrieved.
+    """
+    retrieved_list, relevant_set = _normalise(retrieved, relevant)
+    if not retrieved_list:
+        return 0.0
+    hits = sum(1 for s in retrieved_list if s in relevant_set)
+    return hits / len(retrieved_list)
+
+
+def precision_at_k(
+    retrieved: Sequence[object], relevant: Iterable[object], k: int
+) -> float:
+    """Precision over the first ``k`` retrieved subspaces (P@k)."""
+    retrieved_list, relevant_set = _normalise(retrieved, relevant)
+    if k < 1:
+        raise ValidationError(f"k must be >= 1, got {k}")
+    head = retrieved_list[:k]
+    if not head:
+        return 0.0
+    return sum(1 for s in head if s in relevant_set) / len(head)
+
+
+def average_precision(
+    retrieved: Sequence[object], relevant: Iterable[object]
+) -> float:
+    """Average precision of a ranking (Eq. 2).
+
+    ``AveP = Σ_k P@k · rel(k) / |REL|`` where ``rel(k)`` indicates whether
+    the subspace at position ``k`` is relevant. Equals 1.0 exactly when all
+    relevant subspaces occupy the top ranks; 0.0 when none was retrieved.
+    Duplicate retrieved subspaces credit only their first occurrence.
+    """
+    retrieved_list, relevant_set = _normalise(retrieved, relevant)
+    hits = 0
+    score = 0.0
+    seen: set[Subspace] = set()
+    for position, subspace in enumerate(retrieved_list, start=1):
+        if subspace in relevant_set and subspace not in seen:
+            hits += 1
+            score += hits / position
+        seen.add(subspace)
+    return score / len(relevant_set)
+
+
+def recall(retrieved: Iterable[object], relevant: Iterable[object]) -> float:
+    """Fraction of relevant subspaces that were retrieved (order-blind)."""
+    retrieved_list, relevant_set = _normalise(retrieved, relevant)
+    found = relevant_set & set(retrieved_list)
+    return len(found) / len(relevant_set)

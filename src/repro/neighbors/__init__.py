@@ -1,0 +1,18 @@
+"""Nearest-neighbour substrate: pairwise distances and k-NN queries.
+
+LOF and Fast ABOD (and the extension k-NN detector) are built on this
+module. Everything is brute-force NumPy: the paper's datasets are ~1000
+points, where a vectorised O(N^2) distance matrix comfortably beats tree
+indexes, and the explainers re-project data onto thousands of small
+subspaces where tree construction cost would dominate.
+"""
+
+from repro.neighbors.distance import euclidean_cdist, euclidean_pdist_matrix
+from repro.neighbors.knn import KNNIndex, kneighbors
+
+__all__ = [
+    "KNNIndex",
+    "euclidean_cdist",
+    "euclidean_pdist_matrix",
+    "kneighbors",
+]

@@ -1,0 +1,60 @@
+"""Vectorised Euclidean distance computations.
+
+Implemented with the expansion ``|a-b|^2 = |a|^2 + |b|^2 - 2 a.b`` which runs
+as a single matrix multiply. Negative squared distances caused by floating
+point cancellation are clamped to zero before the square root, and exact
+self-distances on the diagonal are forced to zero so that downstream k-NN
+code can rely on ``d(x, x) == 0`` exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_matrix
+
+__all__ = ["euclidean_cdist", "euclidean_pdist_matrix"]
+
+
+def euclidean_cdist(A: np.ndarray, B: np.ndarray) -> np.ndarray:
+    """Pairwise Euclidean distances between the rows of ``A`` and ``B``.
+
+    Parameters
+    ----------
+    A:
+        Array of shape ``(n, d)``.
+    B:
+        Array of shape ``(m, d)``.
+
+    Returns
+    -------
+    numpy.ndarray
+        Distance matrix of shape ``(n, m)``.
+    """
+    A = check_matrix(A, name="A")
+    B = check_matrix(B, name="B")
+    if A.shape[1] != B.shape[1]:
+        from repro.exceptions import ValidationError
+
+        raise ValidationError(
+            f"A and B must share the feature dimension, got {A.shape[1]} and {B.shape[1]}"
+        )
+    sq_a = np.einsum("ij,ij->i", A, A)[:, None]
+    sq_b = np.einsum("ij,ij->i", B, B)[None, :]
+    sq = sq_a + sq_b - 2.0 * (A @ B.T)
+    np.maximum(sq, 0.0, out=sq)
+    return np.sqrt(sq)
+
+
+def euclidean_pdist_matrix(X: np.ndarray) -> np.ndarray:
+    """Full symmetric pairwise distance matrix of the rows of ``X``.
+
+    The diagonal is exactly zero and the matrix is exactly symmetric
+    (computed once and mirrored), which keeps LOF's reachability distances
+    deterministic regardless of row order.
+    """
+    X = check_matrix(X, name="X")
+    D = euclidean_cdist(X, X)
+    D = 0.5 * (D + D.T)
+    np.fill_diagonal(D, 0.0)
+    return D

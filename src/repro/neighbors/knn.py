@@ -1,0 +1,112 @@
+"""k-nearest-neighbour queries over a fixed reference set.
+
+:class:`KNNIndex` precomputes the full distance matrix once and answers
+neighbour queries by partial sorting; :func:`kneighbors` is the one-shot
+functional form. Self-neighbours are always excluded, matching the
+convention of LOF and Fast ABOD where a point is never its own neighbour.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.neighbors.distance import euclidean_cdist, euclidean_pdist_matrix
+from repro.utils.validation import check_matrix, check_positive_int
+
+__all__ = ["KNNIndex", "kneighbors"]
+
+
+class KNNIndex:
+    """Brute-force k-NN index over the rows of a data matrix.
+
+    Parameters
+    ----------
+    X:
+        Reference points, shape ``(n, d)``. ``n`` must be at least 2 so that
+        every point has at least one non-self neighbour.
+
+    Notes
+    -----
+    Ties in distance are broken by row index (NumPy's stable ``argsort``),
+    so results are deterministic.
+    """
+
+    def __init__(self, X: np.ndarray) -> None:
+        self.X = check_matrix(X, name="X", min_rows=2)
+        self._dist = euclidean_pdist_matrix(self.X)
+        # A point must not be its own neighbour: mask the diagonal.
+        self._masked = self._dist.copy()
+        np.fill_diagonal(self._masked, np.inf)
+
+    @property
+    def n_samples(self) -> int:
+        """Number of indexed points."""
+        return self.X.shape[0]
+
+    @property
+    def distances(self) -> np.ndarray:
+        """The full pairwise distance matrix (diagonal zero)."""
+        return self._dist
+
+    def kneighbors(self, k: int) -> tuple[np.ndarray, np.ndarray]:
+        """Indices and distances of the ``k`` nearest non-self neighbours.
+
+        Returns
+        -------
+        (indices, distances):
+            Two arrays of shape ``(n, k)``; column ``j`` holds the
+            ``(j+1)``-th nearest neighbour, sorted ascending by distance.
+        """
+        k = self._check_k(k)
+        order = _smallest_k(self._masked, k)
+        dist = np.take_along_axis(self._masked, order, axis=1)
+        return order, dist
+
+    def kth_distance(self, k: int) -> np.ndarray:
+        """Distance of every point to its ``k``-th nearest non-self neighbour."""
+        _, dist = self.kneighbors(k)
+        return dist[:, -1]
+
+    def query(self, Q: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+        """k-NN of external query points ``Q`` among the indexed points.
+
+        Unlike :meth:`kneighbors`, nothing is masked: a query point that
+        coincides with an indexed point will find it at distance zero.
+        """
+        k = self._check_k(k, allow_equal=True)
+        Q = check_matrix(Q, name="Q")
+        D = euclidean_cdist(Q, self.X)
+        order = _smallest_k(D, k)
+        dist = np.take_along_axis(D, order, axis=1)
+        return order, dist
+
+    def _check_k(self, k: int, *, allow_equal: bool = False) -> int:
+        k = check_positive_int(k, name="k")
+        limit = self.n_samples if allow_equal else self.n_samples - 1
+        if k > limit:
+            raise ValidationError(
+                f"k={k} exceeds the number of available neighbours ({limit})"
+            )
+        return k
+
+
+def kneighbors(X: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+    """One-shot k-NN over the rows of ``X`` (self-neighbours excluded)."""
+    return KNNIndex(X).kneighbors(k)
+
+
+def _smallest_k(D: np.ndarray, k: int) -> np.ndarray:
+    """Column indices of the k smallest entries per row, sorted ascending.
+
+    ``argpartition`` selects the k smallest in O(n) per row, then only those
+    k are sorted — much cheaper than a full-row argsort for k << n.
+    Ties are broken by column index for determinism.
+    """
+    if k >= D.shape[1]:
+        return np.argsort(D, axis=1, kind="stable")[:, :k]
+    part = np.argpartition(D, k, axis=1)[:, :k]
+    part.sort(axis=1)  # index order first: makes the distance sort stable
+    part_dist = np.take_along_axis(D, part, axis=1)
+    inner = np.argsort(part_dist, axis=1, kind="stable")
+    return np.take_along_axis(part, inner, axis=1)

@@ -1,0 +1,14 @@
+"""Detector × explainer pipelines, grid execution, result tables."""
+
+from repro.pipeline.parallel import run_grid_parallel
+from repro.pipeline.pipeline import ExplanationPipeline, PipelineResult
+from repro.pipeline.results import ResultTable
+from repro.pipeline.runner import GridRunner
+
+__all__ = [
+    "ExplanationPipeline",
+    "GridRunner",
+    "PipelineResult",
+    "ResultTable",
+    "run_grid_parallel",
+]

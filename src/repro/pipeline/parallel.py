@@ -1,0 +1,132 @@
+"""Process-parallel execution of pipeline grids.
+
+The paper-scale sweeps are embarrassingly parallel across
+(dataset × detector) groups, and NumPy work inside a cell does not share
+anything with other cells. :func:`run_grid_parallel` fans the groups out
+over a process pool while keeping each group's cells *within* one worker,
+so the per-(dataset, detector) scorer cache still amortises detector cost
+exactly as in serial execution.
+
+Grouping by (dataset, detector) rather than by single cell is the load
+unit because it preserves the cache and keeps pickling traffic low (one
+dataset ship per group). Results are returned in deterministic
+(dataset, detector, explainer, dimensionality) order regardless of worker
+scheduling.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+from collections.abc import Callable, Iterable, Sequence
+
+from repro.datasets.base import Dataset
+from repro.detectors.base import Detector
+from repro.exceptions import ExperimentError
+from repro.explainers.base import PointExplainer, SummaryExplainer
+from repro.pipeline.pipeline import ExplanationPipeline, PipelineResult
+from repro.pipeline.results import ResultTable
+
+__all__ = ["run_grid_parallel"]
+
+_SKIP = "skip"
+
+GroupSpec = tuple[
+    Dataset,
+    Detector,
+    list[object],  # explainer instances
+    list[tuple[int, tuple[int, ...] | None]],  # (dimensionality, points)
+]
+
+
+def run_grid_parallel(
+    datasets: Sequence[Dataset],
+    detectors: Sequence[Detector],
+    explainer_factories: Sequence[Callable[[], object]],
+    dimensionalities: Sequence[int],
+    *,
+    n_jobs: int = 2,
+    points_selector: Callable[[Dataset, int], tuple[int, ...]] | None = None,
+    skip_errors: bool = True,
+) -> tuple[ResultTable, list[tuple[str, str, str, int, str]]]:
+    """Run the full grid over a process pool.
+
+    Parameters mirror :class:`~repro.pipeline.GridRunner`; ``n_jobs`` is
+    the worker count (1 falls back to in-process execution). Returns the
+    result table and the skipped-cell records.
+
+    All components must be picklable — true for every detector, explainer
+    and dataset in this library.
+    """
+    if n_jobs < 1:
+        raise ExperimentError(f"n_jobs must be >= 1, got {n_jobs}")
+    if not datasets or not detectors or not explainer_factories:
+        raise ExperimentError("datasets, detectors and explainers are required")
+
+    groups: list[GroupSpec] = []
+    for dataset in datasets:
+        available = set(dataset.ground_truth.dimensionalities())
+        cells: list[tuple[int, tuple[int, ...] | None]] = []
+        for dimensionality in dimensionalities:
+            if dimensionality not in available:
+                continue
+            points = None
+            if points_selector is not None:
+                points = points_selector(dataset, dimensionality)
+                if not points:
+                    continue
+            cells.append((dimensionality, points))
+        if not cells:
+            continue
+        for detector in detectors:
+            explainers = [factory() for factory in explainer_factories]
+            groups.append((dataset, detector, explainers, cells))
+
+    if n_jobs == 1:
+        outcomes = [_run_group(group, skip_errors) for group in groups]
+    else:
+        with concurrent.futures.ProcessPoolExecutor(max_workers=n_jobs) as pool:
+            outcomes = list(
+                pool.map(_run_group_safe, ((g, skip_errors) for g in groups))
+            )
+
+    table = ResultTable()
+    skipped: list[tuple[str, str, str, int, str]] = []
+    for results, group_skipped in outcomes:
+        table.extend(results)
+        skipped.extend(group_skipped)
+    return table, skipped
+
+
+def _run_group_safe(
+    packed: tuple[GroupSpec, bool]
+) -> tuple[list[PipelineResult], list[tuple[str, str, str, int, str]]]:
+    group, skip_errors = packed
+    return _run_group(group, skip_errors)
+
+
+def _run_group(
+    group: GroupSpec, skip_errors: bool
+) -> tuple[list[PipelineResult], list[tuple[str, str, str, int, str]]]:
+    dataset, detector, explainers, cells = group
+    results: list[PipelineResult] = []
+    skipped: list[tuple[str, str, str, int, str]] = []
+    for explainer in explainers:
+        pipeline = ExplanationPipeline(detector, explainer)  # type: ignore[arg-type]
+        for dimensionality, points in cells:
+            try:
+                results.append(
+                    pipeline.run(dataset, dimensionality, points=points)
+                )
+            except Exception as exc:  # noqa: BLE001 - surfaced to caller
+                if not skip_errors:
+                    raise
+                skipped.append(
+                    (
+                        dataset.name,
+                        detector.name,
+                        getattr(explainer, "name", type(explainer).__name__),
+                        dimensionality,
+                        f"{type(exc).__name__}: {exc}",
+                    )
+                )
+    return results, skipped

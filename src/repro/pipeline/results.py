@@ -1,0 +1,151 @@
+"""Result collection: a small typed result table with pivot and CSV output.
+
+The experiment modules produce many :class:`PipelineResult` records; this
+module aggregates them for reporting — no pandas dependency, just enough
+relational algebra (filter, pivot, group) for the paper's tables and
+figure series.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from collections.abc import Callable, Iterable, Iterator, Sequence
+
+from repro.exceptions import ValidationError
+from repro.pipeline.pipeline import PipelineResult
+from repro.utils.tables import format_table
+
+__all__ = ["ResultTable"]
+
+
+class ResultTable:
+    """An ordered collection of pipeline results.
+
+    Examples
+    --------
+    >>> table = ResultTable()          # doctest: +SKIP
+    >>> table.add(result)              # doctest: +SKIP
+    >>> table.filter(detector="lof").pivot(
+    ...     rows="dimensionality", cols="explainer", value="map"
+    ... )                              # doctest: +SKIP
+    """
+
+    def __init__(self, results: Iterable[PipelineResult] = ()) -> None:
+        self._results: list[PipelineResult] = list(results)
+
+    def add(self, result: PipelineResult) -> None:
+        """Append one result."""
+        if not isinstance(result, PipelineResult):
+            raise ValidationError(
+                f"expected PipelineResult, got {type(result).__name__}"
+            )
+        self._results.append(result)
+
+    def extend(self, results: Iterable[PipelineResult]) -> None:
+        """Append several results."""
+        for result in results:
+            self.add(result)
+
+    def __len__(self) -> int:
+        return len(self._results)
+
+    def __iter__(self) -> Iterator[PipelineResult]:
+        return iter(self._results)
+
+    def filter(self, **criteria: object) -> "ResultTable":
+        """Rows whose ``as_row()`` record matches every criterion exactly."""
+        kept = [
+            r
+            for r in self._results
+            if all(r.as_row().get(k) == v for k, v in criteria.items())
+        ]
+        return ResultTable(kept)
+
+    def rows(self) -> list[dict[str, object]]:
+        """All results as flat records."""
+        return [r.as_row() for r in self._results]
+
+    def values(self, field: str) -> list[object]:
+        """The given field of every row, in insertion order."""
+        return [row[field] for row in self.rows()]
+
+    def pivot(
+        self,
+        rows: str,
+        cols: str,
+        value: str,
+        *,
+        aggregate: Callable[[Sequence[float]], float] | None = None,
+    ) -> tuple[list[object], list[object], list[list[float | None]]]:
+        """Pivot results into a dense grid.
+
+        Returns ``(row_keys, col_keys, grid)`` with ``grid[i][j]`` the
+        value at ``(row_keys[i], col_keys[j])`` — ``None`` when absent,
+        aggregated with ``aggregate`` (default: mean) when several results
+        share a cell.
+        """
+        records = self.rows()
+        row_keys = sorted({r[rows] for r in records}, key=_sort_key)
+        col_keys = sorted({r[cols] for r in records}, key=_sort_key)
+        cells: dict[tuple[object, object], list[float]] = {}
+        for record in records:
+            cells.setdefault((record[rows], record[cols]), []).append(
+                float(record[value])  # type: ignore[arg-type]
+            )
+        agg = aggregate if aggregate is not None else _mean
+        grid: list[list[float | None]] = [
+            [
+                agg(cells[(rk, ck)]) if (rk, ck) in cells else None
+                for ck in col_keys
+            ]
+            for rk in row_keys
+        ]
+        return row_keys, col_keys, grid
+
+    def to_ascii(
+        self,
+        rows: str,
+        cols: str,
+        value: str,
+        *,
+        title: str | None = None,
+    ) -> str:
+        """Render a pivot as an aligned ASCII table."""
+        row_keys, col_keys, grid = self.pivot(rows, cols, value)
+        headers = [rows] + [str(c) for c in col_keys]
+        body = [
+            [rk] + [("-" if v is None else v) for v in line]
+            for rk, line in zip(row_keys, grid)
+        ]
+        return format_table(headers, body, title=title)
+
+    def to_csv(self) -> str:
+        """All rows as CSV text (header included)."""
+        records = self.rows()
+        if not records:
+            return ""
+        buffer = io.StringIO()
+        writer = csv.DictWriter(buffer, fieldnames=list(records[0]))
+        writer.writeheader()
+        writer.writerows(records)
+        return buffer.getvalue()
+
+    def write_csv(self, path: str) -> None:
+        """Write :meth:`to_csv` output to ``path``."""
+        with open(path, "w", newline="") as handle:
+            handle.write(self.to_csv())
+
+    def __repr__(self) -> str:
+        return f"ResultTable({len(self)} results)"
+
+
+def _mean(values: Sequence[float]) -> float:
+    return sum(values) / len(values)
+
+
+def _sort_key(value: object) -> tuple[int, object]:
+    # Numbers before strings, each sorted naturally.
+    if isinstance(value, (int, float)):
+        return (0, value)
+    return (1, str(value))

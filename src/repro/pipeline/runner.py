@@ -1,0 +1,123 @@
+"""Grid runner: all detector × explainer × dataset × dimensionality cells.
+
+The paper's evaluation is a cross-product (Figure 7: 12 pipelines × 8
+datasets × explanation dimensionalities 2–5). :class:`GridRunner` executes
+such a grid with shared scorer caches per (dataset, detector) — the same
+amortisation the testbed relies on — and collects a
+:class:`~repro.pipeline.results.ResultTable`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Sequence
+
+from repro.datasets.base import Dataset
+from repro.detectors.base import Detector
+from repro.exceptions import ExperimentError
+from repro.explainers.base import PointExplainer, SummaryExplainer
+from repro.pipeline.pipeline import ExplanationPipeline, PipelineResult
+from repro.pipeline.results import ResultTable
+
+__all__ = ["GridRunner"]
+
+ExplainerLike = "PointExplainer | SummaryExplainer"
+ProgressHook = Callable[[PipelineResult], None]
+
+
+class GridRunner:
+    """Runs every combination of the supplied components.
+
+    Parameters
+    ----------
+    detectors:
+        Detector instances (reused across explainers via shared scorers).
+    explainer_factories:
+        Zero-argument callables producing fresh explainer instances —
+        factories rather than instances so stateful explainers cannot leak
+        state across grid cells.
+    on_result:
+        Optional callback invoked after each cell (progress reporting).
+    skip_errors:
+        When ``True``, cells that raise are recorded as skipped instead of
+        aborting the grid (mirrors the paper running some pipelines "only
+        up to 3d explanations" where others were infeasible).
+    points_selector:
+        Optional ``(dataset, dimensionality) -> points`` hook restricting
+        which ground-truth points each cell explains (experiment profiles
+        cap the outlier count for scaled-down runs). ``None`` explains all
+        points the ground truth defines at the dimensionality.
+    """
+
+    def __init__(
+        self,
+        detectors: Sequence[Detector],
+        explainer_factories: Sequence[Callable[[], object]],
+        *,
+        on_result: ProgressHook | None = None,
+        skip_errors: bool = False,
+        points_selector: Callable[[Dataset, int], tuple[int, ...]] | None = None,
+    ) -> None:
+        if not detectors:
+            raise ExperimentError("at least one detector is required")
+        if not explainer_factories:
+            raise ExperimentError("at least one explainer factory is required")
+        self.detectors = list(detectors)
+        self.explainer_factories = list(explainer_factories)
+        self.on_result = on_result
+        self.skip_errors = skip_errors
+        self.points_selector = points_selector
+        self.skipped: list[tuple[str, str, str, int, str]] = []
+        # One pipeline per (detector, factory) so scorer caches persist
+        # across datasets and dimensionalities.
+        self._pipelines = [
+            ExplanationPipeline(detector, factory())  # type: ignore[arg-type]
+            for detector in self.detectors
+            for factory in self.explainer_factories
+        ]
+
+    @property
+    def pipelines(self) -> list[ExplanationPipeline]:
+        """All detector × explainer pipelines of the grid."""
+        return list(self._pipelines)
+
+    def run(
+        self,
+        datasets: Iterable[Dataset],
+        dimensionalities: Sequence[int],
+    ) -> ResultTable:
+        """Execute the full grid and return the collected results.
+
+        Cells whose dataset has no ground-truth point at a requested
+        dimensionality are skipped silently (they are not defined).
+        """
+        table = ResultTable()
+        for dataset in datasets:
+            available = set(dataset.ground_truth.dimensionalities())
+            for dimensionality in dimensionalities:
+                if dimensionality not in available:
+                    continue
+                points: tuple[int, ...] | None = None
+                if self.points_selector is not None:
+                    points = self.points_selector(dataset, dimensionality)
+                    if not points:
+                        continue
+                for pipeline in self._pipelines:
+                    try:
+                        result = pipeline.run(dataset, dimensionality, points=points)
+                    except Exception as exc:  # noqa: BLE001 - reported below
+                        if not self.skip_errors:
+                            raise
+                        self.skipped.append(
+                            (
+                                dataset.name,
+                                pipeline.detector.name,
+                                pipeline.explainer.name,
+                                dimensionality,
+                                f"{type(exc).__name__}: {exc}",
+                            )
+                        )
+                        continue
+                    table.add(result)
+                    if self.on_result is not None:
+                        self.on_result(result)
+        return table

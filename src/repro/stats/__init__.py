@@ -1,0 +1,44 @@
+"""Statistical substrate built from scratch (no scipy at runtime).
+
+Provides exactly the machinery the explanation algorithms need:
+
+* :func:`welch_t_test` — RefOut's feature-importance discrepancy measure and
+  one of HiCS's subspace-contrast tests (paper Section 2.2/2.3).
+* :func:`ks_test` — HiCS's alternative contrast test (paper footnote 2).
+* :func:`zscores` — the dimensionality-bias standardisation applied to
+  detector scores before comparing subspaces (RefOut/Beam equation in
+  Section 2.2).
+
+The Student-t and Kolmogorov distributions needed for p-values are
+implemented in :mod:`repro.stats.special`; the test-suite validates them
+against scipy as an oracle.
+"""
+
+from repro.stats.descriptive import sample_mean, sample_std, sample_var
+from repro.stats.ks import KSResult, ks_statistic, ks_test
+from repro.stats.special import (
+    kolmogorov_sf,
+    log_beta,
+    regularized_incomplete_beta,
+    student_t_sf,
+)
+from repro.stats.welch import WelchResult, welch_statistic, welch_t_test
+from repro.stats.zscore import zscore_of, zscores
+
+__all__ = [
+    "KSResult",
+    "WelchResult",
+    "kolmogorov_sf",
+    "ks_statistic",
+    "ks_test",
+    "log_beta",
+    "regularized_incomplete_beta",
+    "sample_mean",
+    "sample_std",
+    "sample_var",
+    "student_t_sf",
+    "welch_statistic",
+    "welch_t_test",
+    "zscore_of",
+    "zscores",
+]

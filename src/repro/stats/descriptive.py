@@ -1,0 +1,33 @@
+"""Descriptive statistics with explicit degrees-of-freedom conventions.
+
+Thin, named wrappers over NumPy so the statistical code reads like the
+formulas in the paper: sample variance always uses the unbiased ``ddof=1``
+estimator (as required by Welch's test), while population variance is used
+for z-score standardisation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_vector
+
+__all__ = ["sample_mean", "sample_std", "sample_var"]
+
+
+def sample_mean(x: np.ndarray) -> float:
+    """Arithmetic mean of a 1-d sample."""
+    return float(np.mean(check_vector(x, name="x")))
+
+
+def sample_var(x: np.ndarray) -> float:
+    """Unbiased sample variance (``ddof=1``); 0.0 for a single observation."""
+    x = check_vector(x, name="x")
+    if x.shape[0] < 2:
+        return 0.0
+    return float(np.var(x, ddof=1))
+
+
+def sample_std(x: np.ndarray) -> float:
+    """Unbiased sample standard deviation (square root of :func:`sample_var`)."""
+    return float(np.sqrt(sample_var(x)))

@@ -1,0 +1,157 @@
+"""Special functions backing p-value computations.
+
+Implements, from scratch:
+
+* ``log_beta`` — log of the Euler beta function via ``math.lgamma``.
+* ``regularized_incomplete_beta`` — I_x(a, b) by the Lentz continued
+  fraction (Numerical Recipes 6.4), accurate to ~1e-14.
+* ``student_t_sf`` — two-* and one-sided survival functions of Student's t
+  distribution, expressed through the incomplete beta function.
+* ``kolmogorov_sf`` — asymptotic survival function of the Kolmogorov
+  distribution used by the two-sample KS test.
+
+These are the only transcendental pieces the library needs; keeping them in
+one module makes the scipy-oracle tests focused.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.exceptions import ValidationError
+
+__all__ = [
+    "kolmogorov_sf",
+    "log_beta",
+    "regularized_incomplete_beta",
+    "student_t_sf",
+]
+
+_MAX_CF_ITERATIONS = 300
+_CF_EPS = 1e-15
+_CF_TINY = 1e-300
+
+
+def log_beta(a: float, b: float) -> float:
+    """Natural log of the beta function ``B(a, b)`` for ``a, b > 0``."""
+    if a <= 0 or b <= 0:
+        raise ValidationError(f"log_beta requires a, b > 0, got a={a}, b={b}")
+    return math.lgamma(a) + math.lgamma(b) - math.lgamma(a + b)
+
+
+def regularized_incomplete_beta(a: float, b: float, x: float) -> float:
+    """Regularised incomplete beta function ``I_x(a, b)``.
+
+    Uses the continued-fraction expansion with the symmetry
+    ``I_x(a, b) = 1 - I_{1-x}(b, a)`` to stay in the rapidly-converging
+    region ``x < (a + 1) / (a + b + 2)``.
+    """
+    if a <= 0 or b <= 0:
+        raise ValidationError(f"incomplete beta requires a, b > 0, got a={a}, b={b}")
+    if not 0.0 <= x <= 1.0:
+        raise ValidationError(f"incomplete beta requires x in [0, 1], got {x}")
+    if x == 0.0:
+        return 0.0
+    if x == 1.0:
+        return 1.0
+    log_front = (
+        a * math.log(x) + b * math.log1p(-x) - math.log(a) - log_beta(a, b)
+    )
+    front = math.exp(log_front)
+    if x < (a + 1.0) / (a + b + 2.0):
+        return front * _beta_continued_fraction(a, b, x)
+    # Symmetry: evaluate the mirrored fraction, which converges fast there.
+    log_front_m = (
+        b * math.log1p(-x) + a * math.log(x) - math.log(b) - log_beta(a, b)
+    )
+    return 1.0 - math.exp(log_front_m) * _beta_continued_fraction(b, a, 1.0 - x)
+
+
+def _beta_continued_fraction(a: float, b: float, x: float) -> float:
+    """Lentz's algorithm for the incomplete-beta continued fraction."""
+    qab = a + b
+    qap = a + 1.0
+    qam = a - 1.0
+    c = 1.0
+    d = 1.0 - qab * x / qap
+    if abs(d) < _CF_TINY:
+        d = _CF_TINY
+    d = 1.0 / d
+    h = d
+    for m in range(1, _MAX_CF_ITERATIONS + 1):
+        m2 = 2 * m
+        # Even step.
+        aa = m * (b - m) * x / ((qam + m2) * (a + m2))
+        d = 1.0 + aa * d
+        if abs(d) < _CF_TINY:
+            d = _CF_TINY
+        c = 1.0 + aa / c
+        if abs(c) < _CF_TINY:
+            c = _CF_TINY
+        d = 1.0 / d
+        h *= d * c
+        # Odd step.
+        aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2))
+        d = 1.0 + aa * d
+        if abs(d) < _CF_TINY:
+            d = _CF_TINY
+        c = 1.0 + aa / c
+        if abs(c) < _CF_TINY:
+            c = _CF_TINY
+        d = 1.0 / d
+        delta = d * c
+        h *= delta
+        if abs(delta - 1.0) < _CF_EPS:
+            return h
+    return h  # Converged to float precision in practice well before this.
+
+
+def student_t_sf(t: float, df: float, *, two_sided: bool = True) -> float:
+    """Survival function of Student's t distribution.
+
+    Parameters
+    ----------
+    t:
+        Observed statistic.
+    df:
+        Degrees of freedom (may be fractional, as produced by the
+        Welch–Satterthwaite approximation).
+    two_sided:
+        When ``True`` (default) returns ``P(|T| >= |t|)``; otherwise
+        ``P(T >= t)``.
+    """
+    if df <= 0:
+        raise ValidationError(f"degrees of freedom must be positive, got {df}")
+    if math.isnan(t):
+        return float("nan")
+    if math.isinf(t):
+        tail = 0.0
+    else:
+        x = df / (df + t * t)
+        # P(|T| >= |t|) = I_x(df/2, 1/2)
+        tail = regularized_incomplete_beta(df / 2.0, 0.5, x)
+    if two_sided:
+        return min(1.0, max(0.0, tail))
+    one_sided = tail / 2.0
+    if t < 0:
+        one_sided = 1.0 - one_sided
+    return min(1.0, max(0.0, one_sided))
+
+
+def kolmogorov_sf(x: float, *, terms: int = 101) -> float:
+    """Asymptotic Kolmogorov distribution survival function ``Q(x)``.
+
+    ``Q(x) = 2 * sum_{j>=1} (-1)^(j-1) exp(-2 j^2 x^2)``, the limiting null
+    distribution of ``sqrt(n) * D_n``. Clamped to ``[0, 1]``.
+    """
+    if x <= 0.0:
+        return 1.0
+    total = 0.0
+    sign = 1.0
+    for j in range(1, terms + 1):
+        term = sign * math.exp(-2.0 * (j ** 2) * (x ** 2))
+        total += term
+        if abs(term) < 1e-16:
+            break
+        sign = -sign
+    return min(1.0, max(0.0, 2.0 * total))

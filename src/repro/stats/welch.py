@@ -1,0 +1,103 @@
+"""Welch's two-sample t-test (unequal variances, unequal sizes).
+
+This is the statistical workhorse of the testbed: RefOut uses it to measure
+how strongly a feature shifts the distribution of outlyingness scores
+between random subspaces that contain the feature and those that do not
+(paper Section 2.2), and HiCS uses it as one of its subspace-contrast tests
+(Section 2.3, footnote 2).
+
+Reference: B. L. Welch, "The significance of the difference between two
+means when the population variances are unequal", Biometrika 29 (1938).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.stats.special import student_t_sf
+from repro.utils.validation import check_vector
+
+__all__ = ["WelchResult", "welch_statistic", "welch_t_test"]
+
+
+@dataclass(frozen=True)
+class WelchResult:
+    """Outcome of Welch's t-test.
+
+    Attributes
+    ----------
+    statistic:
+        The t statistic. ``nan`` when both samples are constant and equal.
+    p_value:
+        Two-sided p-value under the null of equal means.
+    df:
+        Welch–Satterthwaite effective degrees of freedom.
+    """
+
+    statistic: float
+    p_value: float
+    df: float
+
+    @property
+    def discrepancy(self) -> float:
+        """RefOut's discrepancy measure: the magnitude of the statistic.
+
+        Larger means the two score populations differ more; ``0.0`` when the
+        test is degenerate (``nan`` statistic).
+        """
+        return 0.0 if math.isnan(self.statistic) else abs(self.statistic)
+
+
+def welch_statistic(a: np.ndarray, b: np.ndarray) -> tuple[float, float]:
+    """Welch t statistic and effective degrees of freedom for two samples.
+
+    Returns ``(statistic, df)``. Degenerate cases:
+
+    * both samples constant with equal means → ``(nan, 1.0)``;
+    * both constant with different means → ``(±inf, 1.0)``.
+    """
+    a = check_vector(a, name="a", min_len=2)
+    b = check_vector(b, name="b", min_len=2)
+    mean_a, mean_b = float(np.mean(a)), float(np.mean(b))
+    var_a = float(np.var(a, ddof=1))
+    var_b = float(np.var(b, ddof=1))
+    n_a, n_b = a.shape[0], b.shape[0]
+    se_a = var_a / n_a
+    se_b = var_b / n_b
+    se = se_a + se_b
+    if se == 0.0:
+        if mean_a == mean_b:
+            return float("nan"), 1.0
+        return math.copysign(float("inf"), mean_a - mean_b), 1.0
+    statistic = (mean_a - mean_b) / math.sqrt(se)
+    # Welch–Satterthwaite approximation. Guard each term: a constant sample
+    # contributes zero to the denominator.
+    denom = 0.0
+    if se_a > 0.0:
+        denom += se_a**2 / (n_a - 1)
+    if se_b > 0.0:
+        denom += se_b**2 / (n_b - 1)
+    df = se**2 / denom if denom > 0.0 else float(max(n_a, n_b) - 1)
+    return statistic, df
+
+
+def welch_t_test(a: np.ndarray, b: np.ndarray) -> WelchResult:
+    """Run Welch's two-sided t-test on samples ``a`` and ``b``.
+
+    Raises
+    ------
+    ValidationError
+        If either sample has fewer than two observations.
+    """
+    statistic, df = welch_statistic(a, b)
+    if math.isnan(statistic):
+        p_value = 1.0
+    elif math.isinf(statistic):
+        p_value = 0.0
+    else:
+        p_value = student_t_sf(statistic, df, two_sided=True)
+    return WelchResult(statistic=statistic, p_value=p_value, df=df)

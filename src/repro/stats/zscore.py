@@ -1,0 +1,55 @@
+"""Z-score standardisation of detector scores.
+
+Raw outlyingness scores are not comparable across subspaces of different
+dimensionality (e.g. distances grow with dimension), so RefOut and Beam
+standardise the score of a point within each subspace against the score
+distribution of *all* points in that subspace (paper Section 2.2):
+
+    score'(p_s) = (score(p_s) - mean(score_s)) / sqrt(Var(score_s))
+
+A constant score vector (zero variance) maps to all-zero z-scores: no point
+stands out in such a subspace, which is exactly the semantics the explainers
+need.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.utils.validation import check_vector
+
+__all__ = ["zscore_of", "zscores"]
+
+
+def zscores(scores: np.ndarray) -> np.ndarray:
+    """Standardise a score vector to zero mean and unit variance.
+
+    Uses the population variance (``ddof=0``), matching the paper's formula
+    which normalises by ``Var(score_s)`` over the full population of points.
+    Returns an all-zero vector when the scores are constant.
+    """
+    scores = check_vector(scores, name="scores")
+    mean = scores.mean()
+    std = scores.std()
+    if std == 0.0 or not np.isfinite(std):
+        return np.zeros_like(scores)
+    return (scores - mean) / std
+
+
+def zscore_of(scores: np.ndarray, index: int) -> float:
+    """Z-score of the point at ``index`` within the score vector.
+
+    Equivalent to ``zscores(scores)[index]`` but avoids materialising the
+    full standardised vector.
+    """
+    scores = check_vector(scores, name="scores")
+    if not 0 <= index < scores.shape[0]:
+        raise ValidationError(
+            f"index {index} out of range for {scores.shape[0]} scores"
+        )
+    mean = scores.mean()
+    std = scores.std()
+    if std == 0.0 or not np.isfinite(std):
+        return 0.0
+    return float((scores[index] - mean) / std)

@@ -1,0 +1,31 @@
+"""Streaming extension: windowed detection + on-arrival explanation.
+
+The paper's Section 6 flags stream settings as the next step for outlier
+explanation ("it is also interesting to investigate outlier explanation in
+stream processing settings such as LODA"). This package provides the
+minimal substrate to experiment with that:
+
+* :class:`SlidingWindow` — fixed-capacity ring buffer over points;
+* :class:`StreamingDetector` — scores each arriving point against the
+  current window with any batch :class:`~repro.detectors.Detector`;
+* :class:`StreamingExplainer` — when a point's windowed score crosses a
+  z-threshold, runs a point explainer on the window and emits an
+  :class:`ExplainedAnomaly` event;
+* :func:`drifting_stream` — a generator of HiCS-style streams with
+  injected subspace anomalies and an optional mid-stream concept drift,
+  for evaluating how windowing interacts with explanation quality.
+"""
+
+from repro.stream.detector import StreamingDetector
+from repro.stream.explain import ExplainedAnomaly, StreamingExplainer
+from repro.stream.generator import StreamAnomaly, drifting_stream
+from repro.stream.window import SlidingWindow
+
+__all__ = [
+    "ExplainedAnomaly",
+    "SlidingWindow",
+    "StreamAnomaly",
+    "StreamingDetector",
+    "StreamingExplainer",
+    "drifting_stream",
+]

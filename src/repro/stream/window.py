@@ -1,0 +1,79 @@
+"""Fixed-capacity sliding window over multivariate points."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.utils.validation import check_positive_int, check_vector
+
+__all__ = ["SlidingWindow"]
+
+
+class SlidingWindow:
+    """Ring buffer of the most recent ``capacity`` points.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of retained points.
+    n_features:
+        Dimensionality of the points.
+
+    Examples
+    --------
+    >>> w = SlidingWindow(capacity=3, n_features=2)
+    >>> for i in range(5):
+    ...     w.append([float(i), float(-i)])
+    >>> w.as_matrix()[:, 0].tolist()
+    [2.0, 3.0, 4.0]
+    """
+
+    def __init__(self, capacity: int, n_features: int) -> None:
+        self.capacity = check_positive_int(capacity, name="capacity", minimum=2)
+        self.n_features = check_positive_int(n_features, name="n_features")
+        self._buffer = np.empty((self.capacity, self.n_features))
+        self._next = 0
+        self._size = 0
+        self._seen = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def is_full(self) -> bool:
+        """Whether the window holds ``capacity`` points."""
+        return self._size >= self.capacity
+
+    @property
+    def n_seen(self) -> int:
+        """Total points ever appended (including evicted ones)."""
+        return self._seen
+
+    def append(self, point: object) -> None:
+        """Add a point, evicting the oldest when full."""
+        vector = check_vector(point, name="point")
+        if vector.shape[0] != self.n_features:
+            raise ValidationError(
+                f"point has {vector.shape[0]} features, window expects "
+                f"{self.n_features}"
+            )
+        self._buffer[self._next] = vector
+        self._next = (self._next + 1) % self.capacity
+        self._size = min(self._size + 1, self.capacity)
+        self._seen += 1
+
+    def as_matrix(self) -> np.ndarray:
+        """The retained points, oldest first, as a fresh array."""
+        if len(self) == 0:
+            return np.empty((0, self.n_features))
+        if not self.is_full:
+            return self._buffer[: self._size].copy()
+        return np.vstack(
+            [self._buffer[self._next :], self._buffer[: self._next]]
+        )
+
+    def clear(self) -> None:
+        """Forget all retained points (the seen-counter is kept)."""
+        self._next = 0
+        self._size = 0

@@ -1,0 +1,25 @@
+"""Subspace abstraction, enumeration strategies, and cached scoring."""
+
+from repro.subspaces.enumeration import (
+    all_subspaces,
+    count_subspaces,
+    grow_by_one,
+    grow_with_features,
+    random_subspaces,
+    top_k,
+)
+from repro.subspaces.scorer import SubspaceScorer
+from repro.subspaces.subspace import Subspace, as_subspace, project
+
+__all__ = [
+    "Subspace",
+    "SubspaceScorer",
+    "all_subspaces",
+    "as_subspace",
+    "count_subspaces",
+    "grow_by_one",
+    "grow_with_features",
+    "project",
+    "random_subspaces",
+    "top_k",
+]

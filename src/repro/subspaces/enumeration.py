@@ -1,0 +1,140 @@
+"""Subspace enumeration strategies.
+
+The explainers differ exactly in how they walk the :math:`2^d` lattice of
+feature subsets (paper Sections 2.2–2.3); this module centralises the walk
+primitives they share:
+
+* exhaustive enumeration of all subspaces of a fixed dimensionality
+  (LookOut; Beam's and HiCS's first stage),
+* stage-wise growth of a set of seed subspaces by one feature
+  (Beam, HiCS),
+* cartesian growth of seeds with a pool of single features (RefOut),
+* random subspace projections of a fixed dimensionality (RefOut's pool).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.subspaces.subspace import Subspace
+from repro.utils.rng import as_rng
+from repro.utils.validation import check_positive_int
+
+__all__ = [
+    "all_subspaces",
+    "count_subspaces",
+    "grow_by_one",
+    "grow_with_features",
+    "random_subspaces",
+]
+
+
+def count_subspaces(n_features: int, dimensionality: int) -> int:
+    """Number of distinct subspaces of the given dimensionality: C(d, m)."""
+    n_features = check_positive_int(n_features, name="n_features")
+    dimensionality = check_positive_int(dimensionality, name="dimensionality")
+    if dimensionality > n_features:
+        return 0
+    return math.comb(n_features, dimensionality)
+
+
+def all_subspaces(n_features: int, dimensionality: int) -> Iterator[Subspace]:
+    """Yield every subspace of exactly ``dimensionality`` features.
+
+    Subspaces are emitted in lexicographic order, so downstream top-k
+    selections are deterministic.
+    """
+    import itertools
+
+    n_features = check_positive_int(n_features, name="n_features")
+    dimensionality = check_positive_int(dimensionality, name="dimensionality")
+    for combo in itertools.combinations(range(n_features), dimensionality):
+        yield Subspace(combo)
+
+
+def grow_by_one(
+    seeds: Iterable[Subspace], n_features: int
+) -> list[Subspace]:
+    """Grow each seed subspace by every feature it does not yet contain.
+
+    The union of the results is deduplicated and sorted; this is the stage
+    transition of Beam and HiCS (e.g. best 2d subspaces → candidate 3d
+    subspaces).
+    """
+    n_features = check_positive_int(n_features, name="n_features")
+    grown: set[Subspace] = set()
+    for seed in seeds:
+        seed.validate_against(n_features)
+        for feature in range(n_features):
+            if feature not in seed:
+                grown.add(seed.union((feature,)))
+    return sorted(grown)
+
+
+def grow_with_features(
+    seeds: Iterable[Subspace], features: Iterable[int]
+) -> list[Subspace]:
+    """Cartesian growth: each seed united with each single feature.
+
+    This is RefOut's stage transition — the top-k subspaces of the previous
+    stage crossed with the univariate subspaces drawn from the pool (paper
+    Section 2.2). Seeds already containing a feature are not grown by it.
+    """
+    feature_list = [int(f) for f in features]
+    grown: set[Subspace] = set()
+    for seed in seeds:
+        for feature in feature_list:
+            if feature not in seed:
+                grown.add(seed.union((feature,)))
+    return sorted(grown)
+
+
+def random_subspaces(
+    n_features: int,
+    dimensionality: int,
+    count: int,
+    seed: object = None,
+) -> list[Subspace]:
+    """Draw ``count`` random subspaces of fixed dimensionality.
+
+    Used by RefOut to build its pool of random projections. Draws are
+    independent, so duplicates may occur when C(d, m) is small relative to
+    ``count`` — matching RefOut's sampling-with-replacement pool semantics.
+    """
+    n_features = check_positive_int(n_features, name="n_features")
+    dimensionality = check_positive_int(dimensionality, name="dimensionality")
+    count = check_positive_int(count, name="count")
+    if dimensionality > n_features:
+        raise ValidationError(
+            f"cannot draw {dimensionality}-d subspaces from {n_features} features"
+        )
+    rng = as_rng(seed)
+    return [
+        Subspace(rng.choice(n_features, size=dimensionality, replace=False))
+        for _ in range(count)
+    ]
+
+
+def top_k(
+    scored: Sequence[tuple[Subspace, float]], k: int
+) -> list[tuple[Subspace, float]]:
+    """Best ``k`` (subspace, score) pairs, score-descending, ties lexicographic.
+
+    NaN scores sort last. The tie-break on the subspace tuple makes every
+    explainer's output deterministic.
+    """
+    k = check_positive_int(k, name="k")
+
+    def sort_key(item: tuple[Subspace, float]) -> tuple[float, tuple[int, ...]]:
+        subspace, score = item
+        primary = -score if not math.isnan(score) else math.inf
+        return (primary, tuple(subspace))
+
+    return sorted(scored, key=sort_key)[:k]
+
+
+__all__.append("top_k")

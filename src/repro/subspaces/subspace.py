@@ -1,0 +1,105 @@
+"""The Subspace value type.
+
+A *subspace* is a non-empty set of feature indices of a dataset. The whole
+library represents it as a sorted tuple of ints — hashable (for cache keys
+and ground-truth membership tests), ordered deterministically, and cheap.
+:class:`Subspace` wraps that tuple with validation and the handful of set
+operations the explainers need; it subclasses ``tuple`` so instances *are*
+plain tuples and compare equal to them, which keeps ground-truth files and
+user code free of wrapper noise.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.exceptions import SubspaceError
+
+__all__ = ["Subspace", "as_subspace", "project"]
+
+
+class Subspace(tuple):
+    """An immutable, sorted, duplicate-free set of feature indices.
+
+    Examples
+    --------
+    >>> s = Subspace([3, 1])
+    >>> s
+    Subspace(1, 3)
+    >>> s == (1, 3)
+    True
+    >>> s.union([2]).dimensionality
+    3
+    """
+
+    __slots__ = ()
+
+    def __new__(cls, features: Iterable[int]) -> "Subspace":
+        try:
+            idx = tuple(sorted(int(f) for f in features))
+        except (TypeError, ValueError) as exc:
+            raise SubspaceError(f"subspace features must be integers: {exc}") from exc
+        if not idx:
+            raise SubspaceError("a subspace must contain at least one feature")
+        if len(set(idx)) != len(idx):
+            raise SubspaceError(f"subspace contains duplicate features: {idx}")
+        if idx[0] < 0:
+            raise SubspaceError(f"subspace features must be non-negative: {idx}")
+        return super().__new__(cls, idx)
+
+    @property
+    def dimensionality(self) -> int:
+        """Number of features in the subspace."""
+        return len(self)
+
+    def union(self, other: Iterable[int]) -> "Subspace":
+        """Subspace containing the features of both operands."""
+        return Subspace(set(self) | set(other))
+
+    def contains(self, other: Iterable[int]) -> bool:
+        """Whether this subspace is a superset of ``other``."""
+        return set(other) <= set(self)
+
+    def overlaps(self, other: Iterable[int]) -> bool:
+        """Whether the two subspaces share at least one feature."""
+        return bool(set(self) & set(other))
+
+    def validate_against(self, n_features: int) -> "Subspace":
+        """Raise :class:`SubspaceError` unless all indices are ``< n_features``."""
+        if self[-1] >= n_features:
+            raise SubspaceError(
+                f"subspace {tuple(self)} out of range for {n_features} features"
+            )
+        return self
+
+    def __repr__(self) -> str:
+        return f"Subspace{tuple(self)!r}"
+
+
+def as_subspace(features: object) -> Subspace:
+    """Coerce tuples, lists, sets, or Subspace instances into a Subspace."""
+    if isinstance(features, Subspace):
+        return features
+    if isinstance(features, (int, np.integer)):
+        return Subspace((int(features),))
+    if isinstance(features, Iterable):
+        return Subspace(features)  # type: ignore[arg-type]
+    raise SubspaceError(
+        f"cannot interpret {features!r} as a subspace of feature indices"
+    )
+
+
+def project(X: np.ndarray, subspace: Iterable[int]) -> np.ndarray:
+    """Project data matrix ``X`` onto ``subspace`` (column selection).
+
+    Returns a new contiguous array; the detectors are free to assume they
+    own their input.
+    """
+    s = as_subspace(subspace)
+    X = np.asarray(X)
+    if X.ndim != 2:
+        raise SubspaceError(f"X must be 2-dimensional to project, got ndim={X.ndim}")
+    s.validate_against(X.shape[1])
+    return np.ascontiguousarray(X[:, list(s)])

@@ -1,0 +1,14 @@
+"""Surrogate-model substrate: approximating a detector's decision boundary.
+
+The paper's conclusion sketches *predictive explanations*: train a cheap
+supervised surrogate on the scores an unsupervised detector produces, and
+read explanations off the surrogate's structure instead of re-searching
+the subspace lattice per point. This package provides the substrate — a
+from-scratch CART regression tree with recorded split gains — and the
+:class:`~repro.explainers.surrogate.SurrogateExplainer` built on it lives
+with the other explainers.
+"""
+
+from repro.surrogate.tree import RegressionTree, TreeNode
+
+__all__ = ["RegressionTree", "TreeNode"]

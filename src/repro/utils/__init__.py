@@ -1,0 +1,32 @@
+"""Shared low-level utilities: validation, RNG plumbing, timing, caching."""
+
+from repro.utils.caching import LRUCache
+from repro.utils.rng import as_rng, spawn_rngs
+from repro.utils.scatter import scatter_projection
+from repro.utils.tables import format_kv, format_table
+from repro.utils.timing import Stopwatch, timed
+from repro.utils.validation import (
+    check_feature_indices,
+    check_in_range,
+    check_matrix,
+    check_positive_int,
+    check_probability,
+    check_vector,
+)
+
+__all__ = [
+    "LRUCache",
+    "Stopwatch",
+    "as_rng",
+    "check_feature_indices",
+    "check_in_range",
+    "check_matrix",
+    "check_positive_int",
+    "check_probability",
+    "check_vector",
+    "format_kv",
+    "format_table",
+    "scatter_projection",
+    "spawn_rngs",
+    "timed",
+]

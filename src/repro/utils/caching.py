@@ -1,0 +1,116 @@
+"""A small LRU cache with byte-budget accounting for score vectors.
+
+The subspace scorer (:mod:`repro.subspaces.scorer`) memoises one float64
+vector of length ``n_samples`` per visited subspace. For the paper-scale
+sweeps (hundreds of thousands of subspaces on 70d/100d datasets) an
+unbounded dict would exhaust memory, so the cache evicts least-recently-used
+entries once a configurable byte budget is exceeded.
+
+``functools.lru_cache`` is unsuitable here because it bounds the *count* of
+entries rather than their size, and because the cache must be inspectable
+(hit/miss statistics feed the runtime experiments).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from collections.abc import Callable, Hashable
+from typing import Generic, TypeVar
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+__all__ = ["LRUCache"]
+
+K = TypeVar("K", bound=Hashable)
+V = TypeVar("V")
+
+_UNBOUNDED = float("inf")
+
+
+class LRUCache(Generic[K, V]):
+    """Least-recently-used mapping bounded by an approximate byte budget.
+
+    Parameters
+    ----------
+    max_bytes:
+        Eviction threshold. ``None`` means unbounded.
+    sizeof:
+        Function estimating the size in bytes of a value. The default
+        handles NumPy arrays exactly and charges a flat 64 bytes for
+        anything else.
+    """
+
+    def __init__(
+        self,
+        max_bytes: int | None = None,
+        *,
+        sizeof: Callable[[V], int] | None = None,
+    ) -> None:
+        if max_bytes is not None and max_bytes <= 0:
+            raise ValidationError(f"max_bytes must be positive or None, got {max_bytes}")
+        self._max_bytes = _UNBOUNDED if max_bytes is None else float(max_bytes)
+        self._sizeof = sizeof if sizeof is not None else _default_sizeof
+        self._data: OrderedDict[K, V] = OrderedDict()
+        self._bytes = 0
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: K) -> bool:
+        return key in self._data
+
+    @property
+    def nbytes(self) -> int:
+        """Approximate bytes currently held."""
+        return self._bytes
+
+    def get(self, key: K) -> V | None:
+        """Return the cached value for ``key`` (marking it recently used) or ``None``."""
+        if key not in self._data:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._data.move_to_end(key)
+        return self._data[key]
+
+    def put(self, key: K, value: V) -> None:
+        """Insert ``value`` under ``key``, evicting LRU entries if over budget."""
+        if key in self._data:
+            self._bytes -= self._sizeof(self._data[key])
+            del self._data[key]
+        self._data[key] = value
+        self._bytes += self._sizeof(value)
+        while self._bytes > self._max_bytes and len(self._data) > 1:
+            _, evicted = self._data.popitem(last=False)
+            self._bytes -= self._sizeof(evicted)
+
+    def get_or_compute(self, key: K, compute: Callable[[], V]) -> V:
+        """Return the cached value for ``key``, computing and storing it on a miss."""
+        value = self.get(key)
+        if value is None and key not in self._data:
+            value = compute()
+            self.put(key, value)
+        return value  # type: ignore[return-value]
+
+    def clear(self) -> None:
+        """Drop all entries and reset statistics."""
+        self._data.clear()
+        self._bytes = 0
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when never queried)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+def _default_sizeof(value: object) -> int:
+    if isinstance(value, np.ndarray):
+        return int(value.nbytes)
+    return 64

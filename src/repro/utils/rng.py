@@ -1,0 +1,62 @@
+"""Random-number-generator plumbing.
+
+Every stochastic component in the library (Isolation Forest, RefOut's random
+subspace pool, HiCS's Monte-Carlo slices, the dataset generators) accepts a
+``seed`` argument that may be ``None``, an integer, or an already-constructed
+:class:`numpy.random.Generator`. :func:`as_rng` normalises all three into a
+``Generator`` so downstream code never touches the legacy ``RandomState``
+API, and :func:`spawn_rngs` derives independent child generators for
+repeated runs (e.g. the paper's 10 Isolation-Forest repetitions).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+__all__ = ["as_rng", "spawn_rngs"]
+
+SeedLike = "int | np.random.Generator | np.random.SeedSequence | None"
+
+
+def as_rng(seed: object = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for any seed-like input.
+
+    ``None`` yields a nondeterministic generator; an integer or
+    ``SeedSequence`` yields a deterministic one; an existing ``Generator``
+    is passed through unchanged (shared state, not copied).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if seed is None or isinstance(seed, (int, np.integer, np.random.SeedSequence)):
+        return np.random.default_rng(seed)
+    raise ValidationError(
+        f"seed must be None, an int, a SeedSequence, or a Generator, got {type(seed).__name__}"
+    )
+
+
+def spawn_rngs(seed: object, n: int) -> list[np.random.Generator]:
+    """Derive ``n`` statistically independent generators from ``seed``.
+
+    Independence is guaranteed by ``SeedSequence.spawn`` when ``seed`` is an
+    int/``SeedSequence``; when ``seed`` is already a ``Generator`` the
+    children are seeded from draws of that generator, which keeps runs
+    reproducible for a fixed parent state.
+    """
+    if n < 0:
+        raise ValidationError(f"n must be >= 0, got {n}")
+    if isinstance(seed, np.random.Generator):
+        child_seeds = seed.integers(0, 2**63 - 1, size=n)
+        return [np.random.default_rng(int(s)) for s in child_seeds]
+    if seed is None:
+        seq = np.random.SeedSequence()
+    elif isinstance(seed, np.random.SeedSequence):
+        seq = seed
+    elif isinstance(seed, (int, np.integer)):
+        seq = np.random.SeedSequence(int(seed))
+    else:
+        raise ValidationError(
+            f"seed must be None, an int, a SeedSequence, or a Generator, got {type(seed).__name__}"
+        )
+    return [np.random.default_rng(child) for child in seq.spawn(n)]

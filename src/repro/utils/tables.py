@@ -1,0 +1,72 @@
+"""Plain-text table rendering for experiment reports.
+
+The experiment modules print their reproduced tables and figure series as
+aligned ASCII tables so the paper's rows can be compared side by side in a
+terminal, with no plotting dependency.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.exceptions import ValidationError
+
+__all__ = ["format_table", "format_kv"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str | None = None,
+    float_fmt: str = "{:.3f}",
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned ASCII table.
+
+    Floats are formatted with ``float_fmt``; everything else with ``str``.
+
+    Examples
+    --------
+    >>> print(format_table(["algo", "map"], [["beam", 0.5]]))
+    algo | map
+    -----+------
+    beam | 0.500
+    """
+    if not headers:
+        raise ValidationError("headers must not be empty")
+    width = len(headers)
+    rendered: list[list[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        if len(row) != width:
+            raise ValidationError(
+                f"row {row!r} has {len(row)} cells, expected {width}"
+            )
+        rendered.append([_format_cell(cell, float_fmt) for cell in row])
+    widths = [max(len(r[col]) for r in rendered) for col in range(width)]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(rendered[0], widths)).rstrip())
+    lines.append("-+-".join("-" * w for w in widths))
+    for row_cells in rendered[1:]:
+        lines.append(
+            " | ".join(c.ljust(w) for c, w in zip(row_cells, widths)).rstrip()
+        )
+    return "\n".join(lines)
+
+
+def format_kv(pairs: dict[str, object], *, indent: int = 2) -> str:
+    """Render a flat mapping as aligned ``key: value`` lines."""
+    if not pairs:
+        return ""
+    pad = max(len(k) for k in pairs)
+    prefix = " " * indent
+    return "\n".join(f"{prefix}{k.ljust(pad)} : {v}" for k, v in pairs.items())
+
+
+def _format_cell(cell: object, float_fmt: str) -> str:
+    if isinstance(cell, bool):
+        return str(cell)
+    if isinstance(cell, float):
+        return float_fmt.format(cell)
+    return str(cell)

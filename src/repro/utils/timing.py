@@ -1,0 +1,95 @@
+"""Wall-clock timing helpers used by the runtime experiments (Figure 11)."""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable
+from contextlib import contextmanager
+from typing import Any, Iterator, TypeVar
+
+__all__ = ["Stopwatch", "timed"]
+
+T = TypeVar("T")
+
+
+class Stopwatch:
+    """Accumulating stopwatch based on :func:`time.perf_counter`.
+
+    A single instance may time several disjoint intervals; ``elapsed``
+    reports their sum. This is how the pipeline runner separates detector
+    time from explainer time within one experiment.
+
+    Examples
+    --------
+    >>> sw = Stopwatch()
+    >>> with sw:
+    ...     _ = sum(range(1000))
+    >>> sw.elapsed > 0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._total = 0.0
+        self._started_at: float | None = None
+
+    def __enter__(self) -> "Stopwatch":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    def start(self) -> None:
+        """Begin a timing interval; a no-op if already running."""
+        if self._started_at is None:
+            self._started_at = time.perf_counter()
+
+    def stop(self) -> None:
+        """End the current interval, adding it to the accumulated total."""
+        if self._started_at is not None:
+            self._total += time.perf_counter() - self._started_at
+            self._started_at = None
+
+    def reset(self) -> None:
+        """Zero the accumulated total and discard any running interval."""
+        self._total = 0.0
+        self._started_at = None
+
+    @property
+    def running(self) -> bool:
+        """Whether an interval is currently open."""
+        return self._started_at is not None
+
+    @property
+    def elapsed(self) -> float:
+        """Total seconds accumulated so far (including any open interval)."""
+        total = self._total
+        if self._started_at is not None:
+            total += time.perf_counter() - self._started_at
+        return total
+
+
+@contextmanager
+def timed(store: dict[str, float], key: str) -> Iterator[None]:
+    """Context manager adding the elapsed seconds of its block to ``store[key]``.
+
+    Examples
+    --------
+    >>> times: dict[str, float] = {}
+    >>> with timed(times, "work"):
+    ...     _ = [i * i for i in range(100)]
+    >>> times["work"] >= 0
+    True
+    """
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        store[key] = store.get(key, 0.0) + (time.perf_counter() - start)
+
+
+def time_call(func: Callable[..., T], *args: Any, **kwargs: Any) -> tuple[T, float]:
+    """Call ``func`` and return ``(result, elapsed_seconds)``."""
+    start = time.perf_counter()
+    result = func(*args, **kwargs)
+    return result, time.perf_counter() - start

@@ -1,0 +1,156 @@
+"""Input validation helpers.
+
+Every public entry point of the library funnels its array and scalar inputs
+through these helpers so that misuse fails fast with a
+:class:`~repro.exceptions.ValidationError` carrying a precise message, rather
+than surfacing as an inscrutable NumPy broadcasting error deep inside an
+algorithm.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+__all__ = [
+    "check_feature_indices",
+    "check_in_range",
+    "check_matrix",
+    "check_positive_int",
+    "check_probability",
+    "check_vector",
+]
+
+
+def check_matrix(
+    X: object,
+    *,
+    name: str = "X",
+    min_rows: int = 1,
+    min_cols: int = 1,
+    allow_nan: bool = False,
+) -> np.ndarray:
+    """Validate and return ``X`` as a 2-d float64 array.
+
+    Parameters
+    ----------
+    X:
+        Anything convertible to a 2-d numeric array.
+    name:
+        Name used in error messages.
+    min_rows, min_cols:
+        Minimum acceptable shape.
+    allow_nan:
+        When ``False`` (default), NaN or infinite values are rejected.
+
+    Returns
+    -------
+    numpy.ndarray
+        A C-contiguous ``float64`` array of shape ``(n_rows, n_cols)``.
+    """
+    try:
+        arr = np.asarray(X, dtype=np.float64)
+    except (TypeError, ValueError) as exc:
+        raise ValidationError(f"{name} is not convertible to a float array: {exc}") from exc
+    if arr.ndim != 2:
+        raise ValidationError(f"{name} must be 2-dimensional, got ndim={arr.ndim}")
+    n_rows, n_cols = arr.shape
+    if n_rows < min_rows:
+        raise ValidationError(f"{name} needs at least {min_rows} rows, got {n_rows}")
+    if n_cols < min_cols:
+        raise ValidationError(f"{name} needs at least {min_cols} columns, got {n_cols}")
+    if not allow_nan and not np.isfinite(arr).all():
+        raise ValidationError(f"{name} contains NaN or infinite values")
+    return np.ascontiguousarray(arr)
+
+
+def check_vector(
+    x: object,
+    *,
+    name: str = "x",
+    min_len: int = 1,
+    allow_nan: bool = False,
+) -> np.ndarray:
+    """Validate and return ``x`` as a 1-d float64 array."""
+    try:
+        arr = np.asarray(x, dtype=np.float64)
+    except (TypeError, ValueError) as exc:
+        raise ValidationError(f"{name} is not convertible to a float array: {exc}") from exc
+    if arr.ndim != 1:
+        raise ValidationError(f"{name} must be 1-dimensional, got ndim={arr.ndim}")
+    if arr.shape[0] < min_len:
+        raise ValidationError(f"{name} needs at least {min_len} entries, got {arr.shape[0]}")
+    if not allow_nan and not np.isfinite(arr).all():
+        raise ValidationError(f"{name} contains NaN or infinite values")
+    return arr
+
+
+def check_positive_int(value: object, *, name: str, minimum: int = 1) -> int:
+    """Validate that ``value`` is an integer ``>= minimum`` and return it."""
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise ValidationError(f"{name} must be an integer, got {type(value).__name__}")
+    value = int(value)
+    if value < minimum:
+        raise ValidationError(f"{name} must be >= {minimum}, got {value}")
+    return value
+
+
+def check_probability(value: object, *, name: str, inclusive: bool = True) -> float:
+    """Validate that ``value`` lies in ``[0, 1]`` (or ``(0, 1)``) and return it."""
+    try:
+        value = float(value)  # type: ignore[arg-type]
+    except (TypeError, ValueError) as exc:
+        raise ValidationError(f"{name} must be a float, got {value!r}") from exc
+    if inclusive:
+        if not 0.0 <= value <= 1.0:
+            raise ValidationError(f"{name} must be in [0, 1], got {value}")
+    elif not 0.0 < value < 1.0:
+        raise ValidationError(f"{name} must be in (0, 1), got {value}")
+    return value
+
+
+def check_in_range(
+    value: object,
+    *,
+    name: str,
+    low: float,
+    high: float,
+) -> float:
+    """Validate that ``low <= value <= high`` and return ``float(value)``."""
+    try:
+        value = float(value)  # type: ignore[arg-type]
+    except (TypeError, ValueError) as exc:
+        raise ValidationError(f"{name} must be a number, got {value!r}") from exc
+    if not low <= value <= high:
+        raise ValidationError(f"{name} must be in [{low}, {high}], got {value}")
+    return value
+
+
+def check_feature_indices(
+    features: Iterable[object],
+    *,
+    n_features: int,
+    name: str = "features",
+) -> tuple[int, ...]:
+    """Validate an iterable of feature indices against a dataset width.
+
+    The indices are returned sorted and deduplicated-checked: duplicates are
+    an error because a subspace is a *set* of features.
+    """
+    try:
+        idx: Sequence[int] = [int(f) for f in features]  # type: ignore[arg-type]
+    except (TypeError, ValueError) as exc:
+        raise ValidationError(f"{name} must contain integers: {exc}") from exc
+    if not idx:
+        raise ValidationError(f"{name} must not be empty")
+    if len(set(idx)) != len(idx):
+        raise ValidationError(f"{name} contains duplicate indices: {sorted(idx)}")
+    out_of_range = [i for i in idx if not 0 <= i < n_features]
+    if out_of_range:
+        raise ValidationError(
+            f"{name} indices {out_of_range} out of range for {n_features} features"
+        )
+    return tuple(sorted(idx))

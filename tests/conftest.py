@@ -1,0 +1,56 @@
+"""Shared fixtures for the test suite.
+
+Dataset construction (especially the exhaustive ground-truth search) is the
+expensive part of testing, so the fixtures are session-scoped and the
+datasets deliberately small. Fixtures that plant a *known* outlier return
+the planted structure alongside the data so tests can assert recovery.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_dataset
+from repro.detectors import LOF
+from repro.subspaces import SubspaceScorer
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(20210323)  # EDBT 2021 :-)
+
+
+@pytest.fixture(scope="session")
+def blob_with_outlier() -> tuple[np.ndarray, int]:
+    """A tight 2d Gaussian blob plus one far point (index 60)."""
+    gen = np.random.default_rng(7)
+    X = np.vstack([gen.normal(0.0, 0.2, size=(60, 2)), [[4.0, 4.0]]])
+    return X, 60
+
+
+@pytest.fixture(scope="session")
+def subspace_outlier_data() -> tuple[np.ndarray, int, tuple[int, int]]:
+    """6d noise where point 0 deviates exactly in features (2, 4)."""
+    gen = np.random.default_rng(2)
+    X = gen.normal(size=(100, 6))
+    X[0, [2, 4]] = [8.0, -8.0]
+    return X, 0, (2, 4)
+
+
+@pytest.fixture(scope="session")
+def hics_small():
+    """The 14d synthetic dataset at reduced sample count."""
+    return load_dataset("hics_14", n_samples=300)
+
+
+@pytest.fixture(scope="session")
+def breast_small():
+    """A smoke-scale realistic surrogate (8 features, 2-3d ground truth)."""
+    return load_dataset("breast", n_features=8, gt_dimensionalities=(2, 3))
+
+
+@pytest.fixture(scope="session")
+def hics_small_scorer(hics_small) -> SubspaceScorer:
+    """LOF scorer over the small synthetic dataset (shared cache)."""
+    return SubspaceScorer(hics_small.X, LOF(k=15))

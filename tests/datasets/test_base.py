@@ -1,0 +1,123 @@
+"""Unit tests for Dataset and GroundTruth."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import Dataset, GroundTruth
+from repro.exceptions import GroundTruthError
+from repro.subspaces import Subspace
+
+
+@pytest.fixture()
+def ground_truth():
+    return GroundTruth({0: [(0, 1), (0, 1, 2)], 3: [(0, 1)]})
+
+
+class TestGroundTruth:
+    def test_points_sorted(self, ground_truth):
+        assert ground_truth.points == (0, 3)
+
+    def test_relevant_for(self, ground_truth):
+        assert ground_truth.relevant_for(0) == (
+            Subspace([0, 1]),
+            Subspace([0, 1, 2]),
+        )
+
+    def test_relevant_at(self, ground_truth):
+        assert ground_truth.relevant_at(0, 2) == (Subspace([0, 1]),)
+        assert ground_truth.relevant_at(3, 3) == ()
+
+    def test_points_at(self, ground_truth):
+        assert ground_truth.points_at(2) == (0, 3)
+        assert ground_truth.points_at(3) == (0,)
+        assert ground_truth.points_at(5) == ()
+
+    def test_dimensionalities(self, ground_truth):
+        assert ground_truth.dimensionalities() == (2, 3)
+
+    def test_subspaces_deduplicated(self, ground_truth):
+        assert ground_truth.subspaces() == (
+            Subspace([0, 1]),
+            Subspace([0, 1, 2]),
+        )
+
+    def test_outliers_of(self, ground_truth):
+        assert ground_truth.outliers_of((0, 1)) == (0, 3)
+        assert ground_truth.outliers_of((0, 1, 2)) == (0,)
+
+    def test_contains(self, ground_truth):
+        assert 0 in ground_truth
+        assert 1 not in ground_truth
+
+    def test_unknown_point_raises(self, ground_truth):
+        with pytest.raises(GroundTruthError):
+            ground_truth.relevant_for(99)
+
+    def test_rejects_empty_relevant_set(self):
+        with pytest.raises(GroundTruthError):
+            GroundTruth({0: []})
+
+    def test_rejects_empty_mapping(self):
+        with pytest.raises(GroundTruthError):
+            GroundTruth({})
+
+    def test_normalises_duplicates(self):
+        gt = GroundTruth({0: [(1, 0), (0, 1)]})
+        assert gt.relevant_for(0) == (Subspace([0, 1]),)
+
+
+class TestDataset:
+    def make(self, **overrides):
+        params = dict(
+            name="toy",
+            X=np.zeros((10, 4)),
+            outliers=(0, 3),
+            ground_truth=GroundTruth({0: [(0, 1)], 3: [(2, 3)]}),
+            kind="subspace",
+        )
+        params.update(overrides)
+        return Dataset(**params)
+
+    def test_basic_properties(self):
+        ds = self.make()
+        assert ds.n_samples == 10
+        assert ds.n_features == 4
+        assert ds.contamination == pytest.approx(0.2)
+
+    def test_outliers_sorted(self):
+        ds = self.make(outliers=(3, 0))
+        assert ds.outliers == (0, 3)
+
+    def test_rejects_out_of_range_outlier(self):
+        with pytest.raises(GroundTruthError, match="out of range"):
+            self.make(outliers=(0, 99), ground_truth=GroundTruth({0: [(0, 1)], 99: [(0, 1)]}))
+
+    def test_rejects_duplicate_outliers(self):
+        with pytest.raises(GroundTruthError, match="duplicate"):
+            self.make(outliers=(0, 0))
+
+    def test_rejects_outlier_without_ground_truth(self):
+        with pytest.raises(GroundTruthError, match="lack ground-truth"):
+            self.make(outliers=(0, 1))
+
+    def test_rejects_subspace_out_of_range(self):
+        with pytest.raises(Exception):
+            self.make(ground_truth=GroundTruth({0: [(0, 9)], 3: [(2, 3)]}))
+
+    def test_rejects_bad_kind(self):
+        with pytest.raises(GroundTruthError, match="kind"):
+            self.make(kind="weird")
+
+    def test_relevant_feature_ratio_subspace(self):
+        ds = self.make()
+        assert ds.relevant_feature_ratio == pytest.approx(2 / 4)
+
+    def test_relevant_feature_ratio_full_space(self):
+        ds = self.make(kind="full_space")
+        assert ds.relevant_feature_ratio == 1.0
+
+    def test_describe_keys(self):
+        desc = self.make().describe()
+        assert desc["n_outliers"] == 2
+        assert desc["n_relevant_subspaces"] == 2
+        assert desc["outliers_per_relevant_subspace"] == 1.0

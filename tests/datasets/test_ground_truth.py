@@ -1,0 +1,74 @@
+"""Unit tests for the ground-truth construction procedures."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import exhaustive_ground_truth, top_outliers_per_subspace
+from repro.detectors import LOF
+from repro.exceptions import ValidationError
+
+
+@pytest.fixture(scope="module")
+def planted():
+    """Two planted outliers in different 2d subspaces of 5d data."""
+    gen = np.random.default_rng(3)
+    X = gen.normal(size=(150, 5))
+    X[0, [0, 1]] = [7.0, -7.0]
+    X[1, [3, 4]] = [-7.0, 7.0]
+    return X
+
+
+class TestExhaustiveGroundTruth:
+    def test_finds_planted_subspaces(self, planted):
+        gt = exhaustive_ground_truth(planted, [0, 1], dimensionalities=(2,))
+        assert gt.relevant_at(0, 2) == ((0, 1),)
+        assert gt.relevant_at(1, 2) == ((3, 4),)
+
+    def test_one_subspace_per_dim_by_default(self, planted):
+        gt = exhaustive_ground_truth(planted, [0], dimensionalities=(2, 3))
+        assert len(gt.relevant_for(0)) == 2
+        assert gt.dimensionalities() == (2, 3)
+
+    def test_top_per_dim(self, planted):
+        gt = exhaustive_ground_truth(
+            planted, [0], dimensionalities=(2,), top_per_dim=3
+        )
+        assert len(gt.relevant_at(0, 2)) == 3
+
+    def test_custom_detector(self, planted):
+        gt = exhaustive_ground_truth(
+            planted, [0], dimensionalities=(2,), detector=LOF(k=5)
+        )
+        assert gt.relevant_at(0, 2) == ((0, 1),)
+
+    def test_rejects_empty_outliers(self, planted):
+        with pytest.raises(ValidationError):
+            exhaustive_ground_truth(planted, [], dimensionalities=(2,))
+
+    def test_rejects_dim_above_width(self, planted):
+        with pytest.raises(ValidationError):
+            exhaustive_ground_truth(planted, [0], dimensionalities=(9,))
+
+
+class TestTopOutliersPerSubspace:
+    def test_associates_planted_outliers(self, planted):
+        gt = top_outliers_per_subspace(planted, [(0, 1), (3, 4)], k=1)
+        assert gt.relevant_for(0) == ((0, 1),)
+        assert gt.relevant_for(1) == ((3, 4),)
+
+    def test_k_points_per_subspace(self, planted):
+        gt = top_outliers_per_subspace(planted, [(0, 1)], k=5)
+        covered = [p for p in gt.points if (0, 1) in gt.relevant_for(p)]
+        assert len(covered) == 5
+
+    def test_point_in_two_subspaces(self, planted):
+        X = planted.copy()
+        X[0, [3, 4]] = [7.0, 7.0]  # now deviates in both blocks
+        gt = top_outliers_per_subspace(X, [(0, 1), (3, 4)], k=2)
+        assert gt.relevant_for(0) == ((0, 1), (3, 4))
+
+    def test_rejects_empty_subspaces(self, planted):
+        from repro.exceptions import GroundTruthError
+
+        with pytest.raises(GroundTruthError):
+            top_outliers_per_subspace(planted, [])

@@ -1,0 +1,106 @@
+"""Unit tests for the realistic (full-space outlier) surrogate generator."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    REALISTIC_SHAPES,
+    make_realistic_dataset,
+    verify_separability,
+)
+from repro.detectors import LOF
+from repro.exceptions import ValidationError
+
+
+class TestShapes:
+    def test_known_shapes_registered(self):
+        assert REALISTIC_SHAPES["breast"] == (198, 31, 20)
+        assert REALISTIC_SHAPES["breast_diagnostic"] == (569, 30, 57)
+        assert REALISTIC_SHAPES["electricity"] == (1205, 23, 121)
+
+    def test_surrogate_matches_shape(self, breast_small):
+        assert breast_small.n_samples == 198
+        assert breast_small.n_features == 8  # smoke override
+        assert len(breast_small.outliers) == 20
+        assert breast_small.kind == "full_space"
+
+    def test_custom_shape(self):
+        ds = make_realistic_dataset(
+            "custom",
+            n_samples=80,
+            n_features=5,
+            n_outliers=8,
+            gt_dimensionalities=(2,),
+            seed=1,
+        )
+        assert ds.X.shape == (80, 5)
+        assert len(ds.outliers) == 8
+
+    def test_unknown_name_without_shape(self):
+        with pytest.raises(ValidationError, match="unknown dataset name"):
+            make_realistic_dataset("custom")
+
+    def test_too_many_outliers(self):
+        with pytest.raises(ValidationError, match="too large"):
+            make_realistic_dataset(
+                "x", n_samples=40, n_features=4, n_outliers=30,
+                gt_dimensionalities=(2,),
+            )
+
+    def test_gt_dim_above_width(self):
+        with pytest.raises(ValidationError):
+            make_realistic_dataset(
+                "x", n_samples=40, n_features=3, n_outliers=4,
+                gt_dimensionalities=(4,),
+            )
+
+
+class TestGroundTruthStructure:
+    def test_one_subspace_per_dimensionality(self, breast_small):
+        gt = breast_small.ground_truth
+        for point in gt.points:
+            assert len(gt.relevant_at(point, 2)) == 1
+            assert len(gt.relevant_at(point, 3)) == 1
+
+    def test_every_point_explained_at_every_dim(self, breast_small):
+        gt = breast_small.ground_truth
+        assert gt.points_at(2) == breast_small.outliers
+        assert gt.points_at(3) == breast_small.outliers
+
+    def test_ground_truth_is_argmax_of_exhaustive_search(self, breast_small):
+        # Spot-check the paper's procedure: the stored 2d subspace is the
+        # exhaustive z-score argmax for that point.
+        from repro.subspaces import SubspaceScorer, all_subspaces
+
+        scorer = SubspaceScorer(breast_small.X, LOF(k=15))
+        point = breast_small.outliers[0]
+        best = max(
+            all_subspaces(breast_small.n_features, 2),
+            key=lambda s: scorer.point_zscore(s, point),
+        )
+        assert breast_small.ground_truth.relevant_at(point, 2)[0] == best
+
+
+class TestOutlierVisibility:
+    def test_full_space_visibility(self, breast_small):
+        # Outliers must be detectable by LOF in the full feature space.
+        scores = LOF(k=15).score(breast_small.X)
+        top = set(
+            np.argsort(-scores)[: len(breast_small.outliers)].tolist()
+        )
+        hits = sum(1 for o in breast_small.outliers if o in top)
+        assert hits >= 0.9 * len(breast_small.outliers)
+
+    def test_separability_in_relevant_subspaces(self, breast_small):
+        separability = verify_separability(breast_small)
+        assert min(separability.values()) == 1.0
+
+    def test_deterministic(self):
+        a = make_realistic_dataset(
+            "breast", n_features=6, gt_dimensionalities=(2,), seed=2
+        )
+        b = make_realistic_dataset(
+            "breast", n_features=6, gt_dimensionalities=(2,), seed=2
+        )
+        assert np.allclose(a.X, b.X)
+        assert a.outliers == b.outliers

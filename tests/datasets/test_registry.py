@@ -1,0 +1,59 @@
+"""Unit tests for the dataset registry."""
+
+import pytest
+
+from repro.datasets import (
+    DATASET_NAMES,
+    clear_cache,
+    dataset_names,
+    load_dataset,
+)
+from repro.exceptions import ValidationError
+
+
+class TestNames:
+    def test_all_names(self):
+        assert "hics_14" in DATASET_NAMES
+        assert "electricity" in DATASET_NAMES
+        assert len(DATASET_NAMES) == 8
+
+    def test_kind_filter(self):
+        assert all(n.startswith("hics_") for n in dataset_names("subspace"))
+        assert set(dataset_names("full_space")) == {
+            "breast",
+            "breast_diagnostic",
+            "electricity",
+        }
+
+    def test_bad_kind(self):
+        with pytest.raises(ValidationError):
+            dataset_names("temporal")
+
+
+class TestLoadDataset:
+    def test_caches_identical_parameterisation(self):
+        a = load_dataset("hics_14", n_samples=200)
+        b = load_dataset("hics_14", n_samples=200)
+        assert a is b
+
+    def test_distinct_parameterisations_not_shared(self):
+        a = load_dataset("hics_14", n_samples=200)
+        b = load_dataset("hics_14", n_samples=200, seed=1)
+        assert a is not b
+
+    def test_overrides_forwarded(self):
+        ds = load_dataset("hics_14", n_samples=250)
+        assert ds.n_samples == 250
+
+    def test_unknown_name(self):
+        with pytest.raises(ValidationError, match="unknown dataset"):
+            load_dataset("hics_15")
+        with pytest.raises(ValidationError, match="unknown dataset"):
+            load_dataset("wine")
+
+    def test_clear_cache(self):
+        a = load_dataset("hics_14", n_samples=200)
+        clear_cache()
+        b = load_dataset("hics_14", n_samples=200)
+        assert a is not b
+        assert (a.X == b.X).all()  # still deterministic

@@ -1,0 +1,131 @@
+"""Unit tests for the HiCS-style synthetic generator.
+
+These assert the Table-1 / Figure-8 properties the paper relies on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    hics_block_layout,
+    load_dataset,
+    make_hics_dataset,
+    verify_separability,
+)
+from repro.datasets.synthetic import HICS_DIMENSIONS
+from repro.exceptions import ValidationError
+
+
+class TestBlockLayout:
+    @pytest.mark.parametrize(
+        "width,expected_blocks", [(14, 4), (23, 7), (39, 12), (70, 22), (100, 31)]
+    )
+    def test_block_counts_match_table1(self, width, expected_blocks):
+        assert len(hics_block_layout(width)) == expected_blocks
+
+    def test_blocks_are_disjoint(self):
+        blocks = hics_block_layout(100)
+        seen: set[int] = set()
+        for block in blocks:
+            assert not (seen & set(block))
+            seen |= set(block)
+
+    def test_blocks_cover_all_features(self):
+        blocks = hics_block_layout(100)
+        assert {f for b in blocks for f in b} == set(range(100))
+
+    def test_block_dimensionalities_in_range(self):
+        assert all(2 <= len(b) <= 5 for b in hics_block_layout(100))
+
+    def test_rejects_unknown_width(self):
+        with pytest.raises(ValidationError):
+            hics_block_layout(50)
+
+
+class TestGeneratedDatasets:
+    @pytest.mark.parametrize(
+        "width,n_outliers,contamination",
+        [(14, 20, 2.0), (23, 34, 3.4), (39, 59, 5.9), (70, 100, 10.0), (100, 143, 14.3)],
+    )
+    def test_outlier_counts_match_table1(self, width, n_outliers, contamination):
+        ds = make_hics_dataset(width, 1000, seed=0)
+        assert len(ds.outliers) == n_outliers
+        assert round(100 * ds.contamination, 1) == contamination
+
+    def test_five_outliers_per_subspace(self):
+        ds = make_hics_dataset(23, 1000, seed=0)
+        gt = ds.ground_truth
+        for subspace in gt.subspaces():
+            assert len(gt.outliers_of(subspace)) == 5
+
+    def test_shared_outliers_fraction(self):
+        ds = make_hics_dataset(100, 1000, seed=0)
+        gt = ds.ground_truth
+        shared = [p for p in gt.points if len(gt.relevant_for(p)) == 2]
+        assert len(shared) == 12  # ~9 % of 143, matching Table 1
+
+    def test_prefix_consistency(self):
+        full = make_hics_dataset(100, 500, seed=3)
+        narrow = make_hics_dataset(23, 500, seed=3)
+        assert np.allclose(narrow.X, full.X[:, :23])
+
+    def test_values_in_unit_cube(self):
+        ds = make_hics_dataset(14, 500, seed=1)
+        assert ds.X.min() >= 0.0
+        assert ds.X.max() <= 1.0
+
+    def test_deterministic_per_seed(self):
+        a = make_hics_dataset(14, 300, seed=4)
+        b = make_hics_dataset(14, 300, seed=4)
+        assert np.allclose(a.X, b.X)
+        assert a.outliers == b.outliers
+
+    def test_different_seeds_differ(self):
+        a = make_hics_dataset(14, 300, seed=4)
+        b = make_hics_dataset(14, 300, seed=5)
+        assert not np.allclose(a.X, b.X)
+
+    def test_rejects_unknown_width(self):
+        with pytest.raises(ValidationError):
+            make_hics_dataset(50, 300)
+
+
+class TestOutlierVisibility:
+    """The paper's Section 3.2 visibility properties."""
+
+    def test_outliers_detectable_in_relevant_subspace(self, hics_small):
+        separability = verify_separability(hics_small)
+        assert min(separability.values()) == 1.0
+
+    def test_outliers_masked_in_1d_projections(self, hics_small, hics_small_scorer):
+        # In single-feature projections planted outliers mix with inliers:
+        # their ranks scatter across the whole dataset instead of occupying
+        # the top positions (occasional 1d LOF artifacts aside). Contrast
+        # with the relevant subspace, where all five occupy ranks 0-4.
+        gt = hics_small.ground_truth
+        n = hics_small.n_samples
+        for subspace in gt.subspaces():
+            planted = list(gt.outliers_of(subspace))
+            for feature in subspace:
+                z = hics_small_scorer.zscores((feature,))
+                order = np.argsort(-z)
+                ranks = sorted(
+                    int(np.flatnonzero(order == p)[0]) for p in planted
+                )
+                in_top = sum(1 for r in ranks if r < len(planted))
+                assert in_top <= 2
+                assert np.median(ranks) > 0.05 * n
+
+    def test_outliers_visible_in_augmented_subspace(self, hics_small, hics_small_scorer):
+        # Adding one foreign feature must keep the planted outliers highly
+        # ranked (the paper's "augmentation" property).
+        gt = hics_small.ground_truth
+        subspace = gt.subspaces()[0]  # the 2d block
+        foreign = next(
+            f for f in range(hics_small.n_features) if f not in subspace
+        )
+        augmented = subspace.union((foreign,))
+        z = hics_small_scorer.zscores(augmented)
+        planted = list(gt.outliers_of(subspace))
+        top = set(np.argsort(-z)[: 2 * len(planted)].tolist())
+        assert sum(1 for p in planted if p in top) >= 4

@@ -1,0 +1,52 @@
+"""Unit tests for the Fast ABOD detector."""
+
+import numpy as np
+import pytest
+
+from repro.detectors import FastABOD
+from repro.exceptions import ValidationError
+
+
+class TestFastABODBehaviour:
+    def test_detects_planted_outlier(self, blob_with_outlier):
+        X, outlier = blob_with_outlier
+        scores = FastABOD(k=10).score(X)
+        assert int(np.argmax(scores)) == outlier
+
+    def test_border_point_outscores_center(self, rng):
+        # ABOD's signature property: points at the border of the data see
+        # their neighbours in similar directions (low angle variance).
+        X = rng.uniform(-1, 1, size=(200, 2))
+        X[0] = [0.0, 0.0]  # deep inside
+        X[1] = [3.0, 3.0]  # far outside the support
+        scores = FastABOD(k=15).score(X)
+        assert scores[1] > scores[0]
+
+    def test_high_dimensional_data(self, rng):
+        X = rng.normal(size=(100, 40))
+        X[0] += 8.0
+        scores = FastABOD(k=10).score(X)
+        assert int(np.argmax(scores)) == 0
+
+    def test_coincident_points_finite(self):
+        X = np.array([[0.0, 0.0]] * 20 + [[4.0, 4.0]])
+        scores = FastABOD(k=5).score(X)
+        assert np.isfinite(scores).all()
+
+    def test_two_points_scores_zero(self):
+        scores = FastABOD(k=2).score([[0.0, 0.0], [1.0, 1.0]])
+        assert (scores == 0.0).all()
+
+    def test_deterministic(self, rng):
+        X = rng.normal(size=(50, 3))
+        det = FastABOD(k=8)
+        assert np.allclose(det.score(X), det.score(X))
+
+
+class TestFastABODInterface:
+    def test_requires_k_at_least_two(self):
+        with pytest.raises(ValidationError):
+            FastABOD(k=1)
+
+    def test_cache_key(self):
+        assert FastABOD(k=10).cache_key() != FastABOD(k=12).cache_key()

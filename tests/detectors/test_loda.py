@@ -1,0 +1,80 @@
+"""Unit tests for the LODA detector extension."""
+
+import numpy as np
+import pytest
+
+from repro.detectors import LODA
+from repro.exceptions import ValidationError
+
+
+class TestLODABehaviour:
+    def test_detects_planted_outlier(self, rng):
+        X = np.vstack([rng.normal(0, 0.4, size=(400, 6)), [[5.0] * 6]])
+        scores = LODA(n_projections=100, seed=0).score(X)
+        assert int(np.argmax(scores)) == 400
+
+    def test_deterministic_per_input(self, rng):
+        X = rng.normal(size=(100, 4))
+        det = LODA(n_projections=50, seed=1)
+        assert np.allclose(det.score(X), det.score(X))
+
+    def test_different_seeds_differ(self, rng):
+        X = rng.normal(size=(100, 4))
+        a = LODA(n_projections=50, seed=1).score(X)
+        b = LODA(n_projections=50, seed=2).score(X)
+        assert not np.allclose(a, b)
+
+    def test_scores_finite(self, rng):
+        X = rng.normal(size=(60, 3))
+        assert np.isfinite(LODA(n_projections=30, seed=0).score(X)).all()
+
+    def test_constant_data_does_not_crash(self):
+        X = np.ones((30, 3))
+        scores = LODA(n_projections=20, seed=0).score(X)
+        assert np.isfinite(scores).all()
+
+    def test_explicit_bins(self, rng):
+        X = rng.normal(size=(80, 3))
+        scores = LODA(n_projections=30, n_bins=10, seed=0).score(X)
+        assert scores.shape == (80,)
+
+
+class TestLODAFeatureAttribution:
+    def test_attributes_planted_features(self):
+        gen = np.random.default_rng(0)
+        X = gen.normal(size=(400, 6))
+        X[0, [2, 4]] = [7.0, -7.0]
+        det = LODA(n_projections=200, seed=1)
+        det.score(X)
+        importances = det.feature_scores(X, 0)
+        assert sorted(np.argsort(-importances)[:2].tolist()) == [2, 4]
+
+    def test_inlier_attribution_is_flat(self):
+        gen = np.random.default_rng(3)
+        X = gen.normal(size=(300, 5))
+        det = LODA(n_projections=150, seed=0)
+        importances = det.feature_scores(X, 10)  # ordinary point
+        assert np.max(np.abs(importances)) < 4.0
+
+    def test_works_without_prior_score_call(self):
+        gen = np.random.default_rng(1)
+        X = gen.normal(size=(100, 4))
+        det = LODA(n_projections=50, seed=0)
+        importances = det.feature_scores(X, 0)
+        assert importances.shape == (4,)
+
+    def test_rejects_bad_point(self, rng):
+        X = rng.normal(size=(50, 3))
+        with pytest.raises(ValidationError):
+            LODA(seed=0).feature_scores(X, 500)
+
+
+class TestLODAInterface:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValidationError):
+            LODA(n_projections=0)
+        with pytest.raises(ValidationError):
+            LODA(n_bins=1)
+
+    def test_cache_key(self):
+        assert LODA(seed=0).cache_key() != LODA(seed=1).cache_key()

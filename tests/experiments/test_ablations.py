@@ -1,0 +1,94 @@
+"""Tests for the ablation experiments (smoke profile, fast subsets)."""
+
+import pytest
+
+from repro.experiments import ablations, get_profile
+
+
+@pytest.fixture(scope="module")
+def smoke():
+    return get_profile("smoke")
+
+
+class TestDetectorSensitivity:
+    def test_rows_cover_both_sweeps(self, smoke):
+        report = ablations.detector_sensitivity(smoke)
+        kinds = {r["ablation"] for r in report.rows}
+        assert kinds == {"lof_k", "iforest_trees"}
+        assert all(0.0 <= r["map"] <= 1.0 for r in report.rows)
+
+    def test_lof_insensitive_to_k_on_easy_data(self, smoke):
+        # Section 3.1's premise: the chosen detectors need no fine tuning.
+        report = ablations.detector_sensitivity(smoke)
+        lof_maps = [r["map"] for r in report.rows if r["ablation"] == "lof_k"]
+        assert max(lof_maps) - min(lof_maps) <= 0.5
+
+
+class TestRefOutPoolDimension:
+    def test_four_fractions(self, smoke):
+        report = ablations.refout_pool_dimension(smoke)
+        assert len(report.rows) == 4
+        settings = {r["setting"] for r in report.rows}
+        assert "fraction=0.7" in settings  # the paper's setting
+
+
+class TestHicsTestChoice:
+    def test_both_tests_run(self, smoke):
+        report = ablations.hics_test_choice(smoke)
+        assert {r["setting"] for r in report.rows} == {"welch", "ks"}
+        assert all(r["seconds"] > 0 for r in report.rows)
+
+
+class TestCacheEffect:
+    def test_shared_not_slower(self, smoke):
+        report = ablations.cache_effect(smoke)
+        seconds = {r["setting"]: r["seconds"] for r in report.rows}
+        assert seconds["shared"] <= seconds["cold"] * 1.1
+
+
+class TestFxVariants:
+    def test_variants_and_dims_covered(self, smoke):
+        report = ablations.fx_variants(smoke)
+        settings = {r["setting"] for r in report.rows}
+        assert "beam_fx@2d" in settings
+        assert "hics_orig@2d" in settings
+
+
+class TestLowProjectionVisibility:
+    def test_one_row_per_detector(self, smoke):
+        report = ablations.low_projection_visibility(smoke)
+        assert {r["setting"] for r in report.rows} == {
+            "lof",
+            "fast_abod",
+            "iforest",
+        }
+
+    def test_aucs_in_unit_interval(self, smoke):
+        report = ablations.low_projection_visibility(smoke)
+        for row in report.rows:
+            assert 0.0 <= row["mean_projection_auc"] <= 1.0
+            assert row["mean_projection_auc"] <= row["max_projection_auc"] <= 1.0
+
+    def test_projections_weaker_than_blocks(self, smoke, hics_small):
+        # Sanity link to the generator property: visibility in projections
+        # must be strictly worse than in the relevant subspaces themselves
+        # (where AUC is 1.0 by the separability tests).
+        report = ablations.low_projection_visibility(smoke)
+        lof_row = next(r for r in report.rows if r["setting"] == "lof")
+        assert lof_row["mean_projection_auc"] < 1.0
+
+
+class TestPredictiveVsDescriptive:
+    def test_contenders_present(self, smoke):
+        report = ablations.predictive_vs_descriptive(smoke)
+        assert {r["setting"] for r in report.rows} == {
+            "beam",
+            "refout",
+            "surrogate",
+        }
+
+    def test_surrogate_cheapest_per_point(self, smoke):
+        # The predictive explainer's selling point: amortised cost.
+        report = ablations.predictive_vs_descriptive(smoke)
+        cost = {r["setting"]: r["seconds_per_point"] for r in report.rows}
+        assert cost["surrogate"] <= cost["refout"]

@@ -1,0 +1,71 @@
+"""Tests for the table1/figure8 experiment artefacts (cheap, structural)."""
+
+import pytest
+
+from repro.experiments import figure8, table1
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return table1.run("smoke")
+
+    def test_row_per_dataset(self, report):
+        assert [r["name"] for r in report.rows] == ["hics_14", "breast"]
+
+    def test_synthetic_characteristics(self, report):
+        synthetic = report.rows[0]
+        assert synthetic["kind"] == "subspace"
+        assert synthetic["n_outliers"] == 20
+        assert synthetic["n_relevant_subspaces"] == 4
+        assert synthetic["outliers_per_relevant_subspace"] == 5.0
+
+    def test_real_characteristics(self, report):
+        real = report.rows[1]
+        assert real["kind"] == "full_space"
+        assert real["relevant_feature_ratio_pct"] == 100.0
+        assert real["contamination_pct"] == pytest.approx(10.1)
+
+    def test_render_contains_table(self, report):
+        text = report.render()
+        assert "Table 1" in text
+        assert "hics_14" in text
+
+    def test_csv(self, report):
+        csv_text = report.to_csv()
+        assert csv_text.splitlines()[0].startswith("name,")
+        assert len(csv_text.strip().splitlines()) == 3
+
+
+class TestFigure8:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return figure8.run("smoke")
+
+    def test_counts_by_dimensionality(self, report):
+        row = report.rows[0]
+        assert row["dataset"] == "hics_14"
+        assert row["subspaces_2d"] == 1
+        assert row["subspaces_3d"] == 1
+        assert row["subspaces_4d"] == 1
+        assert row["subspaces_5d"] == 1
+
+    def test_contamination(self, report):
+        # 20 outliers of 300 samples in the smoke-scaled dataset.
+        assert report.rows[0]["contamination_pct"] == pytest.approx(6.7)
+
+    def test_paper_profile_counts(self):
+        report = figure8.run("paper")
+        by_name = {r["dataset"]: r for r in report.rows}
+        assert by_name["hics_100"]["contamination_pct"] == pytest.approx(14.3)
+        totals = {
+            name: sum(v for k, v in row.items() if k.startswith("subspaces_"))
+            for name, row in by_name.items()
+        }
+        assert totals == {
+            "hics_14": 4,
+            "hics_23": 7,
+            "hics_39": 12,
+            "hics_70": 22,
+            "hics_100": 31,
+        }

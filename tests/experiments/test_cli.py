@@ -1,0 +1,39 @@
+"""Unit tests for the CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_experiment_choices(self):
+        parser = build_parser()
+        args = parser.parse_args(["table1"])
+        assert args.experiment == "table1"
+        assert args.profile == "quick"
+
+    def test_profile_option(self):
+        args = build_parser().parse_args(["figure8", "--profile", "smoke"])
+        assert args.profile == "smoke"
+
+    def test_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure99"])
+
+    def test_rejects_unknown_profile(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table1", "--profile", "huge"])
+
+
+class TestMain:
+    def test_table1_smoke(self, capsys):
+        assert main(["table1", "--profile", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "hics_14" in out
+
+    def test_figure8_with_csv(self, capsys, tmp_path):
+        path = tmp_path / "fig8.csv"
+        assert main(["figure8", "--profile", "smoke", "--csv", str(path)]) == 0
+        assert path.exists()
+        assert "dataset" in path.read_text().splitlines()[0]

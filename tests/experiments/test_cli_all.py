@@ -1,0 +1,92 @@
+"""Tests for the CLI 'all' path using stubbed experiment runners.
+
+The real 'all' invocation is minutes even at smoke scale; these tests
+replace the experiment registry with recording stubs to verify the
+orchestration contract: every experiment runs once, table2 reuses the
+figure reports instead of re-running them, and per-experiment CSVs are
+written.
+"""
+
+import pytest
+
+import repro.cli as cli
+from repro.experiments import ExperimentReport
+
+
+@pytest.fixture()
+def stubbed(monkeypatch):
+    calls: list[tuple[str, object]] = []
+
+    def make_stub(name):
+        def run(profile):
+            calls.append((name, profile))
+            return ExperimentReport(
+                experiment=name,
+                title=f"stub {name}",
+                profile=str(profile),
+                sections=[f"{name} body"],
+                rows=[{"experiment": name, "value": 1}],
+            )
+
+        return run
+
+    stub_registry = {
+        name: make_stub(name)
+        for name in ("figure9", "figure10", "figure11", "table1")
+    }
+
+    def table2_run(profile, *, figure9_report=None, figure10_report=None,
+                   figure11_report=None):
+        calls.append(
+            (
+                "table2",
+                (
+                    figure9_report is not None,
+                    figure10_report is not None,
+                    figure11_report is not None,
+                ),
+            )
+        )
+        return ExperimentReport(
+            experiment="table2",
+            title="stub table2",
+            profile=str(profile),
+            sections=["table2 body"],
+            rows=[{"experiment": "table2", "value": 2}],
+        )
+
+    stub_registry["table2"] = lambda profile: table2_run(profile)
+    monkeypatch.setattr(cli, "EXPERIMENTS", stub_registry)
+    monkeypatch.setattr(cli.table2, "run", table2_run)
+    return calls
+
+
+class TestAllPath:
+    def test_runs_every_experiment_once(self, stubbed, capsys):
+        assert cli.main(["all", "--profile", "smoke"]) == 0
+        names = [name for name, _ in stubbed]
+        assert names.count("figure9") == 1
+        assert names.count("table2") == 1
+        out = capsys.readouterr().out
+        assert "stub figure10" in out
+
+    def test_table2_reuses_figure_reports(self, stubbed):
+        cli.main(["all", "--profile", "smoke"])
+        table2_call = next(args for name, args in stubbed if name == "table2")
+        assert table2_call == (True, True, True)
+
+    def test_csv_per_experiment(self, stubbed, tmp_path):
+        base = tmp_path / "out.csv"
+        cli.main(["all", "--profile", "smoke", "--csv", str(base)])
+        expected = {
+            f"out_{name}.csv"
+            for name in ("figure9", "figure10", "figure11", "table1", "table2")
+        }
+        assert {p.name for p in tmp_path.iterdir()} == expected
+
+
+class TestSinglePath:
+    def test_single_experiment_csv_uses_exact_path(self, stubbed, tmp_path):
+        path = tmp_path / "exact.csv"
+        cli.main(["table1", "--profile", "smoke", "--csv", str(path)])
+        assert path.exists()

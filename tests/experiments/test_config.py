@@ -1,0 +1,71 @@
+"""Unit tests for experiment profiles."""
+
+import pytest
+
+from repro.detectors import FastABOD, IsolationForest, LOF
+from repro.exceptions import ExperimentError
+from repro.experiments import PROFILES, get_profile
+
+
+class TestProfiles:
+    def test_three_profiles_registered(self):
+        assert set(PROFILES) == {"smoke", "quick", "paper"}
+
+    def test_get_profile(self):
+        assert get_profile("smoke").name == "smoke"
+
+    def test_unknown_profile(self):
+        with pytest.raises(ExperimentError):
+            get_profile("turbo")
+
+    def test_paper_profile_matches_section_31(self):
+        paper = get_profile("paper")
+        lof, abod, iforest = paper.detectors()
+        assert isinstance(lof, LOF) and lof.k == 15
+        assert isinstance(abod, FastABOD) and abod.k == 10
+        assert isinstance(iforest, IsolationForest)
+        assert iforest.n_trees == 100
+        assert iforest.subsample_size == 256
+        assert iforest.n_repeats == 10
+        assert paper.explanation_dims == (2, 3, 4, 5)
+        assert paper.synthetic_widths == (14, 23, 39, 70, 100)
+        assert paper.max_outliers_per_run is None
+
+    def test_explainer_factories_fresh_instances(self):
+        profile = get_profile("smoke")
+        factories = profile.point_explainer_factories()
+        assert factories[0]() is not factories[0]()
+
+    def test_smoke_overrides_applied(self):
+        smoke = get_profile("smoke")
+        beam = smoke.point_explainer_factories()[0]()
+        assert beam.beam_width == 15
+
+    def test_scaled_copy(self):
+        scaled = get_profile("smoke").scaled(explanation_dims=(2,))
+        assert scaled.explanation_dims == (2,)
+        assert get_profile("smoke").explanation_dims == (2, 3)
+
+    def test_parallelism_defaults(self):
+        # Scaled profiles run serially; the paper profile fans out.
+        assert get_profile("smoke").n_jobs == 1
+        assert get_profile("quick").n_jobs == 1
+        assert get_profile("paper").n_jobs > 1
+
+
+class TestPointSelection:
+    def test_cap_applied(self, hics_small):
+        profile = get_profile("smoke").scaled(max_outliers_per_run=2)
+        points = profile.select_points(hics_small, 2)
+        at_dim = set(hics_small.ground_truth.points_at(2))
+        selected_at_dim = [p for p in points if p in at_dim]
+        assert len(selected_at_dim) == 2
+        assert 2 <= len(points) <= 4
+
+    def test_no_cap_returns_all_outliers(self, hics_small):
+        profile = get_profile("smoke").scaled(max_outliers_per_run=None)
+        assert profile.select_points(hics_small, 2) == hics_small.outliers
+
+    def test_datasets_cached_across_calls(self):
+        profile = get_profile("smoke")
+        assert profile.synthetic_datasets()[0] is profile.synthetic_datasets()[0]

@@ -1,0 +1,44 @@
+"""Tests for the extended experiment sweep."""
+
+import pytest
+
+from repro.experiments import extended, get_profile
+
+
+@pytest.fixture(scope="module")
+def report():
+    return extended.run(get_profile("smoke"))
+
+
+def _map_of(rows, dataset, pipeline):
+    for row in rows:
+        if row["dataset"] == dataset and row["pipeline"] == pipeline:
+            return row["map"]
+    raise AssertionError(f"missing cell {dataset}/{pipeline}")
+
+
+class TestExtendedSweep:
+    def test_all_ten_pipelines_per_dataset(self, report):
+        datasets = {row["dataset"] for row in report.rows}
+        assert datasets == {"hics_14", "breast"}
+        pipelines = {
+            row["pipeline"] for row in report.rows if row["dataset"] == "hics_14"
+        }
+        assert len(pipelines) == 10
+
+    def test_surrogate_dichotomy(self, report):
+        # Predictive explanations work where the full space already shows
+        # the outlier; they cannot see masked subspace outliers.
+        assert _map_of(report.rows, "breast", "surrogate+lof") >= 0.8
+        assert _map_of(report.rows, "hics_14", "surrogate+lof") <= 0.2
+
+    def test_lof_dominates_loda(self, report):
+        for dataset in ("hics_14", "breast"):
+            for explainer in ("beam", "lookout"):
+                lof = _map_of(report.rows, dataset, f"{explainer}+lof")
+                loda = _map_of(report.rows, dataset, f"{explainer}+loda")
+                assert lof >= loda
+
+    def test_render_has_one_panel_per_dataset(self, report):
+        text = report.render()
+        assert text.count("extended pipelines") == 2

@@ -1,0 +1,98 @@
+"""Integration tests for the figure sweeps and Table 2, at micro scale.
+
+A further-scaled copy of the smoke profile keeps each sweep to seconds
+while exercising the full code path: grid execution, per-dataset panels,
+report rendering, CSV rows, and the Table 2 Pareto distillation chained
+from real figure reports.
+"""
+
+import pytest
+
+from repro.experiments import figure9, figure10, figure11, get_profile, table2
+
+
+@pytest.fixture(scope="module")
+def micro_profile():
+    return get_profile("smoke").scaled(
+        name="micro",
+        synthetic_samples=200,
+        explanation_dims=(2,),
+        max_outliers_per_run=2,
+        realistic_overrides={
+            "breast": {"n_features": 6, "gt_dimensionalities": (2,)},
+        },
+    )
+
+
+@pytest.fixture(scope="module")
+def fig9(micro_profile):
+    return figure9.run(micro_profile)
+
+
+@pytest.fixture(scope="module")
+def fig10(micro_profile):
+    return figure10.run(micro_profile)
+
+
+@pytest.fixture(scope="module")
+def fig11(micro_profile):
+    return figure11.run(micro_profile)
+
+
+class TestFigure9:
+    def test_panel_per_dataset(self, fig9):
+        assert fig9.render().count("— MAP") == 2
+
+    def test_all_cells_present(self, fig9):
+        # 2 datasets x 1 dim x 6 pipelines.
+        assert len(fig9.rows) == 12
+        assert all(0.0 <= row["map"] <= 1.0 for row in fig9.rows)
+
+    def test_rows_carry_pipeline_label(self, fig9):
+        labels = {row["pipeline"] for row in fig9.rows}
+        assert "beam+lof" in labels
+        assert "refout+iforest" in labels
+
+    def test_csv_round_trip(self, fig9, tmp_path):
+        path = tmp_path / "fig9.csv"
+        fig9.write_csv(str(path))
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 13
+
+
+class TestFigure10:
+    def test_all_cells_present(self, fig10):
+        assert len(fig10.rows) == 12
+        labels = {row["pipeline"] for row in fig10.rows}
+        assert "hics+lof" in labels and "lookout+fast_abod" in labels
+
+    def test_summary_pipelines_record_results(self, fig10):
+        assert all(row["n_points"] >= 1 for row in fig10.rows)
+
+
+class TestFigure11:
+    def test_runtime_rows_positive(self, fig11):
+        assert len(fig11.rows) == 24  # 2 datasets x 12 pipelines x 1 dim
+        assert all(row["seconds"] > 0 for row in fig11.rows)
+
+    def test_subspace_counts_recorded(self, fig11):
+        assert all(row["n_subspaces_scored"] > 0 for row in fig11.rows)
+
+
+class TestTable2Chained:
+    def test_reuses_reports(self, micro_profile, fig9, fig10, fig11):
+        report = table2.run(
+            micro_profile,
+            figure9_report=fig9,
+            figure10_report=fig10,
+            figure11_report=fig11,
+        )
+        assert report.rows
+        # Every cell names a point pipeline and a summary pipeline at 2d
+        # on the easy micro datasets.
+        for row in report.rows:
+            assert row["dimensionality"] == 2
+            assert row["point_pipeline"]
+            assert row["summary_pipeline"]
+        ratios = {row["ratio"] for row in report.rows}
+        assert "100%" in ratios

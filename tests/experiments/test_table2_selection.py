@@ -1,0 +1,81 @@
+"""Unit tests for the Table 2 Pareto selection rule."""
+
+import pytest
+
+from repro.experiments.table2 import select_tradeoff
+
+
+def row(dataset, pipeline, dim, map_, seconds):
+    explainer, detector = pipeline.split("+")
+    return {
+        "dataset": dataset,
+        "pipeline": pipeline,
+        "explainer": explainer,
+        "detector": detector,
+        "dimensionality": dim,
+        "map": map_,
+        "seconds": seconds,
+    }
+
+
+class TestSelectTradeoff:
+    def test_highest_map_wins(self):
+        rows = [
+            row("d", "beam+lof", 2, 1.0, 5.0),
+            row("d", "refout+lof", 2, 0.5, 1.0),
+        ]
+        assert select_tradeoff(rows, ["d"], 2, {}) == "beam+lof"
+
+    def test_tie_broken_by_speed(self):
+        rows = [
+            row("d", "beam+lof", 2, 0.98, 5.0),
+            row("d", "refout+lof", 2, 1.0, 1.0),
+        ]
+        assert select_tradeoff(rows, ["d"], 2, {}) == "refout+lof"
+
+    def test_generic_preferred_on_near_tie(self):
+        rows = [
+            row("d", "hics+lof", 2, 1.0, 1.0),
+            row("d", "lookout+lof", 2, 0.97, 1.5),
+        ]
+        assert select_tradeoff(rows, ["d"], 2, {}) == "lookout+lof"
+
+    def test_specialist_kept_when_clearly_better(self):
+        rows = [
+            row("d", "hics+lof", 2, 1.0, 1.0),
+            row("d", "lookout+lof", 2, 0.4, 1.0),
+        ]
+        assert select_tradeoff(rows, ["d"], 2, {}) == "hics+lof"
+
+    def test_zero_map_reports_none(self):
+        rows = [
+            row("d", "beam+lof", 2, 0.0, 1.0),
+            row("d", "refout+lof", 2, 0.01, 1.0),
+        ]
+        assert select_tradeoff(rows, ["d"], 2, {}) is None
+
+    def test_runtime_index_overrides_seconds(self):
+        rows = [
+            row("d", "beam+lof", 2, 1.0, 0.1),
+            row("d", "refout+lof", 2, 1.0, 0.2),
+        ]
+        runtime = {("d", "beam+lof", 2): 9.0, ("d", "refout+lof", 2): 1.0}
+        assert select_tradeoff(rows, ["d"], 2, runtime) == "refout+lof"
+
+    def test_aggregates_across_datasets(self):
+        rows = [
+            row("a", "beam+lof", 2, 1.0, 1.0),
+            row("b", "beam+lof", 2, 0.0, 1.0),
+            row("a", "refout+lof", 2, 0.7, 1.0),
+            row("b", "refout+lof", 2, 0.7, 1.0),
+        ]
+        assert select_tradeoff(rows, ["a", "b"], 2, {}) == "refout+lof"
+
+    def test_empty_cell(self):
+        assert select_tradeoff([], ["d"], 2, {}) is None
+
+    def test_other_dimensionalities_ignored(self):
+        rows = [
+            row("d", "beam+lof", 3, 1.0, 1.0),
+        ]
+        assert select_tradeoff(rows, ["d"], 2, {}) is None

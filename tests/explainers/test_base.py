@@ -1,0 +1,65 @@
+"""Unit tests for explainer result types (RankedSubspaces, PointExplanations)."""
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.explainers import PointExplanations, RankedSubspaces
+from repro.subspaces import Subspace
+
+
+def ranking(*pairs):
+    return RankedSubspaces.from_pairs([(Subspace(s), v) for s, v in pairs])
+
+
+class TestRankedSubspaces:
+    def test_from_pairs_preserves_order(self):
+        r = ranking(([0, 1], 0.9), ([2, 3], 0.5))
+        assert r.subspaces[0] == (0, 1)
+        assert r.scores == (0.9, 0.5)
+
+    def test_len_iter_getitem(self):
+        r = ranking(([0], 1.0), ([1], 0.5))
+        assert len(r) == 2
+        assert list(r) == [(Subspace([0]), 1.0), (Subspace([1]), 0.5)]
+        assert r[1] == (Subspace([1]), 0.5)
+
+    def test_top(self):
+        r = ranking(([0], 3.0), ([1], 2.0), ([2], 1.0))
+        assert len(r.top(2)) == 2
+        assert r.top(0).subspaces == ()
+        with pytest.raises(ValidationError):
+            r.top(-1)
+
+    def test_rank_of(self):
+        r = ranking(([0, 1], 1.0), ([2, 3], 0.5))
+        assert r.rank_of([3, 2]) == 1
+        assert r.rank_of([9]) is None
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValidationError):
+            RankedSubspaces(subspaces=(Subspace([0]),), scores=(1.0, 2.0))
+
+    def test_repr_preview(self):
+        r = ranking(*[([i], float(-i)) for i in range(5)])
+        text = repr(r)
+        assert "5 entries" in text
+        assert "..." in text
+
+
+class TestPointExplanations:
+    def test_mapping_protocol(self):
+        exp = PointExplanations({3: ranking(([0], 1.0))})
+        assert len(exp) == 1
+        assert 3 in exp
+        assert list(exp) == [3]
+        assert exp[3].subspaces[0] == (0,)
+
+    def test_rejects_wrong_value_type(self):
+        with pytest.raises(ValidationError):
+            PointExplanations({0: [(0, 1)]})
+
+    def test_keys_coerced_to_int(self):
+        import numpy as np
+
+        exp = PointExplanations({np.int64(5): ranking(([1], 0.0))})
+        assert 5 in exp

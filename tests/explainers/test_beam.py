@@ -1,0 +1,88 @@
+"""Unit tests for the Beam point explainer."""
+
+import numpy as np
+import pytest
+
+from repro.detectors import LOF
+from repro.exceptions import ValidationError
+from repro.explainers import Beam
+from repro.subspaces import Subspace, SubspaceScorer
+
+
+@pytest.fixture()
+def scorer(subspace_outlier_data):
+    X, _, _ = subspace_outlier_data
+    return SubspaceScorer(X, LOF(k=10))
+
+
+class TestBeamRecovery:
+    def test_recovers_planted_2d_subspace(self, scorer, subspace_outlier_data):
+        _, point, subspace = subspace_outlier_data
+        result = Beam(beam_width=10).explain(scorer, point, 2)
+        assert result.subspaces[0] == subspace
+
+    def test_recovers_planted_3d_subspace(self):
+        gen = np.random.default_rng(9)
+        X = gen.normal(size=(120, 6))
+        X[0, [0, 2, 5]] = [6.0, -6.0, 6.0]
+        scorer = SubspaceScorer(X, LOF(k=10))
+        result = Beam(beam_width=20).explain(scorer, 0, 3)
+        assert result.subspaces[0] == (0, 2, 5)
+
+    def test_stage1_is_exhaustive(self, scorer):
+        # At dimensionality 2, Beam must consider all C(6,2)=15 subspaces.
+        before = scorer.n_evaluations
+        result = Beam(beam_width=100, result_size=100).explain(scorer, 0, 2)
+        assert scorer.n_evaluations - before == 15
+        assert len(result) == 15
+
+    def test_scores_descending(self, scorer):
+        result = Beam(beam_width=10).explain(scorer, 0, 2)
+        assert all(a >= b for a, b in zip(result.scores, result.scores[1:]))
+
+
+class TestBeamVariants:
+    def test_fx_returns_fixed_dimensionality(self, scorer):
+        result = Beam(beam_width=5, fixed_dimensionality=True).explain(scorer, 0, 3)
+        assert all(s.dimensionality == 3 for s in result.subspaces)
+
+    def test_global_list_returns_varying_dimensionality(self):
+        # Outlier visible in 2d: with the original Beam the 2d subspace must
+        # survive into the global list even when 3d explanations are asked.
+        gen = np.random.default_rng(5)
+        X = gen.normal(size=(100, 5))
+        X[0, [1, 3]] = [9.0, -9.0]
+        scorer = SubspaceScorer(X, LOF(k=10))
+        result = Beam(beam_width=10, fixed_dimensionality=False).explain(
+            scorer, 0, 3
+        )
+        assert result.rank_of((1, 3)) is not None
+        dims = {s.dimensionality for s in result.subspaces}
+        assert dims == {2, 3}
+
+    def test_result_size_truncates(self, scorer):
+        result = Beam(beam_width=100, result_size=3).explain(scorer, 0, 2)
+        assert len(result) == 3
+
+    def test_dimensionality_one(self, scorer):
+        result = Beam(beam_width=5).explain(scorer, 0, 1)
+        assert all(s.dimensionality == 1 for s in result.subspaces)
+
+
+class TestBeamInterface:
+    def test_explain_points(self, scorer):
+        result = Beam(beam_width=5).explain_points(scorer, [0, 1], 2)
+        assert set(result) == {0, 1}
+
+    def test_rejects_dimensionality_above_width(self, scorer):
+        with pytest.raises(ValidationError):
+            Beam().explain(scorer, 0, 7)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValidationError):
+            Beam(beam_width=0)
+
+    def test_name_and_repr(self):
+        beam = Beam(beam_width=7)
+        assert beam.name == "beam"
+        assert "beam_width=7" in repr(beam)

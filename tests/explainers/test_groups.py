@@ -1,0 +1,87 @@
+"""Unit tests for the group-based explainer extension."""
+
+from collections import Counter
+
+import pytest
+
+from repro.detectors import LOF
+from repro.exceptions import ValidationError
+from repro.explainers import GroupExplainer
+from repro.subspaces import SubspaceScorer
+
+
+@pytest.fixture(scope="module")
+def scorer(hics_small):
+    return SubspaceScorer(hics_small.X, LOF(k=15))
+
+
+@pytest.fixture(scope="module")
+def groups(hics_small, scorer):
+    return GroupExplainer(max_groups=8, seed=0).explain_groups(
+        scorer, hics_small.outliers, dimensionality=2
+    )
+
+
+class TestGrouping:
+    def test_partitions_all_points(self, hics_small, groups):
+        covered = sorted(p for g in groups for p in g.points)
+        assert covered == list(hics_small.outliers)
+
+    def test_groups_are_pure(self, hics_small, groups):
+        # Each group should be dominated by outliers of one block.
+        gt = hics_small.ground_truth
+        pure = 0
+        for group in groups:
+            truths = [tuple(gt.relevant_for(p)[0]) for p in group.points]
+            pure += Counter(truths).most_common(1)[0][1]
+        assert pure / len(hics_small.outliers) >= 0.8
+
+    def test_explanations_align_with_majority_block(self, hics_small, groups):
+        gt = hics_small.ground_truth
+        aligned = 0
+        for group in groups:
+            truths = [tuple(gt.relevant_for(p)[0]) for p in group.points]
+            majority, _ = Counter(truths).most_common(1)[0]
+            top = group.explanation.subspaces[0]
+            aligned += set(top) <= set(majority)
+        assert aligned / len(groups) >= 0.7
+
+    def test_groups_sorted_by_strength(self, groups):
+        tops = [g.explanation.scores[0] for g in groups]
+        assert tops == sorted(tops, reverse=True)
+
+    def test_deterministic(self, hics_small, scorer):
+        a = GroupExplainer(max_groups=8, seed=3).explain_groups(
+            scorer, hics_small.outliers, 2
+        )
+        b = GroupExplainer(max_groups=8, seed=3).explain_groups(
+            scorer, hics_small.outliers, 2
+        )
+        assert [g.points for g in a] == [g.points for g in b]
+
+
+class TestInterface:
+    def test_single_point(self, scorer, hics_small):
+        point = hics_small.outliers[0]
+        groups = GroupExplainer(seed=0).explain_groups(scorer, [point], 2)
+        assert len(groups) == 1
+        assert groups[0].points == (point,)
+
+    def test_requested_dimensionality(self, scorer, hics_small):
+        groups = GroupExplainer(max_groups=4, seed=0).explain_groups(
+            scorer, hics_small.outliers[:6], 3
+        )
+        for group in groups:
+            assert all(s.dimensionality == 3 for s in group.explanation.subspaces)
+
+    def test_rejects_empty_points(self, scorer):
+        with pytest.raises(ValidationError):
+            GroupExplainer().explain_groups(scorer, [], 2)
+
+    def test_rejects_dim_above_width(self, scorer, hics_small):
+        with pytest.raises(ValidationError):
+            GroupExplainer().explain_groups(scorer, hics_small.outliers, 99)
+
+    def test_rejects_negative_threshold(self):
+        with pytest.raises(ValidationError):
+            GroupExplainer(signature_threshold=-1.0)

@@ -1,0 +1,139 @@
+"""Unit tests for the HiCS summariser."""
+
+import numpy as np
+import pytest
+
+from repro.detectors import LOF
+from repro.exceptions import ValidationError
+from repro.explainers import HiCS
+from repro.explainers.hics import _ContrastEstimator
+from repro.subspaces import Subspace, SubspaceScorer
+from repro.utils.rng import as_rng
+
+
+@pytest.fixture(scope="module")
+def correlated_data():
+    """Features (0, 1) strongly dependent; 2 and 3 independent noise.
+
+    Point 0 breaks the (0, 1) dependence while staying marginally normal.
+    """
+    gen = np.random.default_rng(1)
+    latent = gen.normal(size=250)
+    X = np.column_stack(
+        [
+            latent + gen.normal(0, 0.1, 250),
+            latent + gen.normal(0, 0.1, 250),
+            gen.normal(size=250),
+            gen.normal(size=250),
+        ]
+    )
+    X[0, :2] = [2.5, -2.5]
+    return X
+
+
+class TestContrastEstimator:
+    def make(self, X, seed=0, test="welch", mc=150):
+        return _ContrastEstimator(
+            X, alpha=0.15, mc_iterations=mc, test=test, rng=as_rng(seed)
+        )
+
+    def test_dependent_beats_independent(self, correlated_data):
+        estimator = self.make(correlated_data)
+        assert estimator.contrast(Subspace([0, 1])) > estimator.contrast(
+            Subspace([2, 3])
+        )
+
+    def test_independent_contrast_low(self, correlated_data):
+        estimator = self.make(correlated_data)
+        assert estimator.contrast(Subspace([2, 3])) < 0.6
+
+    def test_dependent_contrast_high(self, correlated_data):
+        estimator = self.make(correlated_data)
+        assert estimator.contrast(Subspace([0, 1])) > 0.9
+
+    def test_ks_variant(self, correlated_data):
+        estimator = self.make(correlated_data, test="ks")
+        assert estimator.contrast(Subspace([0, 1])) > estimator.contrast(
+            Subspace([2, 3])
+        )
+
+    def test_contrast_in_unit_interval(self, correlated_data):
+        estimator = self.make(correlated_data, mc=50)
+        for s in [(0, 1), (0, 2), (1, 3), (0, 1, 2)]:
+            assert 0.0 <= estimator.contrast(Subspace(s)) <= 1.0
+
+    def test_requires_two_features(self, correlated_data):
+        estimator = self.make(correlated_data)
+        with pytest.raises(ValidationError):
+            estimator.contrast(Subspace([0]))
+
+
+class TestHiCSSummaries:
+    def test_finds_correlated_subspace(self, correlated_data):
+        scorer = SubspaceScorer(correlated_data, LOF(k=10))
+        summary = HiCS(mc_iterations=50, seed=0).summarize(scorer, [0], 2)
+        assert summary.subspaces[0] == (0, 1)
+
+    def test_fx_fixed_dimensionality(self, correlated_data):
+        scorer = SubspaceScorer(correlated_data, LOF(k=10))
+        summary = HiCS(mc_iterations=30, seed=0).summarize(scorer, [0], 3)
+        assert all(s.dimensionality == 3 for s in summary.subspaces)
+
+    def test_varying_dimensionality_variant(self, correlated_data):
+        scorer = SubspaceScorer(correlated_data, LOF(k=10))
+        summary = HiCS(
+            mc_iterations=30, seed=0, fixed_dimensionality=False
+        ).summarize(scorer, [0], 3)
+        dims = {s.dimensionality for s in summary.subspaces}
+        assert 2 in dims  # the strong 2d subspace survives pruning
+
+    def test_deterministic(self, correlated_data):
+        scorer = SubspaceScorer(correlated_data, LOF(k=10))
+        a = HiCS(mc_iterations=30, seed=5).summarize(scorer, [0], 2)
+        b = HiCS(mc_iterations=30, seed=5).summarize(scorer, [0], 2)
+        assert a.subspaces == b.subspaces
+
+    def test_result_size(self, correlated_data):
+        scorer = SubspaceScorer(correlated_data, LOF(k=10))
+        summary = HiCS(mc_iterations=20, seed=0, result_size=2).summarize(
+            scorer, [0], 2
+        )
+        assert len(summary) <= 2
+
+
+class TestPruneDominated:
+    def test_dominated_subspace_removed(self):
+        pairs = [
+            (Subspace([0, 1]), 0.5),
+            (Subspace([0, 1, 2]), 0.9),
+        ]
+        kept = HiCS._prune_dominated(pairs)
+        assert kept == [(Subspace([0, 1, 2]), 0.9)]
+
+    def test_stronger_subset_kept(self):
+        pairs = [
+            (Subspace([0, 1]), 0.9),
+            (Subspace([0, 1, 2]), 0.5),
+        ]
+        kept = HiCS._prune_dominated(pairs)
+        assert (Subspace([0, 1]), 0.9) in kept
+        assert (Subspace([0, 1, 2]), 0.5) in kept  # not dominated (lower dim)
+
+
+class TestHiCSInterface:
+    def test_rejects_dimensionality_one(self, correlated_data):
+        scorer = SubspaceScorer(correlated_data, LOF(k=10))
+        with pytest.raises(ValidationError, match="at least 2"):
+            HiCS().summarize(scorer, [0], 1)
+
+    def test_rejects_bad_test(self):
+        with pytest.raises(ValidationError):
+            HiCS(test="anova")
+
+    def test_rejects_empty_points(self, correlated_data):
+        scorer = SubspaceScorer(correlated_data, LOF(k=10))
+        with pytest.raises(ValidationError):
+            HiCS().summarize(scorer, [], 2)
+
+    def test_name(self):
+        assert HiCS().name == "hics"

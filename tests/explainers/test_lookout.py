@@ -1,0 +1,80 @@
+"""Unit tests for the LookOut summariser."""
+
+import numpy as np
+import pytest
+
+from repro.detectors import LOF
+from repro.exceptions import ValidationError
+from repro.explainers import LookOut
+from repro.subspaces import Subspace, SubspaceScorer
+
+
+@pytest.fixture()
+def two_outlier_scorer():
+    """Two outliers, each breaking a different planted correlation."""
+    gen = np.random.default_rng(8)
+    a, b = gen.normal(size=120), gen.normal(size=120)
+    X = np.column_stack(
+        [a, a + gen.normal(0, 0.05, 120), b, b + gen.normal(0, 0.05, 120)]
+    )
+    X[0, 1] = -X[0, 0]
+    X[1, 3] = -X[1, 2]
+    return SubspaceScorer(X, LOF(k=10))
+
+
+class TestGreedyCoverage:
+    def test_covers_both_outliers(self, two_outlier_scorer):
+        summary = LookOut(budget=2).summarize(two_outlier_scorer, [0, 1], 2)
+        assert sorted(map(tuple, summary.subspaces)) == [(0, 1), (2, 3)]
+
+    def test_budget_one_picks_single_best(self, two_outlier_scorer):
+        summary = LookOut(budget=1).summarize(two_outlier_scorer, [0, 1], 2)
+        assert len(summary) == 1
+        assert tuple(summary.subspaces[0]) in {(0, 1), (2, 3)}
+
+    def test_first_pick_maximises_total_utility(self, two_outlier_scorer):
+        # Greedy property: the first selected subspace has the largest
+        # sum of clamped z-scores over the explained points.
+        summary = LookOut(budget=3).summarize(two_outlier_scorer, [0, 1], 2)
+        scorer = two_outlier_scorer
+        from repro.subspaces import all_subspaces
+
+        def utility(s):
+            z = scorer.points_zscores(s, [0, 1])
+            return float(np.maximum(z, 0).sum())
+
+        best = max(all_subspaces(4, 2), key=utility)
+        assert summary.subspaces[0] == best
+
+    def test_marginal_gains_non_increasing(self, two_outlier_scorer):
+        summary = LookOut(budget=4).summarize(two_outlier_scorer, [0, 1], 2)
+        assert all(a >= b for a, b in zip(summary.scores, summary.scores[1:]))
+
+    def test_stops_when_no_gain(self, two_outlier_scorer):
+        # With a single outlier, one subspace maximises it; further picks
+        # add nothing and the summary is truncated early.
+        summary = LookOut(budget=6).summarize(two_outlier_scorer, [0], 2)
+        assert len(summary) < 6
+
+
+class TestLookOutInterface:
+    def test_budget_capped_by_candidates(self, two_outlier_scorer):
+        summary = LookOut(budget=100).summarize(two_outlier_scorer, [0, 1], 2)
+        assert len(summary) <= 6  # C(4, 2)
+
+    def test_max_candidates_guard(self, two_outlier_scorer):
+        with pytest.raises(ValidationError, match="max_candidates"):
+            LookOut(budget=2, max_candidates=3).summarize(
+                two_outlier_scorer, [0], 2
+            )
+
+    def test_rejects_empty_points(self, two_outlier_scorer):
+        with pytest.raises(ValidationError, match="points"):
+            LookOut(budget=2).summarize(two_outlier_scorer, [], 2)
+
+    def test_rejects_dimensionality_above_width(self, two_outlier_scorer):
+        with pytest.raises(ValidationError):
+            LookOut().summarize(two_outlier_scorer, [0], 9)
+
+    def test_name(self):
+        assert LookOut().name == "lookout"

@@ -1,0 +1,96 @@
+"""Unit tests for the RefOut point explainer."""
+
+import numpy as np
+import pytest
+
+from repro.detectors import LOF
+from repro.exceptions import ValidationError
+from repro.explainers import RefOut
+from repro.subspaces import SubspaceScorer
+
+
+@pytest.fixture()
+def scorer(subspace_outlier_data):
+    X, _, _ = subspace_outlier_data
+    return SubspaceScorer(X, LOF(k=10))
+
+
+class TestRefOutRecovery:
+    def test_recovers_planted_2d_subspace(self, scorer, subspace_outlier_data):
+        _, point, subspace = subspace_outlier_data
+        result = RefOut(pool_size=60, beam_width=10, seed=0).explain(
+            scorer, point, 2
+        )
+        assert result.subspaces[0] == subspace
+
+    def test_recovers_planted_3d_subspace(self):
+        gen = np.random.default_rng(9)
+        X = gen.normal(size=(120, 6))
+        X[0, [0, 2, 5]] = [6.0, -6.0, 6.0]
+        scorer = SubspaceScorer(X, LOF(k=10))
+        result = RefOut(pool_size=80, beam_width=20, seed=1).explain(scorer, 0, 3)
+        assert result.subspaces[0] == (0, 2, 5)
+
+    def test_returned_dimensionality_is_fixed(self, scorer):
+        result = RefOut(pool_size=40, beam_width=10, seed=0).explain(scorer, 0, 2)
+        assert all(s.dimensionality == 2 for s in result.subspaces)
+
+    def test_scores_descending(self, scorer):
+        result = RefOut(pool_size=40, beam_width=10, seed=0).explain(scorer, 0, 2)
+        assert all(a >= b for a, b in zip(result.scores, result.scores[1:]))
+
+
+class TestRefOutDeterminism:
+    def test_same_seed_same_result(self, scorer, subspace_outlier_data):
+        _, point, _ = subspace_outlier_data
+        a = RefOut(pool_size=40, beam_width=10, seed=7).explain(scorer, point, 2)
+        b = RefOut(pool_size=40, beam_width=10, seed=7).explain(scorer, point, 2)
+        assert a.subspaces == b.subspaces
+        assert a.scores == b.scores
+
+    def test_per_point_pools_differ(self, scorer):
+        # The pool is derived from (seed, point): two points must not share
+        # identical explanations by pool coincidence.
+        explainer = RefOut(pool_size=40, beam_width=10, seed=7)
+        a = explainer.explain(scorer, 1, 2)
+        b = explainer.explain(scorer, 2, 2)
+        assert a.subspaces != b.subspaces or a.scores != b.scores
+
+
+class TestRefOutPoolGeometry:
+    def test_pool_dim_clamped_to_target(self, rng):
+        # pool_dim_fraction * d < target dimensionality: must still work by
+        # clamping the projection dimensionality up to the target.
+        X = rng.normal(size=(60, 5))
+        X[0, [0, 1, 2]] = 6.0
+        scorer = SubspaceScorer(X, LOF(k=10))
+        result = RefOut(
+            pool_size=30, beam_width=10, pool_dim_fraction=0.2, seed=0
+        ).explain(scorer, 0, 3)
+        assert all(s.dimensionality == 3 for s in result.subspaces)
+
+    def test_full_fraction_pool_degenerates_gracefully(self, scorer):
+        # fraction 1.0 -> every pool subspace is the full space; partitions
+        # are one-sided so discrepancies are zero, but the refinement stage
+        # still ranks candidates.
+        result = RefOut(
+            pool_size=20, beam_width=5, pool_dim_fraction=1.0, seed=0
+        ).explain(scorer, 0, 2)
+        assert len(result) > 0
+
+
+class TestRefOutInterface:
+    def test_rejects_dimensionality_above_width(self, scorer):
+        with pytest.raises(ValidationError):
+            RefOut(seed=0).explain(scorer, 0, 7)
+
+    def test_rejects_zero_fraction(self):
+        with pytest.raises(ValidationError):
+            RefOut(pool_dim_fraction=0.0)
+
+    def test_rejects_tiny_pool(self):
+        with pytest.raises(ValidationError):
+            RefOut(pool_size=2)
+
+    def test_name(self):
+        assert RefOut().name == "refout"

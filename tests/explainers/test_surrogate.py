@@ -1,0 +1,92 @@
+"""Unit tests for the surrogate-tree predictive explainer."""
+
+import numpy as np
+import pytest
+
+from repro.detectors import LOF
+from repro.exceptions import ValidationError
+from repro.explainers import SurrogateExplainer
+from repro.subspaces import SubspaceScorer
+
+
+@pytest.fixture()
+def full_space_scorer():
+    """Outlier 0 deviating moderately in every feature (full-space)."""
+    gen = np.random.default_rng(6)
+    X = gen.normal(size=(150, 6))
+    X[0] = 4.0
+    return SubspaceScorer(X, LOF(k=10))
+
+
+class TestRecovery:
+    def test_recovers_planted_2d_subspace(self):
+        gen = np.random.default_rng(2)
+        X = gen.normal(size=(100, 6))
+        X[0, [2, 4]] = [8.0, -8.0]
+        scorer = SubspaceScorer(X, LOF(k=10))
+        result = SurrogateExplainer().explain(scorer, 0, 2)
+        assert result.subspaces[0] == (2, 4)
+
+    def test_dimensionality_respected(self, full_space_scorer):
+        result = SurrogateExplainer().explain(full_space_scorer, 0, 3)
+        assert all(s.dimensionality == 3 for s in result.subspaces)
+
+    def test_scores_descending(self, full_space_scorer):
+        result = SurrogateExplainer().explain(full_space_scorer, 0, 2)
+        assert all(a >= b for a, b in zip(result.scores, result.scores[1:]))
+
+    def test_result_size(self, full_space_scorer):
+        result = SurrogateExplainer(result_size=3).explain(full_space_scorer, 0, 2)
+        assert len(result) <= 3
+
+
+class TestSurrogateReuse:
+    def test_tree_fitted_once_per_scorer(self, full_space_scorer):
+        explainer = SurrogateExplainer()
+        explainer.explain(full_space_scorer, 0, 2)
+        tree_first = explainer._trees[id(full_space_scorer)]
+        explainer.explain(full_space_scorer, 1, 2)
+        assert explainer._trees[id(full_space_scorer)] is tree_first
+
+    def test_distinct_scorers_get_distinct_trees(self, full_space_scorer):
+        gen = np.random.default_rng(9)
+        other = SubspaceScorer(gen.normal(size=(80, 6)), LOF(k=10))
+        explainer = SurrogateExplainer()
+        explainer.explain(full_space_scorer, 0, 2)
+        explainer.explain(other, 0, 2)
+        assert len(explainer._trees) == 2
+
+
+class TestPipelineIntegration:
+    def test_matches_exhaustive_ground_truth_on_full_space_data(self, breast_small):
+        from repro.metrics import evaluate_point_explanations
+
+        scorer = SubspaceScorer(breast_small.X, LOF(k=15))
+        explainer = SurrogateExplainer()
+        explanations = explainer.explain_points(scorer, breast_small.outliers, 2)
+        result = evaluate_point_explanations(
+            dict(explanations), breast_small.ground_truth, 2
+        )
+        # Predictive explanations should stay competitive with the
+        # exhaustive searchers on full-space outliers.
+        assert result.map >= 0.8
+
+    def test_runs_in_pipeline(self, hics_small):
+        from repro.pipeline import ExplanationPipeline
+
+        pipeline = ExplanationPipeline(LOF(k=15), SurrogateExplainer())
+        result = pipeline.run(hics_small, 2, points=hics_small.outliers[:3])
+        assert pipeline.name == "surrogate+lof"
+        assert 0.0 <= result.map <= 1.0
+
+
+class TestValidation:
+    def test_rejects_dim_above_width(self, full_space_scorer):
+        with pytest.raises(ValidationError):
+            SurrogateExplainer().explain(full_space_scorer, 0, 9)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValidationError):
+            SurrogateExplainer(max_depth=0)
+        with pytest.raises(ValidationError):
+            SurrogateExplainer(n_candidate_features=1)

@@ -1,0 +1,100 @@
+"""Unit tests for the detector-quality metrics (sklearn-free oracles)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.metrics import (
+    detection_average_precision,
+    precision_at_n,
+    roc_auc,
+)
+
+
+class TestRocAuc:
+    def test_perfect_separation(self):
+        scores = np.array([0.1, 0.2, 0.9, 1.0])
+        assert roc_auc(scores, [2, 3]) == 1.0
+
+    def test_inverted_separation(self):
+        scores = np.array([0.9, 1.0, 0.1, 0.2])
+        assert roc_auc(scores, [2, 3]) == 0.0
+
+    def test_random_is_half(self, rng):
+        scores = rng.normal(size=2000)
+        outliers = rng.choice(2000, size=200, replace=False)
+        assert roc_auc(scores, outliers) == pytest.approx(0.5, abs=0.06)
+
+    def test_ties_count_half(self):
+        scores = np.array([1.0, 1.0, 1.0, 1.0])
+        assert roc_auc(scores, [0, 1]) == pytest.approx(0.5)
+
+    def test_matches_pairwise_definition(self, rng):
+        scores = rng.normal(size=40)
+        outliers = [1, 5, 9]
+        inliers = [i for i in range(40) if i not in outliers]
+        wins = sum(
+            1.0 if scores[o] > scores[i] else 0.5 if scores[o] == scores[i] else 0.0
+            for o in outliers
+            for i in inliers
+        )
+        assert roc_auc(scores, outliers) == pytest.approx(
+            wins / (len(outliers) * len(inliers))
+        )
+
+    def test_rejects_all_outliers(self):
+        with pytest.raises(ValidationError):
+            roc_auc(np.array([1.0, 2.0]), [0, 1])
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValidationError):
+            roc_auc(np.array([1.0, 2.0]), [5])
+
+
+class TestDetectionAveragePrecision:
+    def test_perfect_ranking(self):
+        scores = np.array([0.1, 0.9, 0.2, 1.0])
+        assert detection_average_precision(scores, [1, 3]) == 1.0
+
+    def test_single_outlier_at_rank_two(self):
+        scores = np.array([0.5, 1.0, 0.1])
+        # outlier 0 sits at rank 2 -> AP = 1/2.
+        assert detection_average_precision(scores, [0]) == 0.5
+
+    def test_worked_example(self):
+        scores = np.array([4.0, 3.0, 2.0, 1.0])
+        # outliers at ranks 1 and 3: AP = (1/1 + 2/3) / 2.
+        assert detection_average_precision(scores, [0, 2]) == pytest.approx(
+            (1.0 + 2.0 / 3.0) / 2.0
+        )
+
+    def test_bounds(self, rng):
+        scores = rng.normal(size=50)
+        ap = detection_average_precision(scores, [0, 1, 2])
+        assert 0.0 < ap <= 1.0
+
+
+class TestPrecisionAtN:
+    def test_r_precision_default(self):
+        scores = np.array([0.9, 0.8, 0.1, 0.2])
+        assert precision_at_n(scores, [0, 1]) == 1.0
+        assert precision_at_n(scores, [0, 2]) == 0.5
+
+    def test_explicit_n(self):
+        scores = np.array([0.9, 0.8, 0.7, 0.1])
+        assert precision_at_n(scores, [0], n=3) == pytest.approx(1 / 3)
+
+    def test_n_capped_at_length(self):
+        scores = np.array([0.9, 0.1])
+        assert precision_at_n(scores, [0], n=10) == 0.5
+
+
+class TestOnPlantedData:
+    def test_lof_on_planted_blob(self, blob_with_outlier):
+        from repro.detectors import LOF
+
+        X, outlier = blob_with_outlier
+        scores = LOF(k=10).score(X)
+        assert roc_auc(scores, [outlier]) == 1.0
+        assert detection_average_precision(scores, [outlier]) == 1.0
+        assert precision_at_n(scores, [outlier]) == 1.0

@@ -1,0 +1,99 @@
+"""Unit tests for repro.metrics.evaluation."""
+
+import pytest
+
+from repro.datasets import GroundTruth
+from repro.exceptions import ValidationError
+from repro.explainers import RankedSubspaces
+from repro.metrics import (
+    evaluate_point_explanations,
+    evaluate_summary,
+    mean_average_precision,
+    mean_recall,
+)
+from repro.subspaces import Subspace
+
+
+def ranking(*subs):
+    return RankedSubspaces(
+        subspaces=tuple(Subspace(s) for s in subs),
+        scores=tuple(float(len(subs) - i) for i in range(len(subs))),
+    )
+
+
+@pytest.fixture()
+def ground_truth():
+    return GroundTruth(
+        {
+            0: [(0, 1)],
+            1: [(2, 3)],
+            2: [(0, 1, 2)],  # explained at 3d only
+        }
+    )
+
+
+class TestEvaluatePointExplanations:
+    def test_perfect(self, ground_truth):
+        explanations = {0: ranking((0, 1)), 1: ranking((2, 3))}
+        result = evaluate_point_explanations(explanations, ground_truth, 2)
+        assert result.map == 1.0
+        assert result.mean_recall == 1.0
+        assert result.n_points == 2
+
+    def test_missing_point_counts_as_zero(self, ground_truth):
+        explanations = {0: ranking((0, 1))}
+        result = evaluate_point_explanations(explanations, ground_truth, 2)
+        assert result.map == pytest.approx(0.5)
+        assert result.per_point_ap[1] == 0.0
+
+    def test_dimensionality_filter(self, ground_truth):
+        explanations = {2: ranking((0, 1, 2))}
+        result = evaluate_point_explanations(explanations, ground_truth, 3)
+        assert result.n_points == 1
+        assert result.map == 1.0
+
+    def test_points_restriction(self, ground_truth):
+        explanations = {0: ranking((0, 1))}
+        result = evaluate_point_explanations(
+            explanations, ground_truth, 2, points=(0,)
+        )
+        assert result.n_points == 1
+        assert result.map == 1.0
+
+    def test_no_points_at_dimensionality(self, ground_truth):
+        with pytest.raises(ValidationError, match="no ground-truth point"):
+            evaluate_point_explanations({}, ground_truth, 5)
+
+    def test_rank_matters(self, ground_truth):
+        buried = {0: ranking((8, 9), (0, 1)), 1: ranking((2, 3))}
+        result = evaluate_point_explanations(buried, ground_truth, 2)
+        assert result.map == pytest.approx((0.5 + 1.0) / 2)
+        assert result.mean_recall == 1.0  # recall is order-blind
+
+
+class TestEvaluateSummary:
+    def test_shared_ranking(self, ground_truth):
+        summary = ranking((0, 1), (2, 3))
+        result = evaluate_summary(summary, ground_truth, 2)
+        # point 0: rel at rank 1 -> AP 1; point 1: rel at rank 2 -> AP 0.5
+        assert result.map == pytest.approx((1.0 + 0.5) / 2)
+
+    def test_summary_not_covering_everyone(self, ground_truth):
+        summary = ranking((0, 1))
+        result = evaluate_summary(summary, ground_truth, 2)
+        assert result.per_point_ap[1] == 0.0
+
+    def test_points_restriction(self, ground_truth):
+        summary = ranking((0, 1))
+        result = evaluate_summary(summary, ground_truth, 2, points=(0,))
+        assert result.map == 1.0
+
+
+class TestConvenienceWrappers:
+    def test_map_wrapper(self, ground_truth):
+        explanations = {0: ranking((0, 1)), 1: ranking((2, 3))}
+        assert mean_average_precision(explanations, ground_truth, 2) == 1.0
+
+    def test_recall_wrapper(self, ground_truth):
+        explanations = {0: ranking((0, 1)), 1: ranking((8, 9))}
+        assert mean_recall(explanations, ground_truth, 2) == pytest.approx(0.5)

@@ -1,0 +1,78 @@
+"""Unit tests for the dimension-adjusted quality measure."""
+
+import numpy as np
+import pytest
+
+from repro.detectors import LOF
+from repro.exceptions import ValidationError
+from repro.metrics import dimension_adjusted_quality
+from repro.subspaces import SubspaceScorer
+
+
+@pytest.fixture(scope="module")
+def scorer(subspace_outlier_data):
+    X, _, _ = subspace_outlier_data
+    return SubspaceScorer(X, LOF(k=10))
+
+
+class TestQuality:
+    def test_relevant_subspace_above_reference_mean(
+        self, scorer, subspace_outlier_data
+    ):
+        # Many same-dimensional references overlap the planted features
+        # and also see the deviation, so the calibrated value is modest —
+        # but it must sit above the reference mean.
+        _, point, subspace = subspace_outlier_data
+        quality = dimension_adjusted_quality(scorer, subspace, point, seed=0)
+        assert quality > 0.5
+
+    def test_irrelevant_subspace_below_reference_mean(
+        self, scorer, subspace_outlier_data
+    ):
+        _, point, _ = subspace_outlier_data
+        quality = dimension_adjusted_quality(scorer, (0, 1), point, seed=0)
+        assert quality < 0.0
+
+    def test_relevant_beats_irrelevant(self, scorer, subspace_outlier_data):
+        _, point, subspace = subspace_outlier_data
+        good = dimension_adjusted_quality(scorer, subspace, point, seed=0)
+        bad = dimension_adjusted_quality(scorer, (0, 3), point, seed=0)
+        assert good > bad
+
+    def test_deterministic_per_seed(self, scorer, subspace_outlier_data):
+        _, point, subspace = subspace_outlier_data
+        a = dimension_adjusted_quality(scorer, subspace, point, seed=4)
+        b = dimension_adjusted_quality(scorer, subspace, point, seed=4)
+        assert a == b
+
+    def test_small_population_enumerates(self, scorer, subspace_outlier_data):
+        # 1d subspaces of a 6d dataset: population 6 <= n_reference, so the
+        # reference set is the full enumeration minus the candidate.
+        _, point, _ = subspace_outlier_data
+        quality = dimension_adjusted_quality(
+            scorer, (2,), point, n_reference=30, seed=0
+        )
+        assert np.isfinite(quality)
+
+    def test_comparable_across_dimensionalities(self, scorer, subspace_outlier_data):
+        # The calibrated score of the planted 2d subspace should dominate
+        # the calibrated score of an arbitrary 3d subspace, even though raw
+        # z-scores of different dimensionalities are incomparable.
+        _, point, subspace = subspace_outlier_data
+        planted = dimension_adjusted_quality(scorer, subspace, point, seed=0)
+        arbitrary = dimension_adjusted_quality(scorer, (0, 1, 3), point, seed=0)
+        assert planted > arbitrary
+
+    def test_rejects_full_space(self, scorer, subspace_outlier_data):
+        _, point, _ = subspace_outlier_data
+        with pytest.raises(ValidationError):
+            dimension_adjusted_quality(
+                scorer, tuple(range(scorer.n_features)), point
+            )
+
+    def test_rejects_tiny_reference(self, scorer, subspace_outlier_data):
+        _, point, subspace = subspace_outlier_data
+        with pytest.raises(ValidationError):
+            dimension_adjusted_quality(
+                scorer, subspace, point, n_reference=2
+            )

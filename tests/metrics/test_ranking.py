@@ -1,0 +1,101 @@
+"""Unit tests for repro.metrics.ranking."""
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.metrics.ranking import (
+    average_precision,
+    precision,
+    precision_at_k,
+    recall,
+)
+
+
+REL = [(0, 1), (2, 3)]
+
+
+class TestPrecision:
+    def test_all_relevant(self):
+        assert precision([(0, 1), (2, 3)], REL) == 1.0
+
+    def test_half_relevant(self):
+        assert precision([(0, 1), (4, 5)], REL) == 0.5
+
+    def test_empty_retrieved(self):
+        assert precision([], REL) == 0.0
+
+    def test_order_blind(self):
+        assert precision([(4, 5), (0, 1)], REL) == precision(
+            [(0, 1), (4, 5)], REL
+        )
+
+    def test_feature_order_normalised(self):
+        assert precision([(1, 0)], REL) == 1.0
+
+    def test_rejects_empty_relevant(self):
+        with pytest.raises(ValidationError):
+            precision([(0, 1)], [])
+
+
+class TestPrecisionAtK:
+    def test_basic(self):
+        retrieved = [(0, 1), (4, 5), (2, 3)]
+        assert precision_at_k(retrieved, REL, 1) == 1.0
+        assert precision_at_k(retrieved, REL, 2) == 0.5
+        assert precision_at_k(retrieved, REL, 3) == pytest.approx(2 / 3)
+
+    def test_k_beyond_length(self):
+        assert precision_at_k([(0, 1)], REL, 10) == 1.0
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValidationError):
+            precision_at_k([(0, 1)], REL, 0)
+
+
+class TestAveragePrecision:
+    def test_perfect_ranking(self):
+        assert average_precision([(0, 1), (2, 3)], REL) == 1.0
+
+    def test_perfect_then_noise(self):
+        assert average_precision([(0, 1), (2, 3), (4, 5)], REL) == 1.0
+
+    def test_relevant_buried(self):
+        # Single relevant subspace at position 2: AP = (1/2) / 1.
+        assert average_precision([(8, 9), (0, 1)], [(0, 1)]) == 0.5
+
+    def test_paper_formula_worked_example(self):
+        # rel at positions 1 and 3: AP = (1/1 + 2/3) / 2
+        ap = average_precision([(0, 1), (7, 8), (2, 3)], REL)
+        assert ap == pytest.approx((1.0 + 2 / 3) / 2)
+
+    def test_nothing_retrieved(self):
+        assert average_precision([], REL) == 0.0
+
+    def test_duplicates_not_double_counted(self):
+        ap = average_precision([(0, 1), (0, 1)], [(0, 1)])
+        assert ap == 1.0
+
+    def test_rank_sensitivity(self):
+        # The same set retrieved in better order scores higher — the reason
+        # the paper prefers MAP over flat recall.
+        good = average_precision([(0, 1), (2, 3), (5, 6)], REL)
+        bad = average_precision([(5, 6), (0, 1), (2, 3)], REL)
+        assert good > bad
+
+    def test_bounds(self):
+        ap = average_precision([(5, 6), (0, 1)], REL)
+        assert 0.0 <= ap <= 1.0
+
+
+class TestRecall:
+    def test_full(self):
+        assert recall([(0, 1), (2, 3), (8, 9)], REL) == 1.0
+
+    def test_partial(self):
+        assert recall([(0, 1)], REL) == 0.5
+
+    def test_none(self):
+        assert recall([(6, 7)], REL) == 0.0
+
+    def test_order_blind(self):
+        assert recall([(2, 3), (0, 1)], REL) == recall([(0, 1), (2, 3)], REL)

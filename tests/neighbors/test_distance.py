@@ -1,0 +1,53 @@
+"""Unit tests for repro.neighbors.distance (scipy as oracle)."""
+
+import numpy as np
+import pytest
+from scipy.spatial.distance import cdist, squareform, pdist
+
+from repro.exceptions import ValidationError
+from repro.neighbors.distance import euclidean_cdist, euclidean_pdist_matrix
+
+
+class TestCdist:
+    def test_matches_scipy(self, rng):
+        A = rng.normal(size=(30, 4))
+        B = rng.normal(size=(20, 4))
+        assert np.allclose(euclidean_cdist(A, B), cdist(A, B))
+
+    def test_zero_for_identical_rows(self):
+        A = np.array([[1.0, 2.0]])
+        assert euclidean_cdist(A, A)[0, 0] == pytest.approx(0.0)
+
+    def test_no_negative_sqrt_warnings(self, rng):
+        # Nearly-identical points stress the cancellation clamp.
+        A = rng.normal(size=(10, 3))
+        B = A + 1e-12
+        D = euclidean_cdist(A, B)
+        assert np.isfinite(D).all()
+        assert (D >= 0).all()
+
+    def test_shape(self, rng):
+        D = euclidean_cdist(rng.normal(size=(5, 2)), rng.normal(size=(7, 2)))
+        assert D.shape == (5, 7)
+
+    def test_dimension_mismatch(self, rng):
+        with pytest.raises(ValidationError, match="feature dimension"):
+            euclidean_cdist(rng.normal(size=(3, 2)), rng.normal(size=(3, 3)))
+
+
+class TestPdistMatrix:
+    def test_matches_scipy(self, rng):
+        X = rng.normal(size=(40, 5))
+        assert np.allclose(euclidean_pdist_matrix(X), squareform(pdist(X)))
+
+    def test_diagonal_exactly_zero(self, rng):
+        D = euclidean_pdist_matrix(rng.normal(size=(25, 3)))
+        assert (np.diag(D) == 0.0).all()
+
+    def test_exactly_symmetric(self, rng):
+        D = euclidean_pdist_matrix(rng.normal(size=(25, 3)))
+        assert (D == D.T).all()
+
+    def test_single_feature(self):
+        D = euclidean_pdist_matrix([[0.0], [3.0]])
+        assert D[0, 1] == pytest.approx(3.0)

@@ -1,0 +1,96 @@
+"""Tests for process-parallel grid execution."""
+
+import pytest
+
+from repro.detectors import LOF, KNNDetector
+from repro.exceptions import ExperimentError
+from repro.explainers import Beam, LookOut
+from repro.pipeline import run_grid_parallel
+
+
+FACTORIES = [lambda: Beam(beam_width=8, result_size=8), lambda: LookOut(budget=8)]
+
+
+def selector(dataset, dimensionality):
+    return dataset.ground_truth.points_at(dimensionality)[:2]
+
+
+class Exploding(Beam):
+    """Module-level so instances can cross the process boundary."""
+
+    def explain(self, *args, **kwargs):
+        raise RuntimeError("boom")
+
+
+class TestParallelGrid:
+    def test_matches_serial_results(self, hics_small):
+        serial, _ = run_grid_parallel(
+            [hics_small],
+            [LOF(k=15), KNNDetector(k=10)],
+            FACTORIES,
+            [2],
+            n_jobs=1,
+            points_selector=selector,
+        )
+        parallel, _ = run_grid_parallel(
+            [hics_small],
+            [LOF(k=15), KNNDetector(k=10)],
+            FACTORIES,
+            [2],
+            n_jobs=2,
+            points_selector=selector,
+        )
+        key = lambda r: (r.dataset, r.detector, r.explainer, r.dimensionality)
+        serial_rows = sorted(
+            ((key(r), r.map, r.mean_recall) for r in serial)
+        )
+        parallel_rows = sorted(
+            ((key(r), r.map, r.mean_recall) for r in parallel)
+        )
+        assert serial_rows == parallel_rows
+        assert len(serial_rows) == 4
+
+    def test_undefined_dimensionalities_skipped(self, hics_small):
+        table, skipped = run_grid_parallel(
+            [hics_small],
+            [LOF(k=15)],
+            [lambda: Beam(beam_width=5)],
+            [2, 9],
+            n_jobs=2,
+            points_selector=selector,
+        )
+        assert len(table) == 1
+        assert skipped == []
+
+    def test_errors_collected_not_raised(self, hics_small):
+        table, skipped = run_grid_parallel(
+            [hics_small],
+            [LOF(k=15)],
+            [lambda: Exploding(beam_width=5)],
+            [2],
+            n_jobs=2,
+            points_selector=selector,
+        )
+        assert len(table) == 0
+        assert len(skipped) == 1
+        assert "boom" in skipped[0][-1]
+
+    def test_errors_raise_when_requested(self, hics_small):
+        with pytest.raises(RuntimeError):
+            run_grid_parallel(
+                [hics_small],
+                [LOF(k=15)],
+                [lambda: Exploding(beam_width=5)],
+                [2],
+                n_jobs=1,
+                points_selector=selector,
+                skip_errors=False,
+            )
+
+    def test_validates_inputs(self, hics_small):
+        with pytest.raises(ExperimentError):
+            run_grid_parallel([], [LOF()], FACTORIES, [2])
+        with pytest.raises(ExperimentError):
+            run_grid_parallel(
+                [hics_small], [LOF()], FACTORIES, [2], n_jobs=0
+            )

@@ -1,0 +1,91 @@
+"""Unit tests for ExplanationPipeline."""
+
+import pytest
+
+from repro.detectors import LOF
+from repro.exceptions import ValidationError
+from repro.explainers import Beam, LookOut
+from repro.pipeline import ExplanationPipeline
+
+
+class TestPointPipeline:
+    def test_run_on_synthetic(self, hics_small):
+        pipeline = ExplanationPipeline(LOF(k=15), Beam(beam_width=15))
+        result = pipeline.run(hics_small, 2, points=hics_small.outliers[:3])
+        assert result.dataset == "hics_14"
+        assert result.detector == "lof"
+        assert result.explainer == "beam"
+        assert 0.0 <= result.map <= 1.0
+        assert result.seconds > 0.0
+        assert result.n_subspaces_scored > 0
+        assert result.explanations is not None
+        assert result.summary is None
+
+    def test_map_perfect_for_planted_2d(self, hics_small):
+        # Beam+LOF at 2d on the small synthetic dataset is the paper's
+        # easiest cell: MAP should be exactly 1.
+        pipeline = ExplanationPipeline(LOF(k=15), Beam(beam_width=50))
+        result = pipeline.run(hics_small, 2)
+        assert result.map == 1.0
+
+    def test_as_row(self, hics_small):
+        pipeline = ExplanationPipeline(LOF(k=15), Beam(beam_width=10))
+        row = pipeline.run(hics_small, 2, points=hics_small.outliers[:2]).as_row()
+        assert row["pipeline"] == "beam+lof"
+        assert set(row) >= {"dataset", "map", "seconds", "dimensionality"}
+
+    def test_default_points_are_all_outliers(self, hics_small):
+        pipeline = ExplanationPipeline(LOF(k=15), Beam(beam_width=10))
+        result = pipeline.run(hics_small, 2)
+        assert result.explanations is not None
+        assert set(result.explanations) == set(hics_small.outliers)
+
+
+class TestSummaryPipeline:
+    def test_run_on_synthetic(self, hics_small):
+        pipeline = ExplanationPipeline(LOF(k=15), LookOut(budget=20))
+        result = pipeline.run(hics_small, 2, points=hics_small.outliers)
+        assert result.summary is not None
+        assert 0.0 <= result.map <= 1.0
+        # Each point's view is the shared summary re-ranked by the point's
+        # own standardised score (the testbed's evaluation semantics).
+        assert result.explanations is not None
+        for point, view in result.explanations.items():
+            assert set(view.subspaces) <= set(result.summary.subspaces)
+            assert list(view.scores) == sorted(view.scores, reverse=True)
+
+    def test_name(self):
+        pipeline = ExplanationPipeline(LOF(), LookOut())
+        assert pipeline.name == "lookout+lof"
+
+
+class TestScorerSharing:
+    def test_shared_scorer_reuses_cache(self, hics_small):
+        pipeline = ExplanationPipeline(LOF(k=15), Beam(beam_width=15))
+        first = pipeline.run(hics_small, 2, points=hics_small.outliers[:2])
+        second = pipeline.run(hics_small, 2, points=hics_small.outliers[:2])
+        assert second.n_subspaces_scored == 0
+        assert first.n_subspaces_scored > 0
+
+    def test_cold_scorer_rescans(self, hics_small):
+        pipeline = ExplanationPipeline(
+            LOF(k=15), Beam(beam_width=15), share_scorer=False
+        )
+        first = pipeline.run(hics_small, 2, points=hics_small.outliers[:2])
+        second = pipeline.run(hics_small, 2, points=hics_small.outliers[:2])
+        assert second.n_subspaces_scored == first.n_subspaces_scored
+
+
+class TestValidation:
+    def test_rejects_non_detector(self):
+        with pytest.raises(ValidationError):
+            ExplanationPipeline("lof", Beam())
+
+    def test_rejects_non_explainer(self):
+        with pytest.raises(ValidationError):
+            ExplanationPipeline(LOF(), "beam")
+
+    def test_rejects_dimensionality_without_ground_truth(self, hics_small):
+        pipeline = ExplanationPipeline(LOF(k=15), Beam(beam_width=5))
+        with pytest.raises(ValidationError, match="no point at"):
+            pipeline.run(hics_small, 9)

@@ -1,0 +1,77 @@
+"""Unit tests for ResultTable."""
+
+import pytest
+
+from repro.detectors import LOF
+from repro.exceptions import ValidationError
+from repro.explainers import Beam
+from repro.pipeline import ExplanationPipeline, ResultTable
+
+
+@pytest.fixture(scope="module")
+def sample_results(hics_small):
+    pipeline = ExplanationPipeline(LOF(k=15), Beam(beam_width=10))
+    table = ResultTable()
+    for dim in (2, 3):
+        points = hics_small.ground_truth.points_at(dim)[:2]
+        table.add(pipeline.run(hics_small, dim, points=points))
+    return table
+
+
+class TestCollection:
+    def test_len_and_iter(self, sample_results):
+        assert len(sample_results) == 2
+        assert len(list(sample_results)) == 2
+
+    def test_add_rejects_non_result(self):
+        with pytest.raises(ValidationError):
+            ResultTable().add({"map": 1.0})
+
+    def test_filter(self, sample_results):
+        sub = sample_results.filter(dimensionality=2)
+        assert len(sub) == 1
+        assert sample_results.filter(detector="nope").rows() == []
+
+    def test_values(self, sample_results):
+        assert sample_results.values("dimensionality") == [2, 3]
+
+
+class TestPivot:
+    def test_grid_shape(self, sample_results):
+        row_keys, col_keys, grid = sample_results.pivot(
+            rows="dimensionality", cols="pipeline", value="map"
+        )
+        assert row_keys == [2, 3]
+        assert col_keys == ["beam+lof"]
+        assert len(grid) == 2 and len(grid[0]) == 1
+
+    def test_missing_cells_none(self, sample_results):
+        sub = sample_results.filter(dimensionality=2)
+        _, _, grid = sub.pivot(rows="dimensionality", cols="pipeline", value="map")
+        assert None not in grid[0]
+
+    def test_aggregation_mean(self, sample_results):
+        # Two rows share a cell when pivoting on a constant column.
+        _, _, grid = sample_results.pivot(
+            rows="dataset", cols="pipeline", value="dimensionality"
+        )
+        assert grid[0][0] == pytest.approx(2.5)
+
+    def test_ascii_rendering(self, sample_results):
+        text = sample_results.to_ascii(
+            rows="dimensionality", cols="pipeline", value="map", title="T"
+        )
+        assert text.startswith("T")
+        assert "beam+lof" in text
+
+
+class TestCsv:
+    def test_round_trip(self, sample_results, tmp_path):
+        path = tmp_path / "results.csv"
+        sample_results.write_csv(str(path))
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 3  # header + 2 rows
+        assert "dataset" in lines[0]
+
+    def test_empty_table(self):
+        assert ResultTable().to_csv() == ""

@@ -1,0 +1,85 @@
+"""Unit tests for GridRunner."""
+
+import pytest
+
+from repro.detectors import LOF, KNNDetector
+from repro.exceptions import ExperimentError
+from repro.explainers import Beam, LookOut
+from repro.pipeline import GridRunner
+
+
+class TestGrid:
+    def test_full_cross_product(self, hics_small):
+        runner = GridRunner(
+            [LOF(k=15), KNNDetector(k=10)],
+            [lambda: Beam(beam_width=10), lambda: LookOut(budget=10)],
+            points_selector=lambda ds, dim: ds.outliers[:2],
+        )
+        table = runner.run([hics_small], [2])
+        assert len(table) == 4  # 2 detectors x 2 explainers x 1 dim
+        assert {r.as_row()["pipeline"] for r in table} == {
+            "beam+lof",
+            "beam+knn",
+            "lookout+lof",
+            "lookout+knn",
+        }
+
+    def test_undefined_dimensionality_skipped(self, hics_small):
+        runner = GridRunner(
+            [LOF(k=15)],
+            [lambda: Beam(beam_width=5)],
+            points_selector=lambda ds, dim: ds.outliers[:1],
+        )
+        table = runner.run([hics_small], [2, 9])
+        assert len(table) == 1
+
+    def test_progress_hook(self, hics_small):
+        seen = []
+        runner = GridRunner(
+            [LOF(k=15)],
+            [lambda: Beam(beam_width=5)],
+            on_result=seen.append,
+            points_selector=lambda ds, dim: ds.outliers[:1],
+        )
+        runner.run([hics_small], [2])
+        assert len(seen) == 1
+
+    def test_skip_errors_records_reason(self, hics_small):
+        class Exploding(Beam):
+            def explain(self, *args, **kwargs):
+                raise RuntimeError("boom")
+
+        runner = GridRunner(
+            [LOF(k=15)],
+            [lambda: Exploding(beam_width=5)],
+            skip_errors=True,
+            points_selector=lambda ds, dim: ds.outliers[:1],
+        )
+        table = runner.run([hics_small], [2])
+        assert len(table) == 0
+        assert len(runner.skipped) == 1
+        assert "boom" in runner.skipped[0][-1]
+
+    def test_errors_propagate_by_default(self, hics_small):
+        class Exploding(Beam):
+            def explain(self, *args, **kwargs):
+                raise RuntimeError("boom")
+
+        runner = GridRunner(
+            [LOF(k=15)],
+            [lambda: Exploding(beam_width=5)],
+            points_selector=lambda ds, dim: ds.outliers[:1],
+        )
+        with pytest.raises(RuntimeError):
+            runner.run([hics_small], [2])
+
+    def test_requires_components(self):
+        with pytest.raises(ExperimentError):
+            GridRunner([], [lambda: Beam()])
+        with pytest.raises(ExperimentError):
+            GridRunner([LOF()], [])
+
+    def test_pipelines_property(self, hics_small):
+        runner = GridRunner([LOF(k=15)], [lambda: Beam(beam_width=5)])
+        assert len(runner.pipelines) == 1
+        assert runner.pipelines[0].name == "beam+lof"

@@ -1,0 +1,76 @@
+"""Property-based tests (hypothesis) for detector invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.detectors import LOF, FastABOD, IsolationForest, KNNDetector
+
+finite = st.floats(min_value=-100, max_value=100, allow_nan=False, allow_infinity=False)
+
+
+def matrices(min_rows=5, max_rows=25, min_cols=1, max_cols=4):
+    shapes = st.tuples(
+        st.integers(min_rows, max_rows), st.integers(min_cols, max_cols)
+    )
+    return arrays(np.float64, shapes, elements=finite)
+
+
+@settings(max_examples=25, deadline=None)
+@given(X=matrices())
+def test_lof_finite_and_shaped(X):
+    scores = LOF(k=3).score(X)
+    assert scores.shape == (X.shape[0],)
+    assert np.isfinite(scores).all()
+
+
+grid_points = st.lists(
+    st.tuples(st.integers(-50, 50), st.integers(-50, 50)),
+    min_size=5,
+    max_size=25,
+    unique=True,
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(points=grid_points)
+def test_lof_translation_invariant(points):
+    # Grid data guarantees pairwise distances >= 0.5, so no points merge
+    # under float rounding after the shift — the regime where LOF's
+    # translation invariance is well defined.
+    X = np.asarray(points, dtype=np.float64) * 0.5
+    a = LOF(k=3).score(X)
+    b = LOF(k=3).score(X + 17.0)
+    assert np.allclose(a, b, atol=1e-6)
+
+
+@settings(max_examples=25, deadline=None)
+@given(X=matrices(min_rows=6), k=st.integers(2, 5))
+def test_fast_abod_finite(X, k):
+    scores = FastABOD(k=k).score(X)
+    assert scores.shape == (X.shape[0],)
+    assert np.isfinite(scores).all()
+
+
+@settings(max_examples=15, deadline=None)
+@given(X=matrices(min_rows=8), seed=st.integers(0, 10))
+def test_iforest_scores_in_unit_interval(X, seed):
+    scores = IsolationForest(n_trees=10, n_repeats=1, seed=seed).score(X)
+    assert ((scores >= 0.0) & (scores <= 1.0)).all()
+
+
+@settings(max_examples=15, deadline=None)
+@given(X=matrices(min_rows=8), seed=st.integers(0, 10))
+def test_iforest_deterministic(X, seed):
+    det = IsolationForest(n_trees=8, n_repeats=1, seed=seed)
+    assert np.allclose(det.score(X), det.score(X))
+
+
+@settings(max_examples=25, deadline=None)
+@given(X=matrices())
+def test_knn_detector_nonnegative_and_scale_covariant(X):
+    det = KNNDetector(k=3)
+    scores = det.score(X)
+    assert (scores >= 0.0).all()
+    assert np.allclose(det.score(2.0 * X), 2.0 * scores, atol=1e-8)

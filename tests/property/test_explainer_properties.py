@@ -1,0 +1,79 @@
+"""Property-based tests (hypothesis) for explainer output invariants.
+
+Uses the cheap KNN detector and small random datasets: the properties
+under test (validity, determinism, ordering, budgets) are data-independent
+contracts of the explainers, not effectiveness claims.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.detectors import KNNDetector
+from repro.explainers import Beam, HiCS, LookOut, RefOut
+from repro.subspaces import SubspaceScorer
+
+datasets = st.tuples(
+    st.integers(0, 1000),  # data seed
+    st.integers(4, 7),  # n_features
+    st.integers(25, 45),  # n_samples
+)
+
+
+def make_scorer(seed, d, n):
+    X = np.random.default_rng(seed).normal(size=(n, d))
+    return SubspaceScorer(X, KNNDetector(k=4))
+
+
+@settings(max_examples=20, deadline=None)
+@given(data=datasets, dim=st.integers(1, 3), point=st.integers(0, 24))
+def test_beam_output_contract(data, dim, point):
+    scorer = make_scorer(*data)
+    result = Beam(beam_width=8, result_size=10).explain(scorer, point, dim)
+    assert len(result) <= 10
+    assert all(s.dimensionality == dim for s in result.subspaces)
+    assert all(s[-1] < scorer.n_features for s in result.subspaces)
+    assert len(set(result.subspaces)) == len(result.subspaces)
+    assert list(result.scores) == sorted(result.scores, reverse=True)
+
+
+@settings(max_examples=15, deadline=None)
+@given(data=datasets, dim=st.integers(1, 3), seed=st.integers(0, 50))
+def test_refout_deterministic_and_valid(data, dim, seed):
+    scorer = make_scorer(*data)
+    explainer = RefOut(pool_size=20, beam_width=8, result_size=8, seed=seed)
+    a = explainer.explain(scorer, 0, dim)
+    b = explainer.explain(scorer, 0, dim)
+    assert a.subspaces == b.subspaces
+    assert a.scores == b.scores
+    assert all(s.dimensionality == dim for s in a.subspaces)
+
+
+@settings(max_examples=15, deadline=None)
+@given(data=datasets, budget=st.integers(1, 6))
+def test_lookout_budget_and_monotone_gains(data, budget):
+    scorer = make_scorer(*data)
+    points = list(range(5))
+    summary = LookOut(budget=budget).summarize(scorer, points, 2)
+    assert 1 <= len(summary) <= budget
+    assert len(set(summary.subspaces)) == len(summary.subspaces)
+    gains = list(summary.scores)
+    assert all(a >= b - 1e-9 for a, b in zip(gains, gains[1:]))
+    assert all(g >= 0.0 for g in gains)
+
+
+@settings(max_examples=10, deadline=None)
+@given(data=datasets, seed=st.integers(0, 20))
+def test_hics_contract(data, seed):
+    scorer = make_scorer(*data)
+    explainer = HiCS(
+        mc_iterations=10, candidate_cutoff=8, result_size=6, seed=seed
+    )
+    summary = explainer.summarize(scorer, [0, 1], 2)
+    assert 1 <= len(summary) <= 6
+    assert all(s.dimensionality == 2 for s in summary.subspaces)
+    # Contrast scores are averages of (1 - p-value) terms.
+    assert all(0.0 <= c <= 1.0 for c in summary.scores)
+    again = explainer.summarize(scorer, [0, 1], 2)
+    assert summary.subspaces == again.subspaces

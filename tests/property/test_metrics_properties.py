@@ -1,0 +1,74 @@
+"""Property-based tests (hypothesis) for the ranking metrics."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.ranking import (
+    average_precision,
+    precision,
+    precision_at_k,
+    recall,
+)
+
+# Subspaces as sorted tuples of small ints without duplicates.
+subspace = st.frozensets(st.integers(0, 9), min_size=1, max_size=4).map(
+    lambda s: tuple(sorted(s))
+)
+subspace_list = st.lists(subspace, max_size=12)
+relevant_set = st.frozensets(subspace, min_size=1, max_size=5).map(list)
+
+
+@given(retrieved=subspace_list, relevant=relevant_set)
+def test_metrics_bounded(retrieved, relevant):
+    for metric in (precision, recall, average_precision):
+        value = metric(retrieved, relevant)
+        assert 0.0 <= value <= 1.0
+
+
+@given(retrieved=subspace_list, relevant=relevant_set)
+def test_perfect_prefix_gives_ap_one(retrieved, relevant):
+    ranking = list(relevant) + [s for s in retrieved if s not in set(relevant)]
+    assert average_precision(ranking, relevant) == 1.0
+
+
+@given(retrieved=subspace_list, relevant=relevant_set)
+def test_recall_monotone_in_retrieved(retrieved, relevant):
+    # Adding more results can never lower recall.
+    for cut in range(len(retrieved) + 1):
+        assert recall(retrieved[:cut], relevant) <= recall(retrieved, relevant)
+
+
+@given(retrieved=subspace_list, relevant=relevant_set, k=st.integers(1, 15))
+def test_precision_at_k_matches_prefix_precision(retrieved, relevant, k):
+    head = retrieved[:k]
+    assert precision_at_k(retrieved, relevant, k) == precision(head, relevant)
+
+
+@given(relevant=relevant_set)
+def test_empty_retrieval_scores_zero(relevant):
+    assert precision([], relevant) == 0.0
+    assert recall([], relevant) == 0.0
+    assert average_precision([], relevant) == 0.0
+
+
+@given(retrieved=subspace_list, relevant=relevant_set)
+def test_ap_zero_iff_no_relevant_retrieved(retrieved, relevant):
+    ap = average_precision(retrieved, relevant)
+    hit = bool(set(retrieved) & set(relevant))
+    assert (ap > 0.0) == hit
+
+
+@given(retrieved=st.lists(subspace, min_size=2, max_size=10, unique=True),
+       relevant=relevant_set)
+def test_moving_relevant_earlier_never_hurts_ap(retrieved, relevant):
+    relevant_positions = [
+        i for i, s in enumerate(retrieved) if s in set(relevant)
+    ]
+    if not relevant_positions or relevant_positions[0] == 0:
+        return
+    i = relevant_positions[0]
+    promoted = list(retrieved)
+    promoted[i - 1], promoted[i] = promoted[i], promoted[i - 1]
+    assert average_precision(promoted, relevant) >= average_precision(
+        retrieved, relevant
+    )

@@ -1,0 +1,82 @@
+"""Property-based tests (hypothesis) for the subspace layer."""
+
+import math
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.subspaces import Subspace, all_subspaces, grow_by_one, top_k
+from repro.subspaces.enumeration import count_subspaces, random_subspaces
+
+feature_sets = st.frozensets(st.integers(0, 19), min_size=1, max_size=6)
+
+
+@given(features=feature_sets)
+def test_subspace_canonical_form(features):
+    s = Subspace(features)
+    assert tuple(s) == tuple(sorted(features))
+    assert s == Subspace(reversed(sorted(features)))
+    assert s.dimensionality == len(features)
+
+
+@given(a=feature_sets, b=feature_sets)
+def test_union_commutes_and_contains(a, b):
+    sa, sb = Subspace(a), Subspace(b)
+    union = sa.union(sb)
+    assert union == sb.union(sa)
+    assert union.contains(sa)
+    assert union.contains(sb)
+    assert union.dimensionality == len(a | b)
+
+
+@given(d=st.integers(1, 9), m=st.integers(1, 4))
+def test_all_subspaces_complete_and_unique(d, m):
+    subs = list(all_subspaces(d, m))
+    assert len(subs) == count_subspaces(d, m)
+    assert len(set(subs)) == len(subs)
+    assert all(s.dimensionality == m for s in subs)
+    assert subs == sorted(subs)
+
+
+@given(d=st.integers(2, 10), seeds=st.frozensets(st.integers(0, 9), min_size=1, max_size=4))
+def test_grow_by_one_dimensionality(d, seeds):
+    seed_subs = [Subspace([f]) for f in seeds if f < d]
+    if not seed_subs:
+        return
+    grown = grow_by_one(seed_subs, d)
+    assert all(g.dimensionality == 2 for g in grown)
+    assert grown == sorted(set(grown))
+
+
+@given(
+    d=st.integers(3, 15),
+    m=st.integers(1, 3),
+    count=st.integers(1, 20),
+    seed=st.integers(0, 100),
+)
+def test_random_subspaces_valid(d, m, count, seed):
+    subs = random_subspaces(d, m, count, seed=seed)
+    assert len(subs) == count
+    for s in subs:
+        assert s.dimensionality == m
+        assert s[-1] < d
+
+
+@given(
+    scores=st.lists(
+        st.floats(allow_nan=False, allow_infinity=False, width=32),
+        min_size=1,
+        max_size=20,
+    ),
+    k=st.integers(1, 25),
+)
+def test_top_k_is_sorted_prefix(scores, k):
+    scored = [(Subspace([i]), float(v)) for i, v in enumerate(scores)]
+    result = top_k(scored, k)
+    assert len(result) == min(k, len(scored))
+    values = [v for _, v in result]
+    assert all(a >= b for a, b in zip(values, values[1:]))
+    # The selected scores are the k largest overall.
+    assert sorted(values, reverse=True) == sorted(
+        sorted(scores, reverse=True)[: len(values)], reverse=True
+    )

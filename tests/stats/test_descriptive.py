@@ -1,0 +1,22 @@
+"""Unit tests for repro.stats.descriptive."""
+
+import numpy as np
+import pytest
+
+from repro.stats.descriptive import sample_mean, sample_std, sample_var
+
+
+class TestDescriptive:
+    def test_mean(self):
+        assert sample_mean([1.0, 2.0, 3.0]) == pytest.approx(2.0)
+
+    def test_var_is_unbiased(self):
+        x = [1.0, 2.0, 3.0]
+        assert sample_var(x) == pytest.approx(np.var(x, ddof=1))
+
+    def test_var_single_observation(self):
+        assert sample_var([3.0]) == 0.0
+
+    def test_std_is_sqrt_var(self, rng):
+        x = rng.normal(size=30)
+        assert sample_std(x) == pytest.approx(np.sqrt(sample_var(x)))

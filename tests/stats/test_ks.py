@@ -1,0 +1,61 @@
+"""Unit tests for repro.stats.ks (scipy as the oracle)."""
+
+import numpy as np
+import pytest
+import scipy.stats as ss
+
+from repro.stats.ks import ks_statistic, ks_test
+
+
+class TestStatistic:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_scipy(self, seed):
+        gen = np.random.default_rng(seed)
+        a = gen.normal(size=gen.integers(10, 80))
+        b = gen.normal(0.3, 1.4, size=gen.integers(10, 80))
+        assert ks_statistic(a, b) == pytest.approx(
+            ss.ks_2samp(a, b).statistic, abs=1e-12
+        )
+
+    def test_with_ties(self):
+        a = np.array([0.0, 0.0, 1.0, 1.0])
+        b = np.array([0.0, 1.0, 1.0, 1.0])
+        assert ks_statistic(a, b) == pytest.approx(
+            ss.ks_2samp(a, b).statistic, abs=1e-12
+        )
+
+    def test_identical_samples(self):
+        a = np.array([1.0, 2.0, 3.0])
+        assert ks_statistic(a, a) == 0.0
+
+    def test_disjoint_samples(self):
+        assert ks_statistic([0.0, 1.0], [5.0, 6.0]) == 1.0
+
+    def test_bounds(self, rng):
+        a, b = rng.normal(size=30), rng.normal(size=40)
+        assert 0.0 <= ks_statistic(a, b) <= 1.0
+
+
+class TestPValue:
+    def test_close_to_scipy_asymptotic(self, rng):
+        a = rng.normal(size=200)
+        b = rng.normal(0.1, 1, size=180)
+        mine = ks_test(a, b)
+        ref = ss.ks_2samp(a, b, method="asymp")
+        # Different asymptotic approximations; agree loosely.
+        assert mine.p_value == pytest.approx(ref.pvalue, abs=0.05)
+
+    def test_identical_high_pvalue(self, rng):
+        a = rng.normal(size=100)
+        assert ks_test(a, a).p_value == pytest.approx(1.0, abs=1e-6)
+
+    def test_disjoint_low_pvalue(self, rng):
+        a = rng.normal(0, 0.1, size=100)
+        b = rng.normal(10, 0.1, size=100)
+        assert ks_test(a, b).p_value < 1e-6
+
+    def test_contrast_complements_pvalue(self, rng):
+        a = rng.normal(size=50)
+        b = rng.normal(2, 1, size=50)
+        result = ks_test(a, b)
+        assert result.contrast == pytest.approx(1.0 - result.p_value)

@@ -1,0 +1,87 @@
+"""Unit tests for repro.stats.special (scipy as the oracle)."""
+
+import numpy as np
+import pytest
+import scipy.special as sp
+import scipy.stats as ss
+
+from repro.exceptions import ValidationError
+from repro.stats.special import (
+    kolmogorov_sf,
+    log_beta,
+    regularized_incomplete_beta,
+    student_t_sf,
+)
+
+
+class TestLogBeta:
+    @pytest.mark.parametrize("a,b", [(1, 1), (0.5, 0.5), (3, 7), (100, 0.1)])
+    def test_matches_scipy(self, a, b):
+        assert log_beta(a, b) == pytest.approx(sp.betaln(a, b), rel=1e-12)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValidationError):
+            log_beta(0, 1)
+
+
+class TestIncompleteBeta:
+    @pytest.mark.parametrize("a,b", [(0.5, 0.5), (2, 3), (10, 1), (7.5, 0.5)])
+    @pytest.mark.parametrize("x", [0.0, 0.01, 0.3, 0.5, 0.7, 0.99, 1.0])
+    def test_matches_scipy(self, a, b, x):
+        assert regularized_incomplete_beta(a, b, x) == pytest.approx(
+            sp.betainc(a, b, x), abs=1e-12
+        )
+
+    def test_monotone_in_x(self):
+        values = [regularized_incomplete_beta(2, 5, x) for x in np.linspace(0, 1, 20)]
+        assert all(b >= a for a, b in zip(values, values[1:]))
+
+    def test_rejects_bad_x(self):
+        with pytest.raises(ValidationError):
+            regularized_incomplete_beta(1, 1, 1.5)
+
+    def test_rejects_bad_ab(self):
+        with pytest.raises(ValidationError):
+            regularized_incomplete_beta(-1, 1, 0.5)
+
+
+class TestStudentTSf:
+    @pytest.mark.parametrize("t", [-3.2, -1.0, 0.0, 0.5, 2.1, 10.0])
+    @pytest.mark.parametrize("df", [1, 2.5, 13.7, 100])
+    def test_two_sided_matches_scipy(self, t, df):
+        assert student_t_sf(t, df) == pytest.approx(
+            2 * ss.t.sf(abs(t), df), abs=1e-12
+        )
+
+    @pytest.mark.parametrize("t", [-2.0, 0.0, 1.5])
+    def test_one_sided_matches_scipy(self, t):
+        assert student_t_sf(t, 9, two_sided=False) == pytest.approx(
+            ss.t.sf(t, 9), abs=1e-12
+        )
+
+    def test_infinite_statistic(self):
+        assert student_t_sf(float("inf"), 5) == 0.0
+
+    def test_nan_statistic(self):
+        assert np.isnan(student_t_sf(float("nan"), 5))
+
+    def test_rejects_bad_df(self):
+        with pytest.raises(ValidationError):
+            student_t_sf(1.0, 0)
+
+
+class TestKolmogorovSf:
+    @pytest.mark.parametrize("x", [0.3, 0.5, 0.8, 1.0, 1.5, 2.0])
+    def test_matches_scipy(self, x):
+        assert kolmogorov_sf(x) == pytest.approx(ss.kstwobign.sf(x), abs=1e-10)
+
+    def test_nonpositive_is_one(self):
+        assert kolmogorov_sf(0.0) == 1.0
+        assert kolmogorov_sf(-1.0) == 1.0
+
+    def test_large_x_is_zero(self):
+        assert kolmogorov_sf(10.0) == pytest.approx(0.0, abs=1e-12)
+
+    def test_in_unit_interval(self):
+        for x in np.linspace(0.01, 3, 50):
+            assert 0.0 <= kolmogorov_sf(x) <= 1.0

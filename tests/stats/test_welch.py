@@ -1,0 +1,60 @@
+"""Unit tests for repro.stats.welch (scipy as the oracle)."""
+
+import math
+
+import numpy as np
+import pytest
+import scipy.stats as ss
+
+from repro.exceptions import ValidationError
+from repro.stats.welch import welch_statistic, welch_t_test
+
+
+class TestAgainstScipy:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_statistic_and_pvalue(self, seed):
+        gen = np.random.default_rng(seed)
+        a = gen.normal(0, 1, size=gen.integers(5, 50))
+        b = gen.normal(gen.uniform(-1, 1), gen.uniform(0.5, 3), size=gen.integers(5, 50))
+        mine = welch_t_test(a, b)
+        ref = ss.ttest_ind(a, b, equal_var=False)
+        assert mine.statistic == pytest.approx(ref.statistic, rel=1e-10)
+        assert mine.p_value == pytest.approx(ref.pvalue, rel=1e-8)
+
+    def test_df_welch_satterthwaite(self):
+        gen = np.random.default_rng(1)
+        a, b = gen.normal(size=20), gen.normal(0, 3, size=12)
+        _, df = welch_statistic(a, b)
+        ref = ss.ttest_ind(a, b, equal_var=False)
+        assert df == pytest.approx(ref.df, rel=1e-10)
+
+
+class TestDegenerateCases:
+    def test_identical_constant_samples(self):
+        result = welch_t_test([1.0, 1.0, 1.0], [1.0, 1.0])
+        assert math.isnan(result.statistic)
+        assert result.p_value == 1.0
+        assert result.discrepancy == 0.0
+
+    def test_different_constant_samples(self):
+        result = welch_t_test([1.0, 1.0], [2.0, 2.0])
+        assert math.isinf(result.statistic)
+        assert result.p_value == 0.0
+        assert result.discrepancy == math.inf
+
+    def test_one_constant_sample(self):
+        result = welch_t_test([1.0, 1.0, 1.0], [0.0, 2.0, 4.0])
+        assert math.isfinite(result.statistic)
+        assert 0.0 <= result.p_value <= 1.0
+
+    def test_sign_of_statistic(self):
+        assert welch_t_test([5.0, 6.0], [0.0, 1.0]).statistic > 0
+        assert welch_t_test([0.0, 1.0], [5.0, 6.0]).statistic < 0
+
+    def test_discrepancy_is_abs(self):
+        result = welch_t_test([0.0, 1.0], [5.0, 6.0])
+        assert result.discrepancy == pytest.approx(abs(result.statistic))
+
+    def test_rejects_tiny_samples(self):
+        with pytest.raises(ValidationError):
+            welch_t_test([1.0], [1.0, 2.0])

@@ -1,0 +1,44 @@
+"""Unit tests for repro.stats.zscore."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.stats.zscore import zscore_of, zscores
+
+
+class TestZscores:
+    def test_zero_mean_unit_std(self, rng):
+        z = zscores(rng.normal(3, 2, size=500))
+        assert z.mean() == pytest.approx(0.0, abs=1e-12)
+        assert z.std() == pytest.approx(1.0, abs=1e-12)
+
+    def test_constant_vector_is_zero(self):
+        assert (zscores([5.0, 5.0, 5.0]) == 0.0).all()
+
+    def test_preserves_order(self, rng):
+        x = rng.normal(size=50)
+        assert (np.argsort(zscores(x)) == np.argsort(x)).all()
+
+    def test_affine_invariance(self, rng):
+        x = rng.normal(size=50)
+        assert np.allclose(zscores(x), zscores(3.0 * x + 7.0))
+
+    def test_population_variance_convention(self):
+        # Matches the paper's formula with Var over the full population.
+        x = np.array([0.0, 1.0])
+        assert zscores(x)[1] == pytest.approx(1.0)  # std = 0.5 -> (1-0.5)/0.5
+
+
+class TestZscoreOf:
+    def test_matches_full_vector(self, rng):
+        x = rng.normal(size=40)
+        for i in (0, 7, 39):
+            assert zscore_of(x, i) == pytest.approx(zscores(x)[i])
+
+    def test_constant_returns_zero(self):
+        assert zscore_of([2.0, 2.0, 2.0], 1) == 0.0
+
+    def test_index_out_of_range(self):
+        with pytest.raises(ValidationError, match="out of range"):
+            zscore_of([1.0, 2.0], 5)

@@ -1,0 +1,110 @@
+"""Unit tests for repro.subspaces.enumeration."""
+
+import math
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.subspaces.enumeration import (
+    all_subspaces,
+    count_subspaces,
+    grow_by_one,
+    grow_with_features,
+    random_subspaces,
+    top_k,
+)
+from repro.subspaces.subspace import Subspace
+
+
+class TestAllSubspaces:
+    def test_count_matches_binomial(self):
+        subs = list(all_subspaces(6, 2))
+        assert len(subs) == math.comb(6, 2)
+        assert len(set(subs)) == len(subs)
+
+    def test_lexicographic_order(self):
+        subs = list(all_subspaces(4, 2))
+        assert subs == sorted(subs)
+
+    def test_dimensionality_larger_than_features(self):
+        assert list(all_subspaces(3, 4)) == []
+
+    def test_full_dimensionality(self):
+        assert list(all_subspaces(3, 3)) == [Subspace([0, 1, 2])]
+
+
+class TestCountSubspaces:
+    @pytest.mark.parametrize("d,m", [(5, 2), (10, 3), (23, 4), (100, 2)])
+    def test_binomial(self, d, m):
+        assert count_subspaces(d, m) == math.comb(d, m)
+
+    def test_zero_when_too_wide(self):
+        assert count_subspaces(3, 5) == 0
+
+
+class TestGrowByOne:
+    def test_grows_every_seed_by_every_missing_feature(self):
+        grown = grow_by_one([Subspace([0, 1])], 4)
+        assert grown == [Subspace([0, 1, 2]), Subspace([0, 1, 3])]
+
+    def test_deduplicates_across_seeds(self):
+        grown = grow_by_one([Subspace([0]), Subspace([1])], 2)
+        assert grown == [Subspace([0, 1])]
+
+    def test_validates_range(self):
+        from repro.exceptions import SubspaceError
+
+        with pytest.raises(SubspaceError):
+            grow_by_one([Subspace([5])], 3)
+
+
+class TestGrowWithFeatures:
+    def test_cartesian_growth(self):
+        grown = grow_with_features([Subspace([0])], [1, 2])
+        assert grown == [Subspace([0, 1]), Subspace([0, 2])]
+
+    def test_skips_contained_features(self):
+        grown = grow_with_features([Subspace([0, 1])], [0, 1])
+        assert grown == []
+
+
+class TestRandomSubspaces:
+    def test_count_and_dimensionality(self):
+        subs = random_subspaces(10, 4, 25, seed=0)
+        assert len(subs) == 25
+        assert all(s.dimensionality == 4 for s in subs)
+
+    def test_deterministic(self):
+        assert random_subspaces(8, 3, 10, seed=5) == random_subspaces(
+            8, 3, 10, seed=5
+        )
+
+    def test_different_seeds_differ(self):
+        a = random_subspaces(12, 5, 20, seed=1)
+        b = random_subspaces(12, 5, 20, seed=2)
+        assert a != b
+
+    def test_rejects_impossible_dimensionality(self):
+        with pytest.raises(ValidationError):
+            random_subspaces(3, 4, 5)
+
+
+class TestTopK:
+    def test_sorted_descending(self):
+        scored = [(Subspace([0]), 0.1), (Subspace([1]), 0.9), (Subspace([2]), 0.5)]
+        result = top_k(scored, 2)
+        assert [s for s, _ in result] == [Subspace([1]), Subspace([2])]
+
+    def test_ties_broken_lexicographically(self):
+        scored = [(Subspace([2]), 1.0), (Subspace([0]), 1.0), (Subspace([1]), 1.0)]
+        result = top_k(scored, 3)
+        assert [tuple(s) for s, _ in result] == [(0,), (1,), (2,)]
+
+    def test_nan_sorts_last(self):
+        scored = [(Subspace([0]), float("nan")), (Subspace([1]), -5.0)]
+        result = top_k(scored, 2)
+        assert result[0][0] == Subspace([1])
+
+    def test_k_exceeds_length(self):
+        scored = [(Subspace([0]), 1.0)]
+        assert len(top_k(scored, 10)) == 1

@@ -1,0 +1,102 @@
+"""Unit tests for repro.subspaces.scorer.SubspaceScorer."""
+
+import numpy as np
+import pytest
+
+from repro.detectors import LOF, KNNDetector
+from repro.exceptions import ValidationError
+from repro.stats.zscore import zscores
+from repro.subspaces import SubspaceScorer
+
+
+@pytest.fixture()
+def scorer(subspace_outlier_data) -> SubspaceScorer:
+    X, _, _ = subspace_outlier_data
+    return SubspaceScorer(X, LOF(k=10))
+
+
+class TestCaching:
+    def test_second_lookup_is_cached(self, scorer):
+        first = scorer.scores((0, 1))
+        assert scorer.n_evaluations == 1
+        second = scorer.scores((1, 0))  # same subspace, different order
+        assert scorer.n_evaluations == 1
+        assert first is second
+
+    def test_distinct_subspaces_evaluated(self, scorer):
+        scorer.scores((0, 1))
+        scorer.scores((0, 2))
+        assert scorer.n_evaluations == 2
+
+    def test_hit_rate(self, scorer):
+        scorer.scores((0, 1))
+        scorer.scores((0, 1))
+        assert scorer.cache_hit_rate == pytest.approx(0.5)
+
+    def test_clear_cache(self, scorer):
+        scorer.scores((0, 1))
+        scorer.clear_cache()
+        assert scorer.n_evaluations == 0
+        scorer.scores((0, 1))
+        assert scorer.n_evaluations == 1
+
+    def test_eviction_under_budget(self, subspace_outlier_data):
+        X, _, _ = subspace_outlier_data
+        tiny = SubspaceScorer(X, LOF(k=5), max_cache_bytes=2 * X.shape[0] * 8)
+        for f in range(5):
+            tiny.scores((f,))
+        assert tiny.n_evaluations == 5
+        tiny.scores((0,))  # long evicted
+        assert tiny.n_evaluations == 6
+
+
+class TestScores:
+    def test_matches_direct_detector_call(self, subspace_outlier_data):
+        X, _, _ = subspace_outlier_data
+        scorer = SubspaceScorer(X, LOF(k=10))
+        expected = LOF(k=10).score(X[:, [2, 4]])
+        assert np.allclose(scorer.scores((2, 4)), expected)
+
+    def test_zscores_match_stats_module(self, scorer):
+        raw = scorer.scores((0, 1))
+        assert np.allclose(scorer.zscores((0, 1)), zscores(raw))
+
+    def test_point_zscore_of_outlier_is_high(self, subspace_outlier_data):
+        X, point, subspace = subspace_outlier_data
+        scorer = SubspaceScorer(X, LOF(k=10))
+        assert scorer.point_zscore(subspace, point) > 3.0
+
+    def test_point_zscore_constant_scores(self):
+        # A detector that returns constants: z-score defined as 0.
+        X = np.ones((10, 2)) * np.arange(10)[:, None]
+        scorer = SubspaceScorer(X, KNNDetector(k=1))
+        # equally spaced points give constant kth distances
+        assert scorer.point_zscore((0,), 3) == 0.0
+
+    def test_points_zscores(self, scorer):
+        z = scorer.points_zscores((0, 1), [0, 3, 5])
+        full = scorer.zscores((0, 1))
+        assert np.allclose(z, full[[0, 3, 5]])
+
+
+class TestValidation:
+    def test_rejects_non_detector(self, subspace_outlier_data):
+        X, _, _ = subspace_outlier_data
+        with pytest.raises(ValidationError, match="Detector"):
+            SubspaceScorer(X, detector=lambda x: x)
+
+    def test_rejects_out_of_range_subspace(self, scorer):
+        from repro.exceptions import SubspaceError
+
+        with pytest.raises(SubspaceError):
+            scorer.scores((99,))
+
+    def test_rejects_out_of_range_point(self, scorer):
+        with pytest.raises(ValidationError, match="point index"):
+            scorer.point_score((0,), 10_000)
+
+    def test_detectors_do_not_share_cache_entries(self, subspace_outlier_data):
+        X, _, _ = subspace_outlier_data
+        a = SubspaceScorer(X, LOF(k=5))
+        b = SubspaceScorer(X, LOF(k=20))
+        assert not np.allclose(a.scores((0, 1)), b.scores((0, 1)))

@@ -1,0 +1,98 @@
+"""Unit tests for repro.subspaces.subspace."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SubspaceError
+from repro.subspaces.subspace import Subspace, as_subspace, project
+
+
+class TestConstruction:
+    def test_sorted(self):
+        assert tuple(Subspace([3, 1, 2])) == (1, 2, 3)
+
+    def test_equality_with_plain_tuple(self):
+        assert Subspace([1, 3]) == (1, 3)
+        assert hash(Subspace([1, 3])) == hash((1, 3))
+
+    def test_usable_in_sets(self):
+        assert len({Subspace([1, 2]), Subspace([2, 1]), (1, 2)}) == 1
+
+    def test_rejects_empty(self):
+        with pytest.raises(SubspaceError, match="at least one"):
+            Subspace([])
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(SubspaceError, match="duplicate"):
+            Subspace([1, 1])
+
+    def test_rejects_negative(self):
+        with pytest.raises(SubspaceError, match="non-negative"):
+            Subspace([-1, 2])
+
+    def test_rejects_non_integers(self):
+        with pytest.raises(SubspaceError):
+            Subspace(["a"])
+
+    def test_accepts_numpy_ints(self):
+        assert Subspace(np.array([2, 0])) == (0, 2)
+
+
+class TestOperations:
+    def test_dimensionality(self):
+        assert Subspace([4, 7, 9]).dimensionality == 3
+
+    def test_union(self):
+        assert Subspace([1, 2]).union([2, 3]) == (1, 2, 3)
+
+    def test_contains(self):
+        assert Subspace([1, 2, 3]).contains([1, 3])
+        assert not Subspace([1, 2]).contains([3])
+
+    def test_overlaps(self):
+        assert Subspace([1, 2]).overlaps([2, 5])
+        assert not Subspace([1, 2]).overlaps([3, 4])
+
+    def test_validate_against(self):
+        Subspace([0, 4]).validate_against(5)
+        with pytest.raises(SubspaceError, match="out of range"):
+            Subspace([0, 5]).validate_against(5)
+
+    def test_repr(self):
+        assert repr(Subspace([2, 1])) == "Subspace(1, 2)"
+
+
+class TestAsSubspace:
+    def test_passthrough(self):
+        s = Subspace([1])
+        assert as_subspace(s) is s
+
+    def test_from_int(self):
+        assert as_subspace(3) == (3,)
+
+    def test_from_iterables(self):
+        assert as_subspace({2, 0}) == (0, 2)
+        assert as_subspace((1, 4)) == (1, 4)
+
+    def test_rejects_garbage(self):
+        with pytest.raises(SubspaceError):
+            as_subspace(object())
+
+
+class TestProject:
+    def test_selects_columns(self, rng):
+        X = rng.normal(size=(10, 5))
+        P = project(X, [3, 1])
+        assert P.shape == (10, 2)
+        assert np.allclose(P, X[:, [1, 3]])  # sorted order
+
+    def test_contiguous_output(self, rng):
+        assert project(rng.normal(size=(5, 4)), [0, 2]).flags["C_CONTIGUOUS"]
+
+    def test_out_of_range(self, rng):
+        with pytest.raises(SubspaceError):
+            project(rng.normal(size=(5, 3)), [4])
+
+    def test_rejects_1d(self):
+        with pytest.raises(SubspaceError):
+            project(np.arange(5.0), [0])

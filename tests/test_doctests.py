@@ -1,0 +1,22 @@
+"""Run every docstring example in the library as a test."""
+
+import doctest
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+_MODULES = sorted(
+    module.name
+    for module in pkgutil.walk_packages(repro.__path__, prefix="repro.")
+    if not module.name.endswith("__main__")
+)
+
+
+@pytest.mark.parametrize("module_name", _MODULES)
+def test_docstring_examples(module_name):
+    module = importlib.import_module(module_name)
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures in {module_name}"

@@ -1,0 +1,67 @@
+"""Tests for dataset/report persistence."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_dataset
+from repro.exceptions import ValidationError
+from repro.experiments import table1
+from repro.io import load_dataset_file, save_dataset, save_report
+
+
+class TestDatasetRoundTrip:
+    def test_bit_identical_round_trip(self, tmp_path, hics_small):
+        path = str(tmp_path / "hics14.npz")
+        save_dataset(hics_small, path)
+        loaded = load_dataset_file(path)
+        assert loaded.name == hics_small.name
+        assert loaded.kind == hics_small.kind
+        assert (loaded.X == hics_small.X).all()
+        assert loaded.outliers == hics_small.outliers
+        for point in hics_small.ground_truth.points:
+            assert loaded.ground_truth.relevant_for(
+                point
+            ) == hics_small.ground_truth.relevant_for(point)
+
+    def test_metadata_preserved(self, tmp_path, hics_small):
+        path = str(tmp_path / "d.npz")
+        save_dataset(hics_small, path)
+        loaded = load_dataset_file(path)
+        assert loaded.metadata["generator"] == "make_hics_dataset"
+        assert loaded.metadata["seed"] == 0
+
+    def test_realistic_round_trip(self, tmp_path, breast_small):
+        path = str(tmp_path / "b.npz")
+        save_dataset(breast_small, path)
+        loaded = load_dataset_file(path)
+        assert loaded.kind == "full_space"
+        assert loaded.describe() == breast_small.describe()
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ValidationError, match="no dataset file"):
+            load_dataset_file(str(tmp_path / "missing.npz"))
+
+    def test_foreign_npz_rejected(self, tmp_path):
+        path = str(tmp_path / "foreign.npz")
+        np.savez(path, stuff=np.ones(3))
+        with pytest.raises(ValidationError, match="not a repro dataset"):
+            load_dataset_file(path)
+
+    def test_rejects_non_dataset(self, tmp_path):
+        with pytest.raises(ValidationError):
+            save_dataset({"X": np.ones((2, 2))}, str(tmp_path / "x.npz"))
+
+
+class TestReportPersistence:
+    def test_writes_text_and_csv(self, tmp_path):
+        report = table1.run("smoke")
+        paths = save_report(report, str(tmp_path / "out"))
+        assert set(paths) == {"text", "csv"}
+        text = open(paths["text"]).read()
+        assert "Table 1" in text
+        csv_lines = open(paths["csv"]).read().strip().splitlines()
+        assert len(csv_lines) == 3
+
+    def test_rejects_non_report(self, tmp_path):
+        with pytest.raises(ValidationError):
+            save_report({"rows": []}, str(tmp_path))

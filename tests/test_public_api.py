@@ -1,0 +1,95 @@
+"""Public API surface tests: the names README and docs promise exist."""
+
+import pytest
+
+import repro
+
+
+class TestLazyTopLevel:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    @pytest.mark.parametrize(
+        "name",
+        [
+            # detectors
+            "LOF",
+            "FastABOD",
+            "IsolationForest",
+            "KNNDetector",
+            "MahalanobisDetector",
+            "LODA",
+            # explainers
+            "Beam",
+            "RefOut",
+            "LookOut",
+            "HiCS",
+            "SurrogateExplainer",
+            "GroupExplainer",
+            "RankedSubspaces",
+            # datasets
+            "load_dataset",
+            "make_hics_dataset",
+            "make_realistic_dataset",
+            "GroundTruth",
+            "Dataset",
+            # metrics
+            "mean_average_precision",
+            "mean_recall",
+            "average_precision",
+            "roc_auc",
+            # pipeline
+            "ExplanationPipeline",
+            "GridRunner",
+            "ResultTable",
+            # subspaces
+            "Subspace",
+            "SubspaceScorer",
+        ],
+    )
+    def test_symbol_reachable_from_top_level(self, name):
+        assert getattr(repro, name) is not None
+
+    def test_exceptions_importable_eagerly(self):
+        assert issubclass(repro.ValidationError, repro.ReproError)
+        assert issubclass(repro.NotFittedError, repro.ReproError)
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(AttributeError, match="no attribute"):
+            repro.definitely_not_a_symbol
+
+
+class TestSubpackageAll:
+    @pytest.mark.parametrize(
+        "module_name",
+        [
+            "repro.detectors",
+            "repro.explainers",
+            "repro.datasets",
+            "repro.metrics",
+            "repro.pipeline",
+            "repro.subspaces",
+            "repro.stats",
+            "repro.neighbors",
+            "repro.utils",
+            "repro.stream",
+            "repro.cluster",
+            "repro.surrogate",
+            "repro.experiments",
+        ],
+    )
+    def test_all_entries_exist(self, module_name):
+        import importlib
+
+        module = importlib.import_module(module_name)
+        for name in module.__all__:
+            assert hasattr(module, name), f"{module_name}.{name} missing"
+
+    def test_paper_registries(self):
+        from repro.detectors import PAPER_DETECTORS
+        from repro.explainers import PAPER_EXPLAINERS
+
+        assert set(PAPER_DETECTORS) == {"lof", "fast_abod", "iforest"}
+        assert set(PAPER_EXPLAINERS) == {"beam", "refout", "lookout", "hics"}
+        for factory in PAPER_EXPLAINERS.values():
+            assert factory() is not factory()

@@ -1,0 +1,201 @@
+"""Tests for the streaming extension (windowed detection + explanation)."""
+
+import numpy as np
+import pytest
+
+from repro.detectors import LOF
+from repro.exceptions import ValidationError
+from repro.explainers import Beam
+from repro.stream import (
+    SlidingWindow,
+    StreamingDetector,
+    StreamingExplainer,
+    drifting_stream,
+)
+
+
+class TestSlidingWindow:
+    def test_fills_then_evicts_oldest(self):
+        window = SlidingWindow(capacity=3, n_features=2)
+        for i in range(5):
+            window.append([float(i), float(-i)])
+        assert len(window) == 3
+        assert window.as_matrix()[:, 0].tolist() == [2.0, 3.0, 4.0]
+
+    def test_partial_fill(self):
+        window = SlidingWindow(capacity=4, n_features=1)
+        window.append([1.0])
+        assert len(window) == 1
+        assert not window.is_full
+        assert window.as_matrix().shape == (1, 1)
+
+    def test_oldest_first_after_wraparound(self):
+        window = SlidingWindow(capacity=2, n_features=1)
+        for v in (1.0, 2.0, 3.0):
+            window.append([v])
+        assert window.as_matrix()[:, 0].tolist() == [2.0, 3.0]
+
+    def test_matrix_is_a_copy(self):
+        window = SlidingWindow(capacity=2, n_features=1)
+        window.append([1.0])
+        m = window.as_matrix()
+        m[0, 0] = 99.0
+        assert window.as_matrix()[0, 0] == 1.0
+
+    def test_rejects_wrong_width(self):
+        window = SlidingWindow(capacity=2, n_features=2)
+        with pytest.raises(ValidationError):
+            window.append([1.0])
+
+    def test_clear(self):
+        window = SlidingWindow(capacity=2, n_features=1)
+        window.append([1.0])
+        window.clear()
+        assert len(window) == 0
+        assert window.n_seen == 1
+
+    def test_empty_matrix(self):
+        window = SlidingWindow(capacity=2, n_features=3)
+        assert window.as_matrix().shape == (0, 3)
+
+
+class TestStreamingDetector:
+    def test_warmup_scores_zero(self, rng):
+        sd = StreamingDetector(LOF(k=5), window_size=20, n_features=2, warmup=10)
+        scores = [sd.update(rng.normal(size=2)) for _ in range(9)]
+        assert scores == [0.0] * 9
+        assert not sd.ready
+
+    def test_flags_obvious_outlier(self, rng):
+        sd = StreamingDetector(LOF(k=5), window_size=50, n_features=2)
+        for _ in range(50):
+            sd.update(rng.normal(0, 0.3, size=2))
+        spike = sd.update(np.array([8.0, 8.0]))
+        assert spike > 5.0
+
+    def test_score_stream_shape(self, rng):
+        sd = StreamingDetector(LOF(k=5), window_size=30, n_features=3)
+        scores = sd.score_stream(rng.normal(size=(60, 3)))
+        assert scores.shape == (60,)
+
+    def test_rejects_non_detector(self):
+        with pytest.raises(ValidationError):
+            StreamingDetector("lof", window_size=10, n_features=2)
+
+
+class TestDriftingStream:
+    def test_shapes_and_ground_truth(self):
+        X, anomalies = drifting_stream(length=200, n_features=4, anomaly_every=40, seed=0)
+        assert X.shape == (200, 4)
+        assert [a.index for a in anomalies] == [39, 79, 119, 159, 199]
+        assert all(tuple(a.subspace) in {(0, 1), (2, 3)} for a in anomalies)
+
+    def test_values_in_unit_cube(self):
+        X, _ = drifting_stream(length=150, n_features=6, seed=1)
+        assert X.min() >= 0.0 and X.max() <= 1.0
+
+    def test_deterministic(self):
+        a, _ = drifting_stream(length=100, seed=3)
+        b, _ = drifting_stream(length=100, seed=3)
+        assert np.allclose(a, b)
+
+    def test_pair_structure_holds_for_inliers(self):
+        X, anomalies = drifting_stream(length=200, n_features=4, anomaly_every=50, seed=0)
+        anomalous = {a.index for a in anomalies}
+        inliers = [t for t in range(200) if t not in anomalous]
+        residual = np.abs(X[inliers, 1] - (1.0 - X[inliers, 0]))
+        # Clipping at the cube boundary can stretch a few residuals.
+        assert np.median(residual) < 0.05
+
+    def test_drift_flips_structure(self):
+        X, anomalies = drifting_stream(
+            length=300, n_features=4, anomaly_every=100, drift_at=150, seed=2
+        )
+        anomalous = {a.index for a in anomalies}
+        post = [t for t in range(160, 300) if t not in anomalous]
+        residual = np.abs(X[post, 1] - X[post, 0])
+        assert np.median(residual) < 0.05
+
+    def test_rejects_odd_width(self):
+        with pytest.raises(ValidationError):
+            drifting_stream(n_features=5)
+
+    def test_rejects_bad_drift_index(self):
+        with pytest.raises(ValidationError):
+            drifting_stream(length=100, drift_at=100)
+
+
+class TestStreamingExplainer:
+    @pytest.fixture(scope="class")
+    def run(self):
+        X, truth = drifting_stream(
+            length=400, n_features=4, anomaly_every=50, seed=0
+        )
+        detector = StreamingDetector(LOF(k=8), window_size=150, n_features=4)
+        monitor = StreamingExplainer(
+            detector,
+            Beam(beam_width=6, result_size=3),
+            threshold=2.5,
+            dimensionality=2,
+        )
+        events = monitor.consume(X)
+        return X, truth, events
+
+    def test_detects_majority_of_injected_anomalies(self, run):
+        _, truth, events = run
+        scored_truth = {a.index for a in truth if a.index >= 150}  # post-warmup
+        detected = {e.index for e in events}
+        recall = len(scored_truth & detected) / len(scored_truth)
+        assert recall >= 0.5
+
+    def test_explanations_name_the_broken_pair(self, run):
+        _, truth, events = run
+        truth_by_index = {a.index: a.subspace for a in truth}
+        hits = [e for e in events if e.index in truth_by_index]
+        assert hits, "no injected anomaly was detected"
+        correct = sum(
+            1 for e in hits if e.explanation.subspaces[0] == truth_by_index[e.index]
+        )
+        assert correct / len(hits) >= 0.7
+
+    def test_events_carry_trigger_scores(self, run):
+        _, _, events = run
+        assert all(e.score >= 2.5 for e in events)
+
+    def test_update_returns_event_only_on_anomaly(self):
+        gen = np.random.default_rng(12)
+        detector = StreamingDetector(LOF(k=5), window_size=40, n_features=2)
+        monitor = StreamingExplainer(
+            detector, Beam(beam_width=3, result_size=2), threshold=4.0
+        )
+        for _ in range(40):
+            assert monitor.update(gen.normal(0, 0.3, size=2)) is None
+        event = monitor.update(np.array([9.0, -9.0]))
+        assert event is not None
+        assert event.index == 40
+
+    def test_rejects_bad_threshold(self, rng):
+        detector = StreamingDetector(LOF(k=5), window_size=10, n_features=2)
+        with pytest.raises(ValidationError):
+            StreamingExplainer(detector, Beam(), threshold=0.0)
+
+    def test_rejects_summary_explainer(self):
+        from repro.explainers import LookOut
+
+        detector = StreamingDetector(LOF(k=5), window_size=10, n_features=2)
+        with pytest.raises(ValidationError):
+            StreamingExplainer(detector, LookOut())
+
+
+class TestDriftRecovery:
+    def test_drift_spike_then_recovery(self):
+        X, truth = drifting_stream(
+            length=500, n_features=4, anomaly_every=1000, drift_at=250, seed=1
+        )
+        detector = StreamingDetector(LOF(k=8), window_size=100, n_features=4)
+        scores = detector.score_stream(X)
+        # Right after the drift the new concept looks anomalous...
+        assert scores[250] > 3.0
+        # ...but once the window refills, normality is restored.
+        tail = np.abs(scores[400:])
+        assert np.median(tail) < 1.5

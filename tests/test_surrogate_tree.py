@@ -1,0 +1,112 @@
+"""Unit tests for the CART regression-tree substrate."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NotFittedError, ValidationError
+from repro.surrogate import RegressionTree
+
+
+class TestFitPredict:
+    def test_step_function(self):
+        X = np.array([[0.0], [1.0], [2.0], [3.0]])
+        y = np.array([0.0, 0.0, 10.0, 10.0])
+        tree = RegressionTree(max_depth=1).fit(X, y)
+        assert tree.predict(np.array([[0.5]]))[0] == pytest.approx(0.0)
+        assert tree.predict(np.array([[2.5]]))[0] == pytest.approx(10.0)
+        assert tree.root.feature == 0
+        assert tree.root.threshold == pytest.approx(1.5)
+
+    def test_constant_target_single_leaf(self):
+        X = np.arange(10.0).reshape(-1, 1)
+        tree = RegressionTree().fit(X, np.ones(10))
+        assert tree.root.is_leaf
+        assert tree.n_leaves == 1
+        assert np.allclose(tree.predict(X), 1.0)
+
+    def test_reduces_training_error_with_depth(self, rng):
+        X = rng.normal(size=(200, 3))
+        y = np.where(X[:, 1] > 0, 5.0, -5.0) + rng.normal(0, 0.1, 200)
+        shallow = RegressionTree(max_depth=1).fit(X, y)
+        deep = RegressionTree(max_depth=4).fit(X, y)
+        err = lambda t: float(np.mean((t.predict(X) - y) ** 2))
+        assert err(deep) <= err(shallow)
+        assert err(shallow) < float(np.var(y))
+
+    def test_min_samples_split_respected(self):
+        X = np.arange(6.0).reshape(-1, 1)
+        y = np.array([0.0, 0, 0, 1, 1, 1])
+        tree = RegressionTree(max_depth=5, min_samples_split=10).fit(X, y)
+        assert tree.root.is_leaf
+
+    def test_picks_informative_feature(self, rng):
+        X = rng.normal(size=(300, 4))
+        y = 3.0 * (X[:, 2] > 0.5)
+        tree = RegressionTree(max_depth=1).fit(X, y)
+        assert tree.root.feature == 2
+
+    def test_deterministic(self, rng):
+        X = rng.normal(size=(100, 3))
+        y = X[:, 0] ** 2
+        a = RegressionTree(max_depth=3).fit(X, y)
+        b = RegressionTree(max_depth=3).fit(X, y)
+        assert np.allclose(a.predict(X), b.predict(X))
+
+
+class TestPathsAndImportances:
+    @pytest.fixture()
+    def fitted(self, rng):
+        X = rng.normal(size=(300, 4))
+        y = np.where(X[:, 1] > 0, 4.0, 0.0) + np.where(X[:, 3] > 0, 2.0, 0.0)
+        return X, RegressionTree(max_depth=3).fit(X, y)
+
+    def test_decision_path_starts_at_root(self, fitted):
+        X, tree = fitted
+        path = tree.decision_path(X[0])
+        assert path[0] is tree.root
+        assert path[-1].is_leaf
+
+    def test_path_gains_only_on_path_features(self, fitted):
+        X, tree = fitted
+        gains = tree.path_feature_gains(X[0])
+        path_features = {
+            n.feature for n in tree.decision_path(X[0]) if not n.is_leaf
+        }
+        for f in range(4):
+            if f not in path_features:
+                assert gains[f] == 0.0
+
+    def test_importances_identify_signal_features(self, fitted):
+        _, tree = fitted
+        importances = tree.feature_importances()
+        assert importances.sum() == pytest.approx(1.0)
+        assert importances[1] > importances[0]
+        assert importances[1] > importances[2]
+        assert importances[3] > 0.0
+
+    def test_importances_zero_for_stump(self):
+        X = np.arange(10.0).reshape(-1, 1)
+        tree = RegressionTree().fit(X, np.zeros(10))
+        assert (tree.feature_importances() == 0.0).all()
+
+
+class TestValidation:
+    def test_not_fitted(self):
+        tree = RegressionTree()
+        with pytest.raises(NotFittedError):
+            tree.predict(np.zeros((2, 2)))
+        with pytest.raises(NotFittedError):
+            tree.feature_importances()
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValidationError):
+            RegressionTree().fit(np.zeros((5, 2)), np.zeros(4))
+
+    def test_wrong_width_at_predict(self, rng):
+        tree = RegressionTree().fit(rng.normal(size=(10, 2)), rng.normal(size=10))
+        with pytest.raises(ValidationError):
+            tree.predict(np.zeros((2, 3)))
+
+    def test_bad_min_gain(self):
+        with pytest.raises(ValidationError):
+            RegressionTree(min_gain=-1.0)

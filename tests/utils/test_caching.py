@@ -1,0 +1,88 @@
+"""Unit tests for repro.utils.caching.LRUCache."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.utils.caching import LRUCache
+
+
+class TestBasics:
+    def test_put_get(self):
+        cache: LRUCache[str, int] = LRUCache()
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert "a" in cache
+        assert len(cache) == 1
+
+    def test_miss_returns_none(self):
+        cache: LRUCache[str, int] = LRUCache()
+        assert cache.get("missing") is None
+
+    def test_get_or_compute(self):
+        cache: LRUCache[str, int] = LRUCache()
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return 7
+
+        assert cache.get_or_compute("k", compute) == 7
+        assert cache.get_or_compute("k", compute) == 7
+        assert len(calls) == 1
+
+    def test_overwrite_updates_bytes(self):
+        cache: LRUCache[str, np.ndarray] = LRUCache()
+        cache.put("a", np.zeros(10))
+        cache.put("a", np.zeros(20))
+        assert cache.nbytes == 20 * 8
+
+    def test_clear(self):
+        cache: LRUCache[str, int] = LRUCache()
+        cache.put("a", 1)
+        cache.get("a")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.hits == 0
+        assert cache.nbytes == 0
+
+
+class TestEviction:
+    def test_evicts_lru(self):
+        cache: LRUCache[str, np.ndarray] = LRUCache(max_bytes=200)
+        cache.put("old", np.zeros(10))  # 80 bytes
+        cache.put("new", np.zeros(10))
+        cache.get("old")  # old is now most recently used
+        cache.put("extra", np.zeros(10))  # exceeds 200 -> evict "new"
+        assert "old" in cache
+        assert "new" not in cache
+        assert "extra" in cache
+
+    def test_keeps_at_least_one_entry(self):
+        cache: LRUCache[str, np.ndarray] = LRUCache(max_bytes=8)
+        cache.put("huge", np.zeros(100))
+        assert "huge" in cache
+
+    def test_invalid_budget(self):
+        with pytest.raises(ValidationError):
+            LRUCache(max_bytes=0)
+
+
+class TestStatistics:
+    def test_hit_rate(self):
+        cache: LRUCache[str, int] = LRUCache()
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("b")
+        assert cache.hits == 1
+        assert cache.misses == 1
+        assert cache.hit_rate == pytest.approx(0.5)
+
+    def test_hit_rate_empty(self):
+        assert LRUCache().hit_rate == 0.0
+
+    def test_custom_sizeof(self):
+        cache: LRUCache[str, str] = LRUCache(max_bytes=10, sizeof=len)
+        cache.put("a", "xxxx")
+        cache.put("b", "yyyyyy")
+        assert cache.nbytes <= 10

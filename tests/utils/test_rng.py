@@ -1,0 +1,56 @@
+"""Unit tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.utils.rng import as_rng, spawn_rngs
+
+
+class TestAsRng:
+    def test_none_gives_generator(self):
+        assert isinstance(as_rng(None), np.random.Generator)
+
+    def test_int_is_deterministic(self):
+        assert as_rng(42).integers(1000) == as_rng(42).integers(1000)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert as_rng(gen) is gen
+
+    def test_seed_sequence(self):
+        seq = np.random.SeedSequence(7)
+        a = as_rng(seq).integers(1000)
+        b = as_rng(np.random.SeedSequence(7)).integers(1000)
+        assert a == b
+
+    def test_rejects_strings(self):
+        with pytest.raises(ValidationError):
+            as_rng("seed")
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_children_differ(self):
+        children = spawn_rngs(0, 3)
+        draws = [c.integers(10**9) for c in children]
+        assert len(set(draws)) == 3
+
+    def test_deterministic_from_int(self):
+        a = [g.integers(10**9) for g in spawn_rngs(1, 4)]
+        b = [g.integers(10**9) for g in spawn_rngs(1, 4)]
+        assert a == b
+
+    def test_from_generator_reproducible(self):
+        a = [g.integers(10**9) for g in spawn_rngs(np.random.default_rng(3), 2)]
+        b = [g.integers(10**9) for g in spawn_rngs(np.random.default_rng(3), 2)]
+        assert a == b
+
+    def test_zero(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValidationError):
+            spawn_rngs(0, -1)

@@ -1,0 +1,56 @@
+"""Unit tests for the ASCII scatter renderer."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.utils.scatter import scatter_projection
+
+
+@pytest.fixture()
+def data():
+    gen = np.random.default_rng(0)
+    X = gen.normal(size=(50, 3))
+    X[0] = [9.0, 9.0, 0.0]
+    return X
+
+
+class TestScatterProjection:
+    def test_marks_outlier(self, data):
+        art = scatter_projection(data, (0, 1), outliers=[0])
+        assert "X" in art or "#" in art
+        assert "·" in art
+
+    def test_outlier_in_top_right(self, data):
+        art = scatter_projection(data, (0, 1), outliers=[0], width=40, height=12)
+        plot_lines = [l for l in art.splitlines() if l.startswith("  |")]
+        # Point (9, 9) dominates both ranges -> drawn on the first grid row,
+        # rightmost column.
+        assert plot_lines[0].rstrip()[-1] in "X#"
+
+    def test_axis_labels(self, data):
+        art = scatter_projection(data, (2, 1))
+        assert "F2" in art and "F1" in art
+
+    def test_title(self, data):
+        art = scatter_projection(data, (0, 1), title="demo")
+        assert art.splitlines()[0] == "demo"
+
+    def test_constant_feature_does_not_crash(self):
+        X = np.zeros((10, 2))
+        art = scatter_projection(X, (0, 1))
+        assert "·" in art
+
+    def test_rejects_non_2d_subspace(self, data):
+        with pytest.raises(ValidationError, match="2d subspace"):
+            scatter_projection(data, (0, 1, 2))
+
+    def test_rejects_bad_outlier_index(self, data):
+        with pytest.raises(ValidationError, match="out of range"):
+            scatter_projection(data, (0, 1), outliers=[500])
+
+    def test_dimensions_respected(self, data):
+        art = scatter_projection(data, (0, 1), width=30, height=8)
+        plot_lines = [l for l in art.splitlines() if l.startswith("  |")]
+        assert len(plot_lines) == 8
+        assert all(len(l) <= 3 + 30 for l in plot_lines)

@@ -1,0 +1,52 @@
+"""Unit tests for repro.utils.tables."""
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.utils.tables import format_kv, format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["algo", "map"], [["beam", 0.5], ["refout", 1.0]])
+        lines = text.splitlines()
+        assert lines[0].startswith("algo")
+        assert "0.500" in lines[2]
+        assert "1.000" in lines[3]
+        # every line has the separator at the same position
+        positions = {line.find("|") for line in lines if "|" in line}
+        assert len(positions) == 1
+
+    def test_title(self):
+        text = format_table(["a"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_float_format_override(self):
+        text = format_table(["v"], [[0.123456]], float_fmt="{:.1f}")
+        assert "0.1" in text
+
+    def test_bool_not_formatted_as_float(self):
+        text = format_table(["flag"], [[True]])
+        assert "True" in text
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValidationError, match="cells"):
+            format_table(["a", "b"], [[1]])
+
+    def test_rejects_empty_headers(self):
+        with pytest.raises(ValidationError, match="headers"):
+            format_table([], [])
+
+    def test_empty_body(self):
+        text = format_table(["a"], [])
+        assert len(text.splitlines()) == 2
+
+
+class TestFormatKv:
+    def test_alignment(self):
+        text = format_kv({"short": 1, "much_longer_key": 2})
+        lines = text.splitlines()
+        assert lines[0].index(":") == lines[1].index(":")
+
+    def test_empty(self):
+        assert format_kv({}) == ""

@@ -1,0 +1,80 @@
+"""Unit tests for repro.utils.timing."""
+
+import time
+
+from repro.utils.timing import Stopwatch, time_call, timed
+
+
+class TestStopwatch:
+    def test_accumulates_intervals(self):
+        sw = Stopwatch()
+        with sw:
+            time.sleep(0.01)
+        first = sw.elapsed
+        with sw:
+            time.sleep(0.01)
+        assert sw.elapsed > first
+
+    def test_running_flag(self):
+        sw = Stopwatch()
+        assert not sw.running
+        sw.start()
+        assert sw.running
+        sw.stop()
+        assert not sw.running
+
+    def test_double_start_is_noop(self):
+        sw = Stopwatch()
+        sw.start()
+        sw.start()
+        sw.stop()
+        assert sw.elapsed >= 0.0
+
+    def test_stop_without_start(self):
+        sw = Stopwatch()
+        sw.stop()
+        assert sw.elapsed == 0.0
+
+    def test_reset(self):
+        sw = Stopwatch()
+        with sw:
+            time.sleep(0.001)
+        sw.reset()
+        assert sw.elapsed == 0.0
+
+    def test_elapsed_while_running(self):
+        sw = Stopwatch()
+        sw.start()
+        time.sleep(0.005)
+        assert sw.elapsed > 0.0
+        sw.stop()
+
+
+class TestTimed:
+    def test_records_key(self):
+        store: dict[str, float] = {}
+        with timed(store, "x"):
+            time.sleep(0.001)
+        assert store["x"] > 0.0
+
+    def test_accumulates(self):
+        store = {"x": 1.0}
+        with timed(store, "x"):
+            pass
+        assert store["x"] >= 1.0
+
+    def test_records_on_exception(self):
+        store: dict[str, float] = {}
+        try:
+            with timed(store, "x"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert "x" in store
+
+
+class TestTimeCall:
+    def test_returns_result_and_elapsed(self):
+        result, elapsed = time_call(sum, [1, 2, 3])
+        assert result == 6
+        assert elapsed >= 0.0

@@ -1,0 +1,136 @@
+"""Unit tests for repro.utils.validation."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.utils.validation import (
+    check_feature_indices,
+    check_in_range,
+    check_matrix,
+    check_positive_int,
+    check_probability,
+    check_vector,
+)
+
+
+class TestCheckMatrix:
+    def test_accepts_lists(self):
+        out = check_matrix([[1, 2], [3, 4]])
+        assert out.dtype == np.float64
+        assert out.shape == (2, 2)
+
+    def test_returns_contiguous(self):
+        X = np.asfortranarray(np.ones((3, 2)))
+        assert check_matrix(X).flags["C_CONTIGUOUS"]
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValidationError, match="2-dimensional"):
+            check_matrix([1.0, 2.0])
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValidationError, match="NaN"):
+            check_matrix([[1.0, float("nan")]])
+
+    def test_allows_nan_when_requested(self):
+        out = check_matrix([[1.0, float("nan")]], allow_nan=True)
+        assert np.isnan(out[0, 1])
+
+    def test_rejects_too_few_rows(self):
+        with pytest.raises(ValidationError, match="at least 2 rows"):
+            check_matrix([[1.0, 2.0]], min_rows=2)
+
+    def test_rejects_too_few_cols(self):
+        with pytest.raises(ValidationError, match="at least 3 columns"):
+            check_matrix([[1.0, 2.0]], min_cols=3)
+
+    def test_rejects_non_numeric(self):
+        with pytest.raises(ValidationError, match="not convertible"):
+            check_matrix([["a", "b"]])
+
+    def test_error_uses_name(self):
+        with pytest.raises(ValidationError, match="data must be"):
+            check_matrix([1.0], name="data")
+
+
+class TestCheckVector:
+    def test_basic(self):
+        out = check_vector([1, 2, 3])
+        assert out.shape == (3,)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValidationError, match="1-dimensional"):
+            check_vector([[1.0]])
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValidationError, match="NaN or infinite"):
+            check_vector([1.0, float("inf")])
+
+    def test_min_len(self):
+        with pytest.raises(ValidationError, match="at least 2 entries"):
+            check_vector([1.0], min_len=2)
+
+
+class TestCheckPositiveInt:
+    def test_accepts_numpy_int(self):
+        assert check_positive_int(np.int64(5), name="k") == 5
+
+    def test_rejects_bool(self):
+        with pytest.raises(ValidationError, match="integer"):
+            check_positive_int(True, name="k")
+
+    def test_rejects_float(self):
+        with pytest.raises(ValidationError, match="integer"):
+            check_positive_int(2.0, name="k")
+
+    def test_rejects_below_minimum(self):
+        with pytest.raises(ValidationError, match=">= 2"):
+            check_positive_int(1, name="k", minimum=2)
+
+
+class TestCheckProbability:
+    def test_bounds_inclusive(self):
+        assert check_probability(0.0, name="p") == 0.0
+        assert check_probability(1.0, name="p") == 1.0
+
+    def test_bounds_exclusive(self):
+        with pytest.raises(ValidationError):
+            check_probability(0.0, name="p", inclusive=False)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValidationError, match=r"\[0, 1\]"):
+            check_probability(1.5, name="p")
+
+
+class TestCheckInRange:
+    def test_accepts_bounds(self):
+        assert check_in_range(3, name="x", low=3, high=5) == 3.0
+
+    def test_rejects_outside(self):
+        with pytest.raises(ValidationError):
+            check_in_range(6, name="x", low=3, high=5)
+
+    def test_rejects_non_number(self):
+        with pytest.raises(ValidationError):
+            check_in_range("a", name="x", low=0, high=1)
+
+
+class TestCheckFeatureIndices:
+    def test_sorts(self):
+        assert check_feature_indices([3, 1, 2], n_features=5) == (1, 2, 3)
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValidationError, match="duplicate"):
+            check_feature_indices([1, 1], n_features=5)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError, match="empty"):
+            check_feature_indices([], n_features=5)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValidationError, match="out of range"):
+            check_feature_indices([5], n_features=5)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError, match="out of range"):
+            check_feature_indices([-1], n_features=5)
