@@ -7,6 +7,8 @@ Examples
     python -m repro table1 --profile paper
     python -m repro figure9 --profile quick --csv figure9.csv
     python -m repro all --profile smoke
+    python -m repro figure11 --profile smoke \\
+        --trace-out trace.jsonl --metrics-out metrics.txt
 """
 
 from __future__ import annotations
@@ -46,6 +48,28 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="also write the artefact rows as CSV to PATH",
     )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help=(
+            "record a structured span trace of the run (pipeline cells, "
+            "detector calls, explainer search stages) and write it to PATH "
+            "as JSONL — one span per line with name, duration_s, "
+            "attributes, and parent linkage; tracing is off without this "
+            "flag and costs nothing"
+        ),
+    )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help=(
+            "write the run's metrics (scorer cache hits/misses/evictions, "
+            "subspaces scored, pipeline cell duration histogram, grid "
+            "skips) to PATH in the Prometheus text exposition format"
+        ),
+    )
     return parser
 
 
@@ -54,23 +78,47 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
 
+    from contextlib import nullcontext
+
+    from repro.obs import (
+        Tracer,
+        span,
+        use_tracer,
+        write_metrics_text,
+        write_trace_jsonl,
+    )
+
+    tracer = Tracer() if args.trace_out is not None else None
     reports = []
     shared: dict[str, object] = {}
-    for name in names:
-        if name == "table2" and {"figure9", "figure10", "figure11"} <= shared.keys():
-            # Reuse sweeps already run in this invocation.
-            report = table2.run(
-                args.profile,
-                figure9_report=shared["figure9"],  # type: ignore[arg-type]
-                figure10_report=shared["figure10"],  # type: ignore[arg-type]
-                figure11_report=shared["figure11"],  # type: ignore[arg-type]
-            )
-        else:
-            report = EXPERIMENTS[name](args.profile)
-        shared[name] = report
-        reports.append(report)
-        print(report.render())
-        print()
+    with use_tracer(tracer) if tracer is not None else nullcontext():
+        for name in names:
+            with span("experiment.run", experiment=name, profile=args.profile):
+                if name == "table2" and {
+                    "figure9",
+                    "figure10",
+                    "figure11",
+                } <= shared.keys():
+                    # Reuse sweeps already run in this invocation.
+                    report = table2.run(
+                        args.profile,
+                        figure9_report=shared["figure9"],  # type: ignore[arg-type]
+                        figure10_report=shared["figure10"],  # type: ignore[arg-type]
+                        figure11_report=shared["figure11"],  # type: ignore[arg-type]
+                    )
+                else:
+                    report = EXPERIMENTS[name](args.profile)
+            shared[name] = report
+            reports.append(report)
+            print(report.render())
+            print()
+
+    if args.trace_out is not None and tracer is not None:
+        write_trace_jsonl(tracer.spans, args.trace_out)
+        print(f"wrote {len(tracer.spans)} spans to {args.trace_out}")
+    if args.metrics_out is not None:
+        write_metrics_text(args.metrics_out)
+        print(f"wrote metrics to {args.metrics_out}")
 
     if args.csv is not None:
         if len(reports) == 1:

@@ -34,6 +34,7 @@ import numpy as np
 
 from repro.detectors.base import Detector
 from repro.neighbors.knn import KNNIndex
+from repro.obs.trace import span as obs_span
 from repro.utils.validation import check_positive_int
 
 __all__ = ["FastABOD"]
@@ -76,16 +77,18 @@ class FastABOD(Detector):
         if k < 2:
             # Two points only: no angle pairs exist; nobody stands out.
             return np.zeros(n)
-        neigh_idx, _ = KNNIndex(X).kneighbors(k)
+        with obs_span("detector.fast_abod.knn", n_samples=n, k=k):
+            neigh_idx, _ = KNNIndex(X).kneighbors(k)
         pair_i, pair_j = np.triu_indices(k, k=1)
         abof = np.empty(n)
-        for p in range(n):
-            vectors = X[neigh_idx[p]] - X[p]
-            sq_norms = np.einsum("ij,ij->i", vectors, vectors)
-            dots = vectors @ vectors.T
-            weights = sq_norms[pair_i] * sq_norms[pair_j]
-            ratios = dots[pair_i, pair_j] / np.maximum(weights, _EPS)
-            abof[p] = np.var(ratios)
+        with obs_span("detector.fast_abod.angles", n_samples=n, n_pairs=len(pair_i)):
+            for p in range(n):
+                vectors = X[neigh_idx[p]] - X[p]
+                sq_norms = np.einsum("ij,ij->i", vectors, vectors)
+                dots = vectors @ vectors.T
+                weights = sq_norms[pair_i] * sq_norms[pair_j]
+                ratios = dots[pair_i, pair_j] / np.maximum(weights, _EPS)
+                abof[p] = np.var(ratios)
         # Low angle variance = outlier; the monotone -log keeps ABOD's
         # ranking while taming the heavy tail for z-standardisation.
         return -np.log(abof + _EPS)

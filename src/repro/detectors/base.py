@@ -25,6 +25,7 @@ from typing import ClassVar
 
 import numpy as np
 
+from repro.obs.trace import span as obs_span
 from repro.utils.validation import check_matrix
 
 __all__ = ["Detector", "data_fingerprint"]
@@ -60,7 +61,13 @@ class Detector(ABC):
             Float vector of length ``n_samples``.
         """
         X = check_matrix(X, name="X", min_rows=2)
-        scores = self._score_validated(X)
+        with obs_span(
+            "detector.score",
+            detector=self.name,
+            n_samples=X.shape[0],
+            n_features=X.shape[1],
+        ):
+            scores = self._score_validated(X)
         return np.asarray(scores, dtype=np.float64)
 
     @abstractmethod

@@ -32,6 +32,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.detectors.base import Detector, data_fingerprint
+from repro.obs.trace import span as obs_span
 from repro.utils.validation import check_positive_int
 
 __all__ = ["IsolationForest", "average_path_length"]
@@ -132,8 +133,13 @@ class IsolationForest(Detector):
     def _score_validated(self, X: np.ndarray) -> np.ndarray:
         rng = np.random.default_rng([self.seed & 0x7FFFFFFF, data_fingerprint(X)])
         total = np.zeros(X.shape[0])
-        for _ in range(self.n_repeats):
-            total += self._score_once(X, rng)
+        for repeat in range(self.n_repeats):
+            with obs_span(
+                "detector.iforest.fit_score",
+                repeat=repeat,
+                n_trees=self.n_trees,
+            ):
+                total += self._score_once(X, rng)
         return total / self.n_repeats
 
     def _score_once(self, X: np.ndarray, rng: np.random.Generator) -> np.ndarray:

@@ -13,6 +13,7 @@ import numpy as np
 
 from repro.detectors.base import Detector
 from repro.neighbors.knn import KNNIndex
+from repro.obs.trace import span as obs_span
 from repro.utils.validation import check_positive_int
 
 __all__ = ["LOF"]
@@ -52,8 +53,9 @@ class LOF(Detector):
     def _score_validated(self, X: np.ndarray) -> np.ndarray:
         n = X.shape[0]
         k = min(self.k, n - 1)
-        index = KNNIndex(X)
-        neigh_idx, neigh_dist = index.kneighbors(k)
+        with obs_span("detector.lof.knn", n_samples=n, k=k):
+            index = KNNIndex(X)
+            neigh_idx, neigh_dist = index.kneighbors(k)
         # k-distance of every point = distance to its k-th neighbour.
         k_dist = neigh_dist[:, -1]
         # reach-dist_k(p <- o) = max(k-dist(o), d(p, o)) for o in kNN(p).

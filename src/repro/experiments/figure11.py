@@ -80,6 +80,10 @@ def run(profile: ExperimentProfile | str = "quick") -> ExperimentReport:
             )
         )
         rows.extend(subset.rows())
+    if len(results):
+        # Where the grid's time went: detector cost vs. the explainers'
+        # own search overhead, summed over all cells (Section 4.3 view).
+        sections.append(results.cost_breakdown_ascii())
     if skipped:
         sections.append("skipped cells:\n" + "\n".join(skipped))
     return ExperimentReport(

@@ -27,6 +27,7 @@ that HiCS-style subspace outliers violate (paper Section 4.1).
 from __future__ import annotations
 
 from repro.explainers.base import PointExplainer, RankedSubspaces
+from repro.obs.trace import span as obs_span
 from repro.subspaces.enumeration import all_subspaces, grow_by_one, top_k
 from repro.subspaces.scorer import SubspaceScorer
 from repro.subspaces.subspace import Subspace
@@ -93,20 +94,26 @@ class Beam(PointExplainer):
                 f"cannot explain with {dimensionality}-d subspaces in a {d}-d dataset"
             )
         start_dim = min(2, dimensionality)
-        stage = [
-            (s, scorer.point_zscore(s, point))
-            for s in all_subspaces(d, start_dim)
-        ]
-        stage = top_k(stage, self.beam_width)
+        with obs_span("beam.stage", point=point, stage_dim=start_dim) as stage_span:
+            stage = [
+                (s, scorer.point_zscore(s, point))
+                for s in all_subspaces(d, start_dim)
+            ]
+            stage_span.set(n_candidates=len(stage))
+            stage = top_k(stage, self.beam_width)
         global_list = list(stage)
 
         current_dim = start_dim
         while current_dim < dimensionality:
-            candidates = grow_by_one([s for s, _ in stage], d)
-            scored = [
-                (s, scorer.point_zscore(s, point)) for s in candidates
-            ]
-            stage = top_k(scored, self.beam_width)
+            with obs_span(
+                "beam.stage", point=point, stage_dim=current_dim + 1
+            ) as stage_span:
+                candidates = grow_by_one([s for s, _ in stage], d)
+                stage_span.set(n_candidates=len(candidates))
+                scored = [
+                    (s, scorer.point_zscore(s, point)) for s in candidates
+                ]
+                stage = top_k(scored, self.beam_width)
             global_list = top_k(global_list + stage, self.beam_width)
             current_dim += 1
 

@@ -31,6 +31,7 @@ import numpy as np
 
 from repro.exceptions import ValidationError
 from repro.explainers.base import RankedSubspaces, SummaryExplainer
+from repro.obs.trace import span as obs_span
 from repro.stats.ks import ks_test
 from repro.stats.welch import welch_t_test
 from repro.subspaces.enumeration import all_subspaces, grow_by_one, top_k
@@ -173,17 +174,29 @@ class HiCS(SummaryExplainer):
             rng=rng,
         )
         d = X.shape[1]
-        stage = [
-            (s, estimator.contrast(s)) for s in all_subspaces(d, 2)
-        ]
-        stage = top_k(stage, self.candidate_cutoff)
+        # Each stage is one Monte-Carlo batch: ``mc_iterations`` slice
+        # draws for every candidate of that dimensionality.
+        with obs_span(
+            "hics.stage", stage_dim=2, mc_iterations=self.mc_iterations
+        ) as stage_span:
+            stage = [
+                (s, estimator.contrast(s)) for s in all_subspaces(d, 2)
+            ]
+            stage_span.set(n_candidates=len(stage))
+            stage = top_k(stage, self.candidate_cutoff)
         visited: list[list[tuple[Subspace, float]]] = [stage]
 
         current_dim = 2
         while current_dim < dimensionality:
-            candidates = grow_by_one([s for s, _ in stage], d)
-            scored = [(s, estimator.contrast(s)) for s in candidates]
-            stage = top_k(scored, self.candidate_cutoff)
+            with obs_span(
+                "hics.stage",
+                stage_dim=current_dim + 1,
+                mc_iterations=self.mc_iterations,
+            ) as stage_span:
+                candidates = grow_by_one([s for s, _ in stage], d)
+                stage_span.set(n_candidates=len(candidates))
+                scored = [(s, estimator.contrast(s)) for s in candidates]
+                stage = top_k(scored, self.candidate_cutoff)
             visited.append(stage)
             current_dim += 1
 

@@ -32,6 +32,7 @@ import numpy as np
 
 from repro.exceptions import ValidationError
 from repro.explainers.base import RankedSubspaces, SummaryExplainer
+from repro.obs.trace import span as obs_span
 from repro.subspaces.enumeration import all_subspaces, count_subspaces
 from repro.subspaces.scorer import SubspaceScorer
 from repro.subspaces.subspace import Subspace
@@ -109,12 +110,18 @@ class LookOut(SummaryExplainer):
         candidates = list(all_subspaces(d, dimensionality))
         # Utility matrix: points x candidates, clamped at zero so the
         # objective is non-negative and non-decreasing.
-        utility = np.empty((len(point_list), len(candidates)))
-        for j, subspace in enumerate(candidates):
-            utility[:, j] = scorer.points_zscores(subspace, point_list)
-        np.maximum(utility, 0.0, out=utility)
+        with obs_span(
+            "lookout.utility",
+            n_candidates=len(candidates),
+            n_points=len(point_list),
+        ):
+            utility = np.empty((len(point_list), len(candidates)))
+            for j, subspace in enumerate(candidates):
+                utility[:, j] = scorer.points_zscores(subspace, point_list)
+            np.maximum(utility, 0.0, out=utility)
 
-        return self._greedy_select(candidates, utility)
+        with obs_span("lookout.greedy", budget=self.budget):
+            return self._greedy_select(candidates, utility)
 
     def _greedy_select(
         self, candidates: list[Subspace], utility: np.ndarray

@@ -33,6 +33,7 @@ import numpy as np
 
 from repro.exceptions import ValidationError
 from repro.explainers.base import PointExplainer, RankedSubspaces
+from repro.obs.trace import span as obs_span
 from repro.stats.welch import welch_statistic
 from repro.subspaces.enumeration import grow_with_features, random_subspaces, top_k
 from repro.subspaces.scorer import SubspaceScorer
@@ -126,40 +127,53 @@ class RefOut(PointExplainer):
             rng = as_rng(None)
         else:
             rng = as_rng(np.random.SeedSequence([int(self.seed) & 0x7FFFFFFF, point]))
-        pool = random_subspaces(d, pool_dim, self.pool_size, seed=rng)
-        pool_sets = [frozenset(s) for s in pool]
-        pool_scores = np.array(
-            [scorer.point_zscore(s, point) for s in pool], dtype=np.float64
-        )
+        with obs_span(
+            "refout.pool", point=point, pool_size=self.pool_size, pool_dim=pool_dim
+        ):
+            pool = random_subspaces(d, pool_dim, self.pool_size, seed=rng)
+            pool_sets = [frozenset(s) for s in pool]
+            pool_scores = np.array(
+                [scorer.point_zscore(s, point) for s in pool], dtype=np.float64
+            )
 
         # Stage 1: score every feature appearing in the pool by partition
         # discrepancy; these features also serve as the growth alphabet.
-        features = sorted({f for s in pool for f in s})
-        feature_scores = [
-            (Subspace((f,)), self._discrepancy(frozenset((f,)), pool_sets, pool_scores))
-            for f in features
-        ]
-        stage = top_k(feature_scores, self.beam_width)
+        with obs_span("refout.stage", point=point, stage_dim=1) as stage_span:
+            features = sorted({f for s in pool for f in s})
+            stage_span.set(n_candidates=len(features))
+            feature_scores = [
+                (
+                    Subspace((f,)),
+                    self._discrepancy(frozenset((f,)), pool_sets, pool_scores),
+                )
+                for f in features
+            ]
+            stage = top_k(feature_scores, self.beam_width)
         top_features = [next(iter(s)) for s, _ in stage]
 
         current_dim = 1
         while current_dim < dimensionality:
-            candidates = grow_with_features([s for s, _ in stage], top_features)
-            scored = [
-                (c, self._discrepancy(frozenset(c), pool_sets, pool_scores))
-                for c in candidates
-            ]
-            stage = top_k(scored, self.beam_width)
+            with obs_span(
+                "refout.stage", point=point, stage_dim=current_dim + 1
+            ) as stage_span:
+                candidates = grow_with_features([s for s, _ in stage], top_features)
+                stage_span.set(n_candidates=len(candidates))
+                scored = [
+                    (c, self._discrepancy(frozenset(c), pool_sets, pool_scores))
+                    for c in candidates
+                ]
+                stage = top_k(scored, self.beam_width)
             current_dim += 1
 
         # Refinement: rank surviving candidates by the point's actual
         # standardised score in the candidate subspace itself.
-        refined = [
-            (s, scorer.point_zscore(s, point))
-            for s, _ in stage
-            if s.dimensionality == dimensionality
-        ]
-        return RankedSubspaces.from_pairs(top_k(refined, self.result_size))
+        with obs_span("refout.refine", point=point, n_candidates=len(stage)):
+            refined = [
+                (s, scorer.point_zscore(s, point))
+                for s, _ in stage
+                if s.dimensionality == dimensionality
+            ]
+            return RankedSubspaces.from_pairs(top_k(refined, self.result_size))
 
     def _discrepancy(
         self,

@@ -1,0 +1,69 @@
+"""Structured observability: span tracing, metrics, and exporters.
+
+The library's hot layers (pipeline, grid runner, subspace scorer cache,
+detectors, explainer search stages, streaming monitor) are instrumented
+with two primitives:
+
+* **Spans** (:mod:`repro.obs.trace`) — timed, attributed, nested regions
+  answering *where did the time go inside this run*. Disabled by default
+  via a no-op null tracer; experiments opt in with
+  :func:`~repro.obs.trace.use_tracer` or the CLI's ``--trace-out`` flag.
+* **Metrics** (:mod:`repro.obs.metrics`) — process-global counters,
+  gauges, and histograms answering *how much work happened* (cache
+  hits/misses/evictions, subspaces scored, cells skipped). Always on —
+  increments are dict updates — and rendered only on demand.
+
+Exporters (:mod:`repro.obs.export`) serialise both: JSONL span traces and
+the Prometheus text exposition format. Naming conventions and worked
+examples live in ``docs/OBSERVABILITY.md``.
+"""
+
+from repro.obs.export import (
+    render_prometheus,
+    spans_to_jsonl,
+    write_metrics_text,
+    write_trace_jsonl,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    counter,
+    gauge,
+    get_registry,
+    histogram,
+    reset,
+)
+from repro.obs.trace import (
+    NullTracer,
+    Span,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    span,
+    use_tracer,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "counter",
+    "gauge",
+    "get_registry",
+    "get_tracer",
+    "histogram",
+    "render_prometheus",
+    "reset",
+    "set_tracer",
+    "span",
+    "spans_to_jsonl",
+    "use_tracer",
+    "write_metrics_text",
+    "write_trace_jsonl",
+]

@@ -1,0 +1,170 @@
+"""Exporters: JSONL span traces and Prometheus text exposition.
+
+Two output formats, both line-oriented so paper-scale runs stream to disk
+without holding a render in memory:
+
+* :func:`write_trace_jsonl` — one JSON object per finished span
+  (``name``, ``span_id``, ``parent_id``, ``start_s``, ``duration_s``,
+  ``attributes``), in span completion order. Load with any JSONL reader;
+  reconstruct the tree by joining ``parent_id`` on ``span_id``.
+* :func:`render_prometheus` — the text exposition format scrape endpoints
+  serve (``# HELP`` / ``# TYPE`` headers, cumulative ``le`` histogram
+  buckets, escaped label values), so a run's metrics file diffs cleanly
+  and feeds straight into promtool / Grafana ingestion.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from collections.abc import Iterable
+from typing import TextIO
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+)
+from repro.obs.trace import Span
+
+__all__ = [
+    "render_prometheus",
+    "spans_to_jsonl",
+    "write_metrics_text",
+    "write_trace_jsonl",
+]
+
+
+def _json_safe(value: object) -> object:
+    """Coerce an attribute value to something ``json.dumps`` accepts."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    return str(value)
+
+
+def spans_to_jsonl(spans: Iterable[Span]) -> str:
+    """All spans as JSONL text (one compact JSON object per line).
+
+    Examples
+    --------
+    >>> from repro.obs.trace import Tracer
+    >>> tracer = Tracer(clock=iter([0.0, 1.5]).__next__)
+    >>> with tracer.span("work", detector="lof"):
+    ...     pass
+    >>> line = spans_to_jsonl(tracer.spans)
+    >>> import json
+    >>> json.loads(line)["attributes"]
+    {'detector': 'lof'}
+    """
+    lines = []
+    for span in spans:
+        record = span.as_dict()
+        record["attributes"] = {
+            k: _json_safe(v) for k, v in record["attributes"].items()  # type: ignore[union-attr]
+        }
+        lines.append(json.dumps(record, separators=(",", ":")))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_trace_jsonl(spans: Iterable[Span], path: str) -> None:
+    """Write :func:`spans_to_jsonl` output to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(spans_to_jsonl(spans))
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
+def _format_labels(pairs: Iterable[tuple[str, str]]) -> str:
+    rendered = ",".join(
+        f'{name}="{_escape_label_value(value)}"' for name, value in pairs
+    )
+    return f"{{{rendered}}}" if rendered else ""
+
+
+def _format_value(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _write_metric(out: list[str], metric: Counter | Gauge | Histogram) -> None:
+    if metric.help:
+        out.append(f"# HELP {metric.name} {metric.help}")
+    out.append(f"# TYPE {metric.name} {metric.kind}")
+    if isinstance(metric, Histogram):
+        for label_key, series in metric.samples():
+            labels = dict(label_key)
+            for bound, cumulative in metric.cumulative_buckets(**labels):
+                bucket_labels = list(label_key) + [("le", _format_value(bound))]
+                out.append(
+                    f"{metric.name}_bucket{_format_labels(bucket_labels)} "
+                    f"{cumulative}"
+                )
+            out.append(
+                f"{metric.name}_sum{_format_labels(label_key)} "
+                f"{_format_value(series.total)}"
+            )
+            out.append(
+                f"{metric.name}_count{_format_labels(label_key)} {series.count}"
+            )
+        if not metric._series:
+            # An observed-nothing histogram still advertises its shape.
+            for bound, cumulative in metric.cumulative_buckets():
+                out.append(
+                    f'{metric.name}_bucket{{le="{_format_value(bound)}"}} '
+                    f"{cumulative}"
+                )
+            out.append(f"{metric.name}_sum 0")
+            out.append(f"{metric.name}_count 0")
+        return
+    samples = list(metric.samples())
+    if not samples:
+        out.append(f"{metric.name} 0")
+        return
+    for label_key, value in samples:
+        out.append(
+            f"{metric.name}{_format_labels(label_key)} {_format_value(value)}"
+        )
+
+
+def render_prometheus(registry: MetricsRegistry | None = None) -> str:
+    """Render a registry in the Prometheus text exposition format.
+
+    Parameters
+    ----------
+    registry:
+        Registry to render; defaults to the process-global one.
+
+    Examples
+    --------
+    >>> from repro.obs.metrics import MetricsRegistry
+    >>> registry = MetricsRegistry()
+    >>> registry.counter("demo_total", "A demo counter").inc(3)
+    >>> print(render_prometheus(registry))
+    # HELP demo_total A demo counter
+    # TYPE demo_total counter
+    demo_total 3
+    <BLANKLINE>
+    """
+    if registry is None:
+        registry = get_registry()
+    out: list[str] = []
+    for metric in registry.collect():
+        _write_metric(out, metric)  # type: ignore[arg-type]
+    return "\n".join(out) + ("\n" if out else "")
+
+
+def write_metrics_text(
+    path: str, registry: MetricsRegistry | None = None
+) -> None:
+    """Write :func:`render_prometheus` output to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(render_prometheus(registry))

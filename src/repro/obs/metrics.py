@@ -1,0 +1,357 @@
+"""Counters, gauges, and histograms with a process-global default registry.
+
+The instrumented layers (scorer cache, grid runner, streaming monitor)
+define their metrics at import time through the module-level
+:func:`counter` / :func:`gauge` / :func:`histogram` factories, which
+get-or-create on the default :class:`MetricsRegistry`. Increments are a
+dict update — cheap enough to leave unconditionally in hot paths — and
+nothing is formatted until an exporter asks (see
+:func:`repro.obs.export.render_prometheus`).
+
+All metric types support optional Prometheus-style labels passed as
+keyword arguments:
+
+    >>> registry = MetricsRegistry()
+    >>> hits = registry.counter("demo_cache_hits_total", "Cache hits")
+    >>> hits.inc()
+    >>> hits.inc(2, cache="scorer")
+    >>> hits.value()
+    1.0
+    >>> hits.value(cache="scorer")
+    2.0
+
+Tests isolate themselves with :func:`reset` (zero every value, keep the
+registrations) — metric objects held by instrumented modules stay valid
+across resets.
+"""
+
+from __future__ import annotations
+
+import re
+from bisect import bisect_left
+from typing import Iterator
+
+from repro.exceptions import ValidationError
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "counter",
+    "gauge",
+    "get_registry",
+    "histogram",
+    "reset",
+]
+
+#: Duration buckets (seconds) tuned to pipeline-cell scale: sub-millisecond
+#: cache work up to multi-minute paper-profile cells.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.001,
+    0.005,
+    0.01,
+    0.05,
+    0.1,
+    0.5,
+    1.0,
+    5.0,
+    10.0,
+    30.0,
+    60.0,
+    300.0,
+)
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Canonical key of one labelled time series within a metric.
+LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: dict[str, object]) -> LabelKey:
+    for name in labels:
+        if not _LABEL_RE.match(name):
+            raise ValidationError(f"invalid label name {name!r}")
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class _Metric:
+    """Shared name/help/validation plumbing of all metric types."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        if not _NAME_RE.match(name):
+            raise ValidationError(f"invalid metric name {name!r}")
+        self.name = name
+        self.help = help
+
+    def reset(self) -> None:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class Counter(_Metric):
+    """Monotonically increasing count (per label set)."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        super().__init__(name, help)
+        self._values: dict[LabelKey, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        """Add ``amount`` (must be >= 0) to the labelled series."""
+        if amount < 0:
+            raise ValidationError(
+                f"counter {self.name} cannot decrease (inc by {amount})"
+            )
+        key = _label_key(labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: object) -> float:
+        """Current count of the labelled series (0.0 if never incremented)."""
+        return self._values.get(_label_key(labels), 0.0)
+
+    def samples(self) -> Iterator[tuple[LabelKey, float]]:
+        """``(label_key, value)`` pairs in insertion order."""
+        return iter(self._values.items())
+
+    def reset(self) -> None:
+        """Zero all series (the registration itself survives)."""
+        self._values.clear()
+
+
+class Gauge(_Metric):
+    """Point-in-time value that can go up and down (per label set)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        super().__init__(name, help)
+        self._values: dict[LabelKey, float] = {}
+
+    def set(self, value: float, **labels: object) -> None:
+        """Set the labelled series to ``value``."""
+        self._values[_label_key(labels)] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        """Add ``amount`` (may be negative) to the labelled series."""
+        key = _label_key(labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels: object) -> None:
+        """Subtract ``amount`` from the labelled series."""
+        self.inc(-amount, **labels)
+
+    def value(self, **labels: object) -> float:
+        """Current value of the labelled series (0.0 if never set)."""
+        return self._values.get(_label_key(labels), 0.0)
+
+    def samples(self) -> Iterator[tuple[LabelKey, float]]:
+        """``(label_key, value)`` pairs in insertion order."""
+        return iter(self._values.items())
+
+    def reset(self) -> None:
+        """Drop all series (the registration itself survives)."""
+        self._values.clear()
+
+
+class _HistogramSeries:
+    """Bucket counts, sum, and count of one labelled histogram series."""
+
+    __slots__ = ("bucket_counts", "total", "count")
+
+    def __init__(self, n_buckets: int) -> None:
+        self.bucket_counts = [0] * n_buckets
+        self.total = 0.0
+        self.count = 0
+
+
+class Histogram(_Metric):
+    """Distribution of observations over fixed bucket boundaries.
+
+    Parameters
+    ----------
+    buckets:
+        Strictly increasing upper bounds; an implicit ``+Inf`` bucket
+        always exists on top (so every observation is counted).
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> None:
+        super().__init__(name, help)
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ValidationError("histogram needs at least one bucket bound")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValidationError(
+                f"histogram buckets must strictly increase, got {bounds}"
+            )
+        self.buckets = bounds
+        self._series: dict[LabelKey, _HistogramSeries] = {}
+
+    def observe(self, value: float, **labels: object) -> None:
+        """Record one observation in the labelled series."""
+        value = float(value)
+        key = _label_key(labels)
+        series = self._series.get(key)
+        if series is None:
+            series = self._series[key] = _HistogramSeries(len(self.buckets) + 1)
+        series.bucket_counts[bisect_left(self.buckets, value)] += 1
+        series.total += value
+        series.count += 1
+
+    def count(self, **labels: object) -> int:
+        """Number of observations in the labelled series."""
+        series = self._series.get(_label_key(labels))
+        return series.count if series is not None else 0
+
+    def sum(self, **labels: object) -> float:
+        """Sum of observations in the labelled series."""
+        series = self._series.get(_label_key(labels))
+        return series.total if series is not None else 0.0
+
+    def cumulative_buckets(
+        self, **labels: object
+    ) -> list[tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` pairs, ``inf`` last.
+
+        This is the Prometheus exposition shape (``le`` buckets are
+        cumulative).
+        """
+        series = self._series.get(_label_key(labels))
+        counts = (
+            series.bucket_counts
+            if series is not None
+            else [0] * (len(self.buckets) + 1)
+        )
+        bounds = self.buckets + (float("inf"),)
+        out: list[tuple[float, int]] = []
+        running = 0
+        for bound, n in zip(bounds, counts):
+            running += n
+            out.append((bound, running))
+        return out
+
+    def samples(self) -> Iterator[tuple[LabelKey, _HistogramSeries]]:
+        """``(label_key, series)`` pairs in insertion order."""
+        return iter(self._series.items())
+
+    def reset(self) -> None:
+        """Drop all series (the registration itself survives)."""
+        self._series.clear()
+
+
+class MetricsRegistry:
+    """Named collection of metrics with get-or-create registration.
+
+    Re-requesting a name returns the existing instrument (so module-level
+    definitions are idempotent under re-import); requesting it with a
+    different type is an error.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, _Metric] = {}
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        """Get or create the counter called ``name``."""
+        return self._get_or_create(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        """Get or create the gauge called ``name``."""
+        return self._get_or_create(Gauge, name, help)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        """Get or create the histogram called ``name``."""
+        existing = self._metrics.get(name)
+        if existing is None:
+            metric = Histogram(name, help, buckets=buckets)
+            self._metrics[name] = metric
+            return metric
+        if not isinstance(existing, Histogram):
+            raise ValidationError(
+                f"metric {name!r} already registered as {existing.kind}"
+            )
+        return existing
+
+    def get(self, name: str) -> _Metric | None:
+        """The registered metric called ``name``, or ``None``."""
+        return self._metrics.get(name)
+
+    def collect(self) -> list[_Metric]:
+        """All registered metrics, sorted by name (exposition order)."""
+        return sorted(self._metrics.values(), key=lambda m: m.name)
+
+    def reset(self) -> None:
+        """Zero every metric's values; registrations stay intact.
+
+        This is the test-isolation hook: instrumented modules keep their
+        references to the metric objects, which simply read 0 again.
+        """
+        for metric in self._metrics.values():
+            metric.reset()
+
+    def _get_or_create(self, cls: type, name: str, help: str) -> object:
+        existing = self._metrics.get(name)
+        if existing is None:
+            metric = cls(name, help)
+            self._metrics[name] = metric
+            return metric
+        if type(existing) is not cls:
+            raise ValidationError(
+                f"metric {name!r} already registered as {existing.kind}"
+            )
+        return existing
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __repr__(self) -> str:
+        return f"MetricsRegistry({len(self)} metrics)"
+
+
+#: The process-global registry all library instrumentation writes to.
+_DEFAULT_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-global default registry."""
+    return _DEFAULT_REGISTRY
+
+
+def counter(name: str, help: str = "") -> Counter:
+    """Get or create ``name`` on the default registry."""
+    return _DEFAULT_REGISTRY.counter(name, help)
+
+
+def gauge(name: str, help: str = "") -> Gauge:
+    """Get or create ``name`` on the default registry."""
+    return _DEFAULT_REGISTRY.gauge(name, help)
+
+
+def histogram(
+    name: str, help: str = "", buckets: tuple[float, ...] = DEFAULT_BUCKETS
+) -> Histogram:
+    """Get or create ``name`` on the default registry."""
+    return _DEFAULT_REGISTRY.histogram(name, help, buckets=buckets)
+
+
+def reset() -> None:
+    """Zero every value on the default registry (test-isolation hook)."""
+    _DEFAULT_REGISTRY.reset()

@@ -1,0 +1,254 @@
+"""Span-based structured tracing.
+
+A :class:`Span` is one timed region of work with a name, free-form
+attributes, and parent linkage; a :class:`Tracer` collects finished spans
+in completion order. Nesting is tracked with a :mod:`contextvars` stack so
+the same code is correct in threads, asyncio tasks, and the in-process
+default — no thread-locals needed.
+
+Instrumented library code never talks to a tracer instance directly; it
+calls the module-level :func:`span` helper, which dispatches to whatever
+tracer is active in the current context. By default that is the singleton
+:class:`NullTracer`, whose ``span()`` returns a shared no-op context
+manager — instrumentation then costs one function call and one
+``ContextVar`` read per site, so leaving it in hot paths is free for all
+practical purposes. Experiments opt in by installing a real tracer:
+
+    >>> tracer = Tracer()
+    >>> with use_tracer(tracer):
+    ...     with span("outer", dataset="hics_14"):
+    ...         with span("inner"):
+    ...             pass
+    >>> [s.name for s in tracer.spans]
+    ['inner', 'outer']
+    >>> tracer.spans[0].parent_id == tracer.spans[1].span_id
+    True
+
+Span and metric naming conventions are documented in
+``docs/OBSERVABILITY.md``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+__all__ = [
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "get_tracer",
+    "set_tracer",
+    "span",
+    "use_tracer",
+]
+
+
+@dataclass
+class Span:
+    """One timed, attributed region of work.
+
+    Attributes
+    ----------
+    name:
+        Dotted span name, e.g. ``"pipeline.run"`` (see the naming
+        conventions in ``docs/OBSERVABILITY.md``).
+    span_id:
+        Identifier unique within the owning tracer.
+    parent_id:
+        ``span_id`` of the enclosing span, or ``None`` for roots.
+    attributes:
+        Free-form key/value annotations. Values should be JSON-encodable
+        scalars so the JSONL exporter round-trips them.
+    start_s / end_s:
+        ``time.perf_counter`` readings; ``end_s`` is ``None`` while the
+        span is still open.
+    """
+
+    name: str
+    span_id: int
+    parent_id: int | None
+    attributes: dict[str, object] = field(default_factory=dict)
+    start_s: float = 0.0
+    end_s: float | None = None
+
+    @property
+    def duration_s(self) -> float:
+        """Seconds between start and end (0.0 while the span is open)."""
+        if self.end_s is None:
+            return 0.0
+        return self.end_s - self.start_s
+
+    def set(self, **attributes: object) -> "Span":
+        """Attach attributes discovered while the span is running."""
+        self.attributes.update(attributes)
+        return self
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-encodable record of this span (the JSONL line payload)."""
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start_s": self.start_s,
+            "duration_s": self.duration_s,
+            "attributes": dict(self.attributes),
+        }
+
+
+class _NullSpan:
+    """Shared do-nothing stand-in for :class:`Span` when tracing is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+    def set(self, **attributes: object) -> "_NullSpan":
+        return self
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Tracer that records nothing — the default when tracing is disabled.
+
+    Its :meth:`span` hands back a shared no-op context manager, so
+    instrumented code pays near-zero cost (no span allocation, no clock
+    reads, no context-variable writes).
+    """
+
+    enabled = False
+
+    def span(self, name: str, **attributes: object) -> _NullSpan:
+        """Return the shared no-op span context manager."""
+        return _NULL_SPAN
+
+    @property
+    def spans(self) -> tuple[Span, ...]:
+        """Always empty."""
+        return ()
+
+
+#: Shared process-wide null tracer (stateless, safe to reuse).
+_NULL_TRACER = NullTracer()
+
+#: The tracer active in the current execution context.
+_ACTIVE_TRACER: ContextVar[Tracer | NullTracer] = ContextVar(
+    "repro_obs_tracer", default=_NULL_TRACER
+)
+
+#: ``span_id`` of the innermost open span in the current context.
+_ACTIVE_SPAN_ID: ContextVar[int | None] = ContextVar(
+    "repro_obs_active_span", default=None
+)
+
+
+class Tracer:
+    """Collects finished :class:`Span` records in completion order.
+
+    Parameters
+    ----------
+    clock:
+        Monotonic clock used for span timestamps (default
+        :func:`time.perf_counter`); injectable for deterministic tests.
+
+    Examples
+    --------
+    >>> tracer = Tracer(clock=iter([0.0, 1.0, 3.0, 6.0]).__next__)
+    >>> with tracer.span("a"):
+    ...     with tracer.span("b", k=1):
+    ...         pass
+    >>> [(s.name, s.duration_s) for s in tracer.spans]
+    [('b', 2.0), ('a', 6.0)]
+    """
+
+    enabled = True
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
+        self._clock = clock
+        self._ids = itertools.count(1)
+        self.spans: list[Span] = []
+
+    @contextmanager
+    def span(self, name: str, **attributes: object) -> Iterator[Span]:
+        """Open a child span of whatever span is active in this context."""
+        record = Span(
+            name=str(name),
+            span_id=next(self._ids),
+            parent_id=_ACTIVE_SPAN_ID.get(),
+            attributes=attributes,
+            start_s=self._clock(),
+        )
+        token = _ACTIVE_SPAN_ID.set(record.span_id)
+        try:
+            yield record
+        finally:
+            _ACTIVE_SPAN_ID.reset(token)
+            record.end_s = self._clock()
+            self.spans.append(record)
+
+    def clear(self) -> None:
+        """Drop all collected spans (ids keep counting up)."""
+        self.spans.clear()
+
+    def roots(self) -> list[Span]:
+        """Spans with no parent, in completion order."""
+        return [s for s in self.spans if s.parent_id is None]
+
+    def children_of(self, parent: Span) -> list[Span]:
+        """Direct children of ``parent``, in completion order."""
+        return [s for s in self.spans if s.parent_id == parent.span_id]
+
+    def total_seconds(self, name: str) -> float:
+        """Summed duration of every finished span called ``name``."""
+        return sum(s.duration_s for s in self.spans if s.name == name)
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def __repr__(self) -> str:
+        return f"Tracer({len(self.spans)} spans)"
+
+
+def get_tracer() -> Tracer | NullTracer:
+    """The tracer active in the current context (a :class:`NullTracer` by default)."""
+    return _ACTIVE_TRACER.get()
+
+
+def set_tracer(tracer: Tracer | NullTracer | None) -> None:
+    """Install ``tracer`` for the current context (``None`` restores the null tracer).
+
+    Prefer :func:`use_tracer` where the activation has clear scope; this
+    setter exists for long-lived activations such as the CLI process.
+    """
+    _ACTIVE_TRACER.set(_NULL_TRACER if tracer is None else tracer)
+
+
+@contextmanager
+def use_tracer(tracer: Tracer | NullTracer) -> Iterator[Tracer | NullTracer]:
+    """Activate ``tracer`` for the duration of the ``with`` block."""
+    token = _ACTIVE_TRACER.set(tracer)
+    try:
+        yield tracer
+    finally:
+        _ACTIVE_TRACER.reset(token)
+
+
+def span(name: str, **attributes: object):
+    """Open a span on the context's active tracer (no-op when tracing is off).
+
+    This is the helper instrumented library code imports:
+
+    >>> with span("detector.score", detector="lof"):
+    ...     pass
+    """
+    return _ACTIVE_TRACER.get().span(name, **attributes)

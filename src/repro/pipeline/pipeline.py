@@ -24,11 +24,18 @@ from repro.metrics.evaluation import (
     EvaluationResult,
     evaluate_point_explanations,
 )
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import span as obs_span
 from repro.subspaces.enumeration import top_k
 from repro.subspaces.scorer import SubspaceScorer
 from repro.utils.timing import Stopwatch
 
 __all__ = ["ExplanationPipeline", "PipelineResult"]
+
+_CELL_SECONDS = obs_metrics.histogram(
+    "repro_pipeline_cell_seconds",
+    "Wall-clock seconds of one pipeline execution (explanation phase)",
+)
 
 
 @dataclass(frozen=True)
@@ -52,6 +59,12 @@ class PipelineResult:
         construction, includes detector scoring triggered by it).
     n_subspaces_scored:
         Detector invocations that actually ran (cache misses).
+    cost_breakdown:
+        Per-phase seconds of the run: ``explain`` (the explainer's search,
+        including detector calls it triggered), ``detector`` (the share of
+        ``explain`` spent inside ``detector.score``), and ``evaluate``
+        (ground-truth evaluation). Recorded unconditionally — it needs no
+        active tracer — so every result can answer *where the time went*.
     explanations:
         Per-point rankings. For point explainers these are the raw
         algorithm outputs; for summarisers they are the shared summary
@@ -68,6 +81,7 @@ class PipelineResult:
     evaluation: EvaluationResult
     seconds: float
     n_subspaces_scored: int
+    cost_breakdown: dict[str, float] = field(default_factory=dict)
     explanations: dict[int, RankedSubspaces] | None = None
     summary: RankedSubspaces | None = None
 
@@ -92,6 +106,8 @@ class PipelineResult:
             "map": self.map,
             "mean_recall": self.mean_recall,
             "seconds": self.seconds,
+            "detector_seconds": self.cost_breakdown.get("detector", 0.0),
+            "evaluate_seconds": self.cost_breakdown.get("evaluate", 0.0),
             "n_subspaces_scored": self.n_subspaces_scored,
             "n_points": self.evaluation.n_points,
         }
@@ -184,33 +200,68 @@ class ExplanationPipeline:
             )
         scorer = self.scorer_for(dataset)
         evaluations_before = scorer.n_evaluations
+        detector_seconds_before = scorer.detector_seconds
         stopwatch = Stopwatch()
+        evaluate_watch = Stopwatch()
 
-        if isinstance(self.explainer, PointExplainer):
-            with stopwatch:
-                explanations = dict(
-                    self.explainer.explain_points(scorer, points, dimensionality)
-                )
-            evaluation = evaluate_point_explanations(
-                explanations, dataset.ground_truth, dimensionality, points=points
+        with obs_span(
+            "pipeline.run",
+            dataset=dataset.name,
+            detector=self.detector.name,
+            explainer=self.explainer.name,
+            dimensionality=int(dimensionality),
+            n_points=len(points),
+        ) as cell_span:
+            if isinstance(self.explainer, PointExplainer):
+                with stopwatch, obs_span("pipeline.explain"):
+                    explanations = dict(
+                        self.explainer.explain_points(scorer, points, dimensionality)
+                    )
+                with evaluate_watch, obs_span("pipeline.evaluate"):
+                    evaluation = evaluate_point_explanations(
+                        explanations,
+                        dataset.ground_truth,
+                        dimensionality,
+                        points=points,
+                    )
+                summary = None
+            else:
+                with stopwatch, obs_span("pipeline.explain"):
+                    summary = self.explainer.summarize(scorer, points, dimensionality)
+                    # Testbed semantics (paper Section 3.3): a summary is a
+                    # *set* of subspaces jointly explaining the points; when
+                    # evaluated for one point, the set is ranked by that
+                    # point's own standardised detector score. This is what
+                    # makes summariser MAP comparable with the point
+                    # explainers and detector-dependent even for HiCS.
+                    explanations = {
+                        int(p): _rerank_for_point(scorer, summary, int(p))
+                        for p in points
+                    }
+                with evaluate_watch, obs_span("pipeline.evaluate"):
+                    evaluation = evaluate_point_explanations(
+                        explanations,
+                        dataset.ground_truth,
+                        dimensionality,
+                        points=points,
+                    )
+
+            n_scored = scorer.n_evaluations - evaluations_before
+            cost_breakdown = {
+                "explain": stopwatch.elapsed,
+                "detector": scorer.detector_seconds - detector_seconds_before,
+                "evaluate": evaluate_watch.elapsed,
+            }
+            cell_span.set(
+                seconds=stopwatch.elapsed,
+                n_subspaces_scored=n_scored,
+                detector_seconds=cost_breakdown["detector"],
             )
-            summary = None
-        else:
-            with stopwatch:
-                summary = self.explainer.summarize(scorer, points, dimensionality)
-                # Testbed semantics (paper Section 3.3): a summary is a
-                # *set* of subspaces jointly explaining the points; when
-                # evaluated for one point, the set is ranked by that
-                # point's own standardised detector score. This is what
-                # makes summariser MAP comparable with the point
-                # explainers and detector-dependent even for HiCS.
-                explanations = {
-                    int(p): _rerank_for_point(scorer, summary, int(p))
-                    for p in points
-                }
-            evaluation = evaluate_point_explanations(
-                explanations, dataset.ground_truth, dimensionality, points=points
-            )
+        _CELL_SECONDS.observe(
+            stopwatch.elapsed,
+            detector=self.detector.name,
+            explainer=self.explainer.name,
+        )
 
         return PipelineResult(
             dataset=dataset.name,
@@ -219,7 +270,8 @@ class ExplanationPipeline:
             dimensionality=int(dimensionality),
             evaluation=evaluation,
             seconds=stopwatch.elapsed,
-            n_subspaces_scored=scorer.n_evaluations - evaluations_before,
+            n_subspaces_scored=n_scored,
+            cost_breakdown=cost_breakdown,
             explanations=explanations,
             summary=summary,
         )

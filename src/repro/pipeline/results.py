@@ -120,6 +120,76 @@ class ResultTable:
         ]
         return format_table(headers, body, title=title)
 
+    def cost_breakdown(self) -> list[dict[str, object]]:
+        """Per-pipeline cost totals from the cells' obs span summaries.
+
+        One record per ``explainer+detector`` pipeline: total explanation
+        seconds, the share spent inside the detector vs. the explainer's
+        own search, evaluation seconds, and subspaces actually scored —
+        the Section 4.3 view of where a grid's time went.
+        """
+        totals: dict[str, dict[str, float]] = {}
+        for result in self._results:
+            entry = totals.setdefault(
+                f"{result.explainer}+{result.detector}",
+                {
+                    "seconds": 0.0,
+                    "detector_seconds": 0.0,
+                    "evaluate_seconds": 0.0,
+                    "n_subspaces_scored": 0.0,
+                    "cells": 0.0,
+                },
+            )
+            entry["seconds"] += result.seconds
+            entry["detector_seconds"] += result.cost_breakdown.get("detector", 0.0)
+            entry["evaluate_seconds"] += result.cost_breakdown.get("evaluate", 0.0)
+            entry["n_subspaces_scored"] += result.n_subspaces_scored
+            entry["cells"] += 1
+        records: list[dict[str, object]] = []
+        for pipeline in sorted(totals):
+            entry = totals[pipeline]
+            search = entry["seconds"] - entry["detector_seconds"]
+            records.append(
+                {
+                    "pipeline": pipeline,
+                    "cells": int(entry["cells"]),
+                    "seconds": entry["seconds"],
+                    "detector_seconds": entry["detector_seconds"],
+                    "search_seconds": max(search, 0.0),
+                    "evaluate_seconds": entry["evaluate_seconds"],
+                    "n_subspaces_scored": int(entry["n_subspaces_scored"]),
+                }
+            )
+        return records
+
+    def cost_breakdown_ascii(self, *, title: str | None = None) -> str:
+        """Render :meth:`cost_breakdown` as an aligned ASCII table."""
+        records = self.cost_breakdown()
+        headers = [
+            "pipeline",
+            "cells",
+            "seconds",
+            "detector s",
+            "search s",
+            "evaluate s",
+            "# scored",
+        ]
+        body = [
+            [
+                r["pipeline"],
+                r["cells"],
+                f"{r['seconds']:.3f}",
+                f"{r['detector_seconds']:.3f}",
+                f"{r['search_seconds']:.3f}",
+                f"{r['evaluate_seconds']:.3f}",
+                r["n_subspaces_scored"],
+            ]
+            for r in records
+        ]
+        return format_table(
+            headers, body, title=title or "Cost breakdown per pipeline"
+        )
+
     def to_csv(self) -> str:
         """All rows as CSV text (header included)."""
         records = self.rows()

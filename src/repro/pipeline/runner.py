@@ -15,6 +15,8 @@ from repro.datasets.base import Dataset
 from repro.detectors.base import Detector
 from repro.exceptions import ExperimentError
 from repro.explainers.base import PointExplainer, SummaryExplainer
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import span as obs_span
 from repro.pipeline.pipeline import ExplanationPipeline, PipelineResult
 from repro.pipeline.results import ResultTable
 
@@ -22,6 +24,13 @@ __all__ = ["GridRunner"]
 
 ExplainerLike = "PointExplainer | SummaryExplainer"
 ProgressHook = Callable[[PipelineResult], None]
+
+_CELLS_RUN = obs_metrics.counter(
+    "repro_grid_cells_total", "Grid cells executed to completion"
+)
+_CELLS_SKIPPED = obs_metrics.counter(
+    "repro_grid_cells_skipped_total", "Grid cells skipped, by reason"
+)
 
 
 class GridRunner:
@@ -67,6 +76,13 @@ class GridRunner:
         self.skip_errors = skip_errors
         self.points_selector = points_selector
         self.skipped: list[tuple[str, str, str, int, str]] = []
+        #: Cells never attempted: ``(dataset, dimensionality, reason)`` where
+        #: reason is ``"undefined_dimensionality"`` (no ground-truth point at
+        #: the requested dimensionality) or ``"empty_selection"`` (the
+        #: ``points_selector`` returned no points). One entry covers every
+        #: pipeline of the grid, making grid coverage auditable instead of
+        #: silently thinner than the cross-product suggests.
+        self.skipped_undefined: list[tuple[str, int, str]] = []
         # One pipeline per (detector, factory) so scorer caches persist
         # across datasets and dimensionalities.
         self._pipelines = [
@@ -88,36 +104,63 @@ class GridRunner:
         """Execute the full grid and return the collected results.
 
         Cells whose dataset has no ground-truth point at a requested
-        dimensionality are skipped silently (they are not defined).
+        dimensionality (or whose ``points_selector`` returns nothing) are
+        not defined; they are recorded in :attr:`skipped_undefined` and
+        counted on ``repro_grid_cells_skipped_total`` rather than silently
+        dropped.
         """
         table = ResultTable()
-        for dataset in datasets:
-            available = set(dataset.ground_truth.dimensionalities())
-            for dimensionality in dimensionalities:
-                if dimensionality not in available:
-                    continue
-                points: tuple[int, ...] | None = None
-                if self.points_selector is not None:
-                    points = self.points_selector(dataset, dimensionality)
-                    if not points:
-                        continue
-                for pipeline in self._pipelines:
-                    try:
-                        result = pipeline.run(dataset, dimensionality, points=points)
-                    except Exception as exc:  # noqa: BLE001 - reported below
-                        if not self.skip_errors:
-                            raise
-                        self.skipped.append(
-                            (
-                                dataset.name,
-                                pipeline.detector.name,
-                                pipeline.explainer.name,
-                                dimensionality,
-                                f"{type(exc).__name__}: {exc}",
-                            )
+        with obs_span("grid.run", n_pipelines=len(self._pipelines)):
+            for dataset in datasets:
+                available = set(dataset.ground_truth.dimensionalities())
+                for dimensionality in dimensionalities:
+                    if dimensionality not in available:
+                        self._skip_undefined(
+                            dataset.name, dimensionality, "undefined_dimensionality"
                         )
                         continue
-                    table.add(result)
-                    if self.on_result is not None:
-                        self.on_result(result)
+                    points: tuple[int, ...] | None = None
+                    if self.points_selector is not None:
+                        points = self.points_selector(dataset, dimensionality)
+                        if not points:
+                            self._skip_undefined(
+                                dataset.name, dimensionality, "empty_selection"
+                            )
+                            continue
+                    for pipeline in self._pipelines:
+                        with obs_span(
+                            "grid.cell",
+                            dataset=dataset.name,
+                            detector=pipeline.detector.name,
+                            explainer=pipeline.explainer.name,
+                            dimensionality=int(dimensionality),
+                        ):
+                            try:
+                                result = pipeline.run(
+                                    dataset, dimensionality, points=points
+                                )
+                            except Exception as exc:  # noqa: BLE001 - reported below
+                                if not self.skip_errors:
+                                    raise
+                                _CELLS_SKIPPED.inc(reason="error")
+                                self.skipped.append(
+                                    (
+                                        dataset.name,
+                                        pipeline.detector.name,
+                                        pipeline.explainer.name,
+                                        dimensionality,
+                                        f"{type(exc).__name__}: {exc}",
+                                    )
+                                )
+                                continue
+                        _CELLS_RUN.inc()
+                        table.add(result)
+                        if self.on_result is not None:
+                            self.on_result(result)
         return table
+
+    def _skip_undefined(self, dataset: str, dimensionality: int, reason: str) -> None:
+        """Record a never-attempted (dataset, dimensionality) slice."""
+        self.skipped_undefined.append((dataset, int(dimensionality), reason))
+        # One slice hides a whole row of pipeline cells from the grid.
+        _CELLS_SKIPPED.inc(len(self._pipelines), reason=reason)

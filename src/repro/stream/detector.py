@@ -13,11 +13,22 @@ import numpy as np
 
 from repro.detectors.base import Detector
 from repro.exceptions import ValidationError
+from repro.obs import metrics as obs_metrics
 from repro.stats.zscore import zscore_of
 from repro.stream.window import SlidingWindow
 from repro.utils.validation import check_positive_int, check_vector
 
 __all__ = ["StreamingDetector"]
+
+_POINTS = obs_metrics.counter(
+    "repro_stream_points_total", "Points ingested by streaming detectors"
+)
+_WINDOW_FILL = obs_metrics.gauge(
+    "repro_stream_window_points", "Points currently held in the sliding window"
+)
+_LAST_ZSCORE = obs_metrics.gauge(
+    "repro_stream_last_zscore", "Windowed z-score of the most recent point"
+)
 
 
 class StreamingDetector:
@@ -71,6 +82,9 @@ class StreamingDetector:
             raw = self.detector.score(context)
             score = zscore_of(raw, context.shape[0] - 1)
         self.window.append(vector)
+        _POINTS.inc(detector=self.detector.name)
+        _WINDOW_FILL.set(len(self.window), detector=self.detector.name)
+        _LAST_ZSCORE.set(score, detector=self.detector.name)
         return score
 
     def score_stream(self, X: np.ndarray) -> np.ndarray:

@@ -18,11 +18,18 @@ import numpy as np
 
 from repro.explainers.base import PointExplainer, RankedSubspaces
 from repro.exceptions import ValidationError
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import span as obs_span
 from repro.stream.detector import StreamingDetector
 from repro.subspaces.scorer import SubspaceScorer
 from repro.utils.validation import check_positive_int
 
 __all__ = ["ExplainedAnomaly", "StreamingExplainer"]
+
+_ANOMALIES = obs_metrics.counter(
+    "repro_stream_anomalies_total",
+    "Stream points whose windowed z-score crossed the explanation threshold",
+)
 
 
 @dataclass(frozen=True)
@@ -93,13 +100,20 @@ class StreamingExplainer:
         score = self.detector.update(point)
         event = None
         if score >= self.threshold:
-            window_plus_point = np.vstack(
-                [context, np.asarray(point, dtype=np.float64)[None, :]]
-            )
-            scorer = SubspaceScorer(window_plus_point, self.detector.detector)
-            explanation = self.explainer.explain(
-                scorer, window_plus_point.shape[0] - 1, self.dimensionality
-            )
+            _ANOMALIES.inc(explainer=self.explainer.name)
+            with obs_span(
+                "stream.explain",
+                index=self._index,
+                score=float(score),
+                explainer=self.explainer.name,
+            ):
+                window_plus_point = np.vstack(
+                    [context, np.asarray(point, dtype=np.float64)[None, :]]
+                )
+                scorer = SubspaceScorer(window_plus_point, self.detector.detector)
+                explanation = self.explainer.explain(
+                    scorer, window_plus_point.shape[0] - 1, self.dimensionality
+                )
             event = ExplainedAnomaly(
                 index=self._index, score=score, explanation=explanation
             )

@@ -17,12 +17,14 @@ paper's dimensionality-bias correction (Section 2.2):
 
 from __future__ import annotations
 
+import time
 from collections.abc import Iterable
 
 import numpy as np
 
 from repro.detectors.base import Detector
 from repro.exceptions import ValidationError
+from repro.obs import metrics as obs_metrics
 from repro.stats.zscore import zscores
 from repro.subspaces.subspace import Subspace, as_subspace, project
 from repro.utils.caching import LRUCache
@@ -32,6 +34,19 @@ __all__ = ["SubspaceScorer"]
 
 #: Default cache budget: 256 MiB of float64 score vectors.
 _DEFAULT_CACHE_BYTES = 256 * 1024 * 1024
+
+_CACHE_HITS = obs_metrics.counter(
+    "repro_scorer_cache_hits_total",
+    "Subspace score lookups served from the scorer's memo cache",
+)
+_CACHE_MISSES = obs_metrics.counter(
+    "repro_scorer_cache_misses_total",
+    "Subspace score lookups that ran the detector",
+)
+_SUBSPACES_SCORED = obs_metrics.counter(
+    "repro_scorer_subspaces_scored_total",
+    "Detector invocations that actually ran, by detector",
+)
 
 
 class SubspaceScorer:
@@ -77,8 +92,11 @@ class SubspaceScorer:
         self.X = check_matrix(X, name="X", min_rows=2)
         self.detector = detector
         self._detector_key = detector.cache_key()
-        self._cache: LRUCache[tuple, np.ndarray] = LRUCache(max_cache_bytes)
+        self._cache: LRUCache[tuple, np.ndarray] = LRUCache(
+            max_cache_bytes, name="scorer"
+        )
         self._n_evaluations = 0
+        self._detector_seconds = 0.0
 
     @property
     def n_samples(self) -> int:
@@ -100,6 +118,21 @@ class SubspaceScorer:
         """Fraction of subspace lookups served from cache."""
         return self._cache.hit_rate
 
+    @property
+    def cache_stats(self) -> dict[str, int | float]:
+        """Hit/miss/eviction counters of the memo cache (obs snapshot)."""
+        return self._cache.stats()
+
+    @property
+    def detector_seconds(self) -> float:
+        """Cumulative wall-clock seconds spent inside ``detector.score``.
+
+        The pipeline diffs this across a run to split a cell's cost into
+        detector time vs. explainer search overhead — the breakdown the
+        paper's Section 4.3 runtime analysis reasons about.
+        """
+        return self._detector_seconds
+
     def scores(self, subspace: Iterable[int]) -> np.ndarray:
         """Raw detector scores of all points in ``subspace`` (cached).
 
@@ -110,9 +143,14 @@ class SubspaceScorer:
         key = (self._detector_key, tuple(s))
         cached = self._cache.get(key)
         if cached is not None:
+            _CACHE_HITS.inc()
             return cached
+        _CACHE_MISSES.inc()
+        started = time.perf_counter()
         scores = self.detector.score(project(self.X, s))
+        self._detector_seconds += time.perf_counter() - started
         self._n_evaluations += 1
+        _SUBSPACES_SCORED.inc(detector=self.detector.name)
         self._cache.put(key, scores)
         return scores
 
@@ -148,6 +186,7 @@ class SubspaceScorer:
         """Drop all memoised score vectors and reset statistics."""
         self._cache.clear()
         self._n_evaluations = 0
+        self._detector_seconds = 0.0
 
     def _check_point(self, point: int) -> int:
         point = int(point)

@@ -4,7 +4,7 @@ from repro.utils.caching import LRUCache
 from repro.utils.rng import as_rng, spawn_rngs
 from repro.utils.scatter import scatter_projection
 from repro.utils.tables import format_kv, format_table
-from repro.utils.timing import Stopwatch, timed
+from repro.utils.timing import Stopwatch, time_call, timed
 from repro.utils.validation import (
     check_feature_indices,
     check_in_range,
@@ -28,5 +28,6 @@ __all__ = [
     "format_table",
     "scatter_projection",
     "spawn_rngs",
+    "time_call",
     "timed",
 ]

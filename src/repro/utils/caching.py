@@ -8,7 +8,13 @@ entries once a configurable byte budget is exceeded.
 
 ``functools.lru_cache`` is unsuitable here because it bounds the *count* of
 entries rather than their size, and because the cache must be inspectable
-(hit/miss statistics feed the runtime experiments).
+(hit/miss/eviction statistics feed the runtime experiments and the
+:mod:`repro.obs` metrics).
+
+A named cache additionally reports its traffic to the process-global
+metrics registry as ``repro_cache_{hits,misses,evictions}_total`` with a
+``cache`` label, so every instance's behaviour shows up in a
+``--metrics-out`` dump without plumbing registry handles around.
 """
 
 from __future__ import annotations
@@ -20,6 +26,7 @@ from typing import Generic, TypeVar
 import numpy as np
 
 from repro.exceptions import ValidationError
+from repro.obs import metrics as obs_metrics
 
 __all__ = ["LRUCache"]
 
@@ -27,6 +34,17 @@ K = TypeVar("K", bound=Hashable)
 V = TypeVar("V")
 
 _UNBOUNDED = float("inf")
+
+_OBS_HITS = obs_metrics.counter(
+    "repro_cache_hits_total", "LRU cache lookups served from cache, by cache name"
+)
+_OBS_MISSES = obs_metrics.counter(
+    "repro_cache_misses_total", "LRU cache lookups that missed, by cache name"
+)
+_OBS_EVICTIONS = obs_metrics.counter(
+    "repro_cache_evictions_total",
+    "LRU cache entries evicted over the byte budget, by cache name",
+)
 
 
 class LRUCache(Generic[K, V]):
@@ -40,6 +58,10 @@ class LRUCache(Generic[K, V]):
         Function estimating the size in bytes of a value. The default
         handles NumPy arrays exactly and charges a flat 64 bytes for
         anything else.
+    name:
+        Optional observability name. When set, hits, misses, and
+        evictions are also counted on the process-global metrics registry
+        under ``repro_cache_*_total{cache=name}``.
     """
 
     def __init__(
@@ -47,6 +69,7 @@ class LRUCache(Generic[K, V]):
         max_bytes: int | None = None,
         *,
         sizeof: Callable[[V], int] | None = None,
+        name: str | None = None,
     ) -> None:
         if max_bytes is not None and max_bytes <= 0:
             raise ValidationError(f"max_bytes must be positive or None, got {max_bytes}")
@@ -54,8 +77,10 @@ class LRUCache(Generic[K, V]):
         self._sizeof = sizeof if sizeof is not None else _default_sizeof
         self._data: OrderedDict[K, V] = OrderedDict()
         self._bytes = 0
+        self.name = name
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def __len__(self) -> int:
         return len(self._data)
@@ -72,8 +97,12 @@ class LRUCache(Generic[K, V]):
         """Return the cached value for ``key`` (marking it recently used) or ``None``."""
         if key not in self._data:
             self.misses += 1
+            if self.name is not None:
+                _OBS_MISSES.inc(cache=self.name)
             return None
         self.hits += 1
+        if self.name is not None:
+            _OBS_HITS.inc(cache=self.name)
         self._data.move_to_end(key)
         return self._data[key]
 
@@ -87,6 +116,9 @@ class LRUCache(Generic[K, V]):
         while self._bytes > self._max_bytes and len(self._data) > 1:
             _, evicted = self._data.popitem(last=False)
             self._bytes -= self._sizeof(evicted)
+            self.evictions += 1
+            if self.name is not None:
+                _OBS_EVICTIONS.inc(cache=self.name)
 
     def get_or_compute(self, key: K, compute: Callable[[], V]) -> V:
         """Return the cached value for ``key``, computing and storing it on a miss."""
@@ -102,12 +134,24 @@ class LRUCache(Generic[K, V]):
         self._bytes = 0
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     @property
     def hit_rate(self) -> float:
         """Fraction of lookups served from cache (0.0 when never queried)."""
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+    def stats(self) -> dict[str, int | float]:
+        """Snapshot of the cache's counters (the view the obs layer reads)."""
+        return {
+            "entries": len(self._data),
+            "nbytes": self._bytes,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
 
 
 def _default_sizeof(value: object) -> int:

@@ -7,7 +7,7 @@ from collections.abc import Callable
 from contextlib import contextmanager
 from typing import Any, Iterator, TypeVar
 
-__all__ = ["Stopwatch", "timed"]
+__all__ = ["Stopwatch", "time_call", "timed"]
 
 T = TypeVar("T")
 
@@ -89,7 +89,16 @@ def timed(store: dict[str, float], key: str) -> Iterator[None]:
 
 
 def time_call(func: Callable[..., T], *args: Any, **kwargs: Any) -> tuple[T, float]:
-    """Call ``func`` and return ``(result, elapsed_seconds)``."""
+    """Call ``func`` and return ``(result, elapsed_seconds)``.
+
+    Examples
+    --------
+    >>> result, elapsed = time_call(sum, range(100), start=5)
+    >>> result
+    4955
+    >>> elapsed >= 0.0
+    True
+    """
     start = time.perf_counter()
     result = func(*args, **kwargs)
     return result, time.perf_counter() - start

@@ -24,6 +24,18 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["table1", "--profile", "huge"])
 
+    def test_obs_flags_default_off(self):
+        args = build_parser().parse_args(["table1"])
+        assert args.trace_out is None
+        assert args.metrics_out is None
+
+    def test_obs_flags_parsed(self):
+        args = build_parser().parse_args(
+            ["table1", "--trace-out", "t.jsonl", "--metrics-out", "m.txt"]
+        )
+        assert args.trace_out == "t.jsonl"
+        assert args.metrics_out == "m.txt"
+
 
 class TestMain:
     def test_table1_smoke(self, capsys):
@@ -37,3 +49,38 @@ class TestMain:
         assert main(["figure8", "--profile", "smoke", "--csv", str(path)]) == 0
         assert path.exists()
         assert "dataset" in path.read_text().splitlines()[0]
+
+    def test_trace_out_writes_linked_spans(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "trace.jsonl"
+        assert main(
+            ["table1", "--profile", "smoke", "--trace-out", str(path)]
+        ) == 0
+        lines = path.read_text().strip().splitlines()
+        assert lines
+        spans = [json.loads(line) for line in lines]
+        ids = {s["span_id"] for s in spans}
+        for s in spans:
+            assert s["name"]
+            assert s["duration_s"] >= 0.0
+            assert s["parent_id"] is None or s["parent_id"] in ids
+        # the CLI wraps each experiment in a root span
+        roots = [s for s in spans if s["parent_id"] is None]
+        assert any(s["name"] == "experiment.run" for s in roots)
+
+    def test_metrics_out_writes_prometheus_text(self, capsys, tmp_path):
+        path = tmp_path / "metrics.txt"
+        assert main(
+            ["table1", "--profile", "smoke", "--metrics-out", str(path)]
+        ) == 0
+        text = path.read_text()
+        assert "# TYPE repro_scorer_cache_hits_total counter" in text
+        assert "repro_scorer_cache_misses_total" in text
+        assert "repro_pipeline_cell_seconds_bucket" in text
+
+    def test_no_flags_no_tracer_leak(self, capsys):
+        from repro.obs.trace import NullTracer, get_tracer
+
+        assert main(["table1", "--profile", "smoke"]) == 0
+        assert isinstance(get_tracer(), NullTracer)

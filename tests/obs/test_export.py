@@ -1,0 +1,163 @@
+"""Unit tests for repro.obs.export."""
+
+import json
+
+from repro.obs.export import (
+    render_prometheus,
+    spans_to_jsonl,
+    write_metrics_text,
+    write_trace_jsonl,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+
+
+def make_trace():
+    tracer = Tracer(clock=iter([0.0, 1.0, 2.0, 4.0]).__next__)
+    with tracer.span("outer", dataset="hics_14"):
+        with tracer.span("inner", subspace=(2, 4)):
+            pass
+    return tracer
+
+
+class TestJsonl:
+    def test_one_line_per_span(self):
+        text = spans_to_jsonl(make_trace().spans)
+        lines = text.strip().splitlines()
+        assert len(lines) == 2
+        records = [json.loads(line) for line in lines]
+        assert [r["name"] for r in records] == ["inner", "outer"]
+
+    def test_required_fields_and_linkage(self):
+        records = [
+            json.loads(line)
+            for line in spans_to_jsonl(make_trace().spans).strip().splitlines()
+        ]
+        for record in records:
+            assert set(record) == {
+                "name", "span_id", "parent_id", "start_s", "duration_s",
+                "attributes",
+            }
+        inner, outer = records
+        assert inner["parent_id"] == outer["span_id"]
+        assert outer["parent_id"] is None
+        assert inner["duration_s"] == 1.0
+
+    def test_non_json_attributes_coerced(self):
+        # tuples become lists; arbitrary objects become strings
+        records = [
+            json.loads(line)
+            for line in spans_to_jsonl(make_trace().spans).strip().splitlines()
+        ]
+        assert records[0]["attributes"]["subspace"] == [2, 4]
+
+        tracer = Tracer()
+        with tracer.span("x", obj=object()):
+            pass
+        record = json.loads(spans_to_jsonl(tracer.spans))
+        assert isinstance(record["attributes"]["obj"], str)
+
+    def test_empty_trace_is_empty_text(self):
+        assert spans_to_jsonl([]) == ""
+
+    def test_write_trace_jsonl(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        write_trace_jsonl(make_trace().spans, str(path))
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[0])["name"] == "inner"
+
+
+class TestPrometheus:
+    def test_counter_rendering(self):
+        registry = MetricsRegistry()
+        registry.counter("demo_total", "A demo counter").inc(3)
+        text = render_prometheus(registry)
+        assert "# HELP demo_total A demo counter" in text
+        assert "# TYPE demo_total counter" in text
+        assert "demo_total 3" in text
+
+    def test_labelled_counter(self):
+        registry = MetricsRegistry()
+        c = registry.counter("demo_total")
+        c.inc(2, cache="scorer")
+        assert 'demo_total{cache="scorer"} 2' in render_prometheus(registry)
+
+    def test_label_value_escaping(self):
+        registry = MetricsRegistry()
+        registry.counter("demo_total").inc(1, k='quo"te\nnl')
+        text = render_prometheus(registry)
+        assert r'demo_total{k="quo\"te\nnl"} 1' in text
+
+    def test_never_incremented_counter_renders_zero(self):
+        registry = MetricsRegistry()
+        registry.counter("demo_total")
+        assert "demo_total 0" in render_prometheus(registry)
+
+    def test_histogram_rendering(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("demo_seconds", buckets=(1.0, 5.0))
+        h.observe(0.5)
+        h.observe(3.0)
+        h.observe(100.0)
+        text = render_prometheus(registry)
+        assert 'demo_seconds_bucket{le="1"} 1' in text
+        assert 'demo_seconds_bucket{le="5"} 2' in text
+        assert 'demo_seconds_bucket{le="+Inf"} 3' in text
+        assert "demo_seconds_sum 103.5" in text
+        assert "demo_seconds_count 3" in text
+
+    def test_empty_histogram_advertises_shape(self):
+        registry = MetricsRegistry()
+        registry.histogram("demo_seconds", buckets=(1.0,))
+        text = render_prometheus(registry)
+        assert 'demo_seconds_bucket{le="1"} 0' in text
+        assert 'demo_seconds_bucket{le="+Inf"} 0' in text
+        assert "demo_seconds_sum 0" in text
+        assert "demo_seconds_count 0" in text
+
+    def test_labelled_histogram_keeps_le_with_labels(self):
+        registry = MetricsRegistry()
+        registry.histogram("demo_seconds", buckets=(1.0,)).observe(
+            0.5, detector="lof"
+        )
+        text = render_prometheus(registry)
+        assert 'demo_seconds_bucket{detector="lof",le="1"} 1' in text
+
+    def test_metrics_sorted_by_name(self):
+        registry = MetricsRegistry()
+        registry.counter("zzz_total").inc()
+        registry.counter("aaa_total").inc()
+        text = render_prometheus(registry)
+        assert text.index("aaa_total") < text.index("zzz_total")
+
+    def test_defaults_to_global_registry(self):
+        from repro.obs import metrics as obs_metrics
+
+        obs_metrics.counter("repro_test_export_demo_total").inc(7)
+        try:
+            assert "repro_test_export_demo_total 7" in render_prometheus()
+        finally:
+            obs_metrics.reset()
+
+    def test_write_metrics_text(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("demo_total").inc(2)
+        path = tmp_path / "metrics.txt"
+        write_metrics_text(str(path), registry)
+        assert "demo_total 2" in path.read_text()
+
+    def test_every_sample_line_is_well_formed(self):
+        import re
+
+        registry = MetricsRegistry()
+        registry.counter("demo_total").inc(1, cache="scorer")
+        registry.gauge("demo_gauge").set(-1.5)
+        registry.histogram("demo_seconds", buckets=(1.0,)).observe(0.2)
+        sample = re.compile(
+            r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? (\+Inf|-Inf|-?[0-9.eE+-]+)$"
+        )
+        for line in render_prometheus(registry).splitlines():
+            if not line or line.startswith("#"):
+                continue
+            assert sample.match(line), line

@@ -1,0 +1,189 @@
+"""Unit tests for repro.obs.metrics."""
+
+import math
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.obs import metrics as obs_metrics
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        c = Counter("demo_total")
+        c.inc()
+        c.inc(2.5)
+        assert c.value() == 3.5
+
+    def test_labelled_series_are_separate(self):
+        c = Counter("demo_total")
+        c.inc(cache="scorer")
+        c.inc(3, cache="other")
+        assert c.value(cache="scorer") == 1.0
+        assert c.value(cache="other") == 3.0
+        assert c.value() == 0.0
+
+    def test_label_order_is_canonical(self):
+        c = Counter("demo_total")
+        c.inc(a=1, b=2)
+        assert c.value(b=2, a=1) == 1.0
+
+    def test_rejects_negative(self):
+        c = Counter("demo_total")
+        with pytest.raises(ValidationError):
+            c.inc(-1)
+
+    def test_rejects_bad_metric_name(self):
+        with pytest.raises(ValidationError):
+            Counter("bad-name")
+
+    def test_rejects_bad_label_name(self):
+        c = Counter("demo_total")
+        with pytest.raises(ValidationError):
+            c.inc(**{"bad-label": 1})
+
+    def test_reset_zeroes(self):
+        c = Counter("demo_total")
+        c.inc(5, k="v")
+        c.reset()
+        assert c.value(k="v") == 0.0
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("demo_gauge")
+        g.set(10)
+        g.inc(2)
+        g.dec(7)
+        assert g.value() == 5.0
+
+    def test_can_go_negative(self):
+        g = Gauge("demo_gauge")
+        g.dec(3)
+        assert g.value() == -3.0
+
+    def test_labels(self):
+        g = Gauge("demo_gauge")
+        g.set(1, detector="lof")
+        g.set(2, detector="iforest")
+        assert g.value(detector="lof") == 1.0
+        assert g.value(detector="iforest") == 2.0
+
+
+class TestHistogram:
+    def test_observe_count_sum(self):
+        h = Histogram("demo_seconds", buckets=(1.0, 5.0))
+        h.observe(0.5)
+        h.observe(3.0)
+        h.observe(100.0)
+        assert h.count() == 3
+        assert h.sum() == pytest.approx(103.5)
+
+    def test_cumulative_buckets(self):
+        h = Histogram("demo_seconds", buckets=(1.0, 5.0))
+        h.observe(0.5)
+        h.observe(3.0)
+        h.observe(100.0)
+        buckets = h.cumulative_buckets()
+        assert buckets == [(1.0, 1), (5.0, 2), (math.inf, 3)]
+
+    def test_boundary_lands_in_le_bucket(self):
+        # Prometheus buckets are "le": an observation equal to a bound
+        # counts in that bound's bucket.
+        h = Histogram("demo_seconds", buckets=(1.0, 5.0))
+        h.observe(1.0)
+        assert h.cumulative_buckets()[0] == (1.0, 1)
+
+    def test_empty_series_shape(self):
+        h = Histogram("demo_seconds", buckets=(1.0,))
+        assert h.count() == 0
+        assert h.sum() == 0.0
+        assert h.cumulative_buckets() == [(1.0, 0), (math.inf, 0)]
+
+    def test_labelled_series(self):
+        h = Histogram("demo_seconds", buckets=(1.0,))
+        h.observe(0.5, detector="lof")
+        h.observe(2.0, detector="lof")
+        h.observe(0.1, detector="iforest")
+        assert h.count(detector="lof") == 2
+        assert h.count(detector="iforest") == 1
+        assert h.count() == 0
+
+    def test_default_buckets_strictly_increasing(self):
+        assert all(
+            b2 > b1 for b1, b2 in zip(DEFAULT_BUCKETS, DEFAULT_BUCKETS[1:])
+        )
+
+    def test_rejects_bad_buckets(self):
+        with pytest.raises(ValidationError):
+            Histogram("demo_seconds", buckets=())
+        with pytest.raises(ValidationError):
+            Histogram("demo_seconds", buckets=(2.0, 1.0))
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent(self):
+        registry = MetricsRegistry()
+        a = registry.counter("demo_total")
+        b = registry.counter("demo_total")
+        assert a is b
+        assert len(registry) == 1
+
+    def test_type_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("demo")
+        with pytest.raises(ValidationError):
+            registry.gauge("demo")
+        with pytest.raises(ValidationError):
+            registry.histogram("demo")
+
+    def test_collect_sorted_by_name(self):
+        registry = MetricsRegistry()
+        registry.counter("zzz_total")
+        registry.gauge("aaa_gauge")
+        assert [m.name for m in registry.collect()] == ["aaa_gauge", "zzz_total"]
+
+    def test_get(self):
+        registry = MetricsRegistry()
+        c = registry.counter("demo_total")
+        assert registry.get("demo_total") is c
+        assert registry.get("missing") is None
+
+    def test_reset_keeps_registrations(self):
+        registry = MetricsRegistry()
+        c = registry.counter("demo_total")
+        c.inc(4)
+        registry.reset()
+        assert registry.counter("demo_total") is c
+        assert c.value() == 0.0
+        c.inc()
+        assert c.value() == 1.0
+
+
+class TestDefaultRegistry:
+    def test_module_factories_use_global_registry(self):
+        c = obs_metrics.counter("repro_test_obs_demo_total")
+        assert obs_metrics.get_registry().get("repro_test_obs_demo_total") is c
+
+    def test_global_reset_zeroes_values(self):
+        c = obs_metrics.counter("repro_test_obs_demo_total")
+        c.inc(9)
+        obs_metrics.reset()
+        assert c.value() == 0.0
+
+    def test_library_metrics_preregistered(self):
+        # importing the instrumented layers registers their metrics
+        import repro.pipeline  # noqa: F401
+        import repro.subspaces.scorer  # noqa: F401
+
+        names = {m.name for m in obs_metrics.get_registry().collect()}
+        assert "repro_scorer_cache_hits_total" in names
+        assert "repro_scorer_cache_misses_total" in names
+        assert "repro_pipeline_cell_seconds" in names

@@ -1,0 +1,194 @@
+"""Unit tests for repro.obs.trace."""
+
+import threading
+
+from repro.obs.trace import (
+    NullTracer,
+    Span,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    span,
+    use_tracer,
+)
+
+
+def fake_clock(*readings):
+    return iter(float(r) for r in readings).__next__
+
+
+class TestSpan:
+    def test_duration_open_span_is_zero(self):
+        record = Span(name="open", span_id=1, parent_id=None, start_s=5.0)
+        assert record.end_s is None
+        assert record.duration_s == 0.0
+
+    def test_duration_closed(self):
+        record = Span(name="x", span_id=1, parent_id=None, start_s=1.0, end_s=3.5)
+        assert record.duration_s == 2.5
+
+    def test_set_returns_self_and_merges(self):
+        record = Span(name="x", span_id=1, parent_id=None, attributes={"a": 1})
+        assert record.set(b=2) is record
+        assert record.attributes == {"a": 1, "b": 2}
+
+    def test_as_dict_shape(self):
+        record = Span(
+            name="x", span_id=3, parent_id=2, start_s=0.0, end_s=1.0,
+            attributes={"k": "v"},
+        )
+        assert record.as_dict() == {
+            "name": "x",
+            "span_id": 3,
+            "parent_id": 2,
+            "start_s": 0.0,
+            "duration_s": 1.0,
+            "attributes": {"k": "v"},
+        }
+
+
+class TestTracer:
+    def test_completion_order_and_durations(self):
+        tracer = Tracer(clock=fake_clock(0.0, 1.0, 3.0, 6.0))
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        assert [s.name for s in tracer.spans] == ["inner", "outer"]
+        assert tracer.spans[0].duration_s == 2.0
+        assert tracer.spans[1].duration_s == 6.0
+
+    def test_parent_linkage(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                with tracer.span("c"):
+                    pass
+            with tracer.span("d"):
+                pass
+        by_name = {s.name: s for s in tracer.spans}
+        assert by_name["a"].parent_id is None
+        assert by_name["b"].parent_id == by_name["a"].span_id
+        assert by_name["c"].parent_id == by_name["b"].span_id
+        assert by_name["d"].parent_id == by_name["a"].span_id
+
+    def test_sibling_roots(self):
+        tracer = Tracer()
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+        assert len(tracer.roots()) == 2
+        assert all(s.parent_id is None for s in tracer.spans)
+
+    def test_span_ids_unique(self):
+        tracer = Tracer()
+        for _ in range(5):
+            with tracer.span("x"):
+                pass
+        ids = [s.span_id for s in tracer.spans]
+        assert len(set(ids)) == 5
+
+    def test_attributes_and_set_during_span(self):
+        tracer = Tracer()
+        with tracer.span("cell", dataset="hics_14") as record:
+            record.set(n_scored=17)
+        assert tracer.spans[0].attributes == {"dataset": "hics_14", "n_scored": 17}
+
+    def test_exception_still_closes_span(self):
+        tracer = Tracer(clock=fake_clock(0.0, 1.0, 2.0, 3.0))
+        try:
+            with tracer.span("boom"):
+                raise RuntimeError("x")
+        except RuntimeError:
+            pass
+        assert len(tracer.spans) == 1
+        assert tracer.spans[0].duration_s == 1.0
+        # the active-span stack unwound: the next span is a root
+        with tracer.span("after"):
+            pass
+        assert tracer.spans[-1].parent_id is None
+
+    def test_clear(self):
+        tracer = Tracer()
+        with tracer.span("x"):
+            pass
+        tracer.clear()
+        assert len(tracer) == 0
+
+    def test_children_of_and_total_seconds(self):
+        tracer = Tracer(clock=fake_clock(0.0, 1.0, 2.0, 3.0, 4.0, 10.0))
+        with tracer.span("parent"):
+            with tracer.span("leaf"):
+                pass
+            with tracer.span("leaf"):
+                pass
+        (parent,) = tracer.roots()
+        assert [s.name for s in tracer.children_of(parent)] == ["leaf", "leaf"]
+        assert tracer.total_seconds("leaf") == 2.0
+        assert tracer.total_seconds("parent") == 10.0
+        assert tracer.total_seconds("missing") == 0.0
+
+
+class TestActiveTracer:
+    def test_default_is_null(self):
+        tracer = get_tracer()
+        assert isinstance(tracer, NullTracer)
+        assert not tracer.enabled
+        assert tracer.spans == ()
+
+    def test_module_span_is_noop_by_default(self):
+        with span("anything", k=1) as record:
+            # shared no-op span: set() is accepted and discarded
+            assert record.set(extra=2) is record
+
+    def test_use_tracer_routes_module_span(self):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            with span("outer"):
+                with span("inner"):
+                    pass
+        assert [s.name for s in tracer.spans] == ["inner", "outer"]
+
+    def test_use_tracer_restores_previous(self):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            assert get_tracer() is tracer
+        assert isinstance(get_tracer(), NullTracer)
+
+    def test_set_tracer_none_restores_null(self):
+        tracer = Tracer()
+        set_tracer(tracer)
+        try:
+            assert get_tracer() is tracer
+        finally:
+            set_tracer(None)
+        assert isinstance(get_tracer(), NullTracer)
+
+    def test_nesting_is_per_thread(self):
+        tracer = Tracer()
+        seen = {}
+
+        def worker():
+            # a fresh thread starts with no active span: its span is a root
+            with use_tracer(tracer):
+                with tracer.span("thread_root") as record:
+                    seen["parent_id"] = record.parent_id
+
+        with use_tracer(tracer):
+            with tracer.span("main_root"):
+                thread = threading.Thread(target=worker)
+                thread.start()
+                thread.join()
+        assert seen["parent_id"] is None
+
+
+class TestNullTracer:
+    def test_span_is_shared_instance(self):
+        tracer = NullTracer()
+        assert tracer.span("a") is tracer.span("b", k=1)
+
+    def test_records_nothing(self):
+        tracer = NullTracer()
+        with tracer.span("x"):
+            pass
+        assert tracer.spans == ()

@@ -33,6 +33,43 @@ class TestGrid:
         table = runner.run([hics_small], [2, 9])
         assert len(table) == 1
 
+    def test_undefined_dimensionality_recorded(self, hics_small):
+        runner = GridRunner(
+            [LOF(k=15)],
+            [lambda: Beam(beam_width=5)],
+            points_selector=lambda ds, dim: ds.outliers[:1],
+        )
+        runner.run([hics_small], [2, 9])
+        assert runner.skipped_undefined == [
+            (hics_small.name, 9, "undefined_dimensionality")
+        ]
+
+    def test_empty_selection_recorded(self, hics_small):
+        runner = GridRunner(
+            [LOF(k=15)],
+            [lambda: Beam(beam_width=5)],
+            points_selector=lambda ds, dim: (),
+        )
+        table = runner.run([hics_small], [2])
+        assert len(table) == 0
+        assert runner.skipped_undefined == [
+            (hics_small.name, 2, "empty_selection")
+        ]
+
+    def test_skipped_cells_counted_per_pipeline(self, hics_small):
+        from repro.obs import metrics as obs_metrics
+
+        skipped = obs_metrics.counter("repro_grid_cells_skipped_total")
+        before = skipped.value(reason="undefined_dimensionality")
+        runner = GridRunner(
+            [LOF(k=15), KNNDetector(k=10)],
+            [lambda: Beam(beam_width=5), lambda: LookOut(budget=5)],
+            points_selector=lambda ds, dim: ds.outliers[:1],
+        )
+        runner.run([hics_small], [9])
+        # one undefined slice hides all 4 pipeline cells
+        assert skipped.value(reason="undefined_dimensionality") == before + 4
+
     def test_progress_hook(self, hics_small):
         seen = []
         runner = GridRunner(

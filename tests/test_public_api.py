@@ -71,6 +71,7 @@ class TestSubpackageAll:
             "repro.subspaces",
             "repro.stats",
             "repro.neighbors",
+            "repro.obs",
             "repro.utils",
             "repro.stream",
             "repro.cluster",

@@ -69,6 +69,76 @@ class TestEviction:
 
 
 class TestStatistics:
+    def test_eviction_counter_under_byte_pressure(self):
+        cache: LRUCache[str, np.ndarray] = LRUCache(max_bytes=200)
+        for i in range(6):
+            cache.put(f"k{i}", np.zeros(10))  # 80 bytes each, budget fits 2
+        assert len(cache) == 2
+        assert cache.evictions == 4
+
+    def test_stats_snapshot_under_pressure(self):
+        cache: LRUCache[str, np.ndarray] = LRUCache(max_bytes=200)
+        cache.put("a", np.zeros(10))
+        cache.put("b", np.zeros(10))
+        cache.get("a")  # hit
+        cache.get("zzz")  # miss
+        cache.put("c", np.zeros(10))  # evicts "b" (LRU)
+        stats = cache.stats()
+        assert stats == {
+            "entries": 2,
+            "nbytes": 160,
+            "hits": 1,
+            "misses": 1,
+            "evictions": 1,
+            "hit_rate": pytest.approx(0.5),
+        }
+
+    def test_overwrite_is_not_an_eviction(self):
+        cache: LRUCache[str, np.ndarray] = LRUCache(max_bytes=200)
+        cache.put("a", np.zeros(10))
+        cache.put("a", np.zeros(10))
+        assert cache.evictions == 0
+
+    def test_clear_resets_evictions(self):
+        cache: LRUCache[str, np.ndarray] = LRUCache(max_bytes=100)
+        cache.put("a", np.zeros(10))
+        cache.put("b", np.zeros(10))
+        assert cache.evictions == 1
+        cache.clear()
+        assert cache.evictions == 0
+
+    def test_named_cache_reports_obs_counters(self):
+        from repro.obs import metrics as obs_metrics
+
+        hits = obs_metrics.counter("repro_cache_hits_total")
+        misses = obs_metrics.counter("repro_cache_misses_total")
+        evictions = obs_metrics.counter("repro_cache_evictions_total")
+        label = "test_caching_named"
+        hits0 = hits.value(cache=label)
+        misses0 = misses.value(cache=label)
+        evictions0 = evictions.value(cache=label)
+
+        cache: LRUCache[str, np.ndarray] = LRUCache(max_bytes=200, name=label)
+        cache.put("a", np.zeros(10))
+        cache.get("a")
+        cache.get("missing")
+        cache.put("b", np.zeros(10))
+        cache.put("c", np.zeros(10))  # over budget -> evict
+
+        assert hits.value(cache=label) == hits0 + 1
+        assert misses.value(cache=label) == misses0 + 1
+        assert evictions.value(cache=label) == evictions0 + 1
+
+    def test_unnamed_cache_stays_out_of_obs(self):
+        from repro.obs import metrics as obs_metrics
+
+        hits = obs_metrics.counter("repro_cache_hits_total")
+        before = dict(hits.samples())
+        cache: LRUCache[str, int] = LRUCache()
+        cache.put("a", 1)
+        cache.get("a")
+        assert dict(hits.samples()) == before
+
     def test_hit_rate(self):
         cache: LRUCache[str, int] = LRUCache()
         cache.put("a", 1)
