@@ -1,0 +1,139 @@
+"""Scorer batching and backend benchmarks.
+
+Two questions, matching the batch-first refactor:
+
+1. What does the batch API itself cost/save over scalar lookups on a
+   cold cache? (``scores_many`` partitions hits/misses once and holds
+   the lock once per wave instead of once per subspace.)
+2. What does each execution backend add on top? On a multi-core box the
+   thread backend overlaps the GIL-releasing detector kernels; on a
+   single core it can only add dispatch overhead — the bench reports
+   whatever the hardware gives, it does not assert a speedup.
+
+Run standalone for a quick speedup table without pytest-benchmark::
+
+    PYTHONPATH=src python benchmarks/bench_scorer.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.detectors import LOF
+from repro.exec import resolve_backend
+from repro.subspaces import SubspaceScorer
+from repro.subspaces.enumeration import all_subspaces
+
+
+def _scorer_matrix(n_samples: int = 400, n_features: int = 20) -> np.ndarray:
+    rng = np.random.default_rng(11)
+    X = rng.normal(size=(n_samples, n_features))
+    X[:5, :4] += 6.0  # a few planted outliers so LOF has structure
+    return X
+
+
+def _candidates(n_features: int = 20) -> list[tuple[int, ...]]:
+    return list(all_subspaces(n_features, 2))  # C(20, 2) = 190 subspaces
+
+
+def _scalar_pass(scorer: SubspaceScorer, subspaces) -> int:
+    for subspace in subspaces:
+        scorer.scores(subspace)
+    return scorer.n_evaluations
+
+
+def _batch_pass(scorer: SubspaceScorer, subspaces) -> int:
+    scorer.scores_many(subspaces)
+    return scorer.n_evaluations
+
+
+def test_scalar_cold_cache(benchmark):
+    X = _scorer_matrix()
+    subspaces = _candidates()
+
+    def run():
+        scorer = SubspaceScorer(X, LOF(k=15))
+        return _scalar_pass(scorer, subspaces)
+
+    assert benchmark(run) == len(subspaces)
+
+
+def test_batch_cold_cache_serial(benchmark):
+    X = _scorer_matrix()
+    subspaces = _candidates()
+
+    def run():
+        scorer = SubspaceScorer(X, LOF(k=15))
+        return _batch_pass(scorer, subspaces)
+
+    assert benchmark(run) == len(subspaces)
+
+
+def test_batch_cold_cache_thread(benchmark):
+    X = _scorer_matrix()
+    subspaces = _candidates()
+
+    def run():
+        scorer = SubspaceScorer(
+            X, LOF(k=15), backend=resolve_backend("thread", n_jobs=4)
+        )
+        try:
+            return _batch_pass(scorer, subspaces)
+        finally:
+            scorer.close()
+
+    assert benchmark(run) == len(subspaces)
+
+
+def test_batch_warm_cache(benchmark):
+    X = _scorer_matrix()
+    subspaces = _candidates()
+    scorer = SubspaceScorer(X, LOF(k=15))
+    scorer.scores_many(subspaces)
+
+    def run():
+        scorer.scores_many(subspaces)
+        return scorer.n_evaluations
+
+    assert benchmark(run) == len(subspaces)  # all hits, no new evaluations
+
+
+def main() -> None:
+    """Standalone mode: print a small wall-clock comparison table."""
+    import time
+
+    X = _scorer_matrix()
+    subspaces = _candidates()
+    rows = []
+
+    def timed(label, make_scorer, passer):
+        scorer = make_scorer()
+        start = time.perf_counter()
+        passer(scorer, subspaces)
+        elapsed = time.perf_counter() - start
+        scorer.close()
+        rows.append((label, elapsed))
+        return elapsed
+
+    base = timed("scalar loop (serial)", lambda: SubspaceScorer(X, LOF(k=15)), _scalar_pass)
+    timed("scores_many (serial)", lambda: SubspaceScorer(X, LOF(k=15)), _batch_pass)
+    for n_jobs in (2, 4):
+        timed(
+            f"scores_many (thread, n_jobs={n_jobs})",
+            lambda n=n_jobs: SubspaceScorer(
+                X, LOF(k=15), backend=resolve_backend("thread", n_jobs=n)
+            ),
+            _batch_pass,
+        )
+
+    import os
+
+    print(f"{len(subspaces)} cold 2d subspaces of a {X.shape} matrix, "
+          f"LOF(k=15), {os.cpu_count()} CPU(s)")
+    for label, elapsed in rows:
+        print(f"  {label:34s} {elapsed * 1000:8.1f} ms  "
+              f"(speedup vs scalar: {base / elapsed:4.2f}x)")
+
+
+if __name__ == "__main__":
+    main()

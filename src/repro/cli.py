@@ -14,9 +14,11 @@ Examples
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from collections.abc import Sequence
 
+from repro.exec import BACKEND_ENV, BACKEND_NAMES, N_JOBS_ENV
 from repro.experiments import EXPERIMENTS, PROFILES, table2
 
 __all__ = ["build_parser", "main"]
@@ -49,6 +51,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the artefact rows as CSV to PATH",
     )
     parser.add_argument(
+        "--backend",
+        default=None,
+        choices=list(BACKEND_NAMES),
+        help=(
+            "execution backend for subspace scoring and grid fan-out "
+            "(default: serial, or the REPRO_BACKEND environment variable; "
+            "all backends produce identical numbers — 'thread' overlaps "
+            "the GIL-releasing NumPy kernels, 'process' sidesteps the GIL "
+            "entirely at pickling cost)"
+        ),
+    )
+    parser.add_argument(
+        "--n-jobs",
+        default=None,
+        type=int,
+        metavar="N",
+        help=(
+            "worker count for the thread/process backends (default: the "
+            "REPRO_N_JOBS environment variable, else the CPU count)"
+        ),
+    )
+    parser.add_argument(
         "--trace-out",
         default=None,
         metavar="PATH",
@@ -77,6 +101,14 @@ def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+
+    # Experiment entry points take only a profile name, so the backend
+    # choice travels via the same environment variables resolve_backend()
+    # honours everywhere (scorers, grid fan-out, CI matrix legs).
+    if args.backend is not None:
+        os.environ[BACKEND_ENV] = args.backend
+    if args.n_jobs is not None:
+        os.environ[N_JOBS_ENV] = str(args.n_jobs)
 
     from contextlib import nullcontext
 

@@ -159,6 +159,23 @@ class Dataset:
                 subspace.validate_against(X.shape[1])
 
     @property
+    def fingerprint(self) -> tuple[str, int]:
+        """Stable identity of this dataset: ``(name, content hash)``.
+
+        Unlike ``id(self)``, the fingerprint survives garbage collection
+        and is shared by equal reconstructions of the same dataset, so it
+        is safe to key long-lived caches (e.g. the pipeline's shared
+        scorers) by it. Computed once and memoised.
+        """
+        cached = self.__dict__.get("_fingerprint")
+        if cached is None:
+            from repro.detectors.base import data_fingerprint
+
+            cached = (self.name, data_fingerprint(self.X))
+            object.__setattr__(self, "_fingerprint", cached)
+        return cached
+
+    @property
     def n_samples(self) -> int:
         """Number of points."""
         return self.X.shape[0]

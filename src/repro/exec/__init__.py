@@ -1,0 +1,33 @@
+"""Pluggable execution backends for batch-first scoring (see backends.py).
+
+The scorer (:mod:`repro.subspaces.scorer`), the explainers' stage loops,
+and the parallel grid (:mod:`repro.pipeline.parallel`) all funnel their
+independent task batches through one :class:`ExecutionBackend`, selected
+by :func:`resolve_backend` — ``serial`` (default), ``thread``, or
+``process`` — or by the ``REPRO_BACKEND`` / ``REPRO_N_JOBS`` environment
+variables. ``docs/ARCHITECTURE.md`` describes the data flow.
+"""
+
+from repro.exec.backends import (
+    BACKEND_ENV,
+    BACKEND_NAMES,
+    N_JOBS_ENV,
+    ExecutionBackend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    default_n_jobs,
+    resolve_backend,
+)
+
+__all__ = [
+    "BACKEND_ENV",
+    "BACKEND_NAMES",
+    "N_JOBS_ENV",
+    "ExecutionBackend",
+    "ProcessBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "default_n_jobs",
+    "resolve_backend",
+]

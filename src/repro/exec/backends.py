@@ -1,0 +1,403 @@
+"""Execution backends: one dispatch layer for every batch of detector work.
+
+Every hot loop of the testbed — an explainer stage's candidate subspaces,
+the scorer's cache-miss wave, a parallel grid's (dataset, detector) groups
+— is an *independent* batch of tasks whose results must come back in a
+deterministic order. :class:`ExecutionBackend` captures exactly that
+contract:
+
+* :meth:`ExecutionBackend.map_unordered` runs ``fn`` over the items and
+  yields ``(index, result)`` pairs in **completion order** (whatever the
+  hardware gives us first);
+* :meth:`ExecutionBackend.map_ordered` is the deterministic primitive the
+  library actually calls: it drains :meth:`map_unordered` and reorders by
+  index, so callers observe results in submission order regardless of how
+  the work was scheduled. Batching therefore never changes *what* is
+  computed or in which order callers see it — only how the independent
+  misses are evaluated.
+
+Three implementations cover the useful points of the design space:
+
+* :class:`SerialBackend` — inline execution, zero overhead; the default.
+* :class:`ThreadBackend` — a shared :class:`~concurrent.futures.ThreadPoolExecutor`;
+  NumPy releases the GIL inside the detector kernels (BLAS matmuls,
+  reductions), so detector-bound batches parallelise despite the GIL.
+* :class:`ProcessBackend` — a :class:`~concurrent.futures.ProcessPoolExecutor`
+  whose workers receive the shared read-only payload (typically
+  ``(X, detector)``) **once** via the pool initializer instead of per
+  task, keeping pickling traffic proportional to the number of workers,
+  not the number of tasks.
+
+Backend selection is centralised in :func:`resolve_backend`, which also
+honours the ``REPRO_BACKEND`` / ``REPRO_N_JOBS`` environment variables so
+whole experiment runs (and CI matrix legs) can flip backends without code
+changes.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import contextvars
+import os
+from abc import ABC, abstractmethod
+from collections.abc import Callable, Iterator, Sequence
+from typing import Any, TypeVar
+
+from repro.exceptions import ValidationError
+from repro.obs import metrics as obs_metrics
+
+__all__ = [
+    "BACKEND_NAMES",
+    "ExecutionBackend",
+    "ProcessBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "default_n_jobs",
+    "resolve_backend",
+]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Registered backend names, in resolution order of preference.
+BACKEND_NAMES: tuple[str, ...] = ("serial", "thread", "process")
+
+#: Environment variable naming the default backend (see :func:`resolve_backend`).
+BACKEND_ENV = "REPRO_BACKEND"
+#: Environment variable naming the default worker count.
+N_JOBS_ENV = "REPRO_N_JOBS"
+
+#: Sentinel distinguishing "no shared payload" from ``payload=None``.
+_NO_PAYLOAD = object()
+
+_DISPATCH = obs_metrics.counter(
+    "repro_exec_dispatch_total",
+    "Tasks dispatched through an execution backend, by backend",
+)
+_BATCHES = obs_metrics.counter(
+    "repro_exec_batches_total",
+    "Task batches (waves) dispatched through an execution backend, by backend",
+)
+_BATCH_SIZE = obs_metrics.histogram(
+    "repro_exec_batch_size",
+    "Number of tasks per dispatched batch, by backend",
+    buckets=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 1024.0, 4096.0),
+)
+_WORKERS = obs_metrics.gauge(
+    "repro_exec_workers",
+    "Worker count of the live pool of an execution backend, by backend",
+)
+_QUEUE_DEPTH = obs_metrics.gauge(
+    "repro_exec_queue_depth",
+    "Tasks of the current batch not yet completed, by backend",
+)
+
+
+class ExecutionBackend(ABC):
+    """How a batch of independent tasks is evaluated.
+
+    Subclasses implement :meth:`map_unordered`; everything else — the
+    deterministic reordering, the observability accounting, context
+    management — is shared. Backends are reusable across batches and must
+    be :meth:`close`\\ d (or used as context managers) when worker pools
+    are held.
+    """
+
+    #: Registry name of the backend (``serial`` / ``thread`` / ``process``).
+    name: str = "abstract"
+
+    def __init__(self, n_jobs: int = 1) -> None:
+        if n_jobs < 1:
+            raise ValidationError(f"n_jobs must be >= 1, got {n_jobs}")
+        self.n_jobs = int(n_jobs)
+
+    # ------------------------------------------------------------------
+    # The primitive.
+    # ------------------------------------------------------------------
+
+    @abstractmethod
+    def map_unordered(
+        self,
+        fn: Callable[..., R],
+        items: Sequence[T],
+        *,
+        payload: Any = _NO_PAYLOAD,
+    ) -> Iterator[tuple[int, R]]:
+        """Yield ``(index, fn(item))`` pairs in completion order.
+
+        ``fn`` is called as ``fn(item)``, or as ``fn(payload, item)`` when
+        a shared ``payload`` is supplied. Exceptions raised by any task
+        propagate to the caller (after the backend has stopped consuming
+        the batch).
+        """
+
+    def map_ordered(
+        self,
+        fn: Callable[..., R],
+        items: Sequence[T],
+        *,
+        payload: Any = _NO_PAYLOAD,
+    ) -> list[R]:
+        """Evaluate the batch and return results in submission order.
+
+        This is the deterministic ``map_unordered``-with-reordering
+        primitive the scorer and grid are built on: scheduling may
+        complete tasks in any order, the caller always observes
+        ``[fn(items[0]), fn(items[1]), ...]``.
+        """
+        items = list(items)
+        if not items:
+            return []
+        self._account_batch(len(items))
+        results: list[R] = [None] * len(items)  # type: ignore[list-item]
+        seen = 0
+        try:
+            for index, result in self.map_unordered(fn, items, payload=payload):
+                results[index] = result
+                seen += 1
+                _QUEUE_DEPTH.set(len(items) - seen, backend=self.name)
+        finally:
+            _QUEUE_DEPTH.set(0, backend=self.name)
+        return results
+
+    # ------------------------------------------------------------------
+    # Shared plumbing.
+    # ------------------------------------------------------------------
+
+    def _account_batch(self, n_tasks: int) -> None:
+        _BATCHES.inc(backend=self.name)
+        _DISPATCH.inc(n_tasks, backend=self.name)
+        _BATCH_SIZE.observe(n_tasks, backend=self.name)
+
+    @staticmethod
+    def _bind(fn: Callable[..., R], payload: Any) -> Callable[[T], R]:
+        if payload is _NO_PAYLOAD:
+            return fn
+        return lambda item: fn(payload, item)
+
+    def close(self) -> None:
+        """Release any worker pool. Idempotent; the backend stays usable."""
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(n_jobs={self.n_jobs})"
+
+
+class SerialBackend(ExecutionBackend):
+    """Inline, single-threaded execution — the zero-overhead default."""
+
+    name = "serial"
+
+    def __init__(self, n_jobs: int = 1) -> None:
+        super().__init__(1)
+
+    def map_unordered(
+        self,
+        fn: Callable[..., R],
+        items: Sequence[T],
+        *,
+        payload: Any = _NO_PAYLOAD,
+    ) -> Iterator[tuple[int, R]]:
+        call = self._bind(fn, payload)
+        for index, item in enumerate(items):
+            yield index, call(item)
+
+
+class ThreadBackend(ExecutionBackend):
+    """Thread-pool execution for GIL-releasing (NumPy/BLAS) task bodies.
+
+    The pool is created lazily on the first batch and reused across
+    batches, so per-wave overhead is one ``submit`` per task.
+    """
+
+    name = "thread"
+
+    def __init__(self, n_jobs: int = 2) -> None:
+        super().__init__(n_jobs)
+        self._pool: concurrent.futures.ThreadPoolExecutor | None = None
+
+    def _ensure_pool(self) -> concurrent.futures.ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = concurrent.futures.ThreadPoolExecutor(
+                max_workers=self.n_jobs, thread_name_prefix="repro-exec"
+            )
+            _WORKERS.set(self.n_jobs, backend=self.name)
+        return self._pool
+
+    def map_unordered(
+        self,
+        fn: Callable[..., R],
+        items: Sequence[T],
+        *,
+        payload: Any = _NO_PAYLOAD,
+    ) -> Iterator[tuple[int, R]]:
+        pool = self._ensure_pool()
+        call = self._bind(fn, payload)
+        # Worker threads do not inherit the caller's contextvars, which
+        # would silently detach the active repro.obs tracer (and span
+        # parentage) from every task. Each task runs in its own copy of
+        # the submitting context — a Context object cannot be entered
+        # concurrently, hence one copy per task, not per batch.
+        futures = {
+            pool.submit(contextvars.copy_context().run, call, item): index
+            for index, item in enumerate(items)
+        }
+        try:
+            for future in concurrent.futures.as_completed(futures):
+                yield futures[future], future.result()
+        finally:
+            for future in futures:
+                future.cancel()
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+            _WORKERS.set(0, backend=self.name)
+
+
+def _init_worker(payload: Any) -> None:
+    """Install the batch's shared read-only payload in a worker process."""
+    global _WORKER_PAYLOAD
+    _WORKER_PAYLOAD = payload
+
+
+_WORKER_PAYLOAD: Any = None
+
+
+def _call_with_worker_payload(fn: Callable[..., R], item: Any) -> R:
+    return fn(_WORKER_PAYLOAD, item)
+
+
+class ProcessBackend(ExecutionBackend):
+    """Process-pool execution with payload shipped once per worker.
+
+    A batch with a shared ``payload`` (e.g. the scorer's ``(X, detector)``)
+    pickles the payload exactly once per worker through the pool
+    initializer; each task then ships only its own small item (a subspace
+    tuple). The pool is cached and reused while consecutive batches carry
+    the *same* payload object — the steady state for a long-lived scorer —
+    and rebuilt when the payload changes.
+    """
+
+    name = "process"
+
+    def __init__(self, n_jobs: int = 2) -> None:
+        super().__init__(n_jobs)
+        self._pool: concurrent.futures.ProcessPoolExecutor | None = None
+        self._pool_payload_id: int | None = None
+
+    def _ensure_pool(
+        self, payload: Any
+    ) -> concurrent.futures.ProcessPoolExecutor:
+        payload_id = None if payload is _NO_PAYLOAD else id(payload)
+        if self._pool is not None and self._pool_payload_id != payload_id:
+            self.close()
+        if self._pool is None:
+            if payload is _NO_PAYLOAD:
+                self._pool = concurrent.futures.ProcessPoolExecutor(
+                    max_workers=self.n_jobs
+                )
+            else:
+                self._pool = concurrent.futures.ProcessPoolExecutor(
+                    max_workers=self.n_jobs,
+                    initializer=_init_worker,
+                    initargs=(payload,),
+                )
+            self._pool_payload_id = payload_id
+            _WORKERS.set(self.n_jobs, backend=self.name)
+        return self._pool
+
+    def map_unordered(
+        self,
+        fn: Callable[..., R],
+        items: Sequence[T],
+        *,
+        payload: Any = _NO_PAYLOAD,
+    ) -> Iterator[tuple[int, R]]:
+        pool = self._ensure_pool(payload)
+        if payload is _NO_PAYLOAD:
+            futures = {
+                pool.submit(fn, item): index for index, item in enumerate(items)
+            }
+        else:
+            futures = {
+                pool.submit(_call_with_worker_payload, fn, item): index
+                for index, item in enumerate(items)
+            }
+        try:
+            for future in concurrent.futures.as_completed(futures):
+                yield futures[future], future.result()
+        finally:
+            for future in futures:
+                future.cancel()
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+            self._pool_payload_id = None
+            _WORKERS.set(0, backend=self.name)
+
+
+_BACKENDS: dict[str, type[ExecutionBackend]] = {
+    "serial": SerialBackend,
+    "thread": ThreadBackend,
+    "process": ProcessBackend,
+}
+
+
+def default_n_jobs() -> int:
+    """Worker count used when neither argument nor environment names one."""
+    env = os.environ.get(N_JOBS_ENV)
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError as exc:
+            raise ValidationError(
+                f"{N_JOBS_ENV} must be an integer, got {env!r}"
+            ) from exc
+    return max(1, os.cpu_count() or 1)
+
+
+def resolve_backend(
+    name: "str | ExecutionBackend | None" = None,
+    n_jobs: int | None = None,
+) -> ExecutionBackend:
+    """Resolve a backend specification into a live :class:`ExecutionBackend`.
+
+    Resolution order for the backend kind: explicit ``name`` argument →
+    ``REPRO_BACKEND`` environment variable → ``"serial"``. Worker count:
+    explicit ``n_jobs`` → ``REPRO_N_JOBS`` → ``os.cpu_count()``. Passing an
+    already-constructed backend returns it unchanged (``n_jobs`` must then
+    be ``None`` or match).
+
+    Examples
+    --------
+    >>> resolve_backend("serial").name
+    'serial'
+    >>> resolve_backend("thread", n_jobs=3).n_jobs
+    3
+    """
+    if isinstance(name, ExecutionBackend):
+        if n_jobs is not None and n_jobs != name.n_jobs:
+            raise ValidationError(
+                f"backend {name.name!r} already has n_jobs={name.n_jobs}; "
+                f"cannot override with n_jobs={n_jobs}"
+            )
+        return name
+    if name is None:
+        name = os.environ.get(BACKEND_ENV) or "serial"
+    name = str(name).strip().lower()
+    if name not in _BACKENDS:
+        raise ValidationError(
+            f"unknown execution backend {name!r}; available: {sorted(_BACKENDS)}"
+        )
+    if n_jobs is None:
+        n_jobs = 1 if name == "serial" else default_n_jobs()
+    return _BACKENDS[name](n_jobs=n_jobs)

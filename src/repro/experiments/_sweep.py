@@ -35,12 +35,13 @@ def run_map_sweep(
     if profile.n_jobs > 1:
         from repro.pipeline.parallel import run_grid_parallel
 
-        results, skipped = run_grid_parallel(
+        results, skipped, skipped_undefined = run_grid_parallel(
             datasets,
             profile.detectors(),
             list(explainer_factories),
             profile.explanation_dims,
             n_jobs=profile.n_jobs,
+            backend=profile.backend,
             points_selector=profile.select_points,
         )
     else:
@@ -49,9 +50,11 @@ def run_map_sweep(
             list(explainer_factories),
             skip_errors=True,
             points_selector=profile.select_points,
+            backend=profile.backend,
         )
         results = runner.run(datasets, profile.explanation_dims)
         skipped = runner.skipped
+        skipped_undefined = runner.skipped_undefined
 
     sections: list[str] = []
     rows: list[dict[str, object]] = []
@@ -78,6 +81,13 @@ def run_map_sweep(
             for ds, det, expl, dim, reason in skipped
         ]
         sections.append("skipped cells:\n" + "\n".join(skipped_lines))
+    if skipped_undefined:
+        undefined_lines = [
+            f"  {ds} @ {dim}d: {reason}" for ds, dim, reason in skipped_undefined
+        ]
+        sections.append(
+            "undefined cells (never attempted):\n" + "\n".join(undefined_lines)
+        )
     return ExperimentReport(
         experiment=experiment,
         title=title,

@@ -64,6 +64,11 @@ class ExperimentProfile:
     n_jobs:
         Worker processes for the MAP sweeps (1 = in-process). The paper
         profile benefits most; scaled profiles are cheap enough serially.
+    backend:
+        Execution backend kind for the sweeps — ``"serial"``, ``"thread"``
+        or ``"process"``, or ``None`` to resolve from the ``REPRO_BACKEND``
+        environment variable (which is how the CLI's ``--backend`` flag
+        reaches the profile). All backends produce identical numbers.
     seed:
         Seed for dataset generation and stochastic explainers.
     """
@@ -85,6 +90,7 @@ class ExperimentProfile:
     lookout: dict = field(default_factory=dict)
     hics: dict = field(default_factory=dict)
     n_jobs: int = 1
+    backend: str | None = None
     seed: int = 0
 
     # ------------------------------------------------------------------

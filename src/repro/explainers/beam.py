@@ -95,12 +95,12 @@ class Beam(PointExplainer):
             )
         start_dim = min(2, dimensionality)
         with obs_span("beam.stage", point=point, stage_dim=start_dim) as stage_span:
-            stage = [
-                (s, scorer.point_zscore(s, point))
-                for s in all_subspaces(d, start_dim)
-            ]
-            stage_span.set(n_candidates=len(stage))
-            stage = top_k(stage, self.beam_width)
+            # Each stage's candidates are independent: emit them as one
+            # batch so the scorer can evaluate all cache misses in a
+            # single execution-backend wave.
+            candidates = list(all_subspaces(d, start_dim))
+            stage_span.set(n_candidates=len(candidates))
+            stage = self._score_stage(scorer, candidates, point)
         global_list = list(stage)
 
         current_dim = start_dim
@@ -110,12 +110,21 @@ class Beam(PointExplainer):
             ) as stage_span:
                 candidates = grow_by_one([s for s, _ in stage], d)
                 stage_span.set(n_candidates=len(candidates))
-                scored = [
-                    (s, scorer.point_zscore(s, point)) for s in candidates
-                ]
-                stage = top_k(scored, self.beam_width)
+                stage = self._score_stage(scorer, candidates, point)
             global_list = top_k(global_list + stage, self.beam_width)
             current_dim += 1
 
         result = stage if self.fixed_dimensionality else global_list
         return RankedSubspaces.from_pairs(top_k(result, self.result_size))
+
+    def _score_stage(
+        self,
+        scorer: SubspaceScorer,
+        candidates: list[Subspace],
+        point: int,
+    ) -> list[tuple[Subspace, float]]:
+        """Score one stage's candidate batch and keep the beam."""
+        z = scorer.point_zscores_many(candidates, point)
+        return top_k(
+            [(s, float(v)) for s, v in zip(candidates, z)], self.beam_width
+        )

@@ -157,9 +157,8 @@ class GroupExplainer(_ExplainerBase):
     ) -> np.ndarray:
         """Cluster points by their 2d-subspace score signatures."""
         subspaces = list(all_subspaces(scorer.n_features, min(2, scorer.n_features)))
-        signature = np.empty((len(point_list), len(subspaces)))
-        for j, subspace in enumerate(subspaces):
-            signature[:, j] = scorer.points_zscores(subspace, point_list)
+        # One batch: the exhaustive 2d pass goes out in a single wave.
+        signature = scorer.points_zscores_many(subspaces, point_list).T
         signature = np.maximum(signature - self.signature_threshold, 0.0)
         norms = np.linalg.norm(signature, axis=1, keepdims=True)
         signature = signature / np.maximum(norms, 1e-12)
@@ -178,20 +177,19 @@ class GroupExplainer(_ExplainerBase):
     ) -> RankedSubspaces:
         """Beam search on the group-mean standardised score."""
 
-        def group_score(subspace: Subspace) -> float:
-            return float(np.mean(scorer.points_zscores(subspace, members)))
+        def score_stage(candidates: list[Subspace]) -> list[tuple[Subspace, float]]:
+            # Group criterion over one candidate batch: mean member
+            # z-score per subspace, all misses in one backend wave.
+            z = scorer.points_zscores_many(candidates, members).mean(axis=1)
+            return top_k(
+                [(s, float(v)) for s, v in zip(candidates, z)], self.beam_width
+            )
 
         d = scorer.n_features
         start_dim = min(2, dimensionality)
-        stage = top_k(
-            [(s, group_score(s)) for s in all_subspaces(d, start_dim)],
-            self.beam_width,
-        )
+        stage = score_stage(list(all_subspaces(d, start_dim)))
         current = start_dim
         while current < dimensionality:
-            candidates = grow_by_one([s for s, _ in stage], d)
-            stage = top_k(
-                [(s, group_score(s)) for s in candidates], self.beam_width
-            )
+            stage = score_stage(grow_by_one([s for s, _ in stage], d))
             current += 1
         return RankedSubspaces.from_pairs(top_k(stage, self.result_size))

@@ -139,7 +139,7 @@ class HiCS(SummaryExplainer):
         if not point_list:
             raise ValidationError("points must not be empty")
 
-        retrieved = self._search(scorer.X, dimensionality)
+        retrieved = self._search(scorer.X, dimensionality, scorer.backend)
         # The summary is ordered by contrast — HiCS's subspace search is
         # fully detector-free. The detector enters when the summary is
         # *applied* to points: the testbed re-ranks the summary per point
@@ -148,9 +148,9 @@ class HiCS(SummaryExplainer):
         # subspaces" (paper Section 4.2) while its search does not.
         ranked = top_k(retrieved, self.result_size)
         # Touch the scorer so the detector's view of each retrieved
-        # subspace is materialised (and cached) for downstream re-ranking.
-        for subspace, _ in ranked:
-            scorer.scores(subspace)
+        # subspace is materialised (and cached) for downstream re-ranking
+        # — one batch, so the misses go out in a single backend wave.
+        scorer.scores_many([subspace for subspace, _ in ranked])
         return RankedSubspaces.from_pairs(ranked)
 
     # ------------------------------------------------------------------
@@ -158,7 +158,7 @@ class HiCS(SummaryExplainer):
     # ------------------------------------------------------------------
 
     def _search(
-        self, X: np.ndarray, dimensionality: int
+        self, X: np.ndarray, dimensionality: int, backend: object = None
     ) -> list[tuple[Subspace, float]]:
         """Stage-wise high-contrast search up to ``dimensionality``.
 
@@ -175,15 +175,18 @@ class HiCS(SummaryExplainer):
         )
         d = X.shape[1]
         # Each stage is one Monte-Carlo batch: ``mc_iterations`` slice
-        # draws for every candidate of that dimensionality.
+        # draws for every candidate of that dimensionality. Candidates
+        # derive their generators from (seed, candidate), so the batch can
+        # be evaluated by any execution backend with identical results.
         with obs_span(
             "hics.stage", stage_dim=2, mc_iterations=self.mc_iterations
         ) as stage_span:
-            stage = [
-                (s, estimator.contrast(s)) for s in all_subspaces(d, 2)
-            ]
-            stage_span.set(n_candidates=len(stage))
-            stage = top_k(stage, self.candidate_cutoff)
+            candidates = list(all_subspaces(d, 2))
+            stage_span.set(n_candidates=len(candidates))
+            stage = top_k(
+                estimator.contrast_many(candidates, backend),
+                self.candidate_cutoff,
+            )
         visited: list[list[tuple[Subspace, float]]] = [stage]
 
         current_dim = 2
@@ -195,8 +198,10 @@ class HiCS(SummaryExplainer):
             ) as stage_span:
                 candidates = grow_by_one([s for s, _ in stage], d)
                 stage_span.set(n_candidates=len(candidates))
-                scored = [(s, estimator.contrast(s)) for s in candidates]
-                stage = top_k(scored, self.candidate_cutoff)
+                stage = top_k(
+                    estimator.contrast_many(candidates, backend),
+                    self.candidate_cutoff,
+                )
             visited.append(stage)
             current_dim += 1
 
@@ -227,11 +232,25 @@ class HiCS(SummaryExplainer):
         return kept
 
 
+def _contrast_task(
+    estimator: "_ContrastEstimator", features: tuple[int, ...]
+) -> float:
+    """One candidate's contrast; module-level for the process backend."""
+    return estimator.contrast(Subspace(features))
+
+
 class _ContrastEstimator:
     """Monte-Carlo contrast of subspaces over one dataset.
 
     Precomputes, per feature, the rank position of every point so that a
     conditioning window reduces to two comparisons on an int array.
+
+    Each candidate's Monte-Carlo slices are drawn from a generator derived
+    from ``(base entropy, candidate features)`` rather than one shared
+    stream, so a candidate's contrast does not depend on which candidates
+    were scored before it — the property that lets a stage's batch be
+    evaluated by any execution backend (or in any order) with identical
+    results.
     """
 
     def __init__(
@@ -248,13 +267,20 @@ class _ContrastEstimator:
         self.alpha = alpha
         self.mc_iterations = mc_iterations
         self.test = test
-        self.rng = rng
+        # One draw anchors the whole estimator; per-candidate generators
+        # are derived from it, never from a shared sequential stream.
+        self.base_entropy = int(rng.integers(2**63))
         order = np.argsort(self.X, axis=0, kind="stable")
         # position[i, j]: rank of point i within feature j (0 = smallest).
         self.position = np.empty_like(order)
         rows = np.arange(self.n)
         for j in range(self.d):
             self.position[order[:, j], j] = rows
+
+    def _candidate_rng(self, features: tuple[int, ...]) -> np.random.Generator:
+        return np.random.default_rng(
+            np.random.SeedSequence([self.base_entropy, *features])
+        )
 
     def contrast(self, subspace: Subspace) -> float:
         """Average slice-vs-marginal deviation over the MC iterations."""
@@ -265,14 +291,15 @@ class _ContrastEstimator:
         window = int(math.ceil(self.n * self.alpha ** (1.0 / (m - 1))))
         window = min(max(window, 2), self.n)
         features = np.fromiter(subspace, dtype=np.int64, count=m)
+        rng = self._candidate_rng(tuple(subspace))
         deviations = 0.0
         for _ in range(self.mc_iterations):
-            comparison = int(self.rng.integers(m))
+            comparison = int(rng.integers(m))
             mask = np.ones(self.n, dtype=bool)
             for idx, feature in enumerate(features):
                 if idx == comparison:
                     continue
-                start = int(self.rng.integers(self.n - window + 1))
+                start = int(rng.integers(self.n - window + 1))
                 pos = self.position[:, feature]
                 mask &= (pos >= start) & (pos < start + window)
             slice_values = self.X[mask, features[comparison]]
@@ -282,6 +309,23 @@ class _ContrastEstimator:
                 slice_values, self.X[:, features[comparison]]
             )
         return deviations / self.mc_iterations
+
+    def contrast_many(
+        self, candidates: list[Subspace], backend: object = None
+    ) -> list[tuple[Subspace, float]]:
+        """Contrast of a whole candidate batch, via an execution backend.
+
+        ``backend`` may be an :class:`~repro.exec.ExecutionBackend` or
+        ``None`` (serial). The estimator itself is the shared read-only
+        payload — the process backend ships it once per worker.
+        """
+        from repro.exec import resolve_backend
+
+        resolved = resolve_backend(backend if backend is not None else "serial")
+        contrasts = resolved.map_ordered(
+            _contrast_task, [tuple(c) for c in candidates], payload=self
+        )
+        return [(c, float(v)) for c, v in zip(candidates, contrasts)]
 
     def _deviation(self, sample: np.ndarray, marginal: np.ndarray) -> float:
         if self.test == "welch":

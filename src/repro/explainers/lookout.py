@@ -109,16 +109,17 @@ class LookOut(SummaryExplainer):
 
         candidates = list(all_subspaces(d, dimensionality))
         # Utility matrix: points x candidates, clamped at zero so the
-        # objective is non-negative and non-decreasing.
+        # objective is non-negative and non-decreasing. The exhaustive
+        # enumeration is the library's largest single batch: one
+        # scores_many call dispatches every cache miss in one wave.
         with obs_span(
             "lookout.utility",
             n_candidates=len(candidates),
             n_points=len(point_list),
         ):
-            utility = np.empty((len(point_list), len(candidates)))
-            for j, subspace in enumerate(candidates):
-                utility[:, j] = scorer.points_zscores(subspace, point_list)
-            np.maximum(utility, 0.0, out=utility)
+            utility = np.maximum(
+                scorer.points_zscores_many(candidates, point_list).T, 0.0
+            )
 
         with obs_span("lookout.greedy", budget=self.budget):
             return self._greedy_select(candidates, utility)

@@ -132,9 +132,9 @@ class RefOut(PointExplainer):
         ):
             pool = random_subspaces(d, pool_dim, self.pool_size, seed=rng)
             pool_sets = [frozenset(s) for s in pool]
-            pool_scores = np.array(
-                [scorer.point_zscore(s, point) for s in pool], dtype=np.float64
-            )
+            # The pool is one independent batch: one backend wave scores
+            # every projection the partition test will draw from.
+            pool_scores = scorer.point_zscores_many(pool, point)
 
         # Stage 1: score every feature appearing in the pool by partition
         # discrepancy; these features also serve as the growth alphabet.
@@ -166,13 +166,14 @@ class RefOut(PointExplainer):
             current_dim += 1
 
         # Refinement: rank surviving candidates by the point's actual
-        # standardised score in the candidate subspace itself.
+        # standardised score in the candidate subspace itself — again one
+        # batch, dispatched in a single wave.
         with obs_span("refout.refine", point=point, n_candidates=len(stage)):
-            refined = [
-                (s, scorer.point_zscore(s, point))
-                for s, _ in stage
-                if s.dimensionality == dimensionality
+            survivors = [
+                s for s, _ in stage if s.dimensionality == dimensionality
             ]
+            z = scorer.point_zscores_many(survivors, point)
+            refined = [(s, float(v)) for s, v in zip(survivors, z)]
             return RankedSubspaces.from_pairs(top_k(refined, self.result_size))
 
     def _discrepancy(

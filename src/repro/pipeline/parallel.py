@@ -1,34 +1,45 @@
-"""Process-parallel execution of pipeline grids.
+"""Backend-parallel execution of pipeline grids.
 
 The paper-scale sweeps are embarrassingly parallel across
 (dataset × detector) groups, and NumPy work inside a cell does not share
 anything with other cells. :func:`run_grid_parallel` fans the groups out
-over a process pool while keeping each group's cells *within* one worker,
-so the per-(dataset, detector) scorer cache still amortises detector cost
-exactly as in serial execution.
+through an :class:`~repro.exec.ExecutionBackend` — the same abstraction
+the :class:`~repro.subspaces.SubspaceScorer` dispatches its cache-miss
+waves through, so inter-cell (grid) and intra-cell (scorer) parallelism
+share one code path — while keeping each group's cells *within* one
+worker, so the per-(dataset, detector) scorer cache still amortises
+detector cost exactly as in serial execution.
 
 Grouping by (dataset, detector) rather than by single cell is the load
 unit because it preserves the cache and keeps pickling traffic low (one
 dataset ship per group). Results are returned in deterministic
 (dataset, detector, explainer, dimensionality) order regardless of worker
-scheduling.
+scheduling — the backend's ``map_ordered`` primitive guarantees it.
+
+Cells that are never attempted (no ground-truth point at a requested
+dimensionality, or an empty ``points_selector`` result) are recorded in
+the same ``skipped_undefined`` audit shape :class:`~repro.pipeline.GridRunner`
+keeps and returned to the caller, so parallel grid coverage is auditable
+instead of silently thinner than the cross-product suggests.
 """
 
 from __future__ import annotations
 
-import concurrent.futures
-from collections.abc import Callable, Iterable, Sequence
+from collections.abc import Callable, Sequence
 
 from repro.datasets.base import Dataset
 from repro.detectors.base import Detector
 from repro.exceptions import ExperimentError
-from repro.explainers.base import PointExplainer, SummaryExplainer
+from repro.exec import ExecutionBackend, resolve_backend
+from repro.obs import metrics as obs_metrics
 from repro.pipeline.pipeline import ExplanationPipeline, PipelineResult
 from repro.pipeline.results import ResultTable
 
 __all__ = ["run_grid_parallel"]
 
-_SKIP = "skip"
+_CELLS_SKIPPED = obs_metrics.counter(
+    "repro_grid_cells_skipped_total", "Grid cells skipped, by reason"
+)
 
 GroupSpec = tuple[
     Dataset,
@@ -36,6 +47,12 @@ GroupSpec = tuple[
     list[object],  # explainer instances
     list[tuple[int, tuple[int, ...] | None]],  # (dimensionality, points)
 ]
+
+#: One error-skipped cell: (dataset, detector, explainer, dim, error).
+SkipRecord = tuple[str, str, str, int, str]
+#: One never-attempted slice: (dataset, dimensionality, reason) — the
+#: same audit shape as ``GridRunner.skipped_undefined``.
+UndefinedRecord = tuple[str, int, str]
 
 
 def run_grid_parallel(
@@ -45,34 +62,48 @@ def run_grid_parallel(
     dimensionalities: Sequence[int],
     *,
     n_jobs: int = 2,
+    backend: "str | ExecutionBackend | None" = None,
     points_selector: Callable[[Dataset, int], tuple[int, ...]] | None = None,
     skip_errors: bool = True,
-) -> tuple[ResultTable, list[tuple[str, str, str, int, str]]]:
-    """Run the full grid over a process pool.
+) -> tuple[ResultTable, list[SkipRecord], list[UndefinedRecord]]:
+    """Run the full grid over an execution backend.
 
     Parameters mirror :class:`~repro.pipeline.GridRunner`; ``n_jobs`` is
-    the worker count (1 falls back to in-process execution). Returns the
-    result table and the skipped-cell records.
+    the worker count and ``backend`` the execution backend kind
+    (``"process"`` by default when ``n_jobs > 1``; ``n_jobs=1`` falls back
+    to in-process execution). Returns the result table, the error-skipped
+    cell records, and the never-attempted ``skipped_undefined`` audit
+    records.
 
-    All components must be picklable — true for every detector, explainer
-    and dataset in this library.
+    All components must be picklable for the process backend — true for
+    every detector, explainer and dataset in this library.
     """
     if n_jobs < 1:
         raise ExperimentError(f"n_jobs must be >= 1, got {n_jobs}")
     if not datasets or not detectors or not explainer_factories:
         raise ExperimentError("datasets, detectors and explainers are required")
 
+    n_pipelines = len(detectors) * len(explainer_factories)
     groups: list[GroupSpec] = []
+    skipped_undefined: list[UndefinedRecord] = []
     for dataset in datasets:
         available = set(dataset.ground_truth.dimensionalities())
         cells: list[tuple[int, tuple[int, ...] | None]] = []
         for dimensionality in dimensionalities:
             if dimensionality not in available:
+                skipped_undefined.append(
+                    (dataset.name, int(dimensionality), "undefined_dimensionality")
+                )
+                _CELLS_SKIPPED.inc(n_pipelines, reason="undefined_dimensionality")
                 continue
             points = None
             if points_selector is not None:
                 points = points_selector(dataset, dimensionality)
                 if not points:
+                    skipped_undefined.append(
+                        (dataset.name, int(dimensionality), "empty_selection")
+                    )
+                    _CELLS_SKIPPED.inc(n_pipelines, reason="empty_selection")
                     continue
             cells.append((dimensionality, points))
         if not cells:
@@ -82,34 +113,38 @@ def run_grid_parallel(
             groups.append((dataset, detector, explainers, cells))
 
     if n_jobs == 1:
-        outcomes = [_run_group(group, skip_errors) for group in groups]
+        outcomes = [_run_group((group, skip_errors)) for group in groups]
     else:
-        with concurrent.futures.ProcessPoolExecutor(max_workers=n_jobs) as pool:
-            outcomes = list(
-                pool.map(_run_group_safe, ((g, skip_errors) for g in groups))
+        resolved = resolve_backend(
+            backend if backend is not None else "process", n_jobs
+        )
+        try:
+            outcomes = resolved.map_ordered(
+                _run_group, [(group, skip_errors) for group in groups]
             )
+        finally:
+            if not isinstance(backend, ExecutionBackend):
+                resolved.close()  # Pool owned here, not by the caller.
 
     table = ResultTable()
-    skipped: list[tuple[str, str, str, int, str]] = []
+    skipped: list[SkipRecord] = []
     for results, group_skipped in outcomes:
         table.extend(results)
         skipped.extend(group_skipped)
-    return table, skipped
-
-
-def _run_group_safe(
-    packed: tuple[GroupSpec, bool]
-) -> tuple[list[PipelineResult], list[tuple[str, str, str, int, str]]]:
-    group, skip_errors = packed
-    return _run_group(group, skip_errors)
+    return table, skipped, skipped_undefined
 
 
 def _run_group(
-    group: GroupSpec, skip_errors: bool
-) -> tuple[list[PipelineResult], list[tuple[str, str, str, int, str]]]:
-    dataset, detector, explainers, cells = group
+    packed: tuple[GroupSpec, bool]
+) -> tuple[list[PipelineResult], list[SkipRecord]]:
+    """Execute one (dataset, detector) group's cells sequentially.
+
+    Module-level and single-argument so every backend (including the
+    process pool) can dispatch it.
+    """
+    (dataset, detector, explainers, cells), skip_errors = packed
     results: list[PipelineResult] = []
-    skipped: list[tuple[str, str, str, int, str]] = []
+    skipped: list[SkipRecord] = []
     for explainer in explainers:
         pipeline = ExplanationPipeline(detector, explainer)  # type: ignore[arg-type]
         for dimensionality, points in cells:

@@ -126,16 +126,26 @@ class ExplanationPipeline:
         :class:`~repro.explainers.SummaryExplainer`.
     share_scorer:
         When ``True`` (default) the pipeline keeps one
-        :class:`~repro.subspaces.SubspaceScorer` per dataset identity so
-        repeated runs (e.g. a dimensionality sweep) reuse cached score
-        vectors — mirroring how the paper amortises detector cost across
-        an experiment. Set ``False`` to time cold runs.
+        :class:`~repro.subspaces.SubspaceScorer` per dataset fingerprint
+        (name + content hash) so repeated runs (e.g. a dimensionality
+        sweep) reuse cached score vectors — mirroring how the paper
+        amortises detector cost across an experiment. Set ``False`` to
+        time cold runs.
+    backend:
+        Execution backend for the scorers this pipeline creates: a
+        backend name (``"serial"`` / ``"thread"`` / ``"process"``), an
+        :class:`~repro.exec.ExecutionBackend` instance, or ``None`` to
+        resolve from ``REPRO_BACKEND`` (default serial). All backends
+        yield identical results — see ``docs/ARCHITECTURE.md``.
     """
 
     detector: Detector
     explainer: PointExplainer | SummaryExplainer
     share_scorer: bool = True
-    _scorers: dict[int, SubspaceScorer] = field(default_factory=dict, repr=False)
+    backend: object = None
+    _scorers: dict[tuple[str, int], SubspaceScorer] = field(
+        default_factory=dict, repr=False
+    )
 
     def __post_init__(self) -> None:
         if not isinstance(self.detector, Detector):
@@ -154,12 +164,20 @@ class ExplanationPipeline:
         return f"{self.explainer.name}+{self.detector.name}"
 
     def scorer_for(self, dataset: Dataset) -> SubspaceScorer:
-        """The (possibly shared) scorer bound to ``dataset``."""
+        """The (possibly shared) scorer bound to ``dataset``.
+
+        Shared scorers are keyed by the dataset's *fingerprint* (name +
+        content hash), never by ``id()`` — an object id can be reused
+        after garbage collection, which would silently alias a stale
+        scorer (and its cached score vectors) to a brand-new dataset.
+        """
         if not self.share_scorer:
-            return SubspaceScorer(dataset.X, self.detector)
-        key = id(dataset)
+            return SubspaceScorer(dataset.X, self.detector, backend=self.backend)
+        key = dataset.fingerprint
         if key not in self._scorers:
-            self._scorers[key] = SubspaceScorer(dataset.X, self.detector)
+            self._scorers[key] = SubspaceScorer(
+                dataset.X, self.detector, backend=self.backend
+            )
         return self._scorers[key]
 
     def run(
@@ -281,8 +299,6 @@ def _rerank_for_point(
     scorer: SubspaceScorer, summary: RankedSubspaces, point: int
 ) -> RankedSubspaces:
     """One point's view of a summary: its subspaces ranked by the point's z-score."""
-    scored = [
-        (subspace, scorer.point_zscore(subspace, point))
-        for subspace in summary.subspaces
-    ]
+    z = scorer.point_zscores_many(summary.subspaces, point)
+    scored = [(s, float(v)) for s, v in zip(summary.subspaces, z)]
     return RankedSubspaces.from_pairs(top_k(scored, max(len(scored), 1)))

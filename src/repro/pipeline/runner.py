@@ -55,6 +55,11 @@ class GridRunner:
         which ground-truth points each cell explains (experiment profiles
         cap the outlier count for scaled-down runs). ``None`` explains all
         points the ground truth defines at the dimensionality.
+    backend:
+        Execution backend (name, instance, or ``None`` for the
+        ``REPRO_BACKEND`` default) handed to every pipeline of the grid —
+        this is the *intra-cell* parallelism knob; see
+        :func:`~repro.pipeline.run_grid_parallel` for inter-cell fan-out.
     """
 
     def __init__(
@@ -65,6 +70,7 @@ class GridRunner:
         on_result: ProgressHook | None = None,
         skip_errors: bool = False,
         points_selector: Callable[[Dataset, int], tuple[int, ...]] | None = None,
+        backend: object = None,
     ) -> None:
         if not detectors:
             raise ExperimentError("at least one detector is required")
@@ -83,10 +89,11 @@ class GridRunner:
         #: pipeline of the grid, making grid coverage auditable instead of
         #: silently thinner than the cross-product suggests.
         self.skipped_undefined: list[tuple[str, int, str]] = []
+        self.backend = backend
         # One pipeline per (detector, factory) so scorer caches persist
         # across datasets and dimensionalities.
         self._pipelines = [
-            ExplanationPipeline(detector, factory())  # type: ignore[arg-type]
+            ExplanationPipeline(detector, factory(), backend=backend)  # type: ignore[arg-type]
             for detector in self.detectors
             for factory in self.explainer_factories
         ]

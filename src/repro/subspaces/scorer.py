@@ -9,6 +9,17 @@ LookOut scores every point in every enumerated subspace; experiment sweeps
 revisit across explanation dimensionalities), so :class:`SubspaceScorer`
 memoises the full score vector per (detector, subspace).
 
+The scorer is **batch-first**: explainer stages hand whole candidate
+batches to :meth:`SubspaceScorer.scores_many`, which partitions them into
+cache hits and misses and evaluates all misses in one wave through an
+:class:`~repro.exec.ExecutionBackend` (serial, thread, or process — see
+:func:`repro.exec.resolve_backend`). Batching never changes *what* is
+computed — candidate visit order, cache-counter semantics, and the
+returned values are identical across backends — only how the independent
+misses are evaluated. Cached vectors are frozen
+(``writeable = False``) so an accidental mutation raises instead of
+silently corrupting every later lookup.
+
 The z-score standardisation applied by :meth:`point_zscore` implements the
 paper's dimensionality-bias correction (Section 2.2):
 
@@ -17,13 +28,15 @@ paper's dimensionality-bias correction (Section 2.2):
 
 from __future__ import annotations
 
+import threading
 import time
-from collections.abc import Iterable
+from collections.abc import Iterable, Sequence
 
 import numpy as np
 
 from repro.detectors.base import Detector
 from repro.exceptions import ValidationError
+from repro.exec import ExecutionBackend, resolve_backend
 from repro.obs import metrics as obs_metrics
 from repro.stats.zscore import zscores
 from repro.subspaces.subspace import Subspace, as_subspace, project
@@ -47,6 +60,23 @@ _SUBSPACES_SCORED = obs_metrics.counter(
     "repro_scorer_subspaces_scored_total",
     "Detector invocations that actually ran, by detector",
 )
+_BATCH_MISSES = obs_metrics.histogram(
+    "repro_scorer_batch_misses",
+    "Cache misses per scores_many batch (the dispatched wave size)",
+    buckets=(0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 1024.0),
+)
+
+
+def _score_subspace_task(
+    payload: tuple[np.ndarray, Detector], features: tuple[int, ...]
+) -> np.ndarray:
+    """One cache miss: score the projection onto ``features``.
+
+    Module-level so the process backend can pickle it; ``payload`` is the
+    shared read-only ``(X, detector)`` pair shipped once per worker.
+    """
+    X, detector = payload
+    return detector.score(project(X, features))
 
 
 class SubspaceScorer:
@@ -64,6 +94,13 @@ class SubspaceScorer:
     max_cache_bytes:
         Byte budget for memoised score vectors (default 256 MiB);
         least-recently-used vectors are evicted beyond it.
+    backend:
+        How cache-miss waves are evaluated: an
+        :class:`~repro.exec.ExecutionBackend`, a backend name
+        (``"serial"`` / ``"thread"`` / ``"process"``), or ``None`` to
+        resolve from the ``REPRO_BACKEND`` environment variable (default
+        serial). All backends produce identical results; see
+        ``docs/ARCHITECTURE.md`` for how to pick one.
 
     Examples
     --------
@@ -84,6 +121,7 @@ class SubspaceScorer:
         detector: Detector,
         *,
         max_cache_bytes: int | None = _DEFAULT_CACHE_BYTES,
+        backend: "str | ExecutionBackend | None" = None,
     ) -> None:
         if not isinstance(detector, Detector):
             raise ValidationError(
@@ -95,8 +133,18 @@ class SubspaceScorer:
         self._cache: LRUCache[tuple, np.ndarray] = LRUCache(
             max_cache_bytes, name="scorer"
         )
+        self._backend = resolve_backend(backend)
+        # Stable payload object so the process backend ships the dataset
+        # once per worker and reuses its pool across waves.
+        self._payload = (self.X, self.detector)
+        self._lock = threading.RLock()
         self._n_evaluations = 0
         self._detector_seconds = 0.0
+
+    @property
+    def backend(self) -> ExecutionBackend:
+        """The execution backend evaluating this scorer's cache misses."""
+        return self._backend
 
     @property
     def n_samples(self) -> int:
@@ -125,34 +173,132 @@ class SubspaceScorer:
 
     @property
     def detector_seconds(self) -> float:
-        """Cumulative wall-clock seconds spent inside ``detector.score``.
+        """Cumulative wall-clock seconds spent evaluating cache misses.
 
         The pipeline diffs this across a run to split a cell's cost into
         detector time vs. explainer search overhead — the breakdown the
-        paper's Section 4.3 runtime analysis reasons about.
+        paper's Section 4.3 runtime analysis reasons about. With a
+        parallel backend this is the *wall-clock* of the dispatched waves,
+        i.e. what the caller actually waited for.
         """
         return self._detector_seconds
+
+    # ------------------------------------------------------------------
+    # Batch-first core.
+    # ------------------------------------------------------------------
+
+    def scores_many(
+        self, subspaces: Sequence[Iterable[int]]
+    ) -> list[np.ndarray]:
+        """Raw detector scores for a whole batch of subspaces (cached).
+
+        Partitions the batch into cache hits and misses, evaluates all
+        misses in one wave through the execution backend, installs the
+        results, and returns one (read-only, cached) score vector per
+        input subspace, in input order. Duplicate subspaces within the
+        batch are evaluated once; the duplicates count as cache hits,
+        matching a scalar lookup loop exactly.
+        """
+        subs = [
+            as_subspace(s).validate_against(self.n_features) for s in subspaces
+        ]
+        if not subs:
+            return []
+        out: list[np.ndarray | None] = [None] * len(subs)
+        # Positions awaiting each missed key, in first-occurrence order.
+        pending: dict[tuple, list[int]] = {}
+        miss_features: list[tuple[int, ...]] = []
+        with self._lock:
+            for i, s in enumerate(subs):
+                key = (self._detector_key, tuple(s))
+                if key in pending:
+                    pending[key].append(i)
+                    continue
+                cached = self._cache.get(key)
+                if cached is not None:
+                    _CACHE_HITS.inc()
+                    out[i] = cached
+                else:
+                    _CACHE_MISSES.inc()
+                    pending[key] = [i]
+                    miss_features.append(tuple(s))
+            _BATCH_MISSES.observe(len(miss_features))
+        if miss_features:
+            started = time.perf_counter()
+            wave = self._backend.map_ordered(
+                _score_subspace_task, miss_features, payload=self._payload
+            )
+            elapsed = time.perf_counter() - started
+            with self._lock:
+                self._detector_seconds += elapsed
+                for (key, positions), scores in zip(pending.items(), wave):
+                    scores = np.asarray(scores, dtype=np.float64)
+                    # Freeze before caching: every consumer reads the same
+                    # instance, so mutation must raise, not corrupt.
+                    scores.flags.writeable = False
+                    self._cache.put(key, scores)
+                    self._n_evaluations += 1
+                    _SUBSPACES_SCORED.inc(detector=self.detector.name)
+                    out[positions[0]] = scores
+                    for extra in positions[1:]:
+                        # Scalar-loop semantics: within-batch duplicates
+                        # are served from cache (and counted as hits).
+                        got = self._cache.get(key)
+                        _CACHE_HITS.inc()
+                        out[extra] = scores if got is None else got
+        return out  # type: ignore[return-value]
+
+    def zscores_many(
+        self, subspaces: Sequence[Iterable[int]]
+    ) -> list[np.ndarray]:
+        """Standardised score vectors for a batch of subspaces."""
+        return [zscores(scores) for scores in self.scores_many(subspaces)]
+
+    def point_zscores_many(
+        self, subspaces: Sequence[Iterable[int]], point: int
+    ) -> np.ndarray:
+        """Standardised score of one point across a batch of subspaces.
+
+        This is the quantity Beam and RefOut rank a stage's candidates
+        by; one call evaluates the whole stage in a single backend wave.
+        """
+        point = self._check_point(point)
+        vectors = self.scores_many(subspaces)
+        out = np.empty(len(vectors), dtype=np.float64)
+        for i, scores in enumerate(vectors):
+            std = scores.std()
+            if std == 0.0 or not np.isfinite(std):
+                out[i] = 0.0
+            else:
+                out[i] = (scores[point] - scores.mean()) / std
+        return out
+
+    def points_zscores_many(
+        self, subspaces: Sequence[Iterable[int]], points: Iterable[int]
+    ) -> np.ndarray:
+        """Standardised scores of several points across a batch of subspaces.
+
+        Returns an array of shape ``(len(subspaces), len(points))`` —
+        LookOut's utility matrix is its transpose.
+        """
+        idx = [self._check_point(p) for p in points]
+        vectors = self.scores_many(subspaces)
+        out = np.empty((len(vectors), len(idx)), dtype=np.float64)
+        for i, scores in enumerate(vectors):
+            out[i, :] = zscores(scores)[idx]
+        return out
+
+    # ------------------------------------------------------------------
+    # Scalar views (thin wrappers over the batch core).
+    # ------------------------------------------------------------------
 
     def scores(self, subspace: Iterable[int]) -> np.ndarray:
         """Raw detector scores of all points in ``subspace`` (cached).
 
-        The returned array is the cached instance; callers must not mutate
-        it.
+        The returned array is the cached instance and is read-only
+        (``writeable=False``); mutating it raises.
         """
-        s = as_subspace(subspace).validate_against(self.n_features)
-        key = (self._detector_key, tuple(s))
-        cached = self._cache.get(key)
-        if cached is not None:
-            _CACHE_HITS.inc()
-            return cached
-        _CACHE_MISSES.inc()
-        started = time.perf_counter()
-        scores = self.detector.score(project(self.X, s))
-        self._detector_seconds += time.perf_counter() - started
-        self._n_evaluations += 1
-        _SUBSPACES_SCORED.inc(detector=self.detector.name)
-        self._cache.put(key, scores)
-        return scores
+        return self.scores_many([subspace])[0]
 
     def zscores(self, subspace: Iterable[int]) -> np.ndarray:
         """Standardised scores of all points in ``subspace``."""
@@ -167,26 +313,24 @@ class SubspaceScorer:
 
         This is the quantity Beam and RefOut rank subspaces by.
         """
-        scores = self.scores(subspace)
-        point = self._check_point(point)
-        std = scores.std()
-        if std == 0.0 or not np.isfinite(std):
-            return 0.0
-        return float((scores[point] - scores.mean()) / std)
+        return float(self.point_zscores_many([subspace], point)[0])
 
     def points_zscores(
         self, subspace: Iterable[int], points: Iterable[int]
     ) -> np.ndarray:
         """Standardised scores of several points in ``subspace``."""
-        z = self.zscores(subspace)
-        idx = [self._check_point(p) for p in points]
-        return z[idx]
+        return self.points_zscores_many([subspace], points)[0]
 
     def clear_cache(self) -> None:
         """Drop all memoised score vectors and reset statistics."""
-        self._cache.clear()
-        self._n_evaluations = 0
-        self._detector_seconds = 0.0
+        with self._lock:
+            self._cache.clear()
+            self._n_evaluations = 0
+            self._detector_seconds = 0.0
+
+    def close(self) -> None:
+        """Release the execution backend's worker pool (if any)."""
+        self._backend.close()
 
     def _check_point(self, point: int) -> int:
         point = int(point)
@@ -200,5 +344,5 @@ class SubspaceScorer:
         return (
             f"SubspaceScorer(n_samples={self.n_samples}, "
             f"n_features={self.n_features}, detector={self.detector!r}, "
-            f"cached={len(self._cache)})"
+            f"backend={self._backend.name!r}, cached={len(self._cache)})"
         )

@@ -19,6 +19,7 @@ metrics registry as ``repro_cache_{hits,misses,evictions}_total`` with a
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from collections.abc import Callable, Hashable
 from typing import Generic, TypeVar
@@ -50,6 +51,11 @@ _OBS_EVICTIONS = obs_metrics.counter(
 class LRUCache(Generic[K, V]):
     """Least-recently-used mapping bounded by an approximate byte budget.
 
+    Thread-safe: all operations (including the hit/miss/eviction counter
+    updates) run under one reentrant lock, so the cache may back the
+    thread-pool execution backend's result installation without losing
+    counts or corrupting the recency order.
+
     Parameters
     ----------
     max_bytes:
@@ -77,81 +83,95 @@ class LRUCache(Generic[K, V]):
         self._sizeof = sizeof if sizeof is not None else _default_sizeof
         self._data: OrderedDict[K, V] = OrderedDict()
         self._bytes = 0
+        self._lock = threading.RLock()
         self.name = name
         self.hits = 0
         self.misses = 0
         self.evictions = 0
 
     def __len__(self) -> int:
-        return len(self._data)
+        with self._lock:
+            return len(self._data)
 
     def __contains__(self, key: K) -> bool:
-        return key in self._data
+        with self._lock:
+            return key in self._data
 
     @property
     def nbytes(self) -> int:
         """Approximate bytes currently held."""
-        return self._bytes
+        with self._lock:
+            return self._bytes
 
     def get(self, key: K) -> V | None:
         """Return the cached value for ``key`` (marking it recently used) or ``None``."""
-        if key not in self._data:
-            self.misses += 1
+        with self._lock:
+            if key not in self._data:
+                self.misses += 1
+                if self.name is not None:
+                    _OBS_MISSES.inc(cache=self.name)
+                return None
+            self.hits += 1
             if self.name is not None:
-                _OBS_MISSES.inc(cache=self.name)
-            return None
-        self.hits += 1
-        if self.name is not None:
-            _OBS_HITS.inc(cache=self.name)
-        self._data.move_to_end(key)
-        return self._data[key]
+                _OBS_HITS.inc(cache=self.name)
+            self._data.move_to_end(key)
+            return self._data[key]
 
     def put(self, key: K, value: V) -> None:
         """Insert ``value`` under ``key``, evicting LRU entries if over budget."""
-        if key in self._data:
-            self._bytes -= self._sizeof(self._data[key])
-            del self._data[key]
-        self._data[key] = value
-        self._bytes += self._sizeof(value)
-        while self._bytes > self._max_bytes and len(self._data) > 1:
-            _, evicted = self._data.popitem(last=False)
-            self._bytes -= self._sizeof(evicted)
-            self.evictions += 1
-            if self.name is not None:
-                _OBS_EVICTIONS.inc(cache=self.name)
+        with self._lock:
+            if key in self._data:
+                self._bytes -= self._sizeof(self._data[key])
+                del self._data[key]
+            self._data[key] = value
+            self._bytes += self._sizeof(value)
+            while self._bytes > self._max_bytes and len(self._data) > 1:
+                _, evicted = self._data.popitem(last=False)
+                self._bytes -= self._sizeof(evicted)
+                self.evictions += 1
+                if self.name is not None:
+                    _OBS_EVICTIONS.inc(cache=self.name)
 
     def get_or_compute(self, key: K, compute: Callable[[], V]) -> V:
-        """Return the cached value for ``key``, computing and storing it on a miss."""
+        """Return the cached value for ``key``, computing and storing it on a miss.
+
+        ``compute`` runs outside the lock, so concurrent callers may
+        compute the same value redundantly but never deadlock through a
+        reentrant ``compute``; last writer wins.
+        """
         value = self.get(key)
-        if value is None and key not in self._data:
+        if value is None and key not in self:
             value = compute()
             self.put(key, value)
         return value  # type: ignore[return-value]
 
     def clear(self) -> None:
         """Drop all entries and reset statistics."""
-        self._data.clear()
-        self._bytes = 0
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+        with self._lock:
+            self._data.clear()
+            self._bytes = 0
+            self.hits = 0
+            self.misses = 0
+            self.evictions = 0
 
     @property
     def hit_rate(self) -> float:
         """Fraction of lookups served from cache (0.0 when never queried)."""
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        with self._lock:
+            total = self.hits + self.misses
+            return self.hits / total if total else 0.0
 
     def stats(self) -> dict[str, int | float]:
         """Snapshot of the cache's counters (the view the obs layer reads)."""
-        return {
-            "entries": len(self._data),
-            "nbytes": self._bytes,
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "hit_rate": self.hit_rate,
-        }
+        with self._lock:
+            return {
+                "entries": len(self._data),
+                "nbytes": self._bytes,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "hit_rate": self.hit_rate,
+            }
 
 
 def _default_sizeof(value: object) -> int:

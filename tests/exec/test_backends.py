@@ -1,0 +1,190 @@
+"""Tests for the execution backend layer (repro.exec)."""
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.exec import (
+    BACKEND_ENV,
+    BACKEND_NAMES,
+    N_JOBS_ENV,
+    ExecutionBackend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    default_n_jobs,
+    resolve_backend,
+)
+
+
+# Module-level so the process backend can pickle them.
+def _square(x):
+    return x * x
+
+
+def _add(payload, item):
+    return payload + item
+
+
+def _boom(x):
+    raise ValueError(f"bad item {x}")
+
+
+def _make(name):
+    if name == "serial":
+        return SerialBackend()
+    if name == "thread":
+        return ThreadBackend(n_jobs=2)
+    return ProcessBackend(n_jobs=2)
+
+
+@pytest.fixture(params=["serial", "thread"])
+def cheap_backend(request):
+    """The in-process backends — safe to spin up per test."""
+    with _make(request.param) as backend:
+        yield backend
+
+
+class TestMapOrdered:
+    def test_submission_order(self, cheap_backend):
+        items = list(range(20))
+        assert cheap_backend.map_ordered(_square, items) == [x * x for x in items]
+
+    def test_empty_batch(self, cheap_backend):
+        assert cheap_backend.map_ordered(_square, []) == []
+
+    def test_payload_binding(self, cheap_backend):
+        assert cheap_backend.map_ordered(_add, [1, 2, 3], payload=10) == [11, 12, 13]
+
+    def test_none_payload_is_a_payload(self, cheap_backend):
+        # ``payload=None`` must bind as fn(None, item), not fn(item).
+        def first_is_none(payload, item):
+            return payload is None
+
+        if cheap_backend.name == "process":
+            pytest.skip("local function is not picklable")
+        assert cheap_backend.map_ordered(first_is_none, [0], payload=None) == [True]
+
+    def test_task_exception_propagates(self, cheap_backend):
+        with pytest.raises(ValueError, match="bad item"):
+            cheap_backend.map_ordered(_boom, [1])
+
+    def test_reusable_across_batches(self, cheap_backend):
+        first = cheap_backend.map_ordered(_square, [1, 2])
+        second = cheap_backend.map_ordered(_square, [3, 4])
+        assert (first, second) == ([1, 4], [9, 16])
+
+    def test_usable_after_close(self, cheap_backend):
+        cheap_backend.map_ordered(_square, [2])
+        cheap_backend.close()
+        cheap_backend.close()  # idempotent
+        assert cheap_backend.map_ordered(_square, [3]) == [9]
+
+
+class TestThreadContextPropagation:
+    def test_worker_tasks_see_callers_tracer(self):
+        # Regression: worker threads don't inherit contextvars, which
+        # used to detach the active tracer from every dispatched task —
+        # a thread-backend run silently lost all detector spans.
+        from repro.obs import Tracer, use_tracer
+        from repro.obs.trace import span
+
+        def traced(item):
+            with span("task.unit", item=item):
+                return item
+
+        tracer = Tracer()
+        with ThreadBackend(n_jobs=2) as backend:
+            with use_tracer(tracer):
+                with span("task.batch"):
+                    backend.map_ordered(traced, [1, 2, 3])
+        units = [s for s in tracer.spans if s.name == "task.unit"]
+        batch = next(s for s in tracer.spans if s.name == "task.batch")
+        assert len(units) == 3
+        assert all(s.parent_id == batch.span_id for s in units)
+
+
+class TestProcessBackend:
+    def test_payload_shipped_once_and_results_ordered(self):
+        with ProcessBackend(n_jobs=2) as backend:
+            assert backend.map_ordered(_add, [1, 2, 3, 4], payload=100) == [
+                101,
+                102,
+                103,
+                104,
+            ]
+            # Same payload object: the pool (and its shipped payload) is
+            # reused for the next wave.
+            pool = backend._pool
+            assert backend.map_ordered(_add, [5], payload=100) != []
+            assert backend._pool is None or backend._pool is pool
+
+    def test_exception_propagates(self):
+        with ProcessBackend(n_jobs=2) as backend:
+            with pytest.raises(ValueError, match="bad item"):
+                backend.map_ordered(_boom, [7])
+
+
+class TestResolveBackend:
+    def test_known_names(self):
+        for name in BACKEND_NAMES:
+            backend = resolve_backend(name, n_jobs=2)
+            assert isinstance(backend, ExecutionBackend)
+            assert backend.name == name
+            backend.close()
+
+    def test_serial_forces_single_job(self):
+        assert resolve_backend("serial", n_jobs=8).n_jobs == 1
+        assert SerialBackend(n_jobs=8).n_jobs == 1
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValidationError, match="unknown execution backend"):
+            resolve_backend("gpu")
+
+    def test_instance_passthrough(self):
+        backend = ThreadBackend(n_jobs=3)
+        assert resolve_backend(backend) is backend
+        assert resolve_backend(backend, n_jobs=3) is backend
+        with pytest.raises(ValidationError, match="n_jobs"):
+            resolve_backend(backend, n_jobs=5)
+        backend.close()
+
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV, raising=False)
+        assert resolve_backend().name == "serial"
+
+    def test_env_variable_selects_backend(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "thread")
+        monkeypatch.setenv(N_JOBS_ENV, "3")
+        backend = resolve_backend()
+        assert (backend.name, backend.n_jobs) == ("thread", 3)
+        backend.close()
+
+    def test_explicit_name_beats_env(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "thread")
+        assert resolve_backend("serial").name == "serial"
+
+    def test_case_insensitive(self):
+        assert resolve_backend("Serial").name == "serial"
+
+    def test_invalid_n_jobs(self):
+        with pytest.raises(ValidationError, match="n_jobs"):
+            ThreadBackend(n_jobs=0)
+
+
+class TestDefaultNJobs:
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv(N_JOBS_ENV, "5")
+        assert default_n_jobs() == 5
+
+    def test_env_clamped_to_one(self, monkeypatch):
+        monkeypatch.setenv(N_JOBS_ENV, "-2")
+        assert default_n_jobs() == 1
+
+    def test_env_garbage_rejected(self, monkeypatch):
+        monkeypatch.setenv(N_JOBS_ENV, "many")
+        with pytest.raises(ValidationError, match=N_JOBS_ENV):
+            default_n_jobs()
+
+    def test_defaults_to_cpu_count(self, monkeypatch):
+        monkeypatch.delenv(N_JOBS_ENV, raising=False)
+        assert default_n_jobs() >= 1

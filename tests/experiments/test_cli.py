@@ -36,6 +36,22 @@ class TestParser:
         assert args.trace_out == "t.jsonl"
         assert args.metrics_out == "m.txt"
 
+    def test_backend_flags_parsed(self):
+        args = build_parser().parse_args(
+            ["table1", "--backend", "thread", "--n-jobs", "3"]
+        )
+        assert args.backend == "thread"
+        assert args.n_jobs == 3
+
+    def test_backend_flags_default_to_environment(self):
+        args = build_parser().parse_args(["table1"])
+        assert args.backend is None
+        assert args.n_jobs is None
+
+    def test_rejects_unknown_backend(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table1", "--backend", "gpu"])
+
 
 class TestMain:
     def test_table1_smoke(self, capsys):
@@ -84,3 +100,16 @@ class TestMain:
 
         assert main(["table1", "--profile", "smoke"]) == 0
         assert isinstance(get_tracer(), NullTracer)
+
+    def test_backend_flag_exports_environment(self, capsys, monkeypatch):
+        import os
+
+        from repro.exec import BACKEND_ENV, N_JOBS_ENV
+
+        monkeypatch.delenv(BACKEND_ENV, raising=False)
+        monkeypatch.delenv(N_JOBS_ENV, raising=False)
+        assert main(
+            ["table1", "--profile", "smoke", "--backend", "thread", "--n-jobs", "2"]
+        ) == 0
+        assert os.environ[BACKEND_ENV] == "thread"
+        assert os.environ[N_JOBS_ENV] == "2"

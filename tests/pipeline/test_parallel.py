@@ -1,9 +1,10 @@
-"""Tests for process-parallel grid execution."""
+"""Tests for backend-parallel grid execution."""
 
 import pytest
 
 from repro.detectors import LOF, KNNDetector
 from repro.exceptions import ExperimentError
+from repro.exec import SerialBackend, ThreadBackend
 from repro.explainers import Beam, LookOut
 from repro.pipeline import run_grid_parallel
 
@@ -24,7 +25,7 @@ class Exploding(Beam):
 
 class TestParallelGrid:
     def test_matches_serial_results(self, hics_small):
-        serial, _ = run_grid_parallel(
+        serial, _, _ = run_grid_parallel(
             [hics_small],
             [LOF(k=15), KNNDetector(k=10)],
             FACTORIES,
@@ -32,7 +33,7 @@ class TestParallelGrid:
             n_jobs=1,
             points_selector=selector,
         )
-        parallel, _ = run_grid_parallel(
+        parallel, _, _ = run_grid_parallel(
             [hics_small],
             [LOF(k=15), KNNDetector(k=10)],
             FACTORIES,
@@ -50,8 +51,59 @@ class TestParallelGrid:
         assert serial_rows == parallel_rows
         assert len(serial_rows) == 4
 
-    def test_undefined_dimensionalities_skipped(self, hics_small):
-        table, skipped = run_grid_parallel(
+    def test_deterministic_result_order(self, hics_small):
+        serial, _, _ = run_grid_parallel(
+            [hics_small],
+            [LOF(k=15), KNNDetector(k=10)],
+            FACTORIES,
+            [2],
+            n_jobs=1,
+            points_selector=selector,
+        )
+        parallel, _, _ = run_grid_parallel(
+            [hics_small],
+            [LOF(k=15), KNNDetector(k=10)],
+            FACTORIES,
+            [2],
+            n_jobs=2,
+            backend="thread",
+            points_selector=selector,
+        )
+        key = lambda r: (r.dataset, r.detector, r.explainer, r.dimensionality)
+        # map_ordered reorders completion-order results, so the parallel
+        # table preserves group submission order — not merely the same set.
+        assert [key(r) for r in serial] == [key(r) for r in parallel]
+
+    def test_accepts_backend_instance(self, hics_small):
+        with ThreadBackend(n_jobs=2) as backend:
+            table, skipped, undefined = run_grid_parallel(
+                [hics_small],
+                [LOF(k=15)],
+                [lambda: Beam(beam_width=5)],
+                [2],
+                n_jobs=2,
+                backend=backend,
+                points_selector=selector,
+            )
+            assert len(table) == 1
+            assert skipped == [] and undefined == []
+            # The caller-owned pool must survive the run.
+            assert backend.map_ordered(len, [(1, 2), ()]) == [2, 0]
+
+    def test_backend_n_jobs_conflict_rejected(self, hics_small):
+        with pytest.raises(Exception, match="n_jobs"):
+            run_grid_parallel(
+                [hics_small],
+                [LOF(k=15)],
+                [lambda: Beam(beam_width=5)],
+                [2],
+                n_jobs=3,
+                backend=SerialBackend(),
+                points_selector=selector,
+            )
+
+    def test_undefined_dimensionalities_recorded(self, hics_small):
+        table, skipped, undefined = run_grid_parallel(
             [hics_small],
             [LOF(k=15)],
             [lambda: Beam(beam_width=5)],
@@ -61,9 +113,28 @@ class TestParallelGrid:
         )
         assert len(table) == 1
         assert skipped == []
+        assert undefined == [
+            (hics_small.name, 9, "undefined_dimensionality")
+        ]
+
+    def test_empty_selection_recorded(self, hics_small):
+        def empty_selector(dataset, dimensionality):
+            return ()
+
+        table, skipped, undefined = run_grid_parallel(
+            [hics_small],
+            [LOF(k=15)],
+            [lambda: Beam(beam_width=5)],
+            [2],
+            n_jobs=2,
+            points_selector=empty_selector,
+        )
+        assert len(table) == 0
+        assert skipped == []
+        assert undefined == [(hics_small.name, 2, "empty_selection")]
 
     def test_errors_collected_not_raised(self, hics_small):
-        table, skipped = run_grid_parallel(
+        table, skipped, _ = run_grid_parallel(
             [hics_small],
             [LOF(k=15)],
             [lambda: Exploding(beam_width=5)],

@@ -89,3 +89,35 @@ class TestValidation:
         pipeline = ExplanationPipeline(LOF(k=15), Beam(beam_width=5))
         with pytest.raises(ValidationError, match="no point at"):
             pipeline.run(hics_small, 9)
+
+
+class TestScorerKeying:
+    def test_scorer_keyed_by_fingerprint_not_id(self, hics_small):
+        # Regression: scorers used to be keyed by id(dataset). CPython
+        # reuses object ids after garbage collection, so a brand-new
+        # dataset could silently alias the stale scorer (and its cached
+        # score vectors) of a dead one. Fingerprints are content-based:
+        # an equal reconstruction must map to the same scorer, a
+        # different dataset with the same name must not.
+        import dataclasses
+
+        pipeline = ExplanationPipeline(LOF(k=15), Beam(beam_width=10))
+        scorer = pipeline.scorer_for(hics_small)
+
+        # An equal reconstruction: distinct object, identical content.
+        rebuilt = dataclasses.replace(hics_small, X=hics_small.X.copy())
+        assert rebuilt is not hics_small
+        assert pipeline.scorer_for(rebuilt) is scorer
+
+        shifted = dataclasses.replace(hics_small, X=hics_small.X + 1.0)
+        assert shifted.name == hics_small.name
+        assert pipeline.scorer_for(shifted) is not scorer
+
+    def test_fingerprint_stable_and_content_sensitive(self, hics_small):
+        import dataclasses
+
+        assert hics_small.fingerprint == hics_small.fingerprint
+        rebuilt = dataclasses.replace(hics_small, X=hics_small.X.copy())
+        assert rebuilt.fingerprint == hics_small.fingerprint
+        shifted = dataclasses.replace(hics_small, X=hics_small.X + 1.0)
+        assert shifted.fingerprint != hics_small.fingerprint

@@ -100,3 +100,92 @@ class TestValidation:
         a = SubspaceScorer(X, LOF(k=5))
         b = SubspaceScorer(X, LOF(k=20))
         assert not np.allclose(a.scores((0, 1)), b.scores((0, 1)))
+
+
+class TestBatchScoring:
+    def test_scores_many_matches_scalar(self, scorer):
+        subspaces = [(0, 1), (2, 4), (1, 3)]
+        batch = scorer.scores_many(subspaces)
+        assert len(batch) == 3
+        for subspace, vector in zip(subspaces, batch):
+            assert vector is scorer.scores(subspace)
+
+    def test_scores_many_counts_duplicates_as_hits(self, scorer):
+        # A batch with repeats must behave like the equivalent scalar
+        # lookup loop: one evaluation per distinct subspace, the rest hits.
+        batch = scorer.scores_many([(0, 1), (1, 0), (0, 1), (2, 3)])
+        assert scorer.n_evaluations == 2
+        assert batch[0] is batch[1] and batch[1] is batch[2]
+        assert scorer._cache.hits == 2
+
+    def test_scores_many_mixed_hits_and_misses(self, scorer):
+        scorer.scores((0, 1))
+        scorer.scores_many([(0, 1), (2, 4)])
+        assert scorer.n_evaluations == 2
+
+    def test_scores_many_empty(self, scorer):
+        assert scorer.scores_many([]) == []
+
+    def test_cached_vectors_are_read_only(self, scorer):
+        vector = scorer.scores((0, 1))
+        with pytest.raises(ValueError):
+            vector[0] = 123.0
+        batch = scorer.scores_many([(2, 4)])
+        with pytest.raises(ValueError):
+            batch[0][:] = 0.0
+
+    def test_zscores_many(self, scorer):
+        subspaces = [(0, 1), (2, 4)]
+        batch = scorer.zscores_many(subspaces)
+        for subspace, z in zip(subspaces, batch):
+            assert np.allclose(z, scorer.zscores(subspace))
+
+    def test_point_zscores_many(self, scorer):
+        subspaces = [(0, 1), (2, 4), (3,)]
+        z = scorer.point_zscores_many(subspaces, 0)
+        assert z.shape == (3,)
+        for value, subspace in zip(z, subspaces):
+            assert value == pytest.approx(scorer.point_zscore(subspace, 0))
+
+    def test_points_zscores_many(self, scorer):
+        subspaces = [(0, 1), (2, 4)]
+        points = [0, 3, 5]
+        z = scorer.points_zscores_many(subspaces, points)
+        assert z.shape == (2, 3)
+        for row, subspace in zip(z, subspaces):
+            assert np.allclose(row, scorer.points_zscores(subspace, points))
+
+    def test_batch_validation_happens_before_any_scoring(self, scorer):
+        from repro.exceptions import SubspaceError
+
+        with pytest.raises(SubspaceError):
+            scorer.scores_many([(0, 1), (99,)])
+        # The valid prefix must not have been evaluated.
+        assert scorer.n_evaluations == 0
+
+
+class TestBackendDispatch:
+    @pytest.mark.parametrize("backend", ["serial", "thread"])
+    def test_backend_batch_matches_serial(self, subspace_outlier_data, backend):
+        from repro.exec import resolve_backend
+
+        X, _, _ = subspace_outlier_data
+        reference = SubspaceScorer(X, LOF(k=10))
+        subject = SubspaceScorer(
+            X, LOF(k=10), backend=resolve_backend(backend, n_jobs=2)
+        )
+        subspaces = [(0, 1), (2, 4), (1, 3), (0, 5)]
+        expected = reference.scores_many(subspaces)
+        got = subject.scores_many(subspaces)
+        subject.close()
+        for e, g in zip(expected, got):
+            assert e.tobytes() == g.tobytes()
+
+    def test_backend_property_and_close(self, subspace_outlier_data):
+        from repro.exec import ThreadBackend
+
+        X, _, _ = subspace_outlier_data
+        scorer = SubspaceScorer(X, LOF(k=10), backend=ThreadBackend(n_jobs=2))
+        assert scorer.backend.name == "thread"
+        scorer.scores_many([(0, 1)])
+        scorer.close()
