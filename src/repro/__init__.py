@@ -23,21 +23,29 @@ Public API (stable):
 """
 
 from repro.exceptions import (
+    CellTimeoutError,
     ExperimentError,
+    FaultInjectionError,
     GroundTruthError,
     NotFittedError,
     ReproError,
+    RetryExhaustedError,
     SubspaceError,
+    TransientError,
     ValidationError,
 )
 from repro.version import __version__
 
 __all__ = [
+    "CellTimeoutError",
     "ExperimentError",
+    "FaultInjectionError",
     "GroundTruthError",
     "NotFittedError",
     "ReproError",
+    "RetryExhaustedError",
     "SubspaceError",
+    "TransientError",
     "ValidationError",
     "__version__",
 ]

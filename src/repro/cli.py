@@ -20,6 +20,7 @@ from collections.abc import Sequence
 
 from repro.exec import BACKEND_ENV, BACKEND_NAMES, N_JOBS_ENV
 from repro.experiments import EXPERIMENTS, PROFILES, table2
+from repro.ft import CELL_TIMEOUT_ENV, CHECKPOINT_ENV, MAX_RETRIES_ENV, RESUME_ENV
 
 __all__ = ["build_parser", "main"]
 
@@ -73,6 +74,51 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="PATH",
+        help=(
+            "journal every completed grid cell to PATH (JSONL, flushed per "
+            "cell) so a killed run loses nothing; pair with --resume to "
+            "continue an interrupted run from the same journal"
+        ),
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "resume from an existing --checkpoint journal: already-completed "
+            "cells are skipped and their journaled rows merged into the "
+            "final table exactly where an uninterrupted run would put them "
+            "(without --resume, a pre-existing journal file is an error)"
+        ),
+    )
+    parser.add_argument(
+        "--max-retries",
+        default=None,
+        type=int,
+        metavar="N",
+        help=(
+            "retry a grid cell up to N times on transient failures "
+            "(injected faults, cell timeouts, OS errors) with exponential "
+            "backoff; cells that exhaust the budget are recorded in the "
+            "failed-cells audit instead of aborting the run (default: 0, "
+            "or the REPRO_MAX_RETRIES environment variable)"
+        ),
+    )
+    parser.add_argument(
+        "--cell-timeout",
+        default=None,
+        type=float,
+        metavar="SECONDS",
+        help=(
+            "per-cell wall-clock deadline; an overrunning cell raises a "
+            "(retryable) timeout instead of stalling the whole grid "
+            "(default: no deadline, or the REPRO_CELL_TIMEOUT environment "
+            "variable)"
+        ),
+    )
+    parser.add_argument(
         "--trace-out",
         default=None,
         metavar="PATH",
@@ -103,12 +149,23 @@ def main(argv: Sequence[str] | None = None) -> int:
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
 
     # Experiment entry points take only a profile name, so the backend
-    # choice travels via the same environment variables resolve_backend()
-    # honours everywhere (scorers, grid fan-out, CI matrix legs).
+    # and fault-tolerance choices travel via the same environment
+    # variables resolve_backend() / FTConfig.from_env() honour everywhere
+    # (scorers, grid fan-out, worker processes, CI matrix legs).
     if args.backend is not None:
         os.environ[BACKEND_ENV] = args.backend
     if args.n_jobs is not None:
         os.environ[N_JOBS_ENV] = str(args.n_jobs)
+    if args.checkpoint is not None:
+        os.environ[CHECKPOINT_ENV] = args.checkpoint
+    if args.resume:
+        os.environ[RESUME_ENV] = "1"
+    elif args.checkpoint is not None:
+        os.environ[RESUME_ENV] = "0"
+    if args.max_retries is not None:
+        os.environ[MAX_RETRIES_ENV] = str(args.max_retries)
+    if args.cell_timeout is not None:
+        os.environ[CELL_TIMEOUT_ENV] = str(args.cell_timeout)
 
     from contextlib import nullcontext
 

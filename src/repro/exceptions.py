@@ -34,3 +34,29 @@ class GroundTruthError(ReproError, ValueError):
 
 class ExperimentError(ReproError, RuntimeError):
     """An experiment configuration or execution failed."""
+
+
+class TransientError(ReproError, RuntimeError):
+    """A failure that may succeed on retry (I/O hiccup, injected fault).
+
+    The fault-tolerance layer (:mod:`repro.ft`) retries cells that raise
+    this — or any :class:`OSError` — with exponential backoff; every other
+    exception is classified *fatal* and never retried.
+    """
+
+
+class FaultInjectionError(TransientError):
+    """A deliberately injected failure (``REPRO_FAULT_RATE`` / test seam)."""
+
+
+class CellTimeoutError(TransientError):
+    """A grid cell exceeded its per-cell deadline (``--cell-timeout``)."""
+
+
+class RetryExhaustedError(ReproError, RuntimeError):
+    """A transiently failing cell used up all its retry attempts.
+
+    Carries the final underlying error as ``__cause__``; grid executors
+    record the cell in their ``failed_cells`` audit (and the checkpoint
+    journal) under this error's message instead of aborting the run.
+    """

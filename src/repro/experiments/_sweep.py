@@ -35,7 +35,7 @@ def run_map_sweep(
     if profile.n_jobs > 1:
         from repro.pipeline.parallel import run_grid_parallel
 
-        results, skipped, skipped_undefined = run_grid_parallel(
+        results, skipped, skipped_undefined, failed_cells = run_grid_parallel(
             datasets,
             profile.detectors(),
             list(explainer_factories),
@@ -55,6 +55,7 @@ def run_map_sweep(
         results = runner.run(datasets, profile.explanation_dims)
         skipped = runner.skipped
         skipped_undefined = runner.skipped_undefined
+        failed_cells = runner.failed_cells
 
     sections: list[str] = []
     rows: list[dict[str, object]] = []
@@ -87,6 +88,15 @@ def run_map_sweep(
         ]
         sections.append(
             "undefined cells (never attempted):\n" + "\n".join(undefined_lines)
+        )
+    if failed_cells:
+        failed_lines = [
+            f"  {ds} / {det} / {expl} @ {dim}d: {reason}"
+            for ds, det, expl, dim, reason in failed_cells
+        ]
+        sections.append(
+            "failed cells (transient-retry budget exhausted — rerun with "
+            "--resume to reattempt):\n" + "\n".join(failed_lines)
         )
     return ExperimentReport(
         experiment=experiment,

@@ -94,6 +94,14 @@ def run(profile: ExperimentProfile | str = "smoke") -> ExperimentReport:
                 for ds, det, expl, dim, reason in runner.skipped
             )
         )
+    if runner.failed_cells:
+        sections.append(
+            "failed cells (transient-retry budget exhausted):\n"
+            + "\n".join(
+                f"  {ds} / {det} / {expl} @ {dim}d: {reason}"
+                for ds, det, expl, dim, reason in runner.failed_cells
+            )
+        )
     return ExperimentReport(
         experiment="extended",
         title="Extended sweep: +SurrogateExplainer, +LODA",

@@ -1,0 +1,71 @@
+"""Fault tolerance for grid experiments: checkpoint, retry, degrade.
+
+The paper's headline artefacts come from 12-pipeline grids over many
+datasets — long multi-worker jobs where, before this package, one flaky
+cell aborted the whole run and lost every completed cell. ``repro.ft``
+makes grid execution restartable and self-healing:
+
+* :class:`CheckpointJournal` — an append-only JSONL journal of completed
+  cell rows keyed by ``(dataset fingerprint, detector, explainer,
+  dimensionality, points)``; resumed runs skip journaled cells and merge
+  their rows back in deterministic grid order.
+* :class:`FTConfig` / :func:`execute_cell` — retry with exponential
+  backoff and a per-cell timeout around every cell, with one shared
+  transient-vs-fatal :func:`classify_error` rule; cells that exhaust
+  their budget land in a ``failed_cells`` audit instead of killing the
+  grid.
+* :class:`FaultInjector` — the deterministic fault seam
+  (``REPRO_FAULT_RATE`` / ``inject_fault=``) the test suite uses to prove
+  the recovery semantics.
+
+Recovery is observable through the ``repro_ft_*`` metrics (retries,
+journal rows/hits, failed cells, injected faults) — see
+``docs/OBSERVABILITY.md``; ``docs/RUNBOOK.md`` walks through launching,
+checkpointing, resuming, and triaging a grid run end to end.
+"""
+
+from repro.ft.faults import (
+    FAULT_MAX_ENV,
+    FAULT_RATE_ENV,
+    FAULT_SEED_ENV,
+    FaultInjector,
+)
+from repro.ft.guard import (
+    BACKOFF_ENV,
+    CELL_TIMEOUT_ENV,
+    CHECKPOINT_ENV,
+    MAX_RETRIES_ENV,
+    RESUME_ENV,
+    FTConfig,
+    call_with_timeout,
+    classify_error,
+    execute_cell,
+    resolve_ft,
+)
+from repro.ft.journal import (
+    CheckpointJournal,
+    cell_key,
+    result_from_record,
+    result_to_record,
+)
+
+__all__ = [
+    "BACKOFF_ENV",
+    "CELL_TIMEOUT_ENV",
+    "CHECKPOINT_ENV",
+    "FAULT_MAX_ENV",
+    "FAULT_RATE_ENV",
+    "FAULT_SEED_ENV",
+    "MAX_RETRIES_ENV",
+    "RESUME_ENV",
+    "CheckpointJournal",
+    "FTConfig",
+    "FaultInjector",
+    "call_with_timeout",
+    "cell_key",
+    "classify_error",
+    "execute_cell",
+    "resolve_ft",
+    "result_from_record",
+    "result_to_record",
+]

@@ -1,0 +1,136 @@
+"""Deterministic fault injection for proving recovery semantics.
+
+A fault-tolerance layer is only trustworthy if its recovery paths are
+*tested*, and testing them needs failures that are reproducible — the
+same cells fail, in the same way, on every run. :class:`FaultInjector`
+provides that: each cell key is hashed (with a seed) to a stable value in
+``[0, 1)``; keys below the configured rate raise
+:class:`~repro.exceptions.FaultInjectionError` on their first
+``max_faults`` attempts and then succeed, so a retrying executor can
+demonstrably recover. Setting ``max_faults`` above the retry budget makes
+the selected cells fail permanently, exercising the ``failed_cells``
+degradation path instead.
+
+Injection is off unless explicitly configured — either through the
+``inject_fault=`` seam on :class:`~repro.ft.FTConfig` or the
+``REPRO_FAULT_RATE`` environment variable (with ``REPRO_FAULT_SEED`` and
+``REPRO_FAULT_MAX`` refining it), which is how the CI suite flips it on
+without code changes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+
+from repro.exceptions import FaultInjectionError, ValidationError
+
+__all__ = [
+    "FAULT_MAX_ENV",
+    "FAULT_RATE_ENV",
+    "FAULT_SEED_ENV",
+    "FaultInjector",
+]
+
+#: Environment variable: fault probability per cell key in ``[0, 1]``.
+FAULT_RATE_ENV = "REPRO_FAULT_RATE"
+#: Environment variable: seed of the key-selection hash (default 0).
+FAULT_SEED_ENV = "REPRO_FAULT_SEED"
+#: Environment variable: faults injected per selected key (default 1).
+FAULT_MAX_ENV = "REPRO_FAULT_MAX"
+
+
+class FaultInjector:
+    """Deterministically fail a stable subset of cell keys.
+
+    Parameters
+    ----------
+    rate:
+        Fraction of keys selected for injection, in ``[0, 1]``.
+    seed:
+        Varies *which* keys are selected without changing the rate.
+    max_faults:
+        How many attempts of a selected key raise before it is allowed to
+        succeed. ``1`` (default) proves retry recovery; a value above the
+        executor's retry budget proves graceful degradation.
+
+    Examples
+    --------
+    >>> injector = FaultInjector(rate=1.0, max_faults=1)
+    >>> injector.check("cell-a")
+    Traceback (most recent call last):
+        ...
+    repro.exceptions.FaultInjectionError: injected fault for 'cell-a' (attempt 1)
+    >>> injector.check("cell-a")  # second attempt of the same key succeeds
+    >>> FaultInjector(rate=0.0).selected("cell-a")
+    False
+    """
+
+    def __init__(
+        self, rate: float, *, seed: int = 0, max_faults: int = 1
+    ) -> None:
+        if not 0.0 <= rate <= 1.0:
+            raise ValidationError(f"fault rate must be in [0, 1], got {rate}")
+        if max_faults < 1:
+            raise ValidationError(
+                f"max_faults must be >= 1, got {max_faults}"
+            )
+        self.rate = float(rate)
+        self.seed = int(seed)
+        self.max_faults = int(max_faults)
+        self._attempts: dict[str, int] = {}
+
+    @classmethod
+    def from_env(cls) -> "FaultInjector | None":
+        """The injector the environment asks for, or ``None`` when off."""
+        raw = os.environ.get(FAULT_RATE_ENV, "").strip()
+        if not raw:
+            return None
+        try:
+            rate = float(raw)
+        except ValueError as exc:
+            raise ValidationError(
+                f"{FAULT_RATE_ENV} must be a float, got {raw!r}"
+            ) from exc
+        if rate <= 0.0:
+            return None
+        return cls(
+            rate=rate,
+            seed=int(os.environ.get(FAULT_SEED_ENV, "0")),
+            max_faults=int(os.environ.get(FAULT_MAX_ENV, "1")),
+        )
+
+    def selected(self, key: str) -> bool:
+        """Whether ``key`` is in the injected subset (attempt-independent)."""
+        if self.rate <= 0.0:
+            return False
+        if self.rate >= 1.0:
+            return True
+        digest = hashlib.sha256(f"{self.seed}|{key}".encode()).digest()
+        u = int.from_bytes(digest[:8], "big") / float(1 << 64)
+        return u < self.rate
+
+    def check(self, key: str) -> None:
+        """Raise :class:`FaultInjectionError` if this attempt must fail.
+
+        Attempts are counted per key, so a selected key fails exactly
+        ``max_faults`` times and then succeeds — within one process. (The
+        counter is process-local; under the process backend each retry
+        loop runs entirely inside one worker, which is all the counting
+        the recovery semantics need.)
+        """
+        if not self.selected(key):
+            return
+        attempt = self._attempts.get(key, 0) + 1
+        if attempt > self.max_faults:
+            return
+        self._attempts[key] = attempt
+        raise FaultInjectionError(
+            f"injected fault for {key!r} (attempt {attempt})"
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"FaultInjector(rate={self.rate}, seed={self.seed}, "
+            f"max_faults={self.max_faults})"
+        )

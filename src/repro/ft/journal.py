@@ -1,0 +1,263 @@
+"""Cell-level checkpoint journal for resumable grid runs.
+
+A paper-scale grid is hours of compute over hundreds of independent
+cells; losing all of it to one crash is the failure mode this module
+removes. The journal is an append-only JSONL file: one line per
+*completed* cell carrying everything needed to rebuild that cell's
+:class:`~repro.pipeline.pipeline.PipelineResult` row (evaluation, cost
+breakdown, timings), plus one line per cell that exhausted its retries.
+Each line is flushed as soon as the cell finishes, so a killed run keeps
+every cell it paid for; on restart, executors skip journaled cells and
+merge their rows back into the final table at the position an
+uninterrupted run would have produced them.
+
+Cells are keyed by ``(dataset fingerprint, detector, explainer,
+dimensionality, points)`` — the fingerprint (name + content hash, see
+:meth:`repro.datasets.base.Dataset.fingerprint`) rather than the name
+alone, so a regenerated dataset with different content can never alias a
+stale journal entry, and the explained point set is part of the identity
+so profiles with different outlier caps never share rows.
+
+The journal stores the *row-level* view of a result (everything
+``as_row()`` and the evaluation expose). The per-point subspace rankings
+(``explanations`` / ``summary``) are deliberately not journaled — they
+are large, and nothing downstream of a grid consumes them from the
+table; replayed results carry ``None`` there.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import TYPE_CHECKING, Any
+
+from repro.exceptions import ValidationError
+from repro.obs import metrics as obs_metrics
+
+if TYPE_CHECKING:  # pragma: no cover - repro.pipeline imports repro.ft at runtime
+    from repro.pipeline.pipeline import PipelineResult
+
+__all__ = [
+    "CheckpointJournal",
+    "cell_key",
+    "result_from_record",
+    "result_to_record",
+]
+
+#: Journal format version, bumped on incompatible record changes.
+JOURNAL_VERSION = 1
+
+_JOURNAL_ROWS = obs_metrics.counter(
+    "repro_ft_journal_rows_total",
+    "Cell rows appended to a checkpoint journal, by kind",
+)
+_JOURNAL_HITS = obs_metrics.counter(
+    "repro_ft_journal_hits_total",
+    "Grid cells skipped because the checkpoint journal already had them",
+)
+
+
+def cell_key(
+    fingerprint: tuple[str, int],
+    detector: str,
+    explainer: str,
+    dimensionality: int,
+    points: "tuple[int, ...] | None" = None,
+) -> str:
+    """Stable identity of one grid cell.
+
+    Examples
+    --------
+    >>> cell_key(("hics_14", 123), "lof", "beam", 2, (0, 5))
+    'hics_14:123|lof|beam|2|0,5'
+    >>> cell_key(("hics_14", 123), "lof", "beam", 2)
+    'hics_14:123|lof|beam|2|*'
+    """
+    name, content_hash = fingerprint
+    point_part = "*" if points is None else ",".join(str(int(p)) for p in points)
+    return (
+        f"{name}:{int(content_hash)}|{detector}|{explainer}"
+        f"|{int(dimensionality)}|{point_part}"
+    )
+
+
+def result_to_record(result: PipelineResult) -> dict[str, Any]:
+    """The JSON-serialisable journal payload of one completed cell."""
+    evaluation = result.evaluation
+    return {
+        "dataset": result.dataset,
+        "detector": result.detector,
+        "explainer": result.explainer,
+        "dimensionality": int(result.dimensionality),
+        "seconds": float(result.seconds),
+        "n_subspaces_scored": int(result.n_subspaces_scored),
+        "cost_breakdown": {
+            k: float(v) for k, v in result.cost_breakdown.items()
+        },
+        "evaluation": {
+            "map": float(evaluation.map),
+            "mean_recall": float(evaluation.mean_recall),
+            "per_point_ap": {
+                str(p): float(v) for p, v in evaluation.per_point_ap.items()
+            },
+            "per_point_recall": {
+                str(p): float(v)
+                for p, v in evaluation.per_point_recall.items()
+            },
+            "dimensionality": int(evaluation.dimensionality),
+        },
+    }
+
+
+def result_from_record(record: dict[str, Any]) -> PipelineResult:
+    """Rebuild a journaled cell row (inverse of :func:`result_to_record`)."""
+    # Imported here, not at module level: repro.pipeline imports repro.ft,
+    # so a top-level import would make the package order-dependent.
+    from repro.metrics.evaluation import EvaluationResult
+    from repro.pipeline.pipeline import PipelineResult
+
+    ev = record["evaluation"]
+    evaluation = EvaluationResult(
+        map=float(ev["map"]),
+        mean_recall=float(ev["mean_recall"]),
+        per_point_ap={int(p): float(v) for p, v in ev["per_point_ap"].items()},
+        per_point_recall={
+            int(p): float(v) for p, v in ev["per_point_recall"].items()
+        },
+        dimensionality=int(ev["dimensionality"]),
+    )
+    return PipelineResult(
+        dataset=record["dataset"],
+        detector=record["detector"],
+        explainer=record["explainer"],
+        dimensionality=int(record["dimensionality"]),
+        evaluation=evaluation,
+        seconds=float(record["seconds"]),
+        n_subspaces_scored=int(record["n_subspaces_scored"]),
+        cost_breakdown={
+            k: float(v) for k, v in record.get("cost_breakdown", {}).items()
+        },
+        explanations=None,
+        summary=None,
+    )
+
+
+class CheckpointJournal:
+    """Append-only JSONL journal of completed (and failed) grid cells.
+
+    Opening a journal loads whatever a previous run left behind: a
+    truncated final line (the signature of a crash mid-write) is ignored,
+    every complete line before it is kept. Appends are flushed and
+    fsynced per cell, so the file is always one ``O_APPEND`` write away
+    from consistent.
+
+    Examples
+    --------
+    >>> import tempfile, os
+    >>> path = os.path.join(tempfile.mkdtemp(), "grid.journal")
+    >>> journal = CheckpointJournal(path)
+    >>> journal.completed_keys()
+    []
+    """
+
+    def __init__(self, path: str, *, resume: bool = True) -> None:
+        self.path = str(path)
+        #: Completed cells: key → journal record (see :func:`result_to_record`).
+        self._completed: dict[str, dict[str, Any]] = {}
+        #: Cells that exhausted retries in a previous run: key → audit record.
+        self._failed: dict[str, dict[str, Any]] = {}
+        if resume:
+            self._load()
+        elif os.path.exists(self.path):
+            raise ValidationError(
+                f"checkpoint journal {self.path!r} already exists; pass "
+                "--resume (resume=True) to continue it or remove the file "
+                "to start over"
+            )
+
+    # ------------------------------------------------------------------
+    # Reading.
+    # ------------------------------------------------------------------
+
+    def _load(self) -> None:
+        if not os.path.exists(self.path):
+            return
+        with open(self.path, encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except json.JSONDecodeError:
+                    # A torn final line from a crash mid-append; everything
+                    # before it is intact, so keep loading conservatively.
+                    continue
+                kind = entry.get("kind")
+                key = entry.get("key")
+                if not isinstance(key, str):
+                    continue
+                if kind == "result":
+                    self._completed[key] = entry["record"]
+                    # A cell that failed earlier but succeeded on a later
+                    # run is no longer failed.
+                    self._failed.pop(key, None)
+                elif kind == "failed":
+                    self._failed[key] = entry["record"]
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._completed
+
+    def __len__(self) -> int:
+        return len(self._completed)
+
+    def completed_keys(self) -> list[str]:
+        """Keys of every journaled completed cell (load order)."""
+        return list(self._completed)
+
+    def failed_keys(self) -> list[str]:
+        """Keys journaled as retry-exhausted and not completed since."""
+        return list(self._failed)
+
+    def replay(self, key: str) -> PipelineResult:
+        """The reconstructed result of a journaled completed cell.
+
+        Counts a ``repro_ft_journal_hits_total`` so resumed runs expose
+        how much work the journal saved.
+        """
+        _JOURNAL_HITS.inc()
+        return result_from_record(self._completed[key])
+
+    # ------------------------------------------------------------------
+    # Writing.
+    # ------------------------------------------------------------------
+
+    def record_result(self, key: str, result: PipelineResult) -> None:
+        """Journal one completed cell (flushed + fsynced immediately)."""
+        record = result_to_record(result)
+        self._append({"v": JOURNAL_VERSION, "kind": "result",
+                      "key": key, "record": record})
+        self._completed[key] = record
+        self._failed.pop(key, None)
+        _JOURNAL_ROWS.inc(kind="result")
+
+    def record_failure(self, key: str, record: dict[str, Any]) -> None:
+        """Journal one retry-exhausted cell for post-mortem triage."""
+        self._append({"v": JOURNAL_VERSION, "kind": "failed",
+                      "key": key, "record": record})
+        self._failed[key] = record
+        _JOURNAL_ROWS.inc(kind="failed")
+
+    def _append(self, entry: dict[str, Any]) -> None:
+        parent = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(parent, exist_ok=True)
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(entry, sort_keys=True) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def __repr__(self) -> str:
+        return (
+            f"CheckpointJournal({self.path!r}, completed={len(self._completed)}, "
+            f"failed={len(self._failed)})"
+        )

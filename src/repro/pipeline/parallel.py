@@ -14,7 +14,15 @@ Grouping by (dataset, detector) rather than by single cell is the load
 unit because it preserves the cache and keeps pickling traffic low (one
 dataset ship per group). Results are returned in deterministic
 (dataset, detector, explainer, dimensionality) order regardless of worker
-scheduling — the backend's ``map_ordered`` primitive guarantees it.
+scheduling.
+
+Execution is fault-tolerant (see :mod:`repro.ft`): each cell runs under
+the same retry/timeout/classification guard as
+:class:`~repro.pipeline.GridRunner`, groups stream back in completion
+order so a checkpoint journal captures every finished group the moment it
+lands (a killed run keeps everything it paid for), and a resumed run
+ships only the *unfinished* cells to the workers, merging journaled rows
+back into the final table at their deterministic positions.
 
 Cells that are never attempted (no ground-truth point at a requested
 dimensionality, or an empty ``points_selector`` result) are recorded in
@@ -31,6 +39,7 @@ from repro.datasets.base import Dataset
 from repro.detectors.base import Detector
 from repro.exceptions import ExperimentError
 from repro.exec import ExecutionBackend, resolve_backend
+from repro.ft import CheckpointJournal, FTConfig, cell_key, execute_cell, resolve_ft
 from repro.obs import metrics as obs_metrics
 from repro.pipeline.pipeline import ExplanationPipeline, PipelineResult
 from repro.pipeline.results import ResultTable
@@ -54,6 +63,15 @@ SkipRecord = tuple[str, str, str, int, str]
 #: same audit shape as ``GridRunner.skipped_undefined``.
 UndefinedRecord = tuple[str, int, str]
 
+#: What one worker sends back per group: completed cells keyed for the
+#: deterministic merge, fatal skips, and retry-exhausted failures (with
+#: their keys so the parent can journal them).
+GroupOutcome = tuple[
+    list[tuple[str, PipelineResult]],
+    list[SkipRecord],
+    list[tuple[str, SkipRecord]],
+]
+
 
 def run_grid_parallel(
     datasets: Sequence[Dataset],
@@ -65,23 +83,44 @@ def run_grid_parallel(
     backend: "str | ExecutionBackend | None" = None,
     points_selector: Callable[[Dataset, int], tuple[int, ...]] | None = None,
     skip_errors: bool = True,
-) -> tuple[ResultTable, list[SkipRecord], list[UndefinedRecord]]:
+    ft: "FTConfig | None" = None,
+) -> tuple[ResultTable, list[SkipRecord], list[UndefinedRecord], list[SkipRecord]]:
     """Run the full grid over an execution backend.
 
     Parameters mirror :class:`~repro.pipeline.GridRunner`; ``n_jobs`` is
     the worker count and ``backend`` the execution backend kind
     (``"process"`` by default when ``n_jobs > 1``; ``n_jobs=1`` falls back
-    to in-process execution). Returns the result table, the error-skipped
-    cell records, and the never-attempted ``skipped_undefined`` audit
-    records.
+    to in-process execution). ``ft`` configures checkpointing, retries,
+    and per-cell timeouts (``None`` resolves from the ``REPRO_*``
+    environment — inert by default).
+
+    Returns ``(table, skipped, skipped_undefined, failed_cells)``: the
+    result table, the fatally-skipped cell records, the never-attempted
+    audit records, and the cells that exhausted their transient-retry
+    budget (same record shape as ``skipped``; they never abort the grid).
 
     All components must be picklable for the process backend — true for
     every detector, explainer and dataset in this library.
+
+    Examples
+    --------
+    >>> table, skipped, undefined, failed = run_grid_parallel(
+    ...     datasets, detectors, factories, [2, 3],
+    ...     n_jobs=4, backend="process",
+    ...     ft=FTConfig(checkpoint="grid.journal", max_retries=2),
+    ... )                                                # doctest: +SKIP
     """
     if n_jobs < 1:
         raise ExperimentError(f"n_jobs must be >= 1, got {n_jobs}")
     if not datasets or not detectors or not explainer_factories:
         raise ExperimentError("datasets, detectors and explainers are required")
+
+    ft = resolve_ft(ft)
+    journal = (
+        CheckpointJournal(ft.checkpoint, resume=ft.resume)
+        if ft.checkpoint
+        else None
+    )
 
     n_pipelines = len(detectors) * len(explainer_factories)
     groups: list[GroupSpec] = []
@@ -112,56 +151,116 @@ def run_grid_parallel(
             explainers = [factory() for factory in explainer_factories]
             groups.append((dataset, detector, explainers, cells))
 
+    # Resumed cells never leave the parent: workers receive the set of
+    # journaled keys per group and run only the remainder.
+    done_keys = frozenset(journal.completed_keys()) if journal is not None else frozenset()
+    packed = [(group, skip_errors, ft, done_keys) for group in groups]
+
+    outcomes: list[GroupOutcome | None] = [None] * len(groups)
+
+    def _absorb(index: int, outcome: GroupOutcome) -> None:
+        """Journal one finished group immediately (crash = keep the group)."""
+        outcomes[index] = outcome
+        if journal is None:
+            return
+        fresh, _, failed = outcome
+        for key, result in fresh:
+            journal.record_result(key, result)
+        for key, record in failed:
+            journal.record_failure(
+                key,
+                {"error": record[-1], "dataset": record[0],
+                 "detector": record[1], "explainer": record[2],
+                 "dimensionality": int(record[3])},
+            )
+
     if n_jobs == 1:
-        outcomes = [_run_group((group, skip_errors)) for group in groups]
+        for index, item in enumerate(packed):
+            _absorb(index, _run_group(item))
     else:
         resolved = resolve_backend(
             backend if backend is not None else "process", n_jobs
         )
         try:
-            outcomes = resolved.map_ordered(
-                _run_group, [(group, skip_errors) for group in groups]
-            )
+            for index, outcome in resolved.map_completed(_run_group, packed):
+                _absorb(index, outcome)
         finally:
             if not isinstance(backend, ExecutionBackend):
                 resolved.close()  # Pool owned here, not by the caller.
 
+    # Deterministic merge: walk the grid in submission order and take each
+    # cell from the journal (resumed) or the worker outcome (fresh) — the
+    # final table is ordered exactly as an uninterrupted run's.
     table = ResultTable()
     skipped: list[SkipRecord] = []
-    for results, group_skipped in outcomes:
-        table.extend(results)
+    failed_cells: list[SkipRecord] = []
+    for group, outcome in zip(groups, outcomes):
+        assert outcome is not None  # every group ran or raised
+        fresh, group_skipped, group_failed = outcome
+        fresh_by_key = dict(fresh)
+        dataset, detector, explainers, cells = group
+        for explainer in explainers:
+            for dimensionality, points in cells:
+                key = cell_key(
+                    dataset.fingerprint,
+                    detector.name,
+                    getattr(explainer, "name", type(explainer).__name__),
+                    dimensionality,
+                    points,
+                )
+                if key in fresh_by_key:
+                    table.add(fresh_by_key[key])
+                elif journal is not None and key in journal:
+                    table.add(journal.replay(key))
         skipped.extend(group_skipped)
-    return table, skipped, skipped_undefined
+        failed_cells.extend(record for _, record in group_failed)
+    return table, skipped, skipped_undefined, failed_cells
 
 
 def _run_group(
-    packed: tuple[GroupSpec, bool]
-) -> tuple[list[PipelineResult], list[SkipRecord]]:
-    """Execute one (dataset, detector) group's cells sequentially.
+    packed: "tuple[GroupSpec, bool, FTConfig, frozenset[str]]",
+) -> GroupOutcome:
+    """Execute one (dataset, detector) group's unfinished cells.
 
     Module-level and single-argument so every backend (including the
-    process pool) can dispatch it.
+    process pool) can dispatch it. Each cell runs under the shared
+    :func:`repro.ft.execute_cell` guard — the same retry/backoff/timeout
+    and transient-vs-fatal classification the serial
+    :class:`~repro.pipeline.GridRunner` applies, so failure semantics do
+    not depend on how the grid was scheduled.
     """
-    (dataset, detector, explainers, cells), skip_errors = packed
-    results: list[PipelineResult] = []
+    (dataset, detector, explainers, cells), skip_errors, ft, done_keys = packed
+    fresh: list[tuple[str, PipelineResult]] = []
     skipped: list[SkipRecord] = []
+    failed: list[tuple[str, SkipRecord]] = []
     for explainer in explainers:
         pipeline = ExplanationPipeline(detector, explainer)  # type: ignore[arg-type]
+        explainer_name = getattr(explainer, "name", type(explainer).__name__)
         for dimensionality, points in cells:
-            try:
-                results.append(
-                    pipeline.run(dataset, dimensionality, points=points)
-                )
-            except Exception as exc:  # noqa: BLE001 - surfaced to caller
-                if not skip_errors:
-                    raise
-                skipped.append(
-                    (
-                        dataset.name,
-                        detector.name,
-                        getattr(explainer, "name", type(explainer).__name__),
-                        dimensionality,
-                        f"{type(exc).__name__}: {exc}",
-                    )
-                )
-    return results, skipped
+            key = cell_key(
+                dataset.fingerprint, detector.name, explainer_name,
+                dimensionality, points,
+            )
+            if key in done_keys:
+                continue  # journaled by a previous run; parent replays it
+            status, outcome = execute_cell(
+                lambda: pipeline.run(dataset, dimensionality, points=points),
+                key=key,
+                ft=ft,
+                skip_errors=skip_errors,
+            )
+            if status == "result":
+                fresh.append((key, outcome))  # type: ignore[arg-type]
+                continue
+            record: SkipRecord = (
+                dataset.name,
+                detector.name,
+                explainer_name,
+                dimensionality,
+                str(outcome),
+            )
+            if status == "failed":
+                failed.append((key, record))
+            else:
+                skipped.append(record)
+    return fresh, skipped, failed

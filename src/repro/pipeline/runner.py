@@ -5,6 +5,12 @@ datasets × explanation dimensionalities 2–5). :class:`GridRunner` executes
 such a grid with shared scorer caches per (dataset, detector) — the same
 amortisation the testbed relies on — and collects a
 :class:`~repro.pipeline.results.ResultTable`.
+
+Execution is fault-tolerant (see :mod:`repro.ft`): every cell runs under
+the shared retry/timeout/classification guard, completed cells stream
+into an optional checkpoint journal, and a resumed run replays journaled
+cells instead of recomputing them — the final table comes out in the same
+deterministic (dataset, dimensionality, pipeline) order either way.
 """
 
 from __future__ import annotations
@@ -15,6 +21,7 @@ from repro.datasets.base import Dataset
 from repro.detectors.base import Detector
 from repro.exceptions import ExperimentError
 from repro.explainers.base import PointExplainer, SummaryExplainer
+from repro.ft import CheckpointJournal, FTConfig, cell_key, execute_cell, resolve_ft
 from repro.obs import metrics as obs_metrics
 from repro.obs.trace import span as obs_span
 from repro.pipeline.pipeline import ExplanationPipeline, PipelineResult
@@ -46,10 +53,15 @@ class GridRunner:
         state across grid cells.
     on_result:
         Optional callback invoked after each cell (progress reporting).
+        Also fires for cells replayed from a checkpoint journal, so
+        progress counts stay truthful across resumes.
     skip_errors:
-        When ``True``, cells that raise are recorded as skipped instead of
-        aborting the grid (mirrors the paper running some pipelines "only
-        up to 3d explanations" where others were infeasible).
+        When ``True``, cells that raise a *fatal* error are recorded as
+        skipped instead of aborting the grid (mirrors the paper running
+        some pipelines "only up to 3d explanations" where others were
+        infeasible). Transient errors are governed by ``ft`` instead: they
+        are retried, and on exhaustion always degrade into
+        :attr:`failed_cells` rather than raising.
     points_selector:
         Optional ``(dataset, dimensionality) -> points`` hook restricting
         which ground-truth points each cell explains (experiment profiles
@@ -60,6 +72,12 @@ class GridRunner:
         ``REPRO_BACKEND`` default) handed to every pipeline of the grid —
         this is the *intra-cell* parallelism knob; see
         :func:`~repro.pipeline.run_grid_parallel` for inter-cell fan-out.
+    ft:
+        Fault-tolerance configuration (checkpoint journal, retry budget,
+        per-cell timeout, fault injection). ``None`` resolves from the
+        ``REPRO_CHECKPOINT`` / ``REPRO_MAX_RETRIES`` / ``REPRO_CELL_TIMEOUT``
+        / ``REPRO_FAULT_RATE`` environment variables — all inert by
+        default, so a plain ``GridRunner(...)`` behaves exactly as before.
     """
 
     def __init__(
@@ -71,6 +89,7 @@ class GridRunner:
         skip_errors: bool = False,
         points_selector: Callable[[Dataset, int], tuple[int, ...]] | None = None,
         backend: object = None,
+        ft: FTConfig | None = None,
     ) -> None:
         if not detectors:
             raise ExperimentError("at least one detector is required")
@@ -81,6 +100,7 @@ class GridRunner:
         self.on_result = on_result
         self.skip_errors = skip_errors
         self.points_selector = points_selector
+        self.ft = ft
         self.skipped: list[tuple[str, str, str, int, str]] = []
         #: Cells never attempted: ``(dataset, dimensionality, reason)`` where
         #: reason is ``"undefined_dimensionality"`` (no ground-truth point at
@@ -89,6 +109,12 @@ class GridRunner:
         #: pipeline of the grid, making grid coverage auditable instead of
         #: silently thinner than the cross-product suggests.
         self.skipped_undefined: list[tuple[str, int, str]] = []
+        #: Cells that exhausted their transient-retry budget:
+        #: ``(dataset, detector, explainer, dimensionality, error)`` — the
+        #: same audit shape as :attr:`skipped`. A failed cell never aborts
+        #: the grid; it is journaled (when checkpointing) for triage and
+        #: re-attempted on the next resumed run.
+        self.failed_cells: list[tuple[str, str, str, int, str]] = []
         self.backend = backend
         # One pipeline per (detector, factory) so scorer caches persist
         # across datasets and dimensionalities.
@@ -107,6 +133,9 @@ class GridRunner:
         self,
         datasets: Iterable[Dataset],
         dimensionalities: Sequence[int],
+        *,
+        checkpoint: str | None = None,
+        resume: bool | None = None,
     ) -> ResultTable:
         """Execute the full grid and return the collected results.
 
@@ -115,7 +144,24 @@ class GridRunner:
         not defined; they are recorded in :attr:`skipped_undefined` and
         counted on ``repro_grid_cells_skipped_total`` rather than silently
         dropped.
+
+        ``checkpoint`` (and ``resume``) override the corresponding
+        :class:`~repro.ft.FTConfig` fields for this run only: with a
+        journal path, every completed cell is appended (flushed per cell),
+        and a restart skips journaled cells, merging their rows into the
+        table at the position an uninterrupted run would produce them.
         """
+        ft = resolve_ft(self.ft)
+        if checkpoint is not None:
+            ft = ft.with_overrides(checkpoint=checkpoint)
+        if resume is not None:
+            ft = ft.with_overrides(resume=resume)
+        journal = (
+            CheckpointJournal(ft.checkpoint, resume=ft.resume)
+            if ft.checkpoint
+            else None
+        )
+
         table = ResultTable()
         with obs_span("grid.run", n_pipelines=len(self._pipelines)):
             for dataset in datasets:
@@ -135,36 +181,79 @@ class GridRunner:
                             )
                             continue
                     for pipeline in self._pipelines:
-                        with obs_span(
-                            "grid.cell",
-                            dataset=dataset.name,
-                            detector=pipeline.detector.name,
-                            explainer=pipeline.explainer.name,
-                            dimensionality=int(dimensionality),
-                        ):
-                            try:
-                                result = pipeline.run(
-                                    dataset, dimensionality, points=points
-                                )
-                            except Exception as exc:  # noqa: BLE001 - reported below
-                                if not self.skip_errors:
-                                    raise
-                                _CELLS_SKIPPED.inc(reason="error")
-                                self.skipped.append(
-                                    (
-                                        dataset.name,
-                                        pipeline.detector.name,
-                                        pipeline.explainer.name,
-                                        dimensionality,
-                                        f"{type(exc).__name__}: {exc}",
-                                    )
-                                )
-                                continue
-                        _CELLS_RUN.inc()
+                        result = self._run_cell(
+                            pipeline, dataset, dimensionality, points, ft, journal
+                        )
+                        if result is None:
+                            continue
                         table.add(result)
                         if self.on_result is not None:
                             self.on_result(result)
         return table
+
+    def _run_cell(
+        self,
+        pipeline: ExplanationPipeline,
+        dataset: Dataset,
+        dimensionality: int,
+        points: tuple[int, ...] | None,
+        ft: FTConfig,
+        journal: CheckpointJournal | None,
+    ) -> PipelineResult | None:
+        """One guarded cell: journal replay, execution, audit routing."""
+        key = cell_key(
+            dataset.fingerprint,
+            pipeline.detector.name,
+            pipeline.explainer.name,
+            dimensionality,
+            points,
+        )
+        if journal is not None and key in journal:
+            return journal.replay(key)
+        with obs_span(
+            "grid.cell",
+            dataset=dataset.name,
+            detector=pipeline.detector.name,
+            explainer=pipeline.explainer.name,
+            dimensionality=int(dimensionality),
+        ):
+            status, outcome = execute_cell(
+                lambda: pipeline.run(dataset, dimensionality, points=points),
+                key=key,
+                ft=ft,
+                skip_errors=self.skip_errors,
+            )
+        if status == "result":
+            _CELLS_RUN.inc()
+            result: PipelineResult = outcome  # type: ignore[assignment]
+            if journal is not None:
+                journal.record_result(key, result)
+            return result
+        record = (
+            dataset.name,
+            pipeline.detector.name,
+            pipeline.explainer.name,
+            dimensionality,
+            str(outcome),
+        )
+        if status == "failed":
+            _CELLS_SKIPPED.inc(reason="failed")
+            self.failed_cells.append(record)
+            if journal is not None:
+                journal.record_failure(
+                    key,
+                    {
+                        "dataset": dataset.name,
+                        "detector": pipeline.detector.name,
+                        "explainer": pipeline.explainer.name,
+                        "dimensionality": int(dimensionality),
+                        "error": str(outcome),
+                    },
+                )
+        else:  # fatal error, skip_errors=True
+            _CELLS_SKIPPED.inc(reason="error")
+            self.skipped.append(record)
+        return None
 
     def _skip_undefined(self, dataset: str, dimensionality: int, reason: str) -> None:
         """Record a never-attempted (dataset, dimensionality) slice."""

@@ -8,12 +8,33 @@ the planted structure alongside the data so tests can assert recovery.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
 from repro.datasets import load_dataset
 from repro.detectors import LOF
 from repro.subspaces import SubspaceScorer
+
+
+@pytest.fixture(autouse=True)
+def _isolate_repro_env():
+    """Restore every ``REPRO_*`` environment variable after each test.
+
+    The CLI deliberately exports its flags as ``REPRO_*`` variables so
+    they reach library layers and worker processes; without this guard a
+    test that invokes ``repro.cli.main`` (or sets the variables directly)
+    would leak configuration — e.g. a checkpoint path — into every test
+    that runs after it. Variables set outside the suite (such as the CI
+    matrix's ``REPRO_BACKEND``) are preserved.
+    """
+    saved = {k: v for k, v in os.environ.items() if k.startswith("REPRO_")}
+    yield
+    for key in [k for k in os.environ if k.startswith("REPRO_")]:
+        if key not in saved:
+            del os.environ[key]
+    os.environ.update(saved)
 
 
 @pytest.fixture(scope="session")

@@ -52,6 +52,28 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["table1", "--backend", "gpu"])
 
+    def test_ft_flags_default_to_environment(self):
+        args = build_parser().parse_args(["table1"])
+        assert args.checkpoint is None
+        assert args.resume is False
+        assert args.max_retries is None
+        assert args.cell_timeout is None
+
+    def test_ft_flags_parsed(self):
+        args = build_parser().parse_args(
+            [
+                "figure9",
+                "--checkpoint", "run.journal",
+                "--resume",
+                "--max-retries", "2",
+                "--cell-timeout", "30.5",
+            ]
+        )
+        assert args.checkpoint == "run.journal"
+        assert args.resume is True
+        assert args.max_retries == 2
+        assert args.cell_timeout == 30.5
+
 
 class TestMain:
     def test_table1_smoke(self, capsys):
@@ -113,3 +135,43 @@ class TestMain:
         ) == 0
         assert os.environ[BACKEND_ENV] == "thread"
         assert os.environ[N_JOBS_ENV] == "2"
+
+    def test_ft_flags_export_environment(self, capsys, monkeypatch, tmp_path):
+        import os
+
+        from repro.ft import (
+            CELL_TIMEOUT_ENV,
+            CHECKPOINT_ENV,
+            MAX_RETRIES_ENV,
+            RESUME_ENV,
+        )
+
+        for env in (CHECKPOINT_ENV, RESUME_ENV, MAX_RETRIES_ENV, CELL_TIMEOUT_ENV):
+            monkeypatch.delenv(env, raising=False)
+        path = str(tmp_path / "run.journal")
+        assert main(
+            [
+                "table1", "--profile", "smoke",
+                "--checkpoint", path,
+                "--max-retries", "1",
+                "--cell-timeout", "60",
+            ]
+        ) == 0
+        assert os.environ[CHECKPOINT_ENV] == path
+        # --checkpoint without --resume refuses pre-existing journals
+        assert os.environ[RESUME_ENV] == "0"
+        assert os.environ[MAX_RETRIES_ENV] == "1"
+        assert os.environ[CELL_TIMEOUT_ENV] == "60.0"
+
+    def test_resume_flag_exports_environment(self, capsys, monkeypatch, tmp_path):
+        import os
+
+        from repro.ft import CHECKPOINT_ENV, RESUME_ENV
+
+        monkeypatch.delenv(CHECKPOINT_ENV, raising=False)
+        monkeypatch.delenv(RESUME_ENV, raising=False)
+        path = str(tmp_path / "run.journal")
+        assert main(
+            ["table1", "--profile", "smoke", "--checkpoint", path, "--resume"]
+        ) == 0
+        assert os.environ[RESUME_ENV] == "1"

@@ -1,0 +1,79 @@
+"""Deterministic fault-injection seam."""
+
+import pytest
+
+from repro.exceptions import FaultInjectionError, ValidationError
+from repro.ft import FaultInjector
+
+
+class TestSelection:
+    def test_rate_one_selects_everything(self):
+        injector = FaultInjector(rate=1.0)
+        assert injector.selected("a") and injector.selected("b")
+
+    def test_rate_zero_selects_nothing(self):
+        injector = FaultInjector(rate=0.0)
+        assert not injector.selected("a")
+        injector.check("a")  # never raises
+
+    def test_selection_is_deterministic_per_seed(self):
+        keys = [f"cell-{i}" for i in range(200)]
+        a = [FaultInjector(rate=0.5, seed=7).selected(k) for k in keys]
+        b = [FaultInjector(rate=0.5, seed=7).selected(k) for k in keys]
+        assert a == b
+        c = [FaultInjector(rate=0.5, seed=8).selected(k) for k in keys]
+        assert a != c  # a different seed picks a different subset
+
+    def test_rate_roughly_respected(self):
+        keys = [f"cell-{i}" for i in range(1000)]
+        injector = FaultInjector(rate=0.3, seed=0)
+        hit = sum(injector.selected(k) for k in keys)
+        assert 200 < hit < 400
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValidationError):
+            FaultInjector(rate=1.5)
+        with pytest.raises(ValidationError):
+            FaultInjector(rate=0.5, max_faults=0)
+
+
+class TestAttemptCounting:
+    def test_faults_then_recovers(self):
+        injector = FaultInjector(rate=1.0, max_faults=2)
+        for _ in range(2):
+            with pytest.raises(FaultInjectionError):
+                injector.check("k")
+        injector.check("k")  # third attempt succeeds
+
+    def test_counters_are_per_key(self):
+        injector = FaultInjector(rate=1.0, max_faults=1)
+        with pytest.raises(FaultInjectionError):
+            injector.check("a")
+        with pytest.raises(FaultInjectionError):
+            injector.check("b")
+        injector.check("a")
+        injector.check("b")
+
+
+class TestFromEnv:
+    def test_absent_means_off(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FAULT_RATE", raising=False)
+        assert FaultInjector.from_env() is None
+
+    def test_zero_rate_means_off(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT_RATE", "0.0")
+        assert FaultInjector.from_env() is None
+
+    def test_env_configures_all_knobs(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT_RATE", "0.25")
+        monkeypatch.setenv("REPRO_FAULT_SEED", "9")
+        monkeypatch.setenv("REPRO_FAULT_MAX", "3")
+        injector = FaultInjector.from_env()
+        assert injector.rate == 0.25
+        assert injector.seed == 9
+        assert injector.max_faults == 3
+
+    def test_garbage_rate_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT_RATE", "lots")
+        with pytest.raises(ValidationError):
+            FaultInjector.from_env()

@@ -1,0 +1,180 @@
+"""Retry, timeout, classification, and config resolution."""
+
+import time
+
+import pytest
+
+from repro.exceptions import (
+    CellTimeoutError,
+    FaultInjectionError,
+    TransientError,
+    ValidationError,
+)
+from repro.ft import (
+    FaultInjector,
+    FTConfig,
+    call_with_timeout,
+    classify_error,
+    execute_cell,
+    resolve_ft,
+)
+
+
+class TestClassification:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            TransientError("flaky"),
+            FaultInjectionError("injected"),
+            CellTimeoutError("too slow"),
+            OSError("disk"),
+            ConnectionError("peer"),
+        ],
+    )
+    def test_transient(self, exc):
+        assert classify_error(exc) == "transient"
+
+    @pytest.mark.parametrize(
+        "exc",
+        [ValueError("bad"), RuntimeError("bug"), ValidationError("nope"), KeyError("k")],
+    )
+    def test_fatal(self, exc):
+        assert classify_error(exc) == "fatal"
+
+
+class TestTimeout:
+    def test_none_is_plain_call(self):
+        assert call_with_timeout(lambda: 5, None) == 5
+
+    def test_fast_call_within_deadline(self):
+        assert call_with_timeout(lambda: 5, timeout=10.0) == 5
+
+    def test_exception_propagates_through_worker_thread(self):
+        with pytest.raises(ValueError, match="inner"):
+            call_with_timeout(lambda: (_ for _ in ()).throw(ValueError("inner")), 10.0)
+
+    def test_overrun_raises_cell_timeout(self):
+        with pytest.raises(CellTimeoutError, match="deadline"):
+            call_with_timeout(lambda: time.sleep(5), timeout=0.05, label="slow-cell")
+
+
+class TestFTConfig:
+    def test_defaults_are_inert(self):
+        ft = FTConfig()
+        assert ft.checkpoint is None
+        assert ft.max_retries == 0
+        assert ft.cell_timeout is None
+        assert ft.injector is None
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            FTConfig(max_retries=-1)
+        with pytest.raises(ValidationError):
+            FTConfig(cell_timeout=0.0)
+        with pytest.raises(ValidationError):
+            FTConfig(backoff_base=-1.0)
+
+    def test_from_env_reads_every_knob(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHECKPOINT", "/tmp/j.jsonl")
+        monkeypatch.setenv("REPRO_RESUME", "0")
+        monkeypatch.setenv("REPRO_MAX_RETRIES", "4")
+        monkeypatch.setenv("REPRO_CELL_TIMEOUT", "2.5")
+        monkeypatch.setenv("REPRO_BACKOFF", "0.01")
+        monkeypatch.setenv("REPRO_FAULT_RATE", "1.0")
+        ft = FTConfig.from_env()
+        assert ft.checkpoint == "/tmp/j.jsonl"
+        assert ft.resume is False
+        assert ft.max_retries == 4
+        assert ft.cell_timeout == 2.5
+        assert ft.backoff_base == 0.01
+        assert isinstance(ft.injector, FaultInjector)
+
+    def test_resolve_prefers_explicit_config(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MAX_RETRIES", "9")
+        assert resolve_ft(FTConfig(max_retries=1)).max_retries == 1
+        assert resolve_ft(None).max_retries == 9
+
+
+class TestExecuteCell:
+    def test_success_passes_through(self):
+        status, value = execute_cell(
+            lambda: 42, key="k", ft=FTConfig(), skip_errors=False
+        )
+        assert (status, value) == ("result", 42)
+
+    def test_transient_retries_with_backoff_then_succeeds(self):
+        calls, delays = [], []
+        def body():
+            calls.append(1)
+            if len(calls) < 3:
+                raise TransientError("flaky")
+            return "done"
+        status, value = execute_cell(
+            body,
+            key="k",
+            ft=FTConfig(max_retries=2, backoff_base=0.1, backoff_factor=2.0),
+            skip_errors=False,
+            sleep=delays.append,
+        )
+        assert (status, value) == ("result", "done")
+        assert len(calls) == 3
+        assert delays == [0.1, 0.2]  # exponential backoff sequence
+
+    def test_transient_exhaustion_degrades_not_raises(self):
+        def body():
+            raise TransientError("always")
+        status, message = execute_cell(
+            body,
+            key="k",
+            ft=FTConfig(max_retries=2, backoff_base=0.0),
+            skip_errors=False,  # degradation must not depend on skip_errors
+        )
+        assert status == "failed"
+        assert "always" in message and "3 attempt(s)" in message
+
+    def test_fatal_never_retried(self):
+        calls = []
+        def body():
+            calls.append(1)
+            raise ValueError("deterministic bug")
+        with pytest.raises(ValueError):
+            execute_cell(
+                body, key="k", ft=FTConfig(max_retries=5), skip_errors=False
+            )
+        assert len(calls) == 1
+
+    def test_fatal_with_skip_errors_reports_error(self):
+        def body():
+            raise ValueError("bug")
+        status, message = execute_cell(
+            body, key="k", ft=FTConfig(), skip_errors=True
+        )
+        assert status == "error"
+        assert "ValueError" in message
+
+    def test_injector_fault_recovered_by_retry(self):
+        ft = FTConfig(
+            max_retries=1,
+            backoff_base=0.0,
+            injector=FaultInjector(rate=1.0, max_faults=1),
+        )
+        status, value = execute_cell(
+            lambda: "ran", key="cell", ft=ft, skip_errors=False
+        )
+        assert (status, value) == ("result", "ran")
+
+    def test_timeout_is_retryable(self):
+        calls = []
+        def body():
+            calls.append(1)
+            if len(calls) == 1:
+                time.sleep(5)
+            return "recovered"
+        status, value = execute_cell(
+            body,
+            key="k",
+            ft=FTConfig(max_retries=1, backoff_base=0.0, cell_timeout=0.05),
+            skip_errors=False,
+        )
+        assert (status, value) == ("result", "recovered")
+        assert len(calls) == 2

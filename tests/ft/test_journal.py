@@ -1,0 +1,114 @@
+"""Checkpoint journal: keys, round-trips, crash tolerance."""
+
+import json
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.ft import (
+    CheckpointJournal,
+    cell_key,
+    result_from_record,
+    result_to_record,
+)
+from repro.metrics.evaluation import EvaluationResult
+from repro.pipeline.pipeline import PipelineResult
+
+
+def make_result(dim=2, map_=0.75):
+    return PipelineResult(
+        dataset="hics_14",
+        detector="lof",
+        explainer="beam",
+        dimensionality=dim,
+        evaluation=EvaluationResult(
+            map=map_,
+            mean_recall=0.5,
+            per_point_ap={3: map_, 7: map_},
+            per_point_recall={3: 0.5, 7: 0.5},
+            dimensionality=dim,
+        ),
+        seconds=1.25,
+        n_subspaces_scored=91,
+        cost_breakdown={"explain": 1.2, "detector": 0.9, "evaluate": 0.05},
+    )
+
+
+class TestCellKey:
+    def test_distinct_components_distinct_keys(self):
+        base = cell_key(("d", 1), "lof", "beam", 2, (0, 1))
+        assert cell_key(("d", 2), "lof", "beam", 2, (0, 1)) != base  # content hash
+        assert cell_key(("d", 1), "knn", "beam", 2, (0, 1)) != base
+        assert cell_key(("d", 1), "lof", "refout", 2, (0, 1)) != base
+        assert cell_key(("d", 1), "lof", "beam", 3, (0, 1)) != base
+        assert cell_key(("d", 1), "lof", "beam", 2, (0, 2)) != base
+        assert cell_key(("d", 1), "lof", "beam", 2, None) != base
+
+    def test_key_is_stable(self):
+        assert cell_key(("d", 1), "lof", "beam", 2, (0, 1)) == cell_key(
+            ("d", 1), "lof", "beam", 2, (0, 1)
+        )
+
+
+class TestRecordRoundTrip:
+    def test_row_level_fields_survive(self):
+        original = make_result()
+        rebuilt = result_from_record(
+            json.loads(json.dumps(result_to_record(original)))
+        )
+        assert rebuilt.as_row() == original.as_row()
+        assert rebuilt.evaluation == original.evaluation
+        assert rebuilt.cost_breakdown == original.cost_breakdown
+
+    def test_rankings_deliberately_dropped(self):
+        rebuilt = result_from_record(result_to_record(make_result()))
+        assert rebuilt.explanations is None
+        assert rebuilt.summary is None
+
+
+class TestJournal:
+    def test_record_and_replay(self, tmp_path):
+        path = str(tmp_path / "grid.journal")
+        journal = CheckpointJournal(path)
+        result = make_result()
+        journal.record_result("k1", result)
+        reopened = CheckpointJournal(path)
+        assert "k1" in reopened
+        assert reopened.replay("k1").as_row() == result.as_row()
+
+    def test_failure_records_are_not_completions(self, tmp_path):
+        path = str(tmp_path / "grid.journal")
+        journal = CheckpointJournal(path)
+        journal.record_failure("k1", {"error": "boom"})
+        reopened = CheckpointJournal(path)
+        assert "k1" not in reopened
+        assert reopened.failed_keys() == ["k1"]
+
+    def test_later_success_clears_failure(self, tmp_path):
+        path = str(tmp_path / "grid.journal")
+        journal = CheckpointJournal(path)
+        journal.record_failure("k1", {"error": "boom"})
+        journal.record_result("k1", make_result())
+        reopened = CheckpointJournal(path)
+        assert "k1" in reopened
+        assert reopened.failed_keys() == []
+
+    def test_truncated_final_line_tolerated(self, tmp_path):
+        path = str(tmp_path / "grid.journal")
+        journal = CheckpointJournal(path)
+        journal.record_result("k1", make_result())
+        journal.record_result("k2", make_result(dim=3))
+        with open(path, "a") as handle:
+            handle.write('{"v": 1, "kind": "result", "key": "k3", "rec')
+        reopened = CheckpointJournal(path)
+        assert sorted(reopened.completed_keys()) == ["k1", "k2"]
+
+    def test_fresh_run_refuses_existing_journal(self, tmp_path):
+        path = str(tmp_path / "grid.journal")
+        CheckpointJournal(path).record_result("k1", make_result())
+        with pytest.raises(ValidationError, match="resume"):
+            CheckpointJournal(path, resume=False)
+
+    def test_resume_false_on_missing_file_is_fine(self, tmp_path):
+        journal = CheckpointJournal(str(tmp_path / "new.journal"), resume=False)
+        assert len(journal) == 0

@@ -1,0 +1,254 @@
+"""Recovery semantics end-to-end: kill, resume, byte-identical tables.
+
+The acceptance contract of ``repro.ft``: interrupting a grid run (here
+simulated with deterministic fault injection) and re-running with the
+same checkpoint journal produces a final table identical to an
+uninterrupted run — under the serial runner and under thread/process
+grid fan-out — while cells that exhaust their retries land in the
+``failed_cells`` audit without aborting anything.
+
+Identity is asserted on the deterministic row projection (dataset,
+detector, explainer, dimensionality, MAP, recall, point count) serialised
+to CSV bytes. Wall-clock columns (``seconds``) are genuinely different
+between any two runs, and ``n_subspaces_scored`` depends on scorer-cache
+state that journal replay legitimately skips; neither is part of the
+recovery contract.
+"""
+
+import io
+import csv
+
+import pytest
+
+from repro.detectors import LOF, KNNDetector
+from repro.explainers import Beam, LookOut
+from repro.ft import CheckpointJournal, FaultInjector, FTConfig
+from repro.obs import metrics as obs_metrics
+from repro.pipeline import GridRunner, run_grid_parallel
+
+FACTORIES = [lambda: Beam(beam_width=8, result_size=8), lambda: LookOut(budget=8)]
+ALWAYS = 10**9  # max_faults far above any retry budget: permanent failure
+
+
+def detectors():
+    return [LOF(k=15), KNNDetector(k=10)]
+
+
+def selector(dataset, dimensionality):
+    return dataset.ground_truth.points_at(dimensionality)[:2]
+
+
+def canonical_bytes(table):
+    """The deterministic projection of a result table, as CSV bytes."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    for r in table:
+        writer.writerow(
+            [
+                r.dataset,
+                r.detector,
+                r.explainer,
+                r.dimensionality,
+                repr(r.map),
+                repr(r.mean_recall),
+                r.evaluation.n_points,
+            ]
+        )
+    return buffer.getvalue().encode()
+
+
+def journal_hits():
+    return obs_metrics.counter("repro_ft_journal_hits_total", "").value()
+
+
+def cells_run():
+    return obs_metrics.counter("repro_grid_cells_total", "").value()
+
+
+class TestSerialResume:
+    def test_interrupted_then_resumed_matches_uninterrupted(
+        self, hics_small, tmp_path
+    ):
+        reference = GridRunner(
+            detectors(), FACTORIES, skip_errors=True, points_selector=selector
+        ).run([hics_small], [2, 3])
+        assert len(reference) == 8
+
+        # "Kill" the run: half the cells fail permanently, the rest are
+        # journaled. The grid survives (graceful degradation).
+        path = str(tmp_path / "grid.journal")
+        interrupted = GridRunner(
+            detectors(),
+            FACTORIES,
+            skip_errors=True,
+            points_selector=selector,
+            ft=FTConfig(
+                checkpoint=path,
+                injector=FaultInjector(rate=0.5, seed=3, max_faults=ALWAYS),
+            ),
+        )
+        partial = interrupted.run([hics_small], [2, 3])
+        assert 0 < len(partial) < 8
+        assert len(partial) + len(interrupted.failed_cells) == 8
+        assert interrupted.skipped == []
+
+        # Resume without faults: journaled cells replayed, failed ones
+        # recomputed, final table byte-identical to the uninterrupted run.
+        hits_before, run_before = journal_hits(), cells_run()
+        resumed_runner = GridRunner(
+            detectors(),
+            FACTORIES,
+            skip_errors=True,
+            points_selector=selector,
+            ft=FTConfig(checkpoint=path),
+        )
+        resumed = resumed_runner.run([hics_small], [2, 3])
+        assert canonical_bytes(resumed) == canonical_bytes(reference)
+        assert resumed_runner.failed_cells == []
+        # Only the previously-failed cells actually executed.
+        assert journal_hits() - hits_before == len(partial)
+        assert cells_run() - run_before == 8 - len(partial)
+
+    def test_run_checkpoint_kwarg_overrides_config(self, hics_small, tmp_path):
+        path = str(tmp_path / "kwarg.journal")
+        runner = GridRunner(
+            [LOF(k=15)],
+            [lambda: Beam(beam_width=5)],
+            points_selector=selector,
+        )
+        runner.run([hics_small], [2], checkpoint=path)
+        assert len(CheckpointJournal(path)) == 1
+
+    def test_failed_cells_journaled_for_triage(self, hics_small, tmp_path):
+        path = str(tmp_path / "failures.journal")
+        runner = GridRunner(
+            [LOF(k=15)],
+            [lambda: Beam(beam_width=5)],
+            points_selector=selector,
+            ft=FTConfig(
+                checkpoint=path,
+                injector=FaultInjector(rate=1.0, max_faults=ALWAYS),
+            ),
+        )
+        table = runner.run([hics_small], [2])
+        assert len(table) == 0
+        assert len(runner.failed_cells) == 1
+        assert "FaultInjectionError" in runner.failed_cells[0][-1]
+        assert len(CheckpointJournal(path).failed_keys()) == 1
+
+    def test_retry_recovers_single_fault_cells(self, hics_small):
+        runner = GridRunner(
+            detectors(),
+            FACTORIES,
+            skip_errors=True,
+            points_selector=selector,
+            ft=FTConfig(
+                max_retries=1,
+                backoff_base=0.0,
+                injector=FaultInjector(rate=1.0, max_faults=1),
+            ),
+        )
+        table = runner.run([hics_small], [2])
+        assert len(table) == 4
+        assert runner.failed_cells == []
+
+
+class TestParallelResume:
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_interrupted_then_resumed_matches_uninterrupted(
+        self, hics_small, tmp_path, backend
+    ):
+        n_jobs = 1 if backend == "serial" else 2
+        reference, _, _, _ = run_grid_parallel(
+            [hics_small],
+            detectors(),
+            FACTORIES,
+            [2, 3],
+            n_jobs=n_jobs,
+            backend=backend,
+            points_selector=selector,
+        )
+        assert len(reference) == 8
+
+        path = str(tmp_path / f"{backend}.journal")
+        partial, skipped, _, failed = run_grid_parallel(
+            [hics_small],
+            detectors(),
+            FACTORIES,
+            [2, 3],
+            n_jobs=n_jobs,
+            backend=backend,
+            points_selector=selector,
+            ft=FTConfig(
+                checkpoint=path,
+                injector=FaultInjector(rate=0.5, seed=3, max_faults=ALWAYS),
+            ),
+        )
+        assert 0 < len(partial) < 8
+        assert len(partial) + len(failed) == 8
+        assert skipped == []
+
+        resumed, skipped2, _, failed2 = run_grid_parallel(
+            [hics_small],
+            detectors(),
+            FACTORIES,
+            [2, 3],
+            n_jobs=n_jobs,
+            backend=backend,
+            points_selector=selector,
+            ft=FTConfig(checkpoint=path),
+        )
+        assert canonical_bytes(resumed) == canonical_bytes(reference)
+        assert failed2 == [] and skipped2 == []
+
+    def test_retry_recovers_under_thread_fanout(self, hics_small):
+        table, skipped, _, failed = run_grid_parallel(
+            [hics_small],
+            detectors(),
+            FACTORIES,
+            [2],
+            n_jobs=2,
+            backend="thread",
+            points_selector=selector,
+            ft=FTConfig(
+                max_retries=1,
+                backoff_base=0.0,
+                injector=FaultInjector(rate=1.0, max_faults=1),
+            ),
+        )
+        assert len(table) == 4
+        assert failed == [] and skipped == []
+
+    def test_journal_flushed_per_group_not_at_exit(self, hics_small, tmp_path):
+        """Every completed group must hit the journal before the run ends."""
+        path = str(tmp_path / "incremental.journal")
+        run_grid_parallel(
+            [hics_small],
+            [LOF(k=15)],
+            [lambda: Beam(beam_width=5)],
+            [2],
+            n_jobs=1,
+            points_selector=selector,
+            ft=FTConfig(checkpoint=path),
+        )
+        with open(path) as handle:
+            lines = [line for line in handle if line.strip()]
+        assert len(lines) == 1  # one completed cell, one journal row
+
+
+class TestEnvironmentWiring:
+    def test_grid_runner_resolves_ft_from_env(
+        self, hics_small, tmp_path, monkeypatch
+    ):
+        """The CLI flags travel via REPRO_* variables to plain GridRunner."""
+        path = str(tmp_path / "env.journal")
+        monkeypatch.setenv("REPRO_CHECKPOINT", path)
+        monkeypatch.setenv("REPRO_MAX_RETRIES", "1")
+        monkeypatch.setenv("REPRO_BACKOFF", "0.0")
+        monkeypatch.setenv("REPRO_FAULT_RATE", "1.0")
+        runner = GridRunner(
+            [LOF(k=15)], [lambda: Beam(beam_width=5)], points_selector=selector
+        )
+        table = runner.run([hics_small], [2])
+        assert len(table) == 1  # fault injected once, retry recovered
+        assert len(CheckpointJournal(path)) == 1

@@ -25,7 +25,7 @@ class Exploding(Beam):
 
 class TestParallelGrid:
     def test_matches_serial_results(self, hics_small):
-        serial, _, _ = run_grid_parallel(
+        serial, _, _, _ = run_grid_parallel(
             [hics_small],
             [LOF(k=15), KNNDetector(k=10)],
             FACTORIES,
@@ -33,7 +33,7 @@ class TestParallelGrid:
             n_jobs=1,
             points_selector=selector,
         )
-        parallel, _, _ = run_grid_parallel(
+        parallel, _, _, _ = run_grid_parallel(
             [hics_small],
             [LOF(k=15), KNNDetector(k=10)],
             FACTORIES,
@@ -52,7 +52,7 @@ class TestParallelGrid:
         assert len(serial_rows) == 4
 
     def test_deterministic_result_order(self, hics_small):
-        serial, _, _ = run_grid_parallel(
+        serial, _, _, _ = run_grid_parallel(
             [hics_small],
             [LOF(k=15), KNNDetector(k=10)],
             FACTORIES,
@@ -60,7 +60,7 @@ class TestParallelGrid:
             n_jobs=1,
             points_selector=selector,
         )
-        parallel, _, _ = run_grid_parallel(
+        parallel, _, _, _ = run_grid_parallel(
             [hics_small],
             [LOF(k=15), KNNDetector(k=10)],
             FACTORIES,
@@ -76,7 +76,7 @@ class TestParallelGrid:
 
     def test_accepts_backend_instance(self, hics_small):
         with ThreadBackend(n_jobs=2) as backend:
-            table, skipped, undefined = run_grid_parallel(
+            table, skipped, undefined, failed = run_grid_parallel(
                 [hics_small],
                 [LOF(k=15)],
                 [lambda: Beam(beam_width=5)],
@@ -103,7 +103,7 @@ class TestParallelGrid:
             )
 
     def test_undefined_dimensionalities_recorded(self, hics_small):
-        table, skipped, undefined = run_grid_parallel(
+        table, skipped, undefined, failed = run_grid_parallel(
             [hics_small],
             [LOF(k=15)],
             [lambda: Beam(beam_width=5)],
@@ -121,7 +121,7 @@ class TestParallelGrid:
         def empty_selector(dataset, dimensionality):
             return ()
 
-        table, skipped, undefined = run_grid_parallel(
+        table, skipped, undefined, failed = run_grid_parallel(
             [hics_small],
             [LOF(k=15)],
             [lambda: Beam(beam_width=5)],
@@ -134,7 +134,7 @@ class TestParallelGrid:
         assert undefined == [(hics_small.name, 2, "empty_selection")]
 
     def test_errors_collected_not_raised(self, hics_small):
-        table, skipped, _ = run_grid_parallel(
+        table, skipped, _, failed = run_grid_parallel(
             [hics_small],
             [LOF(k=15)],
             [lambda: Exploding(beam_width=5)],

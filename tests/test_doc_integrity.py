@@ -1,0 +1,51 @@
+"""Documentation integrity, enforced by the tier-1 suite.
+
+Runs the same checker CI uses (``tools/check_docs.py``): no dead
+intra-repo markdown links, and every CLI flag documented in the runbook.
+"""
+
+import os
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+CHECKER = os.path.join(REPO_ROOT, "tools", "check_docs.py")
+
+
+def test_checker_passes():
+    proc = subprocess.run(
+        [sys.executable, CHECKER],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+    )
+    assert proc.returncode == 0, (
+        f"doc integrity check failed:\n{proc.stdout}{proc.stderr}"
+    )
+
+
+def test_checker_catches_dead_link(tmp_path, monkeypatch):
+    """The checker itself must actually detect a dead link."""
+    sys.path.insert(0, os.path.join(REPO_ROOT, "tools"))
+    try:
+        import check_docs
+    finally:
+        sys.path.pop(0)
+    bad = tmp_path / "bad.md"
+    bad.write_text("see [missing](no/such/file.md)\n")
+    problems = check_docs.check_links([str(bad)])
+    assert any("dead link" in p for p in problems)
+
+
+def test_checker_catches_dead_anchor(tmp_path):
+    sys.path.insert(0, os.path.join(REPO_ROOT, "tools"))
+    try:
+        import check_docs
+    finally:
+        sys.path.pop(0)
+    target = tmp_path / "target.md"
+    target.write_text("# Real Heading\n")
+    source = tmp_path / "source.md"
+    source.write_text("[ok](target.md#real-heading) [bad](target.md#nope)\n")
+    problems = check_docs.check_links([str(source)])
+    assert len(problems) == 1 and "dead anchor" in problems[0]

@@ -1,0 +1,122 @@
+#!/usr/bin/env python
+"""Documentation integrity checker.
+
+Two classes of rot this catches, both of which have bitten this repo's
+docs before they were checked:
+
+1. **Dead intra-repo links.** Every relative markdown link in every
+   tracked ``*.md`` file must resolve to a file (or directory, or
+   heading anchor within a markdown file) that actually exists.
+2. **Undocumented CLI surface.** Every flag of ``python -m repro``
+   (taken from the live ``repro.cli.build_parser()``, so this can never
+   lag the code) must be mentioned in ``docs/RUNBOOK.md`` — the runbook
+   is the one place an operator should be able to find every knob.
+
+Run it directly (``python tools/check_docs.py``) or via the tier-1 suite
+(``tests/test_doc_integrity.py``); CI runs it as a dedicated job. Exits
+non-zero with one line per problem.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: Inline markdown links/images: [text](target) — target captured.
+_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+#: Fenced code blocks, removed before link extraction.
+_FENCE = re.compile(r"```.*?```", re.DOTALL)
+#: External targets we do not try to resolve.
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def markdown_files() -> list[str]:
+    """Every *.md file in the repo, skipping VCS/cache directories."""
+    found = []
+    for dirpath, dirnames, filenames in os.walk(REPO_ROOT):
+        dirnames[:] = [
+            d for d in dirnames
+            if not d.startswith(".") and d not in {"__pycache__", "node_modules"}
+        ]
+        for name in filenames:
+            if name.endswith(".md"):
+                found.append(os.path.join(dirpath, name))
+    return sorted(found)
+
+
+def heading_anchors(path: str) -> set[str]:
+    """GitHub-style anchors of every heading in a markdown file."""
+    anchors = set()
+    with open(path, encoding="utf-8") as handle:
+        text = _FENCE.sub("", handle.read())
+    for line in text.splitlines():
+        match = re.match(r"#{1,6}\s+(.*)", line)
+        if not match:
+            continue
+        title = re.sub(r"[`*_\[\]()]", "", match.group(1)).strip().lower()
+        anchors.add(re.sub(r"\s+", "-", re.sub(r"[^\w\s-]", "", title)))
+    return anchors
+
+
+def check_links(paths: list[str]) -> list[str]:
+    """Dead relative links across the given markdown files."""
+    problems = []
+    for path in paths:
+        with open(path, encoding="utf-8") as handle:
+            text = _FENCE.sub("", handle.read())
+        rel = os.path.relpath(path, REPO_ROOT)
+        for target in _LINK.findall(text):
+            if target.startswith(_EXTERNAL) or target.startswith("#"):
+                continue  # external / same-file anchors: out of scope
+            target, _, fragment = target.partition("#")
+            resolved = os.path.normpath(
+                os.path.join(os.path.dirname(path), target)
+            )
+            if not os.path.exists(resolved):
+                problems.append(f"{rel}: dead link -> {target}")
+            elif fragment and resolved.endswith(".md"):
+                if fragment.lower() not in heading_anchors(resolved):
+                    problems.append(
+                        f"{rel}: dead anchor -> {target}#{fragment}"
+                    )
+    return problems
+
+
+def check_runbook_flags() -> list[str]:
+    """CLI flags missing from docs/RUNBOOK.md."""
+    sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+    from repro.cli import build_parser
+
+    with open(os.path.join(REPO_ROOT, "docs", "RUNBOOK.md"),
+              encoding="utf-8") as handle:
+        runbook = handle.read()
+
+    problems = []
+    for action in build_parser()._actions:
+        if isinstance(action, argparse._HelpAction):
+            continue
+        for option in action.option_strings or []:
+            if option.startswith("--") and option not in runbook:
+                problems.append(
+                    f"docs/RUNBOOK.md: CLI flag {option} is undocumented"
+                )
+    return problems
+
+
+def main() -> int:
+    problems = check_links(markdown_files()) + check_runbook_flags()
+    for problem in problems:
+        print(problem)
+    if problems:
+        print(f"{len(problems)} documentation problem(s)", file=sys.stderr)
+        return 1
+    print("docs OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
