@@ -1,0 +1,147 @@
+"""Distance substrate micro-benchmarks.
+
+Compares the two ways a subspace's pairwise distances can be produced:
+
+* **direct** — project the dataset and run
+  :func:`~repro.neighbors.distance.euclidean_pdist_matrix` (the
+  pre-substrate hot path: one matmul expansion plus several full-matrix
+  passes for clamping, sqrt, symmetrisation, and diagonal masking);
+* **composed** — sum cached per-feature float32 blocks through
+  :class:`~repro.neighbors.DistanceProvider` (one float64 accumulation
+  pass per feature, diagonal pre-masked, no sqrt at all).
+
+Run standalone for a wall-clock table and a machine-readable JSON record::
+
+    PYTHONPATH=src python benchmarks/bench_distance.py [--json PATH]
+
+The pytest-benchmark entry points cover the same operations for the
+perf-regression suite.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.neighbors.distance import euclidean_pdist_matrix
+from repro.neighbors.provider import DistanceProvider
+
+
+def _matrix(n: int, d: int, seed: int = 0) -> np.ndarray:
+    return np.random.default_rng(seed).normal(size=(n, d))
+
+
+def _subspace_grid(d: int, dim: int) -> list[tuple[int, ...]]:
+    """A stage-like batch: every contiguous window of ``dim`` features."""
+    return [tuple(range(i, i + dim)) for i in range(d - dim + 1)]
+
+
+def _direct_pass(X: np.ndarray, subspaces) -> int:
+    for sub in subspaces:
+        euclidean_pdist_matrix(np.ascontiguousarray(X[:, list(sub)]))
+    return len(subspaces)
+
+
+def _composed_pass(provider: DistanceProvider, subspaces) -> int:
+    for sub in subspaces:
+        provider.squared_distances(sub)
+    return len(subspaces)
+
+
+def test_direct_pdist_2d_batch(benchmark):
+    X = _matrix(1000, 16)
+    subspaces = _subspace_grid(16, 2)
+    assert benchmark(_direct_pass, X, subspaces) == len(subspaces)
+
+
+def test_composed_2d_batch_cold(benchmark):
+    X = _matrix(1000, 16)
+    subspaces = _subspace_grid(16, 2)
+
+    def run():
+        provider = DistanceProvider(X, max_bytes=1 << 28)
+        return _composed_pass(provider, subspaces)
+
+    assert benchmark(run) == len(subspaces)
+
+
+def test_composed_parent_chain(benchmark):
+    """Stage-wise growth: each subspace extends the previous by one block."""
+    X = _matrix(1000, 16)
+    chain = [tuple(range(dim)) for dim in range(1, 9)]
+
+    def run():
+        provider = DistanceProvider(X, max_bytes=1 << 28)
+        parent = None
+        for sub in chain:
+            provider.squared_distances(sub, parent=parent)
+            parent = sub
+        return provider.stats()["parent_reuses"]
+
+    assert benchmark(run) == len(chain) - 1
+
+
+def main(argv=None) -> None:
+    """Standalone mode: wall-clock table plus a JSON perf record."""
+    import argparse
+    import json
+    import os
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="write the rows as a JSON array to PATH")
+    parser.add_argument("--n", type=int, default=1000)
+    parser.add_argument("--d", type=int, default=16)
+    args = parser.parse_args(argv)
+
+    X = _matrix(args.n, args.d)
+    records = []
+
+    def timed(op, fn, **extra):
+        start = time.perf_counter()
+        fn()
+        elapsed = time.perf_counter() - start
+        records.append({"op": op, "n": args.n, "d": args.d,
+                        "wall_time_s": round(elapsed, 6), **extra})
+        return elapsed
+
+    for dim in (2, 4):
+        subspaces = _subspace_grid(args.d, dim)
+        timed(f"direct_pdist_{dim}d", lambda: _direct_pass(X, subspaces),
+              n_subspaces=len(subspaces))
+        provider = DistanceProvider(X, max_bytes=1 << 28)
+        timed(
+            f"composed_{dim}d_cold",
+            lambda p=provider: _composed_pass(p, subspaces),
+            n_subspaces=len(subspaces),
+            cache_hit_rate=0.0,
+        )
+        stats = provider.stats()
+        total = stats["hits"] + stats["misses"]
+        timed(
+            f"composed_{dim}d_warm",
+            lambda p=provider: _composed_pass(p, subspaces),
+            n_subspaces=len(subspaces),
+            cache_hit_rate=round(stats["hits"] / total if total else 0.0, 4),
+        )
+
+    print(f"distance substrate micro-bench: n={args.n}, d={args.d}, "
+          f"{os.cpu_count()} CPU(s)")
+    by_op = {r["op"]: r["wall_time_s"] for r in records}
+    for record in records:
+        line = f"  {record['op']:24s} {record['wall_time_s'] * 1000:8.1f} ms"
+        direct_key = f"direct_pdist_{record['op'].split('_')[1].rstrip('d')}d"
+        if record["op"] != direct_key and direct_key in by_op:
+            line += f"  (vs direct: {by_op[direct_key] / record['wall_time_s']:5.2f}x)"
+        print(line)
+
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(records, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.json}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,6 +1,7 @@
-"""Scorer batching and backend benchmarks.
+"""Scorer batching, backend, and distance-substrate benchmarks.
 
-Two questions, matching the batch-first refactor:
+Three questions, matching the batch-first refactor and the distance
+substrate:
 
 1. What does the batch API itself cost/save over scalar lookups on a
    cold cache? (``scores_many`` partitions hits/misses once and holds
@@ -9,10 +10,16 @@ Two questions, matching the batch-first refactor:
    thread backend overlaps the GIL-releasing detector kernels; on a
    single core it can only add dispatch overhead — the bench reports
    whatever the hardware gives, it does not assert a speedup.
+3. What does the distance substrate save on a stage-wise explainer grid
+   (Beam + LOF at paper scale, n≈1000)? The standalone mode times the
+   same explanation run with the provider on and off, checks the ranked
+   subspaces are identical, and writes the machine-readable perf record
+   ``BENCH_scorer.json`` (op, n, d, wall-time, cache hit rate) that CI
+   uploads as an artifact.
 
-Run standalone for a quick speedup table without pytest-benchmark::
+Run standalone for a speedup table and the JSON record::
 
-    PYTHONPATH=src python benchmarks/bench_scorer.py
+    PYTHONPATH=src python benchmarks/bench_scorer.py [--json PATH] [--quick]
 """
 
 from __future__ import annotations
@@ -21,6 +28,8 @@ import numpy as np
 
 from repro.detectors import LOF
 from repro.exec import resolve_backend
+from repro.explainers import Beam
+from repro.neighbors.provider import DistanceProvider
 from repro.subspaces import SubspaceScorer
 from repro.subspaces.enumeration import all_subspaces
 
@@ -98,21 +107,125 @@ def test_batch_warm_cache(benchmark):
     assert benchmark(run) == len(subspaces)  # all hits, no new evaluations
 
 
-def main() -> None:
-    """Standalone mode: print a small wall-clock comparison table."""
+def _beam_grid_matrix(n_samples: int = 1000, n_features: int = 12) -> np.ndarray:
+    """A paper-scale matrix with planted subspace outliers for Beam + LOF."""
+    rng = np.random.default_rng(23)
+    X = rng.normal(size=(n_samples, n_features))
+    X[0, [1, 5]] = [7.0, -7.0]
+    X[1, [2, n_features - 4, n_features - 2]] = [6.5, 6.5, -6.0]
+    X[2, [0, 3]] = [-7.5, 7.0]
+    return X
+
+
+def _beam_explain(
+    X: np.ndarray,
+    *,
+    provider: "DistanceProvider | bool | None",
+    points: tuple[int, ...],
+    dimensionality: int,
+    beam_width: int,
+) -> list[list[tuple[int, ...]]]:
+    """One stage-wise Beam + LOF grid; returns the ranked subspaces per point."""
+    scorer = SubspaceScorer(X, LOF(k=15), distance_provider=provider)
+    explainer = Beam(beam_width=beam_width, result_size=25)
+    rankings = []
+    for point in points:
+        result = explainer.explain(scorer, point, dimensionality)
+        rankings.append([tuple(s) for s in result.subspaces])
+    scorer.close()
+    return rankings
+
+
+def _grid_mode(mode: str, quick: bool) -> dict:
+    """Run one provider mode of the Beam grid; returns timings + rankings.
+
+    Executed in a *fresh subprocess* per mode (see ``main``): composing or
+    expanding hundreds of ``(n, n)`` matrices fragments the allocator
+    heap, which slows every later measurement in the same process — the
+    classic way the second-measured mode loses ~20% through no fault of
+    its own.
+    """
     import time
 
+    if quick:
+        G = _beam_grid_matrix(n_samples=300, n_features=8)
+        points, dim, width = (0, 1), 3, 8
+    else:
+        G = _beam_grid_matrix()
+        points, dim, width = (0, 1, 2), 4, 12
+
+    provider = DistanceProvider(G, max_bytes=1 << 28) if mode == "on" else False
+    start = time.perf_counter()
+    ranked = _beam_explain(
+        G, provider=provider, points=points, dimensionality=dim, beam_width=width
+    )
+    elapsed = time.perf_counter() - start
+    out = {"mode": mode, "wall_time_s": elapsed, "ranked": ranked,
+           "n": G.shape[0], "d": G.shape[1],
+           "points": len(points), "dimensionality": dim, "beam_width": width}
+    if mode == "on":
+        out["stats"] = provider.stats()
+    return out
+
+
+def _grid_mode_subprocess(mode: str, quick: bool) -> dict:
+    """One `_grid_mode` run in a clean child interpreter."""
+    import json
+    import subprocess
+    import sys
+
+    cmd = [sys.executable, __file__, "--grid-mode", mode]
+    if quick:
+        cmd.append("--quick")
+    proc = subprocess.run(cmd, capture_output=True, text=True, check=True)
+    return json.loads(proc.stdout)
+
+
+def main(argv=None) -> None:
+    """Standalone mode: speedup tables plus the BENCH_scorer.json record."""
+    import argparse
+    import json
+    import os
+    import time
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--json", default="BENCH_scorer.json", metavar="PATH",
+                        help="write perf records to PATH (default: "
+                        "BENCH_scorer.json; empty string disables)")
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke scale: smaller grid, same code paths")
+    parser.add_argument("--grid-mode", choices=("on", "off"),
+                        help=argparse.SUPPRESS)  # internal: one isolated mode
+    parser.add_argument("--repeats", type=int, default=2,
+                        help="subprocess runs per provider mode; the best "
+                        "wall time of each mode is compared (default: 2)")
+    args = parser.parse_args(argv)
+
+    if args.grid_mode:
+        print(json.dumps(_grid_mode(args.grid_mode, args.quick)))
+        return
+
+    records = []
+    rows = []
+
+    # --- batching / backend comparison (cold 2d sweeps) -----------------
     X = _scorer_matrix()
     subspaces = _candidates()
-    rows = []
 
     def timed(label, make_scorer, passer):
         scorer = make_scorer()
         start = time.perf_counter()
         passer(scorer, subspaces)
         elapsed = time.perf_counter() - start
+        hit_rate = scorer.cache_hit_rate
         scorer.close()
         rows.append((label, elapsed))
+        records.append({
+            "op": label, "n": X.shape[0], "d": X.shape[1],
+            "n_subspaces": len(subspaces),
+            "wall_time_s": round(elapsed, 6),
+            "cache_hit_rate": round(hit_rate, 4),
+        })
         return elapsed
 
     base = timed("scalar loop (serial)", lambda: SubspaceScorer(X, LOF(k=15)), _scalar_pass)
@@ -126,13 +239,71 @@ def main() -> None:
             _batch_pass,
         )
 
-    import os
-
     print(f"{len(subspaces)} cold 2d subspaces of a {X.shape} matrix, "
           f"LOF(k=15), {os.cpu_count()} CPU(s)")
     for label, elapsed in rows:
         print(f"  {label:34s} {elapsed * 1000:8.1f} ms  "
               f"(speedup vs scalar: {base / elapsed:4.2f}x)")
+
+    # --- distance substrate on a stage-wise Beam + LOF grid -------------
+    # Each mode runs in a fresh subprocess (allocator isolation; see
+    # `_grid_mode`), `--repeats` times; modes are compared on their best
+    # wall time, the standard way to strip scheduler/VM noise from a
+    # single-shot measurement.
+    runs = {"off": [], "on": []}
+    for _ in range(max(1, args.repeats)):
+        for mode in ("off", "on"):
+            runs[mode].append(_grid_mode_subprocess(mode, args.quick))
+
+    best_off = min(runs["off"], key=lambda r: r["wall_time_s"])
+    best_on = min(runs["on"], key=lambda r: r["wall_time_s"])
+    for off_run, on_run in zip(runs["off"], runs["on"]):
+        if off_run["ranked"] != on_run["ranked"]:
+            raise SystemExit(
+                "FAIL: ranked subspaces differ between provider on and off"
+            )
+
+    grid = {"points": best_off["points"],
+            "dimensionality": best_off["dimensionality"],
+            "beam_width": best_off["beam_width"]}
+    n, d = best_off["n"], best_off["d"]
+    off_elapsed = best_off["wall_time_s"]
+    on_elapsed = best_on["wall_time_s"]
+    records.append({
+        "op": "beam_lof_grid (provider off)", "n": n, "d": d,
+        "wall_time_s": round(off_elapsed, 6), "cache_hit_rate": 0.0,
+        "repeats": len(runs["off"]), **grid,
+    })
+    stats = best_on["stats"]
+    total = stats["hits"] + stats["misses"]
+    records.append({
+        "op": "beam_lof_grid (provider on)", "n": n, "d": d,
+        "wall_time_s": round(on_elapsed, 6),
+        "cache_hit_rate": round(stats["hits"] / total if total else 0.0, 4),
+        "dist_parent_reuses": stats["parent_reuses"],
+        "dist_blocks": stats["blocks"],
+        "repeats": len(runs["on"]), **grid,
+    })
+
+    speedup = off_elapsed / on_elapsed
+    print(f"stage-wise Beam(beam_width={grid['beam_width']}) + LOF(k=15) "
+          f"grid on a ({n}, {d}) matrix, {grid['points']} points to "
+          f"dimensionality {grid['dimensionality']} "
+          f"(best of {len(runs['off'])} isolated runs per mode):")
+    print(f"  provider off {off_elapsed * 1000:8.1f} ms")
+    print(f"  provider on  {on_elapsed * 1000:8.1f} ms  "
+          f"(speedup: {speedup:4.2f}x, ranked subspaces identical, "
+          f"{stats['parent_reuses']} parent reuses)")
+    records.append({
+        "op": "beam_lof_grid speedup", "n": n, "d": d,
+        "speedup": round(speedup, 3), "ranked_identical": True, **grid,
+    })
+
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(records, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.json}")
 
 
 if __name__ == "__main__":

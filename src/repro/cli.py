@@ -74,6 +74,20 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--dist-cache-mb",
+        default=None,
+        type=int,
+        metavar="MB",
+        help=(
+            "byte budget (MiB) of the shared distance substrate that "
+            "composes subspace distance matrices from cached per-feature "
+            "blocks for LOF / Fast ABOD / k-NN (default: 256, or the "
+            "REPRO_DIST_CACHE_MB environment variable; 0 disables the "
+            "substrate and every projection recomputes distances directly "
+            "— results are identical either way, only speed changes)"
+        ),
+    )
+    parser.add_argument(
         "--checkpoint",
         default=None,
         metavar="PATH",
@@ -156,6 +170,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         os.environ[BACKEND_ENV] = args.backend
     if args.n_jobs is not None:
         os.environ[N_JOBS_ENV] = str(args.n_jobs)
+    if args.dist_cache_mb is not None:
+        from repro.neighbors.provider import DIST_CACHE_MB_ENV
+
+        os.environ[DIST_CACHE_MB_ENV] = str(args.dist_cache_mb)
     if args.checkpoint is not None:
         os.environ[CHECKPOINT_ENV] = args.checkpoint
     if args.resume:

@@ -43,6 +43,8 @@ class LOF(Detector):
     """
 
     name = "lof"
+    uses_precomputed_distances = True
+    uses_knn_queries = True
 
     def __init__(self, k: int = 15) -> None:
         self.k = check_positive_int(k, name="k")
@@ -55,7 +57,28 @@ class LOF(Detector):
         k = min(self.k, n - 1)
         with obs_span("detector.lof.knn", n_samples=n, k=k):
             index = KNNIndex(X)
-            neigh_idx, neigh_dist = index.kneighbors(k)
+        return self._lof_from_index(index, k)
+
+    def _score_with_distances(
+        self, X: np.ndarray, sq_distances: np.ndarray
+    ) -> np.ndarray:
+        k = min(self.k, X.shape[0] - 1)
+        index = KNNIndex(X, masked_sq_distances=sq_distances)
+        return self._lof_from_index(index, k)
+
+    def _score_with_knn(self, X: np.ndarray, knn) -> np.ndarray:
+        k = min(self.k, X.shape[0] - 1)
+        neigh_idx, neigh_dist = knn.kneighbors(k)
+        return self._lof_math(neigh_idx, neigh_dist)
+
+    @staticmethod
+    def _lof_from_index(index: KNNIndex, k: int) -> np.ndarray:
+        neigh_idx, neigh_dist = index.kneighbors(k)
+        return LOF._lof_math(neigh_idx, neigh_dist)
+
+    @staticmethod
+    def _lof_math(neigh_idx: np.ndarray, neigh_dist: np.ndarray) -> np.ndarray:
+        """LOF from canonically ordered (ascending) neighbour lists."""
         # k-distance of every point = distance to its k-th neighbour.
         k_dist = neigh_dist[:, -1]
         # reach-dist_k(p <- o) = max(k-dist(o), d(p, o)) for o in kNN(p).

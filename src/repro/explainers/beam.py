@@ -28,7 +28,12 @@ from __future__ import annotations
 
 from repro.explainers.base import PointExplainer, RankedSubspaces
 from repro.obs.trace import span as obs_span
-from repro.subspaces.enumeration import all_subspaces, grow_by_one, top_k
+from repro.subspaces.enumeration import (
+    all_subspaces,
+    grow_by_one,
+    parent_hints,
+    top_k,
+)
 from repro.subspaces.scorer import SubspaceScorer
 from repro.subspaces.subspace import Subspace
 from repro.utils.validation import check_positive_int
@@ -108,9 +113,11 @@ class Beam(PointExplainer):
             with obs_span(
                 "beam.stage", point=point, stage_dim=current_dim + 1
             ) as stage_span:
-                candidates = grow_by_one([s for s, _ in stage], d)
+                seeds = [s for s, _ in stage]
+                candidates = grow_by_one(seeds, d)
                 stage_span.set(n_candidates=len(candidates))
-                stage = self._score_stage(scorer, candidates, point)
+                parents = parent_hints(candidates, seeds)
+                stage = self._score_stage(scorer, candidates, point, parents)
             global_list = top_k(global_list + stage, self.beam_width)
             current_dim += 1
 
@@ -122,9 +129,10 @@ class Beam(PointExplainer):
         scorer: SubspaceScorer,
         candidates: list[Subspace],
         point: int,
+        parents: "list[tuple[int, ...] | None] | None" = None,
     ) -> list[tuple[Subspace, float]]:
         """Score one stage's candidate batch and keep the beam."""
-        z = scorer.point_zscores_many(candidates, point)
+        z = scorer.point_zscores_many(candidates, point, parents=parents)
         return top_k(
             [(s, float(v)) for s, v in zip(candidates, z)], self.beam_width
         )

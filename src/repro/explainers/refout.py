@@ -35,7 +35,12 @@ from repro.exceptions import ValidationError
 from repro.explainers.base import PointExplainer, RankedSubspaces
 from repro.obs.trace import span as obs_span
 from repro.stats.welch import welch_statistic
-from repro.subspaces.enumeration import grow_with_features, random_subspaces, top_k
+from repro.subspaces.enumeration import (
+    grow_with_features,
+    parent_hints,
+    random_subspaces,
+    top_k,
+)
 from repro.subspaces.scorer import SubspaceScorer
 from repro.subspaces.subspace import Subspace
 from repro.utils.rng import as_rng
@@ -152,11 +157,13 @@ class RefOut(PointExplainer):
         top_features = [next(iter(s)) for s, _ in stage]
 
         current_dim = 1
+        seeds: list[Subspace] = []
         while current_dim < dimensionality:
             with obs_span(
                 "refout.stage", point=point, stage_dim=current_dim + 1
             ) as stage_span:
-                candidates = grow_with_features([s for s, _ in stage], top_features)
+                seeds = [s for s, _ in stage]
+                candidates = grow_with_features(seeds, top_features)
                 stage_span.set(n_candidates=len(candidates))
                 scored = [
                     (c, self._discrepancy(frozenset(c), pool_sets, pool_scores))
@@ -167,12 +174,14 @@ class RefOut(PointExplainer):
 
         # Refinement: rank surviving candidates by the point's actual
         # standardised score in the candidate subspace itself — again one
-        # batch, dispatched in a single wave.
+        # batch, dispatched in a single wave. The last stage's seeds serve
+        # as advisory parent hints for the distance substrate.
         with obs_span("refout.refine", point=point, n_candidates=len(stage)):
             survivors = [
                 s for s, _ in stage if s.dimensionality == dimensionality
             ]
-            z = scorer.point_zscores_many(survivors, point)
+            parents = parent_hints(survivors, seeds) if seeds else None
+            z = scorer.point_zscores_many(survivors, point, parents=parents)
             refined = [(s, float(v)) for s, v in zip(survivors, z)]
             return RankedSubspaces.from_pairs(top_k(refined, self.result_size))
 

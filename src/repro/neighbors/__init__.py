@@ -9,10 +9,18 @@ subspaces where tree construction cost would dominate.
 
 from repro.neighbors.distance import euclidean_cdist, euclidean_pdist_matrix
 from repro.neighbors.knn import KNNIndex, kneighbors
+from repro.neighbors.provider import (
+    DistanceProvider,
+    resolve_dist_cache_bytes,
+    shared_provider,
+)
 
 __all__ = [
+    "DistanceProvider",
     "KNNIndex",
     "euclidean_cdist",
     "euclidean_pdist_matrix",
     "kneighbors",
+    "resolve_dist_cache_bytes",
+    "shared_provider",
 ]

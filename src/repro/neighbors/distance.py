@@ -5,6 +5,12 @@ as a single matrix multiply. Negative squared distances caused by floating
 point cancellation are clamped to zero before the square root, and exact
 self-distances on the diagonal are forced to zero so that downstream k-NN
 code can rely on ``d(x, x) == 0`` exactly.
+
+Both entry points accept ``float32`` input without a silent float64
+upcast-copy: a float32 matrix is validated in place (one C-contiguity pass
+at entry) and the whole computation — row norms, the ``sgemm`` matmul, the
+square root — stays in single precision, returning a float32 result. Mixed
+dtypes fall back to float64.
 """
 
 from __future__ import annotations
@@ -31,14 +37,18 @@ def euclidean_cdist(A: np.ndarray, B: np.ndarray) -> np.ndarray:
     numpy.ndarray
         Distance matrix of shape ``(n, m)``.
     """
-    A = check_matrix(A, name="A")
-    B = check_matrix(B, name="B")
+    A = check_matrix(A, name="A", preserve_float32=True)
+    B = check_matrix(B, name="B", preserve_float32=True)
     if A.shape[1] != B.shape[1]:
         from repro.exceptions import ValidationError
 
         raise ValidationError(
             f"A and B must share the feature dimension, got {A.shape[1]} and {B.shape[1]}"
         )
+    if A.dtype != B.dtype:
+        # Mixed precision: compute in float64 rather than guessing.
+        A = np.asarray(A, dtype=np.float64)
+        B = np.asarray(B, dtype=np.float64)
     sq_a = np.einsum("ij,ij->i", A, A)[:, None]
     sq_b = np.einsum("ij,ij->i", B, B)[None, :]
     sq = sq_a + sq_b - 2.0 * (A @ B.T)
@@ -53,7 +63,7 @@ def euclidean_pdist_matrix(X: np.ndarray) -> np.ndarray:
     (computed once and mirrored), which keeps LOF's reachability distances
     deterministic regardless of row order.
     """
-    X = check_matrix(X, name="X")
+    X = check_matrix(X, name="X", preserve_float32=True)
     D = euclidean_cdist(X, X)
     D = 0.5 * (D + D.T)
     np.fill_diagonal(D, 0.0)

@@ -25,6 +25,14 @@ class KNNIndex:
     X:
         Reference points, shape ``(n, d)``. ``n`` must be at least 2 so that
         every point has at least one non-self neighbour.
+    masked_sq_distances:
+        Optional precomputed *squared* pairwise distances with the diagonal
+        already set to ``+inf`` (the layout served by
+        :class:`~repro.neighbors.provider.DistanceProvider`). When given,
+        the index skips the ``O(n^2 d)`` distance build entirely: neighbour
+        selection runs on squared distances (``sqrt`` is monotone, so the
+        ordering is the same) and only the ``(n, k)`` selected values are
+        square-rooted, never the full matrix.
 
     Notes
     -----
@@ -32,12 +40,35 @@ class KNNIndex:
     so results are deterministic.
     """
 
-    def __init__(self, X: np.ndarray) -> None:
+    def __init__(
+        self,
+        X: np.ndarray,
+        *,
+        masked_sq_distances: np.ndarray | None = None,
+    ) -> None:
         self.X = check_matrix(X, name="X", min_rows=2)
-        self._dist = euclidean_pdist_matrix(self.X)
-        # A point must not be its own neighbour: mask the diagonal.
-        self._masked = self._dist.copy()
-        np.fill_diagonal(self._masked, np.inf)
+        self._dist: np.ndarray | None = None
+        self._masked: np.ndarray | None = None
+        self._masked_sq: np.ndarray | None = None
+        if masked_sq_distances is not None:
+            # Keep the provider's dtype (float32): upcasting here would add
+            # a full-matrix copy and double the bandwidth of every
+            # argpartition pass downstream.
+            sq = np.asarray(masked_sq_distances)
+            if sq.dtype not in (np.float32, np.float64):
+                sq = sq.astype(np.float64)
+            n = self.X.shape[0]
+            if sq.shape != (n, n):
+                raise ValidationError(
+                    f"masked_sq_distances must have shape ({n}, {n}), "
+                    f"got {sq.shape}"
+                )
+            self._masked_sq = sq
+        else:
+            self._dist = euclidean_pdist_matrix(self.X)
+            # A point must not be its own neighbour: mask the diagonal.
+            self._masked = self._dist.copy()
+            np.fill_diagonal(self._masked, np.inf)
 
     @property
     def n_samples(self) -> int:
@@ -46,7 +77,16 @@ class KNNIndex:
 
     @property
     def distances(self) -> np.ndarray:
-        """The full pairwise distance matrix (diagonal zero)."""
+        """The full pairwise distance matrix (diagonal zero).
+
+        In precomputed mode this materialises lazily (one sqrt pass) —
+        the hot paths never ask for it.
+        """
+        if self._dist is None:
+            assert self._masked_sq is not None
+            D = self._masked_sq.copy()
+            np.fill_diagonal(D, 0.0)
+            self._dist = np.sqrt(D, out=D)
         return self._dist
 
     def kneighbors(self, k: int) -> tuple[np.ndarray, np.ndarray]:
@@ -59,8 +99,14 @@ class KNNIndex:
             ``(j+1)``-th nearest neighbour, sorted ascending by distance.
         """
         k = self._check_k(k)
-        order = _smallest_k(self._masked, k)
-        dist = np.take_along_axis(self._masked, order, axis=1)
+        if self._masked_sq is not None:
+            order = _smallest_k(self._masked_sq, k)
+            sq = np.take_along_axis(self._masked_sq, order, axis=1)
+            dist = np.sqrt(sq, out=sq)
+        else:
+            assert self._masked is not None
+            order = _smallest_k(self._masked, k)
+            dist = np.take_along_axis(self._masked, order, axis=1)
         return order, dist
 
     def kth_distance(self, k: int) -> np.ndarray:

@@ -1,0 +1,788 @@
+"""Shared distance substrate: per-feature decomposition of Euclidean distances.
+
+Every explainer in the testbed re-scores thousands of small subspace
+projections of *one* dataset, and each LOF / Fast ABOD / k-NN evaluation
+used to re-derive a full ``O(n^2 * d)`` pairwise distance matrix from the
+projection. Squared Euclidean distance decomposes per feature,
+
+.. math:: D^2(S)_{ij} = \\sum_{f \\in S} (x_{if} - x_{jf})^2,
+
+so almost all of that work is redundant across candidate subspaces.
+:class:`DistanceProvider` exploits the identity:
+
+* **Per-feature blocks.** ``(n, n)`` matrices of squared differences, one
+  per feature, materialised lazily in ``float32`` (half the memory and
+  bandwidth of float64; the rounding happens once per block, before any
+  composition).
+* **Composition.** A subspace's squared-distance matrix is the float32 sum
+  of its feature blocks, accumulated **in sorted feature order** — the
+  *canonical chain*. Composed matrices carry ``+inf`` on the diagonal so
+  k-NN consumers need no masking copy; ``inf + 0`` keeps the diagonal
+  masked through every incremental extension. Staying in float32 keeps
+  each composed matrix at ``4 n^2`` bytes — half the cache pressure and
+  half the memory bandwidth of every downstream ``argpartition`` pass,
+  which dominates the k-NN cost at paper scale.
+* **Incremental parent reuse.** Stage-wise explainers grow a subspace by
+  one feature; ``D^2(S ∪ {f}) = D^2(S) + D^2(f)`` when the cached parent
+  is a sorted prefix of the child. More generally the provider walks the
+  longest cached sorted prefix and only adds the missing blocks.
+* **LRU byte budget.** Blocks and composed matrices share one
+  byte-budgeted LRU cache (``REPRO_DIST_CACHE_MB``, default 256 MiB).
+  Blocks and prefix partial sums — the values every later composition
+  builds on — live at the warm end; leaf composed matrices are inserted
+  *cold* (first to be evicted), so a wave of one-shot candidate matrices
+  can never flush the substrate's working set.
+
+Determinism
+-----------
+The canonical chain makes every composed value *independent of cache
+state*: whatever was evicted, whatever parent hints were passed, whatever
+thread computed it, ``D^2(S)`` is always the float32 left-to-right sum of
+the same float32 blocks in sorted order — so checkpoint/resume drills and
+backend-equivalence tests see byte-identical scores with the provider on.
+That is also why an arbitrary (non-prefix) parent is never reused
+directly: float addition is not associative, and reusing it would make
+score bits depend on which candidates happened to be cached.
+
+The provider pickles *without* its cache (a process-backend worker
+rebuilds blocks lazily and, by the canonical chain, reproduces the exact
+same bits), and it declines subspaces wider than :attr:`max_compose_dim`
+(block summation is memory-bound; for wide subspaces the one-shot matmul
+expansion in :mod:`repro.neighbors.distance` is cheaper) — that predicate
+depends only on the subspace, never on cache state.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import weakref
+import zlib
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.neighbors.knn import _smallest_k
+from repro.obs import metrics as obs_metrics
+from repro.utils.caching import LRUCache
+from repro.utils.validation import check_feature_indices, check_matrix
+
+__all__ = [
+    "DEFAULT_DIST_CACHE_MB",
+    "DEFAULT_MAX_COMPOSE_DIM",
+    "DEFAULT_SKETCH_FACTOR",
+    "DIST_CACHE_MB_ENV",
+    "DistanceProvider",
+    "KNNQueryView",
+    "resolve_dist_cache_bytes",
+    "shared_provider",
+]
+
+#: Environment variable naming the provider byte budget in MiB.
+#: ``0`` (or negative) disables the distance substrate entirely.
+DIST_CACHE_MB_ENV = "REPRO_DIST_CACHE_MB"
+
+#: Default byte budget when the environment names none: 256 MiB.
+DEFAULT_DIST_CACHE_MB = 256
+
+#: Default widest subspace composed from blocks; wider ones fall back to
+#: the direct matmul expansion (see module docstring).
+DEFAULT_MAX_COMPOSE_DIM = 8
+
+#: Neighbour-sketch candidate count as a multiple of ``k`` (see
+#: :meth:`DistanceProvider.kneighbors`). Larger sketches certify more
+#: rows (squared distances grow with every added feature, so the parent's
+#: low ranks must reach past the child's k-th neighbour) at the cost of
+#: wider gathers; 12k certifies comfortably at paper scale (n≈1000,
+#: k=15) even for 1-feature parents.
+DEFAULT_SKETCH_FACTOR = 12
+
+_BLOCKS = obs_metrics.gauge(
+    "repro_dist_blocks",
+    "Per-feature squared-difference blocks currently cached",
+)
+_COMPOSED = obs_metrics.gauge(
+    "repro_dist_composed",
+    "Composed subspace distance matrices currently cached",
+)
+_BYTES = obs_metrics.gauge(
+    "repro_dist_bytes",
+    "Bytes held by the distance substrate (blocks + composed matrices)",
+)
+_HITS = obs_metrics.counter(
+    "repro_dist_hits_total",
+    "Distance-substrate cache hits, by kind (block / subspace)",
+)
+_MISSES = obs_metrics.counter(
+    "repro_dist_misses_total",
+    "Distance-substrate cache misses that computed a matrix, by kind",
+)
+_PARENT_REUSES = obs_metrics.counter(
+    "repro_dist_parent_reuse_total",
+    "Subspace compositions that extended a cached (prefix) parent matrix",
+)
+_EVICTIONS = obs_metrics.counter(
+    "repro_dist_evictions_total",
+    "Distance-substrate cache entries evicted over the byte budget",
+)
+_KNN_QUERIES = obs_metrics.counter(
+    "repro_dist_knn_queries_total",
+    "Substrate k-NN queries, by path (sketch / full)",
+)
+_KNN_FALLBACK_ROWS = obs_metrics.counter(
+    "repro_dist_knn_fallback_rows_total",
+    "Rows of sketched k-NN queries that failed certification and were "
+    "answered from full canonical rows",
+)
+
+
+def resolve_dist_cache_bytes() -> int:
+    """Byte budget of the distance substrate from ``REPRO_DIST_CACHE_MB``.
+
+    Returns ``0`` when the environment disables the substrate.
+    """
+    raw = os.environ.get(DIST_CACHE_MB_ENV)
+    if raw is None or not raw.strip():
+        mb = DEFAULT_DIST_CACHE_MB
+    else:
+        try:
+            mb = int(raw)
+        except ValueError as exc:
+            raise ValidationError(
+                f"{DIST_CACHE_MB_ENV} must be an integer (MiB), got {raw!r}"
+            ) from exc
+    return max(0, mb) * 1024 * 1024
+
+
+def _fingerprint(X: np.ndarray) -> int:
+    """Content fingerprint keying the shared-provider registry."""
+    header = np.asarray(X.shape, dtype=np.int64).tobytes()
+    return zlib.crc32(header + np.ascontiguousarray(X).tobytes())
+
+
+class DistanceProvider:
+    """Lazily cached per-feature distance decomposition of one dataset.
+
+    Parameters
+    ----------
+    X:
+        The dataset, shape ``(n_samples, n_features)``. Validated to
+        float64 once; all blocks derive from this copy.
+    max_bytes:
+        LRU byte budget shared by feature blocks and composed matrices.
+        ``None`` resolves ``REPRO_DIST_CACHE_MB`` (default 256 MiB).
+    max_compose_dim:
+        Widest subspace served from block composition (default 8); see
+        :meth:`covers`.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> X = np.array([[0.0, 1.0, 5.0], [3.0, 1.0, 9.0], [0.0, 2.0, 5.0]])
+    >>> provider = DistanceProvider(X, max_bytes=1 << 20)
+    >>> sq = provider.squared_distances((0, 2))
+    >>> bool(sq[0, 1] == 3.0 ** 2 + 4.0 ** 2)   # features 0 and 2 only
+    True
+    >>> bool(np.isinf(sq[0, 0]))   # diagonal is masked for k-NN
+    True
+    >>> base = provider.squared_distances((0, 1))
+    >>> float(provider.squared_distances((0, 1, 2), parent=(0, 1))[0, 1])
+    25.0
+    >>> provider.stats()["parent_reuses"]
+    1
+    """
+
+    def __init__(
+        self,
+        X: np.ndarray,
+        *,
+        max_bytes: int | None = None,
+        max_compose_dim: int = DEFAULT_MAX_COMPOSE_DIM,
+        sketch_factor: int = DEFAULT_SKETCH_FACTOR,
+    ) -> None:
+        self.X = check_matrix(X, name="X", min_rows=2)
+        self.max_bytes = (
+            resolve_dist_cache_bytes() if max_bytes is None else int(max_bytes)
+        )
+        if self.max_bytes <= 0:
+            raise ValidationError(
+                "DistanceProvider needs a positive byte budget; use "
+                "shared_provider() for the disable-on-zero-budget policy"
+            )
+        self.max_compose_dim = int(max_compose_dim)
+        self.sketch_factor = int(sketch_factor)
+        if self.sketch_factor < 2:
+            raise ValidationError(
+                f"sketch_factor must be at least 2, got {sketch_factor}"
+            )
+        self._init_runtime()
+
+    def _init_runtime(self) -> None:
+        """(Re)build the unpicklable runtime state: cache and counters."""
+        self._cache: LRUCache[tuple, object] = LRUCache(
+            self.max_bytes, name="dist", on_evict=self._record_eviction
+        )
+        # Contiguous float64 feature columns (n * 8 bytes each) backing the
+        # sketch-query gathers; tiny, so they live outside the LRU budget.
+        self._cols: dict[int, np.ndarray] = {}
+        self._stats_lock = threading.Lock()
+        self._block_hits = 0
+        self._block_misses = 0
+        self._composed_hits = 0
+        self._composed_misses = 0
+        self._parent_reuses = 0
+        self._sketch_hits = 0
+        self._sketch_misses = 0
+        self._knn_sketched = 0
+        self._knn_full = 0
+        self._knn_fallback_rows = 0
+
+    # ------------------------------------------------------------------
+    # Capability predicates (must not depend on cache state).
+    # ------------------------------------------------------------------
+
+    @property
+    def n_samples(self) -> int:
+        """Number of points in the dataset."""
+        return self.X.shape[0]
+
+    @property
+    def n_features(self) -> int:
+        """Number of features in the dataset."""
+        return self.X.shape[1]
+
+    @property
+    def block_bytes(self) -> int:
+        """Bytes of one float32 per-feature block."""
+        return self.n_samples * self.n_samples * 4
+
+    def covers(self, features: Iterable[int]) -> bool:
+        """Whether the provider serves this subspace from block composition.
+
+        Deterministic in the subspace alone (dimensionality cutoff) — the
+        decision must never depend on what happens to be cached, or score
+        bits would vary with cache state.
+        """
+        return 1 <= len(tuple(features)) <= self.max_compose_dim
+
+    # ------------------------------------------------------------------
+    # The substrate.
+    # ------------------------------------------------------------------
+
+    def feature_block(self, feature: int) -> np.ndarray:
+        """The float32 squared-difference block of one feature (read-only).
+
+        ``block[i, j] = (X[i, f] - X[j, f])^2`` with an exactly-zero
+        diagonal; computed in float64 and rounded once to float32.
+        """
+        feature = int(feature)
+        if not 0 <= feature < self.n_features:
+            raise ValidationError(
+                f"feature {feature} out of range for {self.n_features} features"
+            )
+        key = ("b", feature)
+        block = self._cache.get(key)
+        if block is not None:
+            self._count("block_hits")
+            _HITS.inc(kind="block")
+            return block
+        self._count("block_misses")
+        _MISSES.inc(kind="block")
+        column = self.X[:, feature]
+        diff = column[:, None] - column[None, :]
+        block = np.square(diff, out=diff).astype(np.float32)
+        block.flags.writeable = False
+        self._cache.put(key, block)
+        self._refresh_gauges()
+        return block
+
+    def squared_distances(
+        self,
+        features: Iterable[int],
+        *,
+        parent: Iterable[int] | None = None,
+    ) -> np.ndarray:
+        """Composed squared-distance matrix of a subspace (read-only).
+
+        Float32, shape ``(n, n)``, diagonal ``+inf`` (self-distances are
+        pre-masked for k-NN selection). The value is always the canonical
+        sorted-order sum of the float32 feature blocks, whatever is cached.
+
+        Parameters
+        ----------
+        features:
+            The subspace (any iterable of feature indices).
+        parent:
+            Advisory hint: the subspace this one was grown from. Reused
+            directly (one block addition) when it is a sorted prefix of
+            ``features``; otherwise the provider falls back to the longest
+            cached sorted prefix, which preserves canonical bits.
+        """
+        s = check_feature_indices(features, n_features=self.n_features)
+        key = ("c", s)
+        cached = self._cache.get(key)
+        if cached is not None:
+            self._count("composed_hits")
+            _HITS.inc(kind="subspace")
+            return cached
+        self._count("composed_misses")
+        _MISSES.inc(kind="subspace")
+
+        base: np.ndarray | None = None
+        start = 0
+        if parent is not None and len(s) > 1:
+            p = check_feature_indices(parent, n_features=self.n_features)
+            if 0 < len(p) < len(s) and p == s[: len(p)]:
+                base = self._cache.get(("c", p))
+                if base is not None:
+                    start = len(p)
+        if base is None and len(s) > 1:
+            for length in range(len(s) - 1, 0, -1):
+                base = self._cache.get(("c", s[:length]))
+                if base is not None:
+                    start = length
+                    break
+        if base is not None:
+            self._count("parent_reuses")
+            _PARENT_REUSES.inc()
+            if start == len(s) - 1:
+                # Single extension (the stage-wise hot path): one ufunc
+                # pass, bitwise identical to copy-then-add.
+                out = base + self.feature_block(s[start])
+                out.flags.writeable = False
+                self._cache.put(key, out, cold=True)
+                self._refresh_gauges()
+                return out
+            out = base.copy()
+        else:
+            first = self.feature_block(s[0])
+            out = first.copy()
+            np.fill_diagonal(out, np.inf)
+            start = 1
+        for idx in range(start, len(s)):
+            if idx >= 2 and idx > start:
+                # The accumulator holds the canonical partial sum of
+                # ``s[:idx]``: cache it warm. Stage waves visit candidates
+                # in lexicographic order, so upcoming siblings sharing the
+                # prefix extend it with one block addition instead of
+                # recomposing from scratch; prefixes are also the parents
+                # of the next stage's growth.
+                snapshot = out.copy()
+                snapshot.flags.writeable = False
+                self._cache.put(("c", s[:idx]), snapshot)
+            # One float32 add per block: the canonical chain, step by step.
+            out += self.feature_block(s[idx])
+        out.flags.writeable = False
+        # Leaf results rarely recur (the scorer memoises scores above us):
+        # insert them cold so they can never flush the blocks and prefixes
+        # every later composition builds on.
+        self._cache.put(key, out, cold=True)
+        self._refresh_gauges()
+        return out
+
+    # ------------------------------------------------------------------
+    # Certified neighbour sketches: exact k-NN without the full matrix.
+    # ------------------------------------------------------------------
+
+    def knn_view(
+        self,
+        features: Iterable[int],
+        *,
+        parent: Iterable[int] | None = None,
+    ) -> "KNNQueryView":
+        """A neighbour-query view of one subspace bound to this provider."""
+        return KNNQueryView(self, tuple(features), parent)
+
+    def kneighbors(
+        self,
+        features: Iterable[int],
+        k: int,
+        *,
+        parent: Iterable[int] | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Indices and distances of the ``k`` nearest non-self neighbours.
+
+        Same contract as :meth:`KNNIndex.kneighbors
+        <repro.neighbors.KNNIndex.kneighbors>` run on this subspace's
+        composed matrix — ascending distance, ties broken by index — and
+        **bit-identical** to it, but usually far cheaper: squared
+        distances only grow as features are added, so the k nearest
+        neighbours of a grown subspace must come from its parent's near
+        neighbourhood. The provider keeps a *sketch* per parent (its
+        ``m`` nearest candidates per row plus the ``(m+1)``-th parent
+        distance as a bound ``B``) and answers the child query from an
+        ``(n, m)`` gather of canonical block sums: a row is *certified*
+        when its k-th candidate distance ``t`` satisfies ``B > t`` —
+        every excluded point has ``child >= parent >= B > t``, so the
+        candidate top-k is exactly the global top-k. (Float32 addition of
+        non-negative blocks is monotone, so the inequality chain survives
+        rounding.) Rows that fail certification, and rows with a distance
+        tie at the k-th boundary, are answered from their full canonical
+        rows — results never depend on the sketch, which is why cache
+        state, hints, and eviction patterns cannot change a single bit.
+
+        Parameters
+        ----------
+        features:
+            The subspace to query.
+        k:
+            Neighbour count, ``1 <= k <= n_samples - 1``.
+        parent:
+            Advisory hint: any proper subset of ``features`` (the
+            subspace this one was grown from) whose sketch anchors
+            certification. Without a usable hint the sorted prefix
+            ``features[:-1]`` anchors instead.
+        """
+        s = check_feature_indices(features, n_features=self.n_features)
+        n = self.n_samples
+        k = int(k)
+        if not 1 <= k <= n - 1:
+            raise ValidationError(
+                f"k={k} exceeds the number of available neighbours ({n - 1})"
+            )
+        p: tuple[int, ...] | None = None
+        m = 0
+        if len(s) >= 2:
+            if parent is not None:
+                hint = check_feature_indices(parent, n_features=self.n_features)
+                if 0 < len(hint) < len(s) and set(hint) < set(s):
+                    p = hint
+            if p is None:
+                p = s[:-1]
+            # Width shrinks with parent depth: relative distance growth
+            # from d to d+1 features falls off as 1/d, so deep parents
+            # certify with far fewer candidates (the choice of ``m``
+            # moves rows between the sketch and fallback paths — it can
+            # never change a bit of the result).
+            factor = max(3, -(-2 * self.sketch_factor // (len(p) + 1)))
+            m = min(factor * k, n - 2)
+            if k >= m:
+                p = None
+        if p is None:
+            self._count("knn_full")
+            _KNN_QUERIES.inc(path="full")
+            D = self.squared_distances(s, parent=parent)
+            order = _smallest_k(D, k)
+            sq = np.take_along_axis(D, order, axis=1)
+            return order, np.sqrt(sq, out=sq)
+
+        self._count("knn_sketched")
+        _KNN_QUERIES.inc(path="sketch")
+        cand, bound = self._sketch(p, m)
+        vals = self._gather_canonical(s, cand)
+
+        # Value-only sort: numpy's SIMD float sort is several times faster
+        # than introselect argpartition at this shape, and the sorted row
+        # yields both the k-th value and the boundary-tie test
+        # (``svals[:, k] > kth`` iff exactly k values are <= kth).
+        svals = np.sort(vals, axis=1)
+        kth = svals[:, k - 1]
+        good = (bound > kth) & (svals[:, k] > kth)
+
+        idx = np.empty((n, k), dtype=np.intp)
+        dist = np.empty((n, k), dtype=np.float32)
+        mask = vals <= kth[:, None]
+        mask &= good[:, None]
+        n_good = n - int(np.count_nonzero(~good))
+        if n_good:
+            # Certified rows have exactly k marked candidates; nonzero
+            # walks them row-major, so the columns reshape to (n_good, k).
+            rr, cc = np.nonzero(mask)
+            loc_vals = vals[rr, cc].reshape(n_good, k)
+            loc_idx = cand[rr, cc].reshape(n_good, k).astype(np.intp)
+            order = np.lexsort((loc_idx, loc_vals), axis=1)
+            rows_2d = np.arange(n_good)[:, None]
+            idx[good] = loc_idx[rows_2d, order]
+            dist[good] = loc_vals[rows_2d, order]
+
+        bad = np.flatnonzero(~good)
+        if bad.size:
+            self._count_n("knn_fallback_rows", int(bad.size))
+            _KNN_FALLBACK_ROWS.inc(int(bad.size))
+            rows = self._full_rows(s, bad)
+            order_b = _smallest_k(rows, k)
+            idx[bad] = order_b
+            dist[bad] = rows[np.arange(bad.size)[:, None], order_b]
+        return idx, np.sqrt(dist, out=dist)
+
+    def _sketch(self, parent: tuple[int, ...], m: int) -> tuple[np.ndarray, np.ndarray]:
+        """The neighbour sketch of ``parent``: top-``m`` candidates + bound.
+
+        ``cand[r]`` holds the ``m`` nearest candidates of row ``r`` under
+        the parent's distances (any order); ``bound[r]`` is the
+        ``(m+1)``-th smallest parent distance — a lower bound on the
+        parent (hence child) distance of every non-candidate. Which tied
+        candidate lands in the sketch is irrelevant for correctness: only
+        certification soundness matters, and the bound is a value, not an
+        index.
+        """
+        key = ("k", parent, m)
+        cached = self._cache.get(key)
+        if cached is not None:
+            self._count("sketch_hits")
+            _HITS.inc(kind="sketch")
+            return cached  # type: ignore[return-value]
+        self._count("sketch_misses")
+        _MISSES.inc(kind="sketch")
+        Dp = self.squared_distances(parent)
+        ap = np.argpartition(Dp, m, axis=1)
+        cand = ap[:, :m].astype(np.int32)
+        bound = np.take_along_axis(Dp, ap[:, m : m + 1], axis=1)[:, 0].copy()
+        cand.flags.writeable = False
+        bound.flags.writeable = False
+        sketch = (cand, bound)
+        self._cache.put(key, sketch)
+        self._refresh_gauges()
+        return sketch
+
+    def _column(self, feature: int) -> np.ndarray:
+        """Contiguous float64 column of one feature (read-only)."""
+        col = self._cols.get(feature)
+        if col is None:
+            col = np.ascontiguousarray(self.X[:, feature])
+            col.flags.writeable = False
+            self._cols[feature] = col
+        return col
+
+    def _gather_canonical(self, s: tuple[int, ...], cand: np.ndarray) -> np.ndarray:
+        """Canonical-chain squared distances gathered at candidate columns.
+
+        Recomputed straight from the feature *columns* — kilobytes that
+        live in L1 — instead of gathering from ``(n, n)`` blocks, whose
+        random access dominates sketched-query cost. The bits still match
+        the composed matrix exactly: each per-feature term repeats
+        :meth:`feature_block`'s arithmetic (float64 difference, squared,
+        rounded once to float32) at the gathered entries — the multiply
+        ufunc storing into a float32 ``out`` applies the same C
+        double-to-float cast as ``astype`` — and elementwise addition
+        commutes with gathering, so the left-to-right float32 sum in
+        sorted order *is* the canonical chain. Candidates never include
+        ``self`` (they come from a diagonal-masked parent), so the
+        diagonal needs no handling here. Scratch buffers are allocated
+        per call: the provider is shared across scorer threads.
+        """
+        gbuf = np.empty(cand.shape, dtype=np.float64)
+        out = np.empty(cand.shape, dtype=np.float32)
+        term: np.ndarray | None = None
+        for i, f in enumerate(s):
+            col = self._column(f)
+            # mode="clip" skips np.take's bounds-checking buffer; candidate
+            # indices are provider-made, always in range.
+            np.take(col, cand, out=gbuf, mode="clip")
+            np.subtract(col[:, None], gbuf, out=gbuf)
+            if i == 0:
+                np.multiply(gbuf, gbuf, out=out)
+            else:
+                if term is None:
+                    term = np.empty(cand.shape, dtype=np.float32)
+                np.multiply(gbuf, gbuf, out=term)
+                out += term
+        return out
+
+    def _full_rows(self, s: tuple[int, ...], rows: np.ndarray) -> np.ndarray:
+        """Full canonical squared-distance rows (diagonal ``+inf``).
+
+        Serves the uncertified rows of a sketched query; recomputed from
+        feature columns like :meth:`_gather_canonical` (row-slicing also
+        commutes with the canonical chain), so these bits equal the
+        corresponding rows of the composed matrix. The ``+inf``
+        self-distance mask is applied after the first term, exactly where
+        the composition chain applies it (``inf + x = inf`` thereafter).
+        """
+        shape = (rows.size, self.n_samples)
+        out: np.ndarray | None = None
+        start = 0
+        # A cached composed prefix (left by a sketch build) seeds the rows
+        # with one contiguous copy; row-slicing commutes with the chain,
+        # so this changes cost only, never bits.
+        for length in range(len(s), 0, -1):
+            base = self._cache.get(("c", s[:length]))
+            if base is not None:
+                out = base[rows]  # fancy indexing: a fresh writable copy
+                start = length
+                break
+        gbuf = np.empty(shape, dtype=np.float64)
+        term: np.ndarray | None = None
+        for i in range(start, len(s)):
+            col = self._column(s[i])
+            np.subtract(col[rows][:, None], col[None, :], out=gbuf)
+            if out is None:
+                out = np.empty(shape, dtype=np.float32)
+                np.multiply(gbuf, gbuf, out=out)
+                out[np.arange(rows.size), rows] = np.inf
+            else:
+                if term is None:
+                    term = np.empty(shape, dtype=np.float32)
+                np.multiply(gbuf, gbuf, out=term)
+                out += term
+        return out
+
+    # ------------------------------------------------------------------
+    # Accounting.
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict[str, int | float]:
+        """Snapshot of the substrate's counters (the obs / cost view)."""
+        with self._stats_lock:
+            counters = {
+                "block_hits": self._block_hits,
+                "block_misses": self._block_misses,
+                "composed_hits": self._composed_hits,
+                "composed_misses": self._composed_misses,
+                "parent_reuses": self._parent_reuses,
+                "sketch_hits": self._sketch_hits,
+                "sketch_misses": self._sketch_misses,
+                "knn_sketched": self._knn_sketched,
+                "knn_full": self._knn_full,
+                "knn_fallback_rows": self._knn_fallback_rows,
+            }
+        keys = self._cache.keys()
+        counters.update(
+            blocks=sum(1 for key in keys if key[0] == "b"),
+            composed=sum(1 for key in keys if key[0] == "c"),
+            sketches=sum(1 for key in keys if key[0] == "k"),
+            nbytes=self._cache.nbytes,
+            evictions=self._cache.evictions,
+            hits=counters["block_hits"] + counters["composed_hits"],
+            misses=counters["block_misses"] + counters["composed_misses"],
+        )
+        return counters
+
+    def clear(self) -> None:
+        """Drop every cached block and composed matrix (counters reset)."""
+        self._cache.clear()
+        with self._stats_lock:
+            self._block_hits = self._block_misses = 0
+            self._composed_hits = self._composed_misses = 0
+            self._parent_reuses = 0
+            self._sketch_hits = self._sketch_misses = 0
+            self._knn_sketched = self._knn_full = 0
+            self._knn_fallback_rows = 0
+        self._refresh_gauges()
+
+    def _count(self, name: str) -> None:
+        with self._stats_lock:
+            setattr(self, f"_{name}", getattr(self, f"_{name}") + 1)
+
+    def _count_n(self, name: str, amount: int) -> None:
+        with self._stats_lock:
+            setattr(self, f"_{name}", getattr(self, f"_{name}") + amount)
+
+    def _record_eviction(self, key: tuple, value: np.ndarray) -> None:
+        # Runs under the cache lock; keep it to counter work only.
+        _EVICTIONS.inc()
+
+    def _refresh_gauges(self) -> None:
+        keys = self._cache.keys()
+        _BLOCKS.set(sum(1 for key in keys if key[0] == "b"))
+        _COMPOSED.set(sum(1 for key in keys if key[0] == "c"))
+        _BYTES.set(self._cache.nbytes)
+
+    # ------------------------------------------------------------------
+    # Pickling: ship the recipe, not the cache.
+    # ------------------------------------------------------------------
+
+    def __getstate__(self) -> dict[str, object]:
+        return {
+            "X": self.X,
+            "max_bytes": self.max_bytes,
+            "max_compose_dim": self.max_compose_dim,
+            "sketch_factor": self.sketch_factor,
+        }
+
+    def __setstate__(self, state: dict[str, object]) -> None:
+        self.X = state["X"]  # type: ignore[assignment]
+        self.max_bytes = state["max_bytes"]  # type: ignore[assignment]
+        self.max_compose_dim = state["max_compose_dim"]  # type: ignore[assignment]
+        self.sketch_factor = state.get("sketch_factor", DEFAULT_SKETCH_FACTOR)  # type: ignore[assignment]
+        self._init_runtime()
+
+    def __repr__(self) -> str:
+        return (
+            f"DistanceProvider(n_samples={self.n_samples}, "
+            f"n_features={self.n_features}, max_bytes={self.max_bytes}, "
+            f"cached={len(self._cache)})"
+        )
+
+
+class KNNQueryView:
+    """A provider-backed neighbour query bound to one subspace.
+
+    The object detectors receive through ``score(..., knn=...)``: a
+    single method :meth:`kneighbors` answering exact canonical k-NN for
+    the bound subspace (see :meth:`DistanceProvider.kneighbors`). Holding
+    the parent hint here keeps the detector API free of subspace-growth
+    concepts.
+    """
+
+    __slots__ = ("_provider", "_features", "_parent")
+
+    def __init__(
+        self,
+        provider: DistanceProvider,
+        features: tuple[int, ...],
+        parent: Iterable[int] | None = None,
+    ) -> None:
+        self._provider = provider
+        self._features = features
+        self._parent = tuple(parent) if parent is not None else None
+
+    @property
+    def n_samples(self) -> int:
+        """Number of points served by the bound provider."""
+        return self._provider.n_samples
+
+    def kneighbors(self, k: int) -> tuple[np.ndarray, np.ndarray]:
+        """Canonical k nearest non-self neighbours of every point."""
+        return self._provider.kneighbors(
+            self._features, k, parent=self._parent
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"KNNQueryView(features={self._features}, parent={self._parent})"
+        )
+
+
+#: One provider per dataset content, shared across scorers and explainers;
+#: weak values so a provider dies with its last scorer.
+_SHARED: "weakref.WeakValueDictionary[tuple, DistanceProvider]" = (
+    weakref.WeakValueDictionary()
+)
+_SHARED_LOCK = threading.Lock()
+
+
+def shared_provider(
+    X: np.ndarray,
+    *,
+    max_bytes: int | None = None,
+    max_compose_dim: int = DEFAULT_MAX_COMPOSE_DIM,
+) -> DistanceProvider | None:
+    """The process-wide provider for this dataset content, or ``None``.
+
+    Providers are keyed by a content fingerprint (shape + bytes), the same
+    sharing rule the pipeline applies to scorers, so every explainer and
+    every detector scoring the same dataset reuses one set of feature
+    blocks. Returns ``None`` — the substrate disables itself — when:
+
+    * the resolved byte budget is zero (``REPRO_DIST_CACHE_MB=0``), or
+    * the budget cannot hold even a minimal working set (two float32
+      blocks plus one composed float32 matrix, ``12 n^2`` bytes).
+    """
+    budget = resolve_dist_cache_bytes() if max_bytes is None else int(max_bytes)
+    if budget <= 0:
+        return None
+    X = np.asarray(X)
+    n = X.shape[0] if X.ndim == 2 else 0
+    if budget < 12 * n * n:
+        return None
+    key = (_fingerprint(X), X.shape)
+    with _SHARED_LOCK:
+        provider = _SHARED.get(key)
+        if provider is None or provider.max_bytes != budget:
+            provider = DistanceProvider(
+                X, max_bytes=budget, max_compose_dim=max_compose_dim
+            )
+            _SHARED[key] = provider
+        return provider

@@ -65,6 +65,10 @@ class PipelineResult:
         ``explain`` spent inside ``detector.score``), and ``evaluate``
         (ground-truth evaluation). Recorded unconditionally — it needs no
         active tracer — so every result can answer *where the time went*.
+        When the scorer has a distance substrate attached, the run's
+        traffic deltas ride along as ``dist_hits``, ``dist_misses``, and
+        ``dist_parent_reuses`` (counts, not seconds; under a thread
+        backend concurrent compositions may be counted approximately).
     explanations:
         Per-point rankings. For point explainers these are the raw
         algorithm outputs; for summarisers they are the shared summary
@@ -219,6 +223,7 @@ class ExplanationPipeline:
         scorer = self.scorer_for(dataset)
         evaluations_before = scorer.n_evaluations
         detector_seconds_before = scorer.detector_seconds
+        dist_before = scorer.distance_stats
         stopwatch = Stopwatch()
         evaluate_watch = Stopwatch()
 
@@ -270,6 +275,17 @@ class ExplanationPipeline:
                 "detector": scorer.detector_seconds - detector_seconds_before,
                 "evaluate": evaluate_watch.elapsed,
             }
+            dist_after = scorer.distance_stats
+            if dist_before is not None and dist_after is not None:
+                cost_breakdown["dist_hits"] = float(
+                    dist_after["hits"] - dist_before["hits"]
+                )
+                cost_breakdown["dist_misses"] = float(
+                    dist_after["misses"] - dist_before["misses"]
+                )
+                cost_breakdown["dist_parent_reuses"] = float(
+                    dist_after["parent_reuses"] - dist_before["parent_reuses"]
+                )
             cell_span.set(
                 seconds=stopwatch.elapsed,
                 n_subspaces_scored=n_scored,

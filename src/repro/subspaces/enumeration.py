@@ -29,6 +29,7 @@ __all__ = [
     "count_subspaces",
     "grow_by_one",
     "grow_with_features",
+    "parent_hints",
     "random_subspaces",
 ]
 
@@ -91,6 +92,42 @@ def grow_with_features(
             if feature not in seed:
                 grown.add(seed.union((feature,)))
     return sorted(grown)
+
+
+def parent_hints(
+    candidates: Iterable[Subspace],
+    seeds: Iterable[Subspace],
+) -> list[tuple[int, ...] | None]:
+    """One parent-subspace hint per grown candidate, aligned with the input.
+
+    Stage-wise explainers grow ``seeds`` into ``candidates`` and pass the
+    result to the subspace scorer's ``parents=`` parameter so the distance
+    substrate can extend a cached parent matrix instead of recomposing from
+    scratch. The substrate only reuses a parent that is a *sorted prefix*
+    of the child (the canonical composition order), so among the seeds a
+    candidate could have been grown from, the prefix one — the added
+    feature sorts last — is preferred; any other generating seed is still
+    returned as an advisory hint, and ``None`` marks candidates grown from
+    no listed seed.
+    """
+    seed_set = {tuple(s) for s in seeds}
+    hints: list[tuple[int, ...] | None] = []
+    for candidate in candidates:
+        t = tuple(candidate)
+        if t[:-1] in seed_set:
+            hints.append(t[:-1])
+            continue
+        hints.append(
+            next(
+                (
+                    t[:i] + t[i + 1 :]
+                    for i in range(len(t))
+                    if t[:i] + t[i + 1 :] in seed_set
+                ),
+                None,
+            )
+        )
+    return hints
 
 
 def random_subspaces(

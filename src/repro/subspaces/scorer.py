@@ -20,6 +20,19 @@ misses are evaluated. Cached vectors are frozen
 (``writeable = False``) so an accidental mutation raises instead of
 silently corrupting every later lookup.
 
+Detectors that consume pairwise distances (LOF, Fast ABOD, k-NN — they
+set ``uses_precomputed_distances``) are additionally served by the shared
+distance substrate (:mod:`repro.neighbors.provider`): the scorer attaches
+the process-wide :class:`~repro.neighbors.DistanceProvider` for its
+dataset fingerprint, and each cache-miss task composes the subspace's
+squared-distance matrix from cached per-feature blocks instead of
+recomputing it from the projection. Explainer stage loops pass
+``parents=`` hints so a grown subspace extends its parent's cached matrix
+by one block addition. The provider's canonical composition order keeps
+scores byte-identical across backends and cache states; with
+``REPRO_DIST_CACHE_MB=0`` the substrate is off and every miss takes the
+direct-projection path.
+
 The z-score standardisation applied by :meth:`point_zscore` implements the
 paper's dimensionality-bias correction (Section 2.2):
 
@@ -37,6 +50,7 @@ import numpy as np
 from repro.detectors.base import Detector
 from repro.exceptions import ValidationError
 from repro.exec import ExecutionBackend, resolve_backend
+from repro.neighbors.provider import DistanceProvider, shared_provider
 from repro.obs import metrics as obs_metrics
 from repro.stats.zscore import zscores
 from repro.subspaces.subspace import Subspace, as_subspace, project
@@ -68,14 +82,29 @@ _BATCH_MISSES = obs_metrics.histogram(
 
 
 def _score_subspace_task(
-    payload: tuple[np.ndarray, Detector], features: tuple[int, ...]
+    payload: tuple[np.ndarray, Detector, "DistanceProvider | None"],
+    item: tuple[tuple[int, ...], tuple[int, ...] | None],
 ) -> np.ndarray:
-    """One cache miss: score the projection onto ``features``.
+    """One cache miss: score the projection onto a subspace.
 
     Module-level so the process backend can pickle it; ``payload`` is the
-    shared read-only ``(X, detector)`` pair shipped once per worker.
+    shared read-only ``(X, detector, provider)`` triple shipped once per
+    worker (the provider pickles without its cache — a process worker
+    rebuilds feature blocks lazily and, by the provider's canonical
+    composition order, reproduces bit-identical distances). ``item`` is
+    ``(features, parent_hint)``.
     """
-    X, detector = payload
+    X, detector, provider = payload
+    features, parent = item
+    if provider is not None and provider.covers(features):
+        if detector.uses_knn_queries:
+            # LOF / k-NN need only neighbour lists: the certified-sketch
+            # query answers them without composing the full matrix.
+            knn = provider.knn_view(features, parent=parent)
+            return detector.score(project(X, features), knn=knn)
+        if detector.uses_precomputed_distances:
+            sq = provider.squared_distances(features, parent=parent)
+            return detector.score(project(X, features), sq_distances=sq)
     return detector.score(project(X, features))
 
 
@@ -101,6 +130,14 @@ class SubspaceScorer:
         resolve from the ``REPRO_BACKEND`` environment variable (default
         serial). All backends produce identical results; see
         ``docs/ARCHITECTURE.md`` for how to pick one.
+    distance_provider:
+        The distance substrate serving neighbourhood detectors. ``None``
+        (default) attaches the process-wide shared provider for this
+        dataset when the detector sets ``uses_precomputed_distances``
+        (no-op otherwise, and disabled by ``REPRO_DIST_CACHE_MB=0``);
+        ``False`` forces the direct-projection path; an explicit
+        :class:`~repro.neighbors.DistanceProvider` instance is used as
+        given.
 
     Examples
     --------
@@ -122,6 +159,7 @@ class SubspaceScorer:
         *,
         max_cache_bytes: int | None = _DEFAULT_CACHE_BYTES,
         backend: "str | ExecutionBackend | None" = None,
+        distance_provider: "DistanceProvider | bool | None" = None,
     ) -> None:
         if not isinstance(detector, Detector):
             raise ValidationError(
@@ -134,9 +172,24 @@ class SubspaceScorer:
             max_cache_bytes, name="scorer"
         )
         self._backend = resolve_backend(backend)
+        if distance_provider is None:
+            self._provider = (
+                shared_provider(self.X)
+                if detector.uses_precomputed_distances
+                else None
+            )
+        elif distance_provider is False:
+            self._provider = None
+        elif isinstance(distance_provider, DistanceProvider):
+            self._provider = distance_provider
+        else:
+            raise ValidationError(
+                "distance_provider must be a DistanceProvider, False, or "
+                f"None, got {type(distance_provider).__name__}"
+            )
         # Stable payload object so the process backend ships the dataset
         # once per worker and reuses its pool across waves.
-        self._payload = (self.X, self.detector)
+        self._payload = (self.X, self.detector, self._provider)
         self._lock = threading.RLock()
         self._n_evaluations = 0
         self._detector_seconds = 0.0
@@ -172,6 +225,16 @@ class SubspaceScorer:
         return self._cache.stats()
 
     @property
+    def distance_provider(self) -> "DistanceProvider | None":
+        """The attached distance substrate, or ``None`` when disabled."""
+        return self._provider
+
+    @property
+    def distance_stats(self) -> dict[str, int | float] | None:
+        """Counters of the distance substrate (``None`` when disabled)."""
+        return None if self._provider is None else self._provider.stats()
+
+    @property
     def detector_seconds(self) -> float:
         """Cumulative wall-clock seconds spent evaluating cache misses.
 
@@ -188,7 +251,10 @@ class SubspaceScorer:
     # ------------------------------------------------------------------
 
     def scores_many(
-        self, subspaces: Sequence[Iterable[int]]
+        self,
+        subspaces: Sequence[Iterable[int]],
+        *,
+        parents: "Sequence[Iterable[int] | None] | None" = None,
     ) -> list[np.ndarray]:
         """Raw detector scores for a whole batch of subspaces (cached).
 
@@ -198,16 +264,27 @@ class SubspaceScorer:
         input subspace, in input order. Duplicate subspaces within the
         batch are evaluated once; the duplicates count as cache hits,
         matching a scalar lookup loop exactly.
+
+        ``parents`` optionally aligns one parent-subspace hint (or
+        ``None``) with each candidate: stage-wise explainers pass the seed
+        a candidate was grown from, and the distance substrate extends the
+        parent's cached matrix by one block addition. Hints are purely
+        advisory — they never change any score value.
         """
         subs = [
             as_subspace(s).validate_against(self.n_features) for s in subspaces
         ]
+        if parents is not None and len(parents) != len(subs):
+            raise ValidationError(
+                f"parents must align with subspaces: got {len(parents)} "
+                f"hints for {len(subs)} subspaces"
+            )
         if not subs:
             return []
         out: list[np.ndarray | None] = [None] * len(subs)
         # Positions awaiting each missed key, in first-occurrence order.
         pending: dict[tuple, list[int]] = {}
-        miss_features: list[tuple[int, ...]] = []
+        miss_items: list[tuple[tuple[int, ...], tuple[int, ...] | None]] = []
         with self._lock:
             for i, s in enumerate(subs):
                 key = (self._detector_key, tuple(s))
@@ -221,12 +298,15 @@ class SubspaceScorer:
                 else:
                     _CACHE_MISSES.inc()
                     pending[key] = [i]
-                    miss_features.append(tuple(s))
-            _BATCH_MISSES.observe(len(miss_features))
-        if miss_features:
+                    parent = parents[i] if parents is not None else None
+                    miss_items.append(
+                        (tuple(s), tuple(parent) if parent is not None else None)
+                    )
+            _BATCH_MISSES.observe(len(miss_items))
+        if miss_items:
             started = time.perf_counter()
             wave = self._backend.map_ordered(
-                _score_subspace_task, miss_features, payload=self._payload
+                _score_subspace_task, miss_items, payload=self._payload
             )
             elapsed = time.perf_counter() - started
             with self._lock:
@@ -249,13 +329,23 @@ class SubspaceScorer:
         return out  # type: ignore[return-value]
 
     def zscores_many(
-        self, subspaces: Sequence[Iterable[int]]
+        self,
+        subspaces: Sequence[Iterable[int]],
+        *,
+        parents: "Sequence[Iterable[int] | None] | None" = None,
     ) -> list[np.ndarray]:
         """Standardised score vectors for a batch of subspaces."""
-        return [zscores(scores) for scores in self.scores_many(subspaces)]
+        return [
+            zscores(scores)
+            for scores in self.scores_many(subspaces, parents=parents)
+        ]
 
     def point_zscores_many(
-        self, subspaces: Sequence[Iterable[int]], point: int
+        self,
+        subspaces: Sequence[Iterable[int]],
+        point: int,
+        *,
+        parents: "Sequence[Iterable[int] | None] | None" = None,
     ) -> np.ndarray:
         """Standardised score of one point across a batch of subspaces.
 
@@ -263,7 +353,7 @@ class SubspaceScorer:
         by; one call evaluates the whole stage in a single backend wave.
         """
         point = self._check_point(point)
-        vectors = self.scores_many(subspaces)
+        vectors = self.scores_many(subspaces, parents=parents)
         out = np.empty(len(vectors), dtype=np.float64)
         for i, scores in enumerate(vectors):
             std = scores.std()
@@ -274,7 +364,11 @@ class SubspaceScorer:
         return out
 
     def points_zscores_many(
-        self, subspaces: Sequence[Iterable[int]], points: Iterable[int]
+        self,
+        subspaces: Sequence[Iterable[int]],
+        points: Iterable[int],
+        *,
+        parents: "Sequence[Iterable[int] | None] | None" = None,
     ) -> np.ndarray:
         """Standardised scores of several points across a batch of subspaces.
 
@@ -282,7 +376,7 @@ class SubspaceScorer:
         LookOut's utility matrix is its transpose.
         """
         idx = [self._check_point(p) for p in points]
-        vectors = self.scores_many(subspaces)
+        vectors = self.scores_many(subspaces, parents=parents)
         out = np.empty((len(vectors), len(idx)), dtype=np.float64)
         for i, scores in enumerate(vectors):
             out[i, :] = zscores(scores)[idx]

@@ -68,6 +68,12 @@ class LRUCache(Generic[K, V]):
         Optional observability name. When set, hits, misses, and
         evictions are also counted on the process-global metrics registry
         under ``repro_cache_*_total{cache=name}``.
+    on_evict:
+        Optional callback invoked (under the cache lock — keep it cheap
+        and non-reentrant) with ``(key, value)`` for every entry evicted
+        over the byte budget. Explicit removals via :meth:`clear` do not
+        trigger it. The distance provider uses this to keep per-kind
+        gauges (feature blocks vs composed matrices) accurate.
     """
 
     def __init__(
@@ -76,6 +82,7 @@ class LRUCache(Generic[K, V]):
         *,
         sizeof: Callable[[V], int] | None = None,
         name: str | None = None,
+        on_evict: Callable[[K, V], None] | None = None,
     ) -> None:
         if max_bytes is not None and max_bytes <= 0:
             raise ValidationError(f"max_bytes must be positive or None, got {max_bytes}")
@@ -85,6 +92,7 @@ class LRUCache(Generic[K, V]):
         self._bytes = 0
         self._lock = threading.RLock()
         self.name = name
+        self._on_evict = on_evict
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -117,20 +125,37 @@ class LRUCache(Generic[K, V]):
             self._data.move_to_end(key)
             return self._data[key]
 
-    def put(self, key: K, value: V) -> None:
-        """Insert ``value`` under ``key``, evicting LRU entries if over budget."""
+    def put(self, key: K, value: V, *, cold: bool = False) -> None:
+        """Insert ``value`` under ``key``, evicting LRU entries if over budget.
+
+        With ``cold=True`` the insert is *opportunistic*: the entry is
+        stored at the least-recently-used end only when it fits in the
+        spare budget, and is silently dropped otherwise — it never evicts
+        anything. Callers use this for values that are worth keeping only
+        if there is room (e.g. the distance provider's leaf composed
+        matrices, which must never flush the feature blocks and prefix
+        matrices that every later composition builds on). A subsequent
+        :meth:`get` promotes a cold entry to most-recently-used as usual.
+        """
         with self._lock:
             if key in self._data:
                 self._bytes -= self._sizeof(self._data[key])
                 del self._data[key]
+            size = self._sizeof(value)
+            if cold and self._bytes + size > self._max_bytes:
+                return
             self._data[key] = value
-            self._bytes += self._sizeof(value)
+            if cold:
+                self._data.move_to_end(key, last=False)
+            self._bytes += size
             while self._bytes > self._max_bytes and len(self._data) > 1:
-                _, evicted = self._data.popitem(last=False)
+                evicted_key, evicted = self._data.popitem(last=False)
                 self._bytes -= self._sizeof(evicted)
                 self.evictions += 1
                 if self.name is not None:
                     _OBS_EVICTIONS.inc(cache=self.name)
+                if self._on_evict is not None:
+                    self._on_evict(evicted_key, evicted)
 
     def get_or_compute(self, key: K, compute: Callable[[], V]) -> V:
         """Return the cached value for ``key``, computing and storing it on a miss.
@@ -144,6 +169,11 @@ class LRUCache(Generic[K, V]):
             value = compute()
             self.put(key, value)
         return value  # type: ignore[return-value]
+
+    def keys(self) -> list[K]:
+        """Snapshot of the cached keys in LRU-to-MRU order."""
+        with self._lock:
+            return list(self._data)
 
     def clear(self) -> None:
         """Drop all entries and reset statistics."""
@@ -177,4 +207,9 @@ class LRUCache(Generic[K, V]):
 def _default_sizeof(value: object) -> int:
     if isinstance(value, np.ndarray):
         return int(value.nbytes)
+    if isinstance(value, tuple):
+        # Composite entries (e.g. the distance provider's neighbour
+        # sketches: an index array plus a bound vector) charge the sum of
+        # their parts.
+        return 64 + sum(_default_sizeof(item) for item in value)
     return 64

@@ -32,6 +32,7 @@ def check_matrix(
     min_rows: int = 1,
     min_cols: int = 1,
     allow_nan: bool = False,
+    preserve_float32: bool = False,
 ) -> np.ndarray:
     """Validate and return ``X`` as a 2-d float64 array.
 
@@ -45,14 +46,28 @@ def check_matrix(
         Minimum acceptable shape.
     allow_nan:
         When ``False`` (default), NaN or infinite values are rejected.
+    preserve_float32:
+        When ``True``, a ``float32`` input array stays ``float32`` instead
+        of being silently upcast-copied to float64. The distance kernels
+        use this so single-precision pipelines keep their memory footprint
+        (and BLAS sgemm speed); everything else defaults to float64.
 
     Returns
     -------
     numpy.ndarray
-        A C-contiguous ``float64`` array of shape ``(n_rows, n_cols)``.
+        A C-contiguous array of shape ``(n_rows, n_cols)``: ``float32``
+        when ``preserve_float32`` is set and the input already is, else
+        ``float64``.
     """
     try:
-        arr = np.asarray(X, dtype=np.float64)
+        if (
+            preserve_float32
+            and isinstance(X, np.ndarray)
+            and X.dtype == np.float32
+        ):
+            arr = X
+        else:
+            arr = np.asarray(X, dtype=np.float64)
     except (TypeError, ValueError) as exc:
         raise ValidationError(f"{name} is not convertible to a float array: {exc}") from exc
     if arr.ndim != 2:

@@ -26,6 +26,21 @@ class TestKNNDetector:
     def test_scores_nonnegative(self, rng):
         assert (KNNDetector(k=3).score(rng.normal(size=(30, 2))) >= 0).all()
 
+    @pytest.mark.parametrize("aggregation", ["kth", "mean"])
+    def test_knn_view_matches_precomputed_distances_bitwise(
+        self, rng, aggregation
+    ):
+        from repro.neighbors.provider import DistanceProvider
+
+        X = rng.normal(size=(90, 5))
+        provider = DistanceProvider(X, max_bytes=1 << 24)
+        s = (0, 2, 4)
+        P = X[:, list(s)]
+        det = KNNDetector(k=7, aggregation=aggregation)
+        via_knn = det.score(P, knn=provider.knn_view(s, parent=(0, 2)))
+        via_sq = det.score(P, sq_distances=provider.squared_distances(s))
+        assert via_knn.tobytes() == via_sq.tobytes()
+
 
 class TestMahalanobisDetector:
     def test_detects_planted_outlier(self, blob_with_outlier):

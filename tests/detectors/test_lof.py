@@ -5,6 +5,7 @@ import pytest
 
 from repro.detectors import LOF
 from repro.exceptions import ValidationError
+from repro.neighbors.provider import DistanceProvider
 
 
 class TestLOFBehaviour:
@@ -69,3 +70,38 @@ class TestLOFInterface:
 
     def test_repr(self):
         assert "k=15" in repr(LOF())
+
+
+class TestLOFKNNQueryPath:
+    def test_knn_view_matches_precomputed_distances_bitwise(self, rng):
+        # Both provider-backed paths run on the same canonical float32
+        # chain, so their LOF scores must agree to the last bit — the
+        # guarantee that lets the scorer pick either path freely.
+        X = rng.normal(size=(120, 6))
+        provider = DistanceProvider(X, max_bytes=1 << 24)
+        s = (1, 3, 5)
+        P = X[:, list(s)]
+        via_knn = LOF(k=10).score(P, knn=provider.knn_view(s, parent=(1, 3)))
+        via_sq = LOF(k=10).score(P, sq_distances=provider.squared_distances(s))
+        assert via_knn.tobytes() == via_sq.tobytes()
+
+    def test_knn_view_close_to_direct(self, rng):
+        # The substrate works in float32; the direct path in float64.
+        X = rng.normal(size=(120, 6))
+        provider = DistanceProvider(X, max_bytes=1 << 24)
+        s = (0, 2, 4)
+        P = X[:, list(s)]
+        via_knn = LOF(k=10).score(P, knn=provider.knn_view(s))
+        direct = LOF(k=10).score(P)
+        np.testing.assert_allclose(via_knn, direct, rtol=1e-4)
+
+    def test_knn_ignored_by_non_knn_detector_flag(self, rng):
+        # A detector that does not opt in must ignore the view entirely.
+        X = rng.normal(size=(40, 3))
+        lof = LOF(k=5)
+        try:
+            lof.uses_knn_queries = False
+            scores = lof.score(X, knn=object())
+        finally:
+            del lof.uses_knn_queries
+        np.testing.assert_array_equal(scores, LOF(k=5).score(X))
