@@ -1,0 +1,213 @@
+"""HiCS contrast-engine and contrast-cache benchmarks.
+
+Two questions, matching the batched statistics layer:
+
+1. What does the batched contrast engine save over the scalar kernels on
+   one detector-free search? (``REPRO_STATS_BATCH`` routes between the
+   two implementations; both draw identical Monte-Carlo slices.)
+2. What does the cross-detector :class:`ContrastCache` save on a HiCS
+   grid — the paper-scale configuration where the identical detector-free
+   search would otherwise run once per detector?
+
+Three modes run the same 3-detector HiCS grid (n=1000, d=12,
+dimensionality 3), each in a *fresh subprocess* (allocator isolation, and
+a clean process-global cache):
+
+* ``scalar``  — ``REPRO_STATS_BATCH=0``, cache off (the pre-batching path);
+* ``batched`` — batched kernels, cache off;
+* ``cached``  — batched kernels + in-memory contrast cache.
+
+The grid's ranked subspaces must be identical across all modes (HiCS's
+Monte-Carlo draws are seed-derived, and the batched KS/Welch kernels
+preserve the contrast ranking) — any divergence fails the run. Results
+land in ``BENCH_hics.json`` with a ``ranked_identical`` record; CI runs
+the ``--quick`` scale and uploads the artifact.
+
+Run standalone for a speedup table and the JSON record::
+
+    PYTHONPATH=src python benchmarks/bench_hics.py [--json PATH] [--quick]
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.detectors import FastABOD, KNNDetector, LOF
+from repro.explainers import HiCS
+from repro.subspaces import SubspaceScorer
+
+#: The three grid detectors — HiCS's search never reads them, which is
+#: exactly what the contrast cache exploits.
+def _detectors():
+    return [LOF(k=15), KNNDetector(k=15), FastABOD(k=15)]
+
+
+def _grid_matrix(n_samples: int = 1000, n_features: int = 12) -> np.ndarray:
+    """Paper-scale matrix with two planted correlated subspaces + outliers."""
+    rng = np.random.default_rng(47)
+    X = rng.normal(size=(n_samples, n_features))
+    latent_a = rng.normal(size=n_samples)
+    X[:, 0] = latent_a + rng.normal(0.0, 0.12, n_samples)
+    X[:, 1] = latent_a + rng.normal(0.0, 0.12, n_samples)
+    latent_b = rng.normal(size=n_samples)
+    X[:, 4] = latent_b + rng.normal(0.0, 0.15, n_samples)
+    X[:, 7] = -latent_b + rng.normal(0.0, 0.15, n_samples)
+    X[0, [0, 1]] = [3.0, -3.0]  # violates the (0, 1) correlation
+    X[1, [4, 7]] = [3.0, 3.0]   # violates the (4, 7) anti-correlation
+    return X
+
+
+def _grid_mode(mode: str, quick: bool) -> dict:
+    """One mode of the HiCS grid; returns timings + per-detector rankings.
+
+    Executed in a *fresh subprocess* per mode (see ``main``): the
+    contrast cache is process-global, so only a clean interpreter gives
+    the ``scalar``/``batched`` modes a genuinely cold run — and heap
+    fragmentation from earlier modes can't tax later measurements.
+    """
+    import os
+    import time
+
+    os.environ["REPRO_STATS_BATCH"] = "0" if mode == "scalar" else "1"
+    os.environ["REPRO_HICS_CACHE"] = "1" if mode == "cached" else "0"
+
+    if quick:
+        X = _grid_matrix(n_samples=300, n_features=8)
+        points = (0, 1)
+        hics = HiCS(mc_iterations=50, result_size=20, seed=0)
+    else:
+        X = _grid_matrix()
+        points = (0, 1)
+        hics = HiCS(mc_iterations=100, result_size=25, seed=0)
+
+    start = time.perf_counter()
+    rankings = []
+    for detector in _detectors():
+        scorer = SubspaceScorer(X, detector)
+        summary = hics.summarize(scorer, points, 3)
+        rankings.append([tuple(s) for s in summary.subspaces])
+        scorer.close()
+    elapsed = time.perf_counter() - start
+
+    out = {
+        "mode": mode,
+        "wall_time_s": elapsed,
+        "ranked": rankings,
+        "n": X.shape[0],
+        "d": X.shape[1],
+        "detectors": len(rankings),
+        "dimensionality": 3,
+        "mc_iterations": hics.mc_iterations,
+    }
+    if mode == "cached":
+        from repro.explainers.contrast_cache import resolve_contrast_cache
+
+        cache = resolve_contrast_cache()
+        out["cache_stats"] = cache.stats() if cache is not None else {}
+    return out
+
+
+def _grid_mode_subprocess(mode: str, quick: bool) -> dict:
+    """One `_grid_mode` run in a clean child interpreter."""
+    import json
+    import subprocess
+    import sys
+
+    cmd = [sys.executable, __file__, "--grid-mode", mode]
+    if quick:
+        cmd.append("--quick")
+    proc = subprocess.run(cmd, capture_output=True, text=True, check=True)
+    return json.loads(proc.stdout)
+
+
+def main(argv=None) -> None:
+    """Standalone mode: speedup table plus the BENCH_hics.json record."""
+    import argparse
+    import json
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--json", default="BENCH_hics.json", metavar="PATH",
+                        help="write perf records to PATH (default: "
+                        "BENCH_hics.json; empty string disables)")
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke scale: smaller grid, same code paths")
+    parser.add_argument("--grid-mode", choices=("scalar", "batched", "cached"),
+                        help=argparse.SUPPRESS)  # internal: one isolated mode
+    parser.add_argument("--repeats", type=int, default=2,
+                        help="subprocess runs per mode; modes are compared "
+                        "on their best wall time (default: 2)")
+    args = parser.parse_args(argv)
+
+    if args.grid_mode:
+        print(json.dumps(_grid_mode(args.grid_mode, args.quick)))
+        return
+
+    modes = ("scalar", "batched", "cached")
+    runs: dict[str, list[dict]] = {mode: [] for mode in modes}
+    for _ in range(max(1, args.repeats)):
+        for mode in modes:
+            runs[mode].append(_grid_mode_subprocess(mode, args.quick))
+
+    reference = runs["scalar"][0]["ranked"]
+    for mode in modes:
+        for run in runs[mode]:
+            if run["ranked"] != reference:
+                raise SystemExit(
+                    f"FAIL: ranked subspaces of mode {mode!r} differ from "
+                    "the scalar reference"
+                )
+
+    best = {mode: min(runs[mode], key=lambda r: r["wall_time_s"])
+            for mode in modes}
+    shape = {"n": best["scalar"]["n"], "d": best["scalar"]["d"],
+             "detectors": best["scalar"]["detectors"],
+             "dimensionality": best["scalar"]["dimensionality"],
+             "mc_iterations": best["scalar"]["mc_iterations"]}
+
+    records = []
+    for mode in modes:
+        record = {
+            "op": f"hics_grid ({mode})",
+            "wall_time_s": round(best[mode]["wall_time_s"], 6),
+            "repeats": len(runs[mode]),
+            **shape,
+        }
+        if mode == "cached":
+            record["cache_stats"] = best[mode].get("cache_stats", {})
+        records.append(record)
+
+    scalar_s = best["scalar"]["wall_time_s"]
+    batched_s = best["batched"]["wall_time_s"]
+    cached_s = best["cached"]["wall_time_s"]
+    records.append({
+        "op": "hics_grid speedup (batched vs scalar)",
+        "speedup": round(scalar_s / batched_s, 3),
+        "ranked_identical": True, **shape,
+    })
+    records.append({
+        "op": "hics_grid speedup (batched+cache vs scalar)",
+        "speedup": round(scalar_s / cached_s, 3),
+        "ranked_identical": True, **shape,
+    })
+
+    print(f"HiCS grid: {shape['detectors']} detectors on a "
+          f"({shape['n']}, {shape['d']}) matrix, dimensionality "
+          f"{shape['dimensionality']}, mc_iterations "
+          f"{shape['mc_iterations']} (best of {len(runs['scalar'])} "
+          "isolated runs per mode):")
+    print(f"  scalar kernels, no cache   {scalar_s * 1000:8.1f} ms")
+    print(f"  batched kernels, no cache  {batched_s * 1000:8.1f} ms  "
+          f"(speedup: {scalar_s / batched_s:4.2f}x)")
+    print(f"  batched kernels + cache    {cached_s * 1000:8.1f} ms  "
+          f"(speedup: {scalar_s / cached_s:4.2f}x, ranked subspaces "
+          "identical across all modes)")
+
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(records, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.json}")
+
+
+if __name__ == "__main__":
+    main()

@@ -88,6 +88,20 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--hics-cache",
+        default=None,
+        metavar="MODE",
+        help=(
+            "HiCS contrast-search cache: '1' (default) shares the "
+            "detector-free Monte-Carlo search across all detectors of a "
+            "grid in memory, '0' disables it, and any other value is "
+            "taken as a directory path where searches persist as JSON so "
+            "resumed runs (--resume) skip them too; cached and computed "
+            "searches are identical (also settable via the "
+            "REPRO_HICS_CACHE environment variable)"
+        ),
+    )
+    parser.add_argument(
         "--checkpoint",
         default=None,
         metavar="PATH",
@@ -174,6 +188,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         from repro.neighbors.provider import DIST_CACHE_MB_ENV
 
         os.environ[DIST_CACHE_MB_ENV] = str(args.dist_cache_mb)
+    if args.hics_cache is not None:
+        from repro.explainers.contrast_cache import HICS_CACHE_ENV
+
+        os.environ[HICS_CACHE_ENV] = args.hics_cache
     if args.checkpoint is not None:
         os.environ[CHECKPOINT_ENV] = args.checkpoint
     if args.resume:

@@ -1,0 +1,209 @@
+"""Cross-detector cache for HiCS's detector-free contrast search.
+
+HiCS decouples subspace search from outlier scoring: the Monte-Carlo
+contrast search depends only on the dataset and the estimator parameters,
+never on the detector. A pipeline grid that pairs HiCS with three
+detectors therefore recomputes the identical search three times — the
+single largest avoidable cost of the statistics path. The
+:class:`ContrastCache` stores the search result keyed by
+
+``(dataset fingerprint, dataset shape, estimator params, dimensionality)``
+
+so every detector after the first gets it for free. With a directory
+attached, entries also persist as JSON files — a resumed grid
+(``repro.ft``) skips the search entirely, in a fresh process.
+
+Resolution follows the library's environment-switch convention
+(:data:`HICS_CACHE_ENV`, surfaced as ``--hics-cache`` on the CLI):
+
+* unset / ``1`` / ``true`` / ``on`` / ``yes`` — process-global in-memory
+  cache (the default: a grid in one process shares searches across
+  detectors);
+* ``0`` / ``false`` / ``off`` / ``no`` — disabled, every search computes;
+* anything else — treated as a directory path for a disk-backed cache
+  that additionally survives process restarts.
+
+Correctness guards: the cache key includes every parameter the search
+reads (including whether the batched kernels are active, whose Welch
+contrasts may differ from the scalar path in the last ulp) and the
+caller must skip the cache entirely for unseeded searches — see
+:meth:`repro.explainers.hics.HiCS._search`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+from pathlib import Path
+
+from repro.obs import metrics as obs_metrics
+
+__all__ = [
+    "HICS_CACHE_ENV",
+    "ContrastCache",
+    "contrast_cache_stats",
+    "resolve_contrast_cache",
+]
+
+#: Environment variable selecting the cache mode (see module docstring).
+HICS_CACHE_ENV = "REPRO_HICS_CACHE"
+
+_DISABLED_VALUES = frozenset({"0", "false", "off", "no"})
+_MEMORY_VALUES = frozenset({"", "1", "true", "on", "yes"})
+
+_HITS = obs_metrics.counter(
+    "repro_hics_contrast_cache_hits_total",
+    "HiCS contrast searches served from the cache, by source (memory / disk)",
+)
+_MISSES = obs_metrics.counter(
+    "repro_hics_contrast_cache_misses_total",
+    "HiCS contrast searches that had to compute",
+)
+_ENTRIES = obs_metrics.gauge(
+    "repro_hics_contrast_cache_entries",
+    "Search results currently held in the in-memory contrast cache",
+)
+
+#: One search result: ``(features, contrast)`` pairs, ranking order.
+SearchResult = list[tuple[tuple[int, ...], float]]
+
+
+class ContrastCache:
+    """Thread-safe store of completed contrast-search results.
+
+    Values are plain ``(feature tuple, contrast)`` pair lists — the cache
+    deliberately knows nothing about :class:`~repro.subspaces.Subspace`
+    so it can round-trip entries through JSON. Python's JSON writer
+    serialises floats via ``repr``, which round-trips every finite
+    float64 exactly, so a disk hit reproduces the in-memory result
+    bit-for-bit.
+    """
+
+    def __init__(self, directory: str | os.PathLike | None = None) -> None:
+        self.directory = Path(directory) if directory is not None else None
+        self._lock = threading.Lock()
+        self._entries: dict[tuple, SearchResult] = {}
+        self._hits = 0
+        self._misses = 0
+
+    @staticmethod
+    def _filename(key: tuple) -> str:
+        digest = hashlib.sha256(repr(key).encode("utf-8")).hexdigest()
+        return f"hics-contrast-{digest[:32]}.json"
+
+    def get(self, key: tuple) -> SearchResult | None:
+        """The cached search for ``key``, or ``None``; counts hit/miss."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._hits += 1
+                _HITS.inc(source="memory")
+                return list(entry)
+        if self.directory is not None:
+            entry = self._load(key)
+            if entry is not None:
+                with self._lock:
+                    self._entries.setdefault(key, entry)
+                    self._hits += 1
+                    _ENTRIES.set(len(self._entries))
+                _HITS.inc(source="disk")
+                return list(entry)
+        with self._lock:
+            self._misses += 1
+        _MISSES.inc()
+        return None
+
+    def put(self, key: tuple, result: SearchResult) -> None:
+        """Store a completed search (and persist it when disk-backed)."""
+        entry = [(tuple(int(f) for f in feats), float(c)) for feats, c in result]
+        with self._lock:
+            self._entries[key] = entry
+            _ENTRIES.set(len(self._entries))
+        if self.directory is not None:
+            self._store(key, entry)
+
+    def _load(self, key: tuple) -> SearchResult | None:
+        path = self.directory / self._filename(key)
+        try:
+            with open(path, encoding="utf-8") as fh:
+                payload = json.load(fh)
+        except (OSError, ValueError):
+            return None  # Absent or torn file: recompute, then overwrite.
+        if payload.get("key") != repr(key):
+            return None  # 128-bit digest collision; vanishingly unlikely.
+        return [
+            (tuple(int(f) for f in feats), float(c))
+            for feats, c in payload["result"]
+        ]
+
+    def _store(self, key: tuple, entry: SearchResult) -> None:
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self.directory / self._filename(key)
+        payload = {
+            "key": repr(key),
+            "result": [[list(feats), c] for feats, c in entry],
+        }
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh)
+        os.replace(tmp, path)  # Atomic: resumed readers see whole files.
+
+    def stats(self) -> dict[str, int]:
+        """Traffic counters of this cache instance."""
+        with self._lock:
+            return {
+                "hits": self._hits,
+                "misses": self._misses,
+                "entries": len(self._entries),
+            }
+
+    def clear(self) -> None:
+        """Drop the in-memory entries (disk files are left alone)."""
+        with self._lock:
+            self._entries.clear()
+            _ENTRIES.set(0)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __repr__(self) -> str:
+        where = f"dir={self.directory}" if self.directory else "memory"
+        return f"ContrastCache({where}, {len(self)} entries)"
+
+
+_RESOLVE_LOCK = threading.Lock()
+_SHARED: dict[str | None, ContrastCache] = {}
+
+
+def resolve_contrast_cache(
+    setting: str | None = None,
+) -> ContrastCache | None:
+    """The shared cache selected by ``setting`` / ``REPRO_HICS_CACHE``.
+
+    Returns ``None`` when caching is disabled. Memory mode yields one
+    process-global instance; each distinct directory yields one shared
+    instance (so hit counters aggregate across a grid's pipelines).
+    """
+    if setting is None:
+        setting = os.environ.get(HICS_CACHE_ENV, "1")
+    value = setting.strip()
+    lowered = value.lower()
+    if lowered in _DISABLED_VALUES:
+        return None
+    slot: str | None = None if lowered in _MEMORY_VALUES else value
+    with _RESOLVE_LOCK:
+        cache = _SHARED.get(slot)
+        if cache is None:
+            cache = _SHARED[slot] = ContrastCache(directory=slot)
+        return cache
+
+
+def contrast_cache_stats() -> dict[str, float]:
+    """Global hit/miss totals (all sources), for cost-breakdown deltas."""
+    return {
+        "hits": _HITS.value(source="memory") + _HITS.value(source="disk"),
+        "misses": _MISSES.value(),
+    }

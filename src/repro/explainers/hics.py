@@ -29,9 +29,21 @@ import math
 
 import numpy as np
 
+from repro.detectors.base import data_fingerprint
 from repro.exceptions import ValidationError
 from repro.explainers.base import RankedSubspaces, SummaryExplainer
+from repro.explainers.contrast_cache import resolve_contrast_cache
 from repro.obs.trace import span as obs_span
+from repro.stats.batch import (
+    DEGENERATE_SLICES,
+    batch_enabled,
+    ks_p_values,
+    ks_statistic_batch,
+    masked_mean_var,
+    tie_run_ends,
+    welch_p_values,
+    welch_statistic_batch,
+)
 from repro.stats.ks import ks_test
 from repro.stats.welch import welch_t_test
 from repro.subspaces.enumeration import all_subspaces, grow_by_one, top_k
@@ -164,7 +176,24 @@ class HiCS(SummaryExplainer):
 
         Returns ``(subspace, contrast)`` pairs: only the final stage for the
         _FX variant, otherwise all visited stages after superset pruning.
+
+        The search is detector-free, so its result is shared across
+        detectors (and resumed grids) through the
+        :class:`~repro.explainers.contrast_cache.ContrastCache`. Unseeded
+        searches (``seed=None``) draw fresh Monte-Carlo slices every call
+        and are never cached — two unseeded runs are *expected* to
+        differ.
         """
+        batched = batch_enabled()
+        cache = resolve_contrast_cache() if self.seed is not None else None
+        key: tuple | None = None
+        if cache is not None:
+            key = self._search_key(X, dimensionality, batched)
+            cached = cache.get(key)
+            if cached is not None:
+                return [
+                    (Subspace(feats), contrast) for feats, contrast in cached
+                ]
         rng = as_rng(self.seed)
         estimator = _ContrastEstimator(
             X,
@@ -172,6 +201,7 @@ class HiCS(SummaryExplainer):
             mc_iterations=self.mc_iterations,
             test=self.test,
             rng=rng,
+            batched=batched,
         )
         d = X.shape[1]
         # Each stage is one Monte-Carlo batch: ``mc_iterations`` slice
@@ -206,8 +236,37 @@ class HiCS(SummaryExplainer):
             current_dim += 1
 
         if self.fixed_dimensionality:
-            return stage
-        return self._prune_dominated([pair for level in visited for pair in level])
+            result = stage
+        else:
+            result = self._prune_dominated(
+                [pair for level in visited for pair in level]
+            )
+        if cache is not None and key is not None:
+            cache.put(key, [(tuple(s), c) for s, c in result])
+        return result
+
+    def _search_key(
+        self, X: np.ndarray, dimensionality: int, batched: bool
+    ) -> tuple:
+        """Cache key covering everything the contrast search reads.
+
+        ``result_size`` is deliberately absent (it truncates *after* the
+        search); the batch flag is present because the batched Welch
+        contrasts may differ from the scalar ones in the last ulp.
+        """
+        return (
+            "hics-search",
+            data_fingerprint(X),
+            tuple(X.shape),
+            ("alpha", self.alpha),
+            ("mc_iterations", self.mc_iterations),
+            ("candidate_cutoff", self.candidate_cutoff),
+            ("test", self.test),
+            ("fixed_dimensionality", self.fixed_dimensionality),
+            ("seed", int(self.seed)),
+            ("batched", bool(batched)),
+            ("dimensionality", int(dimensionality)),
+        )
 
     @staticmethod
     def _prune_dominated(
@@ -261,35 +320,62 @@ class _ContrastEstimator:
         mc_iterations: int,
         test: str,
         rng: np.random.Generator,
+        batched: bool | None = None,
     ) -> None:
         self.X = np.asarray(X, dtype=np.float64)
         self.n, self.d = self.X.shape
         self.alpha = alpha
         self.mc_iterations = mc_iterations
         self.test = test
+        # Resolved once here (not per contrast call) so one stage batch
+        # follows one code path even if the environment changes mid-run,
+        # and so process-backend workers inherit the parent's choice.
+        self.batched = batch_enabled() if batched is None else bool(batched)
         # One draw anchors the whole estimator; per-candidate generators
         # are derived from it, never from a shared sequential stream.
         self.base_entropy = int(rng.integers(2**63))
-        order = np.argsort(self.X, axis=0, kind="stable")
+        # order[r, j]: index of the r-th smallest point of feature j.
+        self.order = np.argsort(self.X, axis=0, kind="stable")
         # position[i, j]: rank of point i within feature j (0 = smallest).
-        self.position = np.empty_like(order)
+        self.position = np.empty_like(self.order)
         rows = np.arange(self.n)
         for j in range(self.d):
-            self.position[order[:, j], j] = rows
+            self.position[self.order[:, j], j] = rows
+        # Lazy per-feature marginal summaries for the batched tests.
+        # Concurrent population by thread-backend workers is a benign
+        # race: values are deterministic, the last write wins.
+        self._marginal_moments: dict[int, tuple[float, float]] = {}
+        self._run_ends: dict[int, np.ndarray] = {}
 
     def _candidate_rng(self, features: tuple[int, ...]) -> np.random.Generator:
         return np.random.default_rng(
             np.random.SeedSequence([self.base_entropy, *features])
         )
 
+    def _window(self, m: int) -> int:
+        """Window size per conditioning attribute: ``n * alpha^(1/(m-1))``."""
+        window = int(math.ceil(self.n * self.alpha ** (1.0 / (m - 1))))
+        return min(max(window, 2), self.n)
+
     def contrast(self, subspace: Subspace) -> float:
-        """Average slice-vs-marginal deviation over the MC iterations."""
+        """Average slice-vs-marginal deviation over the MC iterations.
+
+        The batched path evaluates all ``mc_iterations`` slices in a few
+        array waves; the scalar path is the reference loop the
+        ``REPRO_STATS_BATCH=0`` kill-switch falls back to. Both draw the
+        identical per-candidate RNG sequence, the KS deviations agree
+        bit-for-bit, and the Welch deviations to the last ulp (the
+        batched slice moments sum in a different order).
+        """
         m = len(subspace)
         if m < 2:
             raise ValidationError("contrast requires at least 2 features")
-        # Window size per conditioning attribute: n * alpha^(1/(m-1)).
-        window = int(math.ceil(self.n * self.alpha ** (1.0 / (m - 1))))
-        window = min(max(window, 2), self.n)
+        if self.batched:
+            return self._contrast_batched(subspace, m)
+        return self._contrast_scalar(subspace, m)
+
+    def _contrast_scalar(self, subspace: Subspace, m: int) -> float:
+        window = self._window(m)
         features = np.fromiter(subspace, dtype=np.int64, count=m)
         rng = self._candidate_rng(tuple(subspace))
         deviations = 0.0
@@ -309,6 +395,118 @@ class _ContrastEstimator:
                 slice_values, self.X[:, features[comparison]]
             )
         return deviations / self.mc_iterations
+
+    def _contrast_batched(self, subspace: Subspace, m: int) -> float:
+        window = self._window(m)
+        features = np.fromiter(subspace, dtype=np.int64, count=m)
+        rng = self._candidate_rng(tuple(subspace))
+        mc = self.mc_iterations
+        # Draw every iteration's comparison attribute and window starts up
+        # front. The vectorised `integers(hi, size=m-1)` yields the same
+        # value sequence as m-1 successive scalar draws, so the slices are
+        # exactly the scalar path's slices.
+        comparisons = np.empty(mc, dtype=np.int64)
+        starts = np.empty((mc, m - 1), dtype=np.int64)
+        hi = self.n - window + 1
+        for it in range(mc):
+            comparisons[it] = rng.integers(m)
+            starts[it, :] = rng.integers(hi, size=m - 1)
+        # Per-iteration slice summaries, filled group-by-group below and
+        # fed to ONE batched test call per candidate — the p-value's
+        # continued fraction is the expensive kernel, and one call of mc
+        # elements amortises its per-iteration array overhead far better
+        # than one call per comparison group.
+        valid = np.zeros(mc, dtype=bool)
+        if self.test == "welch":
+            slice_means = np.empty(mc)
+            slice_vars = np.empty(mc)
+            slice_counts = np.empty(mc, dtype=np.int64)
+            marginal_means = np.empty(mc)
+            marginal_vars = np.empty(mc)
+        else:
+            ks_d = np.empty(mc)
+            ks_counts = np.empty(mc, dtype=np.int64)
+
+        for comparison in range(m):
+            rows = np.nonzero(comparisons == comparison)[0]
+            if rows.size == 0:
+                continue
+            conditioning = np.delete(features, comparison)
+            # membership[g, i]: point i falls in every conditioning window
+            # of this group's g-th iteration. `starts` columns line up
+            # with `conditioning` because the scalar loop draws starts in
+            # feature order, skipping the comparison attribute.
+            pos = self.position[:, conditioning]
+            lo = starts[rows][:, None, :]
+            membership = (
+                (pos[None, :, :] >= lo) & (pos[None, :, :] < lo + window)
+            ).all(axis=2)
+            counts = membership.sum(axis=1)
+            ok = counts >= 2
+            n_degenerate = int(rows.size - int(ok.sum()))
+            if n_degenerate:
+                DEGENERATE_SLICES.inc(n_degenerate, consumer="hics")
+            if not ok.any():
+                continue
+            feature = int(features[comparison])
+            column = self.X[:, feature]
+            kept = rows[ok]
+            valid[kept] = True
+            if self.test == "welch":
+                cnts, means, variances = masked_mean_var(column, membership[ok])
+                slice_counts[kept] = cnts
+                slice_means[kept] = means
+                slice_vars[kept] = variances
+                marginal_mean, marginal_var = self._welch_marginal(feature)
+                marginal_means[kept] = marginal_mean
+                marginal_vars[kept] = marginal_var
+            else:
+                member_sorted = membership[ok][:, self.order[:, feature]]
+                ks_d[kept] = ks_statistic_batch(
+                    member_sorted, self._ks_run_ends(feature)
+                )
+                ks_counts[kept] = counts[ok]
+
+        deviations = np.zeros(mc)
+        if valid.any():
+            if self.test == "welch":
+                statistic, df = welch_statistic_batch(
+                    slice_means[valid],
+                    slice_vars[valid],
+                    slice_counts[valid],
+                    marginal_means[valid],
+                    marginal_vars[valid],
+                    self.n,
+                )
+                deviations[valid] = 1.0 - welch_p_values(statistic, df)
+            else:
+                deviations[valid] = 1.0 - ks_p_values(
+                    ks_d[valid], ks_counts[valid], self.n
+                )
+        # Accumulate in iteration order, exactly like the scalar loop
+        # (degenerate iterations hold 0.0 — an exact no-op addition).
+        total = 0.0
+        for value in deviations.tolist():
+            total += value
+        return total / self.mc_iterations
+
+    def _welch_marginal(self, feature: int) -> tuple[float, float]:
+        """Marginal (mean, ddof-1 variance), as the scalar test computes them."""
+        cached = self._marginal_moments.get(feature)
+        if cached is None:
+            column = self.X[:, feature]
+            cached = (float(np.mean(column)), float(np.var(column, ddof=1)))
+            self._marginal_moments[feature] = cached
+        return cached
+
+    def _ks_run_ends(self, feature: int) -> np.ndarray:
+        """Tie-run-end mask of the feature's sorted marginal."""
+        cached = self._run_ends.get(feature)
+        if cached is None:
+            sorted_values = self.X[self.order[:, feature], feature]
+            cached = tie_run_ends(sorted_values)
+            self._run_ends[feature] = cached
+        return cached
 
     def contrast_many(
         self, candidates: list[Subspace], backend: object = None

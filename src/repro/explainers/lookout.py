@@ -28,17 +28,26 @@ submodularity requires.
 
 from __future__ import annotations
 
+import heapq
+
 import numpy as np
 
 from repro.exceptions import ValidationError
 from repro.explainers.base import RankedSubspaces, SummaryExplainer
+from repro.obs import metrics as obs_metrics
 from repro.obs.trace import span as obs_span
+from repro.stats.batch import batch_enabled
 from repro.subspaces.enumeration import all_subspaces, count_subspaces
 from repro.subspaces.scorer import SubspaceScorer
 from repro.subspaces.subspace import Subspace
 from repro.utils.validation import check_positive_int
 
 __all__ = ["LookOut"]
+
+_LAZY_REEVALS = obs_metrics.counter(
+    "repro_lookout_lazy_reevaluations_total",
+    "Marginal-gain recomputations performed by LookOut's lazy greedy",
+)
 
 
 class LookOut(SummaryExplainer):
@@ -127,7 +136,22 @@ class LookOut(SummaryExplainer):
     def _greedy_select(
         self, candidates: list[Subspace], utility: np.ndarray
     ) -> RankedSubspaces:
-        """Greedy submodular maximisation of the max-coverage objective."""
+        """Greedy submodular maximisation of the max-coverage objective.
+
+        Dispatches to the lazy (CELF-style) implementation unless the
+        ``REPRO_STATS_BATCH=0`` kill-switch routes back to the dense
+        reference loop. Both return the identical subspaces, in the
+        identical order, with bit-identical gains — see
+        :meth:`_greedy_select_lazy`.
+        """
+        if batch_enabled():
+            return self._greedy_select_lazy(candidates, utility)
+        return self._greedy_select_dense(candidates, utility)
+
+    def _greedy_select_dense(
+        self, candidates: list[Subspace], utility: np.ndarray
+    ) -> RankedSubspaces:
+        """Reference greedy: every round recomputes every marginal gain."""
         n_points, n_candidates = utility.shape
         covered = np.zeros(n_points)
         chosen: list[tuple[Subspace, float]] = []
@@ -144,4 +168,86 @@ class LookOut(SummaryExplainer):
             chosen.append((candidates[best], best_gain))
             covered = np.maximum(covered, utility[:, best])
             remaining[best] = False
+        return RankedSubspaces.from_pairs(chosen)
+
+    def _greedy_select_lazy(
+        self, candidates: list[Subspace], utility: np.ndarray
+    ) -> RankedSubspaces:
+        """Lazy greedy (CELF): stale gains are upper bounds by submodularity.
+
+        Coverage only grows, so a candidate's true marginal gain never
+        exceeds the gain computed in any earlier round — this holds
+        bit-for-bit here, because IEEE subtraction, ``max``, and the
+        sequential accumulation below are all monotone under rounding.
+        Each round pops the priority queue; a stale head is recomputed
+        against the current coverage and either selected (still ahead of
+        the runner-up's bound) or pushed back. Typically only a handful
+        of candidates per round are recomputed instead of all of them.
+
+        Exactness of the dense-greedy match:
+
+        * A recomputed gain accumulates ``max(utility[r, i] - covered[r],
+          0.0)`` sequentially over the point axis — the same order NumPy's
+          ``sum(axis=0)`` reduces the dense gain matrix, so the values
+          are bit-identical to the dense round's.
+        * The heap orders by ``(-gain, index)`` and a head is selected
+          over the runner-up bound only when strictly greater, or equal
+          with a smaller index — reproducing ``argmax``'s
+          first-occurrence tie rule against candidates whose bounds
+          (hence true gains) cannot beat it.
+        """
+        n_points, n_candidates = utility.shape
+        if n_candidates < 2:
+            # A single candidate gains nothing from laziness — and NumPy
+            # reduces a one-column matrix pairwise (unit-stride axis)
+            # rather than row-sequentially, so only the dense expression
+            # reproduces its own bits there.
+            return self._greedy_select_dense(candidates, utility)
+        covered = np.zeros(n_points)
+        chosen: list[tuple[Subspace, float]] = []
+        budget = min(self.budget, n_candidates)
+        # Initial bounds: the first dense round's gains, computed with the
+        # identical expression (covered is all-zero).
+        gains = np.maximum(utility - covered[:, None], 0.0).sum(axis=0)
+        # Heap entries: (-gain, candidate index, round the gain was
+        # computed in). Python's tuple order gives highest gain first,
+        # then smallest index — argmax's tie rule.
+        heap = [(-float(g), i, 0) for i, g in enumerate(gains)]
+        heapq.heapify(heap)
+        reevaluations = 0
+        for round_no in range(1, budget + 1):
+            selected: tuple[int, float] | None = None
+            while heap:
+                neg_gain, index, evaluated_round = heapq.heappop(heap)
+                if evaluated_round == round_no:
+                    # Fresh this round: nothing on the heap can beat it
+                    # (their bounds are <= this exact gain).
+                    selected = (index, -neg_gain)
+                    break
+                column = utility[:, index]
+                gain = 0.0
+                for r in range(n_points):
+                    diff = column[r] - covered[r]
+                    if diff > 0.0:
+                        gain += diff
+                reevaluations += 1
+                if not heap:
+                    selected = (index, gain)
+                    break
+                runner_bound, runner_index = -heap[0][0], heap[0][1]
+                if gain > runner_bound or (
+                    gain == runner_bound and index < runner_index
+                ):
+                    selected = (index, gain)
+                    break
+                heapq.heappush(heap, (-gain, index, round_no))
+            if selected is None:
+                break  # Heap exhausted (budget > candidates).
+            index, gain = selected
+            if gain <= 0.0 and chosen:
+                break  # No remaining subspace improves any point.
+            chosen.append((candidates[index], gain))
+            covered = np.maximum(covered, utility[:, index])
+        if reevaluations:
+            _LAZY_REEVALS.inc(reevaluations)
         return RankedSubspaces.from_pairs(chosen)

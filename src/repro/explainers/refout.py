@@ -34,6 +34,12 @@ import numpy as np
 from repro.exceptions import ValidationError
 from repro.explainers.base import PointExplainer, RankedSubspaces
 from repro.obs.trace import span as obs_span
+from repro.stats.batch import (
+    DEGENERATE_SLICES,
+    batch_enabled,
+    masked_mean_var,
+    welch_statistic_batch,
+)
 from repro.stats.welch import welch_statistic
 from repro.subspaces.enumeration import (
     grow_with_features,
@@ -136,7 +142,13 @@ class RefOut(PointExplainer):
             "refout.pool", point=point, pool_size=self.pool_size, pool_dim=pool_dim
         ):
             pool = random_subspaces(d, pool_dim, self.pool_size, seed=rng)
-            pool_sets = [frozenset(s) for s in pool]
+            # Pool membership as one (pool_size, d) boolean matrix, built
+            # once per explanation: every stage's containment test is a
+            # row gather + `all` over it instead of a Python generator
+            # re-walking frozensets per candidate.
+            pool_matrix = np.zeros((len(pool), d), dtype=bool)
+            for row, projection in enumerate(pool):
+                pool_matrix[row, list(projection)] = True
             # The pool is one independent batch: one backend wave scores
             # every projection the partition test will draw from.
             pool_scores = scorer.point_zscores_many(pool, point)
@@ -146,12 +158,14 @@ class RefOut(PointExplainer):
         with obs_span("refout.stage", point=point, stage_dim=1) as stage_span:
             features = sorted({f for s in pool for f in s})
             stage_span.set(n_candidates=len(features))
+            discrepancies = self._discrepancies(
+                np.array([(f,) for f in features], dtype=np.intp),
+                pool_matrix,
+                pool_scores,
+            )
             feature_scores = [
-                (
-                    Subspace((f,)),
-                    self._discrepancy(frozenset((f,)), pool_sets, pool_scores),
-                )
-                for f in features
+                (Subspace((f,)), float(value))
+                for f, value in zip(features, discrepancies)
             ]
             stage = top_k(feature_scores, self.beam_width)
         top_features = [next(iter(s)) for s, _ in stage]
@@ -165,9 +179,14 @@ class RefOut(PointExplainer):
                 seeds = [s for s, _ in stage]
                 candidates = grow_with_features(seeds, top_features)
                 stage_span.set(n_candidates=len(candidates))
+                discrepancies = self._discrepancies(
+                    np.array([tuple(c) for c in candidates], dtype=np.intp),
+                    pool_matrix,
+                    pool_scores,
+                )
                 scored = [
-                    (c, self._discrepancy(frozenset(c), pool_sets, pool_scores))
-                    for c in candidates
+                    (c, float(value))
+                    for c, value in zip(candidates, discrepancies)
                 ]
                 stage = top_k(scored, self.beam_width)
             current_dim += 1
@@ -185,23 +204,52 @@ class RefOut(PointExplainer):
             refined = [(s, float(v)) for s, v in zip(survivors, z)]
             return RankedSubspaces.from_pairs(top_k(refined, self.result_size))
 
-    def _discrepancy(
+    def _discrepancies(
         self,
-        candidate: frozenset[int],
-        pool_sets: list[frozenset[int]],
+        candidate_matrix: np.ndarray,
+        pool_matrix: np.ndarray,
         pool_scores: np.ndarray,
-    ) -> float:
+    ) -> np.ndarray:
         """Welch |t| between pool scores of projections ⊇ candidate vs rest.
 
-        Zero when either partition is too small for the test — such a
-        candidate carries no evidence either way.
+        One stage's candidates arrive as a ``(B, L)`` feature matrix
+        (uniform dimensionality within a stage); containment of all B
+        candidates in all pool projections is a single gather over the
+        pool membership matrix. Zero where either partition is too small
+        for the test (no evidence either way) or the test is degenerate
+        (``nan`` statistic).
+
+        With the batched kernels enabled, all B tests run as one
+        :func:`~repro.stats.batch.welch_statistic_batch` call on masked
+        partition summaries; the ``REPRO_STATS_BATCH=0`` fallback runs
+        the scalar test per candidate on the identical partitions,
+        reproducing the pre-batching floats bit-for-bit.
         """
-        mask = np.fromiter(
-            (candidate <= s for s in pool_sets), dtype=bool, count=len(pool_sets)
+        # containment[b, p]: candidate b's features all present in pool
+        # projection p.
+        containment = pool_matrix[:, candidate_matrix].all(axis=2).T
+        n_in = containment.sum(axis=1)
+        n_out = containment.shape[1] - n_in
+        valid = (n_in >= self._MIN_PARTITION) & (n_out >= self._MIN_PARTITION)
+        out = np.zeros(candidate_matrix.shape[0])
+        n_degenerate = int(containment.shape[0] - int(valid.sum()))
+        if n_degenerate:
+            DEGENERATE_SLICES.inc(n_degenerate, consumer="refout")
+        if not valid.any():
+            return out
+        if not batch_enabled():
+            for b in np.nonzero(valid)[0]:
+                mask = containment[b]
+                statistic, _ = welch_statistic(
+                    pool_scores[mask], pool_scores[~mask]
+                )
+                out[b] = 0.0 if math.isnan(statistic) else abs(statistic)
+            return out
+        inside = containment[valid]
+        count_in, mean_in, var_in = masked_mean_var(pool_scores, inside)
+        count_out, mean_out, var_out = masked_mean_var(pool_scores, ~inside)
+        statistic, _ = welch_statistic_batch(
+            mean_in, var_in, count_in, mean_out, var_out, count_out
         )
-        n_in = int(mask.sum())
-        n_out = mask.shape[0] - n_in
-        if n_in < self._MIN_PARTITION or n_out < self._MIN_PARTITION:
-            return 0.0
-        statistic, _ = welch_statistic(pool_scores[mask], pool_scores[~mask])
-        return 0.0 if math.isnan(statistic) else abs(statistic)
+        out[valid] = np.where(np.isnan(statistic), 0.0, np.abs(statistic))
+        return out

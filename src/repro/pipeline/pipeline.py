@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from repro.datasets.base import Dataset
 from repro.detectors.base import Detector
 from repro.exceptions import ValidationError
+from repro.explainers.contrast_cache import contrast_cache_stats
 from repro.explainers.base import (
     PointExplainer,
     RankedSubspaces,
@@ -69,6 +70,9 @@ class PipelineResult:
         traffic deltas ride along as ``dist_hits``, ``dist_misses``, and
         ``dist_parent_reuses`` (counts, not seconds; under a thread
         backend concurrent compositions may be counted approximately).
+        Runs that consult the HiCS contrast cache likewise carry
+        ``hics_cache_hits`` / ``hics_cache_misses`` deltas — a hit means
+        the run skipped the Monte-Carlo search entirely.
     explanations:
         Per-point rankings. For point explainers these are the raw
         algorithm outputs; for summarisers they are the shared summary
@@ -224,6 +228,7 @@ class ExplanationPipeline:
         evaluations_before = scorer.n_evaluations
         detector_seconds_before = scorer.detector_seconds
         dist_before = scorer.distance_stats
+        hics_cache_before = contrast_cache_stats()
         stopwatch = Stopwatch()
         evaluate_watch = Stopwatch()
 
@@ -286,6 +291,14 @@ class ExplanationPipeline:
                 cost_breakdown["dist_parent_reuses"] = float(
                     dist_after["parent_reuses"] - dist_before["parent_reuses"]
                 )
+            hics_cache_after = contrast_cache_stats()
+            hics_hits = hics_cache_after["hits"] - hics_cache_before["hits"]
+            hics_misses = (
+                hics_cache_after["misses"] - hics_cache_before["misses"]
+            )
+            if hics_hits or hics_misses:
+                cost_breakdown["hics_cache_hits"] = float(hics_hits)
+                cost_breakdown["hics_cache_misses"] = float(hics_misses)
             cell_span.set(
                 seconds=stopwatch.elapsed,
                 n_subspaces_scored=n_scored,

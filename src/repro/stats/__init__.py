@@ -11,9 +11,24 @@ Provides exactly the machinery the explanation algorithms need:
 
 The Student-t and Kolmogorov distributions needed for p-values are
 implemented in :mod:`repro.stats.special`; the test-suite validates them
-against scipy as an oracle.
+against scipy as an oracle. :mod:`repro.stats.batch` provides
+array-valued equivalents of the two-sample machinery (one call per
+candidate instead of one per slice) behind the ``REPRO_STATS_BATCH``
+kill-switch; the scalar kernels remain the reference implementation.
 """
 
+from repro.stats.batch import (
+    STATS_BATCH_ENV,
+    batch_enabled,
+    kolmogorov_sf_batch,
+    ks_p_values,
+    ks_statistic_batch,
+    masked_mean_var,
+    student_t_sf_batch,
+    tie_run_ends,
+    welch_p_values,
+    welch_statistic_batch,
+)
 from repro.stats.descriptive import sample_mean, sample_std, sample_var
 from repro.stats.ks import KSResult, ks_statistic, ks_test
 from repro.stats.special import (
@@ -27,17 +42,27 @@ from repro.stats.zscore import zscore_of, zscores
 
 __all__ = [
     "KSResult",
+    "STATS_BATCH_ENV",
     "WelchResult",
+    "batch_enabled",
     "kolmogorov_sf",
+    "kolmogorov_sf_batch",
+    "ks_p_values",
     "ks_statistic",
+    "ks_statistic_batch",
     "ks_test",
     "log_beta",
+    "masked_mean_var",
     "regularized_incomplete_beta",
     "sample_mean",
     "sample_std",
     "sample_var",
     "student_t_sf",
+    "student_t_sf_batch",
+    "tie_run_ends",
+    "welch_p_values",
     "welch_statistic",
+    "welch_statistic_batch",
     "welch_t_test",
     "zscore_of",
     "zscores",

@@ -1,0 +1,463 @@
+"""Array-valued two-sample statistics kernels (the batched hot path).
+
+HiCS runs ``mc_iterations`` (~100) Monte-Carlo slice tests per candidate
+subspace and RefOut one Welch test per candidate feature set; as scalar
+calls these dominate the explainers' runtime because every test pays the
+Python call overhead, the per-sample validation, and a pure-Python Lentz
+continued fraction. This module provides the batched equivalents — one
+call per candidate evaluating every slice at once:
+
+* :func:`welch_statistic_batch` / :func:`welch_p_values` — Welch's t over
+  B ``(mean, var, n)`` sample summaries against broadcastable counterpart
+  summaries, preserving every degenerate-case rule of the scalar
+  :func:`repro.stats.welch.welch_statistic` (both samples constant with
+  equal means → ``nan``; constant with different means → ``±inf``;
+  constant-sample guards in the Welch–Satterthwaite denominator).
+* :func:`ks_statistic_batch` / :func:`ks_p_values` — the two-sample KS
+  statistic of B membership-defined slices of one sorted marginal,
+  bit-identical to :func:`repro.stats.ks.ks_statistic` (same integer
+  ECDF counts, same float divisions, same tie handling).
+* :func:`student_t_sf_batch` — array survival function of Student's t,
+  running the same Lentz continued fraction as the scalar
+  :func:`repro.stats.special.student_t_sf` with per-element convergence:
+  an element's arithmetic sequence is identical to the scalar path, so
+  converged values agree bit-for-bit.
+* :func:`kolmogorov_sf_batch` — element-wise Kolmogorov survival
+  function (delegates to the scalar kernel; the alternating series is a
+  handful of ``exp`` calls, not a hot loop).
+* :func:`masked_mean_var` — counts/means/variances of B boolean-masked
+  slices of one value vector in a few vector ops.
+
+Kill-switch
+-----------
+``REPRO_STATS_BATCH=0`` (environment) routes every consumer — HiCS's
+contrast engine, RefOut's stage discrepancies, LookOut's lazy-greedy
+selection — back to the scalar kernels, reproducing the pre-batching
+results byte-for-byte. :func:`batch_enabled` is the single resolution
+point; consumers read it once per construction/call, never per slice.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.obs import metrics as obs_metrics
+from repro.stats.special import (
+    _CF_EPS,
+    _CF_TINY,
+    _MAX_CF_ITERATIONS,
+    kolmogorov_sf,
+    log_beta,
+)
+
+__all__ = [
+    "STATS_BATCH_ENV",
+    "batch_enabled",
+    "kolmogorov_sf_batch",
+    "ks_p_values",
+    "ks_statistic_batch",
+    "masked_mean_var",
+    "student_t_sf_batch",
+    "tie_run_ends",
+    "welch_p_values",
+    "welch_statistic_batch",
+]
+
+#: Environment variable gating the batched kernels. Unset or truthy →
+#: batched; ``0`` / ``false`` / ``off`` / ``no`` → scalar fallback.
+STATS_BATCH_ENV = "REPRO_STATS_BATCH"
+
+_DISABLED_VALUES = frozenset({"0", "false", "off", "no"})
+
+_BATCH_CALLS = obs_metrics.counter(
+    "repro_stats_batch_calls_total",
+    "Batched two-sample test calls, by test (welch / ks)",
+)
+_BATCH_SLICES = obs_metrics.histogram(
+    "repro_stats_batch_slices",
+    "Slices evaluated per batched two-sample test call, by test",
+    buckets=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 1024.0, 4096.0),
+)
+
+#: Degenerate slices (too small for the two-sample test) skipped by
+#: batched consumers; incremented with a ``consumer`` label by the code
+#: that applies the degenerate rule, since "degenerate" is a consumer
+#: policy (HiCS skips slices of < 2 points, RefOut skips partitions with
+#: an undersized side), not a kernel property.
+DEGENERATE_SLICES = obs_metrics.counter(
+    "repro_stats_degenerate_slices_total",
+    "Degenerate slices skipped by batched statistics consumers, by consumer",
+)
+
+
+def batch_enabled() -> bool:
+    """Whether the batched kernels are active (``REPRO_STATS_BATCH``)."""
+    value = os.environ.get(STATS_BATCH_ENV, "1").strip().lower()
+    return value not in _DISABLED_VALUES
+
+
+# ----------------------------------------------------------------------
+# Special functions, array-valued.
+# ----------------------------------------------------------------------
+
+
+def _beta_continued_fraction_batch(
+    a: np.ndarray, b: np.ndarray, x: np.ndarray
+) -> np.ndarray:
+    """Vectorised Lentz continued fraction for ``I_x(a, b)``.
+
+    Runs the exact per-element arithmetic sequence of the scalar
+    :func:`repro.stats.special._beta_continued_fraction`: every element
+    is updated with the same even/odd steps, and is frozen the moment its
+    own ``delta`` converges — so a converged element's value is
+    bit-identical to the scalar result. Elements still active are
+    compressed out of the working arrays as others converge, keeping the
+    per-iteration cost proportional to the unconverged count.
+    """
+    a = np.array(a, dtype=np.float64)
+    b = np.array(b, dtype=np.float64)
+    x = np.array(x, dtype=np.float64)
+    out = np.empty_like(a)
+    active = np.arange(a.shape[0])
+
+    qab = a + b
+    qap = a + 1.0
+    qam = a - 1.0
+    c = np.ones_like(a)
+    d = 1.0 - qab * x / qap
+    d = np.where(np.abs(d) < _CF_TINY, _CF_TINY, d)
+    d = 1.0 / d
+    h = d.copy()
+
+    for m in range(1, _MAX_CF_ITERATIONS + 1):
+        m2 = 2 * m
+        # Even step.
+        aa = m * (b - m) * x / ((qam + m2) * (a + m2))
+        d = 1.0 + aa * d
+        d = np.where(np.abs(d) < _CF_TINY, _CF_TINY, d)
+        c = 1.0 + aa / c
+        c = np.where(np.abs(c) < _CF_TINY, _CF_TINY, c)
+        d = 1.0 / d
+        h = h * (d * c)
+        # Odd step.
+        aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2))
+        d = 1.0 + aa * d
+        d = np.where(np.abs(d) < _CF_TINY, _CF_TINY, d)
+        c = 1.0 + aa / c
+        c = np.where(np.abs(c) < _CF_TINY, _CF_TINY, c)
+        d = 1.0 / d
+        delta = d * c
+        h = h * delta
+        converged = np.abs(delta - 1.0) < _CF_EPS
+        if converged.any():
+            out[active[converged]] = h[converged]
+            keep = ~converged
+            if not keep.any():
+                return out
+            active = active[keep]
+            a, b, x = a[keep], b[keep], x[keep]
+            qab, qap, qam = qab[keep], qap[keep], qam[keep]
+            c, d, h = c[keep], d[keep], h[keep]
+    out[active] = h  # Converged to float precision in practice well before.
+    return out
+
+
+def _regularized_incomplete_beta_batch(
+    a: np.ndarray, b: np.ndarray, x: np.ndarray
+) -> np.ndarray:
+    """Array ``I_x(a, b)``; same branch structure as the scalar kernel.
+
+    The log-space front factors are evaluated per element with the same
+    ``math`` calls as the scalar path (``lgamma`` has no NumPy
+    equivalent, and matching the scalar transcendental bits matters more
+    than vectorising a handful of cheap calls); the expensive continued
+    fraction runs vectorised.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    x = np.asarray(x, dtype=np.float64)
+    if np.any(a <= 0) or np.any(b <= 0):
+        raise ValidationError("incomplete beta requires a, b > 0")
+    if np.any((x < 0.0) | (x > 1.0)):
+        raise ValidationError("incomplete beta requires x in [0, 1]")
+
+    out = np.empty_like(x)
+    out[x == 0.0] = 0.0
+    out[x == 1.0] = 1.0
+    interior = np.nonzero((x > 0.0) & (x < 1.0))[0]
+    if interior.size == 0:
+        return out
+    ai, bi, xi = a[interior], b[interior], x[interior]
+
+    direct = xi < (ai + 1.0) / (ai + bi + 2.0)
+    for mirror, rows in ((False, np.nonzero(direct)[0]),
+                         (True, np.nonzero(~direct)[0])):
+        if rows.size == 0:
+            continue
+        ar, br, xr = ai[rows], bi[rows], xi[rows]
+        if mirror:
+            front = np.array([
+                math.exp(
+                    bv * math.log1p(-xv) + av * math.log(xv)
+                    - math.log(bv) - log_beta(av, bv)
+                )
+                for av, bv, xv in zip(ar.tolist(), br.tolist(), xr.tolist())
+            ])
+            cf = _beta_continued_fraction_batch(br, ar, 1.0 - xr)
+            out[interior[rows]] = 1.0 - front * cf
+        else:
+            front = np.array([
+                math.exp(
+                    av * math.log(xv) + bv * math.log1p(-xv)
+                    - math.log(av) - log_beta(av, bv)
+                )
+                for av, bv, xv in zip(ar.tolist(), br.tolist(), xr.tolist())
+            ])
+            cf = _beta_continued_fraction_batch(ar, br, xr)
+            out[interior[rows]] = front * cf
+    return out
+
+
+def student_t_sf_batch(
+    t: np.ndarray, df: np.ndarray, *, two_sided: bool = True
+) -> np.ndarray:
+    """Array survival function of Student's t distribution.
+
+    Element-wise equivalent of :func:`repro.stats.special.student_t_sf`:
+    ``nan`` statistics map to ``nan``, infinite statistics to a zero
+    tail, and finite statistics run the same incomplete-beta evaluation
+    (bit-identical arithmetic per element).
+    """
+    t = np.atleast_1d(np.asarray(t, dtype=np.float64))
+    df = np.broadcast_to(
+        np.asarray(df, dtype=np.float64), t.shape
+    ).astype(np.float64, copy=False)
+    if np.any(df <= 0):
+        raise ValidationError("degrees of freedom must be positive")
+
+    tail = np.zeros_like(t)
+    nan = np.isnan(t)
+    finite = np.isfinite(t)
+    rows = np.nonzero(finite)[0]
+    if rows.size:
+        tf, dff = t[rows], df[rows]
+        x = dff / (dff + tf * tf)
+        tail[rows] = _regularized_incomplete_beta_batch(
+            dff / 2.0, np.full_like(dff, 0.5), x
+        )
+    if two_sided:
+        out = np.minimum(1.0, np.maximum(0.0, tail))
+    else:
+        one_sided = tail / 2.0
+        one_sided = np.where(t < 0, 1.0 - one_sided, one_sided)
+        out = np.minimum(1.0, np.maximum(0.0, one_sided))
+    out[nan] = np.nan
+    return out
+
+
+def kolmogorov_sf_batch(x: np.ndarray, *, terms: int = 101) -> np.ndarray:
+    """Element-wise Kolmogorov survival function.
+
+    Delegates to the scalar :func:`repro.stats.special.kolmogorov_sf` —
+    the alternating series converges in a handful of terms, so per
+    batched KS call this is a few dozen ``exp`` evaluations, and the
+    delegation keeps the values trivially bit-identical to the scalar
+    path.
+    """
+    arr = np.atleast_1d(np.asarray(x, dtype=np.float64))
+    return np.array([kolmogorov_sf(float(v), terms=terms) for v in arr])
+
+
+# ----------------------------------------------------------------------
+# Welch's t-test, batched.
+# ----------------------------------------------------------------------
+
+
+def masked_mean_var(
+    values: np.ndarray, membership: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Counts, means, and ddof-1 variances of B masked slices of one vector.
+
+    Parameters
+    ----------
+    values:
+        ``(n,)`` float vector.
+    membership:
+        ``(B, n)`` boolean slice-membership matrix.
+
+    Returns ``(counts, means, variances)`` of shape ``(B,)``. Means are
+    defined for ``counts >= 1`` and variances for ``counts >= 2``; rows
+    below those thresholds hold unspecified (finite) placeholder values —
+    callers are expected to apply their degenerate-slice policy on
+    ``counts`` first, exactly as the scalar paths validate sample sizes
+    before testing.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    member_f = membership.astype(np.float64)
+    counts = membership.sum(axis=1)
+    safe = np.maximum(counts, 1)
+    means = member_f @ values / safe
+    centered = (values[None, :] - means[:, None]) * member_f
+    variances = np.einsum("bn,bn->b", centered, centered) / np.maximum(
+        counts - 1, 1
+    )
+    return counts, means, variances
+
+
+def welch_statistic_batch(
+    mean_a: np.ndarray,
+    var_a: np.ndarray,
+    n_a: np.ndarray,
+    mean_b: np.ndarray,
+    var_b: np.ndarray,
+    n_b: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Welch t statistics and effective dof for B summarised sample pairs.
+
+    Inputs broadcast against each other; the canonical shapes are B
+    slice summaries on the ``a`` side against either one shared marginal
+    (HiCS: scalars on the ``b`` side) or B counterpart summaries
+    (RefOut's pool partitions). Sample sizes must be >= 2, mirroring the
+    scalar path's ``check_vector(min_len=2)`` contract.
+
+    Degenerate rules match :func:`repro.stats.welch.welch_statistic`
+    exactly: both samples constant with equal means → ``(nan, 1.0)``;
+    both constant with different means → ``(±inf, 1.0)``; a constant
+    sample contributes zero to the Welch–Satterthwaite denominator, and
+    a zero denominator falls back to ``max(n_a, n_b) - 1`` degrees of
+    freedom.
+    """
+    mean_a, var_a, n_a, mean_b, var_b, n_b = np.broadcast_arrays(
+        np.asarray(mean_a, dtype=np.float64),
+        np.asarray(var_a, dtype=np.float64),
+        np.asarray(n_a),
+        np.asarray(mean_b, dtype=np.float64),
+        np.asarray(var_b, dtype=np.float64),
+        np.asarray(n_b),
+    )
+    _BATCH_CALLS.inc(test="welch")
+    _BATCH_SLICES.observe(mean_a.size, test="welch")
+
+    se_a = var_a / n_a
+    se_b = var_b / n_b
+    se = se_a + se_b
+    diff = mean_a - mean_b
+    with np.errstate(divide="ignore", invalid="ignore"):
+        statistic = diff / np.sqrt(se)
+        term_a = np.where(se_a > 0.0, se_a**2 / (n_a - 1), 0.0)
+        term_b = np.where(se_b > 0.0, se_b**2 / (n_b - 1), 0.0)
+        denom = term_a + term_b
+        df = np.where(
+            denom > 0.0,
+            se**2 / denom,
+            (np.maximum(n_a, n_b) - 1).astype(np.float64),
+        )
+    degenerate = se == 0.0
+    if degenerate.any():
+        statistic = np.where(
+            degenerate,
+            np.where(diff == 0.0, np.nan, np.copysign(np.inf, diff)),
+            statistic,
+        )
+        df = np.where(degenerate, 1.0, df)
+    return statistic, df
+
+
+def welch_p_values(statistic: np.ndarray, df: np.ndarray) -> np.ndarray:
+    """Two-sided Welch p-values with the scalar degenerate mapping.
+
+    ``nan`` statistics (both samples constant, equal means) → 1.0;
+    infinite statistics (constant, different means) → 0.0; finite
+    statistics run :func:`student_t_sf_batch`.
+    """
+    statistic = np.atleast_1d(np.asarray(statistic, dtype=np.float64))
+    df = np.broadcast_to(np.asarray(df, dtype=np.float64), statistic.shape)
+    p = np.zeros_like(statistic)
+    p[np.isnan(statistic)] = 1.0
+    finite = np.nonzero(np.isfinite(statistic))[0]
+    if finite.size:
+        p[finite] = student_t_sf_batch(
+            statistic[finite], df[finite], two_sided=True
+        )
+    return p
+
+
+# ----------------------------------------------------------------------
+# Kolmogorov–Smirnov, batched.
+# ----------------------------------------------------------------------
+
+
+def tie_run_ends(sorted_values: np.ndarray) -> np.ndarray:
+    """Boolean mask marking the last index of each tie run.
+
+    ``sorted_values`` must be ascending. Both empirical CDFs of the
+    two-sample KS test are evaluated with ``side="right"`` semantics, so
+    only the last index of a run of tied values is a meaningful
+    evaluation point; the mask lets :func:`ks_statistic_batch` ignore the
+    intermediate (partial-count) positions.
+    """
+    sorted_values = np.asarray(sorted_values)
+    if sorted_values.shape[0] == 0:
+        return np.zeros(0, dtype=bool)
+    return np.r_[sorted_values[1:] != sorted_values[:-1], True]
+
+
+def ks_statistic_batch(
+    member_sorted: np.ndarray, run_ends: np.ndarray | None = None
+) -> np.ndarray:
+    """KS statistics of B marginal slices against their shared marginal.
+
+    Parameters
+    ----------
+    member_sorted:
+        ``(B, n)`` boolean matrix: row b marks which of the marginal's
+        points (columns **in ascending marginal order**) belong to
+        slice b. Because each slice is a subset of the marginal, every
+        ECDF step of either function happens at a marginal point, so the
+        supremum over the merged grid of the scalar
+        :func:`repro.stats.ks.ks_statistic` equals the supremum over the
+        marginal's tie-run ends — computed here with the same integer
+        counts and float divisions, making the result bit-identical.
+    run_ends:
+        Optional precomputed :func:`tie_run_ends` mask of the sorted
+        marginal. ``None`` treats all values as distinct (exact for
+        tie-free data; pass the mask whenever ties are possible).
+
+    Rows are defined for slices of >= 1 point; empty rows return 1.0
+    (their ECDF is identically zero) — callers filter degenerate rows by
+    their own policy beforehand.
+    """
+    member_sorted = np.asarray(member_sorted, dtype=bool)
+    n_slices, n = member_sorted.shape
+    _BATCH_CALLS.inc(test="ks")
+    _BATCH_SLICES.observe(n_slices, test="ks")
+    counts = member_sorted.sum(axis=1)
+    cum = np.cumsum(member_sorted, axis=1)
+    cdf_a = cum / np.maximum(counts, 1)[:, None]
+    cdf_b = np.arange(1, n + 1) / n
+    diffs = np.abs(cdf_a - cdf_b)
+    if run_ends is not None:
+        diffs = np.where(run_ends[None, :], diffs, 0.0)
+    out = diffs.max(axis=1)
+    out[counts == 0] = 1.0
+    return out
+
+
+def ks_p_values(
+    statistic: np.ndarray, n_a: np.ndarray, n_b: np.ndarray
+) -> np.ndarray:
+    """Asymptotic two-sample KS p-values for batched statistics.
+
+    Bit-identical to :func:`repro.stats.ks.ks_test`'s p-value for the
+    same ``(statistic, n_a, n_b)``: same effective sample size, same
+    ``sqrt`` scaling, same scalar Kolmogorov survival function.
+    """
+    statistic = np.atleast_1d(np.asarray(statistic, dtype=np.float64))
+    n_a = np.broadcast_to(np.asarray(n_a), statistic.shape)
+    n_b = np.broadcast_to(np.asarray(n_b), statistic.shape)
+    effective_n = n_a * n_b / (n_a + n_b)
+    return kolmogorov_sf_batch(np.sqrt(effective_n) * statistic)

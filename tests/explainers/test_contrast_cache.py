@@ -1,0 +1,199 @@
+"""Unit tests for the cross-detector HiCS contrast cache."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.detectors import LOF, KNNDetector
+from repro.explainers import HiCS
+from repro.explainers import contrast_cache as cc_module
+from repro.explainers.contrast_cache import (
+    HICS_CACHE_ENV,
+    ContrastCache,
+    resolve_contrast_cache,
+)
+from repro.subspaces import SubspaceScorer
+
+
+@pytest.fixture(autouse=True)
+def _fresh_shared_caches(monkeypatch):
+    """Isolate the process-global cache registry per test."""
+    monkeypatch.setattr(cc_module, "_SHARED", {})
+
+
+@pytest.fixture()
+def correlated_data():
+    gen = np.random.default_rng(21)
+    latent = gen.normal(size=150)
+    X = np.column_stack(
+        [
+            latent + gen.normal(0, 0.1, 150),
+            latent + gen.normal(0, 0.1, 150),
+            gen.normal(size=150),
+            gen.normal(size=150),
+        ]
+    )
+    X[0, :2] = [2.5, -2.5]
+    return X
+
+
+KEY = ("hics-search", 12345, (10, 4), ("seed", 0))
+RESULT = [((0, 1), 0.875), ((2, 3), 0.25)]
+
+
+class TestContrastCacheStore:
+    def test_miss_then_hit(self):
+        cache = ContrastCache()
+        assert cache.get(KEY) is None
+        cache.put(KEY, RESULT)
+        assert cache.get(KEY) == RESULT
+        assert cache.stats() == {"hits": 1, "misses": 1, "entries": 1}
+
+    def test_hit_returns_a_copy(self):
+        cache = ContrastCache()
+        cache.put(KEY, RESULT)
+        got = cache.get(KEY)
+        got.append(((9,), 0.0))
+        assert cache.get(KEY) == RESULT
+
+    def test_key_isolation(self):
+        cache = ContrastCache()
+        cache.put(KEY, RESULT)
+        other = KEY[:-1] + (("seed", 1),)
+        assert cache.get(other) is None
+
+    def test_clear_and_len(self):
+        cache = ContrastCache()
+        cache.put(KEY, RESULT)
+        assert len(cache) == 1
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.get(KEY) is None
+
+    def test_put_normalises_numpy_values(self):
+        cache = ContrastCache()
+        cache.put(
+            KEY,
+            [((np.int64(0), np.int64(1)), np.float64(0.5))],
+        )
+        got = cache.get(KEY)
+        assert got == [((0, 1), 0.5)]
+        assert all(isinstance(f, int) for f in got[0][0])
+        assert isinstance(got[0][1], float)
+
+
+class TestDiskPersistence:
+    def test_roundtrip_across_instances(self, tmp_path):
+        first = ContrastCache(directory=tmp_path)
+        first.put(KEY, RESULT)
+        fresh = ContrastCache(directory=tmp_path)  # new process, in effect
+        assert fresh.get(KEY) == RESULT
+        assert fresh.stats()["hits"] == 1
+
+    def test_floats_roundtrip_exactly(self, tmp_path):
+        value = 1.0 - 0.123456789012345678e-3  # not exactly representable input
+        first = ContrastCache(directory=tmp_path)
+        first.put(KEY, [((0, 1), value)])
+        fresh = ContrastCache(directory=tmp_path)
+        assert fresh.get(KEY)[0][1] == float(value)
+
+    def test_torn_file_is_a_miss(self, tmp_path):
+        cache = ContrastCache(directory=tmp_path)
+        cache.put(KEY, RESULT)
+        (path,) = tmp_path.glob("hics-contrast-*.json")
+        path.write_text(path.read_text()[: len(path.read_text()) // 2])
+        fresh = ContrastCache(directory=tmp_path)
+        assert fresh.get(KEY) is None
+
+    def test_key_mismatch_in_payload_is_a_miss(self, tmp_path):
+        cache = ContrastCache(directory=tmp_path)
+        cache.put(KEY, RESULT)
+        (path,) = tmp_path.glob("hics-contrast-*.json")
+        payload = json.loads(path.read_text())
+        payload["key"] = "something else"
+        path.write_text(json.dumps(payload))
+        fresh = ContrastCache(directory=tmp_path)
+        assert fresh.get(KEY) is None
+
+
+class TestResolveContrastCache:
+    @pytest.mark.parametrize("value", ["0", "false", "off", "no", " OFF "])
+    def test_disabled_values(self, monkeypatch, value):
+        monkeypatch.setenv(HICS_CACHE_ENV, value)
+        assert resolve_contrast_cache() is None
+
+    @pytest.mark.parametrize("value", ["1", "true", "on", "yes", ""])
+    def test_memory_values_share_one_instance(self, monkeypatch, value):
+        monkeypatch.setenv(HICS_CACHE_ENV, value)
+        cache = resolve_contrast_cache()
+        assert cache is not None and cache.directory is None
+        assert resolve_contrast_cache() is cache
+
+    def test_default_is_memory(self, monkeypatch):
+        monkeypatch.delenv(HICS_CACHE_ENV, raising=False)
+        cache = resolve_contrast_cache()
+        assert cache is not None and cache.directory is None
+
+    def test_directory_value(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(HICS_CACHE_ENV, str(tmp_path))
+        cache = resolve_contrast_cache()
+        assert cache is not None and cache.directory == tmp_path
+        assert resolve_contrast_cache() is cache
+
+    def test_explicit_setting_overrides_env(self, monkeypatch):
+        monkeypatch.setenv(HICS_CACHE_ENV, "0")
+        assert resolve_contrast_cache("1") is not None
+
+
+class TestHiCSIntegration:
+    def test_second_detector_hits_the_cache(self, monkeypatch, correlated_data):
+        monkeypatch.setenv(HICS_CACHE_ENV, "1")
+        hics = HiCS(mc_iterations=20, seed=0)
+        summaries = []
+        for detector in (LOF(k=10), KNNDetector(k=10)):
+            scorer = SubspaceScorer(correlated_data, detector)
+            summaries.append(hics.summarize(scorer, [0], 2))
+        cache = resolve_contrast_cache()
+        assert cache.stats()["hits"] == 1
+        assert cache.stats()["misses"] == 1
+        assert summaries[0].subspaces == summaries[1].subspaces
+        assert summaries[0].scores == summaries[1].scores
+
+    def test_unseeded_search_never_cached(self, monkeypatch, correlated_data):
+        monkeypatch.setenv(HICS_CACHE_ENV, "1")
+        scorer = SubspaceScorer(correlated_data, LOF(k=10))
+        HiCS(mc_iterations=10, seed=None).summarize(scorer, [0], 2)
+        cache = resolve_contrast_cache()
+        assert cache.stats() == {"hits": 0, "misses": 0, "entries": 0}
+
+    def test_disk_cache_spans_fresh_caches(
+        self, monkeypatch, tmp_path, correlated_data
+    ):
+        monkeypatch.setenv(HICS_CACHE_ENV, str(tmp_path))
+        hics = HiCS(mc_iterations=20, seed=0)
+        scorer = SubspaceScorer(correlated_data, LOF(k=10))
+        first = hics.summarize(scorer, [0], 2)
+        assert list(tmp_path.glob("hics-contrast-*.json"))
+        # Simulate a resumed run: a brand-new in-memory cache over the
+        # same directory serves the search from disk.
+        cc_module._SHARED = {}
+        scorer = SubspaceScorer(correlated_data, LOF(k=10))
+        second = hics.summarize(scorer, [0], 2)
+        cache = resolve_contrast_cache()
+        assert cache.stats()["hits"] == 1
+        assert first.subspaces == second.subspaces
+        assert first.scores == second.scores
+
+    def test_cache_off_matches_cache_on(self, monkeypatch, correlated_data):
+        hics = HiCS(mc_iterations=20, seed=0)
+        monkeypatch.setenv(HICS_CACHE_ENV, "0")
+        scorer = SubspaceScorer(correlated_data, LOF(k=10))
+        off = hics.summarize(scorer, [0], 2)
+        monkeypatch.setenv(HICS_CACHE_ENV, "1")
+        scorer = SubspaceScorer(correlated_data, LOF(k=10))
+        on_cold = hics.summarize(scorer, [0], 2)
+        scorer = SubspaceScorer(correlated_data, LOF(k=10))
+        on_warm = hics.summarize(scorer, [0], 2)
+        assert off.subspaces == on_cold.subspaces == on_warm.subspaces
+        assert off.scores == on_cold.scores == on_warm.scores

@@ -6,7 +6,9 @@ import pytest
 from repro.detectors import LOF
 from repro.exceptions import ValidationError
 from repro.explainers import HiCS
+from repro.explainers.contrast_cache import HICS_CACHE_ENV
 from repro.explainers.hics import _ContrastEstimator
+from repro.stats.batch import STATS_BATCH_ENV
 from repro.subspaces import Subspace, SubspaceScorer
 from repro.utils.rng import as_rng
 
@@ -118,6 +120,68 @@ class TestPruneDominated:
         kept = HiCS._prune_dominated(pairs)
         assert (Subspace([0, 1]), 0.9) in kept
         assert (Subspace([0, 1, 2]), 0.5) in kept  # not dominated (lower dim)
+
+
+class TestBatchedScalarEquivalence:
+    """The batched contrast engine vs the REPRO_STATS_BATCH=0 kill-switch."""
+
+    def estimators(self, X, test):
+        """One batched and one scalar estimator over identical RNG state."""
+        kwargs = dict(alpha=0.15, mc_iterations=60, test=test)
+        return (
+            _ContrastEstimator(X, rng=as_rng(3), batched=True, **kwargs),
+            _ContrastEstimator(X, rng=as_rng(3), batched=False, **kwargs),
+        )
+
+    def test_ks_contrast_bit_identical(self, correlated_data):
+        batched, scalar = self.estimators(correlated_data, "ks")
+        for s in [(0, 1), (0, 2), (2, 3), (0, 1, 2), (1, 2, 3)]:
+            assert batched.contrast(Subspace(s)) == scalar.contrast(Subspace(s))
+
+    def test_welch_contrast_agrees_to_last_ulp(self, correlated_data):
+        batched, scalar = self.estimators(correlated_data, "welch")
+        for s in [(0, 1), (0, 2), (2, 3), (0, 1, 2), (1, 2, 3)]:
+            assert batched.contrast(Subspace(s)) == pytest.approx(
+                scalar.contrast(Subspace(s)), rel=1e-12, abs=1e-12
+            )
+
+    def test_ks_contrast_bit_identical_under_ties(self):
+        # Quantised features: every marginal has tie runs.
+        gen = np.random.default_rng(11)
+        X = np.round(gen.normal(size=(120, 4)), 1)
+        batched, scalar = self.estimators(X, "ks")
+        for s in [(0, 1), (1, 2), (0, 2, 3)]:
+            assert batched.contrast(Subspace(s)) == scalar.contrast(Subspace(s))
+
+    @pytest.mark.parametrize("test", ["welch", "ks"])
+    def test_summaries_identical_across_kill_switch(
+        self, monkeypatch, correlated_data, test
+    ):
+        monkeypatch.setenv(HICS_CACHE_ENV, "0")
+        hics = HiCS(mc_iterations=30, seed=0, test=test)
+        monkeypatch.setenv(STATS_BATCH_ENV, "1")
+        scorer = SubspaceScorer(correlated_data, LOF(k=10))
+        batched = hics.summarize(scorer, [0], 3)
+        monkeypatch.setenv(STATS_BATCH_ENV, "0")
+        scorer = SubspaceScorer(correlated_data, LOF(k=10))
+        scalar = hics.summarize(scorer, [0], 3)
+        assert batched.subspaces == scalar.subspaces
+
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_cache_on_off_identical_per_backend(
+        self, monkeypatch, correlated_data, backend
+    ):
+        hics = HiCS(mc_iterations=20, seed=0)
+        results = {}
+        for mode in ("0", "1"):
+            monkeypatch.setenv(HICS_CACHE_ENV, mode)
+            scorer = SubspaceScorer(
+                correlated_data, LOF(k=10), backend=backend
+            )
+            results[mode] = hics.summarize(scorer, [0], 2)
+            scorer.close()
+        assert results["0"].subspaces == results["1"].subspaces
+        assert results["0"].scores == results["1"].scores
 
 
 class TestHiCSInterface:

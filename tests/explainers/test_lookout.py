@@ -6,6 +6,8 @@ import pytest
 from repro.detectors import LOF
 from repro.exceptions import ValidationError
 from repro.explainers import LookOut
+from repro.obs import metrics as obs_metrics
+from repro.stats.batch import STATS_BATCH_ENV
 from repro.subspaces import Subspace, SubspaceScorer
 
 
@@ -55,6 +57,79 @@ class TestGreedyCoverage:
         # add nothing and the summary is truncated early.
         summary = LookOut(budget=6).summarize(two_outlier_scorer, [0], 2)
         assert len(summary) < 6
+
+
+class TestLazyGreedy:
+    """Lazy (CELF) selection must replicate the dense reference exactly."""
+
+    def candidates(self, n):
+        return [Subspace([i, i + 1]) for i in range(n)]
+
+    def assert_identical(self, explainer, utility):
+        candidates = self.candidates(utility.shape[1])
+        lazy = explainer._greedy_select_lazy(candidates, utility)
+        dense = explainer._greedy_select_dense(candidates, utility)
+        assert lazy.subspaces == dense.subspaces
+        assert lazy.scores == dense.scores  # bit-identical gains
+
+    def test_identical_on_random_utilities(self):
+        gen = np.random.default_rng(13)
+        for trial in range(50):
+            n_points = int(gen.integers(1, 12))
+            n_candidates = int(gen.integers(1, 20))
+            utility = np.maximum(
+                gen.normal(size=(n_points, n_candidates)), 0.0
+            )
+            budget = int(gen.integers(1, n_candidates + 3))
+            self.assert_identical(LookOut(budget=budget), utility)
+
+    def test_identical_with_ties_and_zero_columns(self):
+        gen = np.random.default_rng(14)
+        for trial in range(30):
+            n_points = int(gen.integers(1, 8))
+            n_candidates = int(gen.integers(2, 12))
+            # Quantised utilities force exact gain ties; zeroed columns
+            # force the early-termination branch.
+            utility = np.round(
+                np.maximum(gen.normal(size=(n_points, n_candidates)), 0.0), 1
+            )
+            utility[:, gen.random(n_candidates) < 0.3] = 0.0
+            if gen.random() < 0.3:
+                utility[:, 1] = utility[:, 0]  # exact duplicate column
+            self.assert_identical(LookOut(budget=n_candidates), utility)
+
+    def test_identical_on_all_zero_utility(self):
+        self.assert_identical(LookOut(budget=3), np.zeros((5, 7)))
+
+    def test_identical_on_the_fixture(self, two_outlier_scorer):
+        monkey_budget = 4
+        explainer = LookOut(budget=monkey_budget)
+        from repro.subspaces import all_subspaces
+
+        candidates = list(all_subspaces(4, 2))
+        utility = np.maximum(
+            two_outlier_scorer.points_zscores_many(candidates, [0, 1]).T, 0.0
+        )
+        self.assert_identical(explainer, utility)
+
+    def test_kill_switch_routes_to_dense(self, monkeypatch, two_outlier_scorer):
+        monkeypatch.setenv(STATS_BATCH_ENV, "1")
+        lazy = LookOut(budget=3).summarize(two_outlier_scorer, [0, 1], 2)
+        monkeypatch.setenv(STATS_BATCH_ENV, "0")
+        dense = LookOut(budget=3).summarize(two_outlier_scorer, [0, 1], 2)
+        assert lazy.subspaces == dense.subspaces
+        assert lazy.scores == dense.scores
+
+    def test_reevaluations_metric_counts_lazy_work(self, two_outlier_scorer):
+        obs_metrics.reset()
+        counter = obs_metrics.counter(
+            "repro_lookout_lazy_reevaluations_total",
+            "Marginal-gain recomputations performed by LookOut's lazy greedy",
+        )
+        LookOut(budget=4).summarize(two_outlier_scorer, [0, 1], 2)
+        # 6 candidates, 4 rounds: the dense scan would recompute 6 gains
+        # per round after the first; lazy must do strictly less.
+        assert 0 < counter.value() < 18
 
 
 class TestLookOutInterface:

@@ -6,6 +6,7 @@ import pytest
 from repro.detectors import LOF
 from repro.exceptions import ValidationError
 from repro.explainers import RefOut
+from repro.stats.batch import STATS_BATCH_ENV
 from repro.subspaces import SubspaceScorer
 
 
@@ -55,6 +56,40 @@ class TestRefOutDeterminism:
         a = explainer.explain(scorer, 1, 2)
         b = explainer.explain(scorer, 2, 2)
         assert a.subspaces != b.subspaces or a.scores != b.scores
+
+
+class TestBatchedScalarEquivalence:
+    """Batched stage discrepancies vs the REPRO_STATS_BATCH=0 kill-switch."""
+
+    def both_routes(self, monkeypatch, scorer, explainer, point, dim):
+        monkeypatch.setenv(STATS_BATCH_ENV, "1")
+        batched = explainer.explain(scorer, point, dim)
+        monkeypatch.setenv(STATS_BATCH_ENV, "0")
+        scalar = explainer.explain(scorer, point, dim)
+        return batched, scalar
+
+    @pytest.mark.parametrize("dim", [2, 3])
+    def test_explanations_identical(
+        self, monkeypatch, scorer, subspace_outlier_data, dim
+    ):
+        _, point, _ = subspace_outlier_data
+        batched, scalar = self.both_routes(
+            monkeypatch, scorer,
+            RefOut(pool_size=40, beam_width=10, seed=0), point, dim,
+        )
+        assert batched.subspaces == scalar.subspaces
+        assert batched.scores == scalar.scores
+
+    def test_identical_with_degenerate_partitions(self, monkeypatch, scorer):
+        # pool_dim_fraction 1.0 makes every partition one-sided, so the
+        # degenerate (< MIN_PARTITION) rule fires for every candidate.
+        batched, scalar = self.both_routes(
+            monkeypatch, scorer,
+            RefOut(pool_size=20, beam_width=5, pool_dim_fraction=1.0, seed=0),
+            0, 2,
+        )
+        assert batched.subspaces == scalar.subspaces
+        assert batched.scores == scalar.scores
 
 
 class TestRefOutPoolGeometry:

@@ -1,0 +1,217 @@
+"""Property-based tests: batched statistics kernels vs the scalar oracle.
+
+The contract under fuzz: for *any* slice-membership pattern over *any*
+marginal, the batched Welch and KS kernels reproduce the scalar kernels —
+KS bit-for-bit, Welch to a tight relative tolerance (its slice moments
+sum in a different order), and every degenerate branch (constant
+samples, empty slices, tie runs) mapping to the exact same rule.
+"""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.stats import ks_statistic, welch_statistic, welch_t_test
+from repro.stats.batch import (
+    ks_p_values,
+    ks_statistic_batch,
+    masked_mean_var,
+    student_t_sf_batch,
+    tie_run_ends,
+    welch_p_values,
+    welch_statistic_batch,
+)
+from repro.stats.ks import ks_test
+from repro.stats.special import student_t_sf
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+def sample(min_size=2, max_size=40):
+    return arrays(np.float64, st.integers(min_size, max_size), elements=finite_floats)
+
+
+def tied_sample(min_size=4, max_size=40):
+    """Float vectors drawn from a tiny integer alphabet: ties guaranteed."""
+    return arrays(
+        np.float64,
+        st.integers(min_size, max_size),
+        elements=st.integers(-3, 3).map(float),
+    )
+
+
+@st.composite
+def marginal_with_memberships(draw, values=sample(min_size=4, max_size=50)):
+    """A marginal vector plus a (B, n) slice-membership matrix."""
+    marginal = draw(values)
+    n = marginal.shape[0]
+    n_slices = draw(st.integers(1, 6))
+    membership = draw(
+        arrays(np.bool_, st.tuples(st.just(n_slices), st.just(n)))
+    )
+    return marginal, membership
+
+
+@given(case=marginal_with_memberships())
+def test_ks_batched_bit_identical_to_scalar(case):
+    marginal, membership = case
+    order = np.argsort(marginal, kind="stable")
+    statistic = ks_statistic_batch(
+        membership[:, order], tie_run_ends(marginal[order])
+    )
+    for b in range(membership.shape[0]):
+        sel = marginal[membership[b]]
+        if sel.shape[0] == 0:
+            assert statistic[b] == 1.0
+        else:
+            assert statistic[b] == ks_statistic(sel, marginal)
+
+
+@given(case=marginal_with_memberships(values=tied_sample()))
+def test_ks_batched_bit_identical_under_ties(case):
+    marginal, membership = case
+    order = np.argsort(marginal, kind="stable")
+    statistic = ks_statistic_batch(
+        membership[:, order], tie_run_ends(marginal[order])
+    )
+    for b in range(membership.shape[0]):
+        sel = marginal[membership[b]]
+        if sel.shape[0] >= 1:
+            assert statistic[b] == ks_statistic(sel, marginal)
+
+
+@given(case=marginal_with_memberships())
+def test_ks_p_values_bit_identical_to_scalar(case):
+    marginal, membership = case
+    counts = membership.sum(axis=1)
+    keep = counts >= 1
+    if not keep.any():
+        return
+    membership = membership[keep]
+    order = np.argsort(marginal, kind="stable")
+    statistic = ks_statistic_batch(
+        membership[:, order], tie_run_ends(marginal[order])
+    )
+    p = ks_p_values(statistic, membership.sum(axis=1), marginal.shape[0])
+    for b in range(membership.shape[0]):
+        ref = ks_test(marginal[membership[b]], marginal)
+        assert statistic[b] == ref.statistic
+        assert p[b] == ref.p_value
+
+
+@given(case=marginal_with_memberships(values=sample(min_size=6, max_size=50)))
+def test_welch_batched_matches_scalar_via_masked_moments(case):
+    marginal, membership = case
+    counts = membership.sum(axis=1)
+    keep = counts >= 2
+    if not keep.any():
+        return
+    membership = membership[keep]
+    counts, means, variances = masked_mean_var(marginal, membership)
+    statistic, df = welch_statistic_batch(
+        means, variances, counts,
+        float(np.mean(marginal)), float(np.var(marginal, ddof=1)),
+        marginal.shape[0],
+    )
+    p = welch_p_values(statistic, df)
+    # Numerically-constant samples sit in the catastrophic-cancellation
+    # regime: a variance of ~1e-22 is pure rounding noise and the two
+    # paths may land on different noise. The *exact* degenerate branches
+    # (variance exactly zero) are covered by dedicated tests with
+    # exactly-representable constants; here we fuzz the regular regime.
+    scale = max(1.0, float(np.max(np.abs(marginal))))
+    noise_floor = 1e-9 * scale * scale
+    for b in range(membership.shape[0]):
+        sel = marginal[membership[b]]
+        scalar_var = float(np.var(sel, ddof=1))
+        if 0.0 < min(scalar_var, float(variances[b])) < noise_floor or (
+            (scalar_var == 0.0) != (float(variances[b]) == 0.0)
+        ):
+            continue
+        ref = welch_t_test(sel, marginal)
+        if math.isnan(ref.statistic):
+            assert math.isnan(statistic[b])
+            assert p[b] == 1.0
+        elif math.isinf(ref.statistic):
+            assert statistic[b] == ref.statistic
+            assert p[b] == 0.0
+        else:
+            # The masked moments sum in a different order than np.mean /
+            # np.var over the extracted slice — agreement to a tight
+            # relative tolerance, never a different branch.
+            assert statistic[b] == ref.statistic or math.isclose(
+                statistic[b], ref.statistic, rel_tol=1e-9, abs_tol=1e-12
+            )
+            assert math.isclose(df[b], ref.df, rel_tol=1e-9, abs_tol=1e-12)
+            assert math.isclose(p[b], ref.p_value, rel_tol=1e-6, abs_tol=1e-9)
+
+
+@given(a=sample(), b=sample())
+def test_welch_batched_bit_identical_given_identical_summaries(a, b):
+    # Fed the exact moments the scalar kernel computes internally, the
+    # batched kernel must agree bit-for-bit, degenerate branches included.
+    statistic, df = welch_statistic_batch(
+        np.array([float(np.mean(a))]),
+        np.array([float(np.var(a, ddof=1))]),
+        np.array([a.shape[0]]),
+        np.array([float(np.mean(b))]),
+        np.array([float(np.var(b, ddof=1))]),
+        np.array([b.shape[0]]),
+    )
+    ref_stat, ref_df = welch_statistic(a, b)
+    if math.isnan(ref_stat):
+        assert math.isnan(statistic[0])
+    else:
+        assert statistic[0] == ref_stat
+    assert df[0] == ref_df
+
+
+@given(value=finite_floats, n_a=st.integers(2, 30), n_b=st.integers(2, 30))
+def test_welch_batched_constant_samples_degenerate_rules(value, n_a, n_b):
+    statistic, df = welch_statistic_batch(
+        np.array([value, value]),
+        np.array([0.0, 0.0]),
+        np.array([n_a, n_a]),
+        np.array([value, value + 1.0]),
+        np.array([0.0, 0.0]),
+        np.array([n_b, n_b]),
+    )
+    assert math.isnan(statistic[0]) and df[0] == 1.0
+    assert math.isinf(statistic[1]) and statistic[1] < 0 and df[1] == 1.0
+    p = welch_p_values(statistic, df)
+    assert p[0] == 1.0 and p[1] == 0.0
+
+
+@settings(max_examples=50)
+@given(
+    t=arrays(np.float64, st.integers(1, 20),
+             elements=st.floats(-50, 50, allow_nan=False)),
+    df=st.floats(min_value=1.0, max_value=200.0),
+)
+def test_student_t_sf_batch_bit_identical(t, df):
+    batched = student_t_sf_batch(t, np.full(t.shape, df))
+    for i in range(t.shape[0]):
+        assert batched[i] == student_t_sf(float(t[i]), df)
+
+
+@given(case=marginal_with_memberships(values=sample(min_size=3, max_size=40)))
+def test_masked_mean_var_matches_numpy(case):
+    marginal, membership = case
+    counts, means, variances = masked_mean_var(marginal, membership)
+    for b in range(membership.shape[0]):
+        sel = marginal[membership[b]]
+        assert counts[b] == sel.shape[0]
+        if sel.shape[0] >= 1:
+            assert math.isclose(
+                means[b], float(np.mean(sel)), rel_tol=1e-9, abs_tol=1e-9
+            )
+        if sel.shape[0] >= 2:
+            assert math.isclose(
+                variances[b], float(np.var(sel, ddof=1)),
+                rel_tol=1e-8, abs_tol=1e-8,
+            )

@@ -1,0 +1,271 @@
+"""Unit tests for repro.stats.batch (scalar kernels as the oracle).
+
+The batched kernels' contract is equivalence with the scalar statistics
+substrate: KS statistics/p-values and the Student-t survival function are
+*bit-identical*, Welch statistics agree to the last ulp with every
+degenerate-case rule replicated exactly. Constants in the degenerate
+tests are exactly representable so that sample variances are exactly
+zero, exercising the branches rather than their float neighbourhood.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.obs import metrics as obs_metrics
+from repro.stats import ks_statistic, ks_test, welch_statistic, welch_t_test
+from repro.stats.batch import (
+    STATS_BATCH_ENV,
+    batch_enabled,
+    kolmogorov_sf_batch,
+    ks_p_values,
+    ks_statistic_batch,
+    masked_mean_var,
+    student_t_sf_batch,
+    tie_run_ends,
+    welch_p_values,
+    welch_statistic_batch,
+)
+from repro.stats.special import kolmogorov_sf, student_t_sf
+
+
+class TestBatchEnabled:
+    @pytest.mark.parametrize("value", ["0", "false", "off", "no", " OFF ", "No"])
+    def test_disabled_values(self, monkeypatch, value):
+        monkeypatch.setenv(STATS_BATCH_ENV, value)
+        assert batch_enabled() is False
+
+    @pytest.mark.parametrize("value", ["1", "true", "on", "yes", "", "anything"])
+    def test_enabled_values(self, monkeypatch, value):
+        monkeypatch.setenv(STATS_BATCH_ENV, value)
+        assert batch_enabled() is True
+
+    def test_default_is_enabled(self, monkeypatch):
+        monkeypatch.delenv(STATS_BATCH_ENV, raising=False)
+        assert batch_enabled() is True
+
+
+class TestStudentTSfBatch:
+    def test_bit_identical_to_scalar(self):
+        gen = np.random.default_rng(3)
+        t = gen.normal(0, 3, size=200)
+        df = gen.uniform(1.0, 60.0, size=200)
+        batched = student_t_sf_batch(t, df)
+        for i in range(t.shape[0]):
+            assert batched[i] == student_t_sf(float(t[i]), float(df[i]))
+
+    def test_one_sided_bit_identical(self):
+        gen = np.random.default_rng(4)
+        t = gen.normal(0, 2, size=100)
+        df = gen.uniform(1.0, 30.0, size=100)
+        batched = student_t_sf_batch(t, df, two_sided=False)
+        for i in range(t.shape[0]):
+            assert batched[i] == student_t_sf(
+                float(t[i]), float(df[i]), two_sided=False
+            )
+
+    def test_nan_and_infinite_statistics(self):
+        out = student_t_sf_batch(
+            np.array([np.nan, np.inf, -np.inf, 0.0]), np.array([5.0])
+        )
+        assert math.isnan(out[0])
+        assert out[1] == 0.0
+        assert out[2] == 0.0
+        assert out[3] == 1.0
+
+    def test_scalar_df_broadcasts(self):
+        t = np.array([0.5, 1.5, 2.5])
+        assert np.array_equal(
+            student_t_sf_batch(t, 7.0), student_t_sf_batch(t, np.full(3, 7.0))
+        )
+
+    def test_rejects_nonpositive_df(self):
+        with pytest.raises(ValidationError):
+            student_t_sf_batch(np.array([1.0]), np.array([0.0]))
+
+
+class TestKolmogorovSfBatch:
+    def test_bit_identical_to_scalar(self):
+        x = np.linspace(0.0, 3.0, 61)
+        batched = kolmogorov_sf_batch(x)
+        for i in range(x.shape[0]):
+            assert batched[i] == kolmogorov_sf(float(x[i]))
+
+
+class TestMaskedMeanVar:
+    def test_matches_numpy_per_row(self):
+        gen = np.random.default_rng(5)
+        values = gen.normal(size=40)
+        membership = gen.random((8, 40)) < 0.4
+        membership[0, :3] = True  # guarantee at least one row with >= 2
+        counts, means, variances = masked_mean_var(values, membership)
+        for b in range(8):
+            sel = values[membership[b]]
+            assert counts[b] == sel.shape[0]
+            if sel.shape[0] >= 1:
+                assert means[b] == pytest.approx(np.mean(sel), rel=1e-13)
+            if sel.shape[0] >= 2:
+                assert variances[b] == pytest.approx(
+                    np.var(sel, ddof=1), rel=1e-12
+                )
+
+    def test_empty_and_singleton_rows_are_finite(self):
+        values = np.array([1.0, 2.0, 3.0])
+        membership = np.array([[False, False, False], [True, False, False]])
+        counts, means, variances = masked_mean_var(values, membership)
+        assert list(counts) == [0, 1]
+        assert np.isfinite(means).all()
+        assert np.isfinite(variances).all()
+
+
+class TestWelchStatisticBatch:
+    def _summaries(self, samples):
+        return (
+            np.array([float(np.mean(s)) for s in samples]),
+            np.array([float(np.var(s, ddof=1)) for s in samples]),
+            np.array([s.shape[0] for s in samples]),
+        )
+
+    def test_matches_scalar_on_random_samples(self):
+        gen = np.random.default_rng(6)
+        slices = [gen.normal(gen.uniform(-1, 1), gen.uniform(0.5, 2),
+                             size=gen.integers(2, 30)) for _ in range(25)]
+        marginal = gen.normal(size=100)
+        mean_a, var_a, n_a = self._summaries(slices)
+        statistic, df = welch_statistic_batch(
+            mean_a, var_a, n_a,
+            float(np.mean(marginal)), float(np.var(marginal, ddof=1)),
+            marginal.shape[0],
+        )
+        for i, s in enumerate(slices):
+            ref_stat, ref_df = welch_statistic(s, marginal)
+            assert statistic[i] == ref_stat
+            assert df[i] == ref_df
+
+    def test_both_constant_equal_means(self):
+        statistic, df = welch_statistic_batch(
+            np.array([1.5]), np.array([0.0]), np.array([3]),
+            np.array([1.5]), np.array([0.0]), np.array([4]),
+        )
+        assert math.isnan(statistic[0])
+        assert df[0] == 1.0
+        assert welch_p_values(statistic, df)[0] == 1.0
+        ref = welch_t_test([1.5, 1.5, 1.5], [1.5, 1.5, 1.5, 1.5])
+        assert math.isnan(ref.statistic) and ref.p_value == 1.0
+
+    def test_both_constant_different_means(self):
+        statistic, df = welch_statistic_batch(
+            np.array([1.0, 4.0]), np.array([0.0, 0.0]), np.array([2, 2]),
+            np.array([2.0, 2.0]), np.array([0.0, 0.0]), np.array([2, 2]),
+        )
+        assert statistic[0] == -math.inf
+        assert statistic[1] == math.inf
+        assert list(df) == [1.0, 1.0]
+        assert list(welch_p_values(statistic, df)) == [0.0, 0.0]
+        ref = welch_t_test([1.0, 1.0], [2.0, 2.0])
+        assert ref.statistic == -math.inf and ref.p_value == 0.0
+
+    def test_one_constant_sample_matches_scalar(self):
+        # var_a == 0 exactly: the Welch-Satterthwaite denominator must
+        # drop the a-term, exactly like the scalar guard.
+        a = np.array([2.0, 2.0, 2.0])
+        b = np.array([1.0, 3.0, 5.0, 7.0])
+        statistic, df = welch_statistic_batch(
+            np.array([float(np.mean(a))]), np.array([0.0]), np.array([a.shape[0]]),
+            float(np.mean(b)), float(np.var(b, ddof=1)), b.shape[0],
+        )
+        ref_stat, ref_df = welch_statistic(a, b)
+        assert statistic[0] == ref_stat
+        assert df[0] == ref_df
+
+    def test_mixed_degenerate_and_regular_rows(self):
+        statistic, df = welch_statistic_batch(
+            np.array([1.0, 0.0]), np.array([0.0, 1.0]), np.array([2, 10]),
+            np.array([1.0, 0.5]), np.array([0.0, 2.0]), np.array([2, 10]),
+        )
+        assert math.isnan(statistic[0])
+        assert np.isfinite(statistic[1])
+        p = welch_p_values(statistic, df)
+        assert p[0] == 1.0
+        assert 0.0 < p[1] < 1.0
+
+    def test_increments_batch_metrics(self):
+        obs_metrics.reset()
+        calls = obs_metrics.counter(
+            "repro_stats_batch_calls_total",
+            "Batched two-sample test calls, by test (welch / ks)",
+        )
+        before = calls.value(test="welch")
+        welch_statistic_batch(
+            np.zeros(7), np.ones(7), np.full(7, 5),
+            0.0, 1.0, 50,
+        )
+        assert calls.value(test="welch") == before + 1
+
+
+class TestKsStatisticBatch:
+    def _slices_vs_marginal(self, marginal, membership):
+        """Batched statistics alongside the scalar oracle per row."""
+        order = np.argsort(marginal, kind="stable")
+        member_sorted = membership[:, order]
+        run_ends = tie_run_ends(marginal[order])
+        batched = ks_statistic_batch(member_sorted, run_ends)
+        scalar = [
+            ks_statistic(marginal[membership[b]], marginal)
+            for b in range(membership.shape[0])
+        ]
+        return batched, scalar
+
+    def test_bit_identical_without_ties(self):
+        gen = np.random.default_rng(7)
+        marginal = gen.normal(size=60)
+        membership = gen.random((12, 60)) < 0.3
+        membership[:, 0] = True  # no empty slice
+        batched, scalar = self._slices_vs_marginal(marginal, membership)
+        assert list(batched) == scalar
+
+    def test_bit_identical_with_ties(self):
+        gen = np.random.default_rng(8)
+        marginal = gen.integers(0, 6, size=50).astype(np.float64)
+        membership = gen.random((10, 50)) < 0.4
+        membership[:, 0] = True
+        batched, scalar = self._slices_vs_marginal(marginal, membership)
+        assert list(batched) == scalar
+
+    def test_empty_slice_returns_one(self):
+        member_sorted = np.zeros((1, 5), dtype=bool)
+        assert ks_statistic_batch(member_sorted)[0] == 1.0
+
+    def test_full_slice_is_zero(self):
+        member_sorted = np.ones((1, 8), dtype=bool)
+        assert ks_statistic_batch(member_sorted)[0] == 0.0
+
+    def test_p_values_bit_identical_to_ks_test(self):
+        gen = np.random.default_rng(9)
+        marginal = gen.normal(size=40)
+        membership = gen.random((6, 40)) < 0.5
+        membership[:, :2] = True
+        order = np.argsort(marginal, kind="stable")
+        statistic = ks_statistic_batch(
+            membership[:, order], tie_run_ends(marginal[order])
+        )
+        counts = membership.sum(axis=1)
+        p = ks_p_values(statistic, counts, marginal.shape[0])
+        for b in range(membership.shape[0]):
+            ref = ks_test(marginal[membership[b]], marginal)
+            assert statistic[b] == ref.statistic
+            assert p[b] == ref.p_value
+
+
+class TestTieRunEnds:
+    def test_marks_last_index_of_each_run(self):
+        mask = tie_run_ends(np.array([1.0, 1.0, 2.0, 3.0, 3.0, 3.0]))
+        assert list(mask) == [False, True, True, False, False, True]
+
+    def test_distinct_values_all_true(self):
+        assert tie_run_ends(np.array([1.0, 2.0, 3.0])).all()
+
+    def test_empty(self):
+        assert tie_run_ends(np.array([])).shape == (0,)

@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Merge ``BENCH_*.json`` perf records into one trajectory table.
+
+Each benchmark (``benchmarks/bench_scorer.py``, ``benchmarks/bench_hics.py``)
+writes its machine-readable records to its own ``BENCH_<name>.json`` file —
+useful as CI artifacts, useless for eyeballing the perf history side by
+side. This tool reads every record file and prints a single aligned table
+(suite, op, workload, wall time, speedup, cache hit rate), so a CI log or
+a local run shows the whole performance trajectory at once.
+
+Usage::
+
+    python tools/bench_report.py                  # repo-root BENCH_*.json
+    python tools/bench_report.py a.json b.json    # explicit files
+
+Exits non-zero when no record file is found (a CI misconfiguration
+should fail loudly, not print an empty table).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _load(path: Path) -> list[dict]:
+    with open(path, encoding="utf-8") as fh:
+        records = json.load(fh)
+    if not isinstance(records, list):
+        raise SystemExit(f"{path}: expected a JSON list of records")
+    return [r for r in records if isinstance(r, dict)]
+
+
+def _workload(record: dict) -> str:
+    """Compact workload descriptor from whatever shape keys a record has."""
+    parts = []
+    if "n" in record and "d" in record:
+        parts.append(f"({record['n']}, {record['d']})")
+    for key, label in (
+        ("n_subspaces", "subspaces"),
+        ("detectors", "detectors"),
+        ("points", "points"),
+        ("dimensionality", "dim"),
+        ("mc_iterations", "mc"),
+        ("beam_width", "beam"),
+    ):
+        if key in record:
+            parts.append(f"{record[key]} {label}")
+    return ", ".join(parts)
+
+
+def _format_row(suite: str, record: dict) -> tuple[str, str, str, str, str]:
+    wall = record.get("wall_time_s")
+    wall_s = f"{wall * 1000:9.1f} ms" if wall is not None else ""
+    speedup = record.get("speedup")
+    speedup_s = f"{speedup:5.2f}x" if speedup is not None else ""
+    if record.get("ranked_identical"):
+        speedup_s += " (ranked identical)"
+    hit_rate = record.get("cache_hit_rate")
+    extra = f"hit rate {hit_rate:.2%}" if hit_rate else ""
+    return suite, str(record.get("op", "?")), _workload(record), wall_s, speedup_s or extra
+
+
+def build_table(paths: list[Path]) -> str:
+    """The merged trajectory table for ``paths``, as one printable string."""
+    rows: list[tuple[str, str, str, str, str]] = []
+    for path in paths:
+        suite = path.stem.removeprefix("BENCH_")
+        for record in _load(path):
+            rows.append(_format_row(suite, record))
+    headers = ("suite", "op", "workload", "wall time", "notes")
+    widths = [
+        max(len(headers[col]), *(len(row[col]) for row in rows)) if rows else len(headers[col])
+        for col in range(5)
+    ]
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip(),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if argv:
+        paths = [Path(a) for a in argv]
+        missing = [p for p in paths if not p.is_file()]
+        if missing:
+            print(f"error: no such record file: "
+                  f"{', '.join(map(str, missing))}", file=sys.stderr)
+            return 1
+    else:
+        paths = sorted(REPO_ROOT.glob("BENCH_*.json"))
+        if not paths:
+            print(f"error: no BENCH_*.json files under {REPO_ROOT}",
+                  file=sys.stderr)
+            return 1
+    print(build_table(paths))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
