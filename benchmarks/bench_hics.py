@@ -203,6 +203,13 @@ def main(argv=None) -> None:
           "identical across all modes)")
 
     if args.json:
+        from repro.obs import RunManifest
+
+        # Provenance stamp: which code and environment produced these
+        # numbers (tools/bench_report.py renders it, the sentinel ignores it).
+        stamp = RunManifest.collect().compact()
+        for record in records:
+            record["manifest"] = stamp
         with open(args.json, "w", encoding="utf-8") as fh:
             json.dump(records, fh, indent=2)
             fh.write("\n")

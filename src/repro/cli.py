@@ -168,6 +168,65 @@ def build_parser() -> argparse.ArgumentParser:
             "skips) to PATH in the Prometheus text exposition format"
         ),
     )
+    parser.add_argument(
+        "--prof",
+        default=None,
+        nargs="?",
+        const="1",
+        metavar="MODE",
+        help=(
+            "per-span resource profiling: each pipeline cell's "
+            "cost_breakdown gains CPU seconds (explain/evaluate/detector) "
+            "and peak RSS; pass 'alloc' to additionally track tracemalloc "
+            "allocation deltas (slower); off by default and free when off "
+            "(also settable via the REPRO_PROF environment variable)"
+        ),
+    )
+    parser.add_argument(
+        "--prof-sample",
+        default=None,
+        metavar="PATH",
+        help=(
+            "run a stdlib sampling profiler (10 ms wall-clock sampler) for "
+            "the whole invocation and write collapsed-stack lines to PATH "
+            "— feed them to flamegraph.pl or speedscope to see where the "
+            "run actually spent its time"
+        ),
+    )
+    parser.add_argument(
+        "--heartbeat",
+        default=None,
+        type=float,
+        metavar="SECONDS",
+        help=(
+            "emit a live progress line to stderr every SECONDS during grid "
+            "execution (cells done/total, rate, ETA, retries, failures, "
+            "cache hit rates); off by default (also settable via the "
+            "REPRO_HEARTBEAT_S environment variable)"
+        ),
+    )
+    parser.add_argument(
+        "--heartbeat-jsonl",
+        default=None,
+        metavar="PATH",
+        help=(
+            "additionally append each heartbeat as a JSON line to PATH so "
+            "dashboards and post-mortems can replay the run's progress "
+            "(requires --heartbeat / REPRO_HEARTBEAT_S; also settable via "
+            "the REPRO_HEARTBEAT_JSONL environment variable)"
+        ),
+    )
+    parser.add_argument(
+        "--manifest-out",
+        default=None,
+        metavar="PATH",
+        help=(
+            "write the run manifest (python/numpy versions, git revision, "
+            "platform, REPRO_* environment, backend) plus an end-of-run "
+            "cache/scorer/grid statistics snapshot to PATH as JSON — the "
+            "provenance record that makes a table reproducible"
+        ),
+    )
     return parser
 
 
@@ -203,9 +262,19 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.cell_timeout is not None:
         os.environ[CELL_TIMEOUT_ENV] = str(args.cell_timeout)
 
+    from repro.obs import HEARTBEAT_ENV, HEARTBEAT_JSONL_ENV, PROF_ENV
+
+    if args.prof is not None:
+        os.environ[PROF_ENV] = args.prof
+    if args.heartbeat is not None:
+        os.environ[HEARTBEAT_ENV] = str(args.heartbeat)
+    if args.heartbeat_jsonl is not None:
+        os.environ[HEARTBEAT_JSONL_ENV] = args.heartbeat_jsonl
+
     from contextlib import nullcontext
 
     from repro.obs import (
+        SamplingProfiler,
         Tracer,
         span,
         use_tracer,
@@ -214,36 +283,59 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
 
     tracer = Tracer() if args.trace_out is not None else None
+    sampler = SamplingProfiler() if args.prof_sample is not None else None
     reports = []
     shared: dict[str, object] = {}
-    with use_tracer(tracer) if tracer is not None else nullcontext():
-        for name in names:
-            with span("experiment.run", experiment=name, profile=args.profile):
-                if name == "table2" and {
-                    "figure9",
-                    "figure10",
-                    "figure11",
-                } <= shared.keys():
-                    # Reuse sweeps already run in this invocation.
-                    report = table2.run(
-                        args.profile,
-                        figure9_report=shared["figure9"],  # type: ignore[arg-type]
-                        figure10_report=shared["figure10"],  # type: ignore[arg-type]
-                        figure11_report=shared["figure11"],  # type: ignore[arg-type]
-                    )
-                else:
-                    report = EXPERIMENTS[name](args.profile)
-            shared[name] = report
-            reports.append(report)
-            print(report.render())
-            print()
+    if sampler is not None:
+        sampler.start()
+    try:
+        with use_tracer(tracer) if tracer is not None else nullcontext():
+            for name in names:
+                with span("experiment.run", experiment=name, profile=args.profile):
+                    if name == "table2" and {
+                        "figure9",
+                        "figure10",
+                        "figure11",
+                    } <= shared.keys():
+                        # Reuse sweeps already run in this invocation.
+                        report = table2.run(
+                            args.profile,
+                            figure9_report=shared["figure9"],  # type: ignore[arg-type]
+                            figure10_report=shared["figure10"],  # type: ignore[arg-type]
+                            figure11_report=shared["figure11"],  # type: ignore[arg-type]
+                        )
+                    else:
+                        report = EXPERIMENTS[name](args.profile)
+                shared[name] = report
+                reports.append(report)
+                print(report.render())
+                print()
+    finally:
+        if sampler is not None:
+            sampler.stop()
 
+    if sampler is not None and args.prof_sample is not None:
+        sampler.write(args.prof_sample)
+        print(
+            f"wrote {sampler.sample_count} profile samples to {args.prof_sample}"
+        )
     if args.trace_out is not None and tracer is not None:
         write_trace_jsonl(tracer.spans, args.trace_out)
         print(f"wrote {len(tracer.spans)} spans to {args.trace_out}")
     if args.metrics_out is not None:
         write_metrics_text(args.metrics_out)
         print(f"wrote metrics to {args.metrics_out}")
+    if args.manifest_out is not None:
+        import json
+
+        from repro.obs import RunManifest, run_snapshot
+
+        manifest = RunManifest.collect().as_dict()
+        manifest["snapshot"] = run_snapshot()
+        with open(args.manifest_out, "w", encoding="utf-8") as handle:
+            json.dump(manifest, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote run manifest to {args.manifest_out}")
 
     if args.csv is not None:
         if len(reports) == 1:

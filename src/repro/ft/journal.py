@@ -33,6 +33,7 @@ from typing import TYPE_CHECKING, Any
 
 from repro.exceptions import ValidationError
 from repro.obs import metrics as obs_metrics
+from repro.obs.manifest import RunManifest, manifest_mismatches
 
 if TYPE_CHECKING:  # pragma: no cover - repro.pipeline imports repro.ft at runtime
     from repro.pipeline.pipeline import PipelineResult
@@ -54,6 +55,11 @@ _JOURNAL_ROWS = obs_metrics.counter(
 _JOURNAL_HITS = obs_metrics.counter(
     "repro_ft_journal_hits_total",
     "Grid cells skipped because the checkpoint journal already had them",
+)
+_MANIFEST_MISMATCHES = obs_metrics.counter(
+    "repro_ft_manifest_mismatches_total",
+    "Resumed journals whose recorded run manifest differs from the "
+    "current environment",
 )
 
 
@@ -166,6 +172,8 @@ class CheckpointJournal:
         self._completed: dict[str, dict[str, Any]] = {}
         #: Cells that exhausted retries in a previous run: key → audit record.
         self._failed: dict[str, dict[str, Any]] = {}
+        #: Provenance header of the run that started this journal, if any.
+        self.manifest: RunManifest | None = None
         if resume:
             self._load()
         elif os.path.exists(self.path):
@@ -194,6 +202,9 @@ class CheckpointJournal:
                     # before it is intact, so keep loading conservatively.
                     continue
                 kind = entry.get("kind")
+                if kind == "manifest":
+                    self._load_manifest_line(entry)
+                    continue
                 key = entry.get("key")
                 if not isinstance(key, str):
                     continue
@@ -204,6 +215,16 @@ class CheckpointJournal:
                     self._failed.pop(key, None)
                 elif kind == "failed":
                     self._failed[key] = entry["record"]
+
+    def _load_manifest_line(self, entry: dict[str, Any]) -> None:
+        record = entry.get("record")
+        if isinstance(record, dict):
+            try:
+                self.manifest = RunManifest.from_dict(record)
+            except (TypeError, ValueError):
+                # A corrupt header must not stop a resume; the results
+                # lines are the payload, the manifest is advisory.
+                self.manifest = None
 
     def __contains__(self, key: str) -> bool:
         return key in self._completed
@@ -231,6 +252,46 @@ class CheckpointJournal:
     # ------------------------------------------------------------------
     # Writing.
     # ------------------------------------------------------------------
+
+    def ensure_manifest(
+        self, manifest: RunManifest | None = None
+    ) -> list[str]:
+        """Embed a run manifest header, or check the recorded one on resume.
+
+        On a fresh journal the manifest (collected now unless given) is
+        appended as a ``kind="manifest"`` header line. On a resumed
+        journal that already carries one, the recorded manifest is
+        compared against the current environment and every difference is
+        returned — and shouted to stderr, because silently resuming under
+        a different interpreter, numpy, git revision, or ``REPRO_*``
+        configuration is exactly how irreproducible tables happen. The
+        resume still proceeds: the caller decided to resume, the journal's
+        job is to make the mismatch impossible to miss.
+        """
+        current = manifest if manifest is not None else RunManifest.collect()
+        if self.manifest is None:
+            self._append(
+                {
+                    "v": JOURNAL_VERSION,
+                    "kind": "manifest",
+                    "record": current.as_dict(),
+                }
+            )
+            self.manifest = current
+            return []
+        problems = manifest_mismatches(self.manifest, current)
+        if problems:
+            _MANIFEST_MISMATCHES.inc()
+            import sys
+
+            print(
+                f"WARNING: resuming journal {self.path!r} under a different "
+                f"environment than the run that started it:",
+                file=sys.stderr,
+            )
+            for problem in problems:
+                print(f"  {problem}", file=sys.stderr)
+        return problems
 
     def record_result(self, key: str, result: PipelineResult) -> None:
         """Journal one completed cell (flushed + fsynced immediately)."""

@@ -16,6 +16,17 @@ with two primitives:
 Exporters (:mod:`repro.obs.export`) serialise both: JSONL span traces and
 the Prometheus text exposition format. Naming conventions and worked
 examples live in ``docs/OBSERVABILITY.md``.
+
+Three further layers round out the run story:
+
+* **Profiling** (:mod:`repro.obs.prof`) — per-region CPU/RSS/allocation
+  probes behind ``REPRO_PROF`` (null-probe pattern, free when off) and a
+  stdlib sampling profiler emitting collapsed stacks for flamegraphs.
+* **Provenance** (:mod:`repro.obs.manifest` / :mod:`repro.obs.snapshot`)
+  — a :class:`~repro.obs.manifest.RunManifest` of the code/env that ran
+  and a :func:`~repro.obs.snapshot.run_snapshot` of what every cache did.
+* **Heartbeat** (:mod:`repro.obs.heartbeat`) — periodic progress lines
+  (done/total, cells/sec, ETA, cache hit rates) for long grid runs.
 """
 
 from repro.obs.export import (
@@ -24,6 +35,14 @@ from repro.obs.export import (
     write_metrics_text,
     write_trace_jsonl,
 )
+from repro.obs.heartbeat import (
+    HEARTBEAT_ENV,
+    HEARTBEAT_JSONL_ENV,
+    Heartbeat,
+    heartbeat_from_env,
+    heartbeat_interval_from_env,
+)
+from repro.obs.manifest import RunManifest, git_revision, manifest_mismatches
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -35,6 +54,17 @@ from repro.obs.metrics import (
     histogram,
     reset,
 )
+from repro.obs.prof import (
+    NULL_PROBE,
+    PROF_ENV,
+    NullProbe,
+    ResourceProbe,
+    SamplingProfiler,
+    alloc_tracking_enabled,
+    profiling_enabled,
+    resource_probe,
+)
+from repro.obs.snapshot import run_snapshot
 from repro.obs.trace import (
     NullTracer,
     Span,
@@ -48,18 +78,35 @@ from repro.obs.trace import (
 __all__ = [
     "Counter",
     "Gauge",
+    "HEARTBEAT_ENV",
+    "HEARTBEAT_JSONL_ENV",
+    "Heartbeat",
     "Histogram",
     "MetricsRegistry",
+    "NULL_PROBE",
+    "NullProbe",
     "NullTracer",
+    "PROF_ENV",
+    "ResourceProbe",
+    "RunManifest",
+    "SamplingProfiler",
     "Span",
     "Tracer",
+    "alloc_tracking_enabled",
     "counter",
     "gauge",
     "get_registry",
     "get_tracer",
+    "git_revision",
+    "heartbeat_from_env",
+    "heartbeat_interval_from_env",
     "histogram",
+    "manifest_mismatches",
+    "profiling_enabled",
     "render_prometheus",
     "reset",
+    "resource_probe",
+    "run_snapshot",
     "set_tracer",
     "span",
     "spans_to_jsonl",

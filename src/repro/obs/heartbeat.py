@@ -1,0 +1,278 @@
+"""Periodic progress emitter for long grid runs.
+
+A fault-tolerant paper-profile grid can run for hours; between the start
+banner and the final table it used to be silent. :class:`Heartbeat`
+closes that gap: the grid executor reports cell completions to it, and a
+daemon timer thread periodically emits one progress line to stderr —
+cells done/total, a cells/sec EMA, an ETA, retry/failure counts, and the
+current cache hit rates — plus, optionally, one JSONL record per beat
+for machine consumption (plotting a run's throughput over time, feeding
+a dashboard).
+
+Enablement follows the rest of :mod:`repro.obs`: off by default, turned
+on by the CLI's ``--heartbeat`` flag or the ``REPRO_HEARTBEAT_S``
+environment variable (seconds between beats; ``REPRO_HEARTBEAT_JSONL``
+adds the JSONL sink). When off, the grid executors skip construction
+entirely — zero overhead.
+
+The emitter thread only reads (shared counters under a lock, global
+metrics); completions are O(1) counter updates on the caller's thread,
+so the heartbeat never backpressures the run it is watching.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import threading
+import time
+from typing import Callable, TextIO
+
+from repro.obs.metrics import get_registry
+from repro.obs.snapshot import run_snapshot
+
+__all__ = [
+    "HEARTBEAT_ENV",
+    "HEARTBEAT_JSONL_ENV",
+    "Heartbeat",
+    "heartbeat_from_env",
+    "heartbeat_interval_from_env",
+]
+
+#: Seconds between beats; unset/empty/non-positive → heartbeat disabled.
+HEARTBEAT_ENV = "REPRO_HEARTBEAT_S"
+#: Optional path receiving one JSON record per beat.
+HEARTBEAT_JSONL_ENV = "REPRO_HEARTBEAT_JSONL"
+
+#: EMA smoothing for the cells/sec rate: ~70% weight on the last 3 beats.
+_EMA_ALPHA = 0.3
+
+
+def heartbeat_interval_from_env() -> float | None:
+    """The configured beat interval in seconds, or ``None`` when disabled."""
+    raw = os.environ.get(HEARTBEAT_ENV, "").strip()
+    if not raw:
+        return None
+    try:
+        interval = float(raw)
+    except ValueError:
+        return None
+    return interval if interval > 0.0 else None
+
+
+def heartbeat_from_env(total_cells: int) -> "Heartbeat | None":
+    """A started :class:`Heartbeat` per the environment, or ``None`` when off."""
+    interval = heartbeat_interval_from_env()
+    if interval is None:
+        return None
+    return Heartbeat(
+        total_cells,
+        interval_s=interval,
+        jsonl_path=os.environ.get(HEARTBEAT_JSONL_ENV) or None,
+    ).start()
+
+
+class Heartbeat:
+    """Thread-safe grid progress tracker with a periodic emitter.
+
+    Parameters
+    ----------
+    total_cells:
+        Expected number of cells; :meth:`reduce_total` adjusts it down
+        when cells turn out to be undefined/skipped.
+    interval_s:
+        Seconds between beats.
+    stream:
+        Text sink for the human-readable line (default ``sys.stderr``).
+    jsonl_path:
+        Optional path appended with one JSON record per beat.
+    clock:
+        Monotonic clock, injectable for deterministic tests.
+    thread:
+        When ``False``, no timer thread is started — the owner drives
+        emission via :meth:`maybe_emit` (the serial runner and the tests
+        use this mode).
+    """
+
+    def __init__(
+        self,
+        total_cells: int,
+        *,
+        interval_s: float = 30.0,
+        stream: TextIO | None = None,
+        jsonl_path: str | None = None,
+        clock: Callable[[], float] = time.monotonic,
+        thread: bool = True,
+    ) -> None:
+        if interval_s <= 0.0:
+            raise ValueError(f"interval_s must be positive, got {interval_s}")
+        self.interval_s = interval_s
+        self.jsonl_path = jsonl_path
+        self._stream = stream
+        self._clock = clock
+        self._use_thread = thread
+        self._lock = threading.Lock()
+        self._total = max(0, int(total_cells))
+        self._done = 0
+        self._failed = 0
+        self._skipped = 0
+        self._replayed = 0
+        self._beats = 0
+        self._started_at = clock()
+        self._last_emit_at = self._started_at
+        self._last_emit_done = 0
+        self._rate_ema: float | None = None
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._retries_baseline = self._metric_total("repro_ft_retries_total")
+
+    # ------------------------------------------------------------------
+    # Progress reporting (called from the grid executor's threads).
+    # ------------------------------------------------------------------
+
+    def cells_done(
+        self,
+        n: int = 1,
+        *,
+        failed: int = 0,
+        skipped: int = 0,
+        replayed: int = 0,
+    ) -> None:
+        """Record ``n`` finished cells (of which ``failed``/``skipped``/``replayed``)."""
+        with self._lock:
+            self._done += n
+            self._failed += failed
+            self._skipped += skipped
+            self._replayed += replayed
+
+    def reduce_total(self, n: int = 1) -> None:
+        """Shrink the expected total (undefined cells discovered mid-run)."""
+        with self._lock:
+            self._total = max(0, self._total - n)
+
+    # ------------------------------------------------------------------
+    # Emission.
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _metric_total(name: str) -> float:
+        metric = get_registry().get(name)
+        if metric is None or not hasattr(metric, "samples"):
+            return 0.0
+        return sum(value for _, value in metric.samples())
+
+    def snapshot(self) -> dict[str, object]:
+        """The current progress record (what a beat emits)."""
+        now = self._clock()
+        with self._lock:
+            done, total = self._done, self._total
+            failed, skipped = self._failed, self._skipped
+            replayed = self._replayed
+            elapsed = now - self._started_at
+            window = now - self._last_emit_at
+            window_done = done - self._last_emit_done
+        instant = window_done / window if window > 0.0 else 0.0
+        if self._rate_ema is None:
+            self._rate_ema = instant
+        else:
+            self._rate_ema = (
+                _EMA_ALPHA * instant + (1.0 - _EMA_ALPHA) * self._rate_ema
+            )
+        remaining = max(0, total - done)
+        eta_s = remaining / self._rate_ema if self._rate_ema > 0.0 else None
+        stats = run_snapshot()
+        return {
+            "done": done,
+            "total": total,
+            "failed": failed,
+            "skipped": skipped,
+            "replayed": replayed,
+            "elapsed_s": elapsed,
+            "cells_per_s": self._rate_ema,
+            "eta_s": eta_s,
+            "retries": self._metric_total("repro_ft_retries_total")
+            - self._retries_baseline,
+            "cache_hit_rates": {
+                "scorer": stats["scorer"]["hit_rate"],  # type: ignore[index]
+                "distance": stats["distance"]["hit_rate"],  # type: ignore[index]
+                "hics_contrast": stats["hics_contrast"]["hit_rate"],  # type: ignore[index]
+            },
+        }
+
+    def _format_line(self, record: dict[str, object]) -> str:
+        eta = record["eta_s"]
+        eta_text = f"{float(eta):.0f}s" if isinstance(eta, (int, float)) else "?"
+        rates = record["cache_hit_rates"]
+        return (
+            f"[heartbeat] {record['done']}/{record['total']} cells "
+            f"({float(record['cells_per_s']):.2f}/s, eta {eta_text}) "  # type: ignore[arg-type]
+            f"failed={record['failed']} retries={float(record['retries']):.0f} "  # type: ignore[arg-type]
+            f"hit-rates scorer={rates['scorer']:.0%} "  # type: ignore[index]
+            f"dist={rates['distance']:.0%} "  # type: ignore[index]
+            f"hics={rates['hics_contrast']:.0%}"  # type: ignore[index]
+        )
+
+    def emit(self) -> dict[str, object]:
+        """Emit one beat now (stderr line + optional JSONL record)."""
+        record = self.snapshot()
+        with self._lock:
+            self._beats += 1
+            record["beat"] = self._beats
+            self._last_emit_at = self._clock()
+            self._last_emit_done = int(record["done"])  # type: ignore[call-overload]
+        stream = self._stream if self._stream is not None else sys.stderr
+        print(self._format_line(record), file=stream, flush=True)
+        if self.jsonl_path:
+            parent = os.path.dirname(os.path.abspath(self.jsonl_path))
+            os.makedirs(parent, exist_ok=True)
+            with open(self.jsonl_path, "a", encoding="utf-8") as handle:
+                handle.write(json.dumps(record) + "\n")
+        return record
+
+    def maybe_emit(self) -> dict[str, object] | None:
+        """Emit iff a full interval elapsed since the last beat (threadless mode)."""
+        with self._lock:
+            due = self._clock() - self._last_emit_at >= self.interval_s
+        if due:
+            return self.emit()
+        return None
+
+    @property
+    def beats(self) -> int:
+        """Number of beats emitted so far."""
+        with self._lock:
+            return self._beats
+
+    # ------------------------------------------------------------------
+    # Lifecycle.
+    # ------------------------------------------------------------------
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            self.emit()
+
+    def start(self) -> "Heartbeat":
+        """Start the periodic emitter (no-op in threadless mode / if running)."""
+        if self._use_thread and self._thread is None:
+            self._stop.clear()
+            self._thread = threading.Thread(
+                target=self._run, name="repro-heartbeat", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def stop(self, *, final_beat: bool = True) -> None:
+        """Stop the emitter, emitting one last beat by default (idempotent)."""
+        thread, self._thread = self._thread, None
+        if thread is not None:
+            self._stop.set()
+            thread.join()
+        if final_beat:
+            self.emit()
+
+    def __enter__(self) -> "Heartbeat":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

@@ -1,0 +1,221 @@
+"""Run provenance: what code, environment, and knobs produced a result.
+
+A :class:`RunManifest` is a flat, JSON-encodable record of everything
+needed to attribute a number to the run that produced it: interpreter and
+numpy versions, git revision, platform, every effective ``REPRO_*``
+environment variable, the resolved execution backend, and (optionally)
+the fingerprints of the datasets in play. Three consumers:
+
+* the CLI writes one alongside ``--trace-out`` / ``--metrics-out`` dumps
+  and on request via ``--manifest-out``;
+* the :mod:`repro.ft` checkpoint journal embeds one in its header line so
+  a resumed run can warn loudly when the environment changed under it;
+* every ``BENCH_*.json`` record carries :meth:`RunManifest.compact` so
+  the perf trajectory stays attributable commit by commit.
+
+Collection never fails: a missing git binary, a non-repo checkout, or an
+unimportable numpy degrade to ``None`` fields, not exceptions — a
+manifest must be safe to collect in any worker or CI leg.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["RunManifest", "git_revision", "manifest_mismatches"]
+
+#: Fields ignored by :func:`manifest_mismatches` — they legitimately
+#: differ between a run and its resume without invalidating results.
+_VOLATILE_FIELDS = frozenset({"created_unix", "argv"})
+
+
+def git_revision(cwd: str | None = None) -> str | None:
+    """The current git commit hash, or ``None`` outside a repo / without git.
+
+    ``cwd`` defaults to this package's own directory, not the process
+    cwd — runs are routinely launched from scratch directories, and the
+    revision that matters is the one of the *code being executed*.
+    """
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=cwd or os.path.dirname(os.path.abspath(__file__)),
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else None
+
+
+def _numpy_version() -> str | None:
+    try:
+        import numpy
+    except ImportError:  # pragma: no cover - numpy is a hard dep here
+        return None
+    return numpy.__version__
+
+
+def _repro_version() -> str | None:
+    try:
+        from repro.version import __version__
+    except ImportError:  # pragma: no cover
+        return None
+    return __version__
+
+
+@dataclass(frozen=True)
+class RunManifest:
+    """Immutable provenance record for one run.
+
+    Build one with :meth:`collect`; serialise with :meth:`as_dict` /
+    :meth:`write`; rebuild from a journal header with :meth:`from_dict`.
+    """
+
+    python: str
+    numpy: str | None
+    repro: str | None
+    git_rev: str | None
+    platform: str
+    hostname: str
+    argv: tuple[str, ...]
+    env: dict[str, str] = field(default_factory=dict)
+    backend: str | None = None
+    n_jobs: int | None = None
+    datasets: dict[str, int] = field(default_factory=dict)
+    created_unix: float = 0.0
+
+    @classmethod
+    def collect(
+        cls,
+        *,
+        datasets: object = (),
+        backend: str | None = None,
+        n_jobs: int | None = None,
+    ) -> "RunManifest":
+        """Snapshot the current process environment.
+
+        ``datasets`` is an iterable of objects exposing the repo's
+        ``fingerprint`` property (``(name, content_hash)``); anything
+        without one is skipped rather than raising.
+        """
+        fingerprints: dict[str, int] = {}
+        for dataset in datasets or ():
+            fp = getattr(dataset, "fingerprint", None)
+            if isinstance(fp, tuple) and len(fp) == 2:
+                fingerprints[str(fp[0])] = int(fp[1])
+        if backend is None:
+            backend = os.environ.get("REPRO_BACKEND")
+        if n_jobs is None:
+            raw_jobs = os.environ.get("REPRO_N_JOBS")
+            if raw_jobs is not None:
+                try:
+                    n_jobs = int(raw_jobs)
+                except ValueError:
+                    n_jobs = None
+        return cls(
+            python=platform.python_version(),
+            numpy=_numpy_version(),
+            repro=_repro_version(),
+            git_rev=git_revision(),
+            platform=platform.platform(),
+            hostname=platform.node(),
+            argv=tuple(sys.argv),
+            env={
+                key: value
+                for key, value in sorted(os.environ.items())
+                if key.startswith("REPRO_")
+            },
+            backend=backend,
+            n_jobs=n_jobs,
+            datasets=fingerprints,
+            created_unix=time.time(),
+        )
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-encodable dict (the journal-header / manifest-file payload)."""
+        return {
+            "python": self.python,
+            "numpy": self.numpy,
+            "repro": self.repro,
+            "git_rev": self.git_rev,
+            "platform": self.platform,
+            "hostname": self.hostname,
+            "argv": list(self.argv),
+            "env": dict(self.env),
+            "backend": self.backend,
+            "n_jobs": self.n_jobs,
+            "datasets": dict(self.datasets),
+            "created_unix": self.created_unix,
+        }
+
+    @classmethod
+    def from_dict(cls, record: dict[str, object]) -> "RunManifest":
+        """Rebuild a manifest from :meth:`as_dict` output (tolerant of extras)."""
+        return cls(
+            python=str(record.get("python", "")),
+            numpy=record.get("numpy"),  # type: ignore[arg-type]
+            repro=record.get("repro"),  # type: ignore[arg-type]
+            git_rev=record.get("git_rev"),  # type: ignore[arg-type]
+            platform=str(record.get("platform", "")),
+            hostname=str(record.get("hostname", "")),
+            argv=tuple(record.get("argv", ()) or ()),  # type: ignore[arg-type]
+            env=dict(record.get("env", {}) or {}),  # type: ignore[arg-type]
+            backend=record.get("backend"),  # type: ignore[arg-type]
+            n_jobs=record.get("n_jobs"),  # type: ignore[arg-type]
+            datasets={
+                str(k): int(v)
+                for k, v in (record.get("datasets", {}) or {}).items()  # type: ignore[union-attr]
+            },
+            created_unix=float(record.get("created_unix", 0.0) or 0.0),
+        )
+
+    def compact(self) -> dict[str, object]:
+        """The short attribution stamp for benchmark records."""
+        return {
+            "git_rev": self.git_rev,
+            "date": time.strftime(
+                "%Y-%m-%d", time.gmtime(self.created_unix or time.time())
+            ),
+            "python": self.python,
+            "numpy": self.numpy,
+        }
+
+    def write(self, path: str) -> None:
+        """Write :meth:`as_dict` as indented JSON to ``path``."""
+        import json
+
+        parent = os.path.dirname(os.path.abspath(path))
+        os.makedirs(parent, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.as_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+
+def manifest_mismatches(
+    recorded: RunManifest, current: RunManifest
+) -> list[str]:
+    """Human-readable field-level differences between two manifests.
+
+    Volatile fields (creation time, argv) are ignored; everything else —
+    interpreter, numpy, git revision, ``REPRO_*`` environment, backend,
+    dataset fingerprints — participates. An empty list means the resumed
+    environment matches the recorded one.
+    """
+    problems: list[str] = []
+    recorded_dict = recorded.as_dict()
+    current_dict = current.as_dict()
+    for key in sorted(set(recorded_dict) | set(current_dict)):
+        if key in _VOLATILE_FIELDS:
+            continue
+        before, after = recorded_dict.get(key), current_dict.get(key)
+        if before != after:
+            problems.append(f"{key}: recorded {before!r}, now {after!r}")
+    return problems

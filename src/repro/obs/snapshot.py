@@ -1,0 +1,138 @@
+"""One-call end-of-run summary of every cache and runtime subsystem.
+
+The speed stack spreads its statistics across several instruments on the
+process-global metrics registry: the named-LRU counters
+(``repro_cache_*_total{cache=...}`` — scorer score vectors among them),
+the distance substrate's ``repro_dist_*`` family, the HiCS contrast
+cache, the scorer's own hit/miss/scored counters, and the fault-tolerance
+journal counters. :func:`run_snapshot` gathers them into one nested,
+JSON-encodable dict so an experiment, the CLI, or a benchmark can record
+"what did the caches do this run" in a single call — the natural sibling
+of :class:`repro.obs.manifest.RunManifest`, which records what the run
+*was* rather than what it *did*.
+
+Reading the registry is non-destructive, and absent instruments (a run
+that never touched the distance substrate) simply report zeros.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import Counter, Gauge, MetricsRegistry, get_registry
+
+__all__ = ["run_snapshot"]
+
+
+def _value(registry: MetricsRegistry, name: str, **labels: object) -> float:
+    metric = registry.get(name)
+    if isinstance(metric, (Counter, Gauge)):
+        return metric.value(**labels)
+    return 0.0
+
+
+def _total(registry: MetricsRegistry, name: str) -> float:
+    """Sum of a counter/gauge across every label set (0.0 when absent)."""
+    metric = registry.get(name)
+    if isinstance(metric, (Counter, Gauge)):
+        return sum(value for _, value in metric.samples())
+    return 0.0
+
+
+def _label_values(registry: MetricsRegistry, name: str, label: str) -> set[str]:
+    metric = registry.get(name)
+    if not isinstance(metric, (Counter, Gauge)):
+        return set()
+    values: set[str] = set()
+    for key, _ in metric.samples():
+        values.update(v for k, v in key if k == label)
+    return values
+
+
+def _hit_rate(hits: float, misses: float) -> float:
+    total = hits + misses
+    return hits / total if total else 0.0
+
+
+def run_snapshot(registry: MetricsRegistry | None = None) -> dict[str, object]:
+    """Aggregate cache and runtime statistics from ``registry`` in one call.
+
+    Returns a nested dict with ``caches`` (one entry per named LRU),
+    ``distance`` (the shared distance substrate), ``hics_contrast``,
+    ``scorer``, ``grid``, and ``ft`` sections. Every number is a plain
+    float/int, so the snapshot drops straight into JSON exports and
+    benchmark records.
+    """
+    reg = registry if registry is not None else get_registry()
+
+    caches: dict[str, dict[str, float]] = {}
+    names = (
+        _label_values(reg, "repro_cache_hits_total", "cache")
+        | _label_values(reg, "repro_cache_misses_total", "cache")
+        | _label_values(reg, "repro_cache_evictions_total", "cache")
+    )
+    for name in sorted(names):
+        hits = _value(reg, "repro_cache_hits_total", cache=name)
+        misses = _value(reg, "repro_cache_misses_total", cache=name)
+        caches[name] = {
+            "hits": hits,
+            "misses": misses,
+            "evictions": _value(reg, "repro_cache_evictions_total", cache=name),
+            "hit_rate": _hit_rate(hits, misses),
+        }
+
+    dist_hits = _total(reg, "repro_dist_hits_total")
+    dist_misses = _total(reg, "repro_dist_misses_total")
+    distance = {
+        "blocks": _total(reg, "repro_dist_blocks"),
+        "composed": _total(reg, "repro_dist_composed"),
+        "bytes": _total(reg, "repro_dist_bytes"),
+        "hits": dist_hits,
+        "misses": dist_misses,
+        "parent_reuses": _total(reg, "repro_dist_parent_reuse_total"),
+        "evictions": _total(reg, "repro_dist_evictions_total"),
+        "knn_queries": _total(reg, "repro_dist_knn_queries_total"),
+        "knn_fallback_rows": _total(reg, "repro_dist_knn_fallback_rows_total"),
+        "hit_rate": _hit_rate(dist_hits, dist_misses),
+    }
+
+    hics_hits = _total(reg, "repro_hics_contrast_cache_hits_total")
+    hics_misses = _total(reg, "repro_hics_contrast_cache_misses_total")
+    hics_contrast = {
+        "hits": hics_hits,
+        "misses": hics_misses,
+        "entries": _total(reg, "repro_hics_contrast_cache_entries"),
+        "hit_rate": _hit_rate(hics_hits, hics_misses),
+    }
+
+    scorer_hits = _total(reg, "repro_scorer_cache_hits_total")
+    scorer_misses = _total(reg, "repro_scorer_cache_misses_total")
+    scorer = {
+        "cache_hits": scorer_hits,
+        "cache_misses": scorer_misses,
+        "subspaces_scored": _total(reg, "repro_scorer_subspaces_scored_total"),
+        "hit_rate": _hit_rate(scorer_hits, scorer_misses),
+    }
+
+    grid = {
+        "cells_total": _total(reg, "repro_grid_cells_total"),
+        "cells_skipped": _total(reg, "repro_grid_cells_skipped_total"),
+    }
+
+    ft = {
+        "journal_rows": _total(reg, "repro_ft_journal_rows_total"),
+        "journal_hits": _total(reg, "repro_ft_journal_hits_total"),
+        "retries": _total(reg, "repro_ft_retries_total"),
+        "cell_timeouts": _total(reg, "repro_ft_cell_timeouts_total"),
+        "failed_cells": _total(reg, "repro_ft_failed_cells_total"),
+        "manifest_mismatches": _total(
+            reg, "repro_ft_manifest_mismatches_total"
+        ),
+    }
+
+    return {
+        "caches": caches,
+        "distance": distance,
+        "hics_contrast": hics_contrast,
+        "scorer": scorer,
+        "grid": grid,
+        "ft": ft,
+    }

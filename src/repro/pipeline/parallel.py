@@ -41,6 +41,7 @@ from repro.exceptions import ExperimentError
 from repro.exec import ExecutionBackend, resolve_backend
 from repro.ft import CheckpointJournal, FTConfig, cell_key, execute_cell, resolve_ft
 from repro.obs import metrics as obs_metrics
+from repro.obs.heartbeat import heartbeat_from_env
 from repro.pipeline.pipeline import ExplanationPipeline, PipelineResult
 from repro.pipeline.results import ResultTable
 
@@ -121,6 +122,10 @@ def run_grid_parallel(
         if ft.checkpoint
         else None
     )
+    if journal is not None:
+        # Fresh journal: stamp the run's provenance header. Resumed
+        # journal: shout about any environment drift since the first run.
+        journal.ensure_manifest()
 
     n_pipelines = len(detectors) * len(explainer_factories)
     groups: list[GroupSpec] = []
@@ -157,13 +162,29 @@ def run_grid_parallel(
     packed = [(group, skip_errors, ft, done_keys) for group in groups]
 
     outcomes: list[GroupOutcome | None] = [None] * len(groups)
+    # Live progress (REPRO_HEARTBEAT_S / --heartbeat): groups stream back
+    # through map_completed, so completions tick in as they land rather
+    # than at the end of the run. None when the heartbeat is off.
+    heartbeat = heartbeat_from_env(
+        sum(len(explainers) * len(cells) for _, _, explainers, cells in groups)
+    )
 
     def _absorb(index: int, outcome: GroupOutcome) -> None:
         """Journal one finished group immediately (crash = keep the group)."""
         outcomes[index] = outcome
+        fresh, group_skipped, failed = outcome
+        if heartbeat is not None:
+            _, _, explainers, cells = groups[index]
+            expected = len(explainers) * len(cells)
+            attempted = len(fresh) + len(failed) + len(group_skipped)
+            heartbeat.cells_done(
+                expected,
+                failed=len(failed),
+                skipped=len(group_skipped),
+                replayed=max(0, expected - attempted),
+            )
         if journal is None:
             return
-        fresh, _, failed = outcome
         for key, result in fresh:
             journal.record_result(key, result)
         for key, record in failed:
@@ -174,19 +195,23 @@ def run_grid_parallel(
                  "dimensionality": int(record[3])},
             )
 
-    if n_jobs == 1:
-        for index, item in enumerate(packed):
-            _absorb(index, _run_group(item))
-    else:
-        resolved = resolve_backend(
-            backend if backend is not None else "process", n_jobs
-        )
-        try:
-            for index, outcome in resolved.map_completed(_run_group, packed):
-                _absorb(index, outcome)
-        finally:
-            if not isinstance(backend, ExecutionBackend):
-                resolved.close()  # Pool owned here, not by the caller.
+    try:
+        if n_jobs == 1:
+            for index, item in enumerate(packed):
+                _absorb(index, _run_group(item))
+        else:
+            resolved = resolve_backend(
+                backend if backend is not None else "process", n_jobs
+            )
+            try:
+                for index, outcome in resolved.map_completed(_run_group, packed):
+                    _absorb(index, outcome)
+            finally:
+                if not isinstance(backend, ExecutionBackend):
+                    resolved.close()  # Pool owned here, not by the caller.
+    finally:
+        if heartbeat is not None:
+            heartbeat.stop()
 
     # Deterministic merge: walk the grid in submission order and take each
     # cell from the journal (resumed) or the worker outcome (fresh) — the

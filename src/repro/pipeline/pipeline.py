@@ -26,6 +26,7 @@ from repro.metrics.evaluation import (
     evaluate_point_explanations,
 )
 from repro.obs import metrics as obs_metrics
+from repro.obs.prof import resource_probe
 from repro.obs.trace import span as obs_span
 from repro.subspaces.enumeration import top_k
 from repro.subspaces.scorer import SubspaceScorer
@@ -73,6 +74,11 @@ class PipelineResult:
         Runs that consult the HiCS contrast cache likewise carry
         ``hics_cache_hits`` / ``hics_cache_misses`` deltas — a hit means
         the run skipped the Monte-Carlo search entirely.
+        With ``REPRO_PROF`` set (CLI ``--prof``) resource readings join
+        the dict: ``explain_cpu`` / ``evaluate_cpu`` / ``detector_cpu``
+        (process CPU seconds) and ``peak_rss_bytes``; ``REPRO_PROF=alloc``
+        adds per-phase tracemalloc ``*_alloc_net_bytes`` /
+        ``*_alloc_peak_bytes`` deltas.
     explanations:
         Per-point rankings. For point explainers these are the raw
         algorithm outputs; for summarisers they are the shared summary
@@ -227,10 +233,15 @@ class ExplanationPipeline:
         scorer = self.scorer_for(dataset)
         evaluations_before = scorer.n_evaluations
         detector_seconds_before = scorer.detector_seconds
+        detector_cpu_before = scorer.detector_cpu_seconds
         dist_before = scorer.distance_stats
         hics_cache_before = contrast_cache_stats()
         stopwatch = Stopwatch()
         evaluate_watch = Stopwatch()
+        # Null probes unless REPRO_PROF is set — same free-when-off
+        # pattern as the null tracer.
+        explain_probe = resource_probe()
+        evaluate_probe = resource_probe()
 
         with obs_span(
             "pipeline.run",
@@ -241,11 +252,11 @@ class ExplanationPipeline:
             n_points=len(points),
         ) as cell_span:
             if isinstance(self.explainer, PointExplainer):
-                with stopwatch, obs_span("pipeline.explain"):
+                with stopwatch, explain_probe, obs_span("pipeline.explain"):
                     explanations = dict(
                         self.explainer.explain_points(scorer, points, dimensionality)
                     )
-                with evaluate_watch, obs_span("pipeline.evaluate"):
+                with evaluate_watch, evaluate_probe, obs_span("pipeline.evaluate"):
                     evaluation = evaluate_point_explanations(
                         explanations,
                         dataset.ground_truth,
@@ -254,7 +265,7 @@ class ExplanationPipeline:
                     )
                 summary = None
             else:
-                with stopwatch, obs_span("pipeline.explain"):
+                with stopwatch, explain_probe, obs_span("pipeline.explain"):
                     summary = self.explainer.summarize(scorer, points, dimensionality)
                     # Testbed semantics (paper Section 3.3): a summary is a
                     # *set* of subspaces jointly explaining the points; when
@@ -266,7 +277,7 @@ class ExplanationPipeline:
                         int(p): _rerank_for_point(scorer, summary, int(p))
                         for p in points
                     }
-                with evaluate_watch, obs_span("pipeline.evaluate"):
+                with evaluate_watch, evaluate_probe, obs_span("pipeline.evaluate"):
                     evaluation = evaluate_point_explanations(
                         explanations,
                         dataset.ground_truth,
@@ -299,10 +310,34 @@ class ExplanationPipeline:
             if hics_hits or hics_misses:
                 cost_breakdown["hics_cache_hits"] = float(hics_hits)
                 cost_breakdown["hics_cache_misses"] = float(hics_misses)
+            if explain_probe.enabled:
+                cost_breakdown["explain_cpu"] = explain_probe.cpu_seconds
+                cost_breakdown["evaluate_cpu"] = evaluate_probe.cpu_seconds
+                cost_breakdown["detector_cpu"] = (
+                    scorer.detector_cpu_seconds - detector_cpu_before
+                )
+                cost_breakdown["peak_rss_bytes"] = float(
+                    max(explain_probe.peak_rss_bytes, evaluate_probe.peak_rss_bytes)
+                )
+                for phase, probe in (
+                    ("explain", explain_probe),
+                    ("evaluate", evaluate_probe),
+                ):
+                    for key, value in probe.readings().items():
+                        if key.startswith("alloc_"):
+                            cost_breakdown[f"{phase}_{key}"] = float(value)
             cell_span.set(
                 seconds=stopwatch.elapsed,
                 n_subspaces_scored=n_scored,
                 detector_seconds=cost_breakdown["detector"],
+                **(
+                    {
+                        "cpu_seconds": cost_breakdown["explain_cpu"],
+                        "peak_rss_bytes": cost_breakdown["peak_rss_bytes"],
+                    }
+                    if explain_probe.enabled
+                    else {}
+                ),
             )
         _CELL_SECONDS.observe(
             stopwatch.elapsed,

@@ -127,6 +127,11 @@ class ResultTable:
         seconds, the share spent inside the detector vs. the explainer's
         own search, evaluation seconds, and subspaces actually scored —
         the Section 4.3 view of where a grid's time went.
+
+        When cells were run with profiling on (``REPRO_PROF`` / CLI
+        ``--prof``), each record additionally carries ``cpu_seconds``
+        (summed explain-phase CPU) and ``peak_rss_bytes`` (maximum over
+        the pipeline's cells).
         """
         totals: dict[str, dict[str, float]] = {}
         for result in self._results:
@@ -138,6 +143,9 @@ class ResultTable:
                     "evaluate_seconds": 0.0,
                     "n_subspaces_scored": 0.0,
                     "cells": 0.0,
+                    "cpu_seconds": 0.0,
+                    "peak_rss_bytes": 0.0,
+                    "profiled_cells": 0.0,
                 },
             )
             entry["seconds"] += result.seconds
@@ -145,26 +153,40 @@ class ResultTable:
             entry["evaluate_seconds"] += result.cost_breakdown.get("evaluate", 0.0)
             entry["n_subspaces_scored"] += result.n_subspaces_scored
             entry["cells"] += 1
+            if "explain_cpu" in result.cost_breakdown:
+                entry["cpu_seconds"] += result.cost_breakdown["explain_cpu"]
+                entry["peak_rss_bytes"] = max(
+                    entry["peak_rss_bytes"],
+                    result.cost_breakdown.get("peak_rss_bytes", 0.0),
+                )
+                entry["profiled_cells"] += 1
         records: list[dict[str, object]] = []
         for pipeline in sorted(totals):
             entry = totals[pipeline]
             search = entry["seconds"] - entry["detector_seconds"]
-            records.append(
-                {
-                    "pipeline": pipeline,
-                    "cells": int(entry["cells"]),
-                    "seconds": entry["seconds"],
-                    "detector_seconds": entry["detector_seconds"],
-                    "search_seconds": max(search, 0.0),
-                    "evaluate_seconds": entry["evaluate_seconds"],
-                    "n_subspaces_scored": int(entry["n_subspaces_scored"]),
-                }
-            )
+            record: dict[str, object] = {
+                "pipeline": pipeline,
+                "cells": int(entry["cells"]),
+                "seconds": entry["seconds"],
+                "detector_seconds": entry["detector_seconds"],
+                "search_seconds": max(search, 0.0),
+                "evaluate_seconds": entry["evaluate_seconds"],
+                "n_subspaces_scored": int(entry["n_subspaces_scored"]),
+            }
+            if entry["profiled_cells"]:
+                record["cpu_seconds"] = entry["cpu_seconds"]
+                record["peak_rss_bytes"] = int(entry["peak_rss_bytes"])
+            records.append(record)
         return records
 
     def cost_breakdown_ascii(self, *, title: str | None = None) -> str:
-        """Render :meth:`cost_breakdown` as an aligned ASCII table."""
+        """Render :meth:`cost_breakdown` as an aligned ASCII table.
+
+        CPU and peak-RSS columns appear only when at least one record
+        carries profiling data, so unprofiled runs keep the narrow table.
+        """
         records = self.cost_breakdown()
+        profiled = any("cpu_seconds" in r for r in records)
         headers = [
             "pipeline",
             "cells",
@@ -174,8 +196,11 @@ class ResultTable:
             "evaluate s",
             "# scored",
         ]
-        body = [
-            [
+        if profiled:
+            headers += ["cpu s", "peak rss"]
+        body = []
+        for r in records:
+            row = [
                 r["pipeline"],
                 r["cells"],
                 f"{r['seconds']:.3f}",
@@ -184,8 +209,14 @@ class ResultTable:
                 f"{r['evaluate_seconds']:.3f}",
                 r["n_subspaces_scored"],
             ]
-            for r in records
-        ]
+            if profiled:
+                cpu = r.get("cpu_seconds")
+                rss = r.get("peak_rss_bytes")
+                row += [
+                    "-" if cpu is None else f"{cpu:.3f}",
+                    "-" if rss is None else f"{int(rss) / 2**20:.1f} MB",
+                ]
+            body.append(row)
         return format_table(
             headers, body, title=title or "Cost breakdown per pipeline"
         )

@@ -23,6 +23,7 @@ from repro.exceptions import ExperimentError
 from repro.explainers.base import PointExplainer, SummaryExplainer
 from repro.ft import CheckpointJournal, FTConfig, cell_key, execute_cell, resolve_ft
 from repro.obs import metrics as obs_metrics
+from repro.obs.heartbeat import Heartbeat, heartbeat_from_env
 from repro.obs.trace import span as obs_span
 from repro.pipeline.pipeline import ExplanationPipeline, PipelineResult
 from repro.pipeline.results import ResultTable
@@ -116,6 +117,9 @@ class GridRunner:
         #: re-attempted on the next resumed run.
         self.failed_cells: list[tuple[str, str, str, int, str]] = []
         self.backend = backend
+        #: Live progress emitter, present only while :meth:`run` executes
+        #: with ``REPRO_HEARTBEAT_S`` set.
+        self._heartbeat: Heartbeat | None = None
         # One pipeline per (detector, factory) so scorer caches persist
         # across datasets and dimensionalities.
         self._pipelines = [
@@ -161,34 +165,47 @@ class GridRunner:
             if ft.checkpoint
             else None
         )
+        if journal is not None:
+            # Fresh journal: stamp the run's provenance header. Resumed
+            # journal: shout about environment drift since the first run.
+            journal.ensure_manifest()
 
+        datasets = list(datasets)
+        self._heartbeat = heartbeat_from_env(
+            len(datasets) * len(dimensionalities) * len(self._pipelines)
+        )
         table = ResultTable()
-        with obs_span("grid.run", n_pipelines=len(self._pipelines)):
-            for dataset in datasets:
-                available = set(dataset.ground_truth.dimensionalities())
-                for dimensionality in dimensionalities:
-                    if dimensionality not in available:
-                        self._skip_undefined(
-                            dataset.name, dimensionality, "undefined_dimensionality"
-                        )
-                        continue
-                    points: tuple[int, ...] | None = None
-                    if self.points_selector is not None:
-                        points = self.points_selector(dataset, dimensionality)
-                        if not points:
+        try:
+            with obs_span("grid.run", n_pipelines=len(self._pipelines)):
+                for dataset in datasets:
+                    available = set(dataset.ground_truth.dimensionalities())
+                    for dimensionality in dimensionalities:
+                        if dimensionality not in available:
                             self._skip_undefined(
-                                dataset.name, dimensionality, "empty_selection"
+                                dataset.name, dimensionality, "undefined_dimensionality"
                             )
                             continue
-                    for pipeline in self._pipelines:
-                        result = self._run_cell(
-                            pipeline, dataset, dimensionality, points, ft, journal
-                        )
-                        if result is None:
-                            continue
-                        table.add(result)
-                        if self.on_result is not None:
-                            self.on_result(result)
+                        points: tuple[int, ...] | None = None
+                        if self.points_selector is not None:
+                            points = self.points_selector(dataset, dimensionality)
+                            if not points:
+                                self._skip_undefined(
+                                    dataset.name, dimensionality, "empty_selection"
+                                )
+                                continue
+                        for pipeline in self._pipelines:
+                            result = self._run_cell(
+                                pipeline, dataset, dimensionality, points, ft, journal
+                            )
+                            if result is None:
+                                continue
+                            table.add(result)
+                            if self.on_result is not None:
+                                self.on_result(result)
+        finally:
+            if self._heartbeat is not None:
+                self._heartbeat.stop()
+                self._heartbeat = None
         return table
 
     def _run_cell(
@@ -209,6 +226,8 @@ class GridRunner:
             points,
         )
         if journal is not None and key in journal:
+            if self._heartbeat is not None:
+                self._heartbeat.cells_done(1, replayed=1)
             return journal.replay(key)
         with obs_span(
             "grid.cell",
@@ -225,10 +244,18 @@ class GridRunner:
             )
         if status == "result":
             _CELLS_RUN.inc()
+            if self._heartbeat is not None:
+                self._heartbeat.cells_done(1)
             result: PipelineResult = outcome  # type: ignore[assignment]
             if journal is not None:
                 journal.record_result(key, result)
             return result
+        if self._heartbeat is not None:
+            self._heartbeat.cells_done(
+                1,
+                failed=1 if status == "failed" else 0,
+                skipped=0 if status == "failed" else 1,
+            )
         record = (
             dataset.name,
             pipeline.detector.name,
@@ -260,3 +287,5 @@ class GridRunner:
         self.skipped_undefined.append((dataset, int(dimensionality), reason))
         # One slice hides a whole row of pipeline cells from the grid.
         _CELLS_SKIPPED.inc(len(self._pipelines), reason=reason)
+        if self._heartbeat is not None:
+            self._heartbeat.reduce_total(len(self._pipelines))

@@ -75,13 +75,17 @@ def welch_statistic(a: np.ndarray, b: np.ndarray) -> tuple[float, float]:
         return math.copysign(float("inf"), mean_a - mean_b), 1.0
     statistic = (mean_a - mean_b) / math.sqrt(se)
     # Welch–Satterthwaite approximation. Guard each term: a constant sample
-    # contributes zero to the denominator.
+    # contributes zero to the denominator. Squares are spelled as explicit
+    # multiplications, not ``**2``: IEEE multiply is correctly rounded on
+    # every platform, while libm ``pow(x, 2.0)`` can be a ulp off — and the
+    # batched kernel (numpy) squares by multiplying, so this keeps the two
+    # paths bit-identical.
     denom = 0.0
     if se_a > 0.0:
-        denom += se_a**2 / (n_a - 1)
+        denom += se_a * se_a / (n_a - 1)
     if se_b > 0.0:
-        denom += se_b**2 / (n_b - 1)
-    df = se**2 / denom if denom > 0.0 else float(max(n_a, n_b) - 1)
+        denom += se_b * se_b / (n_b - 1)
+    df = se * se / denom if denom > 0.0 else float(max(n_a, n_b) - 1)
     return statistic, df
 
 

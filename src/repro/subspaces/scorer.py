@@ -193,6 +193,7 @@ class SubspaceScorer:
         self._lock = threading.RLock()
         self._n_evaluations = 0
         self._detector_seconds = 0.0
+        self._detector_cpu_seconds = 0.0
 
     @property
     def backend(self) -> ExecutionBackend:
@@ -245,6 +246,19 @@ class SubspaceScorer:
         i.e. what the caller actually waited for.
         """
         return self._detector_seconds
+
+    @property
+    def detector_cpu_seconds(self) -> float:
+        """Cumulative CPU seconds of this process spent in miss waves.
+
+        Unlike :attr:`detector_seconds` (wall-clock waited), this is
+        ``time.process_time`` — CPU actually burned here. Under a thread
+        backend it exceeds per-wave wall time when waves parallelise;
+        under a process backend workers' CPU is *not* included (it is
+        spent in other processes), so a large wall/CPU gap is the
+        signature of work having been shipped out.
+        """
+        return self._detector_cpu_seconds
 
     # ------------------------------------------------------------------
     # Batch-first core.
@@ -305,12 +319,15 @@ class SubspaceScorer:
             _BATCH_MISSES.observe(len(miss_items))
         if miss_items:
             started = time.perf_counter()
+            cpu_started = time.process_time()
             wave = self._backend.map_ordered(
                 _score_subspace_task, miss_items, payload=self._payload
             )
+            cpu_elapsed = time.process_time() - cpu_started
             elapsed = time.perf_counter() - started
             with self._lock:
                 self._detector_seconds += elapsed
+                self._detector_cpu_seconds += cpu_elapsed
                 for (key, positions), scores in zip(pending.items(), wave):
                     scores = np.asarray(scores, dtype=np.float64)
                     # Freeze before caching: every consumer reads the same
@@ -421,6 +438,7 @@ class SubspaceScorer:
             self._cache.clear()
             self._n_evaluations = 0
             self._detector_seconds = 0.0
+            self._detector_cpu_seconds = 0.0
 
     def close(self) -> None:
         """Release the execution backend's worker pool (if any)."""

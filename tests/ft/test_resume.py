@@ -17,6 +17,7 @@ recovery contract.
 
 import io
 import csv
+import json
 
 import pytest
 
@@ -232,8 +233,10 @@ class TestParallelResume:
             ft=FTConfig(checkpoint=path),
         )
         with open(path) as handle:
-            lines = [line for line in handle if line.strip()]
-        assert len(lines) == 1  # one completed cell, one journal row
+            entries = [json.loads(line) for line in handle if line.strip()]
+        kinds = [entry["kind"] for entry in entries]
+        # One manifest header, then one row for the completed cell.
+        assert kinds == ["manifest", "result"]
 
 
 class TestEnvironmentWiring:

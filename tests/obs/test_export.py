@@ -147,6 +147,39 @@ class TestPrometheus:
         write_metrics_text(str(path), registry)
         assert "demo_total 2" in path.read_text()
 
+    def test_empty_registry_renders_empty_text(self):
+        assert render_prometheus(MetricsRegistry()) == ""
+
+    def test_label_ordering_is_deterministic(self):
+        # The same label set in any insertion order is one time series
+        # with one canonical (sorted) rendering, not two samples.
+        registry = MetricsRegistry()
+        c = registry.counter("demo_total")
+        c.inc(1, b="1", a="2")
+        c.inc(1, a="2", b="1")
+        text = render_prometheus(registry)
+        assert 'demo_total{a="2",b="1"} 2' in text
+        assert text.count("demo_total{") == 1
+
+    def test_backslash_escaping_in_label_values(self):
+        registry = MetricsRegistry()
+        registry.counter("demo_total").inc(1, path="a\\b")
+        assert 'demo_total{path="a\\\\b"} 1' in render_prometheus(registry)
+
+    def test_histogram_buckets_are_cumulative(self):
+        import re
+
+        registry = MetricsRegistry()
+        h = registry.histogram("demo_seconds", buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 0.5, 5.0, 50.0):
+            h.observe(value)
+        text = render_prometheus(registry)
+        bucket = re.compile(r'demo_seconds_bucket\{le="([^"]+)"\} (\d+)')
+        counts = [int(m.group(2)) for m in bucket.finditer(text)]
+        assert counts == sorted(counts)  # cumulative, not per-bucket
+        assert counts == [1, 3, 4, 5]
+        assert "demo_seconds_count 5" in text
+
     def test_every_sample_line_is_well_formed(self):
         import re
 

@@ -1,0 +1,160 @@
+"""Unit tests for repro.obs.heartbeat (threadless mode, injectable clock)."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs.heartbeat import (
+    HEARTBEAT_ENV,
+    HEARTBEAT_JSONL_ENV,
+    Heartbeat,
+    heartbeat_from_env,
+    heartbeat_interval_from_env,
+)
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def make_heartbeat(total=10, interval=5.0, jsonl=None):
+    clock = FakeClock()
+    stream = io.StringIO()
+    hb = Heartbeat(
+        total,
+        interval_s=interval,
+        stream=stream,
+        jsonl_path=jsonl,
+        clock=clock,
+        thread=False,
+    )
+    return hb, clock, stream
+
+
+class TestEnvParsing:
+    def test_unset_means_disabled(self, monkeypatch):
+        monkeypatch.delenv(HEARTBEAT_ENV, raising=False)
+        assert heartbeat_interval_from_env() is None
+        assert heartbeat_from_env(10) is None
+
+    @pytest.mark.parametrize("value", ["", "0", "-3", "not-a-number"])
+    def test_bad_values_mean_disabled(self, monkeypatch, value):
+        monkeypatch.setenv(HEARTBEAT_ENV, value)
+        assert heartbeat_interval_from_env() is None
+
+    def test_positive_value_enables(self, monkeypatch):
+        monkeypatch.setenv(HEARTBEAT_ENV, "2.5")
+        assert heartbeat_interval_from_env() == 2.5
+
+    def test_from_env_builds_a_started_heartbeat(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(HEARTBEAT_ENV, "60")
+        monkeypatch.setenv(HEARTBEAT_JSONL_ENV, str(tmp_path / "hb.jsonl"))
+        hb = heartbeat_from_env(4)
+        try:
+            assert hb is not None
+            assert hb.interval_s == 60.0
+            assert hb.jsonl_path == str(tmp_path / "hb.jsonl")
+        finally:
+            hb.stop(final_beat=False)
+
+
+class TestAccounting:
+    def test_rejects_non_positive_interval(self):
+        with pytest.raises(ValueError):
+            Heartbeat(10, interval_s=0.0, thread=False)
+
+    def test_counts_flow_into_the_record(self):
+        hb, clock, _ = make_heartbeat(total=8)
+        hb.cells_done(3)
+        hb.cells_done(1, failed=1)
+        hb.cells_done(2, replayed=2)
+        hb.cells_done(1, skipped=1)
+        clock.advance(10.0)
+        record = hb.emit()
+        assert record["done"] == 7
+        assert record["total"] == 8
+        assert record["failed"] == 1
+        assert record["skipped"] == 1
+        assert record["replayed"] == 2
+        assert record["elapsed_s"] == 10.0
+        assert record["beat"] == 1
+
+    def test_reduce_total(self):
+        hb, clock, _ = make_heartbeat(total=10)
+        hb.reduce_total(4)
+        clock.advance(1.0)
+        assert hb.emit()["total"] == 6
+
+    def test_rate_and_eta(self):
+        hb, clock, _ = make_heartbeat(total=10)
+        hb.cells_done(5)
+        clock.advance(5.0)
+        record = hb.emit()
+        assert record["cells_per_s"] == pytest.approx(1.0)
+        assert record["eta_s"] == pytest.approx(5.0)
+
+    def test_eta_is_none_before_any_progress(self):
+        hb, clock, _ = make_heartbeat(total=10)
+        clock.advance(1.0)
+        assert hb.emit()["eta_s"] is None
+
+
+class TestEmission:
+    def test_maybe_emit_respects_the_interval(self):
+        hb, clock, stream = make_heartbeat(interval=5.0)
+        assert hb.maybe_emit() is None  # nothing elapsed yet
+        clock.advance(4.9)
+        assert hb.maybe_emit() is None
+        clock.advance(0.2)
+        assert hb.maybe_emit() is not None
+        assert hb.maybe_emit() is None  # interval restarts after a beat
+        assert hb.beats == 1
+
+    def test_human_line_lands_on_the_stream(self):
+        hb, clock, stream = make_heartbeat(total=4)
+        hb.cells_done(2)
+        clock.advance(2.0)
+        hb.emit()
+        line = stream.getvalue()
+        assert line.startswith("[heartbeat] 2/4 cells")
+        assert "hit-rates" in line
+
+    def test_jsonl_sink_appends_one_record_per_beat(self, tmp_path):
+        path = tmp_path / "nested" / "hb.jsonl"
+        hb, clock, _ = make_heartbeat(total=4, jsonl=str(path))
+        for beat in (1, 2):
+            hb.cells_done(1)
+            clock.advance(5.0)
+            hb.emit()
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [r["beat"] for r in records] == [1, 2]
+        assert [r["done"] for r in records] == [1, 2]
+        assert all("cache_hit_rates" in r for r in records)
+
+    def test_stop_emits_a_final_beat(self):
+        hb, clock, stream = make_heartbeat(total=2)
+        hb.cells_done(2)
+        clock.advance(1.0)
+        hb.stop()
+        assert hb.beats == 1
+        assert "2/2 cells" in stream.getvalue()
+
+    def test_stop_without_final_beat(self):
+        hb, _, stream = make_heartbeat()
+        hb.stop(final_beat=False)
+        assert stream.getvalue() == ""
+
+    def test_context_manager(self):
+        hb, clock, stream = make_heartbeat(total=1)
+        with hb:
+            hb.cells_done(1)
+            clock.advance(1.0)
+        assert hb.beats == 1

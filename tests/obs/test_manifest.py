@@ -1,0 +1,144 @@
+"""Unit tests for repro.obs.manifest and its repro.ft journal embedding."""
+
+import dataclasses
+import json
+
+from repro.datasets import load_dataset
+from repro.ft import CheckpointJournal
+from repro.obs import metrics as obs_metrics
+from repro.obs.manifest import RunManifest, git_revision, manifest_mismatches
+from repro.obs.snapshot import run_snapshot
+
+
+class TestCollect:
+    def test_core_fields_are_populated(self):
+        manifest = RunManifest.collect()
+        assert manifest.python
+        assert manifest.numpy
+        assert manifest.platform
+        assert manifest.created_unix > 0
+        assert isinstance(manifest.argv, tuple)
+
+    def test_env_keeps_only_repro_variables(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_MANIFEST", "x")
+        monkeypatch.setenv("OTHER_VARIABLE", "y")
+        manifest = RunManifest.collect()
+        assert manifest.env["REPRO_TEST_MANIFEST"] == "x"
+        assert "OTHER_VARIABLE" not in manifest.env
+
+    def test_backend_read_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "thread")
+        monkeypatch.setenv("REPRO_N_JOBS", "3")
+        manifest = RunManifest.collect()
+        assert manifest.backend == "thread"
+        assert manifest.n_jobs == 3
+
+    def test_dataset_fingerprints(self):
+        dataset = load_dataset("hics_14")
+        manifest = RunManifest.collect(datasets=[dataset])
+        name, content_hash = dataset.fingerprint
+        assert manifest.datasets == {name: content_hash}
+
+    def test_objects_without_fingerprints_are_skipped(self):
+        manifest = RunManifest.collect(datasets=[object()])
+        assert manifest.datasets == {}
+
+    def test_git_revision_in_this_repo(self):
+        rev = git_revision()
+        assert rev is None or (len(rev) == 40 and int(rev, 16) >= 0)
+
+
+class TestSerialisation:
+    def test_dict_round_trip(self):
+        manifest = RunManifest.collect()
+        assert RunManifest.from_dict(manifest.as_dict()) == manifest
+
+    def test_as_dict_is_json_encodable(self):
+        assert json.loads(json.dumps(RunManifest.collect().as_dict()))
+
+    def test_from_dict_tolerates_missing_fields(self):
+        manifest = RunManifest.from_dict({})
+        assert manifest.python == ""
+        assert manifest.git_rev is None
+
+    def test_compact_stamp_shape(self):
+        stamp = RunManifest.collect().compact()
+        assert sorted(stamp) == ["date", "git_rev", "numpy", "python"]
+        year, month, day = stamp["date"].split("-")
+        assert len(year) == 4 and len(month) == 2 and len(day) == 2
+
+    def test_write(self, tmp_path):
+        path = tmp_path / "deep" / "manifest.json"
+        manifest = RunManifest.collect()
+        manifest.write(str(path))
+        assert RunManifest.from_dict(json.loads(path.read_text())) == manifest
+
+
+class TestMismatches:
+    def test_identical_manifests_have_no_mismatches(self):
+        manifest = RunManifest.collect()
+        assert manifest_mismatches(manifest, manifest) == []
+
+    def test_volatile_fields_are_ignored(self):
+        manifest = RunManifest.collect()
+        later = dataclasses.replace(
+            manifest, created_unix=manifest.created_unix + 100, argv=("other",)
+        )
+        assert manifest_mismatches(manifest, later) == []
+
+    def test_substantive_drift_is_reported(self):
+        manifest = RunManifest.collect()
+        drifted = dataclasses.replace(
+            manifest, numpy="9.9.9", env={"REPRO_BACKEND": "process"}
+        )
+        problems = manifest_mismatches(manifest, drifted)
+        assert any(p.startswith("numpy:") for p in problems)
+        assert any(p.startswith("env:") for p in problems)
+
+
+class TestJournalHeader:
+    def test_fresh_journal_records_the_manifest(self, tmp_path):
+        path = str(tmp_path / "grid.journal")
+        journal = CheckpointJournal(path)
+        assert journal.ensure_manifest() == []
+        assert journal.manifest is not None
+        lines = [json.loads(line) for line in open(path)]
+        assert lines[0]["kind"] == "manifest"
+
+    def test_manifest_round_trips_through_the_header(self, tmp_path):
+        """Acceptance: manifest fields survive journal write + reload."""
+        path = str(tmp_path / "grid.journal")
+        original = CheckpointJournal(path)
+        original.ensure_manifest()
+        reloaded = CheckpointJournal(path, resume=True)
+        assert reloaded.manifest == original.manifest
+
+    def test_matching_resume_is_silent(self, tmp_path):
+        path = str(tmp_path / "grid.journal")
+        CheckpointJournal(path).ensure_manifest()
+        resumed = CheckpointJournal(path, resume=True)
+        assert resumed.ensure_manifest() == []
+
+    def test_drifted_resume_warns_and_counts(self, tmp_path, capsys):
+        path = str(tmp_path / "grid.journal")
+        journal = CheckpointJournal(path)
+        drifted = dataclasses.replace(RunManifest.collect(), numpy="9.9.9")
+        journal.ensure_manifest(drifted)
+        obs_metrics.reset()
+        try:
+            resumed = CheckpointJournal(path, resume=True)
+            problems = resumed.ensure_manifest()
+            assert any(p.startswith("numpy:") for p in problems)
+            assert "WARNING" in capsys.readouterr().err
+            assert run_snapshot()["ft"]["manifest_mismatches"] == 1
+        finally:
+            obs_metrics.reset()
+
+    def test_corrupt_header_does_not_break_resume(self, tmp_path):
+        path = tmp_path / "grid.journal"
+        path.write_text(
+            json.dumps({"v": 1, "kind": "manifest", "record": "not-a-dict"})
+            + "\n"
+        )
+        journal = CheckpointJournal(str(path), resume=True)
+        assert journal.manifest is None

@@ -1,0 +1,166 @@
+"""Unit tests for repro.obs.prof (resource probes and the stack sampler)."""
+
+import threading
+import time
+import tracemalloc
+
+import pytest
+
+from repro.obs.prof import (
+    NULL_PROBE,
+    PROF_ENV,
+    NullProbe,
+    ResourceProbe,
+    SamplingProfiler,
+    alloc_tracking_enabled,
+    profiling_enabled,
+    resource_probe,
+)
+
+
+class TestEnablement:
+    @pytest.mark.parametrize("value", ["", "0", "false", "off", "no", "  OFF "])
+    def test_disabled_values(self, monkeypatch, value):
+        monkeypatch.setenv(PROF_ENV, value)
+        assert not profiling_enabled()
+
+    def test_unset_is_disabled(self, monkeypatch):
+        monkeypatch.delenv(PROF_ENV, raising=False)
+        assert not profiling_enabled()
+        assert not alloc_tracking_enabled()
+
+    @pytest.mark.parametrize("value", ["1", "on", "alloc", "yes"])
+    def test_enabled_values(self, monkeypatch, value):
+        monkeypatch.setenv(PROF_ENV, value)
+        assert profiling_enabled()
+
+    def test_alloc_mode_needs_the_alloc_value(self, monkeypatch):
+        monkeypatch.setenv(PROF_ENV, "1")
+        assert not alloc_tracking_enabled()
+        monkeypatch.setenv(PROF_ENV, "alloc")
+        assert alloc_tracking_enabled()
+
+
+class TestFactory:
+    def test_off_returns_the_shared_null_probe(self, monkeypatch):
+        monkeypatch.delenv(PROF_ENV, raising=False)
+        probe = resource_probe()
+        assert probe is NULL_PROBE
+        assert isinstance(probe, NullProbe)
+        assert not probe.enabled
+
+    def test_on_returns_a_live_probe(self, monkeypatch):
+        monkeypatch.setenv(PROF_ENV, "1")
+        probe = resource_probe()
+        assert isinstance(probe, ResourceProbe)
+        assert probe.enabled
+
+    def test_alloc_mode_propagates(self, monkeypatch):
+        monkeypatch.setenv(PROF_ENV, "alloc")
+        with resource_probe() as probe:
+            pass
+        assert "alloc_net_bytes" in probe.readings()
+
+
+class TestNullProbe:
+    def test_context_manager_is_a_no_op(self):
+        with NULL_PROBE as probe:
+            assert probe is NULL_PROBE
+        assert NULL_PROBE.cpu_seconds == 0.0
+        assert NULL_PROBE.peak_rss_bytes == 0
+
+    def test_readings_contribute_nothing(self):
+        assert NULL_PROBE.readings() == {}
+
+
+class TestResourceProbe:
+    def test_measures_cpu_and_rss(self):
+        with ResourceProbe() as probe:
+            # Enough arithmetic to register on process_time.
+            total = 0
+            for i in range(200_000):
+                total += i * i
+        assert probe.cpu_seconds > 0.0
+        assert probe.peak_rss_bytes > 0
+        assert sorted(probe.readings()) == ["cpu_seconds", "peak_rss_bytes"]
+
+    def test_alloc_mode_reports_heap_deltas(self):
+        with ResourceProbe(alloc=True) as probe:
+            block = [0] * 200_000
+            del block
+        readings = probe.readings()
+        assert readings["alloc_peak_bytes"] > 0
+        assert set(readings) == {
+            "cpu_seconds",
+            "peak_rss_bytes",
+            "alloc_net_bytes",
+            "alloc_peak_bytes",
+        }
+
+    def test_alloc_probe_owns_tracemalloc_when_it_started_it(self):
+        assert not tracemalloc.is_tracing()
+        with ResourceProbe(alloc=True):
+            assert tracemalloc.is_tracing()
+        assert not tracemalloc.is_tracing()
+
+    def test_alloc_probe_leaves_running_tracemalloc_alone(self):
+        tracemalloc.start()
+        try:
+            with ResourceProbe(alloc=True):
+                pass
+            assert tracemalloc.is_tracing()
+        finally:
+            tracemalloc.stop()
+
+
+class TestSamplingProfiler:
+    def test_rejects_non_positive_interval(self):
+        with pytest.raises(ValueError):
+            SamplingProfiler(interval_s=0.0)
+
+    def test_samples_a_busy_main_thread(self):
+        profiler = SamplingProfiler(interval_s=0.001)
+        with profiler:
+            deadline = time.monotonic() + 0.2
+            while time.monotonic() < deadline:
+                sum(i * i for i in range(1000))
+        assert profiler.sample_count > 0
+        text = profiler.collapsed()
+        assert text
+        for line in text.strip().splitlines():
+            stack, _, count = line.rpartition(" ")
+            assert stack  # at least one frame
+            assert int(count) >= 1
+            assert all(frame for frame in stack.split(";"))
+
+    def test_excludes_its_own_thread(self):
+        profiler = SamplingProfiler(interval_s=0.001)
+        with profiler:
+            time.sleep(0.05)
+        assert all(
+            "prof:_run" not in ";".join(stack)
+            for stack in profiler._stacks
+        )
+
+    def test_start_stop_idempotent(self):
+        profiler = SamplingProfiler(interval_s=0.001)
+        profiler.start()
+        profiler.start()
+        n_threads = sum(
+            1
+            for t in threading.enumerate()
+            if t.name == "repro-prof-sampler"
+        )
+        assert n_threads == 1
+        profiler.stop()
+        profiler.stop()
+
+    def test_write_collapsed_stacks(self, tmp_path):
+        profiler = SamplingProfiler(interval_s=0.001)
+        with profiler:
+            deadline = time.monotonic() + 0.05
+            while time.monotonic() < deadline:
+                sum(range(1000))
+        path = tmp_path / "out" / "profile.collapsed"
+        profiler.write(str(path))
+        assert path.read_text() == profiler.collapsed()

@@ -1,0 +1,137 @@
+"""Unit tests for tools/bench_sentinel.py (the perf regression gate)."""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.abspath(__file__ + "/.."))
+SENTINEL = os.path.join(REPO_ROOT, "tools", "bench_sentinel.py")
+
+sys.path.insert(0, os.path.join(REPO_ROOT, "tools"))
+try:
+    import bench_sentinel
+finally:
+    sys.path.pop(0)
+
+
+BASELINE = [
+    {"op": "scores_many (serial)", "n": 400, "d": 20,
+     "n_subspaces": 190, "wall_time_s": 0.4},
+    {"op": "beam_lof_grid speedup", "n": 1000, "d": 12,
+     "speedup": 3.3, "ranked_identical": True},
+]
+
+
+class TestCompare:
+    def test_identical_records_pass(self):
+        regressions, notes = bench_sentinel.compare(BASELINE, BASELINE)
+        assert regressions == []
+        assert len(notes) == 2
+
+    def test_noise_within_tolerance_passes(self):
+        fresh = [dict(BASELINE[0], wall_time_s=0.55)]
+        regressions, _ = bench_sentinel.compare(fresh, BASELINE)
+        assert regressions == []
+
+    def test_twice_slower_fails(self):
+        fresh = [dict(BASELINE[0], wall_time_s=0.8)]
+        regressions, _ = bench_sentinel.compare(fresh, BASELINE)
+        assert len(regressions) == 1
+        assert "wall time" in regressions[0]
+
+    def test_speedup_collapse_fails(self):
+        fresh = [dict(BASELINE[1], speedup=1.1)]
+        regressions, _ = bench_sentinel.compare(fresh, BASELINE)
+        assert len(regressions) == 1
+        assert "speedup" in regressions[0]
+
+    def test_min_speedup_floor(self):
+        # Within relative tolerance of the baseline, but below the
+        # absolute floor the caller demanded.
+        fresh = [dict(BASELINE[1], speedup=2.4)]
+        regressions, _ = bench_sentinel.compare(fresh, BASELINE)
+        assert regressions == []
+        regressions, _ = bench_sentinel.compare(
+            fresh, BASELINE, min_speedup=2.5
+        )
+        assert len(regressions) == 1
+
+    def test_ranked_divergence_is_a_hard_failure(self):
+        fresh = [dict(BASELINE[1], ranked_identical=False)]
+        regressions, _ = bench_sentinel.compare(fresh, BASELINE)
+        assert len(regressions) == 1
+        assert "correctness" in regressions[0]
+
+    def test_unmatched_op_is_skipped_with_a_note(self):
+        fresh = [{"op": "brand_new_bench", "wall_time_s": 99.0}]
+        regressions, notes = bench_sentinel.compare(fresh, BASELINE)
+        assert regressions == []
+        assert any("no matching baseline" in n for n in notes)
+
+    def test_changed_workload_shape_is_not_compared(self):
+        # Same op name at a different scale must not be judged against
+        # the old scale's wall time.
+        fresh = [dict(BASELINE[0], n=4000, wall_time_s=4.0)]
+        regressions, notes = bench_sentinel.compare(fresh, BASELINE)
+        assert regressions == []
+        assert any("no matching baseline" in n for n in notes)
+
+    def test_best_baseline_wins_when_several_match(self):
+        baseline = [
+            dict(BASELINE[0], wall_time_s=0.4),
+            dict(BASELINE[0], wall_time_s=1.0),
+        ]
+        fresh = [dict(BASELINE[0], wall_time_s=0.7)]
+        regressions, _ = bench_sentinel.compare(fresh, baseline)
+        assert len(regressions) == 1  # gated on the 0.4 s high-water mark
+
+    def test_rejects_sub_unit_tolerance(self):
+        with pytest.raises(ValueError):
+            bench_sentinel.compare(BASELINE, BASELINE, tolerance=0.5)
+
+
+class TestCli:
+    def run_sentinel(self, *argv):
+        return subprocess.run(
+            [sys.executable, SENTINEL, *argv],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+        )
+
+    def test_passes_on_the_committed_trajectory(self):
+        """Acceptance: the gate is green on the repo's own records."""
+        for name in ("BENCH_scorer.json", "BENCH_hics.json"):
+            path = os.path.join(REPO_ROOT, name)
+            proc = self.run_sentinel("--fresh", path)
+            assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_fails_on_a_synthetic_2x_slower_run(self, tmp_path):
+        """Acceptance: a uniformly 2x-slower run must trip the gate."""
+        with open(os.path.join(REPO_ROOT, "BENCH_scorer.json")) as fh:
+            records = json.load(fh)
+        for record in records:
+            if "wall_time_s" in record:
+                record["wall_time_s"] *= 2.0
+        slow = tmp_path / "BENCH_scorer.json"
+        slow.write_text(json.dumps(records))
+        proc = self.run_sentinel(
+            "--fresh", str(slow),
+            "--baseline", os.path.join(REPO_ROOT, "BENCH_scorer.json"),
+        )
+        assert proc.returncode == 1
+        assert "REGRESSION" in proc.stderr
+
+    def test_missing_baseline_skips_gracefully(self, tmp_path):
+        fresh = tmp_path / "BENCH_nonexistent_suite.json"
+        fresh.write_text("[]")
+        proc = self.run_sentinel("--fresh", str(fresh))
+        assert proc.returncode == 0
+        assert "no baseline" in proc.stdout
+
+    def test_missing_fresh_file_errors(self, tmp_path):
+        proc = self.run_sentinel("--fresh", str(tmp_path / "nope.json"))
+        assert proc.returncode == 1

@@ -27,10 +27,30 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
 def _load(path: Path) -> list[dict]:
-    with open(path, encoding="utf-8") as fh:
-        records = json.load(fh)
+    """Records from one file — tolerant of missing/empty/torn files.
+
+    A benchmark leg that was cancelled mid-write (or never ran) must not
+    take down the whole trajectory report; such files are skipped with a
+    note on stderr and the table is built from the rest.
+    """
+    try:
+        with open(path, encoding="utf-8") as fh:
+            text = fh.read()
+    except OSError as exc:
+        print(f"note: skipping {path}: {exc}", file=sys.stderr)
+        return []
+    if not text.strip():
+        print(f"note: skipping {path}: empty file", file=sys.stderr)
+        return []
+    try:
+        records = json.loads(text)
+    except json.JSONDecodeError as exc:
+        print(f"note: skipping {path}: not valid JSON ({exc})", file=sys.stderr)
+        return []
     if not isinstance(records, list):
-        raise SystemExit(f"{path}: expected a JSON list of records")
+        print(f"note: skipping {path}: expected a JSON list of records",
+              file=sys.stderr)
+        return []
     return [r for r in records if isinstance(r, dict)]
 
 
@@ -52,7 +72,7 @@ def _workload(record: dict) -> str:
     return ", ".join(parts)
 
 
-def _format_row(suite: str, record: dict) -> tuple[str, str, str, str, str]:
+def _format_row(suite: str, record: dict) -> tuple[str, ...]:
     wall = record.get("wall_time_s")
     wall_s = f"{wall * 1000:9.1f} ms" if wall is not None else ""
     speedup = record.get("speedup")
@@ -61,20 +81,37 @@ def _format_row(suite: str, record: dict) -> tuple[str, str, str, str, str]:
         speedup_s += " (ranked identical)"
     hit_rate = record.get("cache_hit_rate")
     extra = f"hit rate {hit_rate:.2%}" if hit_rate else ""
-    return suite, str(record.get("op", "?")), _workload(record), wall_s, speedup_s or extra
+    manifest = record.get("manifest")
+    if isinstance(manifest, dict):
+        rev = str(manifest.get("git_rev", ""))[:12]
+        date = str(manifest.get("date", ""))
+    else:
+        rev = date = ""
+    return (suite, str(record.get("op", "?")), _workload(record), wall_s,
+            speedup_s or extra, rev, date)
 
 
 def build_table(paths: list[Path]) -> str:
-    """The merged trajectory table for ``paths``, as one printable string."""
-    rows: list[tuple[str, str, str, str, str]] = []
+    """The merged trajectory table for ``paths``, as one printable string.
+
+    Provenance columns (git revision, date) appear only when at least one
+    record carries a manifest stamp, so older trajectories keep the
+    narrow table.
+    """
+    rows: list[tuple[str, ...]] = []
     for path in paths:
         suite = path.stem.removeprefix("BENCH_")
         for record in _load(path):
             rows.append(_format_row(suite, record))
-    headers = ("suite", "op", "workload", "wall time", "notes")
+    headers: tuple[str, ...] = ("suite", "op", "workload", "wall time",
+                                "notes", "rev", "date")
+    if not any(row[5] or row[6] for row in rows):
+        headers = headers[:5]
+        rows = [row[:5] for row in rows]
+    n_cols = len(headers)
     widths = [
         max(len(headers[col]), *(len(row[col]) for row in rows)) if rows else len(headers[col])
-        for col in range(5)
+        for col in range(n_cols)
     ]
     lines = [
         "  ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip(),
@@ -88,11 +125,17 @@ def build_table(paths: list[Path]) -> str:
 def main(argv: list[str] | None = None) -> int:
     argv = sys.argv[1:] if argv is None else argv
     if argv:
-        paths = [Path(a) for a in argv]
-        missing = [p for p in paths if not p.is_file()]
-        if missing:
-            print(f"error: no such record file: "
-                  f"{', '.join(map(str, missing))}", file=sys.stderr)
+        paths = []
+        for arg in argv:
+            path = Path(arg)
+            if not path.is_file():
+                print(f"note: skipping {path}: no such record file",
+                      file=sys.stderr)
+                continue
+            paths.append(path)
+        if not paths:
+            print("error: none of the given record files exist",
+                  file=sys.stderr)
             return 1
     else:
         paths = sorted(REPO_ROOT.glob("BENCH_*.json"))

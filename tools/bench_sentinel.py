@@ -1,0 +1,214 @@
+#!/usr/bin/env python3
+"""Noise-aware benchmark regression gate over ``BENCH_*.json`` records.
+
+The benchmarks (``benchmarks/bench_scorer.py``, ``benchmarks/bench_hics.py``,
+``benchmarks/bench_distance.py``) each write a machine-readable record file;
+the copies committed at the repo root are the performance trajectory the
+codebase has already paid for. This tool compares a *fresh* record file
+against that baseline and exits non-zero when an op regressed beyond a
+noise tolerance — so CI catches the accidental 2x slowdown without flaking
+on the ordinary run-to-run jitter of shared runners.
+
+Checks, per fresh record matched to a baseline record (same ``op`` and
+same workload signature — n, d, subspace counts, point counts, ...):
+
+* ``wall_time_s`` must not exceed ``baseline * tolerance``.
+* ``speedup`` must not fall below ``baseline / tolerance`` (and, when
+  ``--min-speedup`` is given, never below that absolute floor).
+* ``ranked_identical: false`` in a fresh record is always a hard failure:
+  a speed win that changes results is a correctness bug, not a trade.
+
+Fresh records with no matching baseline (new ops, changed workload
+shapes) are reported and skipped — a new benchmark must not fail the gate
+the first time it runs.
+
+Usage::
+
+    python tools/bench_sentinel.py --fresh fresh_scorer.json
+    python tools/bench_sentinel.py --fresh f.json --baseline BENCH_scorer.json \\
+        --tolerance 1.6 --min-speedup 1.2
+
+Without ``--baseline``, the baseline is the repo-root file with the same
+basename as the fresh file (the committed trajectory of the same suite).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Workload-shape keys that must agree for two records to be comparable.
+#: Only keys present in *both* records are compared, so adding a new
+#: descriptor to a benchmark does not orphan its whole history.
+SIGNATURE_KEYS = (
+    "n",
+    "d",
+    "n_subspaces",
+    "detectors",
+    "points",
+    "dimensionality",
+    "mc_iterations",
+    "beam_width",
+)
+
+#: Default noise tolerance: a fresh wall time up to 1.5x the baseline (or
+#: a speedup down to baseline/1.5) passes. Wide enough for shared-runner
+#: jitter, narrow enough to catch any real (2x+) regression.
+DEFAULT_TOLERANCE = 1.5
+
+
+def _signature(record: dict) -> tuple:
+    """The workload shape of a record (used to pair fresh with baseline)."""
+    return tuple(
+        (key, record[key]) for key in SIGNATURE_KEYS if key in record
+    )
+
+
+def _comparable(fresh: dict, baseline: dict) -> bool:
+    """Same op, and every signature key present in both records agrees."""
+    if fresh.get("op") != baseline.get("op"):
+        return False
+    return all(
+        fresh[key] == baseline[key]
+        for key in SIGNATURE_KEYS
+        if key in fresh and key in baseline
+    )
+
+
+def compare(
+    fresh: list[dict],
+    baseline: list[dict],
+    *,
+    tolerance: float = DEFAULT_TOLERANCE,
+    min_speedup: float | None = None,
+) -> tuple[list[str], list[str]]:
+    """Gate ``fresh`` records against ``baseline`` records.
+
+    Returns ``(regressions, notes)``: regressions are gate failures,
+    notes are informational (unmatched ops, passes with numbers). When
+    several baseline records match one fresh record, the *best* baseline
+    (fastest wall time / highest speedup) is the reference — the
+    trajectory's high-water mark is what the code already achieved once.
+    """
+    if tolerance < 1.0:
+        raise ValueError(f"tolerance must be >= 1.0, got {tolerance}")
+    regressions: list[str] = []
+    notes: list[str] = []
+    for record in fresh:
+        op = record.get("op", "?")
+        if record.get("ranked_identical") is False:
+            regressions.append(
+                f"{op}: ranked subspaces diverged (ranked_identical=false) "
+                "— a correctness failure, not a perf trade"
+            )
+            continue
+        matches = [b for b in baseline if _comparable(record, b)]
+        if not matches:
+            notes.append(f"{op}: no matching baseline record, skipped")
+            continue
+        wall = record.get("wall_time_s")
+        base_walls = [
+            b["wall_time_s"] for b in matches if "wall_time_s" in b
+        ]
+        if wall is not None and base_walls:
+            best = min(base_walls)
+            if wall > best * tolerance:
+                regressions.append(
+                    f"{op}: wall time {wall * 1000:.1f} ms exceeds "
+                    f"{tolerance:.2f}x the baseline {best * 1000:.1f} ms"
+                )
+            else:
+                notes.append(
+                    f"{op}: {wall * 1000:.1f} ms vs baseline "
+                    f"{best * 1000:.1f} ms — ok"
+                )
+        speedup = record.get("speedup")
+        base_speedups = [b["speedup"] for b in matches if "speedup" in b]
+        if speedup is not None and base_speedups:
+            best = max(base_speedups)
+            floor = best / tolerance
+            if min_speedup is not None:
+                floor = max(floor, min_speedup)
+            if speedup < floor:
+                regressions.append(
+                    f"{op}: speedup {speedup:.2f}x fell below the gate "
+                    f"{floor:.2f}x (baseline {best:.2f}x)"
+                )
+            else:
+                notes.append(
+                    f"{op}: speedup {speedup:.2f}x vs baseline "
+                    f"{best:.2f}x — ok"
+                )
+    return regressions, notes
+
+
+def _load(path: Path) -> list[dict]:
+    with open(path, encoding="utf-8") as fh:
+        records = json.load(fh)
+    if not isinstance(records, list):
+        raise SystemExit(f"{path}: expected a JSON list of records")
+    return [r for r in records if isinstance(r, dict)]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--fresh", required=True, metavar="PATH",
+        help="record file written by the benchmark run under test",
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help="baseline record file (default: the repo-root file with the "
+        "same basename as --fresh, i.e. the committed trajectory)",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=DEFAULT_TOLERANCE, metavar="X",
+        help=f"noise multiplier before a difference counts as a regression "
+        f"(default: {DEFAULT_TOLERANCE})",
+    )
+    parser.add_argument(
+        "--min-speedup", type=float, default=None, metavar="X",
+        help="absolute floor for speedup records, applied on top of the "
+        "relative tolerance (default: none)",
+    )
+    args = parser.parse_args(argv)
+
+    fresh_path = Path(args.fresh)
+    if not fresh_path.is_file():
+        print(f"error: no such record file: {fresh_path}", file=sys.stderr)
+        return 1
+    baseline_path = (
+        Path(args.baseline)
+        if args.baseline is not None
+        else REPO_ROOT / fresh_path.name
+    )
+    if not baseline_path.is_file():
+        # No trajectory yet for this suite: nothing to gate against.
+        print(f"bench_sentinel: no baseline at {baseline_path}, skipping")
+        return 0
+
+    regressions, notes = compare(
+        _load(fresh_path),
+        _load(baseline_path),
+        tolerance=args.tolerance,
+        min_speedup=args.min_speedup,
+    )
+    for note in notes:
+        print(f"  {note}")
+    if regressions:
+        print(f"bench_sentinel: {len(regressions)} regression(s) vs "
+              f"{baseline_path}:", file=sys.stderr)
+        for regression in regressions:
+            print(f"  REGRESSION {regression}", file=sys.stderr)
+        return 1
+    print(f"bench_sentinel: ok ({baseline_path.name}, "
+          f"tolerance {args.tolerance:.2f}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
