@@ -1,0 +1,368 @@
+"""Serve-layer load harness: warm coalescing engine vs cold per-request runs.
+
+Boots an in-process :class:`~repro.serve.ExplainServer`, fires a mixed
+workload (several datasets × pipelines × overlapping point subsets) from
+concurrent client threads, and measures sustained QPS plus p50/p95/p99
+latency. The same workload then runs as the **cold baseline** — a fresh
+:class:`~repro.pipeline.ExplanationPipeline` per request with every warm
+layer (engine pool, shared distance provider, HiCS contrast cache)
+cleared between requests, which is exactly what every batch CLI
+invocation used to pay.
+
+Two hard assertions ride along with the numbers:
+
+* **Byte identity** — every served explanation, wire-encoded with the
+  canonical protocol codec, must equal the wire encoding of the cold
+  one-shot run of the same request. A divergence exits non-zero (the CI
+  smoke leg runs ``--quick`` and relies on this).
+* **Coalescing happened** — under concurrent clients at least one batch
+  must contain more than one request, otherwise the harness measured
+  nothing but a slow sequential server.
+
+Writes ``BENCH_serve.json`` records (op, qps, p50/p95/p99, speedup,
+byte_identical) that ``tools/bench_report.py`` renders and
+``tools/bench_sentinel.py`` gates.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py [--json PATH] [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.experiments.config import get_profile
+from repro.pipeline.pipeline import ExplanationPipeline
+from repro.serve.client import ServeClient
+from repro.serve.protocol import (
+    encode_line,
+    resolve_dataset,
+    resolve_pipeline,
+    result_to_wire,
+)
+from repro.serve.server import ExplainServer, ServerConfig
+
+PROFILE = "smoke"
+
+
+def percentile_ms(latencies_s: list[float], q: float) -> float:
+    """The ``q``-quantile (0..1) of ``latencies_s``, in milliseconds.
+
+    Nearest-rank on the sorted sample — the standard definition for
+    latency reporting (p99 of 100 samples is the 99th value, not an
+    interpolation past the tail).
+    """
+    if not latencies_s:
+        return 0.0
+    ordered = sorted(latencies_s)
+    rank = max(1, math.ceil(q * len(ordered)))
+    return ordered[rank - 1] * 1000.0
+
+
+def build_workload(quick: bool) -> list[dict]:
+    """The request mix: overlapping point subsets across datasets × pipelines.
+
+    Overlap is deliberate — concurrent requests for the same (dataset,
+    pipeline) must coalesce into union-points batches for the warm
+    numbers to mean anything. Every request pins ``points`` explicitly so
+    the cold baseline can replay it bit-for-bit.
+    """
+    profile = get_profile(PROFILE)
+    pipelines = ["beam+lof", "refout+lof", "lookout+lof"]
+    dataset_names = ["hics_14"] if quick else ["hics_14", "breast"]
+    repeats = 2 if quick else 4
+
+    requests: list[dict] = []
+    for dataset_name in dataset_names:
+        dataset = resolve_dataset(dataset_name, profile)
+        dimensionality = 2
+        points = dataset.ground_truth.points_at(dimensionality)
+        subsets = [
+            points,
+            points[: max(1, len(points) // 2)],
+            points[len(points) // 2 :] or points,
+        ]
+        for pipeline in pipelines:
+            for _ in range(repeats):
+                for subset in subsets:
+                    requests.append(
+                        {
+                            "dataset": dataset_name,
+                            "pipeline": pipeline,
+                            "dimensionality": dimensionality,
+                            "points": list(subset),
+                        }
+                    )
+    return requests
+
+
+def run_served(
+    workload: list[dict],
+    clients: int,
+    *,
+    heartbeat_jsonl: str | None,
+    tracer: object,
+) -> dict:
+    """Fire the workload at an in-process server; returns timings + wire bytes."""
+    server = ExplainServer(
+        ServerConfig(
+            port=0,
+            profile=PROFILE,
+            max_queue=max(64, len(workload)),
+            warm=tuple(sorted({r["dataset"] for r in workload})),
+            heartbeat_jsonl=heartbeat_jsonl,
+        ),
+        tracer=tracer,
+    )
+    handle = server.run_in_thread()
+    latencies: list[float | None] = [None] * len(workload)
+    wire: list[bytes | None] = [None] * len(workload)
+    coalesced: list[int] = [0] * len(workload)
+    errors: list[str] = []
+    errors_lock = threading.Lock()
+    next_index = iter(range(len(workload)))
+    index_lock = threading.Lock()
+
+    def worker() -> None:
+        with ServeClient(handle.host, handle.port, timeout=300.0) as client:
+            while True:
+                with index_lock:
+                    try:
+                        i = next(next_index)
+                    except StopIteration:
+                        return
+                request = workload[i]
+                started = time.perf_counter()
+                response = client.explain(
+                    request["dataset"],
+                    request["pipeline"],
+                    request["dimensionality"],
+                    points=request["points"],
+                )
+                latencies[i] = time.perf_counter() - started
+                if not response.get("ok"):
+                    with errors_lock:
+                        errors.append(f"request {i}: {response.get('error')}")
+                    continue
+                wire[i] = encode_line(response["result"])
+                coalesced[i] = int(response.get("meta", {}).get("coalesced", 1))
+
+    started = time.perf_counter()
+    try:
+        with ThreadPoolExecutor(max_workers=clients) as pool:
+            for _ in range(clients):
+                pool.submit(worker)
+    finally:
+        wall = time.perf_counter() - started
+        handle.stop()
+    if errors:
+        raise SystemExit("FAIL: served requests errored:\n  " + "\n  ".join(errors))
+    return {
+        "wall_time_s": wall,
+        "latencies_s": [lat for lat in latencies if lat is not None],
+        "wire": wire,
+        "max_coalesced": max(coalesced) if coalesced else 0,
+    }
+
+
+def run_cold(workload: list[dict], clients: int) -> dict:
+    """The same workload as cold one-shot pipeline runs (no warm state).
+
+    Every request builds a fresh pipeline with a fresh private engine and
+    clears the cross-run warm layers first — the shared distance provider
+    and the HiCS contrast cache — so nothing learned by one request helps
+    the next. Same thread-pool concurrency as the served run, so the
+    comparison isolates warm state + coalescing, not threading.
+    """
+    from repro.explainers.contrast_cache import resolve_contrast_cache
+    from repro.neighbors.provider import shared_provider
+
+    profile = get_profile(PROFILE)
+    datasets = {
+        name: resolve_dataset(name, profile)
+        for name in sorted({r["dataset"] for r in workload})
+    }
+    latencies: list[float | None] = [None] * len(workload)
+    wire: list[bytes | None] = [None] * len(workload)
+    clear_lock = threading.Lock()
+    next_index = iter(range(len(workload)))
+    index_lock = threading.Lock()
+
+    def one_request(i: int) -> None:
+        request = workload[i]
+        dataset = datasets[request["dataset"]]
+        started = time.perf_counter()
+        with clear_lock:
+            provider = shared_provider(dataset.X)
+            if provider is not None:
+                provider.clear()
+            cache = resolve_contrast_cache()
+            if cache is not None:
+                cache.clear()
+        detector, explainer = resolve_pipeline(request["pipeline"], profile)
+        pipeline = ExplanationPipeline(detector, explainer)
+        result = pipeline.run(
+            dataset,
+            request["dimensionality"],
+            points=tuple(request["points"]),
+        )
+        latencies[i] = time.perf_counter() - started
+        wire[i] = encode_line(result_to_wire(result))
+
+    def worker() -> None:
+        while True:
+            with index_lock:
+                try:
+                    i = next(next_index)
+                except StopIteration:
+                    return
+            one_request(i)
+
+    started = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=clients) as pool:
+        for _ in range(clients):
+            pool.submit(worker)
+    wall = time.perf_counter() - started
+    return {
+        "wall_time_s": wall,
+        "latencies_s": [lat for lat in latencies if lat is not None],
+        "wire": wire,
+    }
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--json", default="BENCH_serve.json", metavar="PATH",
+                        help="write perf records to PATH (default: "
+                        "BENCH_serve.json; empty string disables)")
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke scale: one dataset, fewer repeats")
+    parser.add_argument("--clients", type=int, default=4, metavar="N",
+                        help="concurrent client threads (default: 4)")
+    parser.add_argument("--heartbeat-jsonl", default=None, metavar="PATH",
+                        help="append one JSON record per server dispatch "
+                        "wave to PATH (CI uploads it as an artifact)")
+    parser.add_argument("--trace-out", default=None, metavar="PATH",
+                        help="write the server's serve.batch/pipeline.run "
+                        "span trace to PATH as JSONL")
+    args = parser.parse_args(argv)
+
+    from repro.obs import Tracer, write_trace_jsonl
+
+    tracer = Tracer() if args.trace_out else None
+    workload = build_workload(args.quick)
+    n_requests = len(workload)
+    print(
+        f"serve load: {n_requests} requests over "
+        f"{len({r['dataset'] for r in workload})} dataset(s) x "
+        f"{len({r['pipeline'] for r in workload})} pipelines, "
+        f"{args.clients} client threads, profile={PROFILE}"
+    )
+
+    served = run_served(
+        workload,
+        args.clients,
+        heartbeat_jsonl=args.heartbeat_jsonl,
+        tracer=tracer,
+    )
+    cold = run_cold(workload, args.clients)
+
+    mismatches = [
+        i
+        for i, (a, b) in enumerate(zip(served["wire"], cold["wire"]))
+        if a != b
+    ]
+    if mismatches:
+        raise SystemExit(
+            f"FAIL: served explanations diverge from cold pipeline runs "
+            f"for requests {mismatches[:10]} "
+            f"({len(mismatches)}/{n_requests} total)"
+        )
+    if args.clients > 1 and served["max_coalesced"] < 2:
+        raise SystemExit(
+            "FAIL: no request was coalesced despite concurrent clients — "
+            "the warm numbers would not measure batching"
+        )
+
+    def summarise(label: str, run: dict) -> dict:
+        latencies = run["latencies_s"]
+        qps = n_requests / run["wall_time_s"] if run["wall_time_s"] else 0.0
+        summary = {
+            "qps": round(qps, 2),
+            "p50_ms": round(percentile_ms(latencies, 0.50), 3),
+            "p95_ms": round(percentile_ms(latencies, 0.95), 3),
+            "p99_ms": round(percentile_ms(latencies, 0.99), 3),
+            "wall_time_s": round(run["wall_time_s"], 6),
+        }
+        print(
+            f"  {label:22s} {summary['qps']:8.2f} qps   "
+            f"p50 {summary['p50_ms']:8.1f} ms   "
+            f"p95 {summary['p95_ms']:8.1f} ms   "
+            f"p99 {summary['p99_ms']:8.1f} ms"
+        )
+        return summary
+
+    shape = {
+        "n_requests": n_requests,
+        "clients": args.clients,
+        "profile": PROFILE,
+        "quick": bool(args.quick),
+    }
+    warm_summary = summarise("warm engine (served)", served)
+    cold_summary = summarise("cold pipeline", cold)
+    speedup = (
+        cold["wall_time_s"] / served["wall_time_s"]
+        if served["wall_time_s"]
+        else 0.0
+    )
+    print(
+        f"  warm-engine speedup: {speedup:.2f}x, "
+        f"max coalesced batch: {served['max_coalesced']}, "
+        f"all {n_requests} responses byte-identical to cold runs"
+    )
+
+    records = [
+        {
+            "op": "serve warm engine",
+            **shape,
+            **warm_summary,
+            "max_coalesced": served["max_coalesced"],
+            "byte_identical": True,
+        },
+        {
+            "op": "serve cold pipeline",
+            **shape,
+            **cold_summary,
+            "byte_identical": True,
+        },
+        {
+            "op": "serve speedup",
+            **shape,
+            "speedup": round(speedup, 3),
+            "byte_identical": True,
+        },
+    ]
+
+    if args.trace_out and tracer is not None:
+        write_trace_jsonl(tracer.spans, args.trace_out)
+        print(f"wrote {len(tracer.spans)} spans to {args.trace_out}")
+    if args.json:
+        from repro.obs import RunManifest
+
+        stamp = RunManifest.collect().compact()
+        for record in records:
+            record["manifest"] = stamp
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(records, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.json}")
+
+
+if __name__ == "__main__":
+    main()

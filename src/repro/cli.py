@@ -36,8 +36,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all"],
-        help="which paper artefact to regenerate",
+        choices=sorted(EXPERIMENTS) + ["all", "serve"],
+        help=(
+            "which paper artefact to regenerate, or 'serve' to run the "
+            "explanation service (see docs/SERVING.md)"
+        ),
     )
     parser.add_argument(
         "--profile",
@@ -216,6 +219,84 @@ def build_parser() -> argparse.ArgumentParser:
             "the REPRO_HEARTBEAT_JSONL environment variable)"
         ),
     )
+    serve_group = parser.add_argument_group(
+        "serve", "options of the 'serve' experiment (the explanation service)"
+    )
+    serve_group.add_argument(
+        "--host",
+        default="127.0.0.1",
+        metavar="ADDR",
+        help=(
+            "bind address of the explanation service (default: 127.0.0.1; "
+            "only meaningful with the 'serve' experiment)"
+        ),
+    )
+    serve_group.add_argument(
+        "--port",
+        default=7071,
+        type=int,
+        metavar="PORT",
+        help=(
+            "TCP port of the explanation service; 0 picks a free port and "
+            "prints it (default: 7071)"
+        ),
+    )
+    serve_group.add_argument(
+        "--max-queue",
+        default=64,
+        type=int,
+        metavar="N",
+        help=(
+            "admission-control bound of the serve queue: explain requests "
+            "beyond N queued are rejected with the (transient) "
+            "'overloaded' error instead of served late (default: 64)"
+        ),
+    )
+    serve_group.add_argument(
+        "--max-batch",
+        default=16,
+        type=int,
+        metavar="N",
+        help=(
+            "cap on concurrent requests coalesced into one engine batch "
+            "wave per (dataset, pipeline, dimensionality) group "
+            "(default: 16)"
+        ),
+    )
+    serve_group.add_argument(
+        "--deadline-ms",
+        default=30_000.0,
+        type=float,
+        metavar="MS",
+        help=(
+            "default per-request deadline budget in milliseconds for "
+            "requests that carry none; 0 disables the default deadline "
+            "(default: 30000)"
+        ),
+    )
+    serve_group.add_argument(
+        "--warm",
+        action="append",
+        default=None,
+        metavar="DATASET",
+        help=(
+            "dataset name to load into the warm pool before accepting "
+            "connections (repeatable); warmed datasets answer their first "
+            "request without paying construction cost"
+        ),
+    )
+    serve_group.add_argument(
+        "--pool-mb",
+        default=None,
+        type=int,
+        metavar="MB",
+        help=(
+            "warm-pool byte budget (MiB) for the serve engine's memoised "
+            "score vectors; least-recently-used (dataset, detector) "
+            "scorers are evicted beyond it (default: 512, or the "
+            "REPRO_ENGINE_POOL_MB environment variable)"
+        ),
+    )
     parser.add_argument(
         "--manifest-out",
         default=None,
@@ -228,6 +309,55 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     return parser
+
+
+def _serve(args: argparse.Namespace) -> int:
+    """Run the explanation service until interrupted (Ctrl-C)."""
+    import asyncio
+
+    from repro.serve.server import ExplainServer, ServerConfig
+
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        profile=args.profile,
+        max_queue=args.max_queue,
+        max_batch=args.max_batch,
+        default_deadline_ms=(
+            None if args.deadline_ms == 0 else float(args.deadline_ms)
+        ),
+        backend=args.backend,
+        max_pool_mb=args.pool_mb,
+        warm=tuple(args.warm or ()),
+        heartbeat_jsonl=args.heartbeat_jsonl,
+    )
+    server = ExplainServer(config)
+
+    async def _run() -> None:
+        await server.start()
+        print(
+            f"repro serve: profile={config.profile} "
+            f"listening on {config.host}:{server.port}",
+            flush=True,
+        )
+        assert server._server is not None
+        try:
+            await server._server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        print("repro serve: interrupted, shutting down", flush=True)
+    if args.metrics_out is not None:
+        from repro.obs import write_metrics_text
+
+        write_metrics_text(args.metrics_out)
+        print(f"wrote metrics to {args.metrics_out}")
+    return 0
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -270,6 +400,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         os.environ[HEARTBEAT_ENV] = str(args.heartbeat)
     if args.heartbeat_jsonl is not None:
         os.environ[HEARTBEAT_JSONL_ENV] = args.heartbeat_jsonl
+
+    if args.experiment == "serve":
+        return _serve(args)
 
     from contextlib import nullcontext
 

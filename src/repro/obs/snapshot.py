@@ -17,7 +17,13 @@ that never touched the distance substrate) simply report zeros.
 
 from __future__ import annotations
 
-from repro.obs.metrics import Counter, Gauge, MetricsRegistry, get_registry
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+)
 
 __all__ = ["run_snapshot"]
 
@@ -47,6 +53,21 @@ def _label_values(registry: MetricsRegistry, name: str, label: str) -> set[str]:
     return values
 
 
+def _histogram_count_sum(
+    registry: MetricsRegistry, name: str
+) -> tuple[int, float]:
+    """Total observation count and sum across every labelled series."""
+    metric = registry.get(name)
+    if not isinstance(metric, Histogram):
+        return 0, 0.0
+    count = 0
+    total = 0.0
+    for _, series in metric.samples():
+        count += series.count
+        total += series.total
+    return count, total
+
+
 def _hit_rate(hits: float, misses: float) -> float:
     total = hits + misses
     return hits / total if total else 0.0
@@ -57,7 +78,8 @@ def run_snapshot(registry: MetricsRegistry | None = None) -> dict[str, object]:
 
     Returns a nested dict with ``caches`` (one entry per named LRU),
     ``distance`` (the shared distance substrate), ``hics_contrast``,
-    ``scorer``, ``grid``, and ``ft`` sections. Every number is a plain
+    ``scorer``, ``grid``, ``ft``, ``engine`` (the warm scorer pool), and
+    ``serve`` (request loop) sections. Every number is a plain
     float/int, so the snapshot drops straight into JSON exports and
     benchmark records.
     """
@@ -128,6 +150,41 @@ def run_snapshot(registry: MetricsRegistry | None = None) -> dict[str, object]:
         ),
     }
 
+    engine_hits = _total(reg, "repro_engine_pool_hits_total")
+    engine_misses = _total(reg, "repro_engine_pool_misses_total")
+    engine = {
+        "pool_entries": _total(reg, "repro_engine_pool_entries"),
+        "pool_bytes": _total(reg, "repro_engine_pool_bytes"),
+        "pool_hits": engine_hits,
+        "pool_misses": engine_misses,
+        "evictions": _total(reg, "repro_engine_pool_evictions_total"),
+        "coalesced_requests": _total(
+            reg, "repro_engine_coalesced_requests_total"
+        ),
+        "hit_rate": _hit_rate(engine_hits, engine_misses),
+    }
+
+    requests_by_status = {
+        status: _value(reg, "repro_serve_requests_total", status=status)
+        for status in sorted(
+            _label_values(reg, "repro_serve_requests_total", "status")
+        )
+    }
+    request_count, request_seconds = _histogram_count_sum(
+        reg, "repro_serve_request_seconds"
+    )
+    batch_count, batch_size_sum = _histogram_count_sum(
+        reg, "repro_serve_batch_size"
+    )
+    serve = {
+        "requests": requests_by_status,
+        "request_count": request_count,
+        "request_seconds": request_seconds,
+        "batches": batch_count,
+        "mean_batch_size": batch_size_sum / batch_count if batch_count else 0.0,
+        "queue_depth": _total(reg, "repro_serve_queue_depth"),
+    }
+
     return {
         "caches": caches,
         "distance": distance,
@@ -135,4 +192,6 @@ def run_snapshot(registry: MetricsRegistry | None = None) -> dict[str, object]:
         "scorer": scorer,
         "grid": grid,
         "ft": ft,
+        "engine": engine,
+        "serve": serve,
     }

@@ -43,6 +43,7 @@ from repro.ft import CheckpointJournal, FTConfig, cell_key, execute_cell, resolv
 from repro.obs import metrics as obs_metrics
 from repro.obs.heartbeat import heartbeat_from_env
 from repro.pipeline.pipeline import ExplanationPipeline, PipelineResult
+from repro.serve.engine import ExplainEngine
 from repro.pipeline.results import ResultTable
 
 __all__ = ["run_grid_parallel"]
@@ -258,8 +259,12 @@ def _run_group(
     fresh: list[tuple[str, PipelineResult]] = []
     skipped: list[SkipRecord] = []
     failed: list[tuple[str, SkipRecord]] = []
+    # One warm-state engine per (dataset, detector) group: every explainer
+    # of the group draws the same warm scorer, mirroring the serial
+    # GridRunner's shared engine without sharing state across workers.
+    engine = ExplainEngine()
     for explainer in explainers:
-        pipeline = ExplanationPipeline(detector, explainer)  # type: ignore[arg-type]
+        pipeline = ExplanationPipeline(detector, explainer, engine=engine)  # type: ignore[arg-type]
         explainer_name = getattr(explainer, "name", type(explainer).__name__)
         for dimensionality, points in cells:
             key = cell_key(

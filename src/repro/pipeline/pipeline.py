@@ -28,6 +28,7 @@ from repro.metrics.evaluation import (
 from repro.obs import metrics as obs_metrics
 from repro.obs.prof import resource_probe
 from repro.obs.trace import span as obs_span
+from repro.serve.engine import ExplainEngine
 from repro.subspaces.enumeration import top_k
 from repro.subspaces.scorer import SubspaceScorer
 from repro.utils.timing import Stopwatch
@@ -151,15 +152,21 @@ class ExplanationPipeline:
         :class:`~repro.exec.ExecutionBackend` instance, or ``None`` to
         resolve from ``REPRO_BACKEND`` (default serial). All backends
         yield identical results — see ``docs/ARCHITECTURE.md``.
+    engine:
+        The warm-state layer the pipeline draws scorers from. ``None``
+        (default) gives the pipeline a private
+        :class:`~repro.serve.ExplainEngine`, reproducing the historical
+        per-pipeline scorer dict; the grid runner and the serve layer
+        pass a shared engine instead, so every pipeline hitting the same
+        (dataset, detector) reuses one warm scorer under one byte budget.
+        Ignored when ``share_scorer`` is ``False``.
     """
 
     detector: Detector
     explainer: PointExplainer | SummaryExplainer
     share_scorer: bool = True
     backend: object = None
-    _scorers: dict[tuple[str, int], SubspaceScorer] = field(
-        default_factory=dict, repr=False
-    )
+    engine: ExplainEngine | None = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         if not isinstance(self.detector, Detector):
@@ -171,6 +178,12 @@ class ExplanationPipeline:
                 "explainer must be a PointExplainer or SummaryExplainer, "
                 f"got {type(self.explainer).__name__}"
             )
+        if self.engine is None:
+            self.engine = ExplainEngine(backend=self.backend)
+        elif not isinstance(self.engine, ExplainEngine):
+            raise ValidationError(
+                f"engine must be an ExplainEngine, got {type(self.engine).__name__}"
+            )
 
     @property
     def name(self) -> str:
@@ -180,19 +193,17 @@ class ExplanationPipeline:
     def scorer_for(self, dataset: Dataset) -> SubspaceScorer:
         """The (possibly shared) scorer bound to ``dataset``.
 
-        Shared scorers are keyed by the dataset's *fingerprint* (name +
-        content hash), never by ``id()`` — an object id can be reused
-        after garbage collection, which would silently alias a stale
-        scorer (and its cached score vectors) to a brand-new dataset.
+        Delegates to the pipeline's :class:`~repro.serve.ExplainEngine`,
+        which keys warm scorers by the dataset's *fingerprint* (name +
+        content hash) and the detector's cache key, never by ``id()`` —
+        an object id can be reused after garbage collection, which would
+        silently alias a stale scorer (and its cached score vectors) to a
+        brand-new dataset.
         """
         if not self.share_scorer:
             return SubspaceScorer(dataset.X, self.detector, backend=self.backend)
-        key = dataset.fingerprint
-        if key not in self._scorers:
-            self._scorers[key] = SubspaceScorer(
-                dataset.X, self.detector, backend=self.backend
-            )
-        return self._scorers[key]
+        assert self.engine is not None
+        return self.engine.scorer_for(dataset, self.detector)
 
     def run(
         self,
@@ -344,6 +355,10 @@ class ExplanationPipeline:
             detector=self.detector.name,
             explainer=self.explainer.name,
         )
+        if self.share_scorer and self.engine is not None:
+            # Score-vector bytes grow during the run; enforce the warm-pool
+            # budget once per execution rather than per scorer call.
+            self.engine.trim()
 
         return PipelineResult(
             dataset=dataset.name,

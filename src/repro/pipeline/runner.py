@@ -27,6 +27,7 @@ from repro.obs.heartbeat import Heartbeat, heartbeat_from_env
 from repro.obs.trace import span as obs_span
 from repro.pipeline.pipeline import ExplanationPipeline, PipelineResult
 from repro.pipeline.results import ResultTable
+from repro.serve.engine import ExplainEngine
 
 __all__ = ["GridRunner"]
 
@@ -79,6 +80,14 @@ class GridRunner:
         ``REPRO_CHECKPOINT`` / ``REPRO_MAX_RETRIES`` / ``REPRO_CELL_TIMEOUT``
         / ``REPRO_FAULT_RATE`` environment variables — all inert by
         default, so a plain ``GridRunner(...)`` behaves exactly as before.
+    engine:
+        Warm-state layer shared by every pipeline of the grid. ``None``
+        (default) builds one :class:`~repro.serve.ExplainEngine` for the
+        runner, so all explainers paired with the same detector share one
+        warm scorer per dataset — cross-explainer amortisation the old
+        per-pipeline scorer dicts could not express. Pass an external
+        engine (e.g. the serve layer's) to share warm state beyond this
+        grid.
     """
 
     def __init__(
@@ -91,6 +100,7 @@ class GridRunner:
         points_selector: Callable[[Dataset, int], tuple[int, ...]] | None = None,
         backend: object = None,
         ft: FTConfig | None = None,
+        engine: ExplainEngine | None = None,
     ) -> None:
         if not detectors:
             raise ExperimentError("at least one detector is required")
@@ -120,10 +130,16 @@ class GridRunner:
         #: Live progress emitter, present only while :meth:`run` executes
         #: with ``REPRO_HEARTBEAT_S`` set.
         self._heartbeat: Heartbeat | None = None
-        # One pipeline per (detector, factory) so scorer caches persist
-        # across datasets and dimensionalities.
+        #: Warm-state layer shared by every pipeline of the grid: one
+        #: scorer per (dataset fingerprint, detector) regardless of which
+        #: explainer runs, with byte-budgeted eviction.
+        self.engine = engine if engine is not None else ExplainEngine(backend=backend)
+        # One pipeline per (detector, factory) so explainer state stays
+        # per-cell while warm scorers persist in the shared engine.
         self._pipelines = [
-            ExplanationPipeline(detector, factory(), backend=backend)  # type: ignore[arg-type]
+            ExplanationPipeline(
+                detector, factory(), backend=backend, engine=self.engine  # type: ignore[arg-type]
+            )
             for detector in self.detectors
             for factory in self.explainer_factories
         ]

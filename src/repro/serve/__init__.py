@@ -1,0 +1,51 @@
+"""Explanation-as-a-service: warm engine core + coalescing request loop.
+
+Layering (see ``docs/SERVING.md``):
+
+* :mod:`repro.serve.engine` — :class:`ExplainEngine`, the warm-state
+  layer every execution surface (batch pipeline, grid, stream, server)
+  draws scorers from. Imported eagerly; it sits *below*
+  :mod:`repro.pipeline` in the dependency order.
+* :mod:`repro.serve.protocol` / :mod:`repro.serve.server` /
+  :mod:`repro.serve.client` — the versioned JSON-lines wire schema, the
+  asyncio request loop with coalescing + admission control, and the
+  blocking test/bench client. These import the pipeline, so they load
+  lazily to keep ``repro.pipeline → repro.serve.engine`` acyclic.
+"""
+
+from __future__ import annotations
+
+from repro.serve.engine import (
+    DEFAULT_ENGINE_POOL_MB,
+    ENGINE_POOL_MB_ENV,
+    ExplainEngine,
+    resolve_engine_pool_bytes,
+)
+
+__all__ = [
+    "DEFAULT_ENGINE_POOL_MB",
+    "ENGINE_POOL_MB_ENV",
+    "ExplainEngine",
+    "ExplainServer",
+    "ServeClient",
+    "ServerConfig",
+    "resolve_engine_pool_bytes",
+]
+
+_LAZY = {
+    "ExplainServer": ("repro.serve.server", "ExplainServer"),
+    "ServerConfig": ("repro.serve.server", "ServerConfig"),
+    "ServeClient": ("repro.serve.client", "ServeClient"),
+}
+
+
+def __getattr__(name: str) -> object:
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attr)

@@ -1,0 +1,104 @@
+"""Blocking JSON-lines client for the explain service.
+
+A deliberately small synchronous client — enough for the test suite, the
+coalescing drill, and the load harness, each of which drives the server
+from plain threads. One :class:`ServeClient` owns one TCP connection and
+issues strictly request/response traffic on it; concurrency comes from
+many clients (the server coalesces across connections, not within one).
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket
+
+from repro.serve.protocol import PROTOCOL_VERSION, decode_line, encode_line
+
+__all__ = ["ServeClient"]
+
+
+class ServeClient:
+    """One blocking connection to an :class:`~repro.serve.ExplainServer`.
+
+    Parameters
+    ----------
+    host, port:
+        Server address (``ServerHandle.host`` / ``.port`` in-process).
+    timeout:
+        Socket timeout in seconds for connect and each response read.
+    """
+
+    def __init__(self, host: str, port: int, *, timeout: float = 60.0) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._sock.settimeout(timeout)
+        self._reader = self._sock.makefile("rb")
+        self._ids = itertools.count(1)
+
+    # ------------------------------------------------------------------
+
+    def request(self, payload: dict) -> dict:
+        """Send one raw request dict; return the decoded response.
+
+        Fills in ``v`` and ``id`` when absent. The response is returned
+        whether ``ok`` or an error envelope — callers that want raised
+        errors use the typed helpers below.
+        """
+        payload = dict(payload)
+        payload.setdefault("v", PROTOCOL_VERSION)
+        payload.setdefault("id", f"c{next(self._ids)}")
+        self._sock.sendall(encode_line(payload))
+        line = self._reader.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return decode_line(line)
+
+    def explain(
+        self,
+        dataset: str,
+        pipeline: str,
+        dimensionality: int,
+        *,
+        points: list[int] | tuple[int, ...] | None = None,
+        deadline_ms: float | None = None,
+    ) -> dict:
+        """One explain request; returns the full response envelope."""
+        payload: dict = {
+            "op": "explain",
+            "dataset": dataset,
+            "pipeline": pipeline,
+            "dimensionality": int(dimensionality),
+            "points": None if points is None else [int(p) for p in points],
+        }
+        if deadline_ms is not None:
+            payload["deadline_ms"] = float(deadline_ms)
+        return self.request(payload)
+
+    def ping(self) -> bool:
+        """Round-trip liveness check."""
+        response = self.request({"op": "ping"})
+        return bool(response.get("ok"))
+
+    def stats(self) -> dict:
+        """The server's engine/queue statistics."""
+        response = self.request({"op": "stats"})
+        if not response.get("ok"):
+            raise RuntimeError(f"stats request failed: {response.get('error')}")
+        return response["result"]
+
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Close the connection (idempotent)."""
+        try:
+            self._reader.close()
+        finally:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *_exc: object) -> None:
+        self.close()

@@ -1,0 +1,417 @@
+"""Warm explanation state as a first-class layer: the :class:`ExplainEngine`.
+
+Before this module, fingerprint-keyed scorer sharing was re-plumbed by
+every execution surface separately: :class:`~repro.pipeline.ExplanationPipeline`
+kept a private ``dict`` of scorers, the grid runner relied on each of its
+pipelines keeping theirs, the parallel grid rebuilt them per worker group,
+and the streaming monitor constructed a fresh scorer per anomaly. The
+engine centralises that state — one pool of warm
+:class:`~repro.subspaces.SubspaceScorer` instances keyed by
+``(dataset fingerprint, detector cache key)`` — so every surface (batch
+pipeline, grid, stream, and the :mod:`repro.serve` request loop) goes
+through the same admission/eviction policy instead of each growing its
+own unbounded cache.
+
+Three properties make the pool safe to share:
+
+* **Fingerprint keying.** Entries are keyed by the dataset's content
+  fingerprint and the detector's :meth:`~repro.detectors.Detector.cache_key`,
+  never by object identity — equal reconstructions of a dataset hit the
+  same warm scorer, and a recycled ``id()`` can never alias stale state.
+* **Determinism.** A warm scorer only *caches* detector score vectors; it
+  never changes what they are (see ``docs/ARCHITECTURE.md``, "the
+  equivalence guarantee"). Explanations computed through a warm pool are
+  byte-identical to cold runs — the property the serve layer's coalescing
+  drill asserts end to end.
+* **Byte-budgeted eviction.** Score-vector bytes across all pooled
+  scorers are bounded (``REPRO_ENGINE_POOL_MB``); when the pool exceeds
+  its budget, least-recently-used *entries* (whole scorers) are evicted
+  and closed. A server holding hundreds of datasets warm degrades to
+  recomputation, never to unbounded growth.
+
+The engine also offers :meth:`ExplainEngine.explain_many` — the coalesced
+execution primitive of the serve layer: concurrent requests for the same
+(dataset, pipeline, dimensionality) collapse into a single
+:meth:`~repro.subspaces.SubspaceScorer.scores_many` wave over the union
+of their points, and each request's response is sliced back out,
+byte-identical to the one-shot run it replaces.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from collections import OrderedDict
+from collections.abc import Iterable, Sequence
+from typing import TYPE_CHECKING
+
+from repro.datasets.base import Dataset
+from repro.detectors.base import Detector, data_fingerprint
+from repro.exceptions import ValidationError
+from repro.obs import metrics as obs_metrics
+from repro.subspaces.scorer import SubspaceScorer
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (pipeline imports us)
+    from repro.pipeline.pipeline import PipelineResult
+
+__all__ = [
+    "DEFAULT_ENGINE_POOL_MB",
+    "ENGINE_POOL_MB_ENV",
+    "ExplainEngine",
+    "resolve_engine_pool_bytes",
+]
+
+#: Environment variable naming the warm-pool byte budget in MiB.
+#: ``0`` (or negative) disables pooling: every scorer request is cold.
+ENGINE_POOL_MB_ENV = "REPRO_ENGINE_POOL_MB"
+
+#: Default pool budget when the environment names none: 512 MiB of
+#: memoised score vectors across all warm scorers.
+DEFAULT_ENGINE_POOL_MB = 512
+
+#: Default cap on pooled *entries* (warm scorers). Bytes alone would let a
+#: stream of tiny one-shot matrices (e.g. streaming anomaly windows) grow
+#: the pool without bound in count; the entry cap keeps eviction O(small).
+DEFAULT_ENGINE_POOL_ENTRIES = 256
+
+_POOL_ENTRIES = obs_metrics.gauge(
+    "repro_engine_pool_entries",
+    "Warm (dataset, detector) scorers currently pooled by explain engines",
+)
+_POOL_BYTES = obs_metrics.gauge(
+    "repro_engine_pool_bytes",
+    "Score-vector bytes held by pooled scorers across all explain engines",
+)
+_POOL_HITS = obs_metrics.counter(
+    "repro_engine_pool_hits_total",
+    "Scorer requests served from a warm pool entry",
+)
+_POOL_MISSES = obs_metrics.counter(
+    "repro_engine_pool_misses_total",
+    "Scorer requests that built a cold scorer",
+)
+_POOL_EVICTIONS = obs_metrics.counter(
+    "repro_engine_pool_evictions_total",
+    "Warm scorers evicted over the pool byte budget",
+)
+_COALESCED = obs_metrics.counter(
+    "repro_engine_coalesced_requests_total",
+    "Requests answered from a coalesced explain_many wave",
+)
+
+
+def resolve_engine_pool_bytes() -> int:
+    """The pool byte budget the environment asks for (may be zero = off)."""
+    raw = os.environ.get(ENGINE_POOL_MB_ENV, "").strip()
+    if not raw:
+        return DEFAULT_ENGINE_POOL_MB * 1024 * 1024
+    try:
+        mb = int(float(raw))
+    except ValueError as exc:
+        raise ValidationError(
+            f"{ENGINE_POOL_MB_ENV} must be a number of MiB, got {raw!r}"
+        ) from exc
+    return max(0, mb) * 1024 * 1024
+
+
+class ExplainEngine:
+    """Pool of warm per-(dataset, detector) scorers with byte-budgeted eviction.
+
+    Parameters
+    ----------
+    backend:
+        Execution backend handed to every scorer the engine builds — a
+        name, an :class:`~repro.exec.ExecutionBackend` instance, or
+        ``None`` for the ``REPRO_BACKEND`` default.
+    max_pool_bytes:
+        Byte budget for memoised score vectors across all pooled scorers.
+        ``None`` resolves from ``REPRO_ENGINE_POOL_MB`` (default 512 MiB);
+        ``0`` disables pooling entirely (every request builds a cold
+        scorer — the ablation/baseline mode).
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.datasets import load_dataset
+    >>> from repro.detectors import LOF
+    >>> engine = ExplainEngine()
+    >>> dataset = load_dataset("hics_14")
+    >>> a = engine.scorer_for(dataset, LOF(k=15))
+    >>> b = engine.scorer_for(dataset, LOF(k=15))
+    >>> a is b  # same fingerprint + detector key -> same warm scorer
+    True
+    >>> engine.stats()["entries"]
+    1
+    """
+
+    def __init__(
+        self,
+        *,
+        backend: object = None,
+        max_pool_bytes: int | None = None,
+        max_pool_entries: int = DEFAULT_ENGINE_POOL_ENTRIES,
+    ) -> None:
+        self.backend = backend
+        self.max_pool_bytes = (
+            resolve_engine_pool_bytes()
+            if max_pool_bytes is None
+            else int(max_pool_bytes)
+        )
+        if self.max_pool_bytes < 0:
+            raise ValidationError(
+                f"max_pool_bytes must be >= 0, got {self.max_pool_bytes}"
+            )
+        self.max_pool_entries = int(max_pool_entries)
+        if self.max_pool_entries < 1:
+            raise ValidationError(
+                f"max_pool_entries must be >= 1, got {self.max_pool_entries}"
+            )
+        self._lock = threading.RLock()
+        self._pool: OrderedDict[tuple, SubspaceScorer] = OrderedDict()
+        self._datasets: dict[str, Dataset] = {}
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    # ------------------------------------------------------------------
+    # Dataset registry.
+    # ------------------------------------------------------------------
+
+    def register_dataset(self, dataset: Dataset) -> Dataset:
+        """Pin ``dataset`` under its registry name for name-based lookup.
+
+        The serve layer resolves request dataset names through the engine
+        so every request against the same name shares one matrix (and
+        hence one fingerprint, one warm scorer, one distance provider).
+        """
+        if not isinstance(dataset, Dataset):
+            raise ValidationError(
+                f"dataset must be a repro Dataset, got {type(dataset).__name__}"
+            )
+        with self._lock:
+            self._datasets[dataset.name] = dataset
+        return dataset
+
+    def dataset(self, name: str, **overrides: object) -> Dataset:
+        """A registered dataset by name, building registry names on demand.
+
+        Unregistered names fall back to
+        :func:`repro.datasets.load_dataset` (which memoises per exact
+        parameterisation) and are then pinned, so the first request for a
+        dataset pays construction and every later one is a dict lookup.
+        """
+        with self._lock:
+            cached = self._datasets.get(name)
+        if cached is not None:
+            return cached
+        from repro.datasets.registry import load_dataset
+
+        return self.register_dataset(load_dataset(name, **overrides))
+
+    @property
+    def dataset_names(self) -> tuple[str, ...]:
+        """Names currently pinned in the engine's dataset registry."""
+        with self._lock:
+            return tuple(sorted(self._datasets))
+
+    # ------------------------------------------------------------------
+    # Warm scorer pool.
+    # ------------------------------------------------------------------
+
+    def scorer_for(self, dataset: Dataset, detector: Detector) -> SubspaceScorer:
+        """The pooled scorer binding ``dataset`` and ``detector`` (warm if seen).
+
+        Entries are keyed by ``(dataset.fingerprint, detector.cache_key())``
+        so two detector instances with identical parameters share one warm
+        scorer, exactly as their score vectors would be interchangeable.
+        With a zero pool budget this always builds a cold scorer.
+        """
+        key = (dataset.fingerprint, detector.cache_key())
+        return self._lookup(key, dataset.X, detector)
+
+    def scorer_for_matrix(self, X: object, detector: Detector) -> SubspaceScorer:
+        """A pooled scorer for a raw matrix without a :class:`Dataset` wrapper.
+
+        The streaming monitor explains anomalies against ad-hoc window
+        matrices; keying by content fingerprint (same hash the dataset
+        layer uses) lets repeated identical windows — e.g. several
+        anomalies scored before the window advances — share warm state,
+        while the entry cap keeps a stream of unique windows bounded.
+        """
+        key = (("matrix", data_fingerprint(X)), detector.cache_key())
+        return self._lookup(key, X, detector)
+
+    def _lookup(self, key: tuple, X: object, detector: Detector) -> SubspaceScorer:
+        with self._lock:
+            if self.max_pool_bytes == 0:
+                self._misses += 1
+                _POOL_MISSES.inc()
+                return SubspaceScorer(X, detector, backend=self.backend)
+            scorer = self._pool.get(key)
+            if scorer is not None:
+                self._pool.move_to_end(key)
+                self._hits += 1
+                _POOL_HITS.inc()
+                return scorer
+            self._misses += 1
+            _POOL_MISSES.inc()
+            scorer = SubspaceScorer(X, detector, backend=self.backend)
+            self._pool[key] = scorer
+            self._refresh_gauges()
+            return scorer
+
+    def trim(self) -> int:
+        """Evict least-recently-used scorers beyond the pool budgets.
+
+        Returns the number of entries evicted. Called by the execution
+        surfaces after each run (score-vector bytes grow *during* a run,
+        so admission-time checks alone would under-enforce); safe to call
+        at any time. The most recent entry is never evicted — a pipeline's
+        only warm scorer survives arbitrarily small budgets.
+        """
+        evicted = 0
+        with self._lock:
+            while len(self._pool) > 1 and (
+                len(self._pool) > self.max_pool_entries
+                or self.pool_nbytes > self.max_pool_bytes
+            ):
+                _, scorer = self._pool.popitem(last=False)
+                scorer.close()
+                evicted += 1
+                self._evictions += 1
+                _POOL_EVICTIONS.inc()
+            if evicted:
+                self._refresh_gauges()
+        return evicted
+
+    @property
+    def pool_nbytes(self) -> int:
+        """Approximate score-vector bytes across all pooled scorers."""
+        with self._lock:
+            return sum(s.cache_nbytes for s in self._pool.values())
+
+    def stats(self) -> dict[str, int | float]:
+        """Pool counters for snapshots and the serve ``stats`` op."""
+        with self._lock:
+            total = self._hits + self._misses
+            return {
+                "entries": len(self._pool),
+                "datasets": len(self._datasets),
+                "bytes": self.pool_nbytes,
+                "max_bytes": self.max_pool_bytes,
+                "max_entries": self.max_pool_entries,
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+                "hit_rate": self._hits / total if total else 0.0,
+            }
+
+    def clear(self) -> None:
+        """Drop every pooled scorer and pinned dataset (counters survive)."""
+        with self._lock:
+            for scorer in self._pool.values():
+                scorer.close()
+            self._pool.clear()
+            self._datasets.clear()
+            self._refresh_gauges()
+
+    def close(self) -> None:
+        """Release all pooled scorers and their backend worker pools."""
+        self.clear()
+
+    def _refresh_gauges(self) -> None:
+        _POOL_ENTRIES.set(len(self._pool))
+        _POOL_BYTES.set(sum(s.cache_nbytes for s in self._pool.values()))
+
+    # ------------------------------------------------------------------
+    # Coalesced execution (the serve layer's batch primitive).
+    # ------------------------------------------------------------------
+
+    def explain_many(
+        self,
+        dataset: Dataset,
+        detector: Detector,
+        explainer: object,
+        dimensionality: int,
+        point_sets: Sequence[Iterable[int]],
+    ) -> "list[PipelineResult]":
+        """Serve several explain requests against one (dataset, pipeline).
+
+        For **point explainers** the requests coalesce: the union of all
+        requested points runs as *one* pipeline execution (each point is
+        explained independently and deterministically, so one wave through
+        :meth:`~repro.subspaces.SubspaceScorer.scores_many` covers every
+        request), and each request's explanations and evaluation are
+        sliced back out — byte-identical to running that request alone.
+
+        **Summary explainers** depend on the exact point *set* (LookOut's
+        marginal gains, HiCS's re-ranking), so each request runs its own
+        pipeline execution; they still share this engine's warm scorer and
+        the process-global contrast cache, which is where their speedup
+        comes from.
+
+        Returns one :class:`~repro.pipeline.PipelineResult` per entry of
+        ``point_sets``, in order.
+        """
+        from repro.explainers.base import PointExplainer
+        from repro.metrics.evaluation import evaluate_point_explanations
+        from repro.pipeline.pipeline import ExplanationPipeline, PipelineResult
+
+        pipeline = ExplanationPipeline(
+            detector, explainer, backend=self.backend, engine=self
+        )
+        sets = [tuple(int(p) for p in ps) for ps in point_sets]
+        if not sets:
+            return []
+        distinct = {ps for ps in sets}
+        if (
+            not isinstance(explainer, PointExplainer)
+            or len(distinct) == 1
+        ):
+            # Summarisers (set-dependent) and single-shape batches run the
+            # plain pipeline per distinct set; duplicates share one run.
+            by_set = {
+                ps: pipeline.run(dataset, dimensionality, points=ps)
+                for ps in dict.fromkeys(sets)
+            }
+            if len(sets) > len(by_set):
+                _COALESCED.inc(len(sets) - len(by_set))
+            self.trim()
+            return [by_set[ps] for ps in sets]
+
+        union = tuple(sorted({p for ps in sets for p in ps}))
+        base = pipeline.run(dataset, dimensionality, points=union)
+        _COALESCED.inc(len(sets))
+        self.trim()
+        results: list[PipelineResult] = []
+        assert base.explanations is not None
+        for ps in sets:
+            explanations = {int(p): base.explanations[int(p)] for p in ps}
+            evaluation = evaluate_point_explanations(
+                explanations,
+                dataset.ground_truth,
+                dimensionality,
+                points=ps,
+            )
+            results.append(
+                PipelineResult(
+                    dataset=base.dataset,
+                    detector=base.detector,
+                    explainer=base.explainer,
+                    dimensionality=base.dimensionality,
+                    evaluation=evaluation,
+                    seconds=base.seconds,
+                    n_subspaces_scored=base.n_subspaces_scored,
+                    cost_breakdown=dict(base.cost_breakdown),
+                    explanations=explanations,
+                    summary=None,
+                )
+            )
+        return results
+
+    def __repr__(self) -> str:
+        stats = self.stats()
+        return (
+            f"ExplainEngine(entries={stats['entries']}, "
+            f"bytes={stats['bytes']}, max_bytes={self.max_pool_bytes})"
+        )

@@ -1,0 +1,399 @@
+"""Versioned JSON-lines wire schema of the explain service.
+
+One request per line, one response per line, UTF-8 JSON (see
+``docs/SERVING.md`` for the full schema). The protocol is deliberately
+dumb — no framing beyond ``\\n``, no negotiation beyond an integer
+``v`` — so a load generator is twenty lines of stdlib and the serve
+smoke leg needs no extra dependencies.
+
+Requests name their pipeline in the testbed's ``explainer+detector``
+notation (``"beam+lof"``) and an experiment *profile* that supplies
+every hyper-parameter, exactly as the batch CLI does — which is what
+makes a served explanation comparable (byte-identical, for seeded
+explainers) to the equivalent :class:`~repro.pipeline.ExplanationPipeline`
+run: both sides resolve components and datasets through the same
+:class:`~repro.experiments.ExperimentProfile`.
+
+Errors carry a stable ``code`` plus a ``transient`` flag derived from the
+same taxonomy :func:`repro.ft.classify_error` applies to grid cells, so a
+client's retry policy can treat the serve and batch layers uniformly.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING
+
+from repro.ft import classify_error
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.datasets.base import Dataset
+    from repro.detectors.base import Detector
+    from repro.pipeline.pipeline import PipelineResult
+
+__all__ = [
+    "ERROR_CODES",
+    "OPS",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "decode_line",
+    "encode_line",
+    "error_response",
+    "ok_response",
+    "parse_request",
+    "resolve_dataset",
+    "resolve_pipeline",
+    "result_to_wire",
+]
+
+#: Wire schema version. Bump on any incompatible change to the request or
+#: response shape; servers reject other versions with ``bad_request``.
+PROTOCOL_VERSION = 1
+
+#: Operations a request may name.
+OPS = ("explain", "ping", "stats")
+
+#: Stable error codes a response may carry (documented in docs/SERVING.md;
+#: tools/check_docs.py cross-checks that list against this one).
+#:
+#: * ``bad_request`` — malformed JSON, wrong version, unknown op, or
+#:   invalid field types/values. Fatal: retrying the same bytes cannot
+#:   succeed.
+#: * ``unknown_dataset`` — the dataset name resolves to nothing. Fatal.
+#: * ``unknown_pipeline`` — the ``explainer+detector`` name is not served
+#:   under the active profile. Fatal.
+#: * ``overloaded`` — queue-depth admission control rejected the request
+#:   before queueing. Transient: retry with backoff.
+#: * ``deadline_exceeded`` — the request's deadline budget expired while
+#:   it waited in the queue. Transient: the service is behind, not broken.
+#: * ``internal`` — the pipeline raised; ``transient`` mirrors
+#:   :func:`repro.ft.classify_error` on the underlying exception.
+#: * ``shutdown`` — the server is draining; in-queue requests are failed
+#:   fast. Transient: retry against the replacement instance.
+ERROR_CODES = (
+    "bad_request",
+    "unknown_dataset",
+    "unknown_pipeline",
+    "overloaded",
+    "deadline_exceeded",
+    "internal",
+    "shutdown",
+)
+
+#: Error codes that are always transient regardless of the underlying
+#: exception (load shedding and lifecycle, not computation).
+_TRANSIENT_CODES = frozenset({"overloaded", "deadline_exceeded", "shutdown"})
+
+
+class ProtocolError(Exception):
+    """A request the server must answer with an error response.
+
+    Parameters
+    ----------
+    code:
+        One of :data:`ERROR_CODES`.
+    message:
+        Human-readable detail (single line; it travels on the wire).
+    transient:
+        Retry hint. ``None`` derives it from the code (load-shedding
+        codes are transient, schema/validation codes fatal).
+    """
+
+    def __init__(self, code: str, message: str, transient: bool | None = None) -> None:
+        if code not in ERROR_CODES:
+            raise ValueError(f"unknown protocol error code {code!r}")
+        super().__init__(message)
+        self.code = code
+        self.transient = (
+            code in _TRANSIENT_CODES if transient is None else bool(transient)
+        )
+
+
+# ----------------------------------------------------------------------
+# Line codec.
+# ----------------------------------------------------------------------
+
+
+def encode_line(payload: dict) -> bytes:
+    """One wire line: compact JSON, sorted keys, trailing newline.
+
+    Sorted keys + compact separators make the encoding canonical — two
+    equal payloads produce equal bytes, which is what the serve smoke
+    leg's byte-identity assertion compares.
+    """
+    return (
+        json.dumps(payload, sort_keys=True, separators=(",", ":")) + "\n"
+    ).encode("utf-8")
+
+
+def decode_line(line: bytes | str) -> dict:
+    """Parse one wire line into a dict (``bad_request`` on any failure)."""
+    try:
+        payload = json.loads(line)
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ProtocolError("bad_request", f"malformed JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            "bad_request", f"expected a JSON object, got {type(payload).__name__}"
+        )
+    return payload
+
+
+# ----------------------------------------------------------------------
+# Request validation.
+# ----------------------------------------------------------------------
+
+
+def parse_request(payload: dict) -> dict:
+    """Validate a decoded request; returns a normalised copy.
+
+    Normalisation: ``id`` coerced to str, ``points`` to a sorted tuple of
+    unique ints (or ``None`` for "all points of interest"),
+    ``dimensionality`` to int, ``deadline_ms`` to float-or-None.
+    """
+    version = payload.get("v")
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            "bad_request",
+            f"unsupported protocol version {version!r} (server speaks "
+            f"{PROTOCOL_VERSION})",
+        )
+    op = payload.get("op")
+    if op not in OPS:
+        raise ProtocolError(
+            "bad_request", f"unknown op {op!r}; supported: {', '.join(OPS)}"
+        )
+    request_id = payload.get("id")
+    if request_id is None:
+        raise ProtocolError("bad_request", "request is missing 'id'")
+    normalised: dict = {"v": PROTOCOL_VERSION, "id": str(request_id), "op": op}
+    if op != "explain":
+        return normalised
+
+    for field_name in ("dataset", "pipeline"):
+        value = payload.get(field_name)
+        if not isinstance(value, str) or not value:
+            raise ProtocolError(
+                "bad_request", f"explain request needs a string {field_name!r}"
+            )
+        normalised[field_name] = value
+    dimensionality = payload.get("dimensionality")
+    if not isinstance(dimensionality, int) or isinstance(dimensionality, bool):
+        raise ProtocolError(
+            "bad_request", "explain request needs an integer 'dimensionality'"
+        )
+    if dimensionality < 1:
+        raise ProtocolError(
+            "bad_request", f"dimensionality must be >= 1, got {dimensionality}"
+        )
+    normalised["dimensionality"] = dimensionality
+
+    points = payload.get("points")
+    if points is None:
+        normalised["points"] = None
+    else:
+        if not isinstance(points, list) or not points:
+            raise ProtocolError(
+                "bad_request", "'points' must be a non-empty list or null"
+            )
+        try:
+            normalised["points"] = tuple(
+                sorted({int(p) for p in points})
+            )
+        except (TypeError, ValueError) as exc:
+            raise ProtocolError(
+                "bad_request", f"'points' must hold integers: {exc}"
+            ) from exc
+
+    deadline_ms = payload.get("deadline_ms")
+    if deadline_ms is None:
+        normalised["deadline_ms"] = None
+    else:
+        try:
+            normalised["deadline_ms"] = float(deadline_ms)
+        except (TypeError, ValueError) as exc:
+            raise ProtocolError(
+                "bad_request", "'deadline_ms' must be a number"
+            ) from exc
+        if normalised["deadline_ms"] <= 0:
+            raise ProtocolError(
+                "bad_request",
+                f"'deadline_ms' must be positive, got {deadline_ms}",
+            )
+    return normalised
+
+
+# ----------------------------------------------------------------------
+# Component resolution (shared with the batch CLI via profiles).
+# ----------------------------------------------------------------------
+
+
+def resolve_pipeline(
+    name: str, profile: object
+) -> "tuple[Detector, object]":
+    """``"beam+lof"`` → a fresh ``(detector, explainer)`` pair under ``profile``.
+
+    Explainers are built fresh per call (the grid's factory discipline —
+    stateful explainers must not leak across requests); detectors are
+    cheap parameter holders, also fresh. Both draw every hyper-parameter
+    from the profile, so a served pipeline is configured identically to
+    the batch experiment the profile names.
+    """
+    explainer_name, sep, detector_name = name.partition("+")
+    if not sep or not explainer_name or not detector_name:
+        raise ProtocolError(
+            "unknown_pipeline",
+            f"pipeline {name!r} is not of the form 'explainer+detector'",
+        )
+    detectors = {d.name: d for d in profile.detectors()}
+    factories = {}
+    for factory in (
+        profile.point_explainer_factories() + profile.summary_explainer_factories()
+    ):
+        probe = factory()
+        factories[probe.name] = factory
+    if detector_name not in detectors:
+        raise ProtocolError(
+            "unknown_pipeline",
+            f"unknown detector {detector_name!r}; served: {sorted(detectors)}",
+        )
+    if explainer_name not in factories:
+        raise ProtocolError(
+            "unknown_pipeline",
+            f"unknown explainer {explainer_name!r}; served: {sorted(factories)}",
+        )
+    return detectors[detector_name], factories[explainer_name]()
+
+
+def resolve_dataset(name: str, profile: object) -> "Dataset":
+    """A dataset by registry name with ``profile``'s overrides applied.
+
+    Mirrors :meth:`~repro.experiments.ExperimentProfile.synthetic_datasets`
+    / ``realistic_datasets``: synthetic ``hics_*`` names get the profile's
+    sample count, realistic names its per-dataset overrides — so a served
+    request sees exactly the matrix the batch experiment would.
+    """
+    from repro.datasets.registry import load_dataset
+    from repro.exceptions import ReproError
+
+    overrides: dict = {}
+    if name.startswith("hics_"):
+        overrides["n_samples"] = profile.synthetic_samples
+    else:
+        overrides.update(profile.realistic_overrides.get(name, {}))
+    try:
+        return load_dataset(name, seed=profile.seed, **overrides)
+    except ReproError as exc:
+        raise ProtocolError("unknown_dataset", str(exc)) from exc
+
+
+# ----------------------------------------------------------------------
+# Responses.
+# ----------------------------------------------------------------------
+
+
+def ok_response(request_id: str, result: dict, meta: dict | None = None) -> dict:
+    """A success envelope for ``request_id``."""
+    payload = {
+        "v": PROTOCOL_VERSION,
+        "id": request_id,
+        "ok": True,
+        "result": result,
+    }
+    if meta:
+        payload["meta"] = meta
+    return payload
+
+
+def error_response(
+    request_id: str | None,
+    code: str,
+    message: str,
+    *,
+    transient: bool | None = None,
+) -> dict:
+    """An error envelope (``transient`` derived from ``code`` when omitted)."""
+    err = ProtocolError(code, message, transient)
+    return {
+        "v": PROTOCOL_VERSION,
+        "id": request_id,
+        "ok": False,
+        "error": {
+            "code": err.code,
+            "message": str(err),
+            "transient": err.transient,
+        },
+    }
+
+
+def error_from_exception(request_id: str | None, exc: BaseException) -> dict:
+    """Map an arbitrary exception onto the wire error shape.
+
+    :class:`ProtocolError` keeps its code; anything else becomes
+    ``internal`` with the transient flag :func:`repro.ft.classify_error`
+    assigns — the same transient/fatal taxonomy grid cells retry under.
+    """
+    if isinstance(exc, ProtocolError):
+        return error_response(
+            request_id, exc.code, str(exc), transient=exc.transient
+        )
+    return error_response(
+        request_id,
+        "internal",
+        f"{type(exc).__name__}: {exc}",
+        transient=classify_error(exc) == "transient",
+    )
+
+
+def _ranking_to_wire(ranking: object) -> dict:
+    return {
+        "subspaces": [list(map(int, s)) for s in ranking.subspaces],
+        "scores": [float(v) for v in ranking.scores],
+    }
+
+
+def result_to_wire(result: "PipelineResult") -> dict:
+    """A :class:`~repro.pipeline.PipelineResult` as a JSON-encodable dict.
+
+    Floats survive exactly: ``json`` emits ``repr``-style shortest
+    round-trip representations, so encoding a result twice — or encoding
+    the served and the batch run of the same request — yields identical
+    bytes whenever the underlying float64 values are identical. Wall-time
+    fields (``seconds``, ``cost_breakdown``) are intentionally *excluded*
+    from the wire result and travel in the response ``meta`` instead,
+    keeping the result bytes a pure function of the computation.
+    """
+    evaluation = result.evaluation
+    wire: dict = {
+        "dataset": result.dataset,
+        "detector": result.detector,
+        "explainer": result.explainer,
+        "pipeline": f"{result.explainer}+{result.detector}",
+        "dimensionality": result.dimensionality,
+        "evaluation": {
+            "map": float(evaluation.map),
+            "mean_recall": float(evaluation.mean_recall),
+            "per_point_ap": {
+                str(p): float(v)
+                for p, v in sorted(evaluation.per_point_ap.items())
+            },
+            "per_point_recall": {
+                str(p): float(v)
+                for p, v in sorted(evaluation.per_point_recall.items())
+            },
+        },
+        "explanations": (
+            {
+                str(p): _ranking_to_wire(r)
+                for p, r in sorted(result.explanations.items())
+            }
+            if result.explanations is not None
+            else None
+        ),
+        "summary": (
+            _ranking_to_wire(result.summary)
+            if result.summary is not None
+            else None
+        ),
+    }
+    return wire

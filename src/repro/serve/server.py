@@ -1,0 +1,584 @@
+"""Asyncio request loop: coalescing, deadlines, and admission control.
+
+The server speaks the JSON-lines schema of :mod:`repro.serve.protocol`
+over TCP and executes every explanation through one shared
+:class:`~repro.serve.ExplainEngine`. Its scheduling model is a *wave*
+loop:
+
+1. Connections append validated requests to a bounded central queue
+   (rejecting with ``overloaded`` beyond ``max_queue`` — admission
+   control happens before any work is done).
+2. A single dispatcher drains the queue, drops requests whose deadline
+   budget already expired (``deadline_exceeded``), groups the survivors
+   by ``(dataset, pipeline, dimensionality)``, and runs each group as one
+   :meth:`~repro.serve.ExplainEngine.explain_many` call in a worker
+   thread — so N concurrent requests for the same pipeline cost one
+   union-points batch wave through ``scores_many`` instead of N.
+3. Each request's response is written back on its own connection as soon
+   as its group completes; groups of a wave run concurrently.
+
+Because the engine's coalescing is byte-identical to one-shot pipeline
+runs (the coalescing drill in ``tests/serve`` asserts it), a client
+cannot observe whether its request was batched — only the latency tells.
+
+Everything here is stdlib: ``asyncio`` for the loop, threads for the
+numpy-bound compute (which releases the GIL in the kernels that matter).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.exceptions import ValidationError
+from repro.experiments.config import get_profile
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import span as obs_span
+from repro.serve.engine import ExplainEngine
+from repro.serve.protocol import (
+    ProtocolError,
+    decode_line,
+    encode_line,
+    error_from_exception,
+    error_response,
+    ok_response,
+    parse_request,
+    resolve_dataset,
+    resolve_pipeline,
+    result_to_wire,
+)
+
+__all__ = ["ExplainServer", "ServerConfig", "ServerHandle"]
+
+_REQUESTS = obs_metrics.counter(
+    "repro_serve_requests_total",
+    "Serve requests by terminal status (ok or an error code)",
+)
+_REQUEST_SECONDS = obs_metrics.histogram(
+    "repro_serve_request_seconds",
+    "End-to-end latency of explain requests (receipt to response write)",
+)
+_BATCH_SIZE = obs_metrics.histogram(
+    "repro_serve_batch_size",
+    "Requests coalesced into one engine batch",
+    buckets=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0),
+)
+_QUEUE_DEPTH = obs_metrics.gauge(
+    "repro_serve_queue_depth",
+    "Explain requests queued and awaiting dispatch",
+)
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Tunables of one :class:`ExplainServer` (see ``docs/SERVING.md``).
+
+    Attributes
+    ----------
+    host, port:
+        Bind address. Port ``0`` asks the OS for a free port — the bound
+        port is on :attr:`ExplainServer.port` after ``start()``.
+    profile:
+        Experiment profile name supplying every detector/explainer
+        hyper-parameter and dataset override (the same vocabulary as the
+        batch CLI's ``--profile``).
+    max_queue:
+        Admission-control bound: explain requests beyond this many queued
+        are rejected with ``overloaded`` instead of accepted and served
+        late.
+    max_batch:
+        Cap on requests coalesced into one engine batch; a wave with more
+        queued splits the group into several batches.
+    default_deadline_ms:
+        Deadline budget applied to requests that do not carry their own
+        ``deadline_ms``. ``None`` means no default deadline.
+    backend:
+        Execution backend for the engine's scorers (name, instance, or
+        ``None`` for the ``REPRO_BACKEND`` default).
+    max_pool_mb:
+        Warm-pool byte budget in MiB for the server's engine (``None``
+        resolves ``REPRO_ENGINE_POOL_MB``).
+    warm:
+        Dataset names to load and register into the engine before
+        accepting connections, so first requests skip construction cost.
+    heartbeat_jsonl:
+        Optional path appended with one JSON record per dispatch wave
+        (wave index, groups, batched requests, queue depth) — the serve
+        counterpart of the grid heartbeat artifact.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    profile: str = "smoke"
+    max_queue: int = 64
+    max_batch: int = 16
+    default_deadline_ms: float | None = 30_000.0
+    backend: object = None
+    max_pool_mb: int | None = None
+    warm: tuple[str, ...] = ()
+    heartbeat_jsonl: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_queue < 1:
+            raise ValidationError(f"max_queue must be >= 1, got {self.max_queue}")
+        if self.max_batch < 1:
+            raise ValidationError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.default_deadline_ms is not None and self.default_deadline_ms <= 0:
+            raise ValidationError(
+                "default_deadline_ms must be positive or None, got "
+                f"{self.default_deadline_ms}"
+            )
+
+
+@dataclass
+class _Pending:
+    """One queued explain request: wire fields + completion plumbing."""
+
+    request: dict
+    writer: asyncio.StreamWriter
+    write_lock: asyncio.Lock
+    enqueued_at: float
+    deadline_at: float | None
+    done: "asyncio.Future[None]" = field(repr=False, default=None)  # type: ignore[assignment]
+
+
+class ExplainServer:
+    """The explain service: one engine, one queue, one dispatcher.
+
+    Typical use from tests and the bench harness::
+
+        server = ExplainServer(ServerConfig(port=0))
+        handle = server.run_in_thread()
+        try:
+            ...  # connect ServeClient(handle.host, handle.port)
+        finally:
+            handle.stop()
+
+    The CLI entrypoint (``repro serve``) instead calls
+    :meth:`serve_forever` on the main thread.
+    """
+
+    def __init__(
+        self,
+        config: ServerConfig | None = None,
+        *,
+        engine: ExplainEngine | None = None,
+        tracer: object = None,
+    ) -> None:
+        self.config = config if config is not None else ServerConfig()
+        self.profile = get_profile(self.config.profile)
+        max_pool_bytes = (
+            None
+            if self.config.max_pool_mb is None
+            else int(self.config.max_pool_mb) * 1024 * 1024
+        )
+        self.engine = (
+            engine
+            if engine is not None
+            else ExplainEngine(
+                backend=self.config.backend, max_pool_bytes=max_pool_bytes
+            )
+        )
+        #: Optional :class:`repro.obs.Tracer` installed around every batch
+        #: compute. Tracer activation is contextvar-scoped, so worker
+        #: threads would otherwise fall back to the null tracer; pinning
+        #: it here gives the load harness serve.batch → pipeline.run span
+        #: trees as an artifact.
+        self._tracer = tracer
+        self._queue: list[_Pending] = []
+        self._queue_event: asyncio.Event | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self._dispatcher: asyncio.Task | None = None
+        self._stopping = False
+        self._waves = 0
+        self.port: int | None = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle.
+    # ------------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind, warm the requested datasets, and start the dispatcher."""
+        for name in self.config.warm:
+            self.engine.register_dataset(resolve_dataset(name, self.profile))
+        self._queue_event = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._dispatcher = asyncio.create_task(self._dispatch_loop())
+
+    async def stop(self) -> None:
+        """Stop accepting, fail queued requests fast, release the engine."""
+        self._stopping = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._queue_event is not None:
+            self._queue_event.set()
+        if self._dispatcher is not None:
+            self._dispatcher.cancel()
+            try:
+                await self._dispatcher
+            except asyncio.CancelledError:
+                pass
+        for pending in self._queue:
+            await self._respond(
+                pending,
+                error_response(
+                    pending.request["id"], "shutdown", "server is shutting down"
+                ),
+            )
+        self._queue.clear()
+        _QUEUE_DEPTH.set(0)
+        self.engine.close()
+
+    async def serve_forever(self) -> None:
+        """Start and block until cancelled (the CLI entrypoint)."""
+        await self.start()
+        assert self._server is not None
+        try:
+            await self._server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await self.stop()
+
+    def run_in_thread(self) -> "ServerHandle":
+        """Run the server on a dedicated event-loop thread; returns a handle.
+
+        The handle exposes ``host``/``port`` once the server is bound and
+        ``stop()`` for clean teardown — the shape the load harness and the
+        coalescing drill use to host a server in-process.
+        """
+        started = threading.Event()
+        handle = ServerHandle(self)
+
+        def _run() -> None:
+            loop = asyncio.new_event_loop()
+            asyncio.set_event_loop(loop)
+            handle._loop = loop
+
+            async def _main() -> None:
+                await self.start()
+                started.set()
+                assert self._server is not None
+                try:
+                    await self._server.serve_forever()
+                except asyncio.CancelledError:
+                    pass
+
+            try:
+                loop.run_until_complete(_main())
+                loop.run_until_complete(self.stop())
+            finally:
+                loop.close()
+
+        thread = threading.Thread(target=_run, name="repro-serve", daemon=True)
+        handle._thread = thread
+        thread.start()
+        if not started.wait(timeout=30.0):
+            raise RuntimeError("explain server failed to start within 30s")
+        return handle
+
+    # ------------------------------------------------------------------
+    # Connection handling.
+    # ------------------------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        write_lock = asyncio.Lock()
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                await self._handle_line(line, writer, write_lock)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _handle_line(
+        self,
+        line: bytes,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+    ) -> None:
+        request_id: str | None = None
+        try:
+            payload = decode_line(line)
+            request_id = (
+                str(payload.get("id")) if payload.get("id") is not None else None
+            )
+            request = parse_request(payload)
+        except ProtocolError as exc:
+            await self._write(
+                writer,
+                write_lock,
+                error_response(request_id, exc.code, str(exc), transient=exc.transient),
+            )
+            _REQUESTS.inc(status=exc.code)
+            return
+
+        op = request["op"]
+        if op == "ping":
+            await self._write(
+                writer, write_lock, ok_response(request["id"], {"pong": True})
+            )
+            _REQUESTS.inc(status="ok")
+            return
+        if op == "stats":
+            await self._write(
+                writer,
+                write_lock,
+                ok_response(
+                    request["id"],
+                    {
+                        "engine": self.engine.stats(),
+                        "queue_depth": len(self._queue),
+                        "waves": self._waves,
+                        "profile": self.profile.name,
+                    },
+                ),
+            )
+            _REQUESTS.inc(status="ok")
+            return
+
+        # op == "explain": admission control, then queue for the dispatcher.
+        if self._stopping:
+            await self._write(
+                writer,
+                write_lock,
+                error_response(request["id"], "shutdown", "server is shutting down"),
+            )
+            _REQUESTS.inc(status="shutdown")
+            return
+        if len(self._queue) >= self.config.max_queue:
+            await self._write(
+                writer,
+                write_lock,
+                error_response(
+                    request["id"],
+                    "overloaded",
+                    f"queue is full ({self.config.max_queue} requests)",
+                ),
+            )
+            _REQUESTS.inc(status="overloaded")
+            return
+        now = time.monotonic()
+        deadline_ms = request["deadline_ms"]
+        if deadline_ms is None:
+            deadline_ms = self.config.default_deadline_ms
+        pending = _Pending(
+            request=request,
+            writer=writer,
+            write_lock=write_lock,
+            enqueued_at=now,
+            deadline_at=None if deadline_ms is None else now + deadline_ms / 1000.0,
+            done=asyncio.get_running_loop().create_future(),
+        )
+        self._queue.append(pending)
+        _QUEUE_DEPTH.set(len(self._queue))
+        assert self._queue_event is not None
+        self._queue_event.set()
+        # Propagate backpressure to the pipelining client: the next line
+        # of this connection is not read until this request completes.
+        await pending.done
+
+    async def _write(
+        self,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+        payload: dict,
+    ) -> None:
+        data = encode_line(payload)
+        async with write_lock:
+            try:
+                writer.write(data)
+                await writer.drain()
+            except (ConnectionError, OSError):
+                pass  # client went away; nothing to deliver the response to
+
+    # ------------------------------------------------------------------
+    # Dispatch loop.
+    # ------------------------------------------------------------------
+
+    async def _dispatch_loop(self) -> None:
+        assert self._queue_event is not None
+        while True:
+            await self._queue_event.wait()
+            self._queue_event.clear()
+            if not self._queue:
+                continue
+            wave, self._queue = self._queue, []
+            _QUEUE_DEPTH.set(0)
+            self._waves += 1
+            await self._run_wave(wave)
+
+    async def _run_wave(self, wave: list[_Pending]) -> None:
+        now = time.monotonic()
+        live: list[_Pending] = []
+        for pending in wave:
+            if pending.deadline_at is not None and now > pending.deadline_at:
+                waited_ms = (now - pending.enqueued_at) * 1000.0
+                await self._respond(
+                    pending,
+                    error_response(
+                        pending.request["id"],
+                        "deadline_exceeded",
+                        f"deadline expired after {waited_ms:.0f}ms in queue",
+                    ),
+                )
+                _REQUESTS.inc(status="deadline_exceeded")
+                _REQUEST_SECONDS.observe(now - pending.enqueued_at)
+                continue
+            live.append(pending)
+        if not live:
+            return
+
+        groups: dict[tuple[str, str, int], list[_Pending]] = {}
+        for pending in live:
+            request = pending.request
+            key = (request["dataset"], request["pipeline"], request["dimensionality"])
+            groups.setdefault(key, []).append(pending)
+
+        batches: list[tuple[tuple[str, str, int], list[_Pending]]] = []
+        for key, members in groups.items():
+            for start in range(0, len(members), self.config.max_batch):
+                batches.append((key, members[start : start + self.config.max_batch]))
+
+        if self.config.heartbeat_jsonl:
+            record = {
+                "wave": self._waves,
+                "requests": len(live),
+                "groups": len(groups),
+                "batches": len(batches),
+                "queue_depth": len(self._queue),
+                "engine_entries": self.engine.stats()["entries"],
+            }
+            with open(self.config.heartbeat_jsonl, "a", encoding="utf-8") as fh:
+                fh.write(json.dumps(record, sort_keys=True) + "\n")
+
+        await asyncio.gather(
+            *(self._run_batch(key, members) for key, members in batches)
+        )
+
+    async def _run_batch(
+        self, key: tuple[str, str, int], members: list[_Pending]
+    ) -> None:
+        dataset_name, pipeline_name, dimensionality = key
+        _BATCH_SIZE.observe(float(len(members)))
+        loop = asyncio.get_running_loop()
+
+        def _compute() -> list:
+            from contextlib import nullcontext
+
+            from repro.obs.trace import use_tracer
+
+            tracing = (
+                use_tracer(self._tracer) if self._tracer is not None else nullcontext()
+            )
+            with tracing, obs_span(
+                "serve.batch",
+                dataset=dataset_name,
+                pipeline=pipeline_name,
+                dimensionality=dimensionality,
+                n_requests=len(members),
+            ):
+                dataset = self.engine.dataset(dataset_name) if (
+                    dataset_name in self.engine.dataset_names
+                ) else self.engine.register_dataset(
+                    resolve_dataset(dataset_name, self.profile)
+                )
+                detector, explainer = resolve_pipeline(pipeline_name, self.profile)
+                point_sets = [
+                    member.request["points"]
+                    if member.request["points"] is not None
+                    else dataset.outliers
+                    for member in members
+                ]
+                return self.engine.explain_many(
+                    dataset, detector, explainer, dimensionality, point_sets
+                )
+
+        try:
+            results = await loop.run_in_executor(None, _compute)
+        except BaseException as exc:  # noqa: BLE001 - mapped onto the wire
+            for member in members:
+                response = error_from_exception(member.request["id"], exc)
+                await self._respond(member, response)
+                _REQUESTS.inc(status=response["error"]["code"])
+                _REQUEST_SECONDS.observe(time.monotonic() - member.enqueued_at)
+            return
+
+        finished = time.monotonic()
+        for member, result in zip(members, results):
+            meta = {
+                "coalesced": len(members),
+                "queue_ms": round(
+                    max(0.0, finished - member.enqueued_at) * 1000.0, 3
+                ),
+                "seconds": result.seconds,
+                "n_subspaces_scored": result.n_subspaces_scored,
+            }
+            if member.deadline_at is not None and finished > member.deadline_at:
+                meta["deadline_missed"] = True
+            await self._respond(
+                member,
+                ok_response(member.request["id"], result_to_wire(result), meta),
+            )
+            _REQUESTS.inc(status="ok")
+            _REQUEST_SECONDS.observe(finished - member.enqueued_at)
+
+    async def _respond(self, pending: _Pending, payload: dict) -> None:
+        await self._write(pending.writer, pending.write_lock, payload)
+        if pending.done is not None and not pending.done.done():
+            pending.done.set_result(None)
+
+
+class ServerHandle:
+    """Handle onto a server running on its own event-loop thread."""
+
+    def __init__(self, server: ExplainServer) -> None:
+        self._server = server
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+
+    @property
+    def host(self) -> str:
+        return self._server.config.host
+
+    @property
+    def port(self) -> int:
+        port = self._server.port
+        assert port is not None, "server not started"
+        return port
+
+    def stop(self, timeout: float = 30.0) -> None:
+        """Stop the server and join its thread."""
+        loop = self._loop
+        if loop is not None and loop.is_running():
+            server = self._server._server
+            if server is not None:
+                loop.call_soon_threadsafe(
+                    lambda: server.close()  # unblocks serve_forever
+                )
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+
+    def __enter__(self) -> "ServerHandle":
+        return self
+
+    def __exit__(self, *_exc: object) -> None:
+        self.stop()

@@ -20,8 +20,8 @@ from repro.explainers.base import PointExplainer, RankedSubspaces
 from repro.exceptions import ValidationError
 from repro.obs import metrics as obs_metrics
 from repro.obs.trace import span as obs_span
+from repro.serve.engine import ExplainEngine
 from repro.stream.detector import StreamingDetector
-from repro.subspaces.scorer import SubspaceScorer
 from repro.utils.validation import check_positive_int
 
 __all__ = ["ExplainedAnomaly", "StreamingExplainer"]
@@ -73,6 +73,7 @@ class StreamingExplainer:
         explainer: PointExplainer,
         threshold: float = 3.0,
         dimensionality: int = 2,
+        engine: ExplainEngine | None = None,
     ) -> None:
         if not isinstance(explainer, PointExplainer):
             raise ValidationError(
@@ -88,6 +89,14 @@ class StreamingExplainer:
         )
         self._index = 0
         self.events: list[ExplainedAnomaly] = []
+        #: Warm-state layer the monitor draws scorers from. A private
+        #: engine by default; passing the serve layer's engine shares its
+        #: byte budget with batch traffic. A short entry cap suffices —
+        #: stream windows are mostly unique, so the pool's job here is
+        #: bounding memory, not amortising hits.
+        self.engine = (
+            engine if engine is not None else ExplainEngine(max_pool_entries=8)
+        )
 
     def update(self, point: object) -> ExplainedAnomaly | None:
         """Process one arrival; return an event if the point is anomalous.
@@ -110,10 +119,13 @@ class StreamingExplainer:
                 window_plus_point = np.vstack(
                     [context, np.asarray(point, dtype=np.float64)[None, :]]
                 )
-                scorer = SubspaceScorer(window_plus_point, self.detector.detector)
+                scorer = self.engine.scorer_for_matrix(
+                    window_plus_point, self.detector.detector
+                )
                 explanation = self.explainer.explain(
                     scorer, window_plus_point.shape[0] - 1, self.dimensionality
                 )
+                self.engine.trim()
             event = ExplainedAnomaly(
                 index=self._index, score=score, explanation=explanation
             )

@@ -226,6 +226,16 @@ class SubspaceScorer:
         return self._cache.stats()
 
     @property
+    def cache_nbytes(self) -> int:
+        """Approximate bytes held by the memoised score vectors.
+
+        The warm-state pool (:class:`repro.serve.engine.ExplainEngine`)
+        charges each pooled scorer by this number when enforcing its byte
+        budget.
+        """
+        return self._cache.nbytes
+
+    @property
     def distance_provider(self) -> "DistanceProvider | None":
         """The attached distance substrate, or ``None`` when disabled."""
         return self._provider

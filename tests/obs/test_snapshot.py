@@ -1,0 +1,121 @@
+"""Unit tests for repro.obs.snapshot.run_snapshot."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.snapshot import run_snapshot
+
+SECTIONS = (
+    "caches",
+    "distance",
+    "hics_contrast",
+    "scorer",
+    "grid",
+    "ft",
+    "engine",
+    "serve",
+)
+
+
+class TestEmptyRegistry:
+    def test_all_sections_present(self):
+        snapshot = run_snapshot(MetricsRegistry())
+        assert tuple(snapshot) == SECTIONS
+
+    def test_absent_instruments_report_zeros(self):
+        snapshot = run_snapshot(MetricsRegistry())
+        assert snapshot["caches"] == {}
+        assert snapshot["distance"]["hits"] == 0.0
+        assert snapshot["distance"]["hit_rate"] == 0.0
+        assert snapshot["scorer"]["subspaces_scored"] == 0.0
+        assert snapshot["engine"]["pool_entries"] == 0.0
+        assert snapshot["engine"]["hit_rate"] == 0.0
+        assert snapshot["serve"]["requests"] == {}
+        assert snapshot["serve"]["request_count"] == 0
+        assert snapshot["serve"]["mean_batch_size"] == 0.0
+
+
+class TestPopulatedRegistry:
+    def _registry(self) -> MetricsRegistry:
+        reg = MetricsRegistry()
+        reg.counter("repro_cache_hits_total").inc(8, cache="scorer")
+        reg.counter("repro_cache_misses_total").inc(2, cache="scorer")
+        reg.counter("repro_cache_evictions_total").inc(1, cache="scorer")
+        reg.counter("repro_cache_misses_total").inc(5, cache="dist")
+        reg.counter("repro_grid_cells_total").inc(12)
+        reg.counter("repro_grid_cells_skipped_total").inc(3)
+        reg.gauge("repro_engine_pool_entries").set(2)
+        reg.gauge("repro_engine_pool_bytes").set(4096)
+        reg.counter("repro_engine_pool_hits_total").inc(6)
+        reg.counter("repro_engine_pool_misses_total").inc(2)
+        reg.counter("repro_engine_pool_evictions_total").inc(1)
+        reg.counter("repro_engine_coalesced_requests_total").inc(4)
+        reg.counter("repro_serve_requests_total").inc(9, status="ok")
+        reg.counter("repro_serve_requests_total").inc(1, status="error")
+        hist = reg.histogram("repro_serve_request_seconds")
+        for value in (0.01, 0.02, 0.03):
+            hist.observe(value)
+        batches = reg.histogram("repro_serve_batch_size", buckets=(1, 2, 4))
+        batches.observe(1)
+        batches.observe(3)
+        reg.gauge("repro_serve_queue_depth").set(5)
+        return reg
+
+    def test_named_cache_section(self):
+        snapshot = run_snapshot(self._registry())
+        assert set(snapshot["caches"]) == {"scorer", "dist"}
+        scorer = snapshot["caches"]["scorer"]
+        assert scorer["hits"] == 8.0
+        assert scorer["misses"] == 2.0
+        assert scorer["evictions"] == 1.0
+        assert scorer["hit_rate"] == 0.8
+        # A cache seen only through misses still gets a full entry.
+        assert snapshot["caches"]["dist"]["hits"] == 0.0
+        assert snapshot["caches"]["dist"]["hit_rate"] == 0.0
+
+    def test_grid_section(self):
+        snapshot = run_snapshot(self._registry())
+        assert snapshot["grid"] == {
+            "cells_total": 12.0,
+            "cells_skipped": 3.0,
+        }
+
+    def test_engine_section(self):
+        engine = run_snapshot(self._registry())["engine"]
+        assert engine["pool_entries"] == 2.0
+        assert engine["pool_bytes"] == 4096.0
+        assert engine["pool_hits"] == 6.0
+        assert engine["pool_misses"] == 2.0
+        assert engine["evictions"] == 1.0
+        assert engine["coalesced_requests"] == 4.0
+        assert engine["hit_rate"] == 0.75
+
+    def test_serve_section(self):
+        serve = run_snapshot(self._registry())["serve"]
+        assert serve["requests"] == {"error": 1.0, "ok": 9.0}
+        assert serve["request_count"] == 3
+        assert serve["request_seconds"] == pytest.approx(0.06)
+        assert serve["batches"] == 2
+        assert serve["mean_batch_size"] == 2.0
+        assert serve["queue_depth"] == 5.0
+
+    def test_round_trips_through_json(self):
+        snapshot = run_snapshot(self._registry())
+        assert json.loads(json.dumps(snapshot)) == snapshot
+
+    def test_reading_is_non_destructive(self):
+        reg = self._registry()
+        first = run_snapshot(reg)
+        second = run_snapshot(reg)
+        assert first == second
+
+
+class TestDefaultRegistry:
+    def test_uses_process_global_registry_by_default(self):
+        from repro.obs.metrics import counter, get_registry
+
+        baseline = run_snapshot(get_registry())["ft"]["retries"]
+        counter("repro_ft_retries_total").inc(2)
+        assert run_snapshot()["ft"]["retries"] == baseline + 2

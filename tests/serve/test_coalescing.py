@@ -1,0 +1,168 @@
+"""The coalescing-correctness drill.
+
+The serve layer's central promise: N concurrent requests coalesced into
+one batch wave produce responses **byte-identical** (under the canonical
+wire encoding) to N sequential one-shot
+:class:`~repro.pipeline.ExplanationPipeline` runs. This suite asserts
+that promise at two layers — :meth:`ExplainEngine.explain_many` directly,
+and end-to-end through the server over sockets with coalescing forced —
+across both the serial and the thread execution backends.
+"""
+
+import threading
+
+import pytest
+
+from repro.experiments.config import get_profile
+from repro.pipeline.pipeline import ExplanationPipeline
+from repro.serve.client import ServeClient
+from repro.serve.engine import ExplainEngine
+from repro.serve.protocol import (
+    encode_line,
+    resolve_dataset,
+    resolve_pipeline,
+    result_to_wire,
+)
+from repro.serve.server import ExplainServer, ServerConfig
+
+PROFILE = get_profile("smoke")
+BACKENDS = ("serial", "thread")
+
+
+def one_shot_wire(dataset, pipeline_name: str, dimensionality: int,
+                  points: tuple[int, ...]) -> bytes:
+    """The canonical bytes of a fresh one-shot pipeline run."""
+    detector, explainer = resolve_pipeline(pipeline_name, PROFILE)
+    result = ExplanationPipeline(detector, explainer).run(
+        dataset, dimensionality, points=points
+    )
+    return encode_line(result_to_wire(result))
+
+
+def overlapping_sets(dataset, dimensionality: int = 2) -> list[tuple[int, ...]]:
+    points = dataset.ground_truth.points_at(dimensionality)
+    assert len(points) >= 2
+    return [
+        points,
+        points[: max(1, len(points) // 2)],
+        points[len(points) // 2 :] or points,
+    ]
+
+
+@pytest.fixture(params=BACKENDS)
+def backend(request, monkeypatch):
+    monkeypatch.setenv("REPRO_BACKEND", request.param)
+    return request.param
+
+
+class TestEngineCoalescing:
+    @pytest.mark.parametrize("pipeline_name", ["beam+lof", "refout+lof"])
+    def test_point_explainer_union_run_matches_one_shot(
+        self, backend, pipeline_name
+    ):
+        dataset = resolve_dataset("hics_14", PROFILE)
+        sets = overlapping_sets(dataset)
+        engine = ExplainEngine()
+        detector, explainer = resolve_pipeline(pipeline_name, PROFILE)
+        results = engine.explain_many(dataset, detector, explainer, 2, sets)
+        assert len(results) == len(sets)
+        for points, result in zip(sets, results):
+            assert encode_line(result_to_wire(result)) == one_shot_wire(
+                dataset, pipeline_name, 2, points
+            )
+
+    def test_summary_explainer_runs_per_distinct_set(self, backend):
+        dataset = resolve_dataset("hics_14", PROFILE)
+        sets = overlapping_sets(dataset)
+        engine = ExplainEngine()
+        detector, explainer = resolve_pipeline("lookout+lof", PROFILE)
+        results = engine.explain_many(dataset, detector, explainer, 2, sets)
+        for points, result in zip(sets, results):
+            assert result.summary is not None
+            assert encode_line(result_to_wire(result)) == one_shot_wire(
+                dataset, "lookout+lof", 2, points
+            )
+
+    def test_duplicate_sets_share_one_run(self):
+        dataset = resolve_dataset("hics_14", PROFILE)
+        points = dataset.ground_truth.points_at(2)
+        engine = ExplainEngine()
+        detector, explainer = resolve_pipeline("lookout+lof", PROFILE)
+        results = engine.explain_many(
+            dataset, detector, explainer, 2, [points, points, points]
+        )
+        assert results[0] is results[1] is results[2]
+
+    def test_empty_batch_is_empty(self):
+        dataset = resolve_dataset("hics_14", PROFILE)
+        engine = ExplainEngine()
+        detector, explainer = resolve_pipeline("beam+lof", PROFILE)
+        assert engine.explain_many(dataset, detector, explainer, 2, []) == []
+
+
+class TestServedCoalescing:
+    def test_forced_coalesced_wave_matches_sequential_one_shots(self, backend):
+        """N requests coalesced into ONE batch == N sequential runs, bytewise.
+
+        Coalescing is forced, not hoped for: the engine is gated so the
+        first (blocker) wave holds the dispatcher while the drill's
+        requests pile into the queue; releasing the gate dispatches them
+        all as a single wave.
+        """
+        dataset = resolve_dataset("hics_14", PROFILE)
+        sets = overlapping_sets(dataset) * 2  # 6 requests, 3 distinct shapes
+        server = ExplainServer(
+            ServerConfig(port=0, profile="smoke", warm=("hics_14",),
+                         max_queue=64)
+        )
+        original = server.engine.explain_many
+        computing = threading.Event()
+        release = threading.Event()
+
+        def gated(*args, **kwargs):
+            computing.set()
+            assert release.wait(timeout=120)
+            return original(*args, **kwargs)
+
+        server.engine.explain_many = gated
+
+        responses: list[dict | None] = [None] * len(sets)
+        with server.run_in_thread() as handle:
+            def fire(i: int) -> None:
+                with ServeClient(handle.host, handle.port, timeout=300) as c:
+                    responses[i] = c.explain(
+                        "hics_14", "beam+lof", 2, points=list(sets[i])
+                    )
+
+            with ServeClient(handle.host, handle.port, timeout=300) as blocker:
+                blocker_thread = threading.Thread(
+                    target=lambda: blocker.explain(
+                        "hics_14", "beam+lof", 2, points=list(sets[0])
+                    )
+                )
+                blocker_thread.start()
+                assert computing.wait(timeout=60)
+                threads = [
+                    threading.Thread(target=fire, args=(i,))
+                    for i in range(len(sets))
+                ]
+                for thread in threads:
+                    thread.start()
+                with ServeClient(handle.host, handle.port) as probe:
+                    import time
+
+                    deadline = time.monotonic() + 60
+                    while probe.stats()["queue_depth"] < len(sets):
+                        assert time.monotonic() < deadline, "requests not queued"
+                        time.sleep(0.01)
+                release.set()
+                for thread in threads:
+                    thread.join()
+                blocker_thread.join()
+
+        assert all(r is not None and r["ok"] for r in responses)
+        # All six shared one wave and one (dataset, pipeline, dim) group.
+        assert {r["meta"]["coalesced"] for r in responses} == {len(sets)}
+        for points, response in zip(sets, responses):
+            served = encode_line(response["result"])
+            assert served == one_shot_wire(dataset, "beam+lof", 2, points)

@@ -1,0 +1,171 @@
+"""Unit tests for repro.serve.engine (the warm scorer pool)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_dataset
+from repro.detectors import LOF, KNNDetector
+from repro.exceptions import ValidationError
+from repro.serve.engine import (
+    DEFAULT_ENGINE_POOL_MB,
+    ENGINE_POOL_MB_ENV,
+    ExplainEngine,
+    resolve_engine_pool_bytes,
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return load_dataset("hics_14")
+
+
+def _matrix(seed: int, n: int = 40, d: int = 4) -> np.ndarray:
+    return np.random.default_rng(seed).normal(size=(n, d))
+
+
+class TestPooling:
+    def test_same_dataset_and_detector_share_one_scorer(self, dataset):
+        engine = ExplainEngine()
+        a = engine.scorer_for(dataset, LOF(k=15))
+        b = engine.scorer_for(dataset, LOF(k=15))
+        assert a is b
+        stats = engine.stats()
+        assert stats["entries"] == 1
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["hit_rate"] == 0.5
+
+    def test_keyed_by_detector_parameters_not_identity(self, dataset):
+        engine = ExplainEngine()
+        warm = engine.scorer_for(dataset, LOF(k=15))
+        assert engine.scorer_for(dataset, LOF(k=15)) is warm  # equal params
+        assert engine.scorer_for(dataset, LOF(k=20)) is not warm
+        assert engine.scorer_for(dataset, KNNDetector(k=15)) is not warm
+        assert engine.stats()["entries"] == 3
+
+    def test_matrix_keying_is_by_content(self):
+        engine = ExplainEngine()
+        X = _matrix(0)
+        a = engine.scorer_for_matrix(X, LOF(k=5))
+        assert engine.scorer_for_matrix(X.copy(), LOF(k=5)) is a
+        assert engine.scorer_for_matrix(_matrix(1), LOF(k=5)) is not a
+
+    def test_zero_budget_disables_pooling(self, dataset):
+        engine = ExplainEngine(max_pool_bytes=0)
+        a = engine.scorer_for(dataset, LOF(k=15))
+        b = engine.scorer_for(dataset, LOF(k=15))
+        assert a is not b
+        stats = engine.stats()
+        assert stats["entries"] == 0
+        assert stats["misses"] == 2
+
+
+class TestEviction:
+    def test_entry_cap_evicts_least_recently_used(self):
+        engine = ExplainEngine(max_pool_entries=2)
+        detector = LOF(k=5)
+        first = engine.scorer_for_matrix(_matrix(0), detector)
+        second = engine.scorer_for_matrix(_matrix(1), detector)
+        third = engine.scorer_for_matrix(_matrix(2), detector)
+        assert engine.trim() == 1
+        stats = engine.stats()
+        assert stats["entries"] == 2
+        assert stats["evictions"] == 1
+        # The oldest entry went; the two youngest are still warm.
+        assert engine.scorer_for_matrix(_matrix(1), detector) is second
+        assert engine.scorer_for_matrix(_matrix(2), detector) is third
+        assert engine.scorer_for_matrix(_matrix(0), detector) is not first
+
+    def test_recency_protects_a_touched_entry(self):
+        engine = ExplainEngine(max_pool_entries=2)
+        detector = LOF(k=5)
+        first = engine.scorer_for_matrix(_matrix(0), detector)
+        engine.scorer_for_matrix(_matrix(1), detector)
+        engine.scorer_for_matrix(_matrix(0), detector)  # touch: now newest
+        engine.scorer_for_matrix(_matrix(2), detector)
+        engine.trim()
+        assert engine.scorer_for_matrix(_matrix(0), detector) is first
+
+    def test_byte_budget_evicts_after_scores_accumulate(self):
+        engine = ExplainEngine(max_pool_bytes=1)
+        detector = LOF(k=5)
+        old = engine.scorer_for_matrix(_matrix(0), detector)
+        old.scores((0, 1))  # memoised score vector: pool now over budget
+        new = engine.scorer_for_matrix(_matrix(1), detector)
+        assert engine.pool_nbytes > engine.max_pool_bytes
+        assert engine.trim() == 1
+        assert engine.scorer_for_matrix(_matrix(1), detector) is new
+        assert engine.scorer_for_matrix(_matrix(0), detector) is not old
+
+    def test_the_last_entry_is_never_evicted(self, dataset):
+        engine = ExplainEngine(max_pool_bytes=1)
+        scorer = engine.scorer_for(dataset, LOF(k=15))
+        scorer.scores((0, 1))
+        assert engine.pool_nbytes > engine.max_pool_bytes
+        assert engine.trim() == 0
+        assert engine.scorer_for(dataset, LOF(k=15)) is scorer
+
+    def test_clear_drops_everything_but_keeps_counters(self, dataset):
+        engine = ExplainEngine()
+        engine.scorer_for(dataset, LOF(k=15))
+        engine.register_dataset(dataset)
+        engine.clear()
+        stats = engine.stats()
+        assert stats["entries"] == 0
+        assert stats["datasets"] == 0
+        assert stats["misses"] == 1
+
+
+class TestDatasetRegistry:
+    def test_register_and_lookup(self, dataset):
+        engine = ExplainEngine()
+        assert engine.register_dataset(dataset) is dataset
+        assert engine.dataset(dataset.name) is dataset
+        assert dataset.name in engine.dataset_names
+
+    def test_unregistered_name_falls_back_to_loader_and_pins(self):
+        engine = ExplainEngine()
+        first = engine.dataset("hics_14")
+        assert first.name == "hics_14"
+        assert engine.dataset("hics_14") is first
+        assert engine.dataset_names == ("hics_14",)
+
+    def test_rejects_non_dataset(self):
+        with pytest.raises(ValidationError):
+            ExplainEngine().register_dataset(object())
+
+
+class TestConfiguration:
+    def test_rejects_negative_byte_budget(self):
+        with pytest.raises(ValidationError):
+            ExplainEngine(max_pool_bytes=-1)
+
+    def test_rejects_sub_unit_entry_cap(self):
+        with pytest.raises(ValidationError):
+            ExplainEngine(max_pool_entries=0)
+
+    def test_env_default(self, monkeypatch):
+        monkeypatch.delenv(ENGINE_POOL_MB_ENV, raising=False)
+        assert resolve_engine_pool_bytes() == DEFAULT_ENGINE_POOL_MB * 1024 * 1024
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv(ENGINE_POOL_MB_ENV, "64")
+        assert resolve_engine_pool_bytes() == 64 * 1024 * 1024
+
+    def test_env_zero_and_negative_disable(self, monkeypatch):
+        monkeypatch.setenv(ENGINE_POOL_MB_ENV, "0")
+        assert resolve_engine_pool_bytes() == 0
+        monkeypatch.setenv(ENGINE_POOL_MB_ENV, "-3")
+        assert resolve_engine_pool_bytes() == 0
+
+    def test_env_garbage_is_a_validation_error(self, monkeypatch):
+        monkeypatch.setenv(ENGINE_POOL_MB_ENV, "lots")
+        with pytest.raises(ValidationError):
+            resolve_engine_pool_bytes()
+
+    def test_stats_shape(self):
+        stats = ExplainEngine().stats()
+        assert set(stats) == {
+            "entries", "datasets", "bytes", "max_bytes", "max_entries",
+            "hits", "misses", "evictions", "hit_rate",
+        }

@@ -1,0 +1,241 @@
+"""Unit tests for repro.serve.protocol (wire schema + resolution)."""
+
+import json
+
+import pytest
+
+from repro.experiments.config import get_profile
+from repro.serve.protocol import (
+    ERROR_CODES,
+    OPS,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decode_line,
+    encode_line,
+    error_from_exception,
+    error_response,
+    ok_response,
+    parse_request,
+    resolve_dataset,
+    resolve_pipeline,
+    result_to_wire,
+)
+
+
+@pytest.fixture(scope="module")
+def profile():
+    return get_profile("smoke")
+
+
+def _explain(**overrides) -> dict:
+    payload = {
+        "v": PROTOCOL_VERSION,
+        "id": "r1",
+        "op": "explain",
+        "dataset": "hics_14",
+        "pipeline": "beam+lof",
+        "dimensionality": 2,
+    }
+    payload.update(overrides)
+    return payload
+
+
+class TestLineCodec:
+    def test_round_trip(self):
+        payload = {"op": "ping", "id": "x", "v": 1}
+        assert decode_line(encode_line(payload)) == payload
+
+    def test_encoding_is_canonical(self):
+        # Equal payloads built in different key orders produce equal
+        # bytes — the property the byte-identity drill compares on.
+        a = encode_line({"b": 1, "a": [1.5, 2]})
+        b = encode_line({"a": [1.5, 2], "b": 1})
+        assert a == b
+        assert a.endswith(b"\n")
+        assert b" " not in a
+
+    def test_malformed_json_is_bad_request(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            decode_line(b"{nope")
+        assert excinfo.value.code == "bad_request"
+        assert excinfo.value.transient is False
+
+    def test_non_object_is_bad_request(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            decode_line(b"[1, 2]\n")
+        assert excinfo.value.code == "bad_request"
+
+
+class TestParseRequest:
+    def test_valid_explain_is_normalised(self):
+        request = parse_request(
+            _explain(id=7, points=[14, 12, 14, 13], deadline_ms=250)
+        )
+        assert request["id"] == "7"
+        assert request["points"] == (12, 13, 14)
+        assert request["deadline_ms"] == 250.0
+        assert request["dimensionality"] == 2
+
+    def test_points_null_means_all_points_of_interest(self):
+        assert parse_request(_explain(points=None))["points"] is None
+        assert parse_request(_explain())["points"] is None
+
+    def test_ping_and_stats_need_no_explain_fields(self):
+        for op in ("ping", "stats"):
+            request = parse_request({"v": PROTOCOL_VERSION, "id": "p", "op": op})
+            assert request == {"v": PROTOCOL_VERSION, "id": "p", "op": op}
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            {"id": "x", "op": "ping"},  # missing version
+            {"v": 99, "id": "x", "op": "ping"},  # wrong version
+            {"v": PROTOCOL_VERSION, "id": "x", "op": "teleport"},
+            {"v": PROTOCOL_VERSION, "op": "ping"},  # missing id
+            _explain(dataset=None),
+            _explain(dataset=""),
+            _explain(pipeline=12),
+            _explain(dimensionality="2"),
+            _explain(dimensionality=True),
+            _explain(dimensionality=0),
+            _explain(points=[]),
+            _explain(points=["twelve"]),
+            _explain(points="12"),
+            _explain(deadline_ms="soon"),
+            _explain(deadline_ms=0),
+            _explain(deadline_ms=-5),
+        ],
+    )
+    def test_invalid_requests_are_bad_request(self, payload):
+        with pytest.raises(ProtocolError) as excinfo:
+            parse_request(payload)
+        assert excinfo.value.code == "bad_request"
+        assert excinfo.value.transient is False
+
+
+class TestErrors:
+    def test_unknown_code_is_a_programming_error(self):
+        with pytest.raises(ValueError):
+            ProtocolError("made_up", "boom")
+
+    def test_transient_defaults_follow_the_code(self):
+        assert ProtocolError("overloaded", "x").transient is True
+        assert ProtocolError("deadline_exceeded", "x").transient is True
+        assert ProtocolError("shutdown", "x").transient is True
+        assert ProtocolError("bad_request", "x").transient is False
+        assert ProtocolError("unknown_dataset", "x").transient is False
+        assert ProtocolError("internal", "x", transient=True).transient is True
+
+    def test_error_response_shape(self):
+        response = error_response("r9", "overloaded", "queue is full")
+        assert response == {
+            "v": PROTOCOL_VERSION,
+            "id": "r9",
+            "ok": False,
+            "error": {
+                "code": "overloaded",
+                "message": "queue is full",
+                "transient": True,
+            },
+        }
+
+    def test_ok_response_meta_is_optional(self):
+        assert "meta" not in ok_response("r1", {"pong": True})
+        assert ok_response("r1", {}, {"coalesced": 3})["meta"] == {"coalesced": 3}
+
+    def test_protocol_error_keeps_its_code_on_the_wire(self):
+        exc = ProtocolError("unknown_pipeline", "nope")
+        response = error_from_exception("r1", exc)
+        assert response["error"]["code"] == "unknown_pipeline"
+        assert response["error"]["transient"] is False
+
+    def test_other_exceptions_become_internal_with_ft_taxonomy(self):
+        fatal = error_from_exception("r1", ValueError("bad maths"))
+        assert fatal["error"]["code"] == "internal"
+        assert fatal["error"]["transient"] is False
+        assert "ValueError" in fatal["error"]["message"]
+        flaky = error_from_exception("r1", OSError("worker churn"))
+        assert flaky["error"]["code"] == "internal"
+        assert flaky["error"]["transient"] is True
+
+    def test_documented_codes_are_stable(self):
+        assert ERROR_CODES == (
+            "bad_request",
+            "unknown_dataset",
+            "unknown_pipeline",
+            "overloaded",
+            "deadline_exceeded",
+            "internal",
+            "shutdown",
+        )
+        assert OPS == ("explain", "ping", "stats")
+
+
+class TestResolution:
+    def test_resolve_pipeline(self, profile):
+        detector, explainer = resolve_pipeline("beam+lof", profile)
+        assert detector.name == "lof"
+        assert explainer.name == "beam"
+
+    def test_explainers_are_fresh_per_call(self, profile):
+        _, a = resolve_pipeline("lookout+lof", profile)
+        _, b = resolve_pipeline("lookout+lof", profile)
+        assert a is not b
+
+    @pytest.mark.parametrize("name", ["beam", "+lof", "beam+", "beam+mystery",
+                                      "mystery+lof"])
+    def test_unserved_pipelines_are_rejected(self, profile, name):
+        with pytest.raises(ProtocolError) as excinfo:
+            resolve_pipeline(name, profile)
+        assert excinfo.value.code == "unknown_pipeline"
+        assert excinfo.value.transient is False
+
+    def test_resolve_dataset_applies_profile_overrides(self, profile):
+        dataset = resolve_dataset("hics_14", profile)
+        assert dataset.X.shape[0] == profile.synthetic_samples
+        # Same parameterisation twice -> the registry's memoised object.
+        assert resolve_dataset("hics_14", profile) is dataset
+
+    def test_unknown_dataset_is_rejected(self, profile):
+        with pytest.raises(ProtocolError) as excinfo:
+            resolve_dataset("atlantis", profile)
+        assert excinfo.value.code == "unknown_dataset"
+
+
+class TestResultToWire:
+    @pytest.fixture(scope="class")
+    def result(self, profile):
+        from repro.pipeline.pipeline import ExplanationPipeline
+
+        detector, explainer = resolve_pipeline("beam+lof", profile)
+        dataset = resolve_dataset("hics_14", profile)
+        points = dataset.ground_truth.points_at(2)[:2]
+        return ExplanationPipeline(detector, explainer).run(
+            dataset, 2, points=points
+        )
+
+    def test_wire_shape(self, result):
+        wire = result_to_wire(result)
+        assert wire["dataset"] == "hics_14"
+        assert wire["pipeline"] == "beam+lof"
+        assert wire["dimensionality"] == 2
+        assert set(wire["evaluation"]) == {
+            "map", "mean_recall", "per_point_ap", "per_point_recall",
+        }
+        for ranking in wire["explanations"].values():
+            assert all(
+                isinstance(f, int) for s in ranking["subspaces"] for f in s
+            )
+            assert all(isinstance(v, float) for v in ranking["scores"])
+        assert wire["summary"] is None
+
+    def test_wall_time_stays_off_the_wire(self, result):
+        wire = result_to_wire(result)
+        assert "seconds" not in wire
+        assert "cost_breakdown" not in wire
+
+    def test_encoding_is_deterministic_and_json_clean(self, result):
+        a = encode_line(result_to_wire(result))
+        b = encode_line(result_to_wire(result))
+        assert a == b
+        json.loads(a)  # pure JSON, no NaN/Infinity leakage

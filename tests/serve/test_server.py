@@ -1,0 +1,228 @@
+"""End-to-end tests for the asyncio explain server over real sockets."""
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.experiments.config import get_profile
+from repro.serve.client import ServeClient
+from repro.serve.protocol import PROTOCOL_VERSION, decode_line, encode_line
+from repro.serve.server import ExplainServer, ServerConfig
+
+PROFILE = get_profile("smoke")
+POINTS = None  # filled by the dataset fixture below
+
+
+@pytest.fixture(scope="module")
+def handle():
+    server = ExplainServer(
+        ServerConfig(port=0, profile="smoke", warm=("hics_14",))
+    )
+    handle = server.run_in_thread()
+    yield handle
+    handle.stop()
+
+
+@pytest.fixture(scope="module")
+def client(handle):
+    with ServeClient(handle.host, handle.port) as client:
+        yield client
+
+
+@pytest.fixture(scope="module")
+def gt_points():
+    from repro.serve.protocol import resolve_dataset
+
+    return resolve_dataset("hics_14", PROFILE).ground_truth.points_at(2)
+
+
+class TestOps:
+    def test_ping(self, client):
+        assert client.ping() is True
+
+    def test_explain_round_trip(self, client, gt_points):
+        response = client.explain(
+            "hics_14", "beam+lof", 2, points=list(gt_points)
+        )
+        assert response["ok"] is True
+        result = response["result"]
+        assert result["pipeline"] == "beam+lof"
+        assert set(result["explanations"]) == {str(p) for p in gt_points}
+        meta = response["meta"]
+        assert meta["coalesced"] >= 1
+        assert meta["queue_ms"] >= 0
+        assert meta["n_subspaces_scored"] >= 0
+
+    def test_summary_pipeline_round_trip(self, client, gt_points):
+        response = client.explain(
+            "hics_14", "lookout+lof", 2, points=list(gt_points)
+        )
+        assert response["ok"] is True
+        assert response["result"]["summary"] is not None
+
+    def test_stats_reflect_served_work(self, client):
+        stats = client.stats()
+        assert stats["profile"] == "smoke"
+        assert stats["waves"] >= 1
+        assert stats["engine"]["entries"] >= 1
+        assert stats["engine"]["datasets"] >= 1  # the warm hics_14
+        assert stats["queue_depth"] == 0
+
+    def test_requests_on_one_connection_are_sequential(self, client, gt_points):
+        # The client is strictly request/response; two explains on the
+        # same connection must both complete in order.
+        first = client.explain("hics_14", "beam+lof", 2, points=[gt_points[0]])
+        second = client.explain("hics_14", "beam+lof", 2, points=[gt_points[1]])
+        assert first["ok"] and second["ok"]
+        assert first["id"] != second["id"]
+
+
+class TestErrors:
+    def test_malformed_json_line(self, handle):
+        with socket.create_connection((handle.host, handle.port), timeout=30) as sock:
+            sock.sendall(b"{nope\n")
+            response = decode_line(sock.makefile("rb").readline())
+        assert response["ok"] is False
+        assert response["error"]["code"] == "bad_request"
+        assert response["id"] is None
+
+    def test_wrong_protocol_version(self, client):
+        response = client.request({"v": 99, "op": "ping"})
+        assert response["error"]["code"] == "bad_request"
+        assert response["error"]["transient"] is False
+
+    def test_unknown_dataset(self, client):
+        response = client.explain("atlantis", "beam+lof", 2)
+        assert response["error"]["code"] == "unknown_dataset"
+        assert response["error"]["transient"] is False
+
+    def test_unknown_pipeline(self, client):
+        response = client.explain("hics_14", "beam+mystery", 2)
+        assert response["error"]["code"] == "unknown_pipeline"
+
+    def test_pipeline_exception_maps_to_internal(self, client):
+        # Point 0 is not a ground-truth outlier at dimensionality 2, so
+        # evaluation raises ValidationError inside the batch — which must
+        # come back as a fatal internal error, not kill the connection.
+        response = client.explain("hics_14", "beam+lof", 2, points=[0])
+        assert response["error"]["code"] == "internal"
+        assert response["error"]["transient"] is False
+        assert client.ping() is True
+
+    def test_expired_deadline_is_rejected_from_the_queue(self, client, gt_points):
+        response = client.explain(
+            "hics_14", "beam+lof", 2,
+            points=[gt_points[0]], deadline_ms=1e-6,
+        )
+        assert response["error"]["code"] == "deadline_exceeded"
+        assert response["error"]["transient"] is True
+
+
+class TestAdmissionControl:
+    def test_queue_overflow_is_rejected_as_overloaded(self, gt_points):
+        server = ExplainServer(
+            ServerConfig(port=0, profile="smoke", max_queue=1,
+                         warm=("hics_14",))
+        )
+        # Gate the engine so the first wave blocks until released — then
+        # the queue fills deterministically, no timing assumptions.
+        original = server.engine.explain_many
+        computing = threading.Event()
+        release = threading.Event()
+
+        def gated(*args, **kwargs):
+            computing.set()
+            assert release.wait(timeout=60)
+            return original(*args, **kwargs)
+
+        server.engine.explain_many = gated
+        with server.run_in_thread() as handle:
+            results: dict[str, dict] = {}
+
+            def fire(label):
+                with ServeClient(handle.host, handle.port, timeout=120) as c:
+                    results[label] = c.explain(
+                        "hics_14", "beam+lof", 2, points=[gt_points[0]]
+                    )
+
+            blocker = threading.Thread(target=fire, args=("blocker",))
+            blocker.start()
+            assert computing.wait(timeout=30)
+            queued = threading.Thread(target=fire, args=("queued",))
+            queued.start()
+            with ServeClient(handle.host, handle.port) as probe:
+                deadline = time.monotonic() + 30
+                while probe.stats()["queue_depth"] < 1:
+                    assert time.monotonic() < deadline
+                    time.sleep(0.01)
+            fire("rejected")  # beyond max_queue=1: rejected immediately
+            release.set()
+            blocker.join()
+            queued.join()
+
+        assert results["blocker"]["ok"] is True
+        assert results["queued"]["ok"] is True
+        assert results["rejected"]["error"]["code"] == "overloaded"
+        assert results["rejected"]["error"]["transient"] is True
+
+
+class TestLifecycle:
+    def test_stopped_server_refuses_connections(self):
+        server = ExplainServer(ServerConfig(port=0, profile="smoke"))
+        handle = server.run_in_thread()
+        host, port = handle.host, handle.port
+        with ServeClient(host, port) as client:
+            assert client.ping() is True
+        handle.stop()
+        with pytest.raises(OSError):
+            socket.create_connection((host, port), timeout=2)
+
+    def test_heartbeat_records_dispatch_waves(self, tmp_path, gt_points):
+        import json
+
+        heartbeat = tmp_path / "serve_heartbeat.jsonl"
+        server = ExplainServer(
+            ServerConfig(port=0, profile="smoke", warm=("hics_14",),
+                         heartbeat_jsonl=str(heartbeat))
+        )
+        with server.run_in_thread() as handle:
+            with ServeClient(handle.host, handle.port) as client:
+                assert client.explain(
+                    "hics_14", "beam+lof", 2, points=[gt_points[0]]
+                )["ok"]
+        records = [
+            json.loads(line) for line in heartbeat.read_text().splitlines()
+        ]
+        assert records
+        assert set(records[0]) == {
+            "wave", "requests", "groups", "batches", "queue_depth",
+            "engine_entries",
+        }
+        assert records[0]["requests"] >= 1
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_queue": 0},
+            {"max_batch": 0},
+            {"default_deadline_ms": 0.0},
+            {"default_deadline_ms": -1.0},
+        ],
+    )
+    def test_rejected_configs(self, kwargs):
+        with pytest.raises(ValidationError):
+            ServerConfig(**kwargs)
+
+    def test_client_fills_version_and_id(self, handle):
+        with ServeClient(handle.host, handle.port) as client:
+            response = client.request({"op": "ping"})
+        assert response["v"] == PROTOCOL_VERSION
+        assert response["id"] == "c1"
+
+    def test_encode_line_is_one_line(self):
+        assert encode_line({"a": 1}).count(b"\n") == 1

@@ -93,6 +93,80 @@ class TestCompare:
             bench_sentinel.compare(BASELINE, BASELINE, tolerance=0.5)
 
 
+SERVE_BASELINE = [
+    {"op": "serve warm engine", "n_requests": 72, "clients": 4,
+     "profile": "smoke", "quick": False, "qps": 50.0, "p50_ms": 40.0,
+     "p95_ms": 300.0, "p99_ms": 400.0, "wall_time_s": 1.4,
+     "byte_identical": True},
+    {"op": "serve speedup", "n_requests": 72, "clients": 4,
+     "profile": "smoke", "quick": False, "speedup": 6.0,
+     "byte_identical": True},
+]
+
+
+class TestLatencyRecords:
+    """Gates for bench_serve-style records: qps floor + percentile ceilings."""
+
+    def test_identical_latency_records_pass(self):
+        regressions, notes = bench_sentinel.compare(
+            SERVE_BASELINE, SERVE_BASELINE
+        )
+        assert regressions == []
+        # wall + qps + p50 + p95 for the warm record, speedup for the other.
+        assert len(notes) == 5
+
+    def test_throughput_collapse_fails(self):
+        fresh = [dict(SERVE_BASELINE[0], qps=20.0)]
+        regressions, _ = bench_sentinel.compare(fresh, SERVE_BASELINE)
+        assert any("qps" in r for r in regressions)
+
+    def test_throughput_within_tolerance_passes(self):
+        fresh = [dict(SERVE_BASELINE[0], qps=40.0)]
+        regressions, _ = bench_sentinel.compare(fresh, SERVE_BASELINE)
+        assert not any("qps" in r for r in regressions)
+
+    def test_p50_blowup_fails(self):
+        fresh = [dict(SERVE_BASELINE[0], p50_ms=90.0)]
+        regressions, _ = bench_sentinel.compare(fresh, SERVE_BASELINE)
+        assert any("p50_ms" in r for r in regressions)
+
+    def test_p95_blowup_fails(self):
+        fresh = [dict(SERVE_BASELINE[0], p95_ms=700.0)]
+        regressions, _ = bench_sentinel.compare(fresh, SERVE_BASELINE)
+        assert any("p95_ms" in r for r in regressions)
+
+    def test_p99_is_never_gated(self):
+        # The tail of a short run is one sample wide; a 10x p99 alone
+        # must not trip the gate.
+        fresh = [dict(SERVE_BASELINE[0], p99_ms=4000.0)]
+        regressions, _ = bench_sentinel.compare(fresh, SERVE_BASELINE)
+        assert regressions == []
+
+    def test_byte_divergence_is_a_hard_failure(self):
+        fresh = [dict(SERVE_BASELINE[0], byte_identical=False)]
+        regressions, _ = bench_sentinel.compare(fresh, SERVE_BASELINE)
+        assert len(regressions) == 1
+        assert "byte_identical" in regressions[0]
+        assert "correctness" in regressions[0]
+
+    def test_byte_divergence_fails_even_without_baseline(self):
+        # Correctness gating must not depend on a matching baseline —
+        # a quick-mode record with no committed trajectory still fails.
+        fresh = [{"op": "serve warm engine", "quick": True,
+                  "byte_identical": False}]
+        regressions, _ = bench_sentinel.compare(fresh, [])
+        assert len(regressions) == 1
+
+    def test_quick_records_do_not_match_full_scale_baseline(self):
+        # A CI --quick run has a different request mix; judging it
+        # against the committed full-scale trajectory would be noise.
+        fresh = [dict(SERVE_BASELINE[0], n_requests=18, quick=True,
+                      qps=5.0, p50_ms=500.0)]
+        regressions, notes = bench_sentinel.compare(fresh, SERVE_BASELINE)
+        assert regressions == []
+        assert any("no matching baseline" in n for n in notes)
+
+
 class TestCli:
     def run_sentinel(self, *argv):
         return subprocess.run(

@@ -66,9 +66,13 @@ def _workload(record: dict) -> str:
         ("dimensionality", "dim"),
         ("mc_iterations", "mc"),
         ("beam_width", "beam"),
+        ("n_requests", "requests"),
+        ("clients", "clients"),
     ):
         if key in record:
             parts.append(f"{record[key]} {label}")
+    if record.get("quick"):
+        parts.append("quick")
     return ", ".join(parts)
 
 
@@ -79,8 +83,18 @@ def _format_row(suite: str, record: dict) -> tuple[str, ...]:
     speedup_s = f"{speedup:5.2f}x" if speedup is not None else ""
     if record.get("ranked_identical"):
         speedup_s += " (ranked identical)"
+    if record.get("byte_identical") and speedup is not None:
+        speedup_s += " (byte identical)"
     hit_rate = record.get("cache_hit_rate")
     extra = f"hit rate {hit_rate:.2%}" if hit_rate else ""
+    # Latency-style records (bench_serve) describe themselves by
+    # throughput and percentiles rather than one wall time.
+    if not extra and "qps" in record:
+        extra = (
+            f"{record['qps']:.1f} qps, p50 {record.get('p50_ms', 0):.0f} ms, "
+            f"p95 {record.get('p95_ms', 0):.0f} ms, "
+            f"p99 {record.get('p99_ms', 0):.0f} ms"
+        )
     manifest = record.get("manifest")
     if isinstance(manifest, dict):
         rev = str(manifest.get("git_rev", ""))[:12]

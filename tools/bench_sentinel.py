@@ -15,8 +15,13 @@ same workload signature — n, d, subspace counts, point counts, ...):
 * ``wall_time_s`` must not exceed ``baseline * tolerance``.
 * ``speedup`` must not fall below ``baseline / tolerance`` (and, when
   ``--min-speedup`` is given, never below that absolute floor).
-* ``ranked_identical: false`` in a fresh record is always a hard failure:
-  a speed win that changes results is a correctness bug, not a trade.
+* Latency-style records (``benchmarks/bench_serve.py``): ``qps`` must not
+  fall below ``baseline / tolerance``, and ``p50_ms`` / ``p95_ms`` must
+  not exceed ``baseline * tolerance``. ``p99_ms`` is reported but never
+  gated — the tail of a short run is one sample wide on shared runners.
+* ``ranked_identical: false`` or ``byte_identical: false`` in a fresh
+  record is always a hard failure: a speed win that changes results is a
+  correctness bug, not a trade.
 
 Fresh records with no matching baseline (new ops, changed workload
 shapes) are reported and skipped — a new benchmark must not fail the gate
@@ -53,6 +58,11 @@ SIGNATURE_KEYS = (
     "dimensionality",
     "mc_iterations",
     "beam_width",
+    # Latency-style records (bench_serve): the request mix is the shape.
+    "n_requests",
+    "clients",
+    "profile",
+    "quick",
 )
 
 #: Default noise tolerance: a fresh wall time up to 1.5x the baseline (or
@@ -106,6 +116,13 @@ def compare(
                 "— a correctness failure, not a perf trade"
             )
             continue
+        if record.get("byte_identical") is False:
+            regressions.append(
+                f"{op}: served explanations diverged from the batch path "
+                "(byte_identical=false) — a correctness failure, not a "
+                "perf trade"
+            )
+            continue
         matches = [b for b in baseline if _comparable(record, b)]
         if not matches:
             notes.append(f"{op}: no matching baseline record, skipped")
@@ -142,6 +159,36 @@ def compare(
                 notes.append(
                     f"{op}: speedup {speedup:.2f}x vs baseline "
                     f"{best:.2f}x — ok"
+                )
+        # Latency-style records: throughput floor + percentile ceilings.
+        qps = record.get("qps")
+        base_qps = [b["qps"] for b in matches if "qps" in b]
+        if qps is not None and base_qps:
+            best = max(base_qps)
+            if qps < best / tolerance:
+                regressions.append(
+                    f"{op}: throughput {qps:.2f} qps fell below "
+                    f"baseline {best:.2f} qps / {tolerance:.2f}"
+                )
+            else:
+                notes.append(
+                    f"{op}: {qps:.2f} qps vs baseline {best:.2f} qps — ok"
+                )
+        for key in ("p50_ms", "p95_ms"):
+            value = record.get(key)
+            base_values = [b[key] for b in matches if key in b]
+            if value is None or not base_values:
+                continue
+            best = min(base_values)
+            if value > best * tolerance:
+                regressions.append(
+                    f"{op}: {key} {value:.1f} ms exceeds {tolerance:.2f}x "
+                    f"the baseline {best:.1f} ms"
+                )
+            else:
+                notes.append(
+                    f"{op}: {key} {value:.1f} ms vs baseline "
+                    f"{best:.1f} ms — ok"
                 )
     return regressions, notes
 

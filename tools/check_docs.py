@@ -11,6 +11,11 @@ docs before they were checked:
    (taken from the live ``repro.cli.build_parser()``, so this can never
    lag the code) must be mentioned in ``docs/RUNBOOK.md`` — the runbook
    is the one place an operator should be able to find every knob.
+3. **Missing or drifted reference docs.** The documents listed in
+   ``REQUIRED_DOCS`` must exist, and ``docs/SERVING.md``'s error-code
+   table must name exactly the codes ``repro.serve.protocol.ERROR_CODES``
+   defines — the wire contract and its documentation cannot drift apart
+   silently.
 
 Run it directly (``python tools/check_docs.py``) or via the tier-1 suite
 (``tests/test_doc_integrity.py``); CI runs it as a dedicated job. Exits
@@ -32,6 +37,17 @@ _LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
 _FENCE = re.compile(r"```.*?```", re.DOTALL)
 #: External targets we do not try to resolve.
 _EXTERNAL = ("http://", "https://", "mailto:")
+
+#: Reference documents that must exist (a refactor deleting one is a
+#: problem, not a cleanup).
+REQUIRED_DOCS = (
+    "docs/ALGORITHMS.md",
+    "docs/ARCHITECTURE.md",
+    "docs/EXPERIMENTS.md",
+    "docs/OBSERVABILITY.md",
+    "docs/RUNBOOK.md",
+    "docs/SERVING.md",
+)
 
 
 def markdown_files() -> list[str]:
@@ -107,8 +123,48 @@ def check_runbook_flags() -> list[str]:
     return problems
 
 
+def check_required_docs() -> list[str]:
+    """Reference documents that have gone missing."""
+    return [
+        f"{rel}: required document is missing"
+        for rel in REQUIRED_DOCS
+        if not os.path.isfile(os.path.join(REPO_ROOT, rel))
+    ]
+
+
+def check_serving_error_codes() -> list[str]:
+    """SERVING.md's error-code table vs the live protocol's ERROR_CODES."""
+    serving_path = os.path.join(REPO_ROOT, "docs", "SERVING.md")
+    if not os.path.isfile(serving_path):
+        return []  # already reported by check_required_docs
+    sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+    from repro.serve.protocol import ERROR_CODES
+
+    with open(serving_path, encoding="utf-8") as handle:
+        text = handle.read()
+    # Table rows of the form: | `code` | yes/no/varies | ... |
+    documented = set(re.findall(r"^\|\s*`(\w+)`\s*\|", text, re.MULTILINE))
+    problems = []
+    for code in ERROR_CODES:
+        if code not in documented:
+            problems.append(
+                f"docs/SERVING.md: error code {code!r} is undocumented"
+            )
+    for code in sorted(documented - set(ERROR_CODES)):
+        problems.append(
+            f"docs/SERVING.md: error code {code!r} does not exist in "
+            "repro.serve.protocol.ERROR_CODES"
+        )
+    return problems
+
+
 def main() -> int:
-    problems = check_links(markdown_files()) + check_runbook_flags()
+    problems = (
+        check_links(markdown_files())
+        + check_runbook_flags()
+        + check_required_docs()
+        + check_serving_error_codes()
+    )
     for problem in problems:
         print(problem)
     if problems:
