@@ -19,13 +19,30 @@ Two hard assertions ride along with the numbers:
   must contain more than one request, otherwise the harness measured
   nothing but a slow sequential server.
 
+With ``--workers 1,2,4`` the harness additionally runs the **scaling
+curve**: the same slot-balanced workload through the multi-process
+cluster acceptor (:mod:`repro.serve.cluster`) at each worker count,
+under a fixed per-worker pool budget (``SCALING_POOL_MB``). The curve
+measures what the cluster architecturally promises — aggregate *warm
+capacity*: the mix's working set exceeds one worker's budget (its LRU
+pool churns and the timed pass pays recomputation) but each ring shard
+fits its worker's budget, so added workers convert recomputation back
+into warm hits. This is deliberately not a raw-CPU scaling test: CPU
+scaling is a property of the host's core count (invisible on a
+single-core CI box), while capacity scaling is a property of the
+architecture and reproduces anywhere. Worker count 1 still goes through
+the acceptor, so the relay cost is part of the baseline, and every
+response must be byte-identical across all worker counts — sharding
+must never change an explanation.
+
 Writes ``BENCH_serve.json`` records (op, qps, p50/p95/p99, speedup,
-byte_identical) that ``tools/bench_report.py`` renders and
+byte_identical, workers) that ``tools/bench_report.py`` renders and
 ``tools/bench_sentinel.py`` gates.
 
 Run standalone::
 
     PYTHONPATH=src python benchmarks/bench_serve.py [--json PATH] [--quick]
+    PYTHONPATH=src python benchmarks/bench_serve.py --workers 1,2,4
 """
 
 from __future__ import annotations
@@ -65,7 +82,94 @@ def percentile_ms(latencies_s: list[float], q: float) -> float:
     return ordered[rank - 1] * 1000.0
 
 
-def build_workload(quick: bool) -> list[dict]:
+#: Scaling-curve request mix: ``(dataset, weight)`` pairs chosen so the
+#: rendezvous ring spreads load *evenly* across both slots at 2 workers.
+#: ``route_key`` maps hics_14/breast_diagnostic to slot 0 and
+#: hics_23/breast to slot 1; weights compensate for the very different
+#: steady-state per-request costs (smoke profile, all three pipelines:
+#: hics_14 ≈ 100 ms, breast ≈ 99 ms, hics_23 ≈ 297 ms,
+#: breast_diagnostic ≈ 933 ms summed across pipelines), landing each
+#: slot within ~3% of half the total. An unbalanced mix would measure
+#: dataset skew, not the architecture. At 4 workers the same mix covers
+#: slots {1, 2, 3} — the curve's 4-worker point is recorded but not
+#: gated, since no current dataset name routes to slot 0 of 4.
+SCALING_MIX = (
+    ("hics_14", 10),
+    ("breast", 10),
+    ("hics_23", 3),
+    ("breast_diagnostic", 1),
+)
+
+#: Per-worker engine pool budget (MiB) for the scaling curve. The mix's
+#: steady working set measures 11.2 MiB of memoised score vectors
+#: (hics_14 0.52, breast 0.08, hics_23 1.27, breast_diagnostic 9.31 MiB);
+#: at 2 workers the rendezvous ring splits it into a 9.8 MiB shard
+#: (slot 0) and a 1.4 MiB shard (slot 1). A 10 MiB budget therefore
+#: holds either shard but not the union: a single worker must evict
+#: warm scorers every mix round and pay re-fit + re-search on their next
+#: request, while sharded workers serve every request warm. That is the
+#: regime the cluster exists for — production working sets exceed one
+#: process's memory, and sharding by dataset name multiplies aggregate
+#: warm capacity by N with zero duplication. It is also the only scaling
+#: effect a benchmark can measure portably: raw CPU scaling depends on
+#: the host's core count (a single-core CI box shows none), warm-capacity
+#: scaling does not.
+SCALING_POOL_MB = 10
+
+
+def build_scaling_workload(quick: bool) -> list[dict]:
+    """The scaling request mix: weighted per-dataset rounds, interleaved.
+
+    Requests are round-robin interleaved across datasets so concurrent
+    clients always have in-flight work for every ring slot — a
+    dataset-sorted order would serialise the curve through one worker at
+    a time and understate scaling.
+    """
+    profile = get_profile(PROFILE)
+    pipelines = ["beam+lof", "refout+lof", "lookout+lof"]
+    repeats = 1 if quick else 2
+
+    per_dataset: list[list[dict]] = []
+    for name, weight in SCALING_MIX:
+        dataset = resolve_dataset(name, profile)
+        dimensionality = 2
+        points = dataset.ground_truth.points_at(dimensionality)
+        subsets = [
+            points,
+            points[: max(1, len(points) // 2)],
+            points[len(points) // 2 :] or points,
+        ]
+        requests = []
+        for _ in range(weight * repeats):
+            for pipeline in pipelines:
+                for subset in subsets:
+                    requests.append(
+                        {
+                            "dataset": name,
+                            "pipeline": pipeline,
+                            "dimensionality": dimensionality,
+                            "points": list(subset),
+                        }
+                    )
+        per_dataset.append(requests)
+
+    interleaved: list[dict] = []
+    iterators = [iter(requests) for requests in per_dataset]
+    while iterators:
+        still_going = []
+        for iterator in iterators:
+            try:
+                interleaved.append(next(iterator))
+            except StopIteration:
+                continue
+            still_going.append(iterator)
+        iterators = still_going
+    return interleaved
+
+
+def build_workload(
+    quick: bool, dataset_names: tuple[str, ...] | None = None
+) -> list[dict]:
     """The request mix: overlapping point subsets across datasets × pipelines.
 
     Overlap is deliberate — concurrent requests for the same (dataset,
@@ -75,7 +179,8 @@ def build_workload(quick: bool) -> list[dict]:
     """
     profile = get_profile(PROFILE)
     pipelines = ["beam+lof", "refout+lof", "lookout+lof"]
-    dataset_names = ["hics_14"] if quick else ["hics_14", "breast"]
+    if dataset_names is None:
+        dataset_names = ("hics_14",) if quick else ("hics_14", "breast")
     repeats = 2 if quick else 4
 
     requests: list[dict] = []
@@ -171,6 +276,107 @@ def run_served(
     }
 
 
+def run_cluster(workload: list[dict], clients: int, workers: int) -> dict:
+    """Fire the workload at an in-process cluster; returns timings + wire.
+
+    Worker count 1 is the scaling baseline: still acceptor + relay + one
+    worker process, so the curve's denominator already pays the
+    forwarding cost and the ratio measures added workers, nothing else.
+
+    Every topology runs under the same fixed per-worker pool budget
+    (``SCALING_POOL_MB``) and gets the same untimed priming pass — one
+    full workload replay that offers every (dataset, pipeline) its
+    one-off subspace search outside the timed window. Whether that warm
+    state *survives* into the timed pass is exactly what the curve
+    measures: one worker's budget cannot hold the whole mix, so its LRU
+    pool churns and the timed pass pays recomputation, while sharded
+    workers each retain their ring segment and serve warm. The timed
+    pass is the steady state a long-lived deployment actually serves.
+    Byte-identity is checked on the timed pass's responses.
+    """
+    from repro.serve.cluster import ClusterConfig, ClusterServer
+
+    cluster = ClusterServer(
+        ClusterConfig(
+            port=0,
+            workers=workers,
+            profile=PROFILE,
+            max_queue=max(64, len(workload)),
+            # No boot-time warm list: the priming pass below pays the
+            # cold costs once, outside the timed window, and boots stay
+            # fast. max_batch=1 disables within-wave coalescing so the
+            # weighted SCALING_MIX load balance holds — coalescing would
+            # collapse a dataset's repeated requests into one compute and
+            # re-skew the slots the weights were chosen to balance.
+            max_batch=1,
+            # No default deadline: the priming pass drains a deep queue
+            # one wave at a time, and a 30s admission deadline would fail
+            # queued requests instead of warming the pool.
+            default_deadline_ms=None,
+            # Fixed per-worker budget — the knob that makes the curve
+            # measure warm-capacity scaling; see SCALING_POOL_MB.
+            max_pool_mb=SCALING_POOL_MB,
+            snapshot_dir="",  # perf run: no persistence in the loop
+        )
+    )
+    handle = cluster.run_in_thread()
+
+    def fire() -> dict:
+        latencies: list[float | None] = [None] * len(workload)
+        wire: list[bytes | None] = [None] * len(workload)
+        errors: list[str] = []
+        errors_lock = threading.Lock()
+        next_index = iter(range(len(workload)))
+        index_lock = threading.Lock()
+
+        def worker() -> None:
+            with ServeClient(handle.host, handle.port, timeout=600.0) as client:
+                while True:
+                    with index_lock:
+                        try:
+                            i = next(next_index)
+                        except StopIteration:
+                            return
+                    request = workload[i]
+                    started = time.perf_counter()
+                    response = client.explain(
+                        request["dataset"],
+                        request["pipeline"],
+                        request["dimensionality"],
+                        points=request["points"],
+                    )
+                    latencies[i] = time.perf_counter() - started
+                    if not response.get("ok"):
+                        with errors_lock:
+                            errors.append(
+                                f"request {i}: {response.get('error')}"
+                            )
+                        continue
+                    wire[i] = encode_line(response["result"])
+
+        started = time.perf_counter()
+        with ThreadPoolExecutor(max_workers=clients) as pool:
+            for _ in range(clients):
+                pool.submit(worker)
+        wall = time.perf_counter() - started
+        if errors:
+            raise SystemExit(
+                f"FAIL: cluster requests errored (workers={workers}):\n  "
+                + "\n  ".join(errors)
+            )
+        return {
+            "wall_time_s": wall,
+            "latencies_s": [lat for lat in latencies if lat is not None],
+            "wire": wire,
+        }
+
+    try:
+        fire()  # priming pass: one-off searches, untimed
+        return fire()  # timed steady-state pass
+    finally:
+        handle.stop()
+
+
 def run_cold(workload: list[dict], clients: int) -> dict:
     """The same workload as cold one-shot pipeline runs (no warm state).
 
@@ -251,6 +457,11 @@ def main(argv=None) -> None:
     parser.add_argument("--trace-out", default=None, metavar="PATH",
                         help="write the server's serve.batch/pipeline.run "
                         "span trace to PATH as JSONL")
+    parser.add_argument("--workers", default=None, metavar="LIST",
+                        help="comma-separated worker counts (e.g. 1,2,4): "
+                        "also run the workload through the cluster acceptor "
+                        "at each count and record the scaling curve; "
+                        "responses must be byte-identical across counts")
     args = parser.parse_args(argv)
 
     from repro.obs import Tracer, write_trace_jsonl
@@ -290,9 +501,10 @@ def main(argv=None) -> None:
             "the warm numbers would not measure batching"
         )
 
-    def summarise(label: str, run: dict) -> dict:
+    def summarise(label: str, run: dict, n: int | None = None) -> dict:
         latencies = run["latencies_s"]
-        qps = n_requests / run["wall_time_s"] if run["wall_time_s"] else 0.0
+        count = n_requests if n is None else n
+        qps = count / run["wall_time_s"] if run["wall_time_s"] else 0.0
         summary = {
             "qps": round(qps, 2),
             "p50_ms": round(percentile_ms(latencies, 0.50), 3),
@@ -348,6 +560,80 @@ def main(argv=None) -> None:
             "byte_identical": True,
         },
     ]
+
+    if args.workers:
+        counts = sorted(
+            {max(1, int(tok)) for tok in args.workers.split(",") if tok.strip()}
+        )
+        scaling_workload = build_scaling_workload(args.quick)
+        scaling_clients = max(args.clients, 2 * max(counts))
+        print(
+            f"cluster scaling: {len(scaling_workload)} requests over "
+            f"{len(SCALING_MIX)} datasets (slot-balanced mix), "
+            f"{scaling_clients} client threads, workers {counts}, "
+            f"{SCALING_POOL_MB} MiB pool budget per worker"
+        )
+        curve: dict[int, dict] = {}
+        for workers in counts:
+            curve[workers] = run_cluster(
+                scaling_workload, scaling_clients, workers
+            )
+        reference_wire = curve[counts[0]]["wire"]
+        for workers in counts[1:]:
+            diverged = [
+                i
+                for i, (a, b) in enumerate(
+                    zip(reference_wire, curve[workers]["wire"])
+                )
+                if a != b
+            ]
+            if diverged:
+                raise SystemExit(
+                    f"FAIL: cluster responses at workers={workers} diverge "
+                    f"from workers={counts[0]} for requests {diverged[:10]} "
+                    f"({len(diverged)}/{len(scaling_workload)} total) — "
+                    "sharding must never change an explanation"
+                )
+        scaling_shape = {
+            "n_requests": len(scaling_workload),
+            "clients": scaling_clients,
+            "max_pool_mb": SCALING_POOL_MB,
+            "profile": PROFILE,
+            "quick": bool(args.quick),
+        }
+        qps_by_count: dict[int, float] = {}
+        for workers in counts:
+            summary = summarise(
+                f"cluster workers={workers}",
+                curve[workers],
+                n=len(scaling_workload),
+            )
+            qps_by_count[workers] = summary["qps"]
+            records.append(
+                {
+                    "op": "serve cluster",
+                    "workers": workers,
+                    **scaling_shape,
+                    **summary,
+                    "byte_identical": True,
+                }
+            )
+        base_qps = qps_by_count[counts[0]]
+        for workers in counts[1:]:
+            scaling = qps_by_count[workers] / base_qps if base_qps else 0.0
+            print(
+                f"  scaling at {workers} workers: {scaling:.2f}x aggregate "
+                f"QPS vs {counts[0]} worker(s)"
+            )
+            records.append(
+                {
+                    "op": "serve cluster scaling",
+                    "workers": workers,
+                    **scaling_shape,
+                    "speedup": round(scaling, 3),
+                    "byte_identical": True,
+                }
+            )
 
     if args.trace_out and tracer is not None:
         write_trace_jsonl(tracer.spans, args.trace_out)

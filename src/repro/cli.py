@@ -297,6 +297,42 @@ def build_parser() -> argparse.ArgumentParser:
             "REPRO_ENGINE_POOL_MB environment variable)"
         ),
     )
+    serve_group.add_argument(
+        "--workers",
+        default=None,
+        type=int,
+        metavar="N",
+        help=(
+            "worker process count for the serve cluster: N >= 2 boots a "
+            "front-door acceptor plus N worker processes sharded by "
+            "dataset (see docs/SCALING.md); 1 runs the classic "
+            "single-process server (default: 1, or the "
+            "REPRO_SERVE_WORKERS environment variable)"
+        ),
+    )
+    serve_group.add_argument(
+        "--snapshot-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "directory for engine warm-state snapshots: each worker "
+            "persists its dataset registry and memoised score vectors to "
+            "DIR/worker-<slot>.json (single-process mode uses "
+            "worker-0.json) and a restarted worker re-warms from there "
+            "instead of recomputing (default: disabled, or the "
+            "REPRO_ENGINE_SNAPSHOT_DIR environment variable)"
+        ),
+    )
+    serve_group.add_argument(
+        "--reload-config",
+        default=None,
+        metavar="PATH",
+        help=(
+            "JSON file of reloadable serve fields (max_queue, max_batch, "
+            "default_deadline_ms, max_pool_mb); SIGHUP re-reads PATH and "
+            "hot-applies it to every worker without dropping connections"
+        ),
+    )
     parser.add_argument(
         "--manifest-out",
         default=None,
@@ -311,47 +347,134 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _resolve_workers(args: argparse.Namespace) -> int:
+    """Worker count in force: ``--workers`` beats ``REPRO_SERVE_WORKERS``."""
+    if args.workers is not None:
+        return max(1, int(args.workers))
+    from repro.serve.cluster import SERVE_WORKERS_ENV
+
+    raw = os.environ.get(SERVE_WORKERS_ENV, "").strip()
+    if not raw:
+        return 1
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        raise SystemExit(
+            f"{SERVE_WORKERS_ENV} must be an integer, got {raw!r}"
+        ) from None
+
+
 def _serve(args: argparse.Namespace) -> int:
-    """Run the explanation service until interrupted (Ctrl-C)."""
+    """Run the explanation service until interrupted (Ctrl-C).
+
+    ``--workers N`` (or ``REPRO_SERVE_WORKERS``) >= 2 boots the
+    multi-process cluster — front-door acceptor plus N sharded worker
+    processes (``docs/SCALING.md``); otherwise the classic single-process
+    server. Both honour ``--snapshot-dir`` for warm-state persistence.
+    """
     import asyncio
 
-    from repro.serve.server import ExplainServer, ServerConfig
+    workers = _resolve_workers(args)
+    deadline_ms = None if args.deadline_ms == 0 else float(args.deadline_ms)
 
-    config = ServerConfig(
-        host=args.host,
-        port=args.port,
-        profile=args.profile,
-        max_queue=args.max_queue,
-        max_batch=args.max_batch,
-        default_deadline_ms=(
-            None if args.deadline_ms == 0 else float(args.deadline_ms)
-        ),
-        backend=args.backend,
-        max_pool_mb=args.pool_mb,
-        warm=tuple(args.warm or ()),
-        heartbeat_jsonl=args.heartbeat_jsonl,
-    )
-    server = ExplainServer(config)
+    if workers > 1:
+        from repro.serve.cluster import ClusterConfig, ClusterServer
 
-    async def _run() -> None:
-        await server.start()
-        print(
-            f"repro serve: profile={config.profile} "
-            f"listening on {config.host}:{server.port}",
-            flush=True,
+        cluster = ClusterServer(
+            ClusterConfig(
+                host=args.host,
+                port=args.port,
+                workers=workers,
+                profile=args.profile,
+                max_queue=args.max_queue,
+                max_batch=args.max_batch,
+                default_deadline_ms=deadline_ms,
+                backend=args.backend,
+                max_pool_mb=args.pool_mb,
+                warm=tuple(args.warm or ()),
+                snapshot_dir=args.snapshot_dir,
+                reload_config=args.reload_config,
+            )
         )
-        assert server._server is not None
-        try:
-            await server._server.serve_forever()
-        except asyncio.CancelledError:
-            pass
-        finally:
-            await server.stop()
 
-    try:
-        asyncio.run(_run())
-    except KeyboardInterrupt:
-        print("repro serve: interrupted, shutting down", flush=True)
+        async def _run_cluster() -> None:
+            # serve_forever prints nothing itself; announce after start
+            # via the task so the port is known. start() happens inside
+            # serve_forever, so wrap it to print between start and serve.
+            await cluster.start()
+            print(
+                f"repro serve: profile={args.profile} workers={workers} "
+                f"listening on {args.host}:{cluster.port}",
+                flush=True,
+            )
+            import signal
+
+            loop = asyncio.get_running_loop()
+            try:
+                loop.add_signal_handler(
+                    signal.SIGHUP,
+                    lambda: asyncio.ensure_future(cluster._on_sighup()),
+                )
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass
+            assert cluster._server is not None
+            try:
+                await cluster._server.serve_forever()
+            except asyncio.CancelledError:
+                pass
+            finally:
+                await cluster.stop()
+
+        try:
+            asyncio.run(_run_cluster())
+        except KeyboardInterrupt:
+            print("repro serve: interrupted, shutting down", flush=True)
+    else:
+        from repro.serve.server import ExplainServer, ServerConfig
+
+        snapshot_dir = args.snapshot_dir
+        if snapshot_dir is None:
+            from repro.serve.engine import ENGINE_SNAPSHOT_DIR_ENV
+
+            snapshot_dir = os.environ.get(ENGINE_SNAPSHOT_DIR_ENV, "").strip()
+        config = ServerConfig(
+            host=args.host,
+            port=args.port,
+            profile=args.profile,
+            max_queue=args.max_queue,
+            max_batch=args.max_batch,
+            default_deadline_ms=deadline_ms,
+            backend=args.backend,
+            max_pool_mb=args.pool_mb,
+            warm=tuple(args.warm or ()),
+            heartbeat_jsonl=args.heartbeat_jsonl,
+            snapshot_path=(
+                os.path.join(snapshot_dir, "worker-0.json")
+                if snapshot_dir
+                else None
+            ),
+        )
+        server = ExplainServer(config)
+
+        async def _run() -> None:
+            await server.start()
+            print(
+                f"repro serve: profile={config.profile} "
+                f"listening on {config.host}:{server.port}",
+                flush=True,
+            )
+            assert server._server is not None
+            try:
+                await server._server.serve_forever()
+            except asyncio.CancelledError:
+                pass
+            finally:
+                await server.stop()
+
+        try:
+            asyncio.run(_run())
+        except KeyboardInterrupt:
+            print("repro serve: interrupted, shutting down", flush=True)
     if args.metrics_out is not None:
         from repro.obs import write_metrics_text
 

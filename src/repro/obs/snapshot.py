@@ -35,6 +35,26 @@ def _value(registry: MetricsRegistry, name: str, **labels: object) -> float:
     return 0.0
 
 
+def _sum_where(
+    registry: MetricsRegistry, name: str, **labels: object
+) -> float:
+    """Sum a counter/gauge over every label set matching ``labels``.
+
+    Unlike :func:`_value` (exact label-set lookup), this group-sums: a
+    series carrying *extra* labels — e.g. ``repro_serve_requests_total``
+    samples that also carry a ``worker`` label when per-worker metric
+    dumps are merged into one registry — still contributes to the total
+    for its ``status``. Exact lookup would silently miss those series.
+    """
+    metric = registry.get(name)
+    if not isinstance(metric, (Counter, Gauge)):
+        return 0.0
+    want = {(k, str(v)) for k, v in labels.items()}
+    return sum(
+        value for key, value in metric.samples() if want.issubset(set(key))
+    )
+
+
 def _total(registry: MetricsRegistry, name: str) -> float:
     """Sum of a counter/gauge across every label set (0.0 when absent)."""
     metric = registry.get(name)
@@ -78,10 +98,12 @@ def run_snapshot(registry: MetricsRegistry | None = None) -> dict[str, object]:
 
     Returns a nested dict with ``caches`` (one entry per named LRU),
     ``distance`` (the shared distance substrate), ``hics_contrast``,
-    ``scorer``, ``grid``, ``ft``, ``engine`` (the warm scorer pool), and
-    ``serve`` (request loop) sections. Every number is a plain
-    float/int, so the snapshot drops straight into JSON exports and
-    benchmark records.
+    ``scorer``, ``grid``, ``ft``, ``engine`` (the warm scorer pool),
+    ``serve`` (request loop), and ``cluster`` (multi-process acceptor)
+    sections. Every number is a plain float/int, so the snapshot drops
+    straight into JSON exports and benchmark records. Labelled counters
+    are group-summed, so registries that merge per-worker label sets
+    (cluster runs) aggregate correctly instead of key-missing.
     """
     reg = registry if registry is not None else get_registry()
 
@@ -92,12 +114,14 @@ def run_snapshot(registry: MetricsRegistry | None = None) -> dict[str, object]:
         | _label_values(reg, "repro_cache_evictions_total", "cache")
     )
     for name in sorted(names):
-        hits = _value(reg, "repro_cache_hits_total", cache=name)
-        misses = _value(reg, "repro_cache_misses_total", cache=name)
+        hits = _sum_where(reg, "repro_cache_hits_total", cache=name)
+        misses = _sum_where(reg, "repro_cache_misses_total", cache=name)
         caches[name] = {
             "hits": hits,
             "misses": misses,
-            "evictions": _value(reg, "repro_cache_evictions_total", cache=name),
+            "evictions": _sum_where(
+                reg, "repro_cache_evictions_total", cache=name
+            ),
             "hit_rate": _hit_rate(hits, misses),
         }
 
@@ -161,11 +185,22 @@ def run_snapshot(registry: MetricsRegistry | None = None) -> dict[str, object]:
         "coalesced_requests": _total(
             reg, "repro_engine_coalesced_requests_total"
         ),
+        "snapshot_writes": _total(reg, "repro_engine_snapshot_writes_total"),
+        "restored_vectors": _total(reg, "repro_engine_restored_vectors_total"),
         "hit_rate": _hit_rate(engine_hits, engine_misses),
     }
 
+    cluster = {
+        "routed": _total(reg, "repro_cluster_routed_total"),
+        "forward_errors": _total(reg, "repro_cluster_forward_errors_total"),
+        "unavailable": _total(reg, "repro_cluster_unavailable_total"),
+        "reloads": _total(reg, "repro_cluster_reloads_total"),
+        "worker_restarts": _total(reg, "repro_cluster_worker_restarts_total"),
+        "workers_live": _total(reg, "repro_cluster_workers"),
+    }
+
     requests_by_status = {
-        status: _value(reg, "repro_serve_requests_total", status=status)
+        status: _sum_where(reg, "repro_serve_requests_total", status=status)
         for status in sorted(
             _label_values(reg, "repro_serve_requests_total", "status")
         )
@@ -194,4 +229,5 @@ def run_snapshot(registry: MetricsRegistry | None = None) -> dict[str, object]:
         "ft": ft,
         "engine": engine,
         "serve": serve,
+        "cluster": cluster,
     }

@@ -11,6 +11,12 @@ Layering (see ``docs/SERVING.md``):
   asyncio request loop with coalescing + admission control, and the
   blocking test/bench client. These import the pipeline, so they load
   lazily to keep ``repro.pipeline → repro.serve.engine`` acyclic.
+* :mod:`repro.serve.ring` / :mod:`repro.serve.supervisor` /
+  :mod:`repro.serve.cluster` — horizontal scale-out (see
+  ``docs/SCALING.md``): rendezvous-hash routing of datasets onto worker
+  slots, worker-process lifecycle with snapshot-backed restart, and the
+  front-door acceptor behind ``repro serve --workers N``. Lazy for the
+  same reason.
 """
 
 from __future__ import annotations
@@ -18,6 +24,8 @@ from __future__ import annotations
 from repro.serve.engine import (
     DEFAULT_ENGINE_POOL_MB,
     ENGINE_POOL_MB_ENV,
+    ENGINE_SNAPSHOT_DIR_ENV,
+    SNAPSHOT_VERSION,
     ExplainEngine,
     resolve_engine_pool_bytes,
 )
@@ -25,17 +33,33 @@ from repro.serve.engine import (
 __all__ = [
     "DEFAULT_ENGINE_POOL_MB",
     "ENGINE_POOL_MB_ENV",
+    "ENGINE_SNAPSHOT_DIR_ENV",
+    "SERVE_WORKERS_ENV",
+    "SNAPSHOT_VERSION",
+    "ClusterConfig",
+    "ClusterHandle",
+    "ClusterServer",
     "ExplainEngine",
     "ExplainServer",
+    "HashRing",
     "ServeClient",
     "ServerConfig",
+    "WorkerSupervisor",
     "resolve_engine_pool_bytes",
+    "route_key",
 ]
 
 _LAZY = {
     "ExplainServer": ("repro.serve.server", "ExplainServer"),
     "ServerConfig": ("repro.serve.server", "ServerConfig"),
     "ServeClient": ("repro.serve.client", "ServeClient"),
+    "ClusterConfig": ("repro.serve.cluster", "ClusterConfig"),
+    "ClusterHandle": ("repro.serve.cluster", "ClusterHandle"),
+    "ClusterServer": ("repro.serve.cluster", "ClusterServer"),
+    "SERVE_WORKERS_ENV": ("repro.serve.cluster", "SERVE_WORKERS_ENV"),
+    "HashRing": ("repro.serve.ring", "HashRing"),
+    "route_key": ("repro.serve.ring", "route_key"),
+    "WorkerSupervisor": ("repro.serve.supervisor", "WorkerSupervisor"),
 }
 
 

@@ -5,6 +5,22 @@ coalescing drill, and the load harness, each of which drives the server
 from plain threads. One :class:`ServeClient` owns one TCP connection and
 issues strictly request/response traffic on it; concurrency comes from
 many clients (the server coalesces across connections, not within one).
+
+The same client speaks to both topologies: a single-process
+:class:`~repro.serve.ExplainServer` and the multi-process
+:class:`~repro.serve.cluster.ClusterServer` front door answer the
+identical wire protocol (``docs/SERVING.md``), so code written against
+one transparently scales to ``repro serve --workers N``
+(``docs/SCALING.md``).
+
+Typical session (against either topology)::
+
+    with ServeClient(handle.host, handle.port) as client:
+        client.ping()                       # liveness
+        env = client.explain("hics_14", "beam+lof", 2)
+        stats = client.stats()              # engine / cluster counters
+        client.reload({"max_batch": 8})     # hot-apply reloadable fields
+        client.snapshot()                   # persist warm state to disk
 """
 
 from __future__ import annotations
@@ -26,6 +42,15 @@ class ServeClient:
         Server address (``ServerHandle.host`` / ``.port`` in-process).
     timeout:
         Socket timeout in seconds for connect and each response read.
+
+    Examples
+    --------
+    >>> from repro.serve.server import ExplainServer, ServerConfig
+    >>> handle = ExplainServer(ServerConfig(port=0)).run_in_thread()
+    >>> with ServeClient(handle.host, handle.port) as client:
+    ...     client.ping()
+    True
+    >>> handle.stop()
     """
 
     def __init__(self, host: str, port: int, *, timeout: float = 60.0) -> None:
@@ -83,6 +108,32 @@ class ServeClient:
         response = self.request({"op": "stats"})
         if not response.get("ok"):
             raise RuntimeError(f"stats request failed: {response.get('error')}")
+        return response["result"]
+
+    def reload(self, config: dict) -> dict:
+        """Hot-apply reloadable config fields; returns the config in force.
+
+        ``config`` may name any subset of
+        :data:`~repro.serve.protocol.RELOADABLE_FIELDS`. Against a
+        cluster, the acceptor validates once, fans out to every live
+        worker, and folds the overrides into future respawns.
+        """
+        response = self.request({"op": "reload", "config": dict(config)})
+        if not response.get("ok"):
+            raise RuntimeError(f"reload request failed: {response.get('error')}")
+        return response["result"]
+
+    def snapshot(self) -> dict:
+        """Ask the server to persist its engine snapshot(s) to disk now.
+
+        Requires the server to run with a snapshot path (``--snapshot-dir``
+        / ``REPRO_ENGINE_SNAPSHOT_DIR``); raises when snapshots are
+        disabled. Against a cluster, every live worker writes its own
+        ``worker-<slot>.json``.
+        """
+        response = self.request({"op": "snapshot"})
+        if not response.get("ok"):
+            raise RuntimeError(f"snapshot request failed: {response.get('error')}")
         return response["result"]
 
     # ------------------------------------------------------------------

@@ -1,0 +1,719 @@
+"""Multi-process serve scale-out: the front-door acceptor.
+
+``repro serve --workers N`` boots one :class:`ClusterServer` — an asyncio
+TCP front door on the public port — plus N worker processes (via
+:class:`~repro.serve.supervisor.WorkerSupervisor`), each a complete
+single-process :class:`~repro.serve.ExplainServer` on its own loopback
+port. The acceptor speaks the same JSON-lines protocol as a single
+server, so clients cannot tell the modes apart except through ``stats``.
+
+Request flow:
+
+* ``explain`` requests are **sharded by dataset**: the rendezvous hash
+  (:mod:`repro.serve.ring`) maps the request's dataset name to its owner
+  slot, and the raw request line is relayed over a pooled loopback
+  connection to that worker; the worker's response bytes are relayed back
+  verbatim. Byte-identity across the sharded path is therefore
+  structural — the acceptor never re-encodes a result.
+* Every dataset has exactly **one** owner, so warm pools never duplicate
+  across workers. During a worker's restart gap the acceptor does not
+  spill its datasets to survivors (that would cold-start duplicate
+  pools); it parks the request on the slot's readiness event, bounded by
+  ``worker_wait_s``, and forwards once the supervisor re-admits the
+  restarted worker — which has restored its warm inventory from snapshot.
+  Requests that outwait the bound fail with the transient
+  ``worker_unavailable`` code (same retry taxonomy as ``repro.ft``).
+* ``ping`` answers locally. ``stats`` fans out to every live worker and
+  returns per-worker stats plus a cluster summary. ``reload`` validates
+  once, fans out to live workers, and records the overrides so restarted
+  workers boot with them too; SIGHUP (CLI mode) re-reads the
+  ``--reload-config`` file and performs the same fan-out without dropping
+  any connection. ``snapshot`` asks every live worker to persist its
+  engine inventory now.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import threading
+from dataclasses import dataclass
+
+from repro.exceptions import ValidationError
+from repro.obs import metrics as obs_metrics
+from repro.serve.engine import ENGINE_SNAPSHOT_DIR_ENV
+from repro.serve.protocol import (
+    ProtocolError,
+    decode_line,
+    encode_line,
+    error_response,
+    ok_response,
+    parse_request,
+)
+from repro.serve.ring import HashRing, route_key
+from repro.serve.supervisor import WorkerSupervisor
+
+__all__ = ["ClusterConfig", "ClusterHandle", "ClusterServer", "SERVE_WORKERS_ENV"]
+
+#: Environment variable naming the worker count for ``repro serve``
+#: (``--workers`` overrides it; values <= 1 mean single-process mode).
+SERVE_WORKERS_ENV = "REPRO_SERVE_WORKERS"
+
+_ROUTED = obs_metrics.counter(
+    "repro_cluster_routed_total",
+    "Explain requests routed to a worker slot by the acceptor",
+)
+_FORWARD_ERRORS = obs_metrics.counter(
+    "repro_cluster_forward_errors_total",
+    "Relay attempts that failed against a worker connection",
+)
+_UNAVAILABLE = obs_metrics.counter(
+    "repro_cluster_unavailable_total",
+    "Requests failed with worker_unavailable after the readiness wait",
+)
+_RELOADS = obs_metrics.counter(
+    "repro_cluster_reloads_total",
+    "Hot config reloads fanned out to the worker pool",
+)
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Tunables of one :class:`ClusterServer` (see ``docs/SCALING.md``).
+
+    Attributes
+    ----------
+    host, port:
+        Public bind address of the acceptor (port ``0`` = OS-assigned).
+    workers:
+        Worker process count (>= 1). One hash-ring slot per worker.
+    profile, max_queue, max_batch, default_deadline_ms, max_pool_mb, warm:
+        Per-worker :class:`~repro.serve.server.ServerConfig` settings.
+        ``warm`` is sharded: each worker pre-warms only the datasets the
+        ring routes to it.
+    backend:
+        Execution backend *name* for worker engines (``None`` = the
+        ``REPRO_BACKEND`` default). Cluster configs ship to spawned
+        processes, so instances are not accepted here.
+    snapshot_dir:
+        Directory for per-worker engine snapshots
+        (``worker-<slot>.json``). ``None`` resolves
+        ``REPRO_ENGINE_SNAPSHOT_DIR``; empty string disables snapshots
+        (restarted workers re-warm cold).
+    reload_config:
+        Optional JSON file of reloadable fields, re-read and fanned out
+        on SIGHUP (CLI mode).
+    worker_wait_s:
+        How long an explain request waits for its owner slot to return
+        during a restart gap before failing ``worker_unavailable``.
+    poll_s:
+        Supervisor liveness-poll interval.
+    max_restarts:
+        Consecutive failed restarts after which a slot is abandoned.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    workers: int = 2
+    profile: str = "smoke"
+    max_queue: int = 64
+    max_batch: int = 16
+    default_deadline_ms: float | None = 30_000.0
+    backend: str | None = None
+    max_pool_mb: int | None = None
+    warm: tuple[str, ...] = ()
+    snapshot_dir: str | None = None
+    reload_config: str | None = None
+    worker_wait_s: float = 60.0
+    poll_s: float = 0.25
+    max_restarts: int = 5
+    #: How long one worker may take to boot and report ready. Covers a
+    #: fresh interpreter + full warm-list pre-computation, which on a
+    #: loaded runner takes minutes, not seconds.
+    boot_timeout_s: float = 300.0
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValidationError(f"workers must be >= 1, got {self.workers}")
+        if self.backend is not None and not isinstance(self.backend, str):
+            raise ValidationError(
+                "cluster backend must be a backend name (configs ship to "
+                f"spawned workers), got {type(self.backend).__name__}"
+            )
+        if self.worker_wait_s <= 0:
+            raise ValidationError(
+                f"worker_wait_s must be positive, got {self.worker_wait_s}"
+            )
+
+    def resolved_snapshot_dir(self) -> str | None:
+        """The snapshot directory in force (config beats environment)."""
+        raw = (
+            os.environ.get(ENGINE_SNAPSHOT_DIR_ENV, "")
+            if self.snapshot_dir is None
+            else self.snapshot_dir
+        )
+        return raw.strip() or None
+
+
+class ClusterServer:
+    """Acceptor + supervisor: the multi-process explain service.
+
+    Typical in-process use (tests, the bench harness)::
+
+        cluster = ClusterServer(ClusterConfig(workers=2, port=0))
+        handle = cluster.run_in_thread()
+        try:
+            ...  # ServeClient(handle.host, handle.port) as usual
+        finally:
+            handle.stop()
+
+    The CLI entrypoint (``repro serve --workers N``) calls
+    :meth:`serve_forever` on the main thread instead, with SIGHUP wired
+    to the hot-reload fan-out.
+    """
+
+    def __init__(self, config: ClusterConfig | None = None) -> None:
+        self.config = config if config is not None else ClusterConfig()
+        self.ring = HashRing(self.config.workers)
+        #: Reload overrides in force; folded into every (re)spawned
+        #: worker's config so reloads survive restarts.
+        self._overrides: dict = {}
+        self._overrides_lock = threading.Lock()
+        self.supervisor = WorkerSupervisor(
+            self.config.workers,
+            self._worker_server_kwargs,
+            on_up=self._slot_up,
+            on_down=self._slot_down,
+            ready_timeout_s=self.config.boot_timeout_s,
+            max_restarts=self.config.max_restarts,
+        )
+        self._ready_events: dict[int, asyncio.Event] = {}
+        self._pools: dict[int, list[tuple[asyncio.StreamReader, asyncio.StreamWriter]]] = {}
+        self._server: asyncio.AbstractServer | None = None
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._watch_task: asyncio.Task | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stopping = False
+        self.port: int | None = None
+
+    # ------------------------------------------------------------------
+    # Worker configuration.
+    # ------------------------------------------------------------------
+
+    def _worker_server_kwargs(self, slot: int) -> dict:
+        """ServerConfig kwargs for ``slot`` (called at every spawn)."""
+        config = self.config
+        snapshot_dir = config.resolved_snapshot_dir()
+        with self._overrides_lock:
+            overrides = dict(self._overrides)
+        kwargs = {
+            "host": "127.0.0.1",
+            "port": 0,
+            "profile": config.profile,
+            "max_queue": config.max_queue,
+            "max_batch": config.max_batch,
+            "default_deadline_ms": config.default_deadline_ms,
+            "backend": config.backend,
+            "max_pool_mb": config.max_pool_mb,
+            # Shard the warm list: a worker pre-warms only the datasets
+            # the ring will actually route to it.
+            "warm": tuple(
+                name
+                for name in config.warm
+                if route_key(name, config.workers) == slot
+            ),
+            "snapshot_path": (
+                os.path.join(snapshot_dir, f"worker-{slot}.json")
+                if snapshot_dir
+                else None
+            ),
+        }
+        kwargs.update(overrides)
+        return kwargs
+
+    # ------------------------------------------------------------------
+    # Membership callbacks (supervisor-driven).
+    # ------------------------------------------------------------------
+
+    def _slot_up(self, slot: int) -> None:
+        self.ring.mark_up(slot)
+        event = self._ready_events.get(slot)
+        if event is not None and self._loop is not None:
+            self._loop.call_soon_threadsafe(event.set)
+
+    def _slot_down(self, slot: int) -> None:
+        self.ring.mark_down(slot)
+        event = self._ready_events.get(slot)
+        if event is not None and self._loop is not None:
+            self._loop.call_soon_threadsafe(event.clear)
+        # Connections into the dead worker are corpses; drop the pool.
+        self._drop_pool(slot)
+
+    def _drop_pool(self, slot: int) -> None:
+        """Discard ``slot``'s pooled connections, closing their transports.
+
+        Closing happens on the event loop (this may be called from the
+        supervisor's executor thread); an un-closed transport would warn
+        from ``__del__`` after the loop is gone.
+        """
+        pool = self._pools.pop(slot, None)
+        if not pool:
+            return
+
+        def _close() -> None:
+            for _reader, writer in pool:
+                writer.close()
+
+        if self._loop is not None and not self._loop.is_closed():
+            self._loop.call_soon_threadsafe(_close)
+
+    # ------------------------------------------------------------------
+    # Lifecycle.
+    # ------------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Spawn the worker fleet, bind the front door, start the watch."""
+        self._loop = asyncio.get_running_loop()
+        self._ready_events = {
+            slot: asyncio.Event() for slot in range(self.config.workers)
+        }
+        await self._loop.run_in_executor(None, self.supervisor.start_all)
+        for event in self._ready_events.values():
+            event.set()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._watch_task = asyncio.create_task(
+            self.supervisor.watch_forever(self.config.poll_s)
+        )
+
+    async def stop(self) -> None:
+        """Close the front door, drain worker pools, stop the fleet."""
+        self._stopping = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        # Cancel connection handlers still parked on a read (clients that
+        # never closed); otherwise the loop tears them down noisily.
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+        self._conn_tasks.clear()
+        if self._watch_task is not None:
+            self._watch_task.cancel()
+            try:
+                await self._watch_task
+            except asyncio.CancelledError:
+                pass
+        for pool in self._pools.values():
+            for _reader, writer in pool:
+                writer.close()
+        self._pools.clear()
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(None, self.supervisor.stop_all)
+
+    async def serve_forever(self) -> None:
+        """Start and block until cancelled (the CLI entrypoint).
+
+        Installs the SIGHUP → hot-reload handler: on signal, the
+        ``reload_config`` JSON file (when configured) is re-read,
+        validated, and fanned out to every live worker — connections stay
+        open throughout.
+        """
+        import signal
+
+        await self.start()
+        assert self._server is not None
+        loop = asyncio.get_running_loop()
+        try:
+            loop.add_signal_handler(
+                signal.SIGHUP,
+                lambda: asyncio.ensure_future(self._on_sighup()),
+            )
+        except (NotImplementedError, RuntimeError):  # pragma: no cover
+            pass  # platform without SIGHUP support
+        try:
+            await self._server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await self.stop()
+
+    def run_in_thread(self) -> "ClusterHandle":
+        """Run the cluster on a dedicated event-loop thread; returns a handle."""
+        started = threading.Event()
+        boot_error: list[BaseException] = []
+        handle = ClusterHandle(self)
+
+        def _run() -> None:
+            loop = asyncio.new_event_loop()
+            asyncio.set_event_loop(loop)
+            handle._loop = loop
+
+            async def _main() -> None:
+                try:
+                    await self.start()
+                except BaseException as exc:
+                    boot_error.append(exc)
+                    started.set()
+                    return
+                started.set()
+                assert self._server is not None
+                try:
+                    await self._server.serve_forever()
+                except asyncio.CancelledError:
+                    pass
+
+            try:
+                loop.run_until_complete(_main())
+                loop.run_until_complete(self.stop())
+            finally:
+                loop.close()
+
+        thread = threading.Thread(target=_run, name="repro-serve-cluster", daemon=True)
+        handle._thread = thread
+        thread.start()
+        boot_budget = self.config.boot_timeout_s + 60.0
+        if not started.wait(timeout=boot_budget):
+            raise RuntimeError(f"cluster failed to start within {boot_budget:.0f}s")
+        if boot_error:
+            thread.join(timeout=30.0)
+            raise RuntimeError(f"cluster failed to boot: {boot_error[0]!r}")
+        return handle
+
+    # ------------------------------------------------------------------
+    # Connection handling.
+    # ------------------------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        write_lock = asyncio.Lock()
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                await self._handle_line(line, writer, write_lock)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        except asyncio.CancelledError:
+            pass  # shutdown: close the client socket, don't re-raise into gather
+        finally:
+            if task is not None:
+                self._conn_tasks.discard(task)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                pass
+
+    async def _handle_line(
+        self,
+        line: bytes,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+    ) -> None:
+        request_id: str | None = None
+        try:
+            payload = decode_line(line)
+            request_id = (
+                str(payload.get("id")) if payload.get("id") is not None else None
+            )
+            request = parse_request(payload)
+        except ProtocolError as exc:
+            await self._write(
+                writer,
+                write_lock,
+                encode_line(
+                    error_response(
+                        request_id, exc.code, str(exc), transient=exc.transient
+                    )
+                ),
+            )
+            return
+
+        op = request["op"]
+        if op == "ping":
+            response = ok_response(request["id"], {"pong": True})
+        elif op == "stats":
+            response = await self._aggregate_stats(request["id"])
+        elif op == "reload":
+            response = await self._fan_out_reload(request["id"], request["config"])
+        elif op == "snapshot":
+            response = await self._fan_out_snapshot(request["id"])
+        else:  # op == "explain": relay the original bytes to the owner.
+            await self._route_explain(line, request, writer, write_lock)
+            return
+        await self._write(writer, write_lock, encode_line(response))
+
+    async def _write(
+        self,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+        data: bytes,
+    ) -> None:
+        async with write_lock:
+            try:
+                writer.write(data)
+                await writer.drain()
+            except (ConnectionError, OSError):
+                pass
+
+    # ------------------------------------------------------------------
+    # Worker relay.
+    # ------------------------------------------------------------------
+
+    async def _acquire(
+        self, slot: int
+    ) -> tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+        pool = self._pools.setdefault(slot, [])
+        while pool:
+            reader, writer = pool.pop()
+            if not writer.is_closing():
+                return reader, writer
+            writer.close()
+        port = self.supervisor.ports().get(slot)
+        if port is None:
+            raise ConnectionError(f"slot {slot} has no live worker")
+        return await asyncio.open_connection("127.0.0.1", port)
+
+    def _release(
+        self, slot: int, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        if not writer.is_closing():
+            self._pools.setdefault(slot, []).append((reader, writer))
+        else:
+            writer.close()
+
+    async def _forward(self, slot: int, line: bytes) -> bytes:
+        """Relay one request line to ``slot``; return the response line.
+
+        The pooled connection carries strictly one in-flight request
+        (workers apply per-connection backpressure), so concurrency
+        toward one worker comes from pool growth — which is what lets the
+        worker's dispatcher coalesce concurrent requests into one wave.
+        """
+        reader, writer = await self._acquire(slot)
+        try:
+            writer.write(line)
+            await writer.drain()
+            response = await reader.readline()
+            if not response:
+                raise ConnectionError(f"worker {slot} closed the connection")
+        except BaseException:
+            writer.close()
+            raise
+        self._release(slot, reader, writer)
+        return response
+
+    async def _route_explain(
+        self,
+        line: bytes,
+        request: dict,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+    ) -> None:
+        """Forward an explain request to its owner slot, waiting out gaps.
+
+        The owner is the rendezvous choice over *all* slots — state
+        affinity, not availability, decides placement (spilling would
+        duplicate warm pools). A dead owner is waited on via its
+        readiness event up to ``worker_wait_s``; relay errors against a
+        freshly-restarted worker retry until the same deadline, then the
+        request fails transient (``worker_unavailable``).
+        """
+        slot = self.ring.preferred(request["dataset"])
+        _ROUTED.inc(slot=slot)
+        deadline = asyncio.get_running_loop().time() + self.config.worker_wait_s
+        event = self._ready_events.get(slot)
+        while True:
+            remaining = deadline - asyncio.get_running_loop().time()
+            if remaining <= 0:
+                break
+            if event is not None and not event.is_set():
+                try:
+                    await asyncio.wait_for(event.wait(), timeout=remaining)
+                except asyncio.TimeoutError:
+                    break
+            try:
+                response = await self._forward(slot, line)
+            except (ConnectionError, OSError):
+                _FORWARD_ERRORS.inc(slot=slot)
+                # The worker died under us (or is mid-restart): clear the
+                # stale pool and re-await readiness rather than spinning.
+                self._drop_pool(slot)
+                if event is not None and not self.supervisor.is_live(slot):
+                    event.clear()
+                await asyncio.sleep(min(0.05, max(0.0, remaining)))
+                continue
+            await self._write(writer, write_lock, response)
+            return
+        _UNAVAILABLE.inc()
+        await self._write(
+            writer,
+            write_lock,
+            encode_line(
+                error_response(
+                    request["id"],
+                    "worker_unavailable",
+                    f"worker for slot {slot} did not return within "
+                    f"{self.config.worker_wait_s:.0f}s",
+                )
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Control-plane fan-out.
+    # ------------------------------------------------------------------
+
+    async def _fan_out(self, payload: dict) -> dict[int, dict]:
+        """Send ``payload`` to every live slot; returns slot→response."""
+        responses: dict[int, dict] = {}
+
+        async def _one(slot: int) -> None:
+            try:
+                raw = await self._forward(slot, encode_line(payload))
+                responses[slot] = decode_line(raw)
+            except (ConnectionError, OSError, ProtocolError) as exc:
+                _FORWARD_ERRORS.inc(slot=slot)
+                responses[slot] = error_response(
+                    str(payload.get("id")), "worker_unavailable", str(exc)
+                )
+
+        await asyncio.gather(*(_one(slot) for slot in self.ring.live_slots))
+        return responses
+
+    async def _aggregate_stats(self, request_id: str) -> dict:
+        """Cluster-level ``stats``: per-worker payloads + a summary."""
+        responses = await self._fan_out(
+            {"v": 1, "id": f"{request_id}/stats", "op": "stats"}
+        )
+        workers = {}
+        summary = {"entries": 0, "bytes": 0, "hits": 0, "misses": 0, "datasets": 0}
+        for slot, response in sorted(responses.items()):
+            if response.get("ok"):
+                stats = response["result"]
+                workers[str(slot)] = stats
+                engine = stats.get("engine", {})
+                for key in summary:
+                    summary[key] += int(engine.get(key, 0))
+            else:
+                workers[str(slot)] = {"error": response.get("error")}
+        return ok_response(
+            request_id,
+            {
+                "cluster": {
+                    "workers": self.config.workers,
+                    "live": self.supervisor.live_count(),
+                    "restarts": self.supervisor.total_restarts(),
+                    "ring": list(self.ring.live_slots),
+                    "engine": summary,
+                },
+                "workers": workers,
+            },
+        )
+
+    async def _fan_out_reload(self, request_id: str, fields: dict) -> dict:
+        """Apply ``fields`` cluster-wide and remember them for respawns."""
+        with self._overrides_lock:
+            self._overrides.update(fields)
+        responses = await self._fan_out(
+            {
+                "v": 1,
+                "id": f"{request_id}/reload",
+                "op": "reload",
+                "config": fields,
+            }
+        )
+        _RELOADS.inc()
+        applied = sum(1 for r in responses.values() if r.get("ok"))
+        return ok_response(
+            request_id,
+            {
+                "reloaded": True,
+                "config": fields,
+                "workers_applied": applied,
+                "workers_live": len(responses),
+            },
+        )
+
+    async def _fan_out_snapshot(self, request_id: str) -> dict:
+        """Ask every live worker to persist its engine inventory now."""
+        responses = await self._fan_out(
+            {"v": 1, "id": f"{request_id}/snapshot", "op": "snapshot"}
+        )
+        results = {
+            str(slot): (
+                response["result"] if response.get("ok") else {"error": response.get("error")}
+            )
+            for slot, response in sorted(responses.items())
+        }
+        return ok_response(request_id, {"workers": results})
+
+    async def _on_sighup(self) -> None:
+        """SIGHUP: re-read the reload file and fan out (CLI hot reload)."""
+        from repro.serve.protocol import _parse_reload_config
+
+        fields: dict = {}
+        if self.config.reload_config:
+            try:
+                with open(self.config.reload_config, encoding="utf-8") as fh:
+                    fields = _parse_reload_config(json.load(fh))
+            except (OSError, ValueError, ProtocolError) as exc:
+                print(
+                    f"[repro.serve.cluster] SIGHUP reload skipped: {exc}",
+                    file=__import__("sys").stderr,
+                )
+                return
+        await self._fan_out_reload("sighup", fields)
+
+
+class ClusterHandle:
+    """Handle onto a cluster running on its own event-loop thread."""
+
+    def __init__(self, cluster: ClusterServer) -> None:
+        self._cluster = cluster
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+
+    @property
+    def host(self) -> str:
+        """The acceptor's bind host."""
+        return self._cluster.config.host
+
+    @property
+    def port(self) -> int:
+        """The acceptor's bound port (resolved after start for port 0)."""
+        port = self._cluster.port
+        assert port is not None, "cluster not started"
+        return port
+
+    @property
+    def supervisor(self) -> WorkerSupervisor:
+        """The worker supervisor (kill drills reach processes through it)."""
+        return self._cluster.supervisor
+
+    def stop(self, timeout: float = 60.0) -> None:
+        """Stop the cluster and join its thread."""
+        loop = self._loop
+        if loop is not None and loop.is_running():
+            server = self._cluster._server
+            if server is not None:
+                loop.call_soon_threadsafe(server.close)
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+
+    def __enter__(self) -> "ClusterHandle":
+        return self
+
+    def __exit__(self, *_exc: object) -> None:
+        self.stop()

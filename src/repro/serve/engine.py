@@ -39,11 +39,17 @@ byte-identical to the one-shot run it replaces.
 
 from __future__ import annotations
 
+import base64
+import itertools
+import json
 import os
+import pickle
 import threading
 from collections import OrderedDict
-from collections.abc import Iterable, Sequence
+from collections.abc import Callable, Iterable, Sequence
 from typing import TYPE_CHECKING
+
+import numpy as np
 
 from repro.datasets.base import Dataset
 from repro.detectors.base import Detector, data_fingerprint
@@ -57,6 +63,8 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (pipeline imports us)
 __all__ = [
     "DEFAULT_ENGINE_POOL_MB",
     "ENGINE_POOL_MB_ENV",
+    "ENGINE_SNAPSHOT_DIR_ENV",
+    "SNAPSHOT_VERSION",
     "ExplainEngine",
     "resolve_engine_pool_bytes",
 ]
@@ -73,6 +81,20 @@ DEFAULT_ENGINE_POOL_MB = 512
 #: stream of tiny one-shot matrices (e.g. streaming anomaly windows) grow
 #: the pool without bound in count; the entry cap keeps eviction O(small).
 DEFAULT_ENGINE_POOL_ENTRIES = 256
+
+#: Environment variable naming the directory cluster workers write their
+#: engine snapshots into (one ``worker-<slot>.json`` per worker). Unset
+#: means snapshots are off unless a path is configured explicitly.
+ENGINE_SNAPSHOT_DIR_ENV = "REPRO_ENGINE_SNAPSHOT_DIR"
+
+#: Version of the on-disk engine snapshot format. Readers reject other
+#: versions (a restore from an incompatible snapshot must fail loudly,
+#: not install garbage into a warm pool).
+SNAPSHOT_VERSION = 1
+
+#: Process-wide sequence for unique snapshot tmp-file names (two writers in
+#: one process must never share a tmp path — see :meth:`ExplainEngine.save_snapshot`).
+_SNAPSHOT_SEQ = itertools.count()
 
 _POOL_ENTRIES = obs_metrics.gauge(
     "repro_engine_pool_entries",
@@ -97,6 +119,14 @@ _POOL_EVICTIONS = obs_metrics.counter(
 _COALESCED = obs_metrics.counter(
     "repro_engine_coalesced_requests_total",
     "Requests answered from a coalesced explain_many wave",
+)
+_SNAPSHOT_WRITES = obs_metrics.counter(
+    "repro_engine_snapshot_writes_total",
+    "Engine snapshots persisted to disk",
+)
+_RESTORED_VECTORS = obs_metrics.counter(
+    "repro_engine_restored_vectors_total",
+    "Score vectors installed into warm pools from snapshots",
 )
 
 
@@ -172,6 +202,8 @@ class ExplainEngine:
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        self._snapshots_written = 0
+        self._restored_vectors = 0
 
     # ------------------------------------------------------------------
     # Dataset registry.
@@ -304,6 +336,14 @@ class ExplainEngine:
                 "misses": self._misses,
                 "evictions": self._evictions,
                 "hit_rate": self._hits / total if total else 0.0,
+                "snapshots_written": self._snapshots_written,
+                "restored_vectors": self._restored_vectors,
+                # Detector invocations that actually ran across pooled
+                # scorers — 0 on a snapshot-restored worker serving only
+                # warm lookups (the cluster kill-drill's no-recompute proof).
+                "n_evaluations": sum(
+                    scorer.n_evaluations for scorer in self._pool.values()
+                ),
             }
 
     def clear(self) -> None:
@@ -322,6 +362,189 @@ class ExplainEngine:
     def _refresh_gauges(self) -> None:
         _POOL_ENTRIES.set(len(self._pool))
         _POOL_BYTES.set(sum(s.cache_nbytes for s in self._pool.values()))
+
+    # ------------------------------------------------------------------
+    # Snapshot / restore (the cluster's crash-rewarm path).
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """The engine's warm inventory as a JSON-encodable dict.
+
+        Captures what a restarted worker needs to *re-warm without
+        recomputing*: the dataset registry (names + content fingerprints —
+        never the matrices, which the restorer re-resolves and validates),
+        every name-keyed pool entry's detector (pickled) with its memoised
+        score vectors (raw little-endian float64 bytes, base64 — an exact
+        round-trip, so restored explanations are byte-identical to
+        always-warm ones), and the contrast-cache disk pointer
+        (``REPRO_HICS_CACHE``) whose on-disk entries survive the crash on
+        their own.
+
+        Matrix-keyed entries (:meth:`scorer_for_matrix` — ad-hoc streaming
+        windows) are excluded: they have no name to re-resolve under.
+
+        Snapshotting is counter-neutral (see
+        :meth:`~repro.subspaces.SubspaceScorer.export_cache`), so a
+        snapshotting server's cache statistics match a snapshot-free run.
+        """
+        from repro.explainers.contrast_cache import HICS_CACHE_ENV
+
+        with self._lock:
+            datasets = [
+                {"name": name, "fingerprint": list(ds.fingerprint)}
+                for name, ds in sorted(self._datasets.items())
+            ]
+            entries = []
+            for key, scorer in self._pool.items():
+                fingerprint, _detector_key = key
+                if fingerprint[0] == "matrix":
+                    continue
+                vectors = [
+                    {
+                        "subspace": list(map(int, subspace)),
+                        "scores": base64.b64encode(
+                            np.ascontiguousarray(
+                                scores.astype("<f8", copy=False)
+                            ).tobytes()
+                        ).decode("ascii"),
+                    }
+                    for subspace, scores in scorer.export_cache()
+                ]
+                entries.append(
+                    {
+                        "dataset": fingerprint[0],
+                        "fingerprint": list(fingerprint),
+                        "detector": base64.b64encode(
+                            pickle.dumps(scorer.detector)
+                        ).decode("ascii"),
+                        "detector_repr": repr(scorer.detector),
+                        "vectors": vectors,
+                    }
+                )
+        return {
+            "version": SNAPSHOT_VERSION,
+            "kind": "engine_snapshot",
+            "datasets": datasets,
+            "entries": entries,
+            "contrast_cache_dir": os.environ.get(HICS_CACHE_ENV) or None,
+        }
+
+    def save_snapshot(self, path: str | os.PathLike) -> dict:
+        """Write :meth:`snapshot` to ``path`` atomically; returns the dict.
+
+        Same tmp-then-:func:`os.replace` discipline as the contrast
+        cache's disk mode: a reader (the restarted worker) only ever sees
+        a complete snapshot, never a torn write — a worker killed
+        mid-snapshot leaves the previous snapshot intact. The tmp name is
+        unique per call (pid + sequence), so concurrent writers within
+        one process (post-wave persistence racing a clean-stop write)
+        each complete; last replace wins.
+        """
+        snapshot = self.snapshot()
+        path = os.fspath(path)
+        directory = os.path.dirname(path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        tmp = f"{path}.tmp.{os.getpid()}.{next(_SNAPSHOT_SEQ)}"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(snapshot, fh, sort_keys=True)
+        os.replace(tmp, path)
+        with self._lock:
+            self._snapshots_written += 1
+        _SNAPSHOT_WRITES.inc()
+        return snapshot
+
+    def restore_snapshot(
+        self,
+        source: dict | str | os.PathLike,
+        *,
+        resolver: "Callable[[str], Dataset] | None" = None,
+    ) -> dict[str, int]:
+        """Re-warm this engine from a snapshot dict or file.
+
+        ``resolver`` maps a dataset name back to its matrix (the server
+        passes its profile-aware resolution; the default is this engine's
+        own :meth:`dataset` lookup). Every resolved dataset is validated
+        against the snapshot's recorded content fingerprint — an entry
+        whose matrix no longer matches (changed profile, regenerated data)
+        is **skipped**, not installed: a stale score vector served as warm
+        state would silently corrupt results, whereas a skipped entry
+        merely recomputes.
+
+        Restored vectors bypass the scorer's miss counters (see
+        :meth:`~repro.subspaces.SubspaceScorer.import_cache`), so
+        ``n_evaluations == 0`` on a restored worker is the observable
+        proof that registered datasets were served without cold recompute.
+
+        Snapshots contain pickled detector objects — restore only files
+        this process (or its supervisor) wrote, the same trust boundary as
+        the ``repro.ft`` checkpoint journal.
+
+        Returns ``{"datasets": ..., "entries": ..., "vectors": ...,
+        "skipped": ...}`` counts.
+        """
+        if not isinstance(source, dict):
+            with open(os.fspath(source), encoding="utf-8") as fh:
+                source = json.load(fh)
+        if source.get("version") != SNAPSHOT_VERSION or (
+            source.get("kind") != "engine_snapshot"
+        ):
+            raise ValidationError(
+                "not a compatible engine snapshot: kind="
+                f"{source.get('kind')!r} version={source.get('version')!r}"
+            )
+        if resolver is None:
+            resolver = self.dataset
+        counts = {"datasets": 0, "entries": 0, "vectors": 0, "skipped": 0}
+        resolved: dict[str, Dataset | None] = {}
+
+        def _resolve(name: str, fingerprint: list) -> Dataset | None:
+            # One resolution attempt per name; a fingerprint mismatch
+            # (changed profile, regenerated data) poisons the name so
+            # every entry against it is skipped, never installed stale.
+            if name not in resolved:
+                try:
+                    dataset = resolver(name)
+                except Exception:
+                    dataset = None
+                resolved[name] = dataset
+            dataset = resolved[name]
+            if dataset is None or list(dataset.fingerprint) != list(fingerprint):
+                return None
+            return dataset
+
+        for record in source.get("datasets", ()):
+            dataset = _resolve(record["name"], record["fingerprint"])
+            if dataset is None:
+                counts["skipped"] += 1
+                continue
+            self.register_dataset(dataset)
+            counts["datasets"] += 1
+        for entry in source.get("entries", ()):
+            dataset = _resolve(entry["dataset"], entry["fingerprint"])
+            if dataset is None:
+                counts["skipped"] += 1
+                continue
+            self.register_dataset(dataset)
+            detector = pickle.loads(base64.b64decode(entry["detector"]))
+            scorer = self.scorer_for(dataset, detector)
+            installed = scorer.import_cache(
+                (
+                    tuple(vector["subspace"]),
+                    np.frombuffer(
+                        base64.b64decode(vector["scores"]), dtype="<f8"
+                    ),
+                )
+                for vector in entry["vectors"]
+            )
+            counts["entries"] += 1
+            counts["vectors"] += installed
+            _RESTORED_VECTORS.inc(installed)
+        with self._lock:
+            self._restored_vectors += counts["vectors"]
+        self.trim()
+        self._refresh_gauges()
+        return counts
 
     # ------------------------------------------------------------------
     # Coalesced execution (the serve layer's batch primitive).

@@ -35,6 +35,7 @@ __all__ = [
     "ERROR_CODES",
     "OPS",
     "PROTOCOL_VERSION",
+    "RELOADABLE_FIELDS",
     "ProtocolError",
     "decode_line",
     "encode_line",
@@ -50,8 +51,22 @@ __all__ = [
 #: response shape; servers reject other versions with ``bad_request``.
 PROTOCOL_VERSION = 1
 
-#: Operations a request may name.
-OPS = ("explain", "ping", "stats")
+#: Operations a request may name. ``explain``/``ping``/``stats`` are the
+#: data-plane trio; ``reload`` (hot config swap) and ``snapshot``
+#: (persist the engine's warm inventory now) are control ops — in cluster
+#: mode the acceptor fans them out to every live worker.
+OPS = ("explain", "ping", "stats", "reload", "snapshot")
+
+#: Config fields a ``reload`` op may change on a live server, with their
+#: validators. Everything else (bind address, profile, backend, warm
+#: list) is boot-time identity — changing it means a restart, not a
+#: reload.
+RELOADABLE_FIELDS = (
+    "max_queue",
+    "max_batch",
+    "default_deadline_ms",
+    "max_pool_mb",
+)
 
 #: Stable error codes a response may carry (documented in docs/SERVING.md;
 #: tools/check_docs.py cross-checks that list against this one).
@@ -70,6 +85,10 @@ OPS = ("explain", "ping", "stats")
 #:   :func:`repro.ft.classify_error` on the underlying exception.
 #: * ``shutdown`` — the server is draining; in-queue requests are failed
 #:   fast. Transient: retry against the replacement instance.
+#: * ``worker_unavailable`` — cluster mode only: the worker owning the
+#:   request's ring segment is down and did not return within the
+#:   acceptor's readiness wait. Transient: the supervisor is restarting
+#:   it; retry with backoff.
 ERROR_CODES = (
     "bad_request",
     "unknown_dataset",
@@ -78,11 +97,14 @@ ERROR_CODES = (
     "deadline_exceeded",
     "internal",
     "shutdown",
+    "worker_unavailable",
 )
 
 #: Error codes that are always transient regardless of the underlying
 #: exception (load shedding and lifecycle, not computation).
-_TRANSIENT_CODES = frozenset({"overloaded", "deadline_exceeded", "shutdown"})
+_TRANSIENT_CODES = frozenset(
+    {"overloaded", "deadline_exceeded", "shutdown", "worker_unavailable"}
+)
 
 
 class ProtocolError(Exception):
@@ -167,6 +189,9 @@ def parse_request(payload: dict) -> dict:
     if request_id is None:
         raise ProtocolError("bad_request", "request is missing 'id'")
     normalised: dict = {"v": PROTOCOL_VERSION, "id": str(request_id), "op": op}
+    if op == "reload":
+        normalised["config"] = _parse_reload_config(payload.get("config"))
+        return normalised
     if op != "explain":
         return normalised
 
@@ -220,6 +245,74 @@ def parse_request(payload: dict) -> dict:
                 "bad_request",
                 f"'deadline_ms' must be positive, got {deadline_ms}",
             )
+    return normalised
+
+
+def _parse_reload_config(config: object) -> dict:
+    """Validate a ``reload`` op's ``config`` mapping.
+
+    Only :data:`RELOADABLE_FIELDS` may appear; values are normalised to
+    the live-config types (``max_queue``/``max_batch`` positive ints,
+    ``default_deadline_ms`` a positive number or ``None`` for no default,
+    ``max_pool_mb`` a non-negative int or ``None`` for the environment
+    default). An empty mapping is valid — the op then re-applies the
+    current config, which is how a SIGHUP with an unchanged reload file
+    behaves.
+    """
+    if config is None:
+        return {}
+    if not isinstance(config, dict):
+        raise ProtocolError(
+            "bad_request",
+            f"reload 'config' must be an object, got {type(config).__name__}",
+        )
+    unknown = sorted(set(config) - set(RELOADABLE_FIELDS))
+    if unknown:
+        raise ProtocolError(
+            "bad_request",
+            f"non-reloadable config fields {unknown}; reloadable: "
+            f"{', '.join(RELOADABLE_FIELDS)}",
+        )
+    normalised: dict = {}
+    for field_name in ("max_queue", "max_batch"):
+        if field_name in config:
+            value = config[field_name]
+            if not isinstance(value, int) or isinstance(value, bool) or value < 1:
+                raise ProtocolError(
+                    "bad_request",
+                    f"reload {field_name!r} must be an integer >= 1, got {value!r}",
+                )
+            normalised[field_name] = value
+    if "default_deadline_ms" in config:
+        value = config["default_deadline_ms"]
+        if value is None:
+            normalised["default_deadline_ms"] = None
+        else:
+            try:
+                value = float(value)
+            except (TypeError, ValueError) as exc:
+                raise ProtocolError(
+                    "bad_request",
+                    "reload 'default_deadline_ms' must be a number or null",
+                ) from exc
+            if value <= 0:
+                raise ProtocolError(
+                    "bad_request",
+                    f"reload 'default_deadline_ms' must be positive, got {value}",
+                )
+            normalised["default_deadline_ms"] = value
+    if "max_pool_mb" in config:
+        value = config["max_pool_mb"]
+        if value is None:
+            normalised["max_pool_mb"] = None
+        else:
+            if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+                raise ProtocolError(
+                    "bad_request",
+                    f"reload 'max_pool_mb' must be an integer >= 0 or null, "
+                    f"got {value!r}",
+                )
+            normalised["max_pool_mb"] = value
     return normalised
 
 

@@ -1,0 +1,150 @@
+"""Consistent routing of datasets onto worker slots (rendezvous hashing).
+
+The cluster acceptor (:mod:`repro.serve.cluster`) shards explain traffic
+across N worker processes so each dataset's warm state — fitted scorers,
+distance blocks, contrast-cache entries — lives in exactly **one**
+worker's :class:`~repro.serve.ExplainEngine` instead of being duplicated
+N times. The sharding function must therefore be:
+
+* **Deterministic and process-independent.** The same dataset key maps to
+  the same slot in the acceptor, in a test asserting shard placement, and
+  in the bench harness pre-computing workload coverage — with no state
+  exchanged between them. Routing is a pure function of
+  ``(key, n_slots)``; :func:`route_key` is that function, exported
+  standalone.
+* **Minimally disruptive under membership change.** When a worker dies,
+  only the keys it owned move (to the survivors with the next-highest
+  rendezvous score); every other key keeps its slot and its warm pool.
+  When the worker returns, exactly its original keys come back — restarts
+  never reshuffle the healthy part of the cluster.
+
+Both properties come from **rendezvous (highest-random-weight) hashing**:
+every ``(key, slot)`` pair gets a score ``sha256(key | slot)`` and a key
+is owned by the *live* slot with the highest score. Unlike a ring of
+virtual nodes there is no placement table to rebuild and no tuning knob;
+unlike ``hash(key) % n`` the mapping does not reshuffle almost every key
+when ``n`` changes by one.
+
+The routing key is the request's **dataset name**. Under a fixed serve
+profile the name determines the matrix (dataset construction is seeded
+and memoised), so the name is a stable preimage of the dataset's content
+fingerprint — hashing it shards by fingerprint identity without the
+acceptor ever loading a matrix (which would duplicate exactly the state
+sharding exists to keep unique).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+
+from repro.exceptions import ValidationError
+
+__all__ = ["HashRing", "route_key"]
+
+
+def _rendezvous_score(key: str, slot: int) -> int:
+    digest = hashlib.sha256(f"{key}|{slot}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def route_key(key: str, n_slots: int) -> int:
+    """The slot owning ``key`` among ``n_slots`` fully-live slots.
+
+    Pure and stateless — tests and the bench harness use it to pre-compute
+    shard assignment (e.g. to pick a workload that covers every worker)
+    without constructing a ring.
+
+    >>> route_key("hics_14", 2) == route_key("hics_14", 2)
+    True
+    >>> all(0 <= route_key(name, 4) < 4 for name in ("a", "b", "c"))
+    True
+    """
+    if n_slots < 1:
+        raise ValidationError(f"n_slots must be >= 1, got {n_slots}")
+    return max(range(n_slots), key=lambda slot: _rendezvous_score(key, slot))
+
+
+class HashRing:
+    """Rendezvous-hash router over a fixed set of worker slots.
+
+    Slots are the integers ``0 .. n_slots-1`` and exist for the life of
+    the ring; membership (:meth:`mark_up` / :meth:`mark_down`) only
+    controls which slots are *eligible* to own keys right now. A downed
+    slot's keys spill to the next-highest-scoring live slots and snap
+    back, exactly and only they, when it returns.
+
+    Thread-safe: the acceptor routes from its event loop while the
+    supervisor flips membership from callbacks.
+
+    >>> ring = HashRing(3)
+    >>> owner = ring.route("breast")
+    >>> ring.mark_down(owner)
+    >>> ring.route("breast") != owner   # spilled to a survivor
+    True
+    >>> ring.mark_up(owner)
+    >>> ring.route("breast") == owner   # and snapped back
+    True
+    """
+
+    def __init__(self, n_slots: int) -> None:
+        if n_slots < 1:
+            raise ValidationError(f"n_slots must be >= 1, got {n_slots}")
+        self.n_slots = int(n_slots)
+        self._live = set(range(self.n_slots))
+        self._lock = threading.Lock()
+
+    @property
+    def live_slots(self) -> tuple[int, ...]:
+        """Currently-eligible slots, ascending."""
+        with self._lock:
+            return tuple(sorted(self._live))
+
+    def is_live(self, slot: int) -> bool:
+        """Whether ``slot`` is currently eligible to own keys."""
+        with self._lock:
+            return slot in self._live
+
+    def mark_down(self, slot: int) -> None:
+        """Exclude ``slot`` from routing (its keys spill to survivors)."""
+        self._check_slot(slot)
+        with self._lock:
+            self._live.discard(slot)
+
+    def mark_up(self, slot: int) -> None:
+        """Re-admit ``slot`` (its original keys return to it)."""
+        self._check_slot(slot)
+        with self._lock:
+            self._live.add(slot)
+
+    def route(self, key: str) -> int:
+        """The live slot owning ``key``.
+
+        Raises :class:`~repro.exceptions.ValidationError` when no slot is
+        live — the caller (the acceptor) maps that onto the transient
+        ``worker_unavailable`` wire error rather than crashing.
+        """
+        with self._lock:
+            if not self._live:
+                raise ValidationError("no live slots in the ring")
+            return max(
+                self._live, key=lambda slot: _rendezvous_score(key, slot)
+            )
+
+    def preferred(self, key: str) -> int:
+        """The slot that owns ``key`` when every slot is live.
+
+        This is the slot whose warm pool holds the key's state; the
+        acceptor waits (bounded) for it to restart rather than spilling a
+        request that would cold-start a duplicate pool elsewhere.
+        """
+        return route_key(key, self.n_slots)
+
+    def _check_slot(self, slot: int) -> None:
+        if not 0 <= slot < self.n_slots:
+            raise ValidationError(
+                f"slot {slot} out of range for {self.n_slots} slots"
+            )
+
+    def __repr__(self) -> str:
+        return f"HashRing(n_slots={self.n_slots}, live={sorted(self._live)})"

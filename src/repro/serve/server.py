@@ -29,9 +29,10 @@ from __future__ import annotations
 
 import asyncio
 import json
+import os
 import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.exceptions import ValidationError
 from repro.experiments.config import get_profile
@@ -108,6 +109,14 @@ class ServerConfig:
         Optional path appended with one JSON record per dispatch wave
         (wave index, groups, batched requests, queue depth) — the serve
         counterpart of the grid heartbeat artifact.
+    snapshot_path:
+        Optional path the engine's warm inventory is persisted to: once
+        after start, again after every dispatch wave that ran a batch,
+        and finally at stop (atomic replace each time — see
+        :meth:`~repro.serve.ExplainEngine.save_snapshot`). If the file
+        already exists at start, the engine restores from it first — this
+        is how a supervisor-restarted cluster worker re-warms instead of
+        recomputing.
     """
 
     host: str = "127.0.0.1"
@@ -120,6 +129,7 @@ class ServerConfig:
     max_pool_mb: int | None = None
     warm: tuple[str, ...] = ()
     heartbeat_jsonl: str | None = None
+    snapshot_path: str | None = None
 
     def __post_init__(self) -> None:
         if self.max_queue < 1:
@@ -191,19 +201,40 @@ class ExplainServer:
         self._queue: list[_Pending] = []
         self._queue_event: asyncio.Event | None = None
         self._server: asyncio.AbstractServer | None = None
+        self._conn_tasks: set[asyncio.Task] = set()
         self._dispatcher: asyncio.Task | None = None
         self._stopping = False
         self._waves = 0
+        self._reloads = 0
         self.port: int | None = None
+        #: Restore counts from the start-time snapshot load (``None``
+        #: when no snapshot was restored) — surfaced through the
+        #: ``stats`` op so the cluster kill-drill can assert a restarted
+        #: worker actually re-warmed from disk.
+        self.restored: dict[str, int] | None = None
 
     # ------------------------------------------------------------------
     # Lifecycle.
     # ------------------------------------------------------------------
 
     async def start(self) -> None:
-        """Bind, warm the requested datasets, and start the dispatcher."""
+        """Bind, restore/warm the engine, and start the dispatcher.
+
+        With a ``snapshot_path`` that already exists, the engine restores
+        from it *before* the ``warm`` list is applied — restored datasets
+        and score vectors shortcut both the warm-up and the first
+        requests. Restoration is fingerprint-validated; a stale snapshot
+        degrades to a cold start, never to wrong answers.
+        """
+        if self.config.snapshot_path and os.path.exists(self.config.snapshot_path):
+            self.restored = self.engine.restore_snapshot(
+                self.config.snapshot_path,
+                resolver=lambda name: resolve_dataset(name, self.profile),
+            )
         for name in self.config.warm:
             self.engine.register_dataset(resolve_dataset(name, self.profile))
+        if self.config.snapshot_path:
+            self.engine.save_snapshot(self.config.snapshot_path)
         self._queue_event = asyncio.Event()
         self._server = await asyncio.start_server(
             self._handle_connection, self.config.host, self.config.port
@@ -217,6 +248,13 @@ class ExplainServer:
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
+        # Cancel connection handlers still parked on a read (clients that
+        # never closed); otherwise the loop tears them down noisily.
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+        self._conn_tasks.clear()
         if self._queue_event is not None:
             self._queue_event.set()
         if self._dispatcher is not None:
@@ -224,6 +262,11 @@ class ExplainServer:
             try:
                 await self._dispatcher
             except asyncio.CancelledError:
+                pass
+            except Exception:
+                # A dispatcher that died mid-cancel (e.g. an in-flight
+                # snapshot write interrupted by shutdown) must not wedge
+                # the clean-stop path; the final snapshot below still runs.
                 pass
         for pending in self._queue:
             await self._respond(
@@ -234,6 +277,8 @@ class ExplainServer:
             )
         self._queue.clear()
         _QUEUE_DEPTH.set(0)
+        if self.config.snapshot_path:
+            self.engine.save_snapshot(self.config.snapshot_path)
         self.engine.close()
 
     async def serve_forever(self) -> None:
@@ -291,6 +336,9 @@ class ExplainServer:
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
         write_lock = asyncio.Lock()
         try:
             while True:
@@ -302,11 +350,15 @@ class ExplainServer:
                 await self._handle_line(line, writer, write_lock)
         except (ConnectionError, asyncio.IncompleteReadError):
             pass
+        except asyncio.CancelledError:
+            pass  # shutdown: close the client socket, don't re-raise into gather
         finally:
+            if task is not None:
+                self._conn_tasks.discard(task)
             try:
                 writer.close()
                 await writer.wait_closed()
-            except (ConnectionError, OSError):
+            except (ConnectionError, OSError, asyncio.CancelledError):
                 pass
 
     async def _handle_line(
@@ -340,15 +392,45 @@ class ExplainServer:
             return
         if op == "stats":
             await self._write(
+                writer, write_lock, ok_response(request["id"], self.stats_payload())
+            )
+            _REQUESTS.inc(status="ok")
+            return
+        if op == "reload":
+            applied = self.apply_reload(request["config"])
+            await self._write(
+                writer,
+                write_lock,
+                ok_response(request["id"], {"reloaded": True, "config": applied}),
+            )
+            _REQUESTS.inc(status="ok")
+            return
+        if op == "snapshot":
+            if not self.config.snapshot_path:
+                await self._write(
+                    writer,
+                    write_lock,
+                    error_response(
+                        request["id"],
+                        "bad_request",
+                        "server has no snapshot_path configured",
+                    ),
+                )
+                _REQUESTS.inc(status="bad_request")
+                return
+            loop = asyncio.get_running_loop()
+            snapshot = await loop.run_in_executor(
+                None, self.engine.save_snapshot, self.config.snapshot_path
+            )
+            await self._write(
                 writer,
                 write_lock,
                 ok_response(
                     request["id"],
                     {
-                        "engine": self.engine.stats(),
-                        "queue_depth": len(self._queue),
-                        "waves": self._waves,
-                        "profile": self.profile.name,
+                        "snapshot_path": self.config.snapshot_path,
+                        "datasets": len(snapshot["datasets"]),
+                        "entries": len(snapshot["entries"]),
                     },
                 ),
             )
@@ -411,11 +493,63 @@ class ExplainServer:
                 pass  # client went away; nothing to deliver the response to
 
     # ------------------------------------------------------------------
+    # Introspection and hot reload.
+    # ------------------------------------------------------------------
+
+    def stats_payload(self) -> dict:
+        """The ``stats`` op's result body (also used by cluster aggregation)."""
+        return {
+            "engine": self.engine.stats(),
+            "queue_depth": len(self._queue),
+            "waves": self._waves,
+            "reloads": self._reloads,
+            "profile": self.profile.name,
+            "config": self.reloadable_config(),
+            "snapshot_path": self.config.snapshot_path,
+            "restored": self.restored,
+        }
+
+    def reloadable_config(self) -> dict:
+        """The live values of every hot-reloadable config field."""
+        return {
+            "max_queue": self.config.max_queue,
+            "max_batch": self.config.max_batch,
+            "default_deadline_ms": self.config.default_deadline_ms,
+            "max_pool_mb": self.config.max_pool_mb,
+        }
+
+    def apply_reload(self, fields: dict) -> dict:
+        """Hot-swap reloadable config fields without dropping connections.
+
+        The frozen :class:`ServerConfig` is replaced wholesale
+        (``dataclasses.replace``), so admission control and wave batching
+        pick up the new ``max_queue``/``max_batch``/``default_deadline_ms``
+        at their next read; in-flight requests keep the deadline they were
+        admitted under. A new ``max_pool_mb`` re-budgets the engine
+        immediately (trimming if shrunk). Returns the full reloadable
+        config now in force.
+        """
+        if fields:
+            self.config = replace(self.config, **fields)
+        if "max_pool_mb" in fields:
+            from repro.serve.engine import resolve_engine_pool_bytes
+
+            self.engine.max_pool_bytes = (
+                resolve_engine_pool_bytes()
+                if fields["max_pool_mb"] is None
+                else int(fields["max_pool_mb"]) * 1024 * 1024
+            )
+            self.engine.trim()
+        self._reloads += 1
+        return self.reloadable_config()
+
+    # ------------------------------------------------------------------
     # Dispatch loop.
     # ------------------------------------------------------------------
 
     async def _dispatch_loop(self) -> None:
         assert self._queue_event is not None
+        loop = asyncio.get_running_loop()
         while True:
             await self._queue_event.wait()
             self._queue_event.clear()
@@ -424,9 +558,16 @@ class ExplainServer:
             wave, self._queue = self._queue, []
             _QUEUE_DEPTH.set(0)
             self._waves += 1
-            await self._run_wave(wave)
+            ran_batches = await self._run_wave(wave)
+            if ran_batches and self.config.snapshot_path:
+                # Persist warm state off the event loop; waves are serial
+                # here, so snapshots never interleave. A worker killed
+                # between waves restarts from the last completed one.
+                await loop.run_in_executor(
+                    None, self.engine.save_snapshot, self.config.snapshot_path
+                )
 
-    async def _run_wave(self, wave: list[_Pending]) -> None:
+    async def _run_wave(self, wave: list[_Pending]) -> int:
         now = time.monotonic()
         live: list[_Pending] = []
         for pending in wave:
@@ -445,7 +586,7 @@ class ExplainServer:
                 continue
             live.append(pending)
         if not live:
-            return
+            return 0
 
         groups: dict[tuple[str, str, int], list[_Pending]] = {}
         for pending in live:
@@ -473,6 +614,7 @@ class ExplainServer:
         await asyncio.gather(
             *(self._run_batch(key, members) for key, members in batches)
         )
+        return len(batches)
 
     async def _run_batch(
         self, key: tuple[str, str, int], members: list[_Pending]
@@ -557,10 +699,12 @@ class ServerHandle:
 
     @property
     def host(self) -> str:
+        """The server's bind host."""
         return self._server.config.host
 
     @property
     def port(self) -> int:
+        """The server's bound port (resolved after start for port 0)."""
         port = self._server.port
         assert port is not None, "server not started"
         return port

@@ -1,0 +1,330 @@
+"""Worker-process lifecycle for the serve cluster: spawn, watch, restart.
+
+One :class:`WorkerSupervisor` owns N worker processes, each running a
+full single-process :class:`~repro.serve.ExplainServer` (its own event
+loop, engine, and warm pool) on an OS-assigned port of the loopback
+interface. The acceptor (:mod:`repro.serve.cluster`) never touches
+process machinery — it consumes three things from the supervisor: the
+slot→port table, a per-slot readiness event to await during restart
+gaps, and up/down callbacks to keep its hash ring and metrics honest.
+
+Design notes:
+
+* **Spawn, not fork.** Workers start via the ``spawn`` multiprocessing
+  context: each child imports :mod:`repro` fresh and owns clean state —
+  no inherited locks mid-acquire, no shared numpy buffers, and identical
+  behaviour whether the parent is a CLI process or a pytest thread
+  already running an event loop.
+* **Readiness is explicit.** A worker reports ``("ready", slot, port)``
+  over a pipe only after its server is bound and (when configured) its
+  engine has restored from snapshot. The supervisor never guesses at
+  liveness from timing.
+* **Restart re-warms from disk.** Each worker's ``snapshot_path`` (under
+  the cluster's snapshot directory) survives the process; the replacement
+  worker restores the dataset registry and memoised score vectors before
+  reporting ready, so the requests that waited out the gap hit warm
+  state, not cold recompute (the kill-drill asserts ``n_evaluations``
+  stays 0 for snapshot-covered subspaces).
+* **Crash loops are bounded.** A slot that fails ``max_restarts``
+  consecutive times is abandoned (marked permanently down, logged); the
+  rest of the cluster keeps serving. A successful restart resets the
+  slot's failure streak.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+import sys
+import time
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.exceptions import ValidationError
+from repro.obs import metrics as obs_metrics
+
+__all__ = ["WorkerProc", "WorkerSupervisor"]
+
+_RESTARTS = obs_metrics.counter(
+    "repro_cluster_worker_restarts_total",
+    "Cluster worker processes restarted after death, by slot",
+)
+_WORKERS_LIVE = obs_metrics.gauge(
+    "repro_cluster_workers",
+    "Cluster worker processes currently live and admitted to the ring",
+)
+
+
+def _worker_main(slot: int, conn: object, server_kwargs: dict) -> None:
+    """Entry point of one worker process (module-level for spawn pickling).
+
+    Builds a :class:`~repro.serve.server.ServerConfig` from the plain
+    ``server_kwargs`` dict, starts the server, reports readiness with the
+    bound port, and serves until SIGTERM — which cancels the loop so the
+    server's clean-stop path runs (final snapshot write included).
+    """
+    import signal
+
+    from repro.serve.server import ExplainServer, ServerConfig
+
+    server = ExplainServer(ServerConfig(**server_kwargs))
+
+    async def _main() -> None:
+        await server.start()
+        conn.send(("ready", slot, server.port))
+        assert server._server is not None
+        try:
+            await server._server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await server.stop()
+
+    loop = asyncio.new_event_loop()
+    asyncio.set_event_loop(loop)
+    task = loop.create_task(_main())
+    loop.add_signal_handler(signal.SIGTERM, task.cancel)
+    try:
+        loop.run_until_complete(task)
+    except asyncio.CancelledError:
+        pass
+    finally:
+        loop.close()
+
+
+@dataclass
+class WorkerProc:
+    """One live worker: its process handle, bound port, and restart tally."""
+
+    slot: int
+    process: multiprocessing.Process
+    port: int
+    restarts: int = 0
+    #: Consecutive failed restart attempts; reset to 0 on success.
+    failures: int = 0
+    abandoned: bool = False
+    conn: object = field(default=None, repr=False)
+
+
+class WorkerSupervisor:
+    """Spawns and babysits the cluster's worker processes.
+
+    Parameters
+    ----------
+    n_workers:
+        Number of worker slots (fixed for the supervisor's lifetime).
+    server_kwargs_for:
+        ``slot -> dict`` of :class:`~repro.serve.server.ServerConfig`
+        keyword arguments. Called at every (re)spawn, so hot-reloaded
+        overrides applied by the acceptor are folded into replacement
+        workers too.
+    on_up / on_down:
+        Callbacks invoked with the slot when a worker becomes ready /
+        is detected dead. The acceptor uses them to flip ring membership
+        and per-slot readiness events. Called from the supervisor's task
+        (event-loop thread) during watch, and synchronously during
+        :meth:`start_all`.
+    ready_timeout_s:
+        How long a spawned worker may take to report readiness before
+        the spawn counts as failed.
+    max_restarts:
+        Consecutive failed restarts after which a slot is abandoned.
+    """
+
+    def __init__(
+        self,
+        n_workers: int,
+        server_kwargs_for: Callable[[int], dict],
+        *,
+        on_up: Callable[[int], None] | None = None,
+        on_down: Callable[[int], None] | None = None,
+        ready_timeout_s: float = 120.0,
+        max_restarts: int = 5,
+    ) -> None:
+        if n_workers < 1:
+            raise ValidationError(f"n_workers must be >= 1, got {n_workers}")
+        self.n_workers = int(n_workers)
+        self._server_kwargs_for = server_kwargs_for
+        self._on_up = on_up or (lambda slot: None)
+        self._on_down = on_down or (lambda slot: None)
+        self.ready_timeout_s = float(ready_timeout_s)
+        self.max_restarts = int(max_restarts)
+        self._ctx = multiprocessing.get_context("spawn")
+        self.workers: dict[int, WorkerProc] = {}
+        self._stopping = False
+
+    # ------------------------------------------------------------------
+    # Spawning.
+    # ------------------------------------------------------------------
+
+    def _spawn(self, slot: int, restarts: int, failures: int) -> WorkerProc:
+        """Spawn one worker and block until it reports ready (or time out)."""
+        parent_conn, child_conn = self._ctx.Pipe(duplex=False)
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(slot, child_conn, self._server_kwargs_for(slot)),
+            name=f"repro-serve-worker-{slot}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        deadline = time.monotonic() + self.ready_timeout_s
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0 or not process.is_alive() and not parent_conn.poll():
+                process.terminate()
+                process.join(timeout=5.0)
+                raise TimeoutError(
+                    f"worker {slot} did not report ready within "
+                    f"{self.ready_timeout_s:.0f}s"
+                )
+            if parent_conn.poll(min(remaining, 0.2)):
+                message = parent_conn.recv()
+                break
+        if message[0] != "ready" or message[1] != slot:
+            process.terminate()
+            process.join(timeout=5.0)
+            raise RuntimeError(f"worker {slot} sent unexpected message {message!r}")
+        return WorkerProc(
+            slot=slot,
+            process=process,
+            port=int(message[2]),
+            restarts=restarts,
+            failures=failures,
+            conn=parent_conn,
+        )
+
+    def start_all(self) -> dict[int, int]:
+        """Spawn every slot in parallel; returns the slot→port table.
+
+        Slots boot concurrently — each worker pays interpreter start plus
+        its sharded warm list, so parallel boot costs one worker's
+        wall-time, not the sum. Any slot failing to come up aborts the
+        boot (workers already started are torn down) — a cluster that
+        starts degraded would silently serve ``worker_unavailable`` for a
+        ring segment forever.
+        """
+        from concurrent.futures import ThreadPoolExecutor
+
+        with ThreadPoolExecutor(
+            max_workers=self.n_workers,
+            thread_name_prefix="repro-serve-spawn",
+        ) as pool:
+            futures = {
+                slot: pool.submit(self._spawn, slot, 0, 0)
+                for slot in range(self.n_workers)
+            }
+            errors: list[BaseException] = []
+            for slot, future in futures.items():
+                try:
+                    self.workers[slot] = future.result()
+                except BaseException as exc:
+                    errors.append(exc)
+        if errors:
+            self.stop_all()
+            raise errors[0]
+        for slot in futures:
+            self._on_up(slot)
+        _WORKERS_LIVE.set(float(self.live_count()))
+        return self.ports()
+
+    # ------------------------------------------------------------------
+    # Introspection.
+    # ------------------------------------------------------------------
+
+    def ports(self) -> dict[int, int]:
+        """Current slot→port table (restarted workers get fresh ports)."""
+        return {slot: w.port for slot, w in self.workers.items() if not w.abandoned}
+
+    def live_count(self) -> int:
+        """Workers currently alive (process up, not abandoned)."""
+        return sum(
+            1
+            for w in self.workers.values()
+            if not w.abandoned and w.process.is_alive()
+        )
+
+    def is_live(self, slot: int) -> bool:
+        """Whether ``slot``'s process is currently alive."""
+        worker = self.workers.get(slot)
+        return (
+            worker is not None
+            and not worker.abandoned
+            and worker.process.is_alive()
+        )
+
+    def total_restarts(self) -> int:
+        """Restarts performed across all slots since boot."""
+        return sum(w.restarts for w in self.workers.values())
+
+    # ------------------------------------------------------------------
+    # The watch loop.
+    # ------------------------------------------------------------------
+
+    async def watch_forever(self, poll_s: float = 0.5) -> None:
+        """Poll worker liveness; restart the dead; run until cancelled.
+
+        Death handling per slot: ``on_down`` fires immediately (the
+        acceptor stops routing and starts queueing waiters), the corpse is
+        joined, and a replacement is spawned off the event loop (spawn +
+        snapshot restore take real time; other slots keep serving
+        throughout). On readiness, ``on_up`` fires and waiters proceed
+        against the re-warmed worker. Failed respawns back off linearly
+        and abandon the slot after ``max_restarts`` consecutive failures.
+        """
+        loop = asyncio.get_running_loop()
+        while not self._stopping:
+            for slot, worker in list(self.workers.items()):
+                if self._stopping or worker.abandoned or worker.process.is_alive():
+                    continue
+                self._on_down(slot)
+                _WORKERS_LIVE.set(float(self.live_count()))
+                worker.process.join(timeout=1.0)
+                try:
+                    replacement = await loop.run_in_executor(
+                        None,
+                        self._spawn,
+                        slot,
+                        worker.restarts + 1,
+                        worker.failures,
+                    )
+                except Exception:
+                    worker.failures += 1
+                    if worker.failures >= self.max_restarts:
+                        worker.abandoned = True
+                        print(
+                            f"[repro.serve.cluster] slot {slot} abandoned after "
+                            f"{worker.failures} failed restarts",
+                            file=sys.stderr,
+                        )
+                    else:
+                        await asyncio.sleep(poll_s * worker.failures)
+                    continue
+                replacement.failures = 0
+                self.workers[slot] = replacement
+                _RESTARTS.inc(slot=slot)
+                self._on_up(slot)
+                _WORKERS_LIVE.set(float(self.live_count()))
+            await asyncio.sleep(poll_s)
+
+    # ------------------------------------------------------------------
+    # Teardown.
+    # ------------------------------------------------------------------
+
+    def stop_all(self, timeout_s: float = 15.0) -> None:
+        """SIGTERM every worker (clean stop → final snapshot), then join.
+
+        Workers still alive after ``timeout_s`` are killed — shutdown must
+        terminate even if a worker wedged. Idempotent.
+        """
+        self._stopping = True
+        for worker in self.workers.values():
+            if worker.process.is_alive():
+                worker.process.terminate()
+        deadline = time.monotonic() + timeout_s
+        for worker in self.workers.values():
+            worker.process.join(timeout=max(0.1, deadline - time.monotonic()))
+            if worker.process.is_alive():
+                worker.process.kill()
+                worker.process.join(timeout=5.0)
+        _WORKERS_LIVE.set(0.0)

@@ -442,6 +442,57 @@ class SubspaceScorer:
         """Standardised scores of several points in ``subspace``."""
         return self.points_zscores_many([subspace], points)[0]
 
+    # ------------------------------------------------------------------
+    # Warm-state transfer (engine snapshot/restore).
+    # ------------------------------------------------------------------
+
+    def export_cache(self) -> list[tuple[tuple[int, ...], np.ndarray]]:
+        """Memoised ``(subspace, score vector)`` pairs in LRU-to-MRU order.
+
+        Counter-neutral: exporting touches neither the hit/miss counters
+        nor the recency order, so a snapshot taken between requests leaves
+        every statistic exactly as a snapshot-free run would. Vectors are
+        the cached read-only instances — callers serialise, they must not
+        mutate.
+        """
+        with self._lock:
+            return [
+                (key[1], scores)
+                for key, scores in self._cache.items_snapshot()
+                if key[0] == self._detector_key
+            ]
+
+    def import_cache(
+        self, entries: Iterable[tuple[Iterable[int], np.ndarray]]
+    ) -> int:
+        """Install pre-computed score vectors, bypassing the miss path.
+
+        The restore half of :meth:`export_cache`: each entry is validated
+        against this scorer's dataset shape, frozen, and installed under
+        the scorer's own detector key — without incrementing misses or
+        :attr:`n_evaluations`. A restored worker therefore serves warm
+        lookups while its evaluation counter stays 0, which is exactly how
+        the cluster kill-drill proves "no cold recompute after restore".
+        Returns the number of vectors installed.
+        """
+        installed = 0
+        with self._lock:
+            for subspace, scores in entries:
+                features = tuple(
+                    as_subspace(subspace).validate_against(self.n_features)
+                )
+                scores = np.asarray(scores, dtype=np.float64)
+                if scores.shape != (self.n_samples,):
+                    raise ValidationError(
+                        f"imported score vector for subspace {features} has "
+                        f"shape {scores.shape}, expected ({self.n_samples},)"
+                    )
+                scores = scores.copy()
+                scores.flags.writeable = False
+                self._cache.put((self._detector_key, features), scores)
+                installed += 1
+        return installed
+
     def clear_cache(self) -> None:
         """Drop all memoised score vectors and reset statistics."""
         with self._lock:

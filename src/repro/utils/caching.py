@@ -175,6 +175,18 @@ class LRUCache(Generic[K, V]):
         with self._lock:
             return list(self._data)
 
+    def items_snapshot(self) -> list[tuple[K, V]]:
+        """Snapshot of ``(key, value)`` pairs in LRU-to-MRU order.
+
+        Counter-neutral: unlike :meth:`get`, reading the snapshot touches
+        neither the hit/miss statistics nor the recency order. The engine
+        snapshot writer (:mod:`repro.serve.engine`) uses this so that
+        persisting warm state is invisible to the cache-effectiveness
+        numbers the obs layer reports.
+        """
+        with self._lock:
+            return list(self._data.items())
+
     def clear(self) -> None:
         """Drop all entries and reset statistics."""
         with self._lock:

@@ -16,6 +16,7 @@ SECTIONS = (
     "ft",
     "engine",
     "serve",
+    "cluster",
 )
 
 
@@ -110,6 +111,44 @@ class TestPopulatedRegistry:
         first = run_snapshot(reg)
         second = run_snapshot(reg)
         assert first == second
+
+
+class TestPerWorkerLabelMerge:
+    """Cluster runs merge per-worker metric dumps into one registry: the
+    same series appears once per worker with an extra ``worker`` label.
+    Group-summing must roll those up; exact label lookup would miss them.
+    """
+
+    def _registry(self) -> MetricsRegistry:
+        reg = MetricsRegistry()
+        reg.counter("repro_serve_requests_total").inc(4, status="ok", worker="0")
+        reg.counter("repro_serve_requests_total").inc(3, status="ok", worker="1")
+        reg.counter("repro_serve_requests_total").inc(1, status="error", worker="1")
+        reg.counter("repro_cache_hits_total").inc(5, cache="scorer", worker="0")
+        reg.counter("repro_cache_hits_total").inc(7, cache="scorer", worker="1")
+        reg.counter("repro_cache_misses_total").inc(3, cache="scorer", worker="0")
+        reg.counter("repro_cluster_routed_total").inc(6, slot="0")
+        reg.counter("repro_cluster_routed_total").inc(2, slot="1")
+        reg.counter("repro_cluster_worker_restarts_total").inc(1, slot="0")
+        reg.gauge("repro_cluster_workers").set(2)
+        return reg
+
+    def test_requests_sum_across_worker_labels(self):
+        serve = run_snapshot(self._registry())["serve"]
+        assert serve["requests"] == {"error": 1.0, "ok": 7.0}
+
+    def test_named_caches_sum_across_worker_labels(self):
+        scorer = run_snapshot(self._registry())["caches"]["scorer"]
+        assert scorer["hits"] == 12.0
+        assert scorer["misses"] == 3.0
+        assert scorer["hit_rate"] == 0.8
+
+    def test_cluster_section_sums_slots(self):
+        cluster = run_snapshot(self._registry())["cluster"]
+        assert cluster["routed"] == 8.0
+        assert cluster["worker_restarts"] == 1.0
+        assert cluster["workers_live"] == 2.0
+        assert cluster["unavailable"] == 0.0
 
 
 class TestDefaultRegistry:

@@ -168,4 +168,5 @@ class TestConfiguration:
         assert set(stats) == {
             "entries", "datasets", "bytes", "max_bytes", "max_entries",
             "hits", "misses", "evictions", "hit_rate",
+            "snapshots_written", "restored_vectors", "n_evaluations",
         }

@@ -167,8 +167,9 @@ class TestErrors:
             "deadline_exceeded",
             "internal",
             "shutdown",
+            "worker_unavailable",
         )
-        assert OPS == ("explain", "ping", "stats")
+        assert OPS == ("explain", "ping", "stats", "reload", "snapshot")
 
 
 class TestResolution:

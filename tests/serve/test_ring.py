@@ -1,0 +1,102 @@
+"""Rendezvous-hash routing: determinism, minimal disruption, membership."""
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.serve.ring import HashRing, route_key
+
+
+class TestRouteKey:
+    def test_deterministic(self):
+        for name in ("hics_14", "breast", "electricity", "hics_70"):
+            assert route_key(name, 4) == route_key(name, 4)
+
+    def test_in_range(self):
+        for n_slots in (1, 2, 3, 8):
+            for name in ("a", "b", "hics_14", "breast_diagnostic"):
+                assert 0 <= route_key(name, n_slots) < n_slots
+
+    def test_single_slot_owns_everything(self):
+        assert route_key("anything", 1) == 0
+
+    def test_growth_moves_keys_only_to_the_new_slot(self):
+        # Rendezvous property: going n -> n+1 slots, a key either keeps
+        # its slot or moves to the *new* slot — never between old slots.
+        names = [f"dataset_{i}" for i in range(200)]
+        for n in (2, 3, 4, 7):
+            for name in names:
+                before, after = route_key(name, n), route_key(name, n + 1)
+                assert after == before or after == n
+
+    def test_spreads_keys(self):
+        # Not a statistical test — just that 200 keys over 4 slots do not
+        # all collapse onto one slot.
+        owners = {route_key(f"dataset_{i}", 4) for i in range(200)}
+        assert owners == {0, 1, 2, 3}
+
+    def test_rejects_zero_slots(self):
+        with pytest.raises(ValidationError):
+            route_key("x", 0)
+
+
+class TestHashRing:
+    def test_matches_route_key_when_fully_live(self):
+        ring = HashRing(4)
+        for name in ("hics_14", "breast", "hics_23"):
+            assert ring.route(name) == route_key(name, 4)
+            assert ring.preferred(name) == route_key(name, 4)
+
+    def test_down_spills_only_the_dead_slots_keys(self):
+        ring = HashRing(4)
+        names = [f"dataset_{i}" for i in range(100)]
+        owners = {name: ring.route(name) for name in names}
+        victim = ring.route("hics_14")
+        ring.mark_down(victim)
+        for name in names:
+            if owners[name] == victim:
+                assert ring.route(name) != victim
+            else:
+                assert ring.route(name) == owners[name]
+
+    def test_up_snaps_keys_back(self):
+        ring = HashRing(3)
+        owner = ring.route("breast")
+        ring.mark_down(owner)
+        assert ring.route("breast") != owner
+        ring.mark_up(owner)
+        assert ring.route("breast") == owner
+
+    def test_preferred_ignores_membership(self):
+        ring = HashRing(3)
+        owner = ring.preferred("breast")
+        ring.mark_down(owner)
+        # route() spills, preferred() still names the warm-state owner.
+        assert ring.preferred("breast") == owner
+        assert ring.route("breast") != owner
+
+    def test_live_slots(self):
+        ring = HashRing(3)
+        assert ring.live_slots == (0, 1, 2)
+        ring.mark_down(1)
+        assert ring.live_slots == (0, 2)
+        assert not ring.is_live(1)
+        ring.mark_up(1)
+        assert ring.live_slots == (0, 1, 2)
+
+    def test_no_live_slots_raises(self):
+        ring = HashRing(2)
+        ring.mark_down(0)
+        ring.mark_down(1)
+        with pytest.raises(ValidationError):
+            ring.route("x")
+
+    def test_slot_bounds_checked(self):
+        ring = HashRing(2)
+        with pytest.raises(ValidationError):
+            ring.mark_down(2)
+        with pytest.raises(ValidationError):
+            ring.mark_up(-1)
+
+    def test_rejects_empty_ring(self):
+        with pytest.raises(ValidationError):
+            HashRing(0)

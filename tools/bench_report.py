@@ -68,6 +68,7 @@ def _workload(record: dict) -> str:
         ("beam_width", "beam"),
         ("n_requests", "requests"),
         ("clients", "clients"),
+        ("workers", "workers"),
     ):
         if key in record:
             parts.append(f"{record[key]} {label}")

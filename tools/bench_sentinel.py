@@ -19,6 +19,12 @@ same workload signature — n, d, subspace counts, point counts, ...):
   fall below ``baseline / tolerance``, and ``p50_ms`` / ``p95_ms`` must
   not exceed ``baseline * tolerance``. ``p99_ms`` is reported but never
   gated — the tail of a short run is one sample wide on shared runners.
+* Cluster scaling records (``op: "serve cluster scaling"``, carrying a
+  ``workers`` signature key) gate through the same ``speedup`` floor:
+  the recorded value is aggregate QPS at N workers over QPS at the
+  curve's first count, so a scaling collapse shows up as a speedup
+  regression. CI runs this leg with a wide tolerance (advisory) because
+  shared two-core runners cannot reproduce a calibrated curve.
 * ``ranked_identical: false`` or ``byte_identical: false`` in a fresh
   record is always a hard failure: a speed win that changes results is a
   correctness bug, not a trade.
@@ -63,6 +69,9 @@ SIGNATURE_KEYS = (
     "clients",
     "profile",
     "quick",
+    # Cluster scaling records: a 2-worker curve point must never be
+    # compared against a 4-worker baseline.
+    "workers",
 )
 
 #: Default noise tolerance: a fresh wall time up to 1.5x the baseline (or

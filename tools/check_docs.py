@@ -7,15 +7,21 @@ docs before they were checked:
 1. **Dead intra-repo links.** Every relative markdown link in every
    tracked ``*.md`` file must resolve to a file (or directory, or
    heading anchor within a markdown file) that actually exists.
-2. **Undocumented CLI surface.** Every flag of ``python -m repro``
-   (taken from the live ``repro.cli.build_parser()``, so this can never
-   lag the code) must be mentioned in ``docs/RUNBOOK.md`` — the runbook
-   is the one place an operator should be able to find every knob.
+2. **Undocumented CLI surface.** Every flag of ``python -m repro`` —
+   including every subcommand's flags, recursively (taken from the live
+   ``repro.cli.build_parser()``, so this can never lag the code) — must
+   be mentioned in ``docs/RUNBOOK.md`` — the runbook is the one place an
+   operator should be able to find every knob.
 3. **Missing or drifted reference docs.** The documents listed in
    ``REQUIRED_DOCS`` must exist, and ``docs/SERVING.md``'s error-code
    table must name exactly the codes ``repro.serve.protocol.ERROR_CODES``
    defines — the wire contract and its documentation cannot drift apart
    silently.
+4. **Cluster-mode coverage in docs/SCALING.md.** The cluster runbook
+   must mention every ``repro serve`` cluster flag, both cluster env
+   vars (pulled from the live modules, not hard-coded strings), and the
+   transient routing error code — the scale-out surface is exactly what
+   SCALING.md exists to document.
 
 Run it directly (``python tools/check_docs.py``) or via the tier-1 suite
 (``tests/test_doc_integrity.py``); CI runs it as a dedicated job. Exits
@@ -46,6 +52,7 @@ REQUIRED_DOCS = (
     "docs/EXPERIMENTS.md",
     "docs/OBSERVABILITY.md",
     "docs/RUNBOOK.md",
+    "docs/SCALING.md",
     "docs/SERVING.md",
 )
 
@@ -102,8 +109,29 @@ def check_links(paths: list[str]) -> list[str]:
     return problems
 
 
+def _all_cli_flags(parser) -> set[str]:
+    """Every ``--flag`` of ``parser``, descending into subcommands.
+
+    The interesting knobs live on subparsers (``repro serve --workers``),
+    so a top-level-only walk would silently exempt exactly the flags most
+    likely to go undocumented.
+    """
+    flags: set[str] = set()
+    for action in parser._actions:
+        if isinstance(action, argparse._SubParsersAction):
+            for subparser in action.choices.values():
+                flags |= _all_cli_flags(subparser)
+        elif not isinstance(action, argparse._HelpAction):
+            flags.update(
+                option
+                for option in action.option_strings or []
+                if option.startswith("--")
+            )
+    return flags
+
+
 def check_runbook_flags() -> list[str]:
-    """CLI flags missing from docs/RUNBOOK.md."""
+    """CLI flags (all subcommands included) missing from docs/RUNBOOK.md."""
     sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
     from repro.cli import build_parser
 
@@ -111,16 +139,11 @@ def check_runbook_flags() -> list[str]:
               encoding="utf-8") as handle:
         runbook = handle.read()
 
-    problems = []
-    for action in build_parser()._actions:
-        if isinstance(action, argparse._HelpAction):
-            continue
-        for option in action.option_strings or []:
-            if option.startswith("--") and option not in runbook:
-                problems.append(
-                    f"docs/RUNBOOK.md: CLI flag {option} is undocumented"
-                )
-    return problems
+    return [
+        f"docs/RUNBOOK.md: CLI flag {option} is undocumented"
+        for option in sorted(_all_cli_flags(build_parser()))
+        if option not in runbook
+    ]
 
 
 def check_required_docs() -> list[str]:
@@ -158,6 +181,37 @@ def check_serving_error_codes() -> list[str]:
     return problems
 
 
+def check_scaling_doc() -> list[str]:
+    """docs/SCALING.md coverage of the cluster-mode operational surface.
+
+    The env-var names come from the live module constants, so renaming a
+    knob without updating SCALING.md fails here rather than shipping
+    silently.
+    """
+    scaling_path = os.path.join(REPO_ROOT, "docs", "SCALING.md")
+    if not os.path.isfile(scaling_path):
+        return []  # already reported by check_required_docs
+    sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+    from repro.serve.cluster import SERVE_WORKERS_ENV
+    from repro.serve.engine import ENGINE_SNAPSHOT_DIR_ENV
+
+    with open(scaling_path, encoding="utf-8") as handle:
+        text = handle.read()
+    required = (
+        "--workers",
+        "--snapshot-dir",
+        "--reload-config",
+        SERVE_WORKERS_ENV,
+        ENGINE_SNAPSHOT_DIR_ENV,
+        "worker_unavailable",
+    )
+    return [
+        f"docs/SCALING.md: cluster surface {item!r} is undocumented"
+        for item in required
+        if item not in text
+    ]
+
+
 def main() -> int:
     problems = (
         check_links(markdown_files())
@@ -165,6 +219,7 @@ def main() -> int:
         + check_required_docs()
         + check_serving_error_codes()
     )
+    problems += check_scaling_doc()
     for problem in problems:
         print(problem)
     if problems:
