@@ -181,6 +181,113 @@ def _grid_mode_subprocess(mode: str, quick: bool) -> dict:
     return json.loads(proc.stdout)
 
 
+def _rss_probe_task(_payload, _item) -> tuple[int, int]:
+    """Report this worker's private RSS (kB) from ``smaps_rollup``.
+
+    Dispatched through the *same* pool as the scored batch (it must pass
+    ``payload=scorer._payload`` or the backend would rebuild the pool),
+    so the number reflects what one warm worker privately holds after
+    the sweep: unpickled payload copies in pickle mode, next to nothing
+    when the matrices are shared-memory views. The short sleep keeps the
+    probes in flight together so each worker answers once.
+    """
+    import os
+    import re
+    import time
+
+    time.sleep(0.2)
+    try:
+        with open("/proc/self/smaps_rollup", encoding="ascii") as fh:
+            text = fh.read()
+    except OSError:  # non-Linux: no rollup, report -1 rather than fail
+        return os.getpid(), -1
+    private = sum(
+        int(kb)
+        for kb in re.findall(r"Private_(?:Clean|Dirty):\s+(\d+) kB", text)
+    )
+    return os.getpid(), private
+
+
+def _process_grid_mode(mode: str, quick: bool) -> dict:
+    """One cold process-backend sweep with the data plane on or off.
+
+    Executed in a fresh subprocess per mode (``main`` presets
+    ``REPRO_SHM`` to 1 for ``shm`` / 0 for ``pickle``): same matrix, same
+    candidates, same worker count — the only difference is whether the
+    dataset matrix and the provider's warm per-feature blocks reach the
+    workers as shared-memory views or as pickled copies. The timed
+    region includes the block pre-warm and the pool spin-up, i.e. the
+    full cost a grid actually pays per (dataset, detector) group.
+    """
+    import time
+    import zlib
+
+    if quick:
+        G = _beam_grid_matrix(n_samples=300, n_features=8)
+    else:
+        G = _beam_grid_matrix(n_samples=1200, n_features=12)
+    n_jobs = 2
+    subspaces = list(all_subspaces(G.shape[1], 2))
+    provider = DistanceProvider(G, max_bytes=1 << 28)
+    scorer = SubspaceScorer(
+        G,
+        LOF(k=15),
+        distance_provider=provider,
+        backend=resolve_backend("process", n_jobs=n_jobs),
+    )
+    start = time.perf_counter()
+    scorer.prewarm_shared()
+    scores = scorer.scores_many(subspaces)
+    elapsed = time.perf_counter() - start
+
+    checksum = zlib.crc32(np.ascontiguousarray(np.vstack(scores)).tobytes())
+    probes = list(
+        scorer.backend.map_ordered(
+            _rss_probe_task, list(range(2 * n_jobs)), payload=scorer._payload
+        )
+    )
+    per_worker = {}
+    for pid, kb in probes:
+        per_worker[pid] = max(kb, per_worker.get(pid, 0))
+    scorer.close()
+    return {
+        "mode": mode,
+        "wall_time_s": elapsed,
+        "checksum": checksum,
+        "n": G.shape[0],
+        "d": G.shape[1],
+        "n_subspaces": len(subspaces),
+        "n_jobs": n_jobs,
+        "worker_private_rss_kb": max(per_worker.values(), default=-1),
+        "workers_probed": len(per_worker),
+    }
+
+
+def _process_grid_subprocess(mode: str, quick: bool) -> dict:
+    """One `_process_grid_mode` run in a clean child, REPRO_SHM preset."""
+    import json
+    import os
+    import subprocess
+    import sys
+
+    cmd = [sys.executable, __file__, "--process-grid-mode", mode]
+    if quick:
+        cmd.append("--quick")
+    # spawn: clean worker interpreters that actually receive the payload
+    # (Linux fork would inherit it copy-on-write and measure nothing) —
+    # the configuration the plane is built for, and the only one on
+    # macOS/Windows.
+    env = dict(
+        os.environ,
+        REPRO_SHM="1" if mode == "shm" else "0",
+        REPRO_MP_START="spawn",
+    )
+    proc = subprocess.run(
+        cmd, capture_output=True, text=True, check=True, env=env
+    )
+    return json.loads(proc.stdout)
+
+
 def main(argv=None) -> None:
     """Standalone mode: speedup tables plus the BENCH_scorer.json record."""
     import argparse
@@ -196,6 +303,8 @@ def main(argv=None) -> None:
                         help="CI smoke scale: smaller grid, same code paths")
     parser.add_argument("--grid-mode", choices=("on", "off"),
                         help=argparse.SUPPRESS)  # internal: one isolated mode
+    parser.add_argument("--process-grid-mode", choices=("shm", "pickle"),
+                        help=argparse.SUPPRESS)  # internal: one isolated mode
     parser.add_argument("--repeats", type=int, default=2,
                         help="subprocess runs per provider mode; the best "
                         "wall time of each mode is compared (default: 2)")
@@ -203,6 +312,9 @@ def main(argv=None) -> None:
 
     if args.grid_mode:
         print(json.dumps(_grid_mode(args.grid_mode, args.quick)))
+        return
+    if args.process_grid_mode:
+        print(json.dumps(_process_grid_mode(args.process_grid_mode, args.quick)))
         return
 
     records = []
@@ -297,6 +409,50 @@ def main(argv=None) -> None:
     records.append({
         "op": "beam_lof_grid speedup", "n": n, "d": d,
         "speedup": round(speedup, 3), "ranked_identical": True, **grid,
+    })
+
+    # --- process-backend grid: shm data plane vs pickle-per-worker ------
+    # Same subprocess-isolation and best-of-repeats protocol as the
+    # provider comparison; modes differ only in REPRO_SHM. The score
+    # checksum must match bit-for-bit across every run of both modes.
+    pg_runs = {"pickle": [], "shm": []}
+    for _ in range(max(1, args.repeats)):
+        for mode in ("pickle", "shm"):
+            pg_runs[mode].append(_process_grid_subprocess(mode, args.quick))
+    checksums = {r["checksum"] for rs in pg_runs.values() for r in rs}
+    if len(checksums) != 1:
+        raise SystemExit(
+            "FAIL: score vectors differ between shm and pickle payload paths"
+        )
+    best_pickle = min(pg_runs["pickle"], key=lambda r: r["wall_time_s"])
+    best_shm = min(pg_runs["shm"], key=lambda r: r["wall_time_s"])
+    pg_n, pg_d = best_pickle["n"], best_pickle["d"]
+    pg_common = {"n_subspaces": best_pickle["n_subspaces"],
+                 "n_jobs": best_pickle["n_jobs"],
+                 "repeats": len(pg_runs["pickle"])}
+    for label, best in (("pickle", best_pickle), ("shm", best_shm)):
+        records.append({
+            "op": f"process_grid ({label})", "n": pg_n, "d": pg_d,
+            "wall_time_s": round(best["wall_time_s"], 6),
+            "worker_private_rss_kb": best["worker_private_rss_kb"],
+            "workers_probed": best["workers_probed"], **pg_common,
+        })
+    pg_speedup = best_pickle["wall_time_s"] / best_shm["wall_time_s"]
+    print(f"process-backend cold sweep of {pg_common['n_subspaces']} 2d "
+          f"subspaces on a ({pg_n}, {pg_d}) matrix, LOF(k=15), "
+          f"n_jobs={pg_common['n_jobs']}, warm distance blocks in the "
+          f"payload (best of {pg_common['repeats']} isolated runs per mode):")
+    print(f"  pickle payload {best_pickle['wall_time_s'] * 1000:8.1f} ms  "
+          f"(worker private RSS {best_pickle['worker_private_rss_kb']} kB)")
+    print(f"  shm payload    {best_shm['wall_time_s'] * 1000:8.1f} ms  "
+          f"(worker private RSS {best_shm['worker_private_rss_kb']} kB, "
+          f"speedup: {pg_speedup:4.2f}x, scores bit-identical)")
+    records.append({
+        "op": "process_grid speedup", "n": pg_n, "d": pg_d,
+        "speedup": round(pg_speedup, 3), "ranked_identical": True,
+        "worker_rss_shared_kb": best_shm["worker_private_rss_kb"],
+        "worker_rss_copied_kb": best_pickle["worker_private_rss_kb"],
+        **pg_common,
     })
 
     if args.json:

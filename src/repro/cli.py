@@ -77,6 +77,34 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--shm",
+        default=None,
+        metavar="MODE",
+        help=(
+            "shared-memory data plane for the process backend: '1' "
+            "(default) publishes dataset matrices and warm distance "
+            "blocks into POSIX shared memory so workers attach zero-copy "
+            "read-only views instead of unpickling copies, '0' disables "
+            "it and ships bytes per worker; numbers are bit-identical "
+            "either way (also settable via the REPRO_SHM environment "
+            "variable)"
+        ),
+    )
+    parser.add_argument(
+        "--shards",
+        default=None,
+        metavar="N",
+        help=(
+            "sharded grid dispatch: partition (dataset, detector) groups "
+            "into N per-worker shards (LPT by cell count) and let idle "
+            "workers steal from the tail of the longest remaining shard; "
+            "'auto' uses one shard per worker, '0' (default) keeps the "
+            "classic completion-order dispatch — the result table is "
+            "identical either way (also settable via the "
+            "REPRO_GRID_SHARDS environment variable)"
+        ),
+    )
+    parser.add_argument(
         "--dist-cache-mb",
         default=None,
         type=int,
@@ -496,6 +524,14 @@ def main(argv: Sequence[str] | None = None) -> int:
         os.environ[BACKEND_ENV] = args.backend
     if args.n_jobs is not None:
         os.environ[N_JOBS_ENV] = str(args.n_jobs)
+    if args.shm is not None:
+        from repro.shm import SHM_ENV
+
+        os.environ[SHM_ENV] = args.shm
+    if args.shards is not None:
+        from repro.pipeline.parallel import GRID_SHARDS_ENV
+
+        os.environ[GRID_SHARDS_ENV] = args.shards
     if args.dist_cache_mb is not None:
         from repro.neighbors.provider import DIST_CACHE_MB_ENV
 

@@ -175,6 +175,46 @@ class Dataset:
             object.__setattr__(self, "_fingerprint", cached)
         return cached
 
+    # ------------------------------------------------------------------
+    # Pickling: when the matrix is published in the shared-memory plane
+    # (parallel grids publish every dataset before dispatch), ship a tiny
+    # segment ref instead of the bytes; workers attach a read-only view
+    # of the same bits. With REPRO_SHM=0, or no publication, this is the
+    # default dataclass state round-trip.
+    # ------------------------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        from repro.shm import plane as _shm
+
+        if _shm.shm_enabled():
+            plane = _shm.get_plane(create=False)
+            if plane is not None:
+                ref = plane.ref(("data", self.fingerprint[1]))
+                if (
+                    ref is not None
+                    and ref.shape == tuple(self.X.shape)
+                    and ref.dtype == str(self.X.dtype)
+                ):
+                    state["X"] = ref
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        from repro.shm import plane as _shm
+
+        if isinstance(state.get("X"), _shm.ArrayRef):
+            ref = state["X"]
+            view = _shm.get_plane().attach(ref)
+            if view is None:
+                raise RuntimeError(
+                    f"dataset {state.get('name')!r}: shared-memory segment "
+                    f"{ref.segment!r} vanished before attach; the publishing "
+                    "process must hold its lease while workers deserialise"
+                )
+            state = dict(state)
+            state["X"] = view
+        self.__dict__.update(state)
+
     @property
     def n_samples(self) -> int:
         """Number of points."""

@@ -11,6 +11,7 @@ variables. ``docs/ARCHITECTURE.md`` describes the data flow.
 from repro.exec.backends import (
     BACKEND_ENV,
     BACKEND_NAMES,
+    MP_START_ENV,
     N_JOBS_ENV,
     ExecutionBackend,
     ProcessBackend,
@@ -23,6 +24,7 @@ from repro.exec.backends import (
 __all__ = [
     "BACKEND_ENV",
     "BACKEND_NAMES",
+    "MP_START_ENV",
     "N_JOBS_ENV",
     "ExecutionBackend",
     "ProcessBackend",

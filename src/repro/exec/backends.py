@@ -36,6 +36,7 @@ changes.
 
 from __future__ import annotations
 
+import collections
 import concurrent.futures
 import contextvars
 import os
@@ -43,11 +44,15 @@ from abc import ABC, abstractmethod
 from collections.abc import Callable, Iterator, Sequence
 from typing import Any, TypeVar
 
+import numpy as np
+
+from repro.shm import plane as _shm
 from repro.exceptions import ValidationError
 from repro.obs import metrics as obs_metrics
 
 __all__ = [
     "BACKEND_NAMES",
+    "MP_START_ENV",
     "ExecutionBackend",
     "ProcessBackend",
     "SerialBackend",
@@ -66,6 +71,10 @@ BACKEND_NAMES: tuple[str, ...] = ("serial", "thread", "process")
 BACKEND_ENV = "REPRO_BACKEND"
 #: Environment variable naming the default worker count.
 N_JOBS_ENV = "REPRO_N_JOBS"
+#: Environment variable naming the multiprocessing start method of the
+#: process backend (``fork`` / ``spawn`` / ``forkserver``; unset = the
+#: platform default). See :class:`ProcessBackend`.
+MP_START_ENV = "REPRO_MP_START"
 
 #: Sentinel distinguishing "no shared payload" from ``payload=None``.
 _NO_PAYLOAD = object()
@@ -90,6 +99,10 @@ _WORKERS = obs_metrics.gauge(
 _QUEUE_DEPTH = obs_metrics.gauge(
     "repro_exec_queue_depth",
     "Tasks of the current batch not yet completed, by backend",
+)
+_STEALS = obs_metrics.counter(
+    "repro_exec_steals_total",
+    "Sharded-map tasks stolen from another shard's tail, by backend",
 )
 
 
@@ -191,6 +204,101 @@ class ExecutionBackend(ABC):
                 _QUEUE_DEPTH.set(len(items) - seen, backend=self.name)
                 yield index, result
         finally:
+            _QUEUE_DEPTH.set(0, backend=self.name)
+
+    def map_shards(
+        self,
+        fn: Callable[..., R],
+        shards: Sequence[Sequence[T]],
+        *,
+        payload: Any = _NO_PAYLOAD,
+    ) -> Iterator[tuple[int, R]]:
+        """Yield ``(flat_index, result)`` pairs over per-worker shards.
+
+        ``shards`` is a partition of the batch into per-worker queues;
+        indices are global across the flattened shards in order, so a
+        caller's bookkeeping is independent of the partitioning. The base
+        implementation drains the flattened items through
+        :meth:`map_completed` (a serial backend has nobody to steal
+        from); pooled backends override the *scheduling* with a
+        work-stealing drain — each worker slot drains its home shard from
+        the head and, when idle, steals from the tail of the longest
+        remaining shard. Stealing reorders completion only; the
+        ``(flat_index, result)`` pairs are the same as any other
+        schedule's.
+
+        Examples
+        --------
+        >>> sorted(SerialBackend().map_shards(abs, [[-1, -2], [-3]]))
+        [(0, 1), (1, 2), (2, 3)]
+        """
+        flat = [item for shard in shards for item in shard]
+        yield from self.map_completed(fn, flat, payload=payload)
+
+    def _steal_shards(
+        self,
+        submit: Callable[[T], "concurrent.futures.Future[R]"],
+        shards: Sequence[Sequence[T]],
+    ) -> Iterator[tuple[int, R]]:
+        """The work-stealing drain shared by the pooled backends.
+
+        Slot ``s`` owns shard ``s % len(shards)`` and pops it from the
+        head; an idle slot steals from the *tail* of the longest remaining
+        queue (tail items are the furthest from the owner's current
+        working set, head-popping owners and tail-popping thieves never
+        contend for the same end). Each completion refills the finishing
+        slot, so at most ``n_jobs`` tasks are in flight — completion
+        backpressure, same as the unsharded maps.
+        """
+        queues: list[collections.deque[tuple[int, T]]] = []
+        flat_index = 0
+        for shard in shards:
+            queue: collections.deque[tuple[int, T]] = collections.deque()
+            for item in shard:
+                queue.append((flat_index, item))
+                flat_index += 1
+            queues.append(queue)
+        total = flat_index
+        if not total:
+            return
+        self._account_batch(total)
+
+        def next_entry(slot: int) -> "tuple[int, T] | None":
+            home = queues[slot % len(queues)]
+            if home:
+                return home.popleft()
+            donor = max((q for q in queues if q), key=len, default=None)
+            if donor is None:
+                return None
+            _STEALS.inc(backend=self.name)
+            return donor.pop()
+
+        inflight: dict[concurrent.futures.Future[R], tuple[int, int]] = {}
+        for slot in range(self.n_jobs):
+            entry = next_entry(slot)
+            if entry is None:
+                break
+            index, item = entry
+            inflight[submit(item)] = (slot, index)
+        seen = 0
+        try:
+            while inflight:
+                done, _ = concurrent.futures.wait(
+                    inflight, return_when=concurrent.futures.FIRST_COMPLETED
+                )
+                for future in done:
+                    slot, index = inflight.pop(future)
+                    result = future.result()
+                    entry = next_entry(slot)
+                    if entry is not None:
+                        next_index, next_item = entry
+                        inflight[submit(next_item)] = (slot, next_index)
+                    seen += 1
+                    _QUEUE_DEPTH.set(total - seen, backend=self.name)
+                    yield index, result
+        finally:
+            for future in inflight:
+                future.cancel()
             _QUEUE_DEPTH.set(0, backend=self.name)
 
     # ------------------------------------------------------------------
@@ -299,6 +407,20 @@ class ThreadBackend(ExecutionBackend):
             for future in futures:
                 future.cancel()
 
+    def map_shards(
+        self,
+        fn: Callable[..., R],
+        shards: Sequence[Sequence[T]],
+        *,
+        payload: Any = _NO_PAYLOAD,
+    ) -> Iterator[tuple[int, R]]:
+        pool = self._ensure_pool()
+        call = self._bind(fn, payload)
+        yield from self._steal_shards(
+            lambda item: pool.submit(contextvars.copy_context().run, call, item),
+            shards,
+        )
+
     def close(self) -> None:
         if self._pool is not None:
             self._pool.shutdown(wait=True)
@@ -306,10 +428,49 @@ class ThreadBackend(ExecutionBackend):
             _WORKERS.set(0, backend=self.name)
 
 
+class _PackedPayload:
+    """A worker payload with its large arrays replaced by shm refs.
+
+    Built by :meth:`ProcessBackend._pack_payload`; the worker initializer
+    resolves every :class:`~repro.shm.ArrayRef` back to a read-only view
+    of the published segment — the same bits, zero copies per worker.
+    """
+
+    __slots__ = ("elements", "wrap_tuple")
+
+    def __init__(self, elements: tuple, wrap_tuple: bool) -> None:
+        self.elements = elements
+        self.wrap_tuple = wrap_tuple
+
+
+def _unpack_payload(payload: Any) -> Any:
+    if not isinstance(payload, _PackedPayload):
+        return payload
+    plane = _shm.get_plane()
+    resolved = []
+    for element in payload.elements:
+        if isinstance(element, _shm.ArrayRef):
+            view = plane.attach(element)
+            if view is None:
+                # The array's bytes were not shipped (that was the point),
+                # so a vanished segment is unrecoverable here. It cannot
+                # happen under the lease discipline: the pool that packed
+                # the payload holds the lease until after shutdown.
+                raise RuntimeError(
+                    f"shared-memory segment {element.segment!r} vanished "
+                    "before the worker attached; the publishing backend "
+                    "must stay open while its workers initialise"
+                )
+            resolved.append(view)
+        else:
+            resolved.append(element)
+    return tuple(resolved) if payload.wrap_tuple else resolved[0]
+
+
 def _init_worker(payload: Any) -> None:
     """Install the batch's shared read-only payload in a worker process."""
     global _WORKER_PAYLOAD
-    _WORKER_PAYLOAD = payload
+    _WORKER_PAYLOAD = _unpack_payload(payload)
 
 
 _WORKER_PAYLOAD: Any = None
@@ -329,6 +490,14 @@ class ProcessBackend(ExecutionBackend):
     the *same* payload object — the steady state for a long-lived scorer —
     and rebuilt when the payload changes.
 
+    ``REPRO_MP_START`` selects the multiprocessing start method
+    (``fork`` / ``spawn`` / ``forkserver``; unset = the platform
+    default). On Linux the fork default inherits the payload
+    copy-on-write; ``spawn`` boots clean interpreters and actually
+    ships the payload — the configuration the shared-memory plane's
+    publish/attach path is built for (and the only one available on
+    macOS/Windows). Results are identical under every start method.
+
     Examples
     --------
     >>> with ProcessBackend(n_jobs=2) as backend:       # doctest: +SKIP
@@ -341,26 +510,84 @@ class ProcessBackend(ExecutionBackend):
     def __init__(self, n_jobs: int = 2) -> None:
         super().__init__(n_jobs)
         self._pool: concurrent.futures.ProcessPoolExecutor | None = None
-        self._pool_payload_id: int | None = None
+        # Strong reference to the live pool's payload, compared by
+        # identity. Keying on id(payload) would let the allocator recycle
+        # a dead payload's id for a new object, silently reusing a pool
+        # whose workers hold the *old* payload; the strong reference both
+        # pins the id and makes the comparison mean what it says.
+        self._pool_payload: Any = _NO_PAYLOAD
+        self._lease: "_shm.PlaneLease | None" = None
+
+    def _pack_payload(self, payload: Any) -> "tuple[Any, _shm.PlaneLease | None]":
+        """Publish the payload's large arrays into the shm plane.
+
+        Returns ``(shipped, lease)``: what to hand the pool initializer
+        (arrays swapped for :class:`~repro.shm.ArrayRef`, distance
+        providers left in place — their own pickling consults the plane)
+        and the lease keeping the segments alive until :meth:`close`.
+        With ``REPRO_SHM=0`` the payload ships untouched, byte-copied per
+        worker as before.
+        """
+        if payload is _NO_PAYLOAD or not _shm.shm_enabled():
+            return payload, None
+        wrap_tuple = isinstance(payload, tuple)
+        elements = payload if wrap_tuple else (payload,)
+        plane: "_shm.SharedMemoryPlane | None" = None
+        keys: list[tuple] = []
+        packed: list[Any] = []
+        swapped = False
+        for element in elements:
+            if isinstance(element, np.ndarray) and element.size:
+                plane = plane if plane is not None else _shm.get_plane()
+                ref = plane.publish(element)
+                keys.append(ref.key)
+                packed.append(ref)
+                swapped = True
+                continue
+            publish_shared = getattr(element, "publish_shared", None)
+            if callable(publish_shared):
+                plane = plane if plane is not None else _shm.get_plane()
+                keys.extend(publish_shared(plane))
+            packed.append(element)
+        lease = plane.lease(keys) if plane is not None and keys else None
+        if swapped:
+            return _PackedPayload(tuple(packed), wrap_tuple), lease
+        return payload, lease
+
+    @staticmethod
+    def _mp_context() -> "Any | None":
+        """The configured start-method context (``None`` = platform default)."""
+        raw = os.environ.get(MP_START_ENV, "").strip().lower()
+        if not raw:
+            return None
+        if raw not in ("fork", "spawn", "forkserver"):
+            raise ValidationError(
+                f"invalid {MP_START_ENV}={raw!r}: expected fork, spawn, "
+                "or forkserver"
+            )
+        import multiprocessing
+
+        return multiprocessing.get_context(raw)
 
     def _ensure_pool(
         self, payload: Any
     ) -> concurrent.futures.ProcessPoolExecutor:
-        payload_id = None if payload is _NO_PAYLOAD else id(payload)
-        if self._pool is not None and self._pool_payload_id != payload_id:
+        if self._pool is not None and self._pool_payload is not payload:
             self.close()
         if self._pool is None:
-            if payload is _NO_PAYLOAD:
+            shipped, self._lease = self._pack_payload(payload)
+            if shipped is _NO_PAYLOAD:
                 self._pool = concurrent.futures.ProcessPoolExecutor(
-                    max_workers=self.n_jobs
+                    max_workers=self.n_jobs, mp_context=self._mp_context()
                 )
             else:
                 self._pool = concurrent.futures.ProcessPoolExecutor(
                     max_workers=self.n_jobs,
+                    mp_context=self._mp_context(),
                     initializer=_init_worker,
-                    initargs=(payload,),
+                    initargs=(shipped,),
                 )
-            self._pool_payload_id = payload_id
+            self._pool_payload = payload
             _WORKERS.set(self.n_jobs, backend=self.name)
         return self._pool
 
@@ -388,12 +615,33 @@ class ProcessBackend(ExecutionBackend):
             for future in futures:
                 future.cancel()
 
+    def map_shards(
+        self,
+        fn: Callable[..., R],
+        shards: Sequence[Sequence[T]],
+        *,
+        payload: Any = _NO_PAYLOAD,
+    ) -> Iterator[tuple[int, R]]:
+        pool = self._ensure_pool(payload)
+        if payload is _NO_PAYLOAD:
+            submit = lambda item: pool.submit(fn, item)  # noqa: E731
+        else:
+            submit = lambda item: pool.submit(  # noqa: E731
+                _call_with_worker_payload, fn, item
+            )
+        yield from self._steal_shards(submit, shards)
+
     def close(self) -> None:
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
-            self._pool_payload_id = None
+            self._pool_payload = _NO_PAYLOAD
             _WORKERS.set(0, backend=self.name)
+        if self._lease is not None:
+            # Workers are gone (shutdown waited); dropping the last lease
+            # unlinks the published segments.
+            self._lease.release()
+            self._lease = None
 
 
 _BACKENDS: dict[str, type[ExecutionBackend]] = {

@@ -73,15 +73,22 @@ __all__ = [
     "DEFAULT_MAX_COMPOSE_DIM",
     "DEFAULT_SKETCH_FACTOR",
     "DIST_CACHE_MB_ENV",
+    "SKETCH_FACTOR_ENV",
     "DistanceProvider",
     "KNNQueryView",
     "resolve_dist_cache_bytes",
+    "resolve_sketch_factor",
     "shared_provider",
 ]
 
 #: Environment variable naming the provider byte budget in MiB.
 #: ``0`` (or negative) disables the distance substrate entirely.
 DIST_CACHE_MB_ENV = "REPRO_DIST_CACHE_MB"
+
+#: Environment variable overriding the neighbour-sketch width factor.
+#: ``0`` disables sketching (every k-NN query walks the full canonical
+#: path — the ablation switch); otherwise must be >= 2.
+SKETCH_FACTOR_ENV = "REPRO_SKETCH_FACTOR"
 
 #: Default byte budget when the environment names none: 256 MiB.
 DEFAULT_DIST_CACHE_MB = 256
@@ -155,6 +162,29 @@ def resolve_dist_cache_bytes() -> int:
     return max(0, mb) * 1024 * 1024
 
 
+def resolve_sketch_factor() -> int:
+    """Sketch width factor from ``REPRO_SKETCH_FACTOR`` (default 12).
+
+    ``0`` turns sketching off — every neighbour query takes the full
+    canonical path. Values 1..1 are rejected: a 1-wide sketch can never
+    certify anything and would only hide a configuration mistake.
+    """
+    raw = os.environ.get(SKETCH_FACTOR_ENV)
+    if raw is None or not raw.strip():
+        return DEFAULT_SKETCH_FACTOR
+    try:
+        value = int(raw)
+    except ValueError as exc:
+        raise ValidationError(
+            f"{SKETCH_FACTOR_ENV} must be an integer, got {raw!r}"
+        ) from exc
+    if value != 0 and value < 2:
+        raise ValidationError(
+            f"{SKETCH_FACTOR_ENV} must be 0 (off) or >= 2, got {value}"
+        )
+    return value
+
+
 def _fingerprint(X: np.ndarray) -> int:
     """Content fingerprint keying the shared-provider registry."""
     header = np.asarray(X.shape, dtype=np.int64).tobytes()
@@ -199,7 +229,7 @@ class DistanceProvider:
         *,
         max_bytes: int | None = None,
         max_compose_dim: int = DEFAULT_MAX_COMPOSE_DIM,
-        sketch_factor: int = DEFAULT_SKETCH_FACTOR,
+        sketch_factor: int | None = None,
     ) -> None:
         self.X = check_matrix(X, name="X", min_rows=2)
         self.max_bytes = (
@@ -211,10 +241,13 @@ class DistanceProvider:
                 "shared_provider() for the disable-on-zero-budget policy"
             )
         self.max_compose_dim = int(max_compose_dim)
-        self.sketch_factor = int(sketch_factor)
-        if self.sketch_factor < 2:
+        self.sketch_factor = (
+            resolve_sketch_factor() if sketch_factor is None else int(sketch_factor)
+        )
+        if self.sketch_factor != 0 and self.sketch_factor < 2:
             raise ValidationError(
-                f"sketch_factor must be at least 2, got {sketch_factor}"
+                f"sketch_factor must be 0 (sketches off) or at least 2, "
+                f"got {sketch_factor}"
             )
         self._init_runtime()
 
@@ -265,6 +298,62 @@ class DistanceProvider:
         bits would vary with cache state.
         """
         return 1 <= len(tuple(features)) <= self.max_compose_dim
+
+    @property
+    def x_fingerprint(self) -> int:
+        """Content fingerprint of the dataset (memoised; keys the shm plane)."""
+        fp = getattr(self, "_x_fp", None)
+        if fp is None:
+            fp = _fingerprint(self.X)
+            self._x_fp = fp
+        return fp
+
+    # ------------------------------------------------------------------
+    # Shared-memory plane integration (zero-copy process workers).
+    # ------------------------------------------------------------------
+
+    def warm_blocks(self, features: "Iterable[int] | None" = None) -> int:
+        """Materialise the per-feature blocks (default: all features).
+
+        A parent that warms blocks before spinning up a process pool pays
+        the ``O(n^2)`` block cost once; published through the shm plane,
+        every worker then attaches those bits instead of recomputing them.
+        Returns the number of blocks now cached.
+        """
+        feats = range(self.n_features) if features is None else features
+        count = 0
+        for feature in feats:
+            self.feature_block(int(feature))
+            count += 1
+        return count
+
+    def publish_shared(self, plane: object = None) -> list[tuple]:
+        """Publish the dataset and every warm block into the shm plane.
+
+        Returns the plane keys published (the caller typically leases
+        them for the lifetime of its worker pool). The process backend
+        calls this while packing a payload — see
+        :meth:`repro.exec.ProcessBackend._pack_payload`.
+        """
+        from repro.shm import plane as _shm
+
+        if plane is None:
+            plane = _shm.get_plane()
+        fp = self.x_fingerprint
+        keys: list[tuple] = []
+        ref = plane.publish(self.X, key=("data", fp))  # type: ignore[attr-defined]
+        keys.append(ref.key)
+        # items_snapshot is counter- and recency-neutral: publishing the
+        # warm blocks must not perturb the cache statistics equivalence
+        # contracts assert on.
+        for key, block in self._cache.items_snapshot():
+            if key[0] != "b":
+                continue
+            block_ref = plane.publish(  # type: ignore[attr-defined]
+                block, key=("block", fp, int(key[1]))
+            )
+            keys.append(block_ref.key)
+        return keys
 
     # ------------------------------------------------------------------
     # The substrate.
@@ -443,7 +532,7 @@ class DistanceProvider:
             )
         p: tuple[int, ...] | None = None
         m = 0
-        if len(s) >= 2:
+        if len(s) >= 2 and self.sketch_factor:
             if parent is not None:
                 hint = check_feature_indices(parent, n_features=self.n_features)
                 if 0 < len(hint) < len(s) and set(hint) < set(s):
@@ -680,23 +769,68 @@ class DistanceProvider:
         _BYTES.set(self._cache.nbytes)
 
     # ------------------------------------------------------------------
-    # Pickling: ship the recipe, not the cache.
+    # Pickling: ship the recipe, not the cache — or, through the shm
+    # plane, ship *references* and attach the parent's bits in place.
     # ------------------------------------------------------------------
 
     def __getstate__(self) -> dict[str, object]:
-        return {
+        state: dict[str, object] = {
             "X": self.X,
             "max_bytes": self.max_bytes,
             "max_compose_dim": self.max_compose_dim,
             "sketch_factor": self.sketch_factor,
         }
+        from repro.shm import plane as _shm
+
+        if _shm.shm_enabled():
+            plane = _shm.get_plane(create=False)
+            if plane is not None:
+                fp = self.x_fingerprint
+                x_ref = plane.ref(("data", fp))
+                if x_ref is not None:
+                    # The dataset is published: ship the ref instead of the
+                    # bytes, plus refs for every published warm block so
+                    # workers start with the parent's substrate attached.
+                    state["X"] = x_ref
+                    block_refs = {}
+                    for key, _ in self._cache.items_snapshot():
+                        if key[0] != "b":
+                            continue
+                        block_ref = plane.ref(("block", fp, int(key[1])))
+                        if block_ref is not None:
+                            block_refs[int(key[1])] = block_ref
+                    if block_refs:
+                        state["shm_blocks"] = block_refs
+        return state
 
     def __setstate__(self, state: dict[str, object]) -> None:
-        self.X = state["X"]  # type: ignore[assignment]
+        from repro.shm import plane as _shm
+
+        X = state["X"]
+        block_refs = state.get("shm_blocks") or {}
+        shm_attached = False
+        if isinstance(X, _shm.ArrayRef):
+            attached = _shm.get_plane().attach(X)
+            if attached is None:
+                raise RuntimeError(
+                    f"distance provider dataset segment {X.segment!r} "  # type: ignore[union-attr]
+                    "vanished before attach; the publishing process must "
+                    "keep its lease while workers deserialise"
+                )
+            X = attached
+            shm_attached = True
+        self.X = X  # type: ignore[assignment]
         self.max_bytes = state["max_bytes"]  # type: ignore[assignment]
         self.max_compose_dim = state["max_compose_dim"]  # type: ignore[assignment]
         self.sketch_factor = state.get("sketch_factor", DEFAULT_SKETCH_FACTOR)  # type: ignore[assignment]
         self._init_runtime()
+        if shm_attached and block_refs:
+            plane = _shm.get_plane()
+            for feature, block_ref in block_refs.items():
+                view = plane.attach(block_ref)
+                if view is None:
+                    continue  # lazy recompute reproduces the same bits
+                self._cache.put(("b", int(feature)), view)
 
     def __repr__(self) -> str:
         return (

@@ -98,9 +98,9 @@ def run_snapshot(registry: MetricsRegistry | None = None) -> dict[str, object]:
 
     Returns a nested dict with ``caches`` (one entry per named LRU),
     ``distance`` (the shared distance substrate), ``hics_contrast``,
-    ``scorer``, ``grid``, ``ft``, ``engine`` (the warm scorer pool),
-    ``serve`` (request loop), and ``cluster`` (multi-process acceptor)
-    sections. Every number is a plain float/int, so the snapshot drops
+    ``scorer``, ``grid``, ``shm`` (the shared-memory data plane),
+    ``ft``, ``engine`` (the warm scorer pool), ``serve`` (request
+    loop), and ``cluster`` (multi-process acceptor) sections. Every number is a plain float/int, so the snapshot drops
     straight into JSON exports and benchmark records. Labelled counters
     are group-summed, so registries that merge per-worker label sets
     (cluster runs) aggregate correctly instead of key-missing.
@@ -161,6 +161,18 @@ def run_snapshot(registry: MetricsRegistry | None = None) -> dict[str, object]:
     grid = {
         "cells_total": _total(reg, "repro_grid_cells_total"),
         "cells_skipped": _total(reg, "repro_grid_cells_skipped_total"),
+        "steals": _total(reg, "repro_exec_steals_total"),
+    }
+
+    shm_attach_hits = _sum_where(reg, "repro_shm_attaches_total", path="segment")
+    shm = {
+        "segments": _total(reg, "repro_shm_segments"),
+        "bytes": _total(reg, "repro_shm_bytes"),
+        "publishes": _total(reg, "repro_shm_publishes_total"),
+        "attaches": _total(reg, "repro_shm_attaches_total"),
+        "segment_attaches": shm_attach_hits,
+        "attach_failures": _total(reg, "repro_shm_attach_failures_total"),
+        "unlinks": _total(reg, "repro_shm_unlinks_total"),
     }
 
     ft = {
@@ -226,6 +238,7 @@ def run_snapshot(registry: MetricsRegistry | None = None) -> dict[str, object]:
         "hics_contrast": hics_contrast,
         "scorer": scorer,
         "grid": grid,
+        "shm": shm,
         "ft": ft,
         "engine": engine,
         "serve": serve,

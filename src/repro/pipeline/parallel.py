@@ -33,6 +33,7 @@ instead of silently thinner than the cross-product suggests.
 
 from __future__ import annotations
 
+import os
 from collections.abc import Callable, Sequence
 
 from repro.datasets.base import Dataset
@@ -45,8 +46,100 @@ from repro.obs.heartbeat import heartbeat_from_env
 from repro.pipeline.pipeline import ExplanationPipeline, PipelineResult
 from repro.serve.engine import ExplainEngine
 from repro.pipeline.results import ResultTable
+from repro.shm import plane as _shm
 
-__all__ = ["run_grid_parallel"]
+__all__ = ["GRID_SHARDS_ENV", "resolve_grid_shards", "run_grid_parallel"]
+
+#: Shard count for the sharded grid dispatch (``--shards``): ``0``/unset
+#: keeps the classic completion-order dispatch, ``auto`` matches the
+#: worker count, any positive integer fixes the number of shards.
+GRID_SHARDS_ENV = "REPRO_GRID_SHARDS"
+
+
+def resolve_grid_shards(
+    shards: "int | str | None" = None, *, n_jobs: int
+) -> int:
+    """Resolve the grid shard count from an explicit value or the env.
+
+    ``None`` reads :data:`GRID_SHARDS_ENV`; ``"auto"`` means one shard
+    per worker; ``0``/``"off"`` disables sharding (classic dispatch).
+
+    Examples
+    --------
+    >>> resolve_grid_shards(0, n_jobs=4)
+    0
+    >>> resolve_grid_shards("auto", n_jobs=4)
+    4
+    >>> resolve_grid_shards(3, n_jobs=4)
+    3
+    """
+    raw = shards if shards is not None else os.environ.get(GRID_SHARDS_ENV, "0")
+    if isinstance(raw, str):
+        text = raw.strip().lower()
+        if text in ("", "0", "off", "no", "false"):
+            return 0
+        if text == "auto":
+            return max(1, int(n_jobs))
+        try:
+            value = int(text)
+        except ValueError:
+            raise ExperimentError(
+                f"invalid shard count {raw!r}: expected an integer or 'auto'"
+            ) from None
+    else:
+        value = int(raw)
+    if value < 0:
+        raise ExperimentError(f"shard count must be >= 0, got {value}")
+    return value
+
+
+def _partition_shards(weights: Sequence[int], n_shards: int) -> list[list[int]]:
+    """LPT-partition group indices into at most ``n_shards`` shards.
+
+    Longest-processing-time-first: heaviest group into the currently
+    lightest shard, ties broken by index, so the partition is
+    deterministic. Each shard's indices come back ascending — workers
+    drain their home shard in submission order, which keeps the
+    journal's completion pattern close to the classic dispatch.
+
+    Examples
+    --------
+    >>> _partition_shards([5, 1, 4, 2], 2)
+    [[0, 1], [2, 3]]
+    """
+    n_shards = max(1, min(int(n_shards), len(weights)))
+    loads = [0] * n_shards
+    members: list[list[int]] = [[] for _ in range(n_shards)]
+    for index in sorted(range(len(weights)), key=lambda i: (-weights[i], i)):
+        target = min(range(n_shards), key=lambda s: (loads[s], s))
+        loads[target] += weights[index]
+        members[target].append(index)
+    for shard in members:
+        shard.sort()
+    return members
+
+
+def _publish_datasets(
+    backend: ExecutionBackend, groups: "Sequence[GroupSpec]"
+) -> "_shm.PlaneLease | None":
+    """Publish every distinct dataset matrix before a process-backend map.
+
+    Workers then attach read-only views instead of unpickling a copy per
+    group (see :meth:`Dataset.__getstate__`). The returned lease must be
+    held until the map completes — every worker has deserialised by then
+    — and released so the segments unlink with the run. ``None`` when
+    the backend keeps memory shared anyway (serial/thread) or shm is off.
+    """
+    if backend.name != "process" or not _shm.shm_enabled():
+        return None
+    plane = _shm.get_plane()
+    keys: dict[tuple, None] = {}
+    for dataset, _, _, _ in groups:
+        ref = plane.publish(dataset.X, key=("data", dataset.fingerprint[1]))
+        keys[ref.key] = None
+    if not keys:
+        return None
+    return plane.lease(keys)
 
 _CELLS_SKIPPED = obs_metrics.counter(
     "repro_grid_cells_skipped_total", "Grid cells skipped, by reason"
@@ -86,6 +179,7 @@ def run_grid_parallel(
     points_selector: Callable[[Dataset, int], tuple[int, ...]] | None = None,
     skip_errors: bool = True,
     ft: "FTConfig | None" = None,
+    shards: "int | str | None" = None,
 ) -> tuple[ResultTable, list[SkipRecord], list[UndefinedRecord], list[SkipRecord]]:
     """Run the full grid over an execution backend.
 
@@ -94,7 +188,14 @@ def run_grid_parallel(
     (``"process"`` by default when ``n_jobs > 1``; ``n_jobs=1`` falls back
     to in-process execution). ``ft`` configures checkpointing, retries,
     and per-cell timeouts (``None`` resolves from the ``REPRO_*``
-    environment — inert by default).
+    environment — inert by default). ``shards`` switches dispatch to the
+    sharded mode: groups are LPT-partitioned into per-worker shards and
+    idle workers steal from the tail of the longest remaining shard
+    (``"auto"`` = one shard per worker, ``0``/``None`` resolves
+    ``REPRO_GRID_SHARDS``, default off). Stealing changes scheduling
+    only — the result table is byte-identical to the classic dispatch,
+    and every stolen group still journals the moment it lands, so a
+    killed sharded run resumes exactly like a classic one.
 
     Returns ``(table, skipped, skipped_undefined, failed_cells)``: the
     result table, the fatally-skipped cell records, the never-attempted
@@ -204,9 +305,35 @@ def run_grid_parallel(
             resolved = resolve_backend(
                 backend if backend is not None else "process", n_jobs
             )
+            n_shards = resolve_grid_shards(shards, n_jobs=n_jobs)
             try:
-                for index, outcome in resolved.map_completed(_run_group, packed):
-                    _absorb(index, outcome)
+                # Publish dataset matrices once; workers attach views
+                # instead of unpickling a copy per group. Held until the
+                # map completes (all workers deserialised by then).
+                lease = _publish_datasets(resolved, groups)
+                try:
+                    if n_shards:
+                        weights = [
+                            len(explainers) * len(cells)
+                            for _, _, explainers, cells in groups
+                        ]
+                        partition = _partition_shards(weights, n_shards)
+                        flat_to_group = [i for shard in partition for i in shard]
+                        shard_items = [
+                            [packed[i] for i in shard] for shard in partition
+                        ]
+                        for flat, outcome in resolved.map_shards(
+                            _run_group, shard_items
+                        ):
+                            _absorb(flat_to_group[flat], outcome)
+                    else:
+                        for index, outcome in resolved.map_completed(
+                            _run_group, packed
+                        ):
+                            _absorb(index, outcome)
+                finally:
+                    if lease is not None:
+                        lease.release()
             finally:
                 if not isinstance(backend, ExecutionBackend):
                     resolved.close()  # Pool owned here, not by the caller.

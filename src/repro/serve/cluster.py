@@ -37,6 +37,7 @@ from __future__ import annotations
 import asyncio
 import json
 import os
+import tempfile
 import threading
 from dataclasses import dataclass
 
@@ -196,6 +197,12 @@ class ClusterServer:
         self._loop: asyncio.AbstractEventLoop | None = None
         self._stopping = False
         self.port: int | None = None
+        #: Shared-memory handoff state: the lease pinning the published
+        #: warm matrices and the exported registry file workers attach
+        #: through (see :meth:`_publish_warm_datasets`).
+        self._shm_lease = None
+        self._shm_registry_path: str | None = None
+        self._shm_prev_registry_env: str | None = None
 
     # ------------------------------------------------------------------
     # Worker configuration.
@@ -272,9 +279,75 @@ class ClusterServer:
     # Lifecycle.
     # ------------------------------------------------------------------
 
+    def _publish_warm_datasets(self) -> None:
+        """Publish warm dataset matrices once; workers attach views.
+
+        With the shared-memory plane enabled, the acceptor loads every
+        ``--warm`` dataset, publishes its matrix into the plane, and
+        exports the segment registry to a file that travels to spawned
+        workers via ``REPRO_SHM_REGISTRY``. Each worker's engine adopts
+        the published matrix at registration time, so N workers on one
+        host map one physical copy of each warm dataset instead of
+        constructing N. The lease is held until :meth:`stop` (restarted
+        workers re-attach through the same registry). Names that fail to
+        load are skipped here — the owning worker reports the real error
+        at warm time, exactly as without the plane.
+        """
+        from repro.shm import plane as _shm
+
+        if not self.config.warm or not _shm.shm_enabled():
+            return
+        from repro.datasets.registry import load_dataset
+
+        plane = _shm.get_plane()
+        keys: dict[tuple, None] = {}
+        for name in dict.fromkeys(self.config.warm):
+            try:
+                dataset = load_dataset(name)
+            except Exception:
+                continue
+            ref = plane.publish(dataset.X, key=("data", dataset.fingerprint[1]))
+            keys[ref.key] = None
+        if not keys:
+            return
+        self._shm_lease = plane.lease(keys)
+        snapshot_dir = self.config.resolved_snapshot_dir()
+        if snapshot_dir:
+            os.makedirs(snapshot_dir, exist_ok=True)
+            path = os.path.join(snapshot_dir, "shm-registry.json")
+        else:
+            fd, path = tempfile.mkstemp(
+                prefix="repro-shm-registry-", suffix=".json"
+            )
+            os.close(fd)
+        plane.export_registry(path)
+        self._shm_registry_path = path
+        self._shm_prev_registry_env = os.environ.get(_shm.SHM_REGISTRY_ENV)
+        os.environ[_shm.SHM_REGISTRY_ENV] = path
+
+    def _release_shared(self) -> None:
+        """Drop the warm-matrix lease and registry handoff (idempotent)."""
+        from repro.shm import plane as _shm
+
+        if self._shm_registry_path is not None:
+            if self._shm_prev_registry_env is None:
+                os.environ.pop(_shm.SHM_REGISTRY_ENV, None)
+            else:
+                os.environ[_shm.SHM_REGISTRY_ENV] = self._shm_prev_registry_env
+            try:
+                os.remove(self._shm_registry_path)
+            except OSError:
+                pass
+            self._shm_registry_path = None
+            self._shm_prev_registry_env = None
+        if self._shm_lease is not None:
+            self._shm_lease.release()
+            self._shm_lease = None
+
     async def start(self) -> None:
         """Spawn the worker fleet, bind the front door, start the watch."""
         self._loop = asyncio.get_running_loop()
+        self._publish_warm_datasets()
         self._ready_events = {
             slot: asyncio.Event() for slot in range(self.config.workers)
         }
@@ -314,6 +387,8 @@ class ClusterServer:
         self._pools.clear()
         loop = asyncio.get_running_loop()
         await loop.run_in_executor(None, self.supervisor.stop_all)
+        # Workers are gone; dropping the lease unlinks the warm segments.
+        self._release_shared()
 
     async def serve_forever(self) -> None:
         """Start and block until cancelled (the CLI entrypoint).

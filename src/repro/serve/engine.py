@@ -40,6 +40,7 @@ byte-identical to the one-shot run it replaces.
 from __future__ import annotations
 
 import base64
+import dataclasses
 import itertools
 import json
 import os
@@ -220,9 +221,32 @@ class ExplainEngine:
             raise ValidationError(
                 f"dataset must be a repro Dataset, got {type(dataset).__name__}"
             )
+        dataset = self._adopt_shared(dataset)
         with self._lock:
             self._datasets[dataset.name] = dataset
         return dataset
+
+    @staticmethod
+    def _adopt_shared(dataset: Dataset) -> Dataset:
+        """Swap the matrix for a shared-memory view when one is published.
+
+        Cluster workers inherit the parent's segment registry
+        (``REPRO_SHM_REGISTRY``); adopting at registration time means
+        every worker's scorers, providers, and request handling read the
+        parent's published bits instead of a private copy — same
+        fingerprint, same numbers, one physical matrix per host.
+        """
+        from repro.shm import plane as _shm
+
+        if not _shm.shm_enabled():
+            return dataset
+        plane = _shm.get_plane(create=False)
+        if plane is None and os.environ.get(_shm.SHM_REGISTRY_ENV) is None:
+            return dataset
+        view = _shm.get_plane().adopt(dataset.X)
+        if view is None:
+            return dataset
+        return dataclasses.replace(dataset, X=view)
 
     def dataset(self, name: str, **overrides: object) -> Dataset:
         """A registered dataset by name, building registry names on demand.

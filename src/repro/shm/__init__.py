@@ -1,0 +1,25 @@
+"""Shared-memory data plane (see :mod:`repro.shm.plane`)."""
+
+from repro.shm.plane import (
+    ArrayRef,
+    PlaneLease,
+    SEGMENT_PREFIX,
+    SHM_ENV,
+    SHM_REGISTRY_ENV,
+    SharedMemoryPlane,
+    array_fingerprint,
+    get_plane,
+    shm_enabled,
+)
+
+__all__ = [
+    "ArrayRef",
+    "PlaneLease",
+    "SEGMENT_PREFIX",
+    "SHM_ENV",
+    "SHM_REGISTRY_ENV",
+    "SharedMemoryPlane",
+    "array_fingerprint",
+    "get_plane",
+    "shm_enabled",
+]

@@ -1,0 +1,529 @@
+"""Zero-copy shared-memory data plane for process execution.
+
+The process backend used to ship every large read-only array — the
+dataset matrix, the distance substrate's warm per-feature blocks — to
+every worker by pickle: ``n_workers`` copies of bytes that are never
+written again, plus per-worker warmup recomputing blocks the parent had
+already paid for. :class:`SharedMemoryPlane` replaces those copies with
+one OS-level :class:`multiprocessing.shared_memory.SharedMemory` segment
+per array, keyed by content fingerprint:
+
+* **Publish** (parent): copy the array once into a named ``/dev/shm``
+  segment and hand out an :class:`ArrayRef` — a tiny picklable
+  ``(segment, shape, dtype, fingerprint)`` descriptor.
+* **Attach** (worker): map the named segment and wrap it in a read-only
+  NumPy view. No bytes move; the view *is* the parent's bits, so every
+  consumer of the attached array is bit-identical to the copy it
+  replaces by construction.
+* **Lifecycle**: publications are refcounted through :class:`PlaneLease`
+  handles (a process pool leases the arrays it shipped; releasing the
+  last lease unlinks the segment), and an ``atexit`` + default-``SIGTERM``
+  cleanup guard unlinks everything the *owning* process still holds, so
+  no ``/dev/shm/repro_shm_*`` orphan survives a normal exit, an
+  uncaught exception, or a TERM. Fork children inherit the plane object;
+  every unlink is owner-pid-guarded so a worker's exit can never tear
+  down segments its siblings still read. (``SIGKILL`` cannot be guarded
+  by any process; the stdlib resource tracker — segments stay registered
+  with it until we unlink — remains the net of last resort there.)
+* **Registry handoff**: :meth:`SharedMemoryPlane.export_registry` writes
+  the published refs to a JSON file, and a child process started with
+  ``REPRO_SHM_REGISTRY`` pointing at that file resolves the same refs by
+  key — how spawned serve-cluster workers attach the parent's warm
+  dataset matrices without inheriting its address space.
+
+The plane is advisory everywhere: ``REPRO_SHM=0`` disables it (default
+on), and an attach that finds the segment gone reports ``None`` so the
+caller falls back to the copy/recompute path it always had.
+"""
+
+from __future__ import annotations
+
+import atexit
+import json
+import os
+import secrets
+import signal
+import threading
+import zlib
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.obs import metrics as obs_metrics
+
+__all__ = [
+    "ArrayRef",
+    "PlaneLease",
+    "SEGMENT_PREFIX",
+    "SHM_ENV",
+    "SHM_REGISTRY_ENV",
+    "SharedMemoryPlane",
+    "array_fingerprint",
+    "get_plane",
+    "shm_enabled",
+]
+
+#: Kill switch for the whole data plane. Default on; ``0`` / ``off`` /
+#: ``false`` / ``no`` disables publication, attach and adoption alike.
+SHM_ENV = "REPRO_SHM"
+
+#: Path of a registry JSON file written by :meth:`SharedMemoryPlane.export_registry`.
+#: A process started with this set resolves refs published by its parent.
+SHM_REGISTRY_ENV = "REPRO_SHM_REGISTRY"
+
+#: Every segment name the plane creates starts with this, so a leak check
+#: is one glob over ``/dev/shm/repro_shm_*``.
+SEGMENT_PREFIX = "repro_shm_"
+
+_SEGMENTS = obs_metrics.gauge(
+    "repro_shm_segments",
+    "Shared-memory segments currently published by this process",
+)
+_BYTES = obs_metrics.gauge(
+    "repro_shm_bytes",
+    "Bytes held by shared-memory segments published by this process",
+)
+_PUBLISHES = obs_metrics.counter(
+    "repro_shm_publishes_total",
+    "Arrays published into the shared-memory plane, by kind",
+)
+_ATTACHES = obs_metrics.counter(
+    "repro_shm_attaches_total",
+    "Successful attaches of shared-memory arrays, by path (local / segment)",
+)
+_ATTACH_FAILURES = obs_metrics.counter(
+    "repro_shm_attach_failures_total",
+    "Attach attempts that found the segment gone (caller fell back)",
+)
+_UNLINKS = obs_metrics.counter(
+    "repro_shm_unlinks_total",
+    "Shared-memory segments unlinked by this process",
+)
+
+
+def shm_enabled() -> bool:
+    """Whether the shared-memory plane is on (``REPRO_SHM``, default on)."""
+    raw = os.environ.get(SHM_ENV, "").strip().lower()
+    return raw not in ("0", "off", "false", "no")
+
+
+def array_fingerprint(array: np.ndarray) -> int:
+    """Content fingerprint of an array: crc32 over shape header + bytes.
+
+    The same formula as :func:`repro.detectors.base.data_fingerprint`, so
+    a plane key computed from a dataset matrix equals the dataset's own
+    content fingerprint — one identity from the registry file down to the
+    scorer cache keys.
+    """
+    array = np.ascontiguousarray(array)
+    header = np.asarray(array.shape, dtype=np.int64).tobytes()
+    return zlib.crc32(header + array.tobytes())
+
+
+@dataclass(frozen=True)
+class ArrayRef:
+    """A picklable pointer to one published array.
+
+    ``key`` identifies *what* the array is (e.g. ``("data", fp)`` for a
+    dataset matrix, ``("block", fp, feature)`` for a distance block);
+    ``segment`` names *where* its bytes live right now.
+    """
+
+    key: tuple
+    segment: str
+    shape: tuple[int, ...]
+    dtype: str
+    fingerprint: int
+
+    @property
+    def nbytes(self) -> int:
+        """Byte size of the referenced array."""
+        count = 1
+        for dim in self.shape:
+            count *= int(dim)
+        return count * np.dtype(self.dtype).itemsize
+
+    def to_json(self) -> dict:
+        """JSON-encodable form (see :meth:`from_json`)."""
+        return {
+            "key": list(self.key),
+            "segment": self.segment,
+            "shape": list(self.shape),
+            "dtype": self.dtype,
+            "fingerprint": self.fingerprint,
+        }
+
+    @staticmethod
+    def from_json(data: dict) -> "ArrayRef":
+        return ArrayRef(
+            key=tuple(data["key"]),
+            segment=str(data["segment"]),
+            shape=tuple(int(d) for d in data["shape"]),
+            dtype=str(data["dtype"]),
+            fingerprint=int(data["fingerprint"]),
+        )
+
+
+class _Publication:
+    """One owned segment: the handle, its view, its ref, its lease count."""
+
+    __slots__ = ("shm", "array", "ref", "leases")
+
+    def __init__(
+        self, shm_obj: shared_memory.SharedMemory, array: np.ndarray, ref: ArrayRef
+    ) -> None:
+        self.shm = shm_obj
+        self.array = array
+        self.ref = ref
+        self.leases = 0
+
+
+class PlaneLease:
+    """A refcount hold over a set of published arrays.
+
+    Releasing the last lease of a key unlinks its segment. Idempotent:
+    releasing twice is a no-op, and the plane's exit cleanup releases
+    whatever leaked.
+    """
+
+    __slots__ = ("_plane", "_keys", "_released")
+
+    def __init__(self, plane: "SharedMemoryPlane", keys: list[tuple]) -> None:
+        self._plane = plane
+        self._keys = keys
+        self._released = False
+
+    @property
+    def keys(self) -> tuple[tuple, ...]:
+        """The plane keys this lease holds."""
+        return tuple(self._keys)
+
+    def release(self) -> None:
+        """Drop the hold; last release of a key unlinks its segment."""
+        if self._released:
+            return
+        self._released = True
+        self._plane._release_keys(self._keys)
+
+    def __enter__(self) -> "PlaneLease":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+    def __repr__(self) -> str:
+        state = "released" if self._released else f"{len(self._keys)} keys"
+        return f"PlaneLease({state})"
+
+
+class SharedMemoryPlane:
+    """Process-wide registry of published and attached shm arrays.
+
+    One instance per process (see :func:`get_plane`). Publications are
+    owned by the creating pid; fork children inherit the object but every
+    unlink is pid-guarded, so only the owner ever destroys a segment.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._owner_pid = os.getpid()
+        self._segments: dict[tuple, _Publication] = {}
+        self._attached: dict[str, tuple[shared_memory.SharedMemory, np.ndarray]] = {}
+        self._registry: dict[tuple, ArrayRef] | None = None
+        self._cleanup_installed = False
+
+    # ------------------------------------------------------------------
+    # Publication (parent side).
+    # ------------------------------------------------------------------
+
+    def publish(self, array: np.ndarray, *, key: tuple | None = None) -> ArrayRef:
+        """Copy ``array`` into a shared segment and return its ref.
+
+        Idempotent per ``key`` (default ``("data", fingerprint)``): a
+        second publish of the same content returns the existing ref
+        without touching ``/dev/shm``. The copy is the last one those
+        bytes ever take — every worker maps them in place.
+
+        When the caller supplies ``key``, its fingerprint component is
+        trusted and the per-byte crc is skipped — warm distance blocks
+        are *derived* from the fingerprinted matrix, so re-hashing every
+        block would charge the publish path for identity the key already
+        carries.
+        """
+        array = np.ascontiguousarray(array)
+        if key is None:
+            key = ("data", array_fingerprint(array))
+        with self._lock:
+            existing = self._segments.get(key)
+            if existing is not None:
+                return existing.ref
+            name = f"{SEGMENT_PREFIX}{os.getpid():x}_{secrets.token_hex(4)}"
+            segment = shared_memory.SharedMemory(
+                name=name, create=True, size=max(1, array.nbytes)
+            )
+            view = np.ndarray(array.shape, dtype=array.dtype, buffer=segment.buf)
+            view[...] = array
+            view.flags.writeable = False
+            fingerprint = (
+                int(key[1])
+                if len(key) > 1 and isinstance(key[1], int)
+                else array_fingerprint(array)
+            )
+            ref = ArrayRef(
+                key=key,
+                segment=segment.name,
+                shape=tuple(array.shape),
+                dtype=str(array.dtype),
+                fingerprint=fingerprint,
+            )
+            self._segments[key] = _Publication(segment, view, ref)
+            self._install_cleanup()
+            _PUBLISHES.inc(kind=str(key[0]))
+            self._refresh_gauges()
+            return ref
+
+    def lease(self, keys: "list[tuple] | tuple[tuple, ...]") -> PlaneLease:
+        """Hold the given published keys alive until the lease is released."""
+        held: list[tuple] = []
+        with self._lock:
+            for key in keys:
+                publication = self._segments.get(key)
+                if publication is not None:
+                    publication.leases += 1
+                    held.append(key)
+        return PlaneLease(self, held)
+
+    def _release_keys(self, keys: list[tuple]) -> None:
+        to_unlink: list[_Publication] = []
+        with self._lock:
+            for key in keys:
+                publication = self._segments.get(key)
+                if publication is None:
+                    continue
+                publication.leases -= 1
+                if publication.leases <= 0:
+                    self._segments.pop(key, None)
+                    to_unlink.append(publication)
+            if to_unlink:
+                self._refresh_gauges()
+        for publication in to_unlink:
+            self._destroy(publication)
+
+    def _destroy(self, publication: _Publication) -> None:
+        """Unlink one owned segment (owner pid only; never raises)."""
+        if os.getpid() != self._owner_pid:
+            return
+        publication.array = None  # type: ignore[assignment]
+        try:
+            publication.shm.close()
+        except BufferError:
+            pass  # views still exported; unlink works regardless
+        except OSError:
+            pass
+        try:
+            publication.shm.unlink()
+            _UNLINKS.inc()
+        except FileNotFoundError:
+            pass
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------------
+    # Attach (worker side).
+    # ------------------------------------------------------------------
+
+    def ref(self, key: tuple) -> ArrayRef | None:
+        """The ref published (or handed down via the registry file) for ``key``."""
+        with self._lock:
+            publication = self._segments.get(key)
+            if publication is not None:
+                return publication.ref
+        registry = self._load_registry()
+        return registry.get(key)
+
+    def attach(self, ref: ArrayRef) -> np.ndarray | None:
+        """A read-only view of the referenced array, or ``None`` if gone.
+
+        Own publications (and fork-inherited ones) resolve to the already
+        mapped view; foreign segments are mapped once per process and
+        cached. A missing segment is *not* an error — the caller falls
+        back to its copy/recompute path and the failure is counted.
+        """
+        with self._lock:
+            publication = self._segments.get(ref.key)
+            if publication is not None and publication.array is not None:
+                _ATTACHES.inc(path="local")
+                return publication.array
+            cached = self._attached.get(ref.segment)
+            if cached is not None:
+                _ATTACHES.inc(path="segment")
+                return cached[1]
+            try:
+                segment = shared_memory.SharedMemory(name=ref.segment)
+            except (FileNotFoundError, OSError):
+                _ATTACH_FAILURES.inc()
+                return None
+            if segment.size < ref.nbytes:
+                # Truncated or recycled name: never hand out garbage bits.
+                try:
+                    segment.close()
+                except (BufferError, OSError):
+                    pass
+                _ATTACH_FAILURES.inc()
+                return None
+            view = np.ndarray(ref.shape, dtype=ref.dtype, buffer=segment.buf)
+            view.flags.writeable = False
+            self._attached[ref.segment] = (segment, view)
+            self._install_cleanup()
+            _ATTACHES.inc(path="segment")
+            return view
+
+    def adopt(self, array: np.ndarray, *, kind: str = "data") -> np.ndarray | None:
+        """A shared view with ``array``'s exact contents, or ``None``.
+
+        Looks the content fingerprint up among publications and registry
+        refs; when a matching segment exists the returned view replaces
+        the private copy (same bits, zero additional RSS).
+        """
+        if not shm_enabled():
+            return None
+        array = np.asarray(array)
+        ref = self.ref((kind, array_fingerprint(array)))
+        if ref is None:
+            return None
+        if ref.shape != tuple(array.shape) or np.dtype(ref.dtype) != array.dtype:
+            return None
+        return self.attach(ref)
+
+    # ------------------------------------------------------------------
+    # Cross-process registry handoff (spawned workers).
+    # ------------------------------------------------------------------
+
+    def export_registry(self, path: str) -> int:
+        """Write the published refs to ``path`` (JSON); returns the count.
+
+        A child process started with ``REPRO_SHM_REGISTRY=path`` resolves
+        these refs through :meth:`ref` / :meth:`adopt`.
+        """
+        with self._lock:
+            refs = [pub.ref.to_json() for pub in self._segments.values()]
+        payload = {"version": 1, "pid": os.getpid(), "refs": refs}
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)
+        os.replace(tmp, path)
+        return len(refs)
+
+    def _load_registry(self) -> dict[tuple, ArrayRef]:
+        with self._lock:
+            if self._registry is not None:
+                return self._registry
+        path = os.environ.get(SHM_REGISTRY_ENV, "").strip()
+        loaded: dict[tuple, ArrayRef] = {}
+        if path:
+            try:
+                with open(path, encoding="utf-8") as fh:
+                    data = json.load(fh)
+                for item in data.get("refs", ()):
+                    ref = ArrayRef.from_json(item)
+                    loaded[ref.key] = ref
+            except (OSError, ValueError, KeyError, TypeError) as exc:
+                raise ValidationError(
+                    f"{SHM_REGISTRY_ENV} points at an unreadable registry "
+                    f"file {path!r}: {exc}"
+                ) from exc
+        with self._lock:
+            if self._registry is None:
+                self._registry = loaded
+            return self._registry
+
+    def invalidate_registry(self) -> None:
+        """Forget the cached registry file (re-read on next lookup)."""
+        with self._lock:
+            self._registry = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle.
+    # ------------------------------------------------------------------
+
+    def _install_cleanup(self) -> None:
+        if self._cleanup_installed:
+            return
+        self._cleanup_installed = True
+        atexit.register(self.cleanup)
+        if threading.current_thread() is not threading.main_thread():
+            return  # signal handlers can only be installed from main
+        try:
+            if signal.getsignal(signal.SIGTERM) is signal.SIG_DFL:
+                signal.signal(signal.SIGTERM, self._on_signal)
+        except (ValueError, OSError):
+            pass
+
+    def _on_signal(self, signum: int, frame: object) -> None:
+        self.cleanup()
+        signal.signal(signum, signal.SIG_DFL)
+        os.kill(os.getpid(), signum)
+
+    def cleanup(self) -> None:
+        """Unlink every owned segment, close every attach. Idempotent.
+
+        Safe from atexit, signal handlers, and fork children (children
+        close their mappings but never unlink — the parent owns those
+        segments).
+        """
+        with self._lock:
+            owned = list(self._segments.values())
+            self._segments.clear()
+            attached = list(self._attached.values())
+            self._attached.clear()
+            self._refresh_gauges()
+        for publication in owned:
+            self._destroy(publication)
+        for segment, _ in attached:
+            try:
+                segment.close()
+            except (BufferError, OSError):
+                pass
+
+    def stats(self) -> dict[str, int]:
+        """Counts for obs snapshots: segments, bytes, leases, attaches."""
+        with self._lock:
+            return {
+                "segments": len(self._segments),
+                "bytes": sum(p.ref.nbytes for p in self._segments.values()),
+                "leases": sum(p.leases for p in self._segments.values()),
+                "attached": len(self._attached),
+            }
+
+    def _refresh_gauges(self) -> None:
+        # Callers hold the lock.
+        _SEGMENTS.set(len(self._segments))
+        _BYTES.set(sum(p.ref.nbytes for p in self._segments.values()))
+
+    def __repr__(self) -> str:
+        stats = self.stats()
+        return (
+            f"SharedMemoryPlane(segments={stats['segments']}, "
+            f"bytes={stats['bytes']}, attached={stats['attached']})"
+        )
+
+
+_PLANE: SharedMemoryPlane | None = None
+_PLANE_LOCK = threading.Lock()
+
+
+def get_plane(*, create: bool = True) -> "SharedMemoryPlane | None":
+    """The process-wide plane, created on first use.
+
+    ``create=False`` returns ``None`` when no plane exists yet — the
+    cheap gate pickling paths use so that serialising a provider in a
+    process that never published costs nothing.
+    """
+    global _PLANE
+    if _PLANE is None and create:
+        with _PLANE_LOCK:
+            if _PLANE is None:
+                _PLANE = SharedMemoryPlane()
+    return _PLANE

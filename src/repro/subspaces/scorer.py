@@ -52,6 +52,7 @@ from repro.exceptions import ValidationError
 from repro.exec import ExecutionBackend, resolve_backend
 from repro.neighbors.provider import DistanceProvider, shared_provider
 from repro.obs import metrics as obs_metrics
+from repro.shm import plane as _shm
 from repro.stats.zscore import zscores
 from repro.subspaces.subspace import Subspace, as_subspace, project
 from repro.utils.caching import LRUCache
@@ -244,6 +245,28 @@ class SubspaceScorer:
     def distance_stats(self) -> dict[str, int | float] | None:
         """Counters of the distance substrate (``None`` when disabled)."""
         return None if self._provider is None else self._provider.stats()
+
+    def prewarm_shared(self, features: "Iterable[int] | None" = None) -> int:
+        """Warm per-feature distance blocks and publish them for workers.
+
+        Materialises the substrate's per-feature f32 blocks (all features
+        by default), then — when the shared-memory plane is enabled and
+        this scorer dispatches through the process backend — publishes
+        the dataset matrix and every warm block so pool workers attach
+        read-only views of the same bits instead of recomputing blocks
+        per worker. Publication is idempotent and the backend's payload
+        lease keeps the segments alive for the pool's lifetime; the call
+        is warm-blocks-only for serial/thread backends (which share
+        memory anyway) and a no-op without a distance substrate.
+
+        Returns the number of blocks materialised by this call.
+        """
+        if self._provider is None:
+            return 0
+        warmed = self._provider.warm_blocks(features)
+        if self._backend.name == "process" and _shm.shm_enabled():
+            self._provider.publish_shared()
+        return warmed
 
     @property
     def detector_seconds(self) -> float:

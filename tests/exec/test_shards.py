@@ -1,0 +1,138 @@
+"""Sharded work-stealing maps, start-method selection, payload pinning."""
+
+import gc
+import weakref
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.exec import (
+    MP_START_ENV,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+)
+from repro.exec.backends import _NO_PAYLOAD, _STEALS
+
+
+# Module-level so the process backend can pickle them.
+def _double(x):
+    return x * 2
+
+
+def _add(payload, item):
+    return payload + item
+
+
+def _add_list(payload, item):
+    return payload[0] + item
+
+
+class _Payload:
+    """A weakref-able payload carrier (lists and tuples are not)."""
+
+    def __init__(self, value):
+        self.value = value
+
+
+def _add_obj(payload, item):
+    return payload.value + item
+
+
+@pytest.fixture(params=["serial", "thread", "process"])
+def backend(request):
+    made = {
+        "serial": SerialBackend,
+        "thread": lambda: ThreadBackend(n_jobs=2),
+        "process": lambda: ProcessBackend(n_jobs=2),
+    }[request.param]
+    with made() as instance:
+        yield instance
+
+
+class TestMapShards:
+    def test_flat_indices_cover_every_item(self, backend):
+        shards = [[0, 1, 2], [3, 4], [5]]
+        got = sorted(backend.map_shards(_double, shards))
+        assert got == [(i, i * 2) for i in range(6)]
+
+    def test_empty_shards(self, backend):
+        assert list(backend.map_shards(_double, [])) == []
+        assert list(backend.map_shards(_double, [[], []])) == []
+
+    def test_payload_binds_through_shards(self, backend):
+        got = sorted(backend.map_shards(_add, [[1, 2], [3]], payload=10))
+        assert got == [(0, 11), (1, 12), (2, 13)]
+
+    def test_unbalanced_shards_steal(self):
+        # One loaded shard, one empty: the idle slot must steal — the
+        # counter is the observable (results are schedule-independent).
+        with ThreadBackend(n_jobs=2) as backend:
+            before = _STEALS.value(backend="thread")
+            got = sorted(backend.map_shards(_double, [list(range(12)), []]))
+            assert got == [(i, i * 2) for i in range(12)]
+            assert _STEALS.value(backend="thread") > before
+
+
+class TestMpStart:
+    def test_unset_means_platform_default(self, monkeypatch):
+        monkeypatch.delenv(MP_START_ENV, raising=False)
+        assert ProcessBackend._mp_context() is None
+
+    @pytest.mark.parametrize("method", ["fork", "spawn", "forkserver"])
+    def test_named_method_resolves(self, monkeypatch, method):
+        monkeypatch.setenv(MP_START_ENV, method)
+        context = ProcessBackend._mp_context()
+        assert context is not None
+        assert context.get_start_method() == method
+
+    def test_garbage_rejected(self, monkeypatch):
+        monkeypatch.setenv(MP_START_ENV, "threads")
+        with pytest.raises(ValidationError, match="REPRO_MP_START"):
+            ProcessBackend._mp_context()
+
+    def test_spawn_end_to_end(self, monkeypatch):
+        monkeypatch.setenv(MP_START_ENV, "spawn")
+        with ProcessBackend(n_jobs=1) as backend:
+            assert backend.map_ordered(_double, [3, 4]) == [6, 8]
+
+
+class TestPoolPayloadPinned:
+    """Regression: the pool payload is compared by identity, not id().
+
+    Keying the warm pool on ``id(payload)`` let the allocator recycle a
+    dead payload's id for a new object and silently reuse a pool whose
+    workers held the *old* payload. The fix pins the payload with a
+    strong reference; these tests assert that observable.
+    """
+
+    def test_backend_keeps_payload_alive(self):
+        with ProcessBackend(n_jobs=1) as backend:
+            payload = _Payload(100)
+            ghost = weakref.ref(payload)
+            assert backend.map_ordered(_add_obj, [1, 2], payload=payload) \
+                == [101, 102]
+            assert backend._pool_payload is payload
+            del payload
+            gc.collect()
+            # The caller dropped its reference mid-lifetime; the pool's
+            # pin must keep the object (and its id) from being recycled.
+            assert ghost() is not None
+            assert backend.map_ordered(_add_obj, [3], payload=ghost()) == [103]
+
+    def test_equal_but_distinct_payload_rebuilds_pool(self):
+        with ProcessBackend(n_jobs=1) as backend:
+            first = [100]
+            assert backend.map_ordered(_add_list, [1], payload=first) == [101]
+            pool = backend._pool
+            second = [100]  # equal contents, different identity
+            assert backend.map_ordered(_add_list, [1], payload=second) == [101]
+            assert backend._pool is not pool
+            assert backend._pool_payload is second
+
+    def test_close_forgets_payload(self):
+        with ProcessBackend(n_jobs=1) as backend:
+            payload = [5]
+            backend.map_ordered(_add_list, [1], payload=payload)
+            backend.close()
+            assert backend._pool_payload is _NO_PAYLOAD

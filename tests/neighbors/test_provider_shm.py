@@ -1,0 +1,127 @@
+"""Provider pickling through the shared-memory plane: same bits, fewer bytes."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.detectors import LOF
+from repro.exec import resolve_backend
+from repro.neighbors.provider import DistanceProvider
+from repro.shm import SHM_ENV, get_plane
+from repro.subspaces import SubspaceScorer
+from repro.subspaces.enumeration import all_subspaces
+
+
+@pytest.fixture
+def X():
+    rng = np.random.default_rng(11)
+    return rng.standard_normal((90, 6))
+
+
+@pytest.fixture
+def published(X):
+    """A fully warmed, published provider; plane cleaned up afterwards."""
+    provider = DistanceProvider(X, max_bytes=1 << 24)
+    provider.warm_blocks()
+    plane = get_plane()
+    keys = provider.publish_shared(plane)
+    lease = plane.lease(keys)
+    yield provider
+    lease.release()
+    plane.cleanup()
+
+
+def _round_trip(provider):
+    return pickle.loads(pickle.dumps(provider))
+
+
+class TestPickleAttach:
+    def test_refs_replace_bytes(self, published, X):
+        blob = pickle.dumps(published)
+        # 6 warm blocks of 90*90 float32 plus the matrix would dominate
+        # a byte-shipping pickle; refs keep it tiny.
+        assert len(blob) < X.nbytes
+
+    def test_matrix_and_blocks_byte_identical(self, published, X):
+        clone = _round_trip(published)
+        np.testing.assert_array_equal(clone.X, X)
+        for feature in range(X.shape[1]):
+            np.testing.assert_array_equal(
+                clone.feature_block(feature), published.feature_block(feature)
+            )
+        # The blocks arrived warm: serving them touched no misses.
+        assert clone.stats()["block_misses"] == 0
+
+    def test_distances_byte_identical_vs_recompute(self, published, X):
+        clone = _round_trip(published)
+        fresh = DistanceProvider(X.copy(), max_bytes=1 << 24)
+        for subspace in [(0,), (1, 3), (0, 2, 5)]:
+            np.testing.assert_array_equal(
+                clone.squared_distances(subspace),
+                fresh.squared_distances(subspace),
+            )
+
+    def test_kneighbors_byte_identical_vs_recompute(self, published, X):
+        clone = _round_trip(published)
+        fresh = DistanceProvider(X.copy(), max_bytes=1 << 24)
+        for subspace in [(0, 1), (2, 4, 5)]:
+            got_d, got_i = clone.kneighbors(subspace, 7)
+            want_d, want_i = fresh.kneighbors(subspace, 7)
+            np.testing.assert_array_equal(got_d, want_d)
+            np.testing.assert_array_equal(got_i, want_i)
+
+    def test_disabled_ships_bytes_same_values(self, published, X, monkeypatch):
+        monkeypatch.setenv(SHM_ENV, "0")
+        clone = _round_trip(published)
+        np.testing.assert_array_equal(clone.X, X)
+        np.testing.assert_array_equal(
+            clone.squared_distances((1, 4)), published.squared_distances((1, 4))
+        )
+
+    def test_vanished_segment_is_loud(self, X):
+        provider = DistanceProvider(X, max_bytes=1 << 24)
+        plane = get_plane()
+        provider.publish_shared(plane)
+        blob = pickle.dumps(provider)
+        plane.cleanup()  # lease discipline violated on purpose
+        with pytest.raises(RuntimeError, match="vanished before attach"):
+            pickle.loads(blob)
+
+    def test_sketch_off_equivalent(self, published, X):
+        # REPRO_SKETCH_FACTOR=0 path: the attached provider and a
+        # sketch-free rebuild serve the same exact canonical k-NN.
+        clone = _round_trip(published)
+        plain = DistanceProvider(X.copy(), max_bytes=1 << 24, sketch_factor=0)
+        got_d, got_i = clone.kneighbors((0, 3), 5)
+        want_d, want_i = plain.kneighbors((0, 3), 5)
+        np.testing.assert_array_equal(got_d, want_d)
+        np.testing.assert_array_equal(got_i, want_i)
+
+
+class TestScorerEquivalence:
+    """Scores are bit-equal whether workers attach or recompute."""
+
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_scores_identical_across_backends(self, X, backend):
+        subspaces = list(all_subspaces(X.shape[1], 2))
+        # Bit-identity is a contract of the provider path: the reference
+        # is a cold provider-backed serial scorer, nothing published.
+        baseline_scorer = SubspaceScorer(
+            X, LOF(k=10), backend="serial",
+            distance_provider=DistanceProvider(X.copy(), max_bytes=1 << 24),
+        )
+        baseline = baseline_scorer.scores_many(subspaces)
+        provider = DistanceProvider(X, max_bytes=1 << 24)
+        scorer = SubspaceScorer(
+            X, LOF(k=10), distance_provider=provider,
+            backend=resolve_backend(backend, None if backend == "serial" else 2),
+        )
+        try:
+            scorer.prewarm_shared()
+            scores = scorer.scores_many(subspaces)
+            for got, want in zip(scores, baseline):
+                np.testing.assert_array_equal(got, want)
+        finally:
+            scorer.backend.close()
+            get_plane().cleanup()

@@ -13,6 +13,7 @@ SECTIONS = (
     "hics_contrast",
     "scorer",
     "grid",
+    "shm",
     "ft",
     "engine",
     "serve",
@@ -47,6 +48,15 @@ class TestPopulatedRegistry:
         reg.counter("repro_cache_misses_total").inc(5, cache="dist")
         reg.counter("repro_grid_cells_total").inc(12)
         reg.counter("repro_grid_cells_skipped_total").inc(3)
+        reg.counter("repro_exec_steals_total").inc(2, backend="thread")
+        reg.gauge("repro_shm_segments").set(3)
+        reg.gauge("repro_shm_bytes").set(1 << 20)
+        reg.counter("repro_shm_publishes_total").inc(5, kind="data")
+        reg.counter("repro_shm_publishes_total").inc(4, kind="block")
+        reg.counter("repro_shm_attaches_total").inc(6, path="local")
+        reg.counter("repro_shm_attaches_total").inc(2, path="segment")
+        reg.counter("repro_shm_attach_failures_total").inc(1)
+        reg.counter("repro_shm_unlinks_total").inc(3)
         reg.gauge("repro_engine_pool_entries").set(2)
         reg.gauge("repro_engine_pool_bytes").set(4096)
         reg.counter("repro_engine_pool_hits_total").inc(6)
@@ -81,6 +91,19 @@ class TestPopulatedRegistry:
         assert snapshot["grid"] == {
             "cells_total": 12.0,
             "cells_skipped": 3.0,
+            "steals": 2.0,
+        }
+
+    def test_shm_section(self):
+        snapshot = run_snapshot(self._registry())
+        assert snapshot["shm"] == {
+            "segments": 3.0,
+            "bytes": float(1 << 20),
+            "publishes": 9.0,
+            "attaches": 8.0,
+            "segment_attaches": 2.0,
+            "attach_failures": 1.0,
+            "unlinks": 3.0,
         }
 
     def test_engine_section(self):

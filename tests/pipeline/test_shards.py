@@ -1,0 +1,134 @@
+"""Sharded grid dispatch: resolution, LPT partitioning, identity, resume."""
+
+import pytest
+
+from repro.detectors import LOF, KNNDetector
+from repro.exceptions import ExperimentError
+from repro.explainers import Beam, LookOut
+from repro.ft import CheckpointJournal, FTConfig
+from repro.pipeline.parallel import (
+    GRID_SHARDS_ENV,
+    _partition_shards,
+    resolve_grid_shards,
+    run_grid_parallel,
+)
+
+FACTORIES = [lambda: Beam(beam_width=8, result_size=8), lambda: LookOut(budget=8)]
+
+
+def selector(dataset, dimensionality):
+    return dataset.ground_truth.points_at(dimensionality)[:2]
+
+
+def _keys(table):
+    return [
+        (r.dataset, r.detector, r.explainer, r.dimensionality, r.map,
+         r.mean_recall)
+        for r in table
+    ]
+
+
+class TestResolveGridShards:
+    def test_explicit_values(self):
+        assert resolve_grid_shards(0, n_jobs=4) == 0
+        assert resolve_grid_shards(3, n_jobs=4) == 3
+        assert resolve_grid_shards("auto", n_jobs=4) == 4
+
+    @pytest.mark.parametrize("raw", ["", "0", "off", "no", "false"])
+    def test_off_spellings(self, raw):
+        assert resolve_grid_shards(raw, n_jobs=4) == 0
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv(GRID_SHARDS_ENV, "auto")
+        assert resolve_grid_shards(None, n_jobs=3) == 3
+        monkeypatch.delenv(GRID_SHARDS_ENV)
+        assert resolve_grid_shards(None, n_jobs=3) == 0
+
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv(GRID_SHARDS_ENV, "7")
+        assert resolve_grid_shards(2, n_jobs=4) == 2
+
+    @pytest.mark.parametrize("raw", ["-1", -2, "many"])
+    def test_garbage_rejected(self, raw):
+        with pytest.raises(ExperimentError):
+            resolve_grid_shards(raw, n_jobs=4)
+
+
+class TestPartitionShards:
+    def test_covers_every_index_once(self):
+        members = _partition_shards([3, 1, 4, 1, 5, 9, 2], 3)
+        flat = sorted(i for shard in members for i in shard)
+        assert flat == list(range(7))
+
+    def test_lpt_balances_loads(self):
+        weights = [10, 9, 1, 1, 1]
+        members = _partition_shards(weights, 2)
+        loads = sorted(sum(weights[i] for i in shard) for shard in members)
+        assert loads == [11, 11]  # LPT: 10+1 | 9+1+1
+
+    def test_members_ascending_and_deterministic(self):
+        first = _partition_shards([5, 1, 4, 2], 2)
+        assert first == [[0, 1], [2, 3]]
+        assert first == _partition_shards([5, 1, 4, 2], 2)
+
+    def test_more_shards_than_groups_clamps(self):
+        members = _partition_shards([1, 1], 8)
+        assert len(members) == 2
+
+
+class TestShardedGrid:
+    def _run(self, dataset, **kwargs):
+        return run_grid_parallel(
+            [dataset],
+            [LOF(k=15), KNNDetector(k=10)],
+            FACTORIES,
+            [2],
+            points_selector=selector,
+            **kwargs,
+        )
+
+    def test_sharded_matches_classic(self, hics_small):
+        classic, _, _, _ = self._run(hics_small, n_jobs=1)
+        sharded, _, _, _ = self._run(
+            hics_small, n_jobs=2, backend="thread", shards="auto"
+        )
+        assert _keys(sharded) == _keys(classic)
+
+    def test_single_shard_matches_classic(self, hics_small):
+        classic, _, _, _ = self._run(hics_small, n_jobs=1)
+        sharded, _, _, _ = self._run(
+            hics_small, n_jobs=2, backend="thread", shards=1
+        )
+        assert _keys(sharded) == _keys(classic)
+
+    def test_env_selects_sharding(self, hics_small, monkeypatch):
+        classic, _, _, _ = self._run(hics_small, n_jobs=1)
+        monkeypatch.setenv(GRID_SHARDS_ENV, "2")
+        sharded, _, _, _ = self._run(hics_small, n_jobs=2, backend="thread")
+        assert _keys(sharded) == _keys(classic)
+
+    def test_process_backend_sharded_matches_classic(self, hics_small):
+        classic, _, _, _ = self._run(hics_small, n_jobs=1)
+        sharded, _, _, _ = self._run(
+            hics_small, n_jobs=2, backend="process", shards="auto"
+        )
+        assert _keys(sharded) == _keys(classic)
+
+    def test_sharded_run_journals_and_resumes(self, hics_small, tmp_path):
+        path = str(tmp_path / "sharded.journal")
+        reference, _, _, _ = self._run(hics_small, n_jobs=1)
+        first, _, _, _ = self._run(
+            hics_small, n_jobs=2, backend="thread", shards="auto",
+            ft=FTConfig(checkpoint=path),
+        )
+        assert _keys(first) == _keys(reference)
+        journaled = len(CheckpointJournal(path))
+        assert journaled == len(reference)
+        # Resume against the same journal: every cell replays, the table
+        # is unchanged — a stolen shard is restartable like any other.
+        resumed, _, _, _ = self._run(
+            hics_small, n_jobs=2, backend="thread", shards="auto",
+            ft=FTConfig(checkpoint=path),
+        )
+        assert _keys(resumed) == _keys(reference)
+        assert len(CheckpointJournal(path)) == journaled

@@ -1,0 +1,98 @@
+"""Orphan drills: no /dev/shm leftovers on exit, signal, or crash."""
+
+import glob
+import os
+import signal
+import subprocess
+import sys
+import time
+
+REPO_SRC = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+
+_CHILD = """
+import os, sys
+import numpy as np
+from repro.shm import get_plane
+
+plane = get_plane()
+arr = np.arange(4000, dtype=np.float64).reshape(100, 40)
+refs = [plane.publish(arr), plane.publish(arr * 2, key=("block", 5, 1))]
+lease = plane.lease([ref.key for ref in refs])
+print("\\n".join(ref.segment for ref in refs), flush=True)
+mode = sys.argv[1]
+if mode == "exit":
+    sys.exit(0)                      # atexit hook must unlink
+if mode == "wait":                   # parent delivers SIGTERM
+    import time
+    time.sleep(30)
+"""
+
+
+def _spawn(mode: str) -> subprocess.Popen:
+    env = dict(os.environ, PYTHONPATH=REPO_SRC)
+    return subprocess.Popen(
+        [sys.executable, "-c", _CHILD, mode],
+        env=env,
+        stdout=subprocess.PIPE,
+        text=True,
+    )
+
+
+def _read_segments(proc: subprocess.Popen) -> list[str]:
+    segments = []
+    assert proc.stdout is not None
+    for _ in range(2):
+        line = proc.stdout.readline().strip()
+        assert line, "child failed to publish"
+        segments.append(line)
+    return segments
+
+
+def _assert_unlinked(segments: list[str]) -> None:
+    for name in segments:
+        assert not os.path.exists(f"/dev/shm/{name}"), (
+            f"orphaned shared-memory segment {name}"
+        )
+
+
+class TestNoOrphans:
+    def test_clean_exit_unlinks_via_atexit(self):
+        proc = _spawn("exit")
+        segments = _read_segments(proc)
+        assert proc.wait(timeout=30) == 0
+        _assert_unlinked(segments)
+
+    def test_sigterm_unlinks_via_handler(self):
+        proc = _spawn("wait")
+        segments = _read_segments(proc)
+        for name in segments:  # alive while the child holds its lease
+            assert os.path.exists(f"/dev/shm/{name}")
+        proc.send_signal(signal.SIGTERM)
+        proc.wait(timeout=30)
+        _assert_unlinked(segments)
+
+    def test_process_grid_smoke_leaves_no_segments(self):
+        # The CI leak-check leg in miniature: a sharded process-backend
+        # grid run, then the glob that must come back empty.
+        before = set(glob.glob("/dev/shm/repro_shm_*"))
+        script = (
+            "from repro.datasets.synthetic import make_hics_dataset\n"
+            "from repro.detectors import LOF\n"
+            "from repro.explainers import Beam\n"
+            "from repro.pipeline.parallel import run_grid_parallel\n"
+            "table, *_ = run_grid_parallel(\n"
+            "    [make_hics_dataset(n_features=14, n_samples=150, seed=0)],\n"
+            "    [LOF(k=10)],\n"
+            "    [lambda: Beam(beam_width=5, result_size=5)],\n"
+            "    [2], n_jobs=2, backend='process', shards='auto')\n"
+            "assert len(table)\n"
+        )
+        env = dict(os.environ, PYTHONPATH=REPO_SRC, REPRO_SHM="1")
+        proc = subprocess.run(
+            [sys.executable, "-c", script], env=env,
+            capture_output=True, text=True, timeout=300,
+        )
+        assert proc.returncode == 0, proc.stderr
+        time.sleep(0.2)
+        after = set(glob.glob("/dev/shm/repro_shm_*"))
+        assert after - before == set()

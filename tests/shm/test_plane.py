@@ -1,0 +1,295 @@
+"""Tests for the shared-memory data plane (repro.shm.plane)."""
+
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import make_hics_dataset
+from repro.exceptions import ValidationError
+from repro.shm import (
+    ArrayRef,
+    SEGMENT_PREFIX,
+    SHM_ENV,
+    SHM_REGISTRY_ENV,
+    SharedMemoryPlane,
+    array_fingerprint,
+    get_plane,
+    shm_enabled,
+)
+
+
+def _segment_exists(name: str) -> bool:
+    return os.path.exists(f"/dev/shm/{name}")
+
+
+@pytest.fixture
+def plane():
+    """A private plane instance, always cleaned up."""
+    p = SharedMemoryPlane()
+    yield p
+    p.cleanup()
+
+
+@pytest.fixture
+def arr():
+    rng = np.random.default_rng(7)
+    return rng.standard_normal((40, 6))
+
+
+class TestShmEnabled:
+    @pytest.mark.parametrize("raw", ["0", "off", "false", "no", " OFF "])
+    def test_disabled_spellings(self, monkeypatch, raw):
+        monkeypatch.setenv(SHM_ENV, raw)
+        assert not shm_enabled()
+
+    @pytest.mark.parametrize("raw", [None, "", "1", "on", "yes"])
+    def test_enabled_spellings(self, monkeypatch, raw):
+        if raw is None:
+            monkeypatch.delenv(SHM_ENV, raising=False)
+        else:
+            monkeypatch.setenv(SHM_ENV, raw)
+        assert shm_enabled()
+
+
+class TestArrayFingerprint:
+    def test_content_stable(self, arr):
+        assert array_fingerprint(arr) == array_fingerprint(arr.copy())
+
+    def test_shape_sensitive(self):
+        flat = np.arange(12, dtype=np.float64)
+        assert array_fingerprint(flat) != array_fingerprint(
+            flat.reshape(3, 4)
+        )
+
+    def test_matches_dataset_fingerprint(self):
+        # One identity from the plane keys down to the scorer caches.
+        dataset = make_hics_dataset(n_features=14, n_samples=150, seed=0)
+        assert array_fingerprint(dataset.X) == dataset.fingerprint[1]
+
+
+class TestPublishAttach:
+    def test_bit_identity_through_foreign_plane(self, plane, arr):
+        ref = plane.publish(arr)
+        other = SharedMemoryPlane()
+        try:
+            view = other.attach(ref)
+            assert view is not None
+            assert view.base is not arr
+            np.testing.assert_array_equal(view, arr)
+            assert not view.flags.writeable
+        finally:
+            other.cleanup()
+
+    def test_publish_idempotent(self, plane, arr):
+        first = plane.publish(arr)
+        second = plane.publish(arr.copy())
+        assert first == second
+        assert plane.stats()["segments"] == 1
+
+    def test_segment_name_carries_prefix(self, plane, arr):
+        ref = plane.publish(arr)
+        assert ref.segment.startswith(SEGMENT_PREFIX)
+
+    def test_caller_key_fingerprint_is_trusted(self, plane, arr):
+        ref = plane.publish(arr, key=("block", 12345, 3))
+        assert ref.key == ("block", 12345, 3)
+        assert ref.fingerprint == 12345
+
+    def test_local_attach_resolves_own_publication(self, plane, arr):
+        ref = plane.publish(arr)
+        view = plane.attach(ref)
+        assert view is not None
+        np.testing.assert_array_equal(view, arr)
+
+    def test_attach_missing_segment_returns_none(self, plane):
+        ref = ArrayRef(
+            key=("data", 1),
+            segment=f"{SEGMENT_PREFIX}deadbeef_00000000",
+            shape=(4, 4),
+            dtype="float64",
+            fingerprint=1,
+        )
+        assert plane.attach(ref) is None
+
+    def test_attach_truncated_segment_rejected(self, plane, arr):
+        ref = plane.publish(arr)
+        # A ref claiming more bytes than the segment holds must never
+        # hand out garbage bits.
+        oversized = ArrayRef(
+            key=("data", 999),
+            segment=ref.segment,
+            shape=(arr.shape[0] * 8, arr.shape[1]),
+            dtype="float64",
+            fingerprint=999,
+        )
+        other = SharedMemoryPlane()
+        try:
+            assert other.attach(oversized) is None
+        finally:
+            other.cleanup()
+
+
+class TestLease:
+    def test_release_to_zero_unlinks(self, plane, arr):
+        ref = plane.publish(arr)
+        first = plane.lease([ref.key])
+        second = plane.lease([ref.key])
+        first.release()
+        assert _segment_exists(ref.segment)
+        second.release()
+        assert not _segment_exists(ref.segment)
+        assert plane.stats()["segments"] == 0
+
+    def test_release_idempotent(self, plane, arr):
+        ref = plane.publish(arr)
+        lease = plane.lease([ref.key])
+        lease.release()
+        lease.release()  # double release must not underflow a new lease
+        assert not _segment_exists(ref.segment)
+
+    def test_context_manager_releases(self, plane, arr):
+        ref = plane.publish(arr)
+        with plane.lease([ref.key]):
+            assert _segment_exists(ref.segment)
+        assert not _segment_exists(ref.segment)
+
+    def test_unknown_keys_are_skipped(self, plane):
+        lease = plane.lease([("data", 404)])
+        assert lease.keys == ()
+        lease.release()
+
+
+class TestAdopt:
+    def test_adopts_published_bits(self, plane, arr):
+        plane.publish(arr)
+        view = plane.adopt(arr.copy())
+        assert view is not None
+        np.testing.assert_array_equal(view, arr)
+        assert not view.flags.writeable
+
+    def test_unpublished_content_returns_none(self, plane, arr):
+        assert plane.adopt(arr) is None
+
+    def test_disabled_returns_none(self, plane, arr, monkeypatch):
+        plane.publish(arr)
+        monkeypatch.setenv(SHM_ENV, "0")
+        assert plane.adopt(arr) is None
+
+
+class TestRegistry:
+    def test_export_and_resolve(self, plane, arr, tmp_path, monkeypatch):
+        ref = plane.publish(arr)
+        path = tmp_path / "registry.json"
+        assert plane.export_registry(str(path)) == 1
+        monkeypatch.setenv(SHM_REGISTRY_ENV, str(path))
+        child = SharedMemoryPlane()
+        try:
+            resolved = child.ref(ref.key)
+            assert resolved == ref
+            view = child.attach(resolved)
+            assert view is not None
+            np.testing.assert_array_equal(view, arr)
+        finally:
+            child.cleanup()
+
+    def test_invalidate_rereads(self, plane, arr, tmp_path, monkeypatch):
+        path = tmp_path / "registry.json"
+        plane.export_registry(str(path))  # empty registry
+        monkeypatch.setenv(SHM_REGISTRY_ENV, str(path))
+        child = SharedMemoryPlane()
+        try:
+            ref = plane.publish(arr)
+            assert child.ref(ref.key) is None  # cached empty registry
+            plane.export_registry(str(path))
+            child.invalidate_registry()
+            assert child.ref(ref.key) == ref
+        finally:
+            child.cleanup()
+
+    def test_unreadable_registry_raises(self, tmp_path, monkeypatch):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json", encoding="utf-8")
+        monkeypatch.setenv(SHM_REGISTRY_ENV, str(path))
+        child = SharedMemoryPlane()
+        try:
+            with pytest.raises(ValidationError):
+                child.ref(("data", 1))
+        finally:
+            child.cleanup()
+
+
+class TestCleanup:
+    def test_cleanup_unlinks_everything(self, arr):
+        plane = SharedMemoryPlane()
+        refs = [
+            plane.publish(arr),
+            plane.publish(arr * 2, key=("block", 7, 0)),
+        ]
+        plane.cleanup()
+        for ref in refs:
+            assert not _segment_exists(ref.segment)
+        assert plane.stats() == {
+            "segments": 0, "bytes": 0, "leases": 0, "attached": 0,
+        }
+
+    def test_cleanup_idempotent(self, plane, arr):
+        plane.publish(arr)
+        plane.cleanup()
+        plane.cleanup()
+
+
+class TestDatasetPickle:
+    """Dataset matrices ship as segment refs when published (tentpole)."""
+
+    @pytest.fixture
+    def dataset(self):
+        return make_hics_dataset(n_features=14, n_samples=150, seed=1)
+
+    def test_round_trip_attaches_same_bits(self, dataset):
+        plane = get_plane()
+        ref = plane.publish(dataset.X, key=("data", dataset.fingerprint[1]))
+        try:
+            with plane.lease([ref.key]):
+                blob = pickle.dumps(dataset)
+                # The matrix travelled as a ref, not as bytes.
+                assert len(blob) < dataset.X.nbytes
+                clone = pickle.loads(blob)
+                np.testing.assert_array_equal(clone.X, dataset.X)
+                assert clone.fingerprint == dataset.fingerprint
+                assert clone.outliers == dataset.outliers
+        finally:
+            plane.cleanup()
+
+    def test_plain_pickle_without_publication(self, dataset):
+        # Nothing published: the classic byte-shipping round trip.
+        clone = pickle.loads(pickle.dumps(dataset))
+        np.testing.assert_array_equal(clone.X, dataset.X)
+        assert clone.X.base is None or clone.X.base is not dataset.X
+
+    def test_disabled_ships_bytes(self, dataset, monkeypatch):
+        plane = get_plane()
+        plane.publish(dataset.X, key=("data", dataset.fingerprint[1]))
+        try:
+            monkeypatch.setenv(SHM_ENV, "0")
+            clone = pickle.loads(pickle.dumps(dataset))
+            np.testing.assert_array_equal(clone.X, dataset.X)
+        finally:
+            plane.cleanup()
+
+    def test_vanished_segment_is_loud(self, dataset):
+        plane = get_plane()
+        ref = plane.publish(dataset.X, key=("data", dataset.fingerprint[1]))
+        try:
+            blob = pickle.dumps(dataset)
+            plane.cleanup()  # segment gone before the worker deserialises
+            fresh = SharedMemoryPlane()
+            # The global plane resolves its own publication from memory,
+            # so drop the local mapping too by unpickling after cleanup.
+            with pytest.raises(RuntimeError, match="vanished before attach"):
+                pickle.loads(blob)
+            fresh.cleanup()
+            assert not _segment_exists(ref.segment)
+        finally:
+            plane.cleanup()

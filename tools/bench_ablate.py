@@ -1,0 +1,271 @@
+#!/usr/bin/env python3
+"""Baseline-plus-one-off ablation matrix over the speed stack's kill-switches.
+
+The codebase has accumulated a stack of optimisations, each behind its own
+kill-switch: batched Welch statistics (``REPRO_STATS_BATCH``), the HiCS
+contrast cache (``REPRO_HICS_CACHE``), the shared distance cache
+(``REPRO_DIST_CACHE_MB``), the k-NN sketch (``REPRO_SKETCH_FACTOR``), the
+execution backend (``REPRO_BACKEND``), and the shared-memory data plane
+(``REPRO_SHM``). Individually each was benchmarked when it landed; this
+tool answers the standing question "what is each one worth *today*, on
+this machine, on one common workload" — and catches the optimisation that
+quietly stopped optimising.
+
+Protocol: one fixed grid workload (two seeded synthetic datasets, LOF,
+Beam + HiCS explainers) is run in a **fresh subprocess per variant** so
+env kill-switches take effect at import/construction time. The baseline
+runs with every optimisation on; each variant flips exactly one switch
+off relative to its reference (the thread-backend baseline, except
+``shm=off`` which is referenced against the ``backend=process`` variant —
+the plane only matters to process workers). Variants are ranked by the
+slowdown they cause, i.e. by how much the disabled optimisation is worth.
+
+Every variant must produce bit-identical result tables (deterministic
+fields only — timings excluded): a kill-switch that changes *results* is
+a correctness bug, and the tool exits non-zero on any digest mismatch.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_ablate.py --quick
+    PYTHONPATH=src python tools/bench_ablate.py --out BENCH_ablate.json
+
+The JSON records carry the same workload-signature keys the bench
+sentinel matches on, plus a run-manifest stamp, so the file can ride the
+same CI artifact path as the ``BENCH_*.json`` trajectory files.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import time
+import zlib
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Fields of a result row that are deterministic across backends and
+#: kill-switches — timings are excluded on purpose.
+DIGEST_FIELDS = (
+    "dataset",
+    "detector",
+    "explainer",
+    "pipeline",
+    "dimensionality",
+    "map",
+    "mean_recall",
+    "n_subspaces_scored",
+    "n_points",
+)
+
+#: The ablation matrix: (variant name, env overrides, reference variant).
+#: ``reference`` names the variant whose wall time the slowdown is
+#: computed against — ``shm=off`` compares against ``backend=process``
+#: (its one-switch sibling), everything else against ``baseline``.
+VARIANTS: tuple[tuple[str, dict[str, str], str], ...] = (
+    ("baseline", {}, ""),
+    ("stats_batch=off", {"REPRO_STATS_BATCH": "0"}, "baseline"),
+    ("hics_cache=off", {"REPRO_HICS_CACHE": "0"}, "baseline"),
+    ("dist_cache=off", {"REPRO_DIST_CACHE_MB": "0"}, "baseline"),
+    ("sketch=off", {"REPRO_SKETCH_FACTOR": "0"}, "baseline"),
+    ("backend=serial", {"REPRO_BACKEND": "serial"}, "baseline"),
+    (
+        "backend=process",
+        {
+            "REPRO_BACKEND": "process",
+            "REPRO_MP_START": "spawn",
+            "REPRO_SHM": "1",
+        },
+        "baseline",
+    ),
+    (
+        "shm=off",
+        {
+            "REPRO_BACKEND": "process",
+            "REPRO_MP_START": "spawn",
+            "REPRO_SHM": "0",
+        },
+        "backend=process",
+    ),
+)
+
+#: Env the baseline pins so every variant starts from the same shape:
+#: thread backend, two workers, everything else at its (on) default.
+BASELINE_ENV = {"REPRO_BACKEND": "thread", "REPRO_N_JOBS": "2"}
+
+
+def _workload(quick: bool) -> dict:
+    """Run the measured grid once in-process and return wall time + digest.
+
+    Executed only inside the per-variant child (``--workload``), so
+    whatever kill-switch env the parent set is already in force before
+    any provider, cache, or backend is constructed.
+    """
+    from repro.datasets.synthetic import make_hics_dataset
+    from repro.detectors import LOF
+    from repro.explainers import Beam, HiCS
+    from repro.pipeline.parallel import run_grid_parallel
+
+    n = 150 if quick else 400
+    d = 14  # smallest layout the HiCS generator supports
+    datasets = [
+        make_hics_dataset(n_features=d, n_samples=n, seed=seed)
+        for seed in (0, 1)
+    ]
+    detectors = [LOF(k=10)]
+    factories = [
+        lambda: Beam(beam_width=10, result_size=10),
+        lambda: HiCS(
+            alpha=0.15,
+            mc_iterations=8 if quick else 25,
+            candidate_cutoff=40,
+            test="welch",
+            result_size=10,
+        ),
+    ]
+    start = time.perf_counter()
+    table, skips, undefined, failures = run_grid_parallel(
+        datasets, detectors, factories, [2], n_jobs=2
+    )
+    wall = time.perf_counter() - start
+    payload = json.dumps(
+        [[row.get(f) for f in DIGEST_FIELDS] for row in table.rows()],
+        sort_keys=True,
+    )
+    return {
+        "wall_time_s": wall,
+        "digest": zlib.crc32(payload.encode("utf-8")),
+        "rows": len(table),
+        "skips": len(skips) + len(undefined) + len(failures),
+        "n": n,
+        "d": d,
+    }
+
+
+def _run_variant(
+    name: str, overrides: dict[str, str], quick: bool
+) -> dict:
+    """One isolated child run of the workload under a variant's env."""
+    env = dict(os.environ)
+    # Strip any ambient kill-switch state so the matrix, not the caller's
+    # shell, decides what is on.
+    for key in (
+        "REPRO_STATS_BATCH", "REPRO_HICS_CACHE", "REPRO_DIST_CACHE_MB",
+        "REPRO_SKETCH_FACTOR", "REPRO_BACKEND", "REPRO_N_JOBS",
+        "REPRO_SHM", "REPRO_MP_START", "REPRO_GRID_SHARDS",
+    ):
+        env.pop(key, None)
+    env.update(BASELINE_ENV)
+    env.update(overrides)
+    env.setdefault("PYTHONPATH", str(REPO_ROOT / "src"))
+    cmd = [sys.executable, __file__, "--workload"]
+    if quick:
+        cmd.append("--quick")
+    proc = subprocess.run(
+        cmd, env=env, capture_output=True, text=True, cwd=REPO_ROOT
+    )
+    if proc.returncode != 0:
+        raise SystemExit(
+            f"FAIL: variant {name!r} exited {proc.returncode}:\n"
+            f"{proc.stderr.strip()}"
+        )
+    return json.loads(proc.stdout)
+
+
+def main(argv: "list[str] | None" = None) -> None:
+    parser = argparse.ArgumentParser(
+        description="one-off ablation matrix over the speed kill-switches"
+    )
+    parser.add_argument("--quick", action="store_true",
+                        help="small workload for CI smoke runs")
+    parser.add_argument("--repeats", type=int, default=2,
+                        help="isolated runs per variant; best wall time wins")
+    parser.add_argument("--out", default=None, metavar="PATH",
+                        help="write JSON records (default: print report only)")
+    parser.add_argument("--workload", action="store_true",
+                        help=argparse.SUPPRESS)
+    args = parser.parse_args(argv)
+
+    if args.workload:
+        print(json.dumps(_workload(args.quick)))
+        return
+
+    runs: dict[str, dict] = {}
+    for name, overrides, _ in VARIANTS:
+        best: dict | None = None
+        for _ in range(max(1, args.repeats)):
+            run = _run_variant(name, overrides, args.quick)
+            if best is None or run["wall_time_s"] < best["wall_time_s"]:
+                best = run
+        assert best is not None
+        runs[name] = best
+        print(f"  {name:<18} {best['wall_time_s']:8.3f}s "
+              f"digest={best['digest']}", file=sys.stderr)
+
+    digests = {runs[name]["digest"] for name, _, _ in VARIANTS}
+    identical = len(digests) == 1
+    if not identical:
+        detail = {name: runs[name]["digest"] for name, _, _ in VARIANTS}
+        print(f"FAIL: result digests differ across variants: {detail}",
+              file=sys.stderr)
+
+    records: list[dict] = []
+    ranked: list[tuple[float, str, str]] = []
+    for name, overrides, reference in VARIANTS:
+        run = runs[name]
+        record = {
+            "op": f"ablate ({name})",
+            "n": run["n"],
+            "d": run["d"],
+            "quick": bool(args.quick),
+            "wall_time_s": run["wall_time_s"],
+            "rows": run["rows"],
+            "ranked_identical": identical,
+            "repeats": max(1, args.repeats),
+            "env": overrides,
+        }
+        if reference:
+            ref_wall = runs[reference]["wall_time_s"]
+            slowdown = run["wall_time_s"] / ref_wall if ref_wall else 0.0
+            record["reference"] = reference
+            record["slowdown"] = slowdown
+            ranked.append((slowdown, name, reference))
+        records.append(record)
+
+    try:
+        sys.path.insert(0, str(REPO_ROOT / "src"))
+        from repro.obs import RunManifest
+
+        stamp = RunManifest.collect().compact()
+        for record in records:
+            record["manifest"] = stamp
+    except Exception as exc:  # pragma: no cover - stamp is best-effort
+        print(f"note: manifest stamp unavailable: {exc}", file=sys.stderr)
+
+    ranked.sort(reverse=True)
+    base = runs["baseline"]["wall_time_s"]
+    print(f"\nablation report (baseline {base:.3f}s, "
+          f"best of {max(1, args.repeats)} isolated runs per variant):")
+    print(f"  {'variant':<18} {'wall':>8}  {'slowdown':>8}  vs")
+    for slowdown, name, reference in ranked:
+        print(f"  {name:<18} {runs[name]['wall_time_s']:7.3f}s "
+              f"{slowdown:7.2f}x  {reference}")
+    print("  (slowdown > 1: disabling that switch costs time; "
+          "the higher, the more the optimisation is worth)")
+
+    if args.out:
+        Path(args.out).write_text(
+            json.dumps(records, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"wrote {len(records)} records to {args.out}", file=sys.stderr)
+
+    if not identical:
+        raise SystemExit(1)
+
+
+if __name__ == "__main__":
+    main()
