@@ -1,0 +1,251 @@
+"""Streaming monitor benchmark: incremental state reuse vs per-window recompute.
+
+One question, matching the streaming layer's design contract: what does
+sliding-window state reuse (warm distance-provider slides, the drift-gated
+:class:`~repro.stream.StreamContrastIndex`, and engine provider chaining)
+save over the paper Section 6 baseline of re-executing everything per
+window — at *zero* output cost?
+
+Two modes run the same drifting-stream monitor (LOF windowed detection +
+HiCS on-arrival explanation), each in a *fresh subprocess* (allocator
+isolation, clean process-global caches):
+
+* ``incremental`` — ``REPRO_STREAM_INCREMENTAL=1`` (the default path);
+* ``recompute``   — ``REPRO_STREAM_INCREMENTAL=0`` (cold rebuild per
+  window and per event).
+
+The emitted event sequences — indices, z-scores, ranked subspaces, and
+rank deltas, compared through exact float hex — must be identical across
+both modes and every repeat; any divergence fails the run. Results land
+in ``BENCH_stream.json`` with ``windows_per_s`` per mode and a
+``ranked_identical`` speedup record; CI runs the ``--quick`` scale and
+gates it through ``tools/bench_sentinel.py --min-speedup 3.0``.
+
+Run standalone for a throughput table and the JSON record::
+
+    PYTHONPATH=src python benchmarks/bench_stream.py [--json PATH] [--quick]
+"""
+
+from __future__ import annotations
+
+from repro.detectors import LOF
+from repro.explainers import HiCS
+from repro.stream import StreamingDetector, StreamingExplainer, drifting_stream
+
+
+def _workload(quick: bool) -> dict:
+    """The stream geometry of one scale; shared by both modes."""
+    if quick:
+        return {
+            "length": 400, "n_features": 6, "window": 100,
+            "anomaly_every": 20, "mc_iterations": 400,
+        }
+    return {
+        "length": 900, "n_features": 8, "window": 150,
+        "anomaly_every": 25, "mc_iterations": 200,
+    }
+
+
+def _event_trace(monitor: StreamingExplainer) -> list:
+    """Exact, JSON-stable serialisation of the monitor's event sequence.
+
+    Scores go through ``float.hex`` so the cross-mode comparison is
+    bit-level, not repr-rounded.
+    """
+    trace = []
+    for event in monitor.events:
+        delta = None
+        if event.delta is not None:
+            delta = {
+                "entered": [list(s) for s in event.delta.entered],
+                "left": [list(s) for s in event.delta.left],
+                "moved": [
+                    [list(s), prev, cur] for s, prev, cur in event.delta.moved
+                ],
+                "unchanged": event.delta.unchanged,
+            }
+        trace.append({
+            "index": event.index,
+            "score": float(event.score).hex(),
+            "explanation": [
+                [list(s), float(score).hex()]
+                for s, score in zip(
+                    event.explanation.subspaces, event.explanation.scores
+                )
+            ],
+            "delta": delta,
+        })
+    return trace
+
+
+def _monitor_mode(mode: str, quick: bool) -> dict:
+    """One mode of the stream monitor; returns timing + the event trace.
+
+    Executed in a *fresh subprocess* per mode (see ``main``): the
+    kill-switch is read per arrival but contrast/engine caches are
+    process-global, so only a clean interpreter gives the ``recompute``
+    mode a genuinely cold run.
+    """
+    import os
+    import time
+
+    os.environ["REPRO_STREAM_INCREMENTAL"] = (
+        "1" if mode == "incremental" else "0"
+    )
+
+    shape = _workload(quick)
+    X, anomalies = drifting_stream(
+        length=shape["length"],
+        n_features=shape["n_features"],
+        anomaly_every=shape["anomaly_every"],
+        drift_at=shape["length"] // 2,
+        seed=7,
+    )
+    detector = StreamingDetector(
+        LOF(k=15), window_size=shape["window"], n_features=shape["n_features"]
+    )
+    monitor = StreamingExplainer(
+        detector,
+        HiCS(mc_iterations=shape["mc_iterations"], result_size=20, seed=0),
+        threshold=2.5,
+        dimensionality=2,
+    )
+
+    start = time.perf_counter()
+    monitor.consume(X)
+    elapsed = time.perf_counter() - start
+    windows = shape["length"] - detector.warmup
+
+    out = {
+        "mode": mode,
+        "wall_time_s": elapsed,
+        "windows": windows,
+        "windows_per_s": windows / elapsed,
+        "events": len(monitor.events),
+        "trace": _event_trace(monitor),
+        "n": shape["window"] + 1,  # rows per scored context
+        "d": shape["n_features"],
+        "window": shape["window"],
+        "length": shape["length"],
+        "anomaly_every": shape["anomaly_every"],
+        "dimensionality": 2,
+        "mc_iterations": shape["mc_iterations"],
+    }
+    if mode == "incremental" and monitor.contrast_index is not None:
+        out["contrast_stats"] = monitor.contrast_index.stats()
+    return out
+
+
+def _monitor_mode_subprocess(mode: str, quick: bool) -> dict:
+    """One `_monitor_mode` run in a clean child interpreter."""
+    import json
+    import subprocess
+    import sys
+
+    cmd = [sys.executable, __file__, "--monitor-mode", mode]
+    if quick:
+        cmd.append("--quick")
+    proc = subprocess.run(cmd, capture_output=True, text=True, check=True)
+    return json.loads(proc.stdout)
+
+
+def main(argv=None) -> None:
+    """Standalone mode: throughput table plus the BENCH_stream.json record."""
+    import argparse
+    import json
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--json", default="BENCH_stream.json", metavar="PATH",
+                        help="write perf records to PATH (default: "
+                        "BENCH_stream.json; empty string disables)")
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke scale: shorter stream, same code paths")
+    parser.add_argument("--monitor-mode", choices=("incremental", "recompute"),
+                        help=argparse.SUPPRESS)  # internal: one isolated mode
+    parser.add_argument("--repeats", type=int, default=2,
+                        help="subprocess runs per mode; modes are compared "
+                        "on their best wall time (default: 2)")
+    args = parser.parse_args(argv)
+
+    if args.monitor_mode:
+        print(json.dumps(_monitor_mode(args.monitor_mode, args.quick)))
+        return
+
+    modes = ("recompute", "incremental")
+    runs: dict[str, list[dict]] = {mode: [] for mode in modes}
+    for _ in range(max(1, args.repeats)):
+        for mode in modes:
+            runs[mode].append(_monitor_mode_subprocess(mode, args.quick))
+
+    reference = runs["recompute"][0]["trace"]
+    for mode in modes:
+        for run in runs[mode]:
+            if run["trace"] != reference:
+                raise SystemExit(
+                    f"FAIL: event sequence of mode {mode!r} differs from "
+                    "the recompute reference — incremental reuse changed "
+                    "the output"
+                )
+    if not reference:
+        raise SystemExit(
+            "FAIL: the monitor raised no events — the workload no longer "
+            "exercises the explanation path"
+        )
+
+    best = {mode: min(runs[mode], key=lambda r: r["wall_time_s"])
+            for mode in modes}
+    shape = {key: best["recompute"][key]
+             for key in ("n", "d", "window", "length", "anomaly_every",
+                         "dimensionality", "mc_iterations")}
+    shape["quick"] = bool(args.quick)
+
+    records = []
+    for mode in modes:
+        records.append({
+            "op": f"stream_monitor ({mode})",
+            "wall_time_s": round(best[mode]["wall_time_s"], 6),
+            "windows_per_s": round(best[mode]["windows_per_s"], 2),
+            "events": best[mode]["events"],
+            "repeats": len(runs[mode]),
+            **shape,
+        })
+    if "contrast_stats" in best["incremental"]:
+        records[-1]["contrast_stats"] = best["incremental"]["contrast_stats"]
+
+    recompute_s = best["recompute"]["wall_time_s"]
+    incremental_s = best["incremental"]["wall_time_s"]
+    speedup = recompute_s / incremental_s
+    records.append({
+        "op": "stream_monitor speedup (incremental vs recompute)",
+        "speedup": round(speedup, 3),
+        "ranked_identical": True, **shape,
+    })
+
+    windows = best["recompute"]["windows"]
+    print(f"Stream monitor: LOF + HiCS over a drifting stream of "
+          f"{shape['length']} points ({shape['d']} features, window "
+          f"{shape['window']}, {windows} scored windows, "
+          f"{best['recompute']['events']} events; best of "
+          f"{len(runs['recompute'])} isolated runs per mode):")
+    print(f"  per-window recompute     {recompute_s * 1000:8.1f} ms  "
+          f"({best['recompute']['windows_per_s']:7.1f} windows/s)")
+    print(f"  incremental state reuse  {incremental_s * 1000:8.1f} ms  "
+          f"({best['incremental']['windows_per_s']:7.1f} windows/s, "
+          f"speedup: {speedup:4.2f}x, event sequences identical)")
+
+    if args.json:
+        from repro.obs import RunManifest
+
+        # Provenance stamp: which code and environment produced these
+        # numbers (tools/bench_report.py renders it, the sentinel ignores it).
+        stamp = RunManifest.collect().compact()
+        for record in records:
+            record["manifest"] = stamp
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(records, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.json}")
+
+
+if __name__ == "__main__":
+    main()

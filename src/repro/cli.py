@@ -133,6 +133,19 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--stream-incremental",
+        default=None,
+        metavar="MODE",
+        help=(
+            "sliding-window state reuse in the streaming layers: '1' "
+            "(default) slides warm distance blocks and HiCS contrasts "
+            "forward between consecutive windows, '0' rebuilds every "
+            "window cold (the recompute baseline); event sequences are "
+            "byte-identical either way, only speed changes (also settable "
+            "via the REPRO_STREAM_INCREMENTAL environment variable)"
+        ),
+    )
+    parser.add_argument(
         "--checkpoint",
         default=None,
         metavar="PATH",
@@ -540,6 +553,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         from repro.explainers.contrast_cache import HICS_CACHE_ENV
 
         os.environ[HICS_CACHE_ENV] = args.hics_cache
+    if args.stream_incremental is not None:
+        from repro.stream.incremental import STREAM_INCREMENTAL_ENV
+
+        os.environ[STREAM_INCREMENTAL_ENV] = args.stream_incremental
     if args.checkpoint is not None:
         os.environ[CHECKPOINT_ENV] = args.checkpoint
     if args.resume:

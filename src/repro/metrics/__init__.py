@@ -19,14 +19,23 @@ from repro.metrics.ranking import (
     precision_at_k,
     recall,
 )
+from repro.metrics.sfe import (
+    StreamEvaluation,
+    evaluate_stream,
+    feature_sequence,
+    sfe_length,
+)
 
 __all__ = [
     "EvaluationResult",
+    "StreamEvaluation",
     "average_precision",
     "detection_average_precision",
     "dimension_adjusted_quality",
     "evaluate_point_explanations",
+    "evaluate_stream",
     "evaluate_summary",
+    "feature_sequence",
     "mean_average_precision",
     "mean_recall",
     "precision",
@@ -34,4 +43,5 @@ __all__ = [
     "precision_at_n",
     "recall",
     "roc_auc",
+    "sfe_length",
 ]

@@ -142,6 +142,11 @@ _KNN_FALLBACK_ROWS = obs_metrics.counter(
     "Rows of sketched k-NN queries that failed certification and were "
     "answered from full canonical rows",
 )
+_SLID = obs_metrics.counter(
+    "repro_dist_slides_total",
+    "Cache entries carried across a sliding-window update (a strip "
+    "computation instead of a full rebuild), by kind (block / subspace)",
+)
 
 
 def resolve_dist_cache_bytes() -> int:
@@ -270,6 +275,8 @@ class DistanceProvider:
         self._knn_sketched = 0
         self._knn_full = 0
         self._knn_fallback_rows = 0
+        self._blocks_slid = 0
+        self._composed_slid = 0
 
     # ------------------------------------------------------------------
     # Capability predicates (must not depend on cache state).
@@ -469,6 +476,112 @@ class DistanceProvider:
         self._cache.put(key, out, cold=True)
         self._refresh_gauges()
         return out
+
+    # ------------------------------------------------------------------
+    # Sliding-window updates: add/evict rows without recomputing blocks.
+    # ------------------------------------------------------------------
+
+    def slide(
+        self,
+        new_rows: np.ndarray,
+        *,
+        n_evict: int | None = None,
+        compose: Iterable[Iterable[int]] = (),
+    ) -> "DistanceProvider":
+        """A provider over the window slid forward by ``new_rows``.
+
+        The returned provider serves ``vstack([X[n_evict:], new_rows])``
+        (``n_evict`` defaults to ``len(new_rows)``, keeping the window
+        size fixed) and inherits this provider's budget and knobs. Every
+        cached per-feature block is carried over *slid* instead of cold:
+        squared differences among the kept rows are the same values in
+        both windows, so the kept ``(n - n_evict)²`` region is a bit-copy
+        of the old block, and only the strip against the new rows is
+        computed — with :meth:`feature_block`'s exact arithmetic (float64
+        difference, squared, rounded once to float32), then mirrored
+        across the diagonal (``(a-b)² == (b-a)²`` bitwise, so blocks are
+        bitwise symmetric). An ``O(δ·n)`` strip per block replaces the
+        ``O(n²)`` rebuild, and by the canonical chain every matrix the
+        new provider ever composes is byte-identical to a cold rebuild's.
+
+        Composed matrices whose (sorted) subspaces are listed in
+        ``compose`` are slid the same way when cached: kept region copied
+        (the ``+inf`` diagonal maps onto the diagonal), strip rows built
+        as the canonical left-to-right chain over the slid blocks with
+        ``+inf`` at the new rows' self-distances — exactly where the cold
+        chain applies its mask — and the column region filled from the
+        strip's transpose (a float32 sum of bitwise-symmetric blocks is
+        bitwise symmetric). Sketches are dropped; they rebuild lazily and
+        certification can never change result bits.
+        """
+        new_rows = np.asarray(new_rows, dtype=np.float64)
+        if new_rows.ndim == 1:
+            new_rows = new_rows[None, :]
+        if new_rows.ndim != 2 or new_rows.shape[0] < 1:
+            raise ValidationError(
+                f"new_rows must be a non-empty 2-d matrix, got shape "
+                f"{new_rows.shape}"
+            )
+        if new_rows.shape[1] != self.n_features:
+            raise ValidationError(
+                f"new_rows have {new_rows.shape[1]} features, provider "
+                f"serves {self.n_features}"
+            )
+        delta = new_rows.shape[0]
+        n_evict = delta if n_evict is None else int(n_evict)
+        if not 0 <= n_evict <= self.n_samples:
+            raise ValidationError(
+                f"n_evict={n_evict} out of range for {self.n_samples} rows"
+            )
+        keep = self.n_samples - n_evict
+        X_new = np.vstack([self.X[n_evict:], new_rows])
+        slid = DistanceProvider(
+            X_new,
+            max_bytes=self.max_bytes,
+            max_compose_dim=self.max_compose_dim,
+            sketch_factor=self.sketch_factor,
+        )
+        if keep == 0:
+            return slid  # nothing survives the slide; all entries rebuild
+        n_new = keep + delta
+        rows_idx = np.arange(delta)
+        diag_idx = np.arange(keep, n_new)
+        for key, old in self._cache.items_snapshot():
+            if key[0] != "b":
+                continue
+            feature = int(key[1])
+            block = np.empty((n_new, n_new), dtype=np.float32)
+            block[:keep, :keep] = old[n_evict:, n_evict:]
+            column = slid.X[:, feature]
+            diff = column[keep:, None] - column[None, :]
+            # The ufunc's float64→float32 store applies the same C cast
+            # as feature_block's astype, so strip bits match a cold block.
+            np.square(diff, out=diff)
+            block[keep:, :] = diff
+            block[:keep, keep:] = block[keep:, :keep].T
+            block.flags.writeable = False
+            slid._cache.put(("b", feature), block)
+            slid._count("blocks_slid")
+            _SLID.inc(kind="block")
+        for subspace in compose:
+            s = check_feature_indices(subspace, n_features=self.n_features)
+            old = self._cache.get(("c", s))
+            if old is None or not slid.covers(s):
+                continue  # the new provider recomposes cold: same bits
+            out = np.empty((n_new, n_new), dtype=np.float32)
+            out[:keep, :keep] = old[n_evict:, n_evict:]
+            strip = slid.feature_block(s[0])[keep:, :].copy()
+            strip[rows_idx, diag_idx] = np.inf
+            for feature in s[1:]:
+                strip += slid.feature_block(feature)[keep:, :]
+            out[keep:, :] = strip
+            out[:keep, keep:] = out[keep:, :keep].T
+            out.flags.writeable = False
+            slid._cache.put(("c", s), out)
+            slid._count("composed_slid")
+            _SLID.inc(kind="subspace")
+        slid._refresh_gauges()
+        return slid
 
     # ------------------------------------------------------------------
     # Certified neighbour sketches: exact k-NN without the full matrix.
@@ -725,6 +838,8 @@ class DistanceProvider:
                 "knn_sketched": self._knn_sketched,
                 "knn_full": self._knn_full,
                 "knn_fallback_rows": self._knn_fallback_rows,
+                "blocks_slid": self._blocks_slid,
+                "composed_slid": self._composed_slid,
             }
         keys = self._cache.keys()
         counters.update(
@@ -748,6 +863,7 @@ class DistanceProvider:
             self._sketch_hits = self._sketch_misses = 0
             self._knn_sketched = self._knn_full = 0
             self._knn_fallback_rows = 0
+            self._blocks_slid = self._composed_slid = 0
         self._refresh_gauges()
 
     def _count(self, name: str) -> None:

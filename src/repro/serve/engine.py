@@ -121,6 +121,11 @@ _COALESCED = obs_metrics.counter(
     "repro_engine_coalesced_requests_total",
     "Requests answered from a coalesced explain_many wave",
 )
+_POOL_CHAINED = obs_metrics.counter(
+    "repro_engine_pool_chained_total",
+    "Cold pool entries built by sliding a predecessor window's warm "
+    "distance provider instead of rebuilding feature blocks",
+)
 _SNAPSHOT_WRITES = obs_metrics.counter(
     "repro_engine_snapshot_writes_total",
     "Engine snapshots persisted to disk",
@@ -202,6 +207,7 @@ class ExplainEngine:
         self._datasets: dict[str, Dataset] = {}
         self._hits = 0
         self._misses = 0
+        self._chained = 0
         self._evictions = 0
         self._snapshots_written = 0
         self._restored_vectors = 0
@@ -285,7 +291,13 @@ class ExplainEngine:
         key = (dataset.fingerprint, detector.cache_key())
         return self._lookup(key, dataset.X, detector)
 
-    def scorer_for_matrix(self, X: object, detector: Detector) -> SubspaceScorer:
+    def scorer_for_matrix(
+        self,
+        X: object,
+        detector: Detector,
+        *,
+        chain: tuple | None = None,
+    ) -> SubspaceScorer:
         """A pooled scorer for a raw matrix without a :class:`Dataset` wrapper.
 
         The streaming monitor explains anomalies against ad-hoc window
@@ -293,11 +305,60 @@ class ExplainEngine:
         layer uses) lets repeated identical windows — e.g. several
         anomalies scored before the window advances — share warm state,
         while the entry cap keeps a stream of unique windows bounded.
+
+        ``chain`` — ``(parent_fingerprint, new_rows, n_evict)`` — names a
+        predecessor window this one slid out of. On a pool miss the
+        predecessor entry's warm distance provider is slid forward
+        (:meth:`~repro.neighbors.DistanceProvider.slide`) and handed to
+        the new scorer, so consecutive stream windows share their
+        per-feature blocks instead of rebuilding ``O(n²·d)`` state. The
+        canonical composition chain keeps chained results byte-identical
+        to cold ones; the hint is dropped whenever the substrate budget
+        would have disabled providers anyway (so chained and unchained
+        paths score through identical code).
         """
         key = (("matrix", data_fingerprint(X)), detector.cache_key())
-        return self._lookup(key, X, detector)
+        return self._lookup(key, X, detector, chain=chain)
 
-    def _lookup(self, key: tuple, X: object, detector: Detector) -> SubspaceScorer:
+    def _chained_provider(
+        self, X: np.ndarray, detector: Detector, chain: tuple
+    ) -> "object | None":
+        """A slid provider for ``X`` from the chained predecessor, or None.
+
+        Must be bit-neutral: only returns a provider when the unchained
+        path would also score provider-backed (same budget predicate as
+        :func:`~repro.neighbors.provider.shared_provider`), and the slid
+        matrix is verified equal to ``X`` before use.
+        """
+        from repro.neighbors.provider import resolve_dist_cache_bytes
+
+        if not detector.uses_precomputed_distances:
+            return None
+        parent_fp, new_rows, n_evict = chain
+        n = X.shape[0]
+        if resolve_dist_cache_bytes() < 12 * n * n:
+            return None
+        parent = self._pool.get((("matrix", parent_fp), detector.cache_key()))
+        if parent is None or parent.distance_provider is None:
+            return None
+        new_rows = np.asarray(new_rows, dtype=np.float64)
+        if new_rows.ndim != 2 or not 0 < new_rows.shape[0] < n:
+            return None
+        previous = parent.distance_provider
+        if previous.n_samples - int(n_evict) + new_rows.shape[0] != n:
+            return None
+        slid = previous.slide(new_rows, n_evict=int(n_evict))
+        if not np.array_equal(slid.X, X):
+            return None
+        return slid
+
+    def _lookup(
+        self,
+        key: tuple,
+        X: object,
+        detector: Detector,
+        chain: tuple | None = None,
+    ) -> SubspaceScorer:
         with self._lock:
             if self.max_pool_bytes == 0:
                 self._misses += 1
@@ -311,7 +372,19 @@ class ExplainEngine:
                 return scorer
             self._misses += 1
             _POOL_MISSES.inc()
-            scorer = SubspaceScorer(X, detector, backend=self.backend)
+            provider = None
+            if chain is not None:
+                provider = self._chained_provider(
+                    np.asarray(X, dtype=np.float64), detector, chain
+                )
+            if provider is not None:
+                scorer = SubspaceScorer(
+                    X, detector, backend=self.backend, distance_provider=provider
+                )
+                self._chained += 1
+                _POOL_CHAINED.inc()
+            else:
+                scorer = SubspaceScorer(X, detector, backend=self.backend)
             self._pool[key] = scorer
             self._refresh_gauges()
             return scorer
@@ -358,6 +431,7 @@ class ExplainEngine:
                 "max_entries": self.max_pool_entries,
                 "hits": self._hits,
                 "misses": self._misses,
+                "chained": self._chained,
                 "evictions": self._evictions,
                 "hit_rate": self._hits / total if total else 0.0,
                 "snapshots_written": self._snapshots_written,

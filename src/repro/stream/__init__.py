@@ -1,31 +1,53 @@
-"""Streaming extension: windowed detection + on-arrival explanation.
+"""Streaming extension: windowed detection + incremental on-arrival explanation.
 
 The paper's Section 6 flags stream settings as the next step for outlier
 explanation ("it is also interesting to investigate outlier explanation in
-stream processing settings such as LODA"). This package provides the
-minimal substrate to experiment with that:
+stream processing settings such as LODA") and notes that descriptive
+explainers must "re-execute the explanation for every new bunch of data".
+This package provides the substrate — and makes the expensive state
+*incremental* so consecutive windows share it instead of re-executing:
 
-* :class:`SlidingWindow` — fixed-capacity ring buffer over points;
+* :class:`SlidingWindow` — fixed-capacity ring buffer over points whose
+  matrix view is zero-copy (double-written storage);
 * :class:`StreamingDetector` — scores each arriving point against the
-  current window with any batch :class:`~repro.detectors.Detector`;
+  current window with any batch :class:`~repro.detectors.Detector`,
+  sliding a warm distance provider forward per arrival;
 * :class:`StreamingExplainer` — when a point's windowed score crosses a
-  z-threshold, runs a point explainer on the window and emits an
-  :class:`ExplainedAnomaly` event;
+  z-threshold, runs a point explainer (or an incrementally maintained
+  HiCS) on the window and emits an :class:`ExplainedAnomaly` event with
+  an :class:`ExplanationDelta` of rank changes since the previous event;
+* :class:`StreamContrastIndex` — per-candidate HiCS contrast values with
+  drift-triggered invalidation (generations pinned to reference windows);
 * :func:`drifting_stream` — a generator of HiCS-style streams with
-  injected subspace anomalies and an optional mid-stream concept drift,
-  for evaluating how windowing interacts with explanation quality.
+  injected subspace anomalies and an optional mid-stream concept drift;
+* :func:`stream_incremental_enabled` — the ``REPRO_STREAM_INCREMENTAL``
+  kill-switch; off forces the per-window recompute baseline, which is
+  byte-identical by construction (see ``docs/STREAMING.md``).
 """
 
+from repro.stream.contrast import StreamContrastIndex
 from repro.stream.detector import StreamingDetector
-from repro.stream.explain import ExplainedAnomaly, StreamingExplainer
+from repro.stream.explain import (
+    ExplainedAnomaly,
+    ExplanationDelta,
+    StreamingExplainer,
+)
 from repro.stream.generator import StreamAnomaly, drifting_stream
+from repro.stream.incremental import (
+    STREAM_INCREMENTAL_ENV,
+    stream_incremental_enabled,
+)
 from repro.stream.window import SlidingWindow
 
 __all__ = [
+    "STREAM_INCREMENTAL_ENV",
     "ExplainedAnomaly",
+    "ExplanationDelta",
     "SlidingWindow",
     "StreamAnomaly",
+    "StreamContrastIndex",
     "StreamingDetector",
     "StreamingExplainer",
     "drifting_stream",
+    "stream_incremental_enabled",
 ]

@@ -1,0 +1,346 @@
+"""Incremental HiCS contrast maintenance across sliding windows.
+
+The HiCS search is detector-free but expensive: every candidate subspace
+costs ``mc_iterations`` Monte-Carlo slices. Re-running it per streaming
+anomaly — the paper Section 6's "re-execute the explanation for every new
+bunch of data" — recomputes contrasts that barely moved, because
+consecutive windows share almost all of their rows.
+
+:class:`StreamContrastIndex` keeps per-candidate contrast values alive
+between events and lets a *drift detector* decide which ones a new window
+invalidates:
+
+* **Generations.** Every contrast value is pinned to the *generation*
+  (reference window) it was estimated on. A generation keeps its frozen
+  :class:`~repro.explainers.hics._ContrastEstimator` (window matrix, rank
+  positions, per-candidate RNG anchor) so any of its candidates can be
+  re-derived bit-for-bit at any later time.
+* **Drift detection.** Per feature, the normalised rank positions of the
+  newest ``probe`` context rows within the generation's frozen marginal
+  are ~Uniform(0,1) under stationarity (mean 1/2, variance 1/12); a
+  windowed mean/variance shift beyond ``drift_threshold`` flags the
+  feature as drifted. Candidates touching a drifted feature move to a
+  fresh generation built on the current window and recompute; everyone
+  else keeps their value — and their old generation.
+* **Kill-switch equivalence.** Generation bookkeeping and drift decisions
+  are pure functions of the stream, identical with
+  ``REPRO_STREAM_INCREMENTAL`` on and off. The switch only decides
+  whether unaffected candidates *reuse* their stored value (incremental)
+  or are recomputed against their pinned generation (baseline): each
+  candidate's Monte-Carlo stream is derived from ``(generation anchor,
+  candidate features)``, independent of evaluation order, so both paths
+  produce the same float — the byte-identity the stream bench asserts.
+
+The index also consults the process-global
+:class:`~repro.explainers.contrast_cache.ContrastCache` (in incremental
+mode, for whole-window refreshes keyed by the window fingerprint), so a
+restarted monitor re-warms from disk instead of re-searching.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.detectors.base import data_fingerprint
+from repro.exceptions import ValidationError
+from repro.explainers.contrast_cache import resolve_contrast_cache
+from repro.explainers.hics import HiCS, _ContrastEstimator
+from repro.obs import metrics as obs_metrics
+from repro.stats.batch import batch_enabled
+from repro.stream.incremental import stream_incremental_enabled
+from repro.subspaces.enumeration import all_subspaces, count_subspaces, top_k
+from repro.subspaces.subspace import Subspace
+from repro.utils.rng import as_rng
+from repro.utils.validation import check_positive_int
+
+__all__ = ["StreamContrastIndex"]
+
+#: Ceiling on the enumerated candidate set. Streaming explanation visits
+#: *every* ``dim``-sized subspace (no stage cutoff — the stage structure
+#: would couple candidates to each other and break per-candidate reuse),
+#: which is only sensible for the modest widths streams run at.
+MAX_STREAM_CANDIDATES = 4096
+
+_REUSED = obs_metrics.counter(
+    "repro_stream_contrast_reused_total",
+    "Candidate contrasts served from a prior window's value",
+)
+_RECOMPUTED = obs_metrics.counter(
+    "repro_stream_contrast_recomputed_total",
+    "Candidate contrasts (re)computed against a generation's window",
+)
+_REFRESHES = obs_metrics.counter(
+    "repro_stream_drift_refreshes_total",
+    "Drift-triggered generation refreshes (some features shifted, the "
+    "touching candidates were invalidated)",
+)
+_GENERATIONS = obs_metrics.gauge(
+    "repro_stream_contrast_generations",
+    "Reference windows (generations) pinned by streaming contrast indexes",
+)
+
+
+class _Generation:
+    """One frozen reference window and its contrast estimator."""
+
+    __slots__ = ("estimator", "sorted_columns", "fingerprint")
+
+    def __init__(self, X: np.ndarray, hics: HiCS) -> None:
+        self.estimator = _ContrastEstimator(
+            X,
+            alpha=hics.alpha,
+            mc_iterations=hics.mc_iterations,
+            test=hics.test,
+            rng=as_rng(hics.seed),
+            batched=batch_enabled(),
+        )
+        # Frozen per-feature marginals anchoring the drift test.
+        self.sorted_columns = np.sort(self.estimator.X, axis=0)
+        self.fingerprint = data_fingerprint(self.estimator.X)
+
+
+class StreamContrastIndex:
+    """Sliding-window contrast values for every ``dim``-sized subspace.
+
+    Parameters
+    ----------
+    hics:
+        The :class:`~repro.explainers.HiCS` whose estimator parameters
+        (``alpha``, ``mc_iterations``, ``test``, ``seed``) define the
+        contrasts. Must be seeded — unseeded searches cannot be reused
+        across windows (two evaluations are *expected* to differ).
+    dimensionality:
+        Subspace size maintained (>= 2).
+    backend:
+        Execution backend for contrast batches (``None`` = serial).
+    probe:
+        Newest context rows fed to the drift test (default 32, clamped to
+        a quarter of the window at first use).
+    drift_threshold:
+        Deviation of the probe ranks' mean from 1/2 (or variance from
+        1/12) beyond which a feature counts as drifted (default 0.15).
+    """
+
+    def __init__(
+        self,
+        hics: HiCS,
+        dimensionality: int,
+        *,
+        backend: object = None,
+        probe: int = 32,
+        drift_threshold: float = 0.15,
+    ) -> None:
+        if not isinstance(hics, HiCS):
+            raise ValidationError(
+                f"hics must be a HiCS explainer, got {type(hics).__name__}"
+            )
+        if hics.seed is None:
+            raise ValidationError(
+                "streaming contrast maintenance requires a seeded HiCS "
+                "(seed=None draws fresh Monte-Carlo slices every window, "
+                "so there is no value to carry forward)"
+            )
+        self.hics = hics
+        self.dimensionality = check_positive_int(
+            dimensionality, name="dimensionality", minimum=2
+        )
+        self.backend = backend
+        self.probe = check_positive_int(probe, name="probe", minimum=4)
+        if not 0.0 < drift_threshold < 0.5:
+            raise ValidationError(
+                f"drift_threshold must be in (0, 0.5), got {drift_threshold}"
+            )
+        self.drift_threshold = float(drift_threshold)
+        self._candidates: tuple[tuple[int, ...], ...] | None = None
+        self._values: dict[tuple[int, ...], float] = {}
+        self._assigned: dict[tuple[int, ...], int] = {}
+        self._dirty: set[tuple[int, ...]] = set()
+        self._gens: dict[int, _Generation] = {}
+        self._next_gen = 0
+        self._reused = 0
+        self._recomputed = 0
+        self._refreshes = 0
+
+    # ------------------------------------------------------------------
+    # Drift detection.
+    # ------------------------------------------------------------------
+
+    def _drifted_features(
+        self, gen: _Generation, probe_rows: np.ndarray
+    ) -> tuple[int, ...]:
+        """Features whose probe ranks shifted against ``gen``'s marginals."""
+        w = gen.sorted_columns.shape[0]
+        drifted = []
+        for feature in range(probe_rows.shape[1]):
+            ranks = (
+                np.searchsorted(
+                    gen.sorted_columns[:, feature], probe_rows[:, feature]
+                )
+                / w
+            )
+            if (
+                abs(float(ranks.mean()) - 0.5) > self.drift_threshold
+                or abs(float(ranks.var()) - 1.0 / 12.0) > self.drift_threshold
+            ):
+                drifted.append(feature)
+        return tuple(drifted)
+
+    # ------------------------------------------------------------------
+    # The maintained ranking.
+    # ------------------------------------------------------------------
+
+    def rank(self, context: np.ndarray) -> list[tuple[Subspace, float]]:
+        """Contrast ranking of every candidate against ``context``.
+
+        Returns the full deterministic ranking (score-descending, ties
+        broken lexicographically — :func:`~repro.subspaces.top_k`'s
+        order); the caller truncates to the explainer's ``result_size``.
+        """
+        X = np.asarray(context, dtype=np.float64)
+        if X.ndim != 2 or X.shape[0] < 2:
+            raise ValidationError(
+                f"context must be a matrix of at least 2 rows, got {X.shape}"
+            )
+        d = X.shape[1]
+        candidates = self._resolve_candidates(d)
+        incremental = stream_incremental_enabled()
+
+        if not self._gens:
+            gen_id = self._new_generation(X)
+            self._assigned = {c: gen_id for c in candidates}
+            self._dirty = set(candidates)
+        else:
+            probe_rows = X[-min(self.probe, X.shape[0]) :]
+            moved: list[tuple[int, ...]] = []
+            drift_by_gen = {
+                gen_id: frozenset(self._drifted_features(gen, probe_rows))
+                for gen_id, gen in self._gens.items()
+            }
+            for candidate in candidates:
+                drifted = drift_by_gen[self._assigned[candidate]]
+                if drifted and not drifted.isdisjoint(candidate):
+                    moved.append(candidate)
+            if moved:
+                gen_id = self._new_generation(X)
+                for candidate in moved:
+                    self._assigned[candidate] = gen_id
+                    self._dirty.add(candidate)
+                self._refreshes += 1
+                _REFRESHES.inc()
+                self._prune_generations()
+
+        if incremental:
+            self._compute(self._dirty)
+            reused = len(candidates) - len(self._dirty)
+            self._reused += reused
+            if reused:
+                _REUSED.inc(reused)
+            self._dirty.clear()
+        else:
+            # Recompute baseline: every candidate, against the generation
+            # its value is pinned to — identical floats, no reuse.
+            self._compute(candidates)
+            self._dirty.clear()
+        return top_k(
+            [(Subspace(c), self._values[c]) for c in candidates],
+            len(candidates),
+        )
+
+    def _resolve_candidates(self, d: int) -> tuple[tuple[int, ...], ...]:
+        if self._candidates is not None:
+            if self._candidates and len(self._candidates[0]) <= d:
+                return self._candidates
+            raise ValidationError(
+                "stream width changed under a live contrast index"
+            )
+        if self.dimensionality > d:
+            raise ValidationError(
+                f"cannot maintain {self.dimensionality}-d subspaces over a "
+                f"{d}-feature stream"
+            )
+        total = count_subspaces(d, self.dimensionality)
+        if total > MAX_STREAM_CANDIDATES:
+            raise ValidationError(
+                f"{total} candidate subspaces of size {self.dimensionality} "
+                f"in {d} features exceeds the streaming ceiling "
+                f"({MAX_STREAM_CANDIDATES}); lower the dimensionality"
+            )
+        self._candidates = tuple(
+            tuple(s) for s in all_subspaces(d, self.dimensionality)
+        )
+        return self._candidates
+
+    def _new_generation(self, X: np.ndarray) -> int:
+        gen_id = self._next_gen
+        self._next_gen += 1
+        self._gens[gen_id] = _Generation(X, self.hics)
+        _GENERATIONS.set(len(self._gens))
+        return gen_id
+
+    def _prune_generations(self) -> None:
+        live = set(self._assigned.values())
+        for gen_id in [g for g in self._gens if g not in live]:
+            del self._gens[gen_id]
+        _GENERATIONS.set(len(self._gens))
+
+    def _compute(self, candidates) -> None:
+        """(Re)compute contrasts, batched per pinned generation.
+
+        A whole-candidate-set computation against a single generation —
+        the first window, or a refresh that moved everything — goes
+        through the cross-process :class:`ContrastCache` in incremental
+        mode, keyed by that window's content fingerprint.
+        """
+        by_gen: dict[int, list[tuple[int, ...]]] = {}
+        for candidate in candidates:
+            by_gen.setdefault(self._assigned[candidate], []).append(candidate)
+        for gen_id in sorted(by_gen):
+            gen = self._gens[gen_id]
+            batch = sorted(by_gen[gen_id])
+            cache = key = None
+            if (
+                stream_incremental_enabled()
+                and self._candidates is not None
+                and len(batch) == len(self._candidates)
+            ):
+                cache = resolve_contrast_cache()
+                if cache is not None:
+                    key = self._cache_key(gen)
+                    cached = cache.get(key)
+                    if cached is not None:
+                        self._values.update(
+                            (tuple(feats), contrast)
+                            for feats, contrast in cached
+                        )
+                        continue
+            pairs = gen.estimator.contrast_many(
+                [Subspace(c) for c in batch], self.backend
+            )
+            self._values.update((tuple(s), v) for s, v in pairs)
+            self._recomputed += len(batch)
+            _RECOMPUTED.inc(len(batch))
+            if cache is not None and key is not None:
+                cache.put(key, [(tuple(s), v) for s, v in pairs])
+
+    def _cache_key(self, gen: _Generation) -> tuple:
+        return (
+            "stream-contrast",
+            gen.fingerprint,
+            tuple(gen.estimator.X.shape),
+            ("alpha", self.hics.alpha),
+            ("mc_iterations", self.hics.mc_iterations),
+            ("test", self.hics.test),
+            ("seed", int(self.hics.seed)),  # type: ignore[arg-type]
+            ("batched", bool(gen.estimator.batched)),
+            ("dimensionality", self.dimensionality),
+        )
+
+    def stats(self) -> dict[str, int]:
+        """Reuse/recompute counters (the incremental win, observable)."""
+        return {
+            "candidates": len(self._candidates or ()),
+            "reused": self._reused,
+            "recomputed": self._recomputed,
+            "refreshes": self._refreshes,
+            "generations": len(self._gens),
+        }

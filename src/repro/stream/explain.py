@@ -1,35 +1,89 @@
 """On-arrival explanation of streaming anomalies.
 
-Couples a :class:`~repro.stream.detector.StreamingDetector` with a point
+Couples a :class:`~repro.stream.detector.StreamingDetector` with an
 explainer: when an arriving point's windowed z-score crosses the
 threshold, the explainer runs on the *current window plus the point* and
 the resulting subspace ranking is emitted as an
-:class:`ExplainedAnomaly`. Explanations are therefore always relative to
-the recent context — exactly the "re-execute explanation for every new
-bunch of data" behaviour the paper's Section 6 describes for descriptive
-explainers, packaged as a reusable monitor.
+:class:`ExplainedAnomaly`. Explanations are always relative to the recent
+context — but unlike the paper Section 6's "re-execute explanation for
+every new bunch of data" baseline, consecutive events *share* their
+expensive state:
+
+* the scorer pool entry for the event window chains to its predecessor's
+  warm distance provider (:meth:`ExplainEngine.scorer_for_matrix
+  <repro.serve.ExplainEngine.scorer_for_matrix>`'s ``chain`` hint — a
+  slide, not a rebuild);
+* HiCS explanation runs off a :class:`~repro.stream.StreamContrastIndex`
+  that recomputes only drift-invalidated candidate contrasts;
+* each event carries an :class:`ExplanationDelta` — only the subspaces
+  whose rank changed since the previous event, the analyst-facing
+  "what moved" view.
+
+``REPRO_STREAM_INCREMENTAL=0`` disables all reuse (every event rebuilds
+cold) and must reproduce the incremental event sequence byte-for-byte —
+the drill ``tests/test_stream_incremental.py`` runs both ways.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.explainers.base import PointExplainer, RankedSubspaces
+from repro.detectors.base import data_fingerprint
 from repro.exceptions import ValidationError
+from repro.explainers.base import PointExplainer, RankedSubspaces
+from repro.explainers.hics import HiCS
 from repro.obs import metrics as obs_metrics
 from repro.obs.trace import span as obs_span
 from repro.serve.engine import ExplainEngine
+from repro.stream.contrast import StreamContrastIndex
 from repro.stream.detector import StreamingDetector
+from repro.stream.incremental import stream_incremental_enabled
+from repro.subspaces.enumeration import top_k
+from repro.subspaces.subspace import Subspace
 from repro.utils.validation import check_positive_int
 
-__all__ = ["ExplainedAnomaly", "StreamingExplainer"]
+__all__ = ["ExplainedAnomaly", "ExplanationDelta", "StreamingExplainer"]
 
 _ANOMALIES = obs_metrics.counter(
     "repro_stream_anomalies_total",
     "Stream points whose windowed z-score crossed the explanation threshold",
 )
+_DELTA_CHANGED = obs_metrics.gauge(
+    "repro_stream_delta_changed_subspaces",
+    "Subspaces that entered, left, or moved rank in the latest event's "
+    "explanation relative to the previous event",
+)
+
+
+@dataclass(frozen=True)
+class ExplanationDelta:
+    """Rank changes between consecutive events' explanations.
+
+    Attributes
+    ----------
+    entered:
+        Subspaces ranked now but absent from the previous explanation.
+    left:
+        Subspaces the previous explanation ranked that are gone now.
+    moved:
+        ``(subspace, previous_rank, current_rank)`` for subspaces present
+        in both whose (1-based) rank changed.
+    unchanged:
+        Count of subspaces whose rank did not change — the part of the
+        explanation an analyst already acted on.
+    """
+
+    entered: tuple[Subspace, ...]
+    left: tuple[Subspace, ...]
+    moved: tuple[tuple[Subspace, int, int], ...]
+    unchanged: int
+
+    @property
+    def n_changed(self) -> int:
+        """Total subspaces that entered, left, or moved."""
+        return len(self.entered) + len(self.left) + len(self.moved)
 
 
 @dataclass(frozen=True)
@@ -44,11 +98,15 @@ class ExplainedAnomaly:
         The windowed z-score that triggered the event.
     explanation:
         Ranked subspaces explaining the point against its window.
+    delta:
+        Rank changes relative to the previous event's explanation
+        (``None`` on the stream's first event).
     """
 
     index: int
     score: float
     explanation: RankedSubspaces
+    delta: ExplanationDelta | None = field(default=None, compare=True)
 
 
 class StreamingExplainer:
@@ -59,7 +117,12 @@ class StreamingExplainer:
     streaming_detector:
         The windowed detector producing z-scores.
     explainer:
-        Any :class:`~repro.explainers.PointExplainer`.
+        Any :class:`~repro.explainers.PointExplainer`, or a *seeded*
+        :class:`~repro.explainers.HiCS` (served incrementally through a
+        :class:`~repro.stream.StreamContrastIndex`; its ranking is
+        re-ranked per event by the anomalous point's standardised score,
+        exactly as the batch pipeline applies HiCS summaries to points).
+        Other summary explainers are point-set dependent and rejected.
     threshold:
         z-score above which a point is treated as an anomaly (3.0 is the
         classic three-sigma rule).
@@ -70,15 +133,11 @@ class StreamingExplainer:
     def __init__(
         self,
         streaming_detector: StreamingDetector,
-        explainer: PointExplainer,
+        explainer: object,
         threshold: float = 3.0,
         dimensionality: int = 2,
         engine: ExplainEngine | None = None,
     ) -> None:
-        if not isinstance(explainer, PointExplainer):
-            raise ValidationError(
-                f"explainer must be a PointExplainer, got {type(explainer).__name__}"
-            )
         if threshold <= 0:
             raise ValidationError(f"threshold must be positive, got {threshold}")
         self.detector = streaming_detector
@@ -87,25 +146,42 @@ class StreamingExplainer:
         self.dimensionality = check_positive_int(
             dimensionality, name="dimensionality"
         )
-        self._index = 0
-        self.events: list[ExplainedAnomaly] = []
         #: Warm-state layer the monitor draws scorers from. A private
         #: engine by default; passing the serve layer's engine shares its
         #: byte budget with batch traffic. A short entry cap suffices —
-        #: stream windows are mostly unique, so the pool's job here is
-        #: bounding memory, not amortising hits.
+        #: the pool's job here is keeping the *predecessor* entry alive
+        #: for provider chaining, not amortising exact-window hits.
         self.engine = (
             engine if engine is not None else ExplainEngine(max_pool_entries=8)
         )
+        self._contrast_index: StreamContrastIndex | None = None
+        if isinstance(explainer, HiCS):
+            self._contrast_index = StreamContrastIndex(
+                explainer, self.dimensionality, backend=self.engine.backend
+            )
+        elif not isinstance(explainer, PointExplainer):
+            raise ValidationError(
+                "explainer must be a PointExplainer or a HiCS summariser, "
+                f"got {type(explainer).__name__}"
+            )
+        self._index = 0
+        self.events: list[ExplainedAnomaly] = []
+        self._prev_explanation: RankedSubspaces | None = None
+        self._prev_anchor: tuple[int, int, int] | None = None
+
+    @property
+    def contrast_index(self) -> StreamContrastIndex | None:
+        """The incremental HiCS index, when the explainer is HiCS."""
+        return self._contrast_index
 
     def update(self, point: object) -> ExplainedAnomaly | None:
         """Process one arrival; return an event if the point is anomalous.
 
         The explanation context is the window *before* ingestion plus the
-        point itself, so the point never explains itself against data that
-        already contains it twice.
+        point itself — the exact matrix the detector scored
+        (:attr:`~repro.stream.StreamingDetector.last_context`), so the
+        point never explains itself against data containing it twice.
         """
-        context = self.detector.window.as_matrix()
         score = self.detector.update(point)
         event = None
         if score >= self.threshold:
@@ -116,29 +192,132 @@ class StreamingExplainer:
                 score=float(score),
                 explainer=self.explainer.name,
             ):
-                window_plus_point = np.vstack(
-                    [context, np.asarray(point, dtype=np.float64)[None, :]]
-                )
+                context = self.detector.last_context
+                assert context is not None  # score > 0 implies a scored context
                 scorer = self.engine.scorer_for_matrix(
-                    window_plus_point, self.detector.detector
+                    context, self.detector.detector, chain=self._chain_hint(context)
                 )
-                explanation = self.explainer.explain(
-                    scorer, window_plus_point.shape[0] - 1, self.dimensionality
-                )
+                point_index = context.shape[0] - 1
+                if self._contrast_index is not None:
+                    explanation = self._explain_hics(scorer, context, point_index)
+                else:
+                    explanation = self.explainer.explain(
+                        scorer, point_index, self.dimensionality
+                    )
+                delta = self._delta_against_previous(explanation)
                 self.engine.trim()
             event = ExplainedAnomaly(
-                index=self._index, score=score, explanation=explanation
+                index=self._index, score=score, explanation=explanation, delta=delta
             )
             self.events.append(event)
+            self._prev_explanation = explanation
+            self._prev_anchor = (
+                data_fingerprint(context),
+                self._index,
+                context.shape[0],
+            )
         self._index += 1
         return event
 
+    def _chain_hint(self, context: np.ndarray) -> tuple | None:
+        """The engine chain hint linking this event to its predecessor.
+
+        ``context`` slid out of the previous event's context by exactly
+        ``δ = index - previous_index`` rows whenever both windows were
+        full — the stream rows between the two events are the context's
+        own last ``δ`` rows. Disabled by the kill-switch (the recompute
+        baseline must build every entry cold).
+        """
+        if not stream_incremental_enabled() or self._prev_anchor is None:
+            return None
+        parent_fp, parent_index, parent_rows = self._prev_anchor
+        delta = self._index - parent_index
+        n = context.shape[0]
+        if parent_rows != n or not 0 < delta < n:
+            return None
+        return (parent_fp, context[-delta:], delta)
+
+    def _explain_hics(
+        self, scorer: object, context: np.ndarray, point_index: int
+    ) -> RankedSubspaces:
+        """HiCS event explanation: maintained contrast ranking, re-ranked.
+
+        Mirrors the batch pipeline's summary application: the
+        contrast-ordered head (``result_size``) is re-ranked by the
+        anomalous point's standardised detector score per subspace.
+        """
+        ranking = self._contrast_index.rank(context)  # type: ignore[union-attr]
+        head = ranking[: self.explainer.result_size]  # type: ignore[attr-defined]
+        subspaces = [subspace for subspace, _ in head]
+        zscores = scorer.point_zscores_many(subspaces, point_index)  # type: ignore[attr-defined]
+        return RankedSubspaces.from_pairs(
+            top_k(
+                list(zip(subspaces, (float(z) for z in zscores))),
+                len(subspaces),
+            )
+        )
+
+    def _delta_against_previous(
+        self, explanation: RankedSubspaces
+    ) -> ExplanationDelta | None:
+        previous = self._prev_explanation
+        if previous is None:
+            return None
+        prev_rank = {s: r for r, s in enumerate(previous.subspaces, start=1)}
+        cur_rank = {s: r for r, s in enumerate(explanation.subspaces, start=1)}
+        delta = ExplanationDelta(
+            entered=tuple(
+                s for s in explanation.subspaces if s not in prev_rank
+            ),
+            left=tuple(s for s in previous.subspaces if s not in cur_rank),
+            moved=tuple(
+                (s, prev_rank[s], cur_rank[s])
+                for s in explanation.subspaces
+                if s in prev_rank and prev_rank[s] != cur_rank[s]
+            ),
+            unchanged=sum(
+                1
+                for s in explanation.subspaces
+                if prev_rank.get(s) == cur_rank[s]
+            ),
+        )
+        _DELTA_CHANGED.set(delta.n_changed, explainer=self.explainer.name)
+        return delta
+
     def consume(self, X: np.ndarray) -> list[ExplainedAnomaly]:
-        """Feed every row of ``X``; return the events raised during it."""
+        """Feed every row of ``X``; return the events raised during it.
+
+        Rows falling entirely inside the detector's warmup score ``0.0``
+        by definition and can never cross the (positive) threshold, so
+        they are bulk-ingested (:meth:`StreamingDetector.ingest
+        <repro.stream.StreamingDetector.ingest>`) instead of
+        round-tripping the per-point loop — event indices and scores are
+        identical to the one-at-a-time path.
+        """
         X = np.asarray(X, dtype=np.float64)
         if X.ndim != 2:
             raise ValidationError(f"X must be 2-dimensional, got ndim={X.ndim}")
         before = len(self.events)
-        for row in X:
+        prefix = min(
+            X.shape[0], max(0, self.detector.warmup - len(self.detector.window))
+        )
+        if prefix:
+            self.detector.ingest(X[:prefix])
+            self._index += prefix
+        for row in X[prefix:]:
             self.update(row)
         return self.events[before:]
+
+    def evaluate(self, anomalies, *, min_index: int | None = None):
+        """Score this monitor's events against injected ground truth.
+
+        Returns a :class:`~repro.metrics.StreamEvaluation` (detection
+        recall, MAP, and the incremental-SFE mean). ``min_index``
+        defaults to the detector's warmup — anomalies the monitor never
+        scored are excluded from recall.
+        """
+        from repro.metrics.sfe import evaluate_stream
+
+        if min_index is None:
+            min_index = self.detector.warmup
+        return evaluate_stream(self.events, anomalies, min_index=min_index)

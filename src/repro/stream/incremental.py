@@ -1,0 +1,39 @@
+"""Kill-switch for the incremental streaming state machine.
+
+``REPRO_STREAM_INCREMENTAL`` (default on) gates *how* the streaming
+layers maintain their expensive state between consecutive windows, never
+*what* they compute:
+
+* on — :class:`~repro.stream.StreamingDetector` slides the warm distance
+  provider forward per arrival (one strip instead of ``d`` block
+  rebuilds), :class:`~repro.stream.StreamContrastIndex` recomputes only
+  drift-invalidated HiCS candidates, and
+  :class:`~repro.serve.ExplainEngine` chains window-keyed pool entries to
+  their predecessor's provider;
+* ``REPRO_STREAM_INCREMENTAL=0`` — every window rebuilds cold, the
+  recompute baseline.
+
+Both paths are byte-identical by construction (the canonical composition
+chain for distances, per-candidate order-independent RNG streams for
+contrasts); the switch exists so the equivalence is *checkable* — the
+byte-identity drill in ``tests/test_stream_incremental.py`` and
+``benchmarks/bench_stream.py`` run the same stream both ways and compare
+event sequences bit for bit.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["STREAM_INCREMENTAL_ENV", "stream_incremental_enabled"]
+
+#: Environment variable gating sliding-window state reuse (default on).
+#: ``0`` / ``off`` / ``false`` / ``no`` force the per-window recompute
+#: path that incremental results are asserted byte-identical against.
+STREAM_INCREMENTAL_ENV = "REPRO_STREAM_INCREMENTAL"
+
+
+def stream_incremental_enabled() -> bool:
+    """Whether sliding-window state reuse is on (default: yes)."""
+    raw = os.environ.get(STREAM_INCREMENTAL_ENV, "").strip().lower()
+    return raw not in ("0", "off", "false", "no")

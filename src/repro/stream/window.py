@@ -1,4 +1,12 @@
-"""Fixed-capacity sliding window over multivariate points."""
+"""Fixed-capacity sliding window over multivariate points.
+
+The buffer is *double-written*: storage holds ``2 * capacity`` rows and
+every appended point lands in two slots, ``i`` and ``i + capacity``. Any
+window of ``capacity`` consecutive points is therefore contiguous in
+storage, so :meth:`SlidingWindow.as_matrix` is a zero-copy slice — the
+per-update ``O(n * d)`` roll-and-copy the streaming detector used to pay
+on every arrival reduces to two ``O(d)`` row writes per append.
+"""
 
 from __future__ import annotations
 
@@ -32,7 +40,8 @@ class SlidingWindow:
     def __init__(self, capacity: int, n_features: int) -> None:
         self.capacity = check_positive_int(capacity, name="capacity", minimum=2)
         self.n_features = check_positive_int(n_features, name="n_features")
-        self._buffer = np.empty((self.capacity, self.n_features))
+        # Two storage rows per logical slot (see module docstring).
+        self._buffer = np.empty((2 * self.capacity, self.n_features))
         self._next = 0
         self._size = 0
         self._seen = 0
@@ -58,20 +67,57 @@ class SlidingWindow:
                 f"point has {vector.shape[0]} features, window expects "
                 f"{self.n_features}"
             )
+        self._write(vector)
+
+    def extend(self, X: object) -> int:
+        """Append every row of a matrix; returns the number of rows added.
+
+        The bulk ingestion path of the streaming warmup fast-paths: one
+        shape validation for the whole batch instead of one per point,
+        with semantics identical to calling :meth:`append` per row.
+        """
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2:
+            raise ValidationError(f"X must be 2-dimensional, got ndim={X.ndim}")
+        if X.shape[1] != self.n_features:
+            raise ValidationError(
+                f"rows have {X.shape[1]} features, window expects "
+                f"{self.n_features}"
+            )
+        if not np.isfinite(X).all():
+            raise ValidationError("X contains NaN or infinite values")
+        for row in X:
+            self._write(row)
+        return X.shape[0]
+
+    def _write(self, vector: np.ndarray) -> None:
         self._buffer[self._next] = vector
+        self._buffer[self._next + self.capacity] = vector
         self._next = (self._next + 1) % self.capacity
         self._size = min(self._size + 1, self.capacity)
         self._seen += 1
 
     def as_matrix(self) -> np.ndarray:
-        """The retained points, oldest first, as a fresh array."""
-        if len(self) == 0:
-            return np.empty((0, self.n_features))
-        if not self.is_full:
-            return self._buffer[: self._size].copy()
-        return np.vstack(
-            [self._buffer[self._next :], self._buffer[: self._next]]
-        )
+        """The retained points, oldest first, as a read-only zero-copy view.
+
+        The view aliases the internal buffer and is only valid until the
+        next :meth:`append` (the append that evicts the view's oldest row
+        rewrites it in place). Callers that need a durable snapshot copy
+        explicitly with ``np.array(window.as_matrix())``; writes through
+        the view raise.
+        """
+        if self._size == 0:
+            view = self._buffer[:0]
+        elif not self.is_full:
+            view = self._buffer[: self._size]
+        else:
+            # The newest point sits at storage slot ``_next - 1`` (and its
+            # duplicate ``capacity`` later), so the last ``capacity``
+            # points are the contiguous rows starting at ``_next``.
+            view = self._buffer[self._next : self._next + self.capacity]
+        view = view.view()
+        view.flags.writeable = False
+        return view
 
     def clear(self) -> None:
         """Forget all retained points (the seen-counter is kept)."""

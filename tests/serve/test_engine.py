@@ -167,6 +167,6 @@ class TestConfiguration:
         stats = ExplainEngine().stats()
         assert set(stats) == {
             "entries", "datasets", "bytes", "max_bytes", "max_entries",
-            "hits", "misses", "evictions", "hit_rate",
+            "hits", "misses", "chained", "evictions", "hit_rate",
             "snapshots_written", "restored_vectors", "n_evaluations",
         }

@@ -35,12 +35,42 @@ class TestSlidingWindow:
             window.append([v])
         assert window.as_matrix()[:, 0].tolist() == [2.0, 3.0]
 
-    def test_matrix_is_a_copy(self):
+    def test_matrix_is_a_readonly_view(self):
         window = SlidingWindow(capacity=2, n_features=1)
         window.append([1.0])
         m = window.as_matrix()
-        m[0, 0] = 99.0
+        with pytest.raises(ValueError):
+            m[0, 0] = 99.0
         assert window.as_matrix()[0, 0] == 1.0
+        # An explicit copy is isolated from later appends.
+        snapshot = np.array(window.as_matrix())
+        window.append([2.0])
+        window.append([3.0])
+        assert snapshot.tolist() == [[1.0]]
+
+    def test_as_matrix_is_zero_copy(self):
+        # The satellite regression: no O(n*d) materialisation per update.
+        # Every view, full or partial, must alias the ring buffer.
+        window = SlidingWindow(capacity=64, n_features=8)
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            window.append(rng.normal(size=8))
+            m = window.as_matrix()
+            assert m.base is not None
+            assert np.shares_memory(m, window._buffer)
+            assert not m.flags.writeable
+            assert m.flags.c_contiguous
+
+    def test_extend_matches_repeated_append(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(17, 3))
+        a = SlidingWindow(capacity=10, n_features=3)
+        b = SlidingWindow(capacity=10, n_features=3)
+        for row in X:
+            a.append(row)
+        assert b.extend(X) == 17
+        assert a.as_matrix().tolist() == b.as_matrix().tolist()
+        assert a.n_seen == b.n_seen == 17
 
     def test_rejects_wrong_width(self):
         window = SlidingWindow(capacity=2, n_features=2)

@@ -1,0 +1,362 @@
+"""The incremental-streaming byte-identity drill.
+
+Every reuse layer of ``repro.stream`` — provider slides, drift-gated
+contrast maintenance, engine chaining — carries the same contract as the
+rest of the repo's optimisations: ``REPRO_STREAM_INCREMENTAL=0`` (the
+per-window recompute baseline) must reproduce the incremental output
+byte for byte, under every execution backend. This module drills that
+contract end to end, plus the unit surface of each layer and the
+streaming SFE metric.
+"""
+
+import numpy as np
+import pytest
+
+from repro.detectors import LOF, KNNDetector
+from repro.exceptions import ValidationError
+from repro.explainers import Beam, HiCS
+from repro.explainers.base import RankedSubspaces
+from repro.metrics import evaluate_stream, feature_sequence, sfe_length
+from repro.neighbors.provider import DistanceProvider
+from repro.stream import (
+    STREAM_INCREMENTAL_ENV,
+    ExplainedAnomaly,
+    StreamAnomaly,
+    StreamContrastIndex,
+    StreamingDetector,
+    StreamingExplainer,
+    drifting_stream,
+)
+from repro.subspaces.subspace import Subspace
+
+
+def _provider(X, **kwargs):
+    kwargs.setdefault("max_bytes", 1 << 26)
+    kwargs.setdefault("max_compose_dim", X.shape[1])
+    kwargs.setdefault("sketch_factor", 0)
+    return DistanceProvider(X, **kwargs)
+
+
+class TestProviderSlide:
+    """`DistanceProvider.slide` vs a cold build: bit-identical, cheaper."""
+
+    def test_slid_state_bit_identical_to_cold(self):
+        rng = np.random.default_rng(3)
+        X = rng.normal(size=(40, 5))
+        new_rows = rng.normal(size=(2, 5))
+        full = tuple(range(5))
+        warm = _provider(X)
+        warm.squared_distances(full)  # warm every block + the composed matrix
+
+        slid = warm.slide(new_rows, n_evict=2, compose=[full])
+        cold = _provider(np.vstack([X[2:], new_rows]))
+        assert np.array_equal(slid.X, cold.X)
+        for f in range(5):
+            assert (
+                slid.feature_block(f).tobytes()
+                == cold.feature_block(f).tobytes()
+            )
+        assert (
+            slid.squared_distances(full).tobytes()
+            == cold.squared_distances(full).tobytes()
+        )
+        # Downstream queries (the detector surface) agree too, including
+        # a subspace whose composed matrix was never slid.
+        for s in (full, (0, 2), (1, 3, 4)):
+            si, sd = slid.kneighbors(s, 5)
+            ci, cd = cold.kneighbors(s, 5)
+            assert np.array_equal(si, ci)
+            assert sd.tobytes() == cd.tobytes()
+        stats = slid.stats()
+        assert stats["blocks_slid"] == 5
+        assert stats["composed_slid"] == 1
+
+    def test_chained_slides_stay_bit_identical(self):
+        rng = np.random.default_rng(11)
+        X = rng.normal(size=(30, 4))
+        stream = rng.normal(size=(6, 4))
+        full = (0, 1, 2, 3)
+        provider = _provider(X)
+        provider.squared_distances(full)
+        current = X
+        for row in stream:
+            provider = provider.slide(row[None, :], n_evict=1, compose=[full])
+            current = np.vstack([current[1:], row[None, :]])
+        cold = _provider(current)
+        assert (
+            provider.squared_distances(full).tobytes()
+            == cold.squared_distances(full).tobytes()
+        )
+        for f in range(4):
+            assert (
+                provider.feature_block(f).tobytes()
+                == cold.feature_block(f).tobytes()
+            )
+
+    def test_uncached_compose_request_is_skipped_not_fabricated(self):
+        X = np.random.default_rng(0).normal(size=(20, 3))
+        warm = _provider(X)
+        warm.feature_block(0)  # blocks only; no composed matrix cached
+        slid = warm.slide(X[:1], n_evict=1, compose=[(0, 1, 2)])
+        assert slid.stats()["composed_slid"] == 0
+        # ... and computing it afterwards still gives canonical bits.
+        cold = _provider(np.vstack([X[1:], X[:1]]))
+        assert (
+            slid.squared_distances((0, 1, 2)).tobytes()
+            == cold.squared_distances((0, 1, 2)).tobytes()
+        )
+
+    def test_slide_validates_row_width(self):
+        X = np.random.default_rng(0).normal(size=(10, 3))
+        provider = _provider(X)
+        with pytest.raises(ValidationError):
+            provider.slide(np.zeros((1, 4)))
+
+    def test_full_turnover_equals_cold_everywhere(self):
+        X = np.random.default_rng(1).normal(size=(12, 3))
+        replacement = np.random.default_rng(2).normal(size=(12, 3))
+        provider = _provider(X)
+        provider.squared_distances((0, 1, 2))
+        slid = provider.slide(replacement)  # n_evict defaults to len(new)
+        assert np.array_equal(slid.X, replacement)
+        cold = _provider(replacement)
+        assert (
+            slid.squared_distances((0, 1, 2)).tobytes()
+            == cold.squared_distances((0, 1, 2)).tobytes()
+        )
+
+
+def _monitor_run(explainer_factory, incremental, monkeypatch, backend="serial"):
+    """One full monitor run over a drifting stream; returns its artefacts."""
+    monkeypatch.setenv(STREAM_INCREMENTAL_ENV, "1" if incremental else "0")
+    monkeypatch.setenv("REPRO_BACKEND", backend)
+    X, anomalies = drifting_stream(
+        length=240, n_features=4, anomaly_every=25, drift_at=120, seed=5
+    )
+    detector = StreamingDetector(LOF(k=8), window_size=60, n_features=4)
+    monitor = StreamingExplainer(
+        detector, explainer_factory(), threshold=2.5, dimensionality=2
+    )
+    events = monitor.consume(X)
+    return monitor, events, anomalies
+
+
+def _beam():
+    return Beam(beam_width=4, result_size=8)
+
+
+def _hics():
+    return HiCS(mc_iterations=30, result_size=10, seed=0)
+
+
+class TestByteIdentityDrill:
+    """Kill-switch on vs off: identical event sequences, every backend."""
+
+    @pytest.mark.parametrize("backend", ["serial", "thread"])
+    @pytest.mark.parametrize("factory", [_beam, _hics], ids=["beam", "hics"])
+    def test_event_sequences_identical(self, factory, backend, monkeypatch):
+        _, warm_events, _ = _monitor_run(
+            factory, True, monkeypatch, backend=backend
+        )
+        _, cold_events, _ = _monitor_run(
+            factory, False, monkeypatch, backend=backend
+        )
+        assert warm_events  # the workload must actually raise events
+        # Dataclass equality covers index, score, the full ranking
+        # (subspaces and float scores), and the rank delta.
+        assert warm_events == cold_events
+
+    def test_incremental_mode_actually_slides(self, monkeypatch):
+        monitor, events, _ = _monitor_run(_beam, True, monkeypatch)
+        provider = monitor.detector.context_provider
+        assert provider is not None
+        assert provider.stats()["blocks_slid"] > 0
+        assert monitor.engine.stats()["chained"] > 0
+        assert events
+
+    def test_recompute_mode_never_slides(self, monkeypatch):
+        monitor, _, _ = _monitor_run(_beam, False, monkeypatch)
+        provider = monitor.detector.context_provider
+        assert provider is not None
+        assert provider.stats()["blocks_slid"] == 0
+        assert monitor.engine.stats()["chained"] == 0
+
+    def test_hics_contrast_reuse_engages(self, monkeypatch):
+        monitor, events, _ = _monitor_run(_hics, True, monkeypatch)
+        stats = monitor.contrast_index.stats()
+        assert len(events) > 1
+        assert stats["reused"] > 0
+        # Reuse dominates: far fewer recomputes than the all-candidates-
+        # per-event baseline would pay.
+        baseline = stats["candidates"] * len(events)
+        assert stats["recomputed"] < baseline
+
+    def test_evaluation_identical_across_modes(self, monkeypatch):
+        warm_monitor, _, anomalies = _monitor_run(_hics, True, monkeypatch)
+        cold_monitor, _, _ = _monitor_run(_hics, False, monkeypatch)
+        assert warm_monitor.evaluate(anomalies) == cold_monitor.evaluate(
+            anomalies
+        )
+
+
+class TestContrastDrift:
+    """Drift-gated generation refresh in `StreamContrastIndex`."""
+
+    @staticmethod
+    def _contexts():
+        rng = np.random.default_rng(9)
+        stable = rng.uniform(size=(80, 4))
+        # A genuine marginal shift: every column collapses towards 0, so
+        # probe ranks inside the pinned sorted columns pile up low.
+        shifted = stable * 0.2
+        return stable, shifted
+
+    def test_shift_triggers_refresh_and_recompute(self, monkeypatch):
+        monkeypatch.setenv(STREAM_INCREMENTAL_ENV, "1")
+        stable, shifted = self._contexts()
+        index = StreamContrastIndex(_hics(), 2)
+        index.rank(stable)
+        first = dict(index.stats())
+        index.rank(shifted)
+        second = index.stats()
+        assert second["refreshes"] > first["refreshes"]
+        assert second["recomputed"] > first["recomputed"]
+
+    def test_no_shift_reuses_everything(self, monkeypatch):
+        monkeypatch.setenv(STREAM_INCREMENTAL_ENV, "1")
+        stable, _ = self._contexts()
+        index = StreamContrastIndex(_hics(), 2)
+        first = index.rank(stable)
+        recomputed_once = index.stats()["recomputed"]
+        second = index.rank(stable)
+        assert first == second
+        assert index.stats()["recomputed"] == recomputed_once
+        assert index.stats()["reused"] > 0
+
+    def test_ranking_identical_with_kill_switch(self, monkeypatch):
+        stable, shifted = self._contexts()
+        results = {}
+        for mode in ("1", "0"):
+            monkeypatch.setenv(STREAM_INCREMENTAL_ENV, mode)
+            index = StreamContrastIndex(_hics(), 2)
+            results[mode] = (index.rank(stable), index.rank(shifted))
+        assert results["1"] == results["0"]
+
+
+class TestExplanationDelta:
+    def test_first_event_has_no_delta(self, monkeypatch):
+        _, events, _ = _monitor_run(_beam, True, monkeypatch)
+        assert events[0].delta is None
+        assert all(e.delta is not None for e in events[1:])
+
+    def test_delta_reconstructs_from_consecutive_explanations(
+        self, monkeypatch
+    ):
+        _, events, _ = _monitor_run(_beam, True, monkeypatch)
+        assert len(events) > 1
+        for prev, cur in zip(events, events[1:]):
+            prev_rank = {
+                s: r for r, s in enumerate(prev.explanation.subspaces, 1)
+            }
+            cur_rank = {
+                s: r for r, s in enumerate(cur.explanation.subspaces, 1)
+            }
+            delta = cur.delta
+            assert set(delta.entered) == set(cur_rank) - set(prev_rank)
+            assert set(delta.left) == set(prev_rank) - set(cur_rank)
+            for subspace, was, now in delta.moved:
+                assert prev_rank[subspace] == was
+                assert cur_rank[subspace] == now
+                assert was != now
+            assert delta.unchanged == sum(
+                1
+                for s in cur_rank
+                if prev_rank.get(s) == cur_rank[s]
+            )
+            assert delta.n_changed == (
+                len(delta.entered) + len(delta.left) + len(delta.moved)
+            )
+
+
+class TestFastPaths:
+    """Bulk warmup fast paths equal the one-point-at-a-time loop."""
+
+    def test_score_stream_matches_update_loop(self):
+        X, _ = drifting_stream(length=120, n_features=4, seed=3)
+        fast = StreamingDetector(KNNDetector(k=5), window_size=40, n_features=4)
+        slow = StreamingDetector(KNNDetector(k=5), window_size=40, n_features=4)
+        bulk = fast.score_stream(X)
+        loop = np.array([slow.update(row) for row in X])
+        assert np.array_equal(bulk, loop)
+        assert np.array_equal(fast.window.as_matrix(), slow.window.as_matrix())
+
+    def test_consume_matches_update_loop(self, monkeypatch):
+        monkeypatch.setenv(STREAM_INCREMENTAL_ENV, "1")
+        X, _ = drifting_stream(length=160, n_features=4, seed=4)
+
+        def monitor():
+            detector = StreamingDetector(LOF(k=8), window_size=40, n_features=4)
+            return StreamingExplainer(
+                detector, _beam(), threshold=2.5, dimensionality=2
+            )
+
+        bulk = monitor()
+        bulk_events = bulk.consume(X)
+        loop = monitor()
+        loop_events = [e for row in X for e in [loop.update(row)] if e]
+        assert bulk_events
+        assert bulk_events == loop_events
+        assert bulk._index == loop._index
+
+
+class TestSFEMetric:
+    def test_feature_sequence_credits_first_occurrence(self):
+        assert feature_sequence([(2, 3), (0, 2), (0, 1)]) == (2, 3, 0, 1)
+        assert feature_sequence([]) == ()
+
+    def test_sfe_length_cases(self):
+        assert sfe_length([(0, 1), (2, 3)], [(0, 1)]) == 2
+        assert sfe_length([(2, 3), (0, 1)], [(0, 1)]) == 4
+        # Truth feature the ranking never surfaces: exhaust + penalty.
+        assert sfe_length([(0, 1)], [(0, 2)]) == 3
+        with pytest.raises(ValidationError):
+            sfe_length([(0, 1)], [])
+
+    @staticmethod
+    def _event(index, ranked):
+        return ExplainedAnomaly(
+            index=index,
+            score=4.0,
+            explanation=RankedSubspaces.from_pairs(
+                [(Subspace(s), 1.0 / (r + 1)) for r, s in enumerate(ranked)]
+            ),
+        )
+
+    def test_evaluate_stream_matches_by_index(self):
+        events = [
+            self._event(50, [(0, 1), (2, 3)]),   # truth (0,1) at rank 1
+            self._event(75, [(2, 3), (0, 1)]),   # truth (0,1) at rank 2
+            self._event(90, [(2, 3)]),           # no matching truth
+        ]
+        truth = [
+            StreamAnomaly(index=50, subspace=Subspace((0, 1))),
+            StreamAnomaly(index=75, subspace=Subspace((0, 1))),
+            StreamAnomaly(index=200, subspace=Subspace((2, 3))),  # missed
+        ]
+        result = evaluate_stream(events, truth)
+        assert result.n_events == 3
+        assert result.n_anomalies == 3
+        assert result.n_matched == 2
+        assert result.detection_recall == pytest.approx(2 / 3)
+        assert result.mean_average_precision == pytest.approx((1.0 + 0.5) / 2)
+        assert result.mean_sfe == pytest.approx((2 + 4) / 2)
+
+    def test_evaluate_stream_min_index_excludes_warmup_truth(self):
+        events = [self._event(50, [(0, 1)])]
+        truth = [
+            StreamAnomaly(index=10, subspace=Subspace((0, 1))),  # warmup
+            StreamAnomaly(index=50, subspace=Subspace((0, 1))),
+        ]
+        result = evaluate_stream(events, truth, min_index=30)
+        assert result.n_anomalies == 1
+        assert result.detection_recall == 1.0

@@ -69,6 +69,9 @@ def _workload(record: dict) -> str:
         ("n_requests", "requests"),
         ("clients", "clients"),
         ("workers", "workers"),
+        ("window", "window"),
+        ("length", "length"),
+        ("anomaly_every", "anomaly every"),
     ):
         if key in record:
             parts.append(f"{record[key]} {label}")
@@ -90,6 +93,12 @@ def _format_row(suite: str, record: dict) -> tuple[str, ...]:
     extra = f"hit rate {hit_rate:.2%}" if hit_rate else ""
     # Latency-style records (bench_serve) describe themselves by
     # throughput and percentiles rather than one wall time.
+    # Streaming records (bench_stream) describe themselves by window
+    # throughput.
+    if not extra and "windows_per_s" in record:
+        extra = f"{record['windows_per_s']:.1f} windows/s"
+        if "events" in record:
+            extra += f", {record['events']} events"
     if not extra and "qps" in record:
         extra = (
             f"{record['qps']:.1f} qps, p50 {record.get('p50_ms', 0):.0f} ms, "

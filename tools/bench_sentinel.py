@@ -15,6 +15,9 @@ same workload signature — n, d, subspace counts, point counts, ...):
 * ``wall_time_s`` must not exceed ``baseline * tolerance``.
 * ``speedup`` must not fall below ``baseline / tolerance`` (and, when
   ``--min-speedup`` is given, never below that absolute floor).
+* Streaming records (``benchmarks/bench_stream.py``): ``windows_per_s``
+  must not fall below ``baseline / tolerance``; ``--min-speedup`` gates
+  the incremental-vs-recompute speedup record like any other speedup.
 * Latency-style records (``benchmarks/bench_serve.py``): ``qps`` must not
   fall below ``baseline / tolerance``, and ``p50_ms`` / ``p95_ms`` must
   not exceed ``baseline * tolerance``. ``p99_ms`` is reported but never
@@ -72,6 +75,10 @@ SIGNATURE_KEYS = (
     # Cluster scaling records: a 2-worker curve point must never be
     # compared against a 4-worker baseline.
     "workers",
+    # Streaming records (bench_stream): window geometry is the shape.
+    "window",
+    "length",
+    "anomaly_every",
 )
 
 #: Default noise tolerance: a fresh wall time up to 1.5x the baseline (or
@@ -168,6 +175,22 @@ def compare(
                 notes.append(
                     f"{op}: speedup {speedup:.2f}x vs baseline "
                     f"{best:.2f}x — ok"
+                )
+        # Streaming records (bench_stream): windows-per-second floor, the
+        # same shape as the qps gate below.
+        wps = record.get("windows_per_s")
+        base_wps = [b["windows_per_s"] for b in matches if "windows_per_s" in b]
+        if wps is not None and base_wps:
+            best = max(base_wps)
+            if wps < best / tolerance:
+                regressions.append(
+                    f"{op}: throughput {wps:.2f} windows/s fell below "
+                    f"baseline {best:.2f} windows/s / {tolerance:.2f}"
+                )
+            else:
+                notes.append(
+                    f"{op}: {wps:.2f} windows/s vs baseline "
+                    f"{best:.2f} windows/s — ok"
                 )
         # Latency-style records: throughput floor + percentile ceilings.
         qps = record.get("qps")

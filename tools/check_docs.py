@@ -17,7 +17,12 @@ docs before they were checked:
    table must name exactly the codes ``repro.serve.protocol.ERROR_CODES``
    defines — the wire contract and its documentation cannot drift apart
    silently.
-4. **Cluster-mode coverage in docs/SCALING.md.** The cluster runbook
+4. **Streaming coverage in docs/STREAMING.md.** The streaming runbook
+   must mention the incremental kill switch (flag and env var, pulled
+   from the live module), the stream benchmark, and the byte-identity
+   drill — the reuse-vs-recompute contract is exactly what STREAMING.md
+   exists to document.
+5. **Cluster-mode coverage in docs/SCALING.md.** The cluster runbook
    must mention every ``repro serve`` cluster flag, both cluster env
    vars (pulled from the live modules, not hard-coded strings), and the
    transient routing error code — the scale-out surface is exactly what
@@ -54,6 +59,7 @@ REQUIRED_DOCS = (
     "docs/RUNBOOK.md",
     "docs/SCALING.md",
     "docs/SERVING.md",
+    "docs/STREAMING.md",
 )
 
 
@@ -212,6 +218,36 @@ def check_scaling_doc() -> list[str]:
     ]
 
 
+def check_streaming_doc() -> list[str]:
+    """docs/STREAMING.md coverage of the incremental-streaming surface.
+
+    The env-var name comes from the live module constant, so renaming
+    the kill switch without updating STREAMING.md fails here rather
+    than shipping silently.
+    """
+    streaming_path = os.path.join(REPO_ROOT, "docs", "STREAMING.md")
+    if not os.path.isfile(streaming_path):
+        return []  # already reported by check_required_docs
+    sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+    from repro.stream.incremental import STREAM_INCREMENTAL_ENV
+
+    with open(streaming_path, encoding="utf-8") as handle:
+        text = handle.read()
+    required = (
+        "--stream-incremental",
+        STREAM_INCREMENTAL_ENV,
+        "benchmarks/bench_stream.py",
+        "tests/test_stream_incremental.py",
+        "ExplanationDelta",
+        "StreamContrastIndex",
+    )
+    return [
+        f"docs/STREAMING.md: streaming surface {item!r} is undocumented"
+        for item in required
+        if item not in text
+    ]
+
+
 def main() -> int:
     problems = (
         check_links(markdown_files())
@@ -220,6 +256,7 @@ def main() -> int:
         + check_serving_error_codes()
     )
     problems += check_scaling_doc()
+    problems += check_streaming_doc()
     for problem in problems:
         print(problem)
     if problems:
